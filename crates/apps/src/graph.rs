@@ -1,0 +1,329 @@
+//! Graph structures, the R-MAT generator, and the random partitioner.
+
+use sonuma_sim::DetRng;
+
+/// Configuration of a synthetic R-MAT power-law graph.
+///
+/// Defaults follow the classic (0.57, 0.19, 0.19, 0.05) skew, which yields
+/// the heavy-tailed degree distribution of social graphs like the Twitter
+/// crawl used in the paper.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphConfig {
+    /// Number of vertices (rounded up to a power of two internally).
+    pub vertices: usize,
+    /// Number of directed edges to sample.
+    pub edges: usize,
+    /// R-MAT quadrant probabilities; must sum to ~1.
+    pub skew: (f64, f64, f64, f64),
+    /// Generator seed (determinism).
+    pub seed: u64,
+}
+
+impl GraphConfig {
+    /// A graph with `vertices` vertices and ~16 edges per vertex.
+    pub fn social(vertices: usize, seed: u64) -> Self {
+        GraphConfig {
+            vertices,
+            edges: vertices * 16,
+            skew: (0.57, 0.19, 0.19, 0.05),
+            seed,
+        }
+    }
+}
+
+/// A directed graph in in-edge CSR form (the shape PageRank consumes:
+/// for each vertex, the sources of its incoming edges).
+#[derive(Debug, Clone)]
+pub struct Graph {
+    offsets: Vec<u64>,
+    sources: Vec<u32>,
+    out_degree: Vec<u32>,
+}
+
+impl Graph {
+    /// Generates a deterministic R-MAT graph.
+    ///
+    /// Self-loops are dropped; every vertex is given at least one outgoing
+    /// edge (to its successor) so PageRank has no dangling vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vertices` is zero.
+    pub fn rmat(config: &GraphConfig) -> Self {
+        assert!(config.vertices > 0, "empty graph");
+        let n = config.vertices.next_power_of_two();
+        let levels = n.trailing_zeros();
+        let (a, b, c, _) = config.skew;
+        let mut rng = DetRng::seed(config.seed);
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(config.edges + n);
+        for _ in 0..config.edges {
+            let (mut u, mut v) = (0usize, 0usize);
+            for _ in 0..levels {
+                let r = rng.unit_f64();
+                let (du, dv) = if r < a {
+                    (0, 0)
+                } else if r < a + b {
+                    (0, 1)
+                } else if r < a + b + c {
+                    (1, 0)
+                } else {
+                    (1, 1)
+                };
+                u = (u << 1) | du;
+                v = (v << 1) | dv;
+            }
+            if u != v && u < config.vertices && v < config.vertices {
+                pairs.push((u as u32, v as u32));
+            }
+        }
+        // Guarantee nonzero out-degree.
+        let mut has_out = vec![false; config.vertices];
+        for &(u, _) in &pairs {
+            has_out[u as usize] = true;
+        }
+        for u in 0..config.vertices {
+            if !has_out[u] {
+                pairs.push((u as u32, ((u + 1) % config.vertices) as u32));
+            }
+        }
+        Self::from_edges(config.vertices, &pairs)
+    }
+
+    /// Builds a graph from explicit directed edges `(source, target)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is out of range.
+    pub fn from_edges(vertices: usize, edges: &[(u32, u32)]) -> Self {
+        let mut out_degree = vec![0u32; vertices];
+        let mut in_degree = vec![0u64; vertices];
+        for &(u, v) in edges {
+            assert!((u as usize) < vertices && (v as usize) < vertices, "edge out of range");
+            out_degree[u as usize] += 1;
+            in_degree[v as usize] += 1;
+        }
+        let mut offsets = vec![0u64; vertices + 1];
+        for v in 0..vertices {
+            offsets[v + 1] = offsets[v] + in_degree[v];
+        }
+        let mut sources = vec![0u32; edges.len()];
+        let mut cursor = offsets.clone();
+        for &(u, v) in edges {
+            sources[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        Graph {
+            offsets,
+            sources,
+            out_degree,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertices(&self) -> usize {
+        self.out_degree.len()
+    }
+
+    /// Number of directed edges.
+    pub fn edges(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// The sources of `v`'s incoming edges.
+    pub fn in_neighbors(&self, v: usize) -> &[u32] {
+        let lo = self.offsets[v] as usize;
+        let hi = self.offsets[v + 1] as usize;
+        &self.sources[lo..hi]
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: usize) -> u32 {
+        self.out_degree[v as usize]
+    }
+
+    /// Maximum in-degree (skew diagnostics).
+    pub fn max_in_degree(&self) -> usize {
+        (0..self.vertices())
+            .map(|v| self.in_neighbors(v).len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// A random equal-cardinality vertex partition — the paper's "naive
+/// algorithm that randomly partitions the vertices into sets of equal
+/// cardinality" (§7.5).
+#[derive(Debug, Clone)]
+pub struct Partition {
+    node_of: Vec<u16>,
+    index_in_node: Vec<u32>,
+    owned: Vec<Vec<u32>>,
+}
+
+impl Partition {
+    /// Randomly partitions `vertices` vertices over `nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn random(vertices: usize, nodes: usize, seed: u64) -> Self {
+        assert!(nodes > 0, "no partitions");
+        let mut perm: Vec<u32> = (0..vertices as u32).collect();
+        DetRng::seed(seed).shuffle(&mut perm);
+        let mut node_of = vec![0u16; vertices];
+        let mut index_in_node = vec![0u32; vertices];
+        let mut owned = vec![Vec::new(); nodes];
+        for (i, &v) in perm.iter().enumerate() {
+            let n = i * nodes / vertices; // equal-cardinality ranges
+            node_of[v as usize] = n as u16;
+            index_in_node[v as usize] = owned[n].len() as u32;
+            owned[n].push(v);
+        }
+        Partition {
+            node_of,
+            index_in_node,
+            owned,
+        }
+    }
+
+    /// Builds a partition whose local indices equal global vertex ids (a
+    /// single shared array) with explicit ownership groups — the work
+    /// division of the shared-memory PageRank baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the groups do not cover exactly `vertices` vertices.
+    pub fn identity(vertices: usize, groups: Vec<Vec<u32>>) -> Self {
+        let mut node_of = vec![u16::MAX; vertices];
+        let mut index_in_node = vec![0u32; vertices];
+        let mut covered = 0usize;
+        for (n, group) in groups.iter().enumerate() {
+            for &v in group {
+                assert!((v as usize) < vertices, "vertex out of range");
+                assert_eq!(node_of[v as usize], u16::MAX, "vertex in two groups");
+                node_of[v as usize] = n as u16;
+                index_in_node[v as usize] = v;
+                covered += 1;
+            }
+        }
+        assert_eq!(covered, vertices, "groups must cover every vertex");
+        Partition {
+            node_of,
+            index_in_node,
+            owned: groups,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn nodes(&self) -> usize {
+        self.owned.len()
+    }
+
+    /// The node owning vertex `v`.
+    pub fn node_of(&self, v: usize) -> usize {
+        self.node_of[v] as usize
+    }
+
+    /// The dense per-node index of vertex `v` within its owner.
+    pub fn index_of(&self, v: usize) -> usize {
+        self.index_in_node[v] as usize
+    }
+
+    /// The vertices owned by `node`, in local index order.
+    pub fn owned_by(&self, node: usize) -> &[u32] {
+        &self.owned[node]
+    }
+
+    /// Cross-partition edge count for `graph` — the quantity that scales
+    /// fine-grain remote operations (§7.5).
+    pub fn cut_edges(&self, graph: &Graph) -> usize {
+        (0..graph.vertices())
+            .flat_map(|v| {
+                let owner = self.node_of(v);
+                graph
+                    .in_neighbors(v)
+                    .iter()
+                    .filter(move |&&u| self.node_of(u as usize) != owner)
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_is_deterministic() {
+        let cfg = GraphConfig::social(1024, 7);
+        let g1 = Graph::rmat(&cfg);
+        let g2 = Graph::rmat(&cfg);
+        assert_eq!(g1.edges(), g2.edges());
+        assert_eq!(g1.in_neighbors(10), g2.in_neighbors(10));
+        let g3 = Graph::rmat(&GraphConfig::social(1024, 8));
+        assert_ne!(g1.edges(), g3.edges());
+    }
+
+    #[test]
+    fn rmat_has_no_dangling_vertices() {
+        let g = Graph::rmat(&GraphConfig::social(500, 3));
+        assert_eq!(g.vertices(), 500);
+        for v in 0..g.vertices() {
+            assert!(g.out_degree(v) >= 1, "vertex {v} dangles");
+        }
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = Graph::rmat(&GraphConfig::social(4096, 1));
+        let avg = g.edges() / g.vertices();
+        assert!(
+            g.max_in_degree() > avg * 10,
+            "power-law tail missing: max {} avg {avg}",
+            g.max_in_degree()
+        );
+    }
+
+    #[test]
+    fn csr_matches_edge_list() {
+        let edges = [(0u32, 1u32), (2, 1), (1, 0), (0, 2), (3, 2)];
+        let g = Graph::from_edges(4, &edges);
+        assert_eq!(g.edges(), 5);
+        assert_eq!(g.in_neighbors(1), &[0, 2]);
+        assert_eq!(g.in_neighbors(0), &[1]);
+        assert_eq!(g.in_neighbors(2), &[0, 3]);
+        assert_eq!(g.in_neighbors(3), &[] as &[u32]);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(3), 1);
+    }
+
+    #[test]
+    fn partition_is_balanced_and_consistent() {
+        let p = Partition::random(1000, 8, 42);
+        assert_eq!(p.nodes(), 8);
+        let sizes: Vec<usize> = (0..8).map(|n| p.owned_by(n).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 1000);
+        assert!(sizes.iter().all(|&s| s == 125), "equal cardinality: {sizes:?}");
+        for v in 0..1000 {
+            let n = p.node_of(v);
+            let i = p.index_of(v);
+            assert_eq!(p.owned_by(n)[i], v as u32);
+        }
+    }
+
+    #[test]
+    fn partition_cut_grows_with_nodes() {
+        let g = Graph::rmat(&GraphConfig::social(2048, 5));
+        let cut2 = Partition::random(2048, 2, 1).cut_edges(&g);
+        let cut8 = Partition::random(2048, 8, 1).cut_edges(&g);
+        assert!(cut8 > cut2, "more partitions, more cut edges");
+        assert!(cut8 <= g.edges());
+    }
+
+    #[test]
+    fn single_partition_has_no_cut() {
+        let g = Graph::rmat(&GraphConfig::social(256, 2));
+        let p = Partition::random(256, 1, 0);
+        assert_eq!(p.cut_edges(&g), 0);
+    }
+}

@@ -1,0 +1,493 @@
+//! A Pilaf-style key-value store: one-sided GETs, message-based PUTs.
+//!
+//! The paper motivates soNUMA with "latency-sensitive key-value stores ...
+//! using one-sided read operations" \[38\] (§2.1, §8). This module builds
+//! one: the server's hash table lives in its context segment, clients GET
+//! with `rmc_read` plus linear probing (no server CPU involvement), and
+//! PUTs travel through the §5.3 messaging library to the server core, which
+//! applies them with plain local stores — the asymmetric design of Pilaf.
+//!
+//! Bucket layout (one 64-byte cache line, so a GET is a single-line remote
+//! read):
+//!
+//! ```text
+//! [0..8)   key (0 = empty)
+//! [8..10)  value length
+//! [10..64) value bytes (up to 54)
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use sonuma_core::{
+    drain_completions, AppProcess, Messenger, MsgConfig, MsgError, NodeApi, NodeId, QpId,
+    RecvPoll, SimTime, Step, SystemBuilder, Wake,
+};
+use sonuma_core::VAddr;
+use sonuma_sim::DetRng;
+
+/// Maximum value bytes per entry.
+pub const MAX_VALUE_BYTES: usize = 54;
+
+const BUCKET_BYTES: u64 = 64;
+/// Segment offset of the hash table on the server.
+const TABLE_BASE: u64 = 1 << 20;
+
+/// Key-value store configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct KvStoreConfig {
+    /// Hash-table buckets (power of two).
+    pub buckets: u64,
+    /// Keys preloaded by the harness.
+    pub preload: u64,
+    /// GET operations each client issues.
+    pub gets_per_client: u32,
+    /// PUT operations each client issues (interleaved).
+    pub puts_per_client: u32,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for KvStoreConfig {
+    fn default() -> Self {
+        KvStoreConfig {
+            buckets: 4096,
+            preload: 1024,
+            gets_per_client: 200,
+            puts_per_client: 20,
+            seed: 0xCAFE,
+        }
+    }
+}
+
+/// Per-client outcome.
+#[derive(Debug, Clone, Default)]
+pub struct KvClientReport {
+    /// GETs that found their key.
+    pub hits: u64,
+    /// GETs that proved absence (hit an empty bucket).
+    pub misses: u64,
+    /// Mean GET latency.
+    pub mean_get_ns: f64,
+    /// PUT acknowledgements received.
+    pub put_acks: u64,
+    /// Values that failed verification (must stay zero).
+    pub corrupt: u64,
+}
+
+fn hash_key(key: u64) -> u64 {
+    // SplitMix64 finalizer: deterministic, well-spread.
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic value for `key` (verification).
+pub fn value_of(key: u64) -> Vec<u8> {
+    let len = 8 + (key % 40) as usize;
+    (0..len).map(|i| (key as usize * 13 + i * 3) as u8).collect()
+}
+
+fn encode_bucket(key: u64, value: &[u8]) -> [u8; BUCKET_BYTES as usize] {
+    assert!(value.len() <= MAX_VALUE_BYTES, "value too large");
+    let mut line = [0u8; BUCKET_BYTES as usize];
+    line[0..8].copy_from_slice(&key.to_le_bytes());
+    line[8..10].copy_from_slice(&(value.len() as u16).to_le_bytes());
+    line[10..10 + value.len()].copy_from_slice(value);
+    line
+}
+
+fn decode_bucket(line: &[u8; BUCKET_BYTES as usize]) -> (u64, Vec<u8>) {
+    let key = u64::from_le_bytes(line[0..8].try_into().unwrap());
+    let len = u16::from_le_bytes(line[8..10].try_into().unwrap()) as usize;
+    (key, line[10..10 + len.min(MAX_VALUE_BYTES)].to_vec())
+}
+
+/// Functionally preloads the server table (harness setup, untimed).
+fn preload_table(system: &mut sonuma_core::SonumaSystem, server: NodeId, cfg: &KvStoreConfig) {
+    for key in 1..=cfg.preload {
+        let value = value_of(key);
+        let mut probe = hash_key(key) % cfg.buckets;
+        loop {
+            let mut line = [0u8; 64];
+            system.read_ctx(server, TABLE_BASE + probe * BUCKET_BYTES, &mut line);
+            let (existing, _) = decode_bucket(&line);
+            if existing == 0 || existing == key {
+                system.write_ctx(
+                    server,
+                    TABLE_BASE + probe * BUCKET_BYTES,
+                    &encode_bucket(key, &value),
+                );
+                break;
+            }
+            probe = (probe + 1) % cfg.buckets;
+        }
+    }
+}
+
+/// The server: applies PUT messages (`key | value`) and acks with the key.
+struct KvServer {
+    m: Messenger,
+    clients: Vec<NodeId>,
+    expected_puts: u64,
+    applied: u64,
+    buckets: u64,
+}
+
+impl KvServer {
+    fn apply_put(&mut self, api: &mut NodeApi<'_>, data: &[u8]) {
+        let key = u64::from_le_bytes(data[0..8].try_into().unwrap());
+        let value = &data[8..];
+        let seg = api.ctx_base(sonuma_core::DEFAULT_CTX).raw();
+        let mut probe = hash_key(key) % self.buckets;
+        loop {
+            let va = VAddr::new(seg + TABLE_BASE + probe * BUCKET_BYTES);
+            let mut line = [0u8; 64];
+            api.local_read(va, &mut line).expect("table mapped");
+            let (existing, _) = decode_bucket(&line);
+            if existing == 0 || existing == key {
+                api.local_write(va, &encode_bucket(key, value)).expect("table mapped");
+                break;
+            }
+            probe = (probe + 1) % self.buckets;
+        }
+        self.applied += 1;
+    }
+}
+
+impl AppProcess for KvServer {
+    fn wake(&mut self, api: &mut NodeApi<'_>, why: Wake) -> Step {
+        if matches!(why, Wake::Start) {
+            self.m.init(api).unwrap();
+        }
+        let comps = drain_completions(api, &why, self.m.qp());
+        self.m.on_completions(api, &comps);
+        loop {
+            let mut progressed = false;
+            for i in 0..self.clients.len() {
+                let from = self.clients[i];
+                match self.m.try_recv(api, from) {
+                    Ok(RecvPoll::Message(data)) => {
+                        let key = u64::from_le_bytes(data[0..8].try_into().unwrap());
+                        self.apply_put(api, &data);
+                        // Ack with the key; retry transient backpressure on
+                        // the next wake.
+                        while let Err(MsgError::Backpressure) =
+                            self.m.try_send(api, from, &key.to_le_bytes())
+                        {
+                            let c = api.poll_cq(self.m.qp());
+                            self.m.on_completions(api, &c);
+                        }
+                        progressed = true;
+                    }
+                    Ok(RecvPoll::Pending) => {}
+                    Ok(RecvPoll::Empty) => self.m.flush_credits(api, from),
+                    Err(_) => {}
+                }
+            }
+            if self.applied == self.expected_puts && self.m.all_sent() {
+                return Step::Done;
+            }
+            if !progressed {
+                // Park until any client's channel (or the CQ) has news.
+                let (addr, len) = self.m.recv_watch_all();
+                return Step::WaitCqOrMemory { qp: self.m.qp(), addr, len };
+            }
+        }
+    }
+}
+
+/// A client: one-sided GETs with linear probing plus messaged PUTs.
+struct KvClient {
+    qp: QpId,
+    m: Messenger,
+    server: NodeId,
+    cfg: KvStoreConfig,
+    rng: DetRng,
+    buf: VAddr,
+    gets_done: u32,
+    puts_done: u32,
+    awaiting_ack: bool,
+    current: Option<GetState>,
+    get_started: SimTime,
+    lat_sum_ns: f64,
+    report: Rc<RefCell<KvClientReport>>,
+}
+
+struct GetState {
+    key: u64,
+    probe: u64,
+    expect_present: bool,
+    /// WQ slot of the in-flight probe read (distinguishes its completion
+    /// from the messenger's writes and pulls on the shared QP).
+    wq: u16,
+}
+
+impl KvClient {
+    fn issue_probe(&mut self, api: &mut NodeApi<'_>) {
+        let st = self.current.as_mut().expect("active GET");
+        let offset = TABLE_BASE + st.probe * BUCKET_BYTES;
+        st.wq = api
+            .post_read(self.qp, self.server, sonuma_core::DEFAULT_CTX, offset, self.buf, 64)
+            .expect("GET read post");
+    }
+
+    fn start_next_get(&mut self, api: &mut NodeApi<'_>) -> bool {
+        if self.gets_done >= self.cfg.gets_per_client {
+            return false;
+        }
+        // ~75% present keys, 25% absent.
+        let present = self.rng.chance(0.75);
+        let key = if present {
+            1 + self.rng.below(self.cfg.preload)
+        } else {
+            self.cfg.preload + 1000 + self.rng.below(1 << 20)
+        };
+        self.current = Some(GetState {
+            key,
+            probe: hash_key(key) % self.cfg.buckets,
+            expect_present: present,
+            wq: u16::MAX,
+        });
+        self.get_started = api.now();
+        self.issue_probe(api);
+        true
+    }
+
+    fn on_probe_reply(&mut self, api: &mut NodeApi<'_>) {
+        let mut line = [0u8; 64];
+        api.local_read(self.buf, &mut line).expect("buffer mapped");
+        let (found_key, value) = decode_bucket(&line);
+        let st = self.current.as_mut().expect("active GET");
+        if found_key == st.key {
+            let mut rep = self.report.borrow_mut();
+            rep.hits += 1;
+            if st.expect_present && value != value_of(st.key) {
+                rep.corrupt += 1;
+            }
+        } else if found_key != 0 {
+            // Collision: probe the next bucket.
+            st.probe = (st.probe + 1) % self.cfg.buckets;
+            self.issue_probe(api);
+            return;
+        } else {
+            self.report.borrow_mut().misses += 1;
+        }
+        self.lat_sum_ns += (api.now() - self.get_started).as_ns_f64();
+        self.gets_done += 1;
+        self.current = None;
+    }
+}
+
+impl AppProcess for KvClient {
+    fn wake(&mut self, api: &mut NodeApi<'_>, why: Wake) -> Step {
+        if matches!(why, Wake::Start) {
+            self.m.init(api).unwrap();
+            self.buf = api.heap_alloc(64).unwrap();
+        }
+        let comps = drain_completions(api, &why, self.qp);
+        // GET replies are reads we posted directly (matched by WQ slot);
+        // everything else belongs to the messenger.
+        for c in &comps {
+            let is_probe = matches!(&self.current, Some(st) if st.wq == c.wq_index);
+            if is_probe {
+                assert!(c.status.is_ok(), "GET probe failed: {:?}", c.status);
+                self.on_probe_reply(api);
+            }
+        }
+        self.m.on_completions(api, &comps);
+
+        loop {
+            // Harvest a PUT ack if one is in.
+            if self.awaiting_ack {
+                match self.m.try_recv(api, self.server) {
+                    Ok(RecvPoll::Message(ack)) => {
+                        assert_eq!(ack.len(), 8, "ack is the echoed key");
+                        self.report.borrow_mut().put_acks += 1;
+                        self.awaiting_ack = false;
+                    }
+                    Ok(RecvPoll::Pending) => return Step::WaitCq(self.m.qp()),
+                    Ok(RecvPoll::Empty) => {
+                        self.m.flush_credits(api, self.server);
+                        let (addr, len) = self.m.recv_watch(self.server);
+                        return Step::WaitCqOrMemory { qp: self.qp, addr, len };
+                    }
+                    Err(_) => return Step::WaitCq(self.qp),
+                }
+            }
+            if self.current.is_some() {
+                return Step::WaitCq(self.qp);
+            }
+            // Interleave PUTs among GETs.
+            let want_put = self.puts_done < self.cfg.puts_per_client
+                && (self.gets_done + 1).is_multiple_of(10);
+            if want_put {
+                let key = 1 + self.rng.below(self.cfg.preload);
+                let value = value_of(key);
+                let mut msg = key.to_le_bytes().to_vec();
+                msg.extend_from_slice(&value);
+                match self.m.try_send(api, self.server, &msg) {
+                    Ok(()) => {
+                        self.puts_done += 1;
+                        self.awaiting_ack = true;
+                        continue;
+                    }
+                    Err(MsgError::NoCredit) => {
+                        let (addr, len) = self.m.credit_watch(self.server);
+                        return Step::WaitCqOrMemory { qp: self.qp, addr, len };
+                    }
+                    Err(_) => return Step::WaitCq(self.qp),
+                }
+            }
+            if !self.start_next_get(api) {
+                if self.puts_done < self.cfg.puts_per_client {
+                    // All GETs done; flush remaining PUTs.
+                    self.gets_done = self.cfg.gets_per_client; // stay here
+                    let key = 1 + self.rng.below(self.cfg.preload);
+                    let value = value_of(key);
+                    let mut msg = key.to_le_bytes().to_vec();
+                    msg.extend_from_slice(&value);
+                    match self.m.try_send(api, self.server, &msg) {
+                        Ok(()) => {
+                            self.puts_done += 1;
+                            self.awaiting_ack = true;
+                            continue;
+                        }
+                        Err(_) => return Step::WaitCq(self.qp),
+                    }
+                }
+                if self.gets_done > 0 {
+                    self.report.borrow_mut().mean_get_ns =
+                        self.lat_sum_ns / self.gets_done as f64;
+                }
+                return Step::Done;
+            }
+        }
+    }
+}
+
+/// Runs the store with one server (node 0) and `clients` client nodes.
+///
+/// Returns per-client reports.
+///
+/// # Panics
+///
+/// Panics on setup failure or workload deadlock (run never completing).
+pub fn run(clients: usize, cfg: &KvStoreConfig) -> Vec<KvClientReport> {
+    assert!(clients >= 1, "need at least one client");
+    let nodes = clients + 1;
+    let msg_cfg = MsgConfig::hardware();
+    let seg_len = TABLE_BASE + cfg.buckets * BUCKET_BYTES + msg_cfg.region_bytes(nodes);
+    let mut system = SystemBuilder::simulated_hardware(nodes)
+        .segment_len(seg_len)
+        .build();
+    let server = NodeId(0);
+    preload_table(&mut system, server, cfg);
+
+    let msg_base = TABLE_BASE + cfg.buckets * BUCKET_BYTES;
+    let server_qp = system.create_qp(server, 0);
+    let total_puts = cfg.puts_per_client as u64 * clients as u64;
+    system.spawn(
+        server,
+        0,
+        Box::new(KvServer {
+            m: Messenger::new(msg_cfg, server_qp, server, nodes, msg_base),
+            clients: (1..=clients).map(|c| NodeId(c as u16)).collect(),
+            expected_puts: total_puts,
+            applied: 0,
+            buckets: cfg.buckets,
+        }),
+    );
+
+    let mut reports = Vec::new();
+    for c in 1..=clients {
+        let node = NodeId(c as u16);
+        let qp = system.create_qp(node, 0);
+        let report = Rc::new(RefCell::new(KvClientReport::default()));
+        reports.push(report.clone());
+        system.spawn(
+            node,
+            0,
+            Box::new(KvClient {
+                qp,
+                m: Messenger::new(msg_cfg, qp, node, nodes, msg_base),
+                server,
+                cfg: *cfg,
+                rng: DetRng::seed(cfg.seed ^ c as u64),
+                buf: VAddr::new(0),
+                gets_done: 0,
+                puts_done: 0,
+                awaiting_ack: false,
+                current: None,
+                get_started: SimTime::ZERO,
+                lat_sum_ns: 0.0,
+                report,
+            }),
+        );
+    }
+    system.run();
+    reports
+        .into_iter()
+        .map(|r| Rc::try_unwrap(r).expect("process finished").into_inner())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_codec_roundtrip() {
+        let v = value_of(42);
+        let line = encode_bucket(42, &v);
+        assert_eq!(decode_bucket(&line), (42, v));
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_spread() {
+        assert_eq!(hash_key(7), hash_key(7));
+        let distinct: std::collections::HashSet<u64> =
+            (0..1000).map(|k| hash_key(k) % 4096).collect();
+        assert!(distinct.len() > 700, "poor spread: {}", distinct.len());
+    }
+
+    #[test]
+    fn single_client_gets_and_puts() {
+        let cfg = KvStoreConfig {
+            gets_per_client: 50,
+            puts_per_client: 5,
+            preload: 256,
+            ..Default::default()
+        };
+        let reports = run(1, &cfg);
+        let r = &reports[0];
+        assert_eq!(r.hits + r.misses, 50);
+        assert!(r.hits > 20, "expected mostly hits: {r:?}");
+        assert_eq!(r.put_acks, 5);
+        assert_eq!(r.corrupt, 0, "one-sided reads must see consistent values");
+        // One-sided GETs complete in sub-microsecond territory.
+        assert!(
+            r.mean_get_ns < 1500.0,
+            "mean GET latency {} ns",
+            r.mean_get_ns
+        );
+    }
+
+    #[test]
+    fn multiple_clients_share_the_server() {
+        let cfg = KvStoreConfig {
+            gets_per_client: 30,
+            puts_per_client: 3,
+            preload: 128,
+            ..Default::default()
+        };
+        let reports = run(3, &cfg);
+        assert_eq!(reports.len(), 3);
+        for r in &reports {
+            assert_eq!(r.hits + r.misses, 30);
+            assert_eq!(r.put_acks, 3);
+            assert_eq!(r.corrupt, 0);
+        }
+    }
+}

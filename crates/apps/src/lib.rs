@@ -1,0 +1,23 @@
+//! Applications from the soNUMA evaluation (§7.5) and motivation (§2.1).
+//!
+//! * [`graph`] — CSR graphs, a deterministic R-MAT generator (the stand-in
+//!   for the Twitter crawl \[29\], which is not redistributable; R-MAT
+//!   reproduces the skewed degree distribution that drives the partition
+//!   imbalance the paper identifies as the speedup limiter), and the naive
+//!   random equal-cardinality vertex partitioner the paper uses.
+//! * [`pagerank`] — the three Bulk-Synchronous-Processing PageRank
+//!   implementations of §7.5: `SHM(pthreads)` on one cache-coherent
+//!   multicore, `soNUMA(bulk)` with per-peer shuffle reads, and
+//!   `soNUMA(fine-grain)` with one asynchronous remote read per
+//!   cross-partition edge (the Fig. 4 programming model).
+//! * [`kvstore`] — a Pilaf-style key-value store: GETs are one-sided remote
+//!   reads with linear probing; PUTs go through the messaging library to
+//!   the server core (§2.1, §8 "killer applications").
+
+pub mod graph;
+pub mod kvstore;
+pub mod pagerank;
+
+pub use graph::{Graph, GraphConfig, Partition};
+pub use kvstore::{KvClientReport, KvStoreConfig};
+pub use pagerank::{PagerankConfig, PagerankResult, Variant};

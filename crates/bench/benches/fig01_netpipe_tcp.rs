@@ -1,0 +1,21 @@
+//! Criterion wrapper for Figure 1: prints the Netpipe/TCP sweep, then
+//! benchmarks the model evaluation itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let rows = sonuma_bench::fig01::run();
+    sonuma_bench::fig01::print(&rows);
+    sonuma_bench::fig01::check(&rows);
+
+    let mut g = c.benchmark_group("fig01");
+    g.sample_size(20);
+    g.bench_function("netpipe_sweep", |b| {
+        b.iter(|| black_box(sonuma_bench::fig01::run()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

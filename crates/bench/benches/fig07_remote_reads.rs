@@ -1,0 +1,37 @@
+//! Criterion wrapper for Figure 7: prints the remote-read latency and
+//! bandwidth sweeps on both platforms, then benchmarks representative
+//! single points (simulator wall-clock regression tracking).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sonuma_bench::fig07::{self, Platform};
+use sonuma_bench::workloads::{run_async_read, run_sync_read, READ_REGION_BYTES};
+use sonuma_core::SystemBuilder;
+use std::hint::black_box;
+
+fn system() -> sonuma_core::SonumaSystem {
+    SystemBuilder::simulated_hardware(2)
+        .segment_len(READ_REGION_BYTES + 4096)
+        .build()
+}
+
+fn bench(c: &mut Criterion) {
+    let lat_hw = fig07::latency(Platform::SimulatedHardware);
+    fig07::print_latency(Platform::SimulatedHardware, &lat_hw);
+    let bw = fig07::bandwidth(Platform::SimulatedHardware);
+    fig07::print_bandwidth(&bw);
+    let lat_dev = fig07::latency(Platform::DevPlatform);
+    fig07::print_latency(Platform::DevPlatform, &lat_dev);
+
+    let mut g = c.benchmark_group("fig07");
+    g.sample_size(10);
+    g.bench_function("sync_read_64B", |b| {
+        b.iter(|| black_box(run_sync_read(&mut system(), 64, false)))
+    });
+    g.bench_function("async_read_stream_8KB", |b| {
+        b.iter(|| black_box(run_async_read(&mut system(), 8192, false)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

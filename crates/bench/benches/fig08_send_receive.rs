@@ -1,0 +1,42 @@
+//! Criterion wrapper for Figure 8: prints the send/receive latency and
+//! bandwidth sweeps (thresholds 0 / infinity / tuned) on both platforms,
+//! then benchmarks one ping-pong point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sonuma_bench::fig07::Platform;
+use sonuma_bench::fig08;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let lat = fig08::latency(Platform::SimulatedHardware);
+    fig08::print(
+        "Figure 8a: send/receive latency (sim'd HW)",
+        "paper: 340 ns minimum; optimal threshold 256 B",
+        "us",
+        &lat,
+    );
+    let bw = fig08::bandwidth(Platform::SimulatedHardware);
+    fig08::print(
+        "Figure 8b: send/receive bandwidth (sim'd HW)",
+        "paper: >10 Gbps at 4 KB; push flattens on per-packet cost",
+        "Gbps",
+        &bw,
+    );
+    let lat_dev = fig08::latency(Platform::DevPlatform);
+    fig08::print(
+        "Figure 8c: send/receive latency (dev platform)",
+        "paper: 1.4 us minimum; optimal threshold 1 KB",
+        "us",
+        &lat_dev,
+    );
+
+    let mut g = c.benchmark_group("fig08");
+    g.sample_size(10);
+    g.bench_function("pingpong_64B_tuned", |b| {
+        b.iter(|| black_box(fig08::half_duplex(Platform::SimulatedHardware, 256, 64)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion wrapper for Figure 9: prints the PageRank speedup panels,
+//! then benchmarks a small multi-node superstep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sonuma_apps::graph::{Graph, GraphConfig};
+use sonuma_apps::pagerank::{self, PagerankConfig, Variant};
+use std::hint::black_box;
+use std::rc::Rc;
+
+fn bench(c: &mut Criterion) {
+    // Smaller sweep than gen-figures so `cargo bench` stays responsive;
+    // run `gen-figures fig9` for the full panels.
+    let left = sonuma_bench::fig09::run(8192, &[2, 4, 8], false);
+    sonuma_bench::fig09::print("Figure 9 (left): PageRank speedup, sim'd HW", &left);
+    let right = sonuma_bench::fig09::run(4096, &[2, 4, 8, 16], true);
+    sonuma_bench::fig09::print("Figure 9 (right): PageRank speedup, dev platform", &right);
+
+    let graph = Rc::new(Graph::rmat(&GraphConfig::social(2048, 9)));
+    let cfg = PagerankConfig::default();
+    let mut g = c.benchmark_group("fig09");
+    g.sample_size(10);
+    g.bench_function("bulk_superstep_4nodes", |b| {
+        b.iter(|| black_box(pagerank::run(Variant::Bulk, 4, &graph, &cfg).total_time))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

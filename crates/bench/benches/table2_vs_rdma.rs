@@ -1,0 +1,19 @@
+//! Criterion wrapper for Table 2: prints the three-way comparison, then
+//! benchmarks the full comparison pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sonuma_bench::table2;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cols = table2::run();
+    table2::print(&cols);
+
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("full_comparison", |b| b.iter(|| black_box(table2::run())));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

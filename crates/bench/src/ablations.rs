@@ -1,0 +1,137 @@
+//! Ablation sweeps over the RMC design points the paper calls out (§4.3,
+//! §8): the CT$ lookaside, MAQ depth, unroll initiation interval, fabric
+//! topology, and WQ poll cadence.
+
+use sonuma_core::{SimTime, SystemBuilder};
+use sonuma_fabric::FabricConfig;
+
+use crate::workloads::{run_async_read, run_sync_read, READ_REGION_BYTES};
+
+/// One ablation data point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Human-readable setting.
+    pub setting: String,
+    /// 64 B read latency.
+    pub latency: SimTime,
+    /// 8 KB single-sided bandwidth, Gbps.
+    pub gbps: f64,
+}
+
+fn measure(tune: impl Fn(&mut sonuma_core::MachineConfig) + Copy) -> Point {
+    let build = || {
+        SystemBuilder::simulated_hardware(2)
+            .segment_len(READ_REGION_BYTES + 4096)
+            .tune(tune)
+            .build()
+    };
+    let latency = run_sync_read(&mut build(), 64, false);
+    let (gbps, _) = run_async_read(&mut build(), 8192, false);
+    Point {
+        setting: String::new(),
+        latency,
+        gbps,
+    }
+}
+
+/// CT$ enabled vs. disabled (every RRPP request pays the CT fetch).
+pub fn ct_cache() -> Vec<Point> {
+    [0usize, 8]
+        .iter()
+        .map(|&entries| {
+            let mut p = measure(move |c| c.rmc.ct_cache_entries = entries);
+            p.setting = format!("CT$ entries = {entries}");
+            p
+        })
+        .collect()
+}
+
+/// MAQ depth sweep: fewer slots throttle the RMC's memory-level
+/// parallelism and thus streaming bandwidth.
+pub fn maq_depth() -> Vec<Point> {
+    [2usize, 8, 32]
+        .iter()
+        .map(|&entries| {
+            let mut p = measure(move |c| c.rmc.maq_entries = entries);
+            p.setting = format!("MAQ entries = {entries}");
+            p
+        })
+        .collect()
+}
+
+/// Unroll initiation interval: hardware (1 ns) vs. progressively more
+/// software-like unrolling — the dev platform's bottleneck (§7.2).
+pub fn unroll_interval() -> Vec<Point> {
+    [1u64, 20, 270]
+        .iter()
+        .map(|&ns| {
+            let mut p = measure(move |c| c.rmc.unroll_interval = SimTime::from_ns(ns));
+            p.setting = format!("unroll interval = {ns} ns");
+            p
+        })
+        .collect()
+}
+
+/// Crossbar (Table 1) vs. 2D torus (the rack-scale option of §3/§6) at the
+/// same node count.
+pub fn topology() -> Vec<Point> {
+    let mut crossbar = measure(|_| {});
+    crossbar.setting = "crossbar, 50 ns".into();
+    let mut torus = measure(|c| c.fabric = FabricConfig::torus2d(2, 1));
+    torus.setting = "2x1 torus, 15 ns/hop".into();
+    vec![crossbar, torus]
+}
+
+/// WQ poll cadence: the RGP's detection latency contribution.
+pub fn poll_interval() -> Vec<Point> {
+    [2u64, 10, 100]
+        .iter()
+        .map(|&ns| {
+            let mut p = measure(move |c| c.rmc.poll_interval = SimTime::from_ns(ns));
+            p.setting = format!("poll interval = {ns} ns");
+            p
+        })
+        .collect()
+}
+
+/// Prints one ablation group.
+pub fn print(title: &str, points: &[Point]) {
+    println!("\n=== Ablation: {title} ===");
+    println!("{:<28} {:>14} {:>14}", "setting", "64B lat(ns)", "8KB BW(Gbps)");
+    for p in points {
+        println!(
+            "{:<28} {:>14.1} {:>14.1}",
+            p.setting,
+            p.latency.as_ns_f64(),
+            p.gbps
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maq_depth_throttles_bandwidth() {
+        let points = maq_depth();
+        assert!(
+            points[0].gbps < points[2].gbps * 0.7,
+            "2-entry MAQ must bottleneck streaming: {:?}",
+            points.iter().map(|p| p.gbps).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn software_unrolling_kills_bandwidth() {
+        let points = unroll_interval();
+        assert!(points[2].gbps < 3.0, "270 ns unrolling ~ dev platform");
+        assert!(points[0].gbps > 30.0, "hardware unrolling sustains DRAM-class BW");
+    }
+
+    #[test]
+    fn slower_polling_adds_latency() {
+        let points = poll_interval();
+        assert!(points[2].latency > points[0].latency);
+    }
+}

@@ -1,0 +1,151 @@
+//! Regenerates every table and figure of the soNUMA evaluation.
+//!
+//! ```text
+//! cargo run -p sonuma-bench --bin gen-figures --release
+//! ```
+//!
+//! Pass subset names (`table1 fig1 fig7 fig8 fig9 table2 ablations`) to
+//! print only some; add `--csv <dir>` to also save plottable CSV files.
+
+use std::path::PathBuf;
+
+use sonuma_bench::fig07::Platform;
+use sonuma_bench::report::{cell, CsvTable};
+use sonuma_bench::{ablations, fig01, fig07, fig08, fig09, table1, table2};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let csv_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .map(|i| {
+            let dir = args.get(i + 1).expect("--csv needs a directory").clone();
+            args.drain(i..=i + 1);
+            PathBuf::from(dir)
+        });
+    let save = |name: &str, table: &CsvTable| {
+        if let Some(dir) = &csv_dir {
+            let path = table.save(dir, name).expect("write CSV");
+            eprintln!("wrote {}", path.display());
+        }
+    };
+    let all = args.is_empty();
+    let want = |name: &str| all || args.iter().any(|a| a == name);
+
+    if want("table1") {
+        table1::print();
+    }
+    if want("fig1") {
+        let rows = fig01::run();
+        fig01::print(&rows);
+        let mut t = CsvTable::new(&["size_bytes", "latency_us", "bandwidth_gbps"]);
+        for r in &rows {
+            t.row(&[r.size.to_string(), cell(r.latency.as_us_f64()), cell(r.gbps)]);
+        }
+        save("fig01_netpipe_tcp", &t);
+    }
+    if want("fig7") {
+        let lat_hw = fig07::latency(Platform::SimulatedHardware);
+        fig07::print_latency(Platform::SimulatedHardware, &lat_hw);
+        let bw = fig07::bandwidth(Platform::SimulatedHardware);
+        fig07::print_bandwidth(&bw);
+        let lat_dev = fig07::latency(Platform::DevPlatform);
+        fig07::print_latency(Platform::DevPlatform, &lat_dev);
+
+        for (name, rows) in [("fig07a_latency_hw", &lat_hw), ("fig07c_latency_dev", &lat_dev)] {
+            let mut t = CsvTable::new(&["size_bytes", "single_us", "double_us"]);
+            for r in rows {
+                t.row(&[
+                    r.size.to_string(),
+                    cell(r.single.as_us_f64()),
+                    cell(r.double.as_us_f64()),
+                ]);
+            }
+            save(name, &t);
+        }
+        let mut t = CsvTable::new(&["size_bytes", "single_gbps", "double_gbps", "mops"]);
+        for r in &bw {
+            t.row(&[
+                r.size.to_string(),
+                cell(r.single_gbps),
+                cell(r.double_gbps),
+                cell(r.iops / 1e6),
+            ]);
+        }
+        save("fig07b_bandwidth_hw", &t);
+    }
+    if want("fig8") {
+        let lat = fig08::latency(Platform::SimulatedHardware);
+        fig08::print(
+            "Figure 8a: send/receive latency (sim'd HW)",
+            "paper: 340 ns minimum; optimal threshold 256 B",
+            "us",
+            &lat,
+        );
+        let bw = fig08::bandwidth(Platform::SimulatedHardware);
+        fig08::print(
+            "Figure 8b: send/receive bandwidth (sim'd HW)",
+            "paper: >10 Gbps at 4 KB; push flattens on per-packet cost",
+            "Gbps",
+            &bw,
+        );
+        let lat_dev = fig08::latency(Platform::DevPlatform);
+        fig08::print(
+            "Figure 8c: send/receive latency (dev platform)",
+            "paper: 1.4 us minimum; optimal threshold 1 KB",
+            "us",
+            &lat_dev,
+        );
+        for (name, rows) in [
+            ("fig08a_msg_latency_hw", &lat),
+            ("fig08b_msg_bandwidth_hw", &bw),
+            ("fig08c_msg_latency_dev", &lat_dev),
+        ] {
+            let mut t = CsvTable::new(&["size_bytes", "pull_only", "push_only", "tuned"]);
+            for r in rows {
+                t.row(&[
+                    r.size.to_string(),
+                    cell(r.pull_only),
+                    cell(r.push_only),
+                    cell(r.tuned),
+                ]);
+            }
+            save(name, &t);
+        }
+    }
+    if want("fig9") {
+        let left = fig09::run(16_384, &[2, 4, 8], false);
+        fig09::print("Figure 9 (left): PageRank speedup, sim'd HW", &left);
+        let right = fig09::run(8_192, &[2, 4, 8, 16], true);
+        fig09::print("Figure 9 (right): PageRank speedup, dev platform", &right);
+        for (name, fig) in [("fig09_left_hw", &left), ("fig09_right_dev", &right)] {
+            let mut t = CsvTable::new(&["nodes", "shm", "bulk", "fine_grain"]);
+            for r in &fig.rows {
+                t.row(&[r.parallelism.to_string(), cell(r.shm), cell(r.bulk), cell(r.fine)]);
+            }
+            save(name, &t);
+        }
+    }
+    if want("table2") {
+        let cols = table2::run();
+        table2::print(&cols);
+        let mut t = CsvTable::new(&["transport", "max_bw_gbps", "read_rtt_us", "fetch_add_us", "mops"]);
+        for c in &cols {
+            t.row(&[
+                c.name.to_string(),
+                cell(c.max_bw_gbps),
+                cell(c.read_rtt.as_us_f64()),
+                cell(c.fetch_add.as_us_f64()),
+                cell(c.mops),
+            ]);
+        }
+        save("table2_vs_rdma", &t);
+    }
+    if want("ablations") {
+        ablations::print("CT$", &ablations::ct_cache());
+        ablations::print("MAQ depth", &ablations::maq_depth());
+        ablations::print("unroll initiation interval", &ablations::unroll_interval());
+        ablations::print("fabric topology", &ablations::topology());
+        ablations::print("WQ poll cadence", &ablations::poll_interval());
+    }
+}

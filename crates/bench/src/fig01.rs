@@ -1,0 +1,60 @@
+//! Figure 1: Netpipe benchmark on a Calxeda microserver (TCP/IP baseline).
+
+use sonuma_baselines::TcpStack;
+use sonuma_sim::SimTime;
+
+/// One row of the Fig. 1 sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Request size in bytes.
+    pub size: u64,
+    /// Half-duplex latency.
+    pub latency: SimTime,
+    /// Streaming bandwidth in Gbps.
+    pub gbps: f64,
+}
+
+/// Runs the Netpipe sweep over the commodity stack.
+pub fn run() -> Vec<Row> {
+    let tcp = TcpStack::calxeda();
+    let sizes: Vec<u64> = (0..=20).map(|i| 1u64 << i).collect(); // 1 B .. 1 MB
+    tcp.netpipe_sweep(&sizes)
+        .into_iter()
+        .map(|(size, latency, gbps)| Row { size, latency, gbps })
+        .collect()
+}
+
+/// Prints the figure with the paper's headline numbers alongside.
+pub fn print(rows: &[Row]) {
+    println!("\n=== Figure 1: Netpipe over TCP/IP on Calxeda (baseline) ===");
+    println!("paper: >40 us small-message latency; <2 Gbps peak bandwidth");
+    println!("{:>10} {:>14} {:>12}", "size(B)", "latency(us)", "bw(Gbps)");
+    for r in rows {
+        println!(
+            "{:>10} {:>14.1} {:>12.3}",
+            r.size,
+            r.latency.as_us_f64(),
+            r.gbps
+        );
+    }
+}
+
+/// Asserts the paper's qualitative claims (used by tests and CI).
+pub fn check(rows: &[Row]) {
+    let small = rows.iter().find(|r| r.size == 64).expect("64 B row");
+    assert!(small.latency.as_us_f64() > 40.0, "small-message latency");
+    let peak = rows.iter().map(|r| r.gbps).fold(0.0f64, f64::max);
+    assert!(peak < 2.2, "bandwidth plateau {peak}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig01_matches_paper_shape() {
+        let rows = run();
+        assert_eq!(rows.len(), 21);
+        check(&rows);
+    }
+}

@@ -1,0 +1,176 @@
+//! Figure 7: remote read latency and bandwidth on both platforms.
+//!
+//! * 7a — synchronous read latency vs. request size, simulated hardware,
+//!   single- and double-sided (paper: ~300 ns at 64 B, within 4x of local
+//!   DRAM).
+//! * 7b — asynchronous read bandwidth (paper: 10 M ops/s at 64 B;
+//!   9.6 GB/s ≈ 77 Gbps at 8 KB; double-sided doubles it).
+//! * 7c — latency on the development platform (paper: 1.5 µs base, rising
+//!   steeply with size as RMCemu unrolls in software).
+
+use sonuma_core::{SimTime, SystemBuilder};
+
+use crate::workloads::{run_async_read, run_sync_read, READ_REGION_BYTES};
+use crate::SWEEP_SIZES;
+
+/// Which platform preset to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Platform {
+    /// Cycle-approximate hardware model (Table 1).
+    SimulatedHardware,
+    /// RMCemu-style software RMC (§7.1).
+    DevPlatform,
+}
+
+fn builder(platform: Platform) -> SystemBuilder {
+    let b = match platform {
+        Platform::SimulatedHardware => SystemBuilder::simulated_hardware(2),
+        Platform::DevPlatform => SystemBuilder::dev_platform(2),
+    };
+    b.segment_len(READ_REGION_BYTES + 4096).qp_entries(64)
+}
+
+/// One latency row.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyRow {
+    /// Request size in bytes.
+    pub size: u64,
+    /// Single-sided steady-state latency.
+    pub single: SimTime,
+    /// Double-sided steady-state latency.
+    pub double: SimTime,
+}
+
+/// One bandwidth row.
+#[derive(Debug, Clone, Copy)]
+pub struct BandwidthRow {
+    /// Request size in bytes.
+    pub size: u64,
+    /// Single-sided aggregate bandwidth, Gbps.
+    pub single_gbps: f64,
+    /// Double-sided aggregate bandwidth, Gbps.
+    pub double_gbps: f64,
+    /// Single-sided operation rate, ops/s.
+    pub iops: f64,
+}
+
+/// Figs. 7a/7c: the latency sweep on `platform`.
+pub fn latency(platform: Platform) -> Vec<LatencyRow> {
+    SWEEP_SIZES
+        .iter()
+        .map(|&size| {
+            let single = run_sync_read(&mut builder(platform).build(), size, false);
+            let double = run_sync_read(&mut builder(platform).build(), size, true);
+            LatencyRow { size, single, double }
+        })
+        .collect()
+}
+
+/// Fig. 7b: the bandwidth sweep on `platform`.
+pub fn bandwidth(platform: Platform) -> Vec<BandwidthRow> {
+    SWEEP_SIZES
+        .iter()
+        .map(|&size| {
+            let (single_gbps, iops) = run_async_read(&mut builder(platform).build(), size, false);
+            let (double_gbps, _) = run_async_read(&mut builder(platform).build(), size, true);
+            BandwidthRow {
+                size,
+                single_gbps,
+                double_gbps,
+                iops,
+            }
+        })
+        .collect()
+}
+
+/// Prints Fig. 7a or 7c.
+pub fn print_latency(platform: Platform, rows: &[LatencyRow]) {
+    let (name, paper) = match platform {
+        Platform::SimulatedHardware => (
+            "Figure 7a: remote read latency (sim'd HW)",
+            "paper: ~300 ns @64 B (~4x local DRAM); double-sided worse at large sizes",
+        ),
+        Platform::DevPlatform => (
+            "Figure 7c: remote read latency (dev platform)",
+            "paper: ~1.5 us base, rising steeply with request size",
+        ),
+    };
+    println!("\n=== {name} ===");
+    println!("{paper}");
+    println!("{:>10} {:>16} {:>16}", "size(B)", "single(us)", "double(us)");
+    for r in rows {
+        println!(
+            "{:>10} {:>16.3} {:>16.3}",
+            r.size,
+            r.single.as_us_f64(),
+            r.double.as_us_f64()
+        );
+    }
+}
+
+/// Prints Fig. 7b.
+pub fn print_bandwidth(rows: &[BandwidthRow]) {
+    println!("\n=== Figure 7b: remote read bandwidth (sim'd HW) ===");
+    println!("paper: 10M ops/s @64 B; ~77 Gbps (9.6 GB/s) @8 KB; double-sided ~2x");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14}",
+        "size(B)", "single(Gbps)", "double(Gbps)", "Mops/s"
+    );
+    for r in rows {
+        println!(
+            "{:>10} {:>14.2} {:>14.2} {:>14.2}",
+            r.size,
+            r.single_gbps,
+            r.double_gbps,
+            r.iops / 1e6
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_64b_is_about_4x_local_dram() {
+        let rows = latency(Platform::SimulatedHardware);
+        let r64 = rows[0];
+        let ns = r64.single.as_ns_f64();
+        // Local DRAM is ~65 ns in the model; the paper claims ~4x.
+        assert!(
+            (200.0..450.0).contains(&ns),
+            "64 B single-sided latency {ns} ns"
+        );
+    }
+
+    #[test]
+    fn dev_platform_latency_grows_with_unrolling() {
+        let rows = latency(Platform::DevPlatform);
+        let first = rows[0].single.as_us_f64();
+        let last = rows.last().unwrap().single.as_us_f64();
+        assert!((1.2..2.2).contains(&first), "dev 64 B latency {first} us");
+        assert!(last > first * 10.0, "unrolling dominates: {last} vs {first}");
+    }
+
+    #[test]
+    fn bandwidth_shape_matches_7b() {
+        let rows = bandwidth(Platform::SimulatedHardware);
+        let r64 = rows[0];
+        assert!(
+            (7.0..14.0).contains(&(r64.iops / 1e6)),
+            "64 B issue rate {} Mops",
+            r64.iops / 1e6
+        );
+        let r8k = rows.last().unwrap();
+        assert!(
+            (60.0..85.0).contains(&r8k.single_gbps),
+            "8 KB single-sided {} Gbps (paper ~77)",
+            r8k.single_gbps
+        );
+        let doubling = r8k.double_gbps / r8k.single_gbps;
+        assert!(
+            (1.6..2.2).contains(&doubling),
+            "double-sided scaling {doubling}"
+        );
+    }
+}

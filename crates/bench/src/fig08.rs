@@ -1,0 +1,416 @@
+//! Figure 8: send/receive performance of the software messaging library
+//! (§5.3), sweeping the push/pull threshold.
+//!
+//! * 8a — half-duplex ping-pong latency on the simulated hardware; the
+//!   paper reports a 340 ns minimum and finds 256 B the best threshold.
+//! * 8b — streaming bandwidth; push flattens (per-packet posting cost),
+//!   pull scales with size.
+//! * 8c — the development platform, where the best threshold grows to
+//!   1 KB.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use sonuma_core::{
+    drain_completions, AppProcess, Messenger, MsgConfig, MsgError, NodeApi, NodeId, RecvPoll,
+    SimTime, Step, SystemBuilder, Wake,
+};
+
+use crate::fig07::Platform;
+use crate::workloads::Shared;
+use crate::SWEEP_SIZES;
+
+fn message_pattern(k: u32, size: usize) -> Vec<u8> {
+    (0..size).map(|i| (k as usize * 31 + i * 7) as u8).collect()
+}
+
+fn system(platform: Platform) -> sonuma_core::SonumaSystem {
+    let b = match platform {
+        Platform::SimulatedHardware => SystemBuilder::simulated_hardware(2),
+        Platform::DevPlatform => SystemBuilder::dev_platform(2),
+    };
+    b.segment_len(8 << 20).qp_entries(256).build()
+}
+
+fn msg_config(platform: Platform, threshold: u64) -> MsgConfig {
+    let base = match platform {
+        Platform::SimulatedHardware => MsgConfig::hardware(),
+        Platform::DevPlatform => MsgConfig::dev_platform(),
+    };
+    base.with_threshold(threshold)
+}
+
+// ---------------------------------------------------------------------
+// Ping-pong (latency).
+// ---------------------------------------------------------------------
+
+struct Pinger {
+    m: Messenger,
+    peer: NodeId,
+    rounds: u32,
+    warmup: u32,
+    size: usize,
+    current: u32,
+    sent_current: bool,
+    t_send: SimTime,
+    sum_ps: u64,
+    out: Shared<SimTime>,
+}
+
+impl AppProcess for Pinger {
+    fn wake(&mut self, api: &mut NodeApi<'_>, why: Wake) -> Step {
+        if matches!(why, Wake::Start) {
+            self.m.init(api).unwrap();
+        }
+        let comps = drain_completions(api, &why, self.m.qp());
+        self.m.on_completions(api, &comps);
+        loop {
+            if self.current == self.rounds {
+                let measured = (self.rounds - self.warmup) as u64;
+                *self.out.borrow_mut() = SimTime::from_ps(self.sum_ps / measured / 2);
+                return Step::Done;
+            }
+            if !self.sent_current {
+                let data = message_pattern(self.current, self.size);
+                self.t_send = api.now();
+                match self.m.try_send(api, self.peer, &data) {
+                    Ok(()) => self.sent_current = true,
+                    Err(_) => return Step::WaitCq(self.m.qp()),
+                }
+            }
+            match self.m.try_recv(api, self.peer).unwrap() {
+                RecvPoll::Message(v) => {
+                    debug_assert_eq!(v.len(), self.size);
+                    if self.current >= self.warmup {
+                        self.sum_ps += (api.now() - self.t_send).as_ps();
+                    }
+                    self.current += 1;
+                    self.sent_current = false;
+                }
+                RecvPoll::Pending => return Step::WaitCq(self.m.qp()),
+                RecvPoll::Empty => {
+                    self.m.flush_credits(api, self.peer);
+                    // While one of our pushes is still window-limited, the
+                    // event that unblocks progress is the peer's credit
+                    // write, not the next inbound packet.
+                    let (addr, len) = if self.m.all_sent() {
+                        self.m.recv_watch(self.peer)
+                    } else {
+                        self.m.credit_watch(self.peer)
+                    };
+                    return Step::WaitCqOrMemory { qp: self.m.qp(), addr, len };
+                }
+            }
+        }
+    }
+}
+
+struct Echoer {
+    m: Messenger,
+    peer: NodeId,
+    rounds: u32,
+    echoed: u32,
+    held: Option<Vec<u8>>,
+}
+
+impl AppProcess for Echoer {
+    fn wake(&mut self, api: &mut NodeApi<'_>, why: Wake) -> Step {
+        if matches!(why, Wake::Start) {
+            self.m.init(api).unwrap();
+        }
+        let comps = drain_completions(api, &why, self.m.qp());
+        self.m.on_completions(api, &comps);
+        loop {
+            if self.echoed == self.rounds && self.held.is_none() {
+                if !self.m.all_sent() {
+                    return Step::WaitCq(self.m.qp());
+                }
+                return Step::Done;
+            }
+            if let Some(data) = self.held.take() {
+                match self.m.try_send(api, self.peer, &data) {
+                    Ok(()) => {
+                        self.echoed += 1;
+                        continue;
+                    }
+                    Err(_) => {
+                        self.held = Some(data);
+                        return Step::WaitCq(self.m.qp());
+                    }
+                }
+            }
+            match self.m.try_recv(api, self.peer).unwrap() {
+                RecvPoll::Message(v) => self.held = Some(v),
+                RecvPoll::Pending => return Step::WaitCq(self.m.qp()),
+                RecvPoll::Empty => {
+                    self.m.flush_credits(api, self.peer);
+                    // While one of our pushes is still window-limited, the
+                    // event that unblocks progress is the peer's credit
+                    // write, not the next inbound packet.
+                    let (addr, len) = if self.m.all_sent() {
+                        self.m.recv_watch(self.peer)
+                    } else {
+                        self.m.credit_watch(self.peer)
+                    };
+                    return Step::WaitCqOrMemory { qp: self.m.qp(), addr, len };
+                }
+            }
+        }
+    }
+}
+
+/// Measures half-duplex latency for one (platform, threshold, size) point.
+pub fn half_duplex(platform: Platform, threshold: u64, size: usize) -> SimTime {
+    let mut system = system(platform);
+    let cfg = msg_config(platform, threshold);
+    let qp0 = system.create_qp(NodeId(0), 0);
+    let qp1 = system.create_qp(NodeId(1), 0);
+    let out: Shared<SimTime> = Rc::new(RefCell::new(SimTime::ZERO));
+    system.spawn(
+        NodeId(0),
+        0,
+        Box::new(Pinger {
+            m: Messenger::new(cfg, qp0, NodeId(0), 2, 0),
+            peer: NodeId(1),
+            rounds: 12,
+            warmup: 4,
+            size,
+            current: 0,
+            sent_current: false,
+            t_send: SimTime::ZERO,
+            sum_ps: 0,
+            out: out.clone(),
+        }),
+    );
+    system.spawn(
+        NodeId(1),
+        0,
+        Box::new(Echoer {
+            m: Messenger::new(cfg, qp1, NodeId(1), 2, 0),
+            peer: NodeId(0),
+            rounds: 12,
+            echoed: 0,
+            held: None,
+        }),
+    );
+    system.run();
+    let t = *out.borrow();
+    t
+}
+
+// ---------------------------------------------------------------------
+// Streaming (bandwidth).
+// ---------------------------------------------------------------------
+
+struct StreamSender {
+    m: Messenger,
+    to: NodeId,
+    count: u32,
+    size: usize,
+    sent: u32,
+}
+
+impl AppProcess for StreamSender {
+    fn wake(&mut self, api: &mut NodeApi<'_>, why: Wake) -> Step {
+        if matches!(why, Wake::Start) {
+            self.m.init(api).unwrap();
+        }
+        let comps = drain_completions(api, &why, self.m.qp());
+        self.m.on_completions(api, &comps);
+        loop {
+            if self.sent == self.count {
+                if !self.m.all_sent() {
+                    let (addr, len) = self.m.credit_watch(self.to);
+                    return Step::WaitCqOrMemory { qp: self.m.qp(), addr, len };
+                }
+                return Step::Done;
+            }
+            let data = message_pattern(self.sent, self.size);
+            match self.m.try_send(api, self.to, &data) {
+                Ok(()) => self.sent += 1,
+                Err(MsgError::NoCredit) => {
+                    let (addr, len) = self.m.credit_watch(self.to);
+                    return Step::WaitCqOrMemory { qp: self.m.qp(), addr, len };
+                }
+                Err(MsgError::Backpressure) => return Step::WaitCq(self.m.qp()),
+                Err(e) => panic!("send failed: {e}"),
+            }
+        }
+    }
+}
+
+struct StreamReceiver {
+    m: Messenger,
+    from: NodeId,
+    count: u32,
+    got: u32,
+    bytes: u64,
+    finished: Shared<(SimTime, u64)>,
+}
+
+impl AppProcess for StreamReceiver {
+    fn wake(&mut self, api: &mut NodeApi<'_>, why: Wake) -> Step {
+        if matches!(why, Wake::Start) {
+            self.m.init(api).unwrap();
+        }
+        let comps = drain_completions(api, &why, self.m.qp());
+        self.m.on_completions(api, &comps);
+        loop {
+            if self.got == self.count {
+                self.m.flush_credits(api, self.from);
+                *self.finished.borrow_mut() = (api.now(), self.bytes);
+                return Step::Done;
+            }
+            match self.m.try_recv(api, self.from).unwrap() {
+                RecvPoll::Message(v) => {
+                    self.bytes += v.len() as u64;
+                    self.got += 1;
+                }
+                RecvPoll::Pending => return Step::WaitCq(self.m.qp()),
+                RecvPoll::Empty => {
+                    self.m.flush_credits(api, self.from);
+                    let (addr, len) = self.m.recv_watch(self.from);
+                    return Step::WaitCqOrMemory { qp: self.m.qp(), addr, len };
+                }
+            }
+        }
+    }
+}
+
+/// Measures streaming bandwidth (Gbps) for one (platform, threshold, size)
+/// point.
+pub fn streaming_gbps(platform: Platform, threshold: u64, size: usize) -> f64 {
+    let mut sys = system(platform);
+    let cfg = msg_config(platform, threshold);
+    let count: u32 = ((2 << 20) / size.max(1)).clamp(32, 2000) as u32;
+    let qp0 = sys.create_qp(NodeId(0), 0);
+    let qp1 = sys.create_qp(NodeId(1), 0);
+    let finished: Shared<(SimTime, u64)> = Rc::new(RefCell::new((SimTime::ZERO, 0)));
+    sys.spawn(
+        NodeId(0),
+        0,
+        Box::new(StreamSender {
+            m: Messenger::new(cfg, qp0, NodeId(0), 2, 0),
+            to: NodeId(1),
+            count,
+            size,
+            sent: 0,
+        }),
+    );
+    sys.spawn(
+        NodeId(1),
+        0,
+        Box::new(StreamReceiver {
+            m: Messenger::new(cfg, qp1, NodeId(1), 2, 0),
+            from: NodeId(0),
+            count,
+            got: 0,
+            bytes: 0,
+            finished: finished.clone(),
+        }),
+    );
+    sys.run();
+    let (t, bytes) = *finished.borrow();
+    sonuma_sim::stats::gbps(bytes, t)
+}
+
+// ---------------------------------------------------------------------
+// Sweeps and printing.
+// ---------------------------------------------------------------------
+
+/// One row of the Fig. 8 sweep: the three threshold policies.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Message size in bytes.
+    pub size: u64,
+    /// Pull-only policy (threshold = 0).
+    pub pull_only: f64,
+    /// Push-only policy (threshold = infinity).
+    pub push_only: f64,
+    /// The platform's tuned threshold (256 B / 1 KB).
+    pub tuned: f64,
+}
+
+/// Fig. 8a/8c: latency sweep (values in µs).
+pub fn latency(platform: Platform) -> Vec<Row> {
+    let tuned = match platform {
+        Platform::SimulatedHardware => 256,
+        Platform::DevPlatform => 1024,
+    };
+    SWEEP_SIZES
+        .iter()
+        .map(|&size| Row {
+            size,
+            pull_only: half_duplex(platform, 0, size as usize).as_us_f64(),
+            push_only: half_duplex(platform, u64::MAX, size as usize).as_us_f64(),
+            tuned: half_duplex(platform, tuned, size as usize).as_us_f64(),
+        })
+        .collect()
+}
+
+/// Fig. 8b: bandwidth sweep (values in Gbps).
+pub fn bandwidth(platform: Platform) -> Vec<Row> {
+    let tuned = match platform {
+        Platform::SimulatedHardware => 256,
+        Platform::DevPlatform => 1024,
+    };
+    SWEEP_SIZES
+        .iter()
+        .map(|&size| Row {
+            size,
+            pull_only: streaming_gbps(platform, 0, size as usize),
+            push_only: streaming_gbps(platform, u64::MAX, size as usize),
+            tuned: streaming_gbps(platform, tuned, size as usize),
+        })
+        .collect()
+}
+
+/// Prints a latency or bandwidth sweep.
+pub fn print(title: &str, paper: &str, unit: &str, rows: &[Row]) {
+    println!("\n=== {title} ===");
+    println!("{paper}");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14}",
+        "size(B)",
+        format!("pull({unit})"),
+        format!("push({unit})"),
+        format!("tuned({unit})")
+    );
+    for r in rows {
+        println!(
+            "{:>10} {:>14.3} {:>14.3} {:>14.3}",
+            r.size, r.pull_only, r.push_only, r.tuned
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_message_latency_near_paper_minimum() {
+        let lat = half_duplex(Platform::SimulatedHardware, 256, 64);
+        let ns = lat.as_ns_f64();
+        assert!(
+            (250.0..700.0).contains(&ns),
+            "64 B half-duplex {ns:.0} ns; paper reports ~340 ns minimum"
+        );
+    }
+
+    #[test]
+    fn push_beats_pull_below_threshold_and_loses_above() {
+        let small_push = half_duplex(Platform::SimulatedHardware, u64::MAX, 64);
+        let small_pull = half_duplex(Platform::SimulatedHardware, 0, 64);
+        assert!(small_push < small_pull, "push wins small messages");
+        let big_push = streaming_gbps(Platform::SimulatedHardware, u64::MAX, 8192);
+        let big_pull = streaming_gbps(Platform::SimulatedHardware, 0, 8192);
+        assert!(big_pull > big_push * 2.0, "pull wins large transfers");
+    }
+
+    #[test]
+    fn tuned_bandwidth_exceeds_10gbps_at_4kb() {
+        let bw = streaming_gbps(Platform::SimulatedHardware, 256, 4096);
+        assert!(bw > 10.0, "4 KB tuned bandwidth {bw} Gbps (paper: >10)");
+    }
+}

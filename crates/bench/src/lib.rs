@@ -1,0 +1,31 @@
+//! Benchmark harness: regenerates every table and figure of the soNUMA
+//! evaluation (§7).
+//!
+//! Each module exposes a `run()` returning structured rows plus a
+//! `print()` that renders them next to the paper's reported values. The
+//! `gen-figures` binary prints everything; the criterion benches under
+//! `benches/` wrap the same functions.
+//!
+//! | Module | Reproduces |
+//! |---|---|
+//! | [`fig01`] | Fig. 1 — Netpipe over TCP/IP on Calxeda |
+//! | [`fig07`] | Fig. 7 — remote read latency/bandwidth, both platforms |
+//! | [`fig08`] | Fig. 8 — send/receive latency/bandwidth, thresholds |
+//! | [`fig09`] | Fig. 9 — PageRank speedup, three implementations |
+//! | [`table1`] | Table 1 — simulation parameters |
+//! | [`table2`] | Table 2 — soNUMA vs. RDMA/InfiniBand |
+//! | [`ablations`] | design-point sweeps (CT$, MAQ, unrolling, topology) |
+
+pub mod ablations;
+pub mod fig01;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod report;
+pub mod table1;
+pub mod table2;
+pub mod workloads;
+
+/// Request sizes swept by the microbenchmarks (64 B .. 8 KB, as in
+/// Figs. 7-8).
+pub const SWEEP_SIZES: [u64; 8] = [64, 128, 256, 512, 1024, 2048, 4096, 8192];

@@ -1,0 +1,107 @@
+//! CSV emission for the figure harnesses, so results can be plotted with
+//! any external tool (`gen-figures --csv <dir>`).
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A simple CSV table: header plus rows of stringified cells.
+#[derive(Debug, Clone, Default)]
+pub struct CsvTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// Creates a table with the given column names.
+    pub fn new(header: &[&str]) -> Self {
+        CsvTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "ragged CSV row");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV text.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the table to `<dir>/<name>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, dir: &Path, name: &str) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut f = fs::File::create(&path)?;
+        f.write_all(self.to_csv().as_bytes())?;
+        Ok(path)
+    }
+}
+
+/// Formats a float with enough precision for plotting.
+pub fn cell(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = CsvTable::new(&["size", "latency_ns"]);
+        assert!(t.is_empty());
+        t.row(&["64".into(), cell(350.25)]);
+        t.row(&["128".into(), cell(353.0)]);
+        assert_eq!(t.len(), 2);
+        let csv = t.to_csv();
+        assert_eq!(csv, "size,latency_ns\n64,350.2500\n128,353.0000\n");
+    }
+
+    #[test]
+    fn save_writes_a_file() {
+        let dir = std::env::temp_dir().join("sonuma_csv_test");
+        let mut t = CsvTable::new(&["a"]);
+        t.row(&["1".into()]);
+        let path = t.save(&dir, "probe").unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(back, "a\n1\n");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let mut t = CsvTable::new(&["a", "b"]);
+        t.row(&["1".into()]);
+    }
+}

@@ -1,0 +1,56 @@
+//! Table 1: system parameters of the simulated hardware platform.
+
+use sonuma_core::MachineConfig;
+
+/// Renders Table 1 from the live configuration (so the printed table can
+/// never drift from what the simulator actually uses).
+pub fn print() {
+    let c = MachineConfig::simulated_hardware(2);
+    let h = &c.hierarchy;
+    println!("\n=== Table 1: system parameters (from the live configuration) ===");
+    println!(
+        "{:<10} {}",
+        "Core",
+        "ARM Cortex-A15-like cost model, 2 GHz (paper: 64-bit, OoO, 3-wide)"
+    );
+    println!(
+        "{:<10} split I/D {} KB {}-way, 64-byte blocks, {:.1}-ns tag+data",
+        "L1",
+        h.l1_geometry.size_bytes() / 1024,
+        h.l1_geometry.ways(),
+        h.l1_latency.as_ns_f64()
+    );
+    println!(
+        "{:<10} {} MB, {}-way, {:.1}-ns latency",
+        "L2",
+        h.l2_geometry.size_bytes() / (1024 * 1024),
+        h.l2_geometry.ways(),
+        h.l2_latency.as_ns_f64()
+    );
+    println!(
+        "{:<10} {:.0}-ns latency, {:.1} GB/s peak ({}% sustained), 8 KB pages",
+        "Memory",
+        h.dram.access_latency.as_ns_f64(),
+        h.dram.peak_bytes_per_sec as f64 / 1e9,
+        (h.dram.efficiency * 100.0) as u32
+    );
+    println!(
+        "{:<10} 3 pipelines (RGP, RCP, RRPP), {}-entry MAQ, {}-entry TLB, {}-entry CT$",
+        "RMC", c.rmc.maq_entries, c.rmc.tlb_entries, c.rmc.ct_cache_entries
+    );
+    println!(
+        "{:<10} {:?} with {:.0}-ns inter-node delay, {} credits/lane",
+        "Fabric",
+        c.fabric.topology,
+        c.fabric.hop_latency.as_ns_f64(),
+        c.fabric.credits_per_lane
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn print_does_not_panic() {
+        super::print();
+    }
+}

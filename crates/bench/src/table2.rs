@@ -1,0 +1,128 @@
+//! Table 2: soNUMA (development platform and simulated hardware) versus
+//! RDMA over InfiniBand.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use sonuma_baselines::RdmaFabric;
+use sonuma_core::{NodeId, SimTime, SystemBuilder};
+
+use crate::fig07::Platform;
+use crate::workloads::{run_async_read, run_sync_read, AtomicPinger, LatencyOut, READ_REGION_BYTES};
+
+/// One column of Table 2.
+#[derive(Debug, Clone)]
+pub struct Column {
+    /// Transport name.
+    pub name: &'static str,
+    /// Peak read bandwidth, Gbps.
+    pub max_bw_gbps: f64,
+    /// 64 B read round trip.
+    pub read_rtt: SimTime,
+    /// Remote fetch-and-add latency.
+    pub fetch_add: SimTime,
+    /// Small-operation rate, Mops/s (soNUMA: one QP, one core; RDMA: four).
+    pub mops: f64,
+}
+
+fn sonuma_column(platform: Platform, name: &'static str) -> Column {
+    let build = || {
+        let b = match platform {
+            Platform::SimulatedHardware => SystemBuilder::simulated_hardware(2),
+            Platform::DevPlatform => SystemBuilder::dev_platform(2),
+        };
+        b.segment_len(READ_REGION_BYTES + 4096).qp_entries(64).build()
+    };
+    let read_rtt = run_sync_read(&mut build(), 64, false);
+    let (max_bw_gbps, _) = run_async_read(&mut build(), 8192, false);
+    let (_, iops) = run_async_read(&mut build(), 64, false);
+
+    // Fetch-and-add microbenchmark.
+    let mut system = build();
+    let out: Rc<RefCell<LatencyOut>> = Rc::new(RefCell::new(LatencyOut::default()));
+    let qp = system.create_qp(NodeId(0), 0);
+    system.spawn(
+        NodeId(0),
+        0,
+        Box::new(AtomicPinger::new(qp, NodeId(1), 4, 12, out.clone())),
+    );
+    system.run();
+    let fetch_add = out.borrow().mean;
+
+    Column {
+        name,
+        max_bw_gbps,
+        read_rtt,
+        fetch_add,
+        mops: iops / 1e6,
+    }
+}
+
+fn rdma_column() -> Column {
+    let ib = RdmaFabric::connectx3();
+    Column {
+        name: "RDMA/IB (ConnectX-3)",
+        max_bw_gbps: ib.read_bandwidth_gbps(1 << 20, 4),
+        read_rtt: ib.read_latency(64),
+        fetch_add: ib.fetch_add_latency(),
+        mops: ib.iops(4) / 1e6,
+    }
+}
+
+/// Produces all three columns.
+pub fn run() -> Vec<Column> {
+    vec![
+        sonuma_column(Platform::DevPlatform, "soNUMA dev platform"),
+        sonuma_column(Platform::SimulatedHardware, "soNUMA sim'd HW"),
+        rdma_column(),
+    ]
+}
+
+/// Prints the table with the paper's values alongside.
+pub fn print(cols: &[Column]) {
+    println!("\n=== Table 2: soNUMA vs RDMA/InfiniBand ===");
+    println!("paper:   BW(Gbps) 1.8 / 77 / 50 | RTT(us) 1.5 / 0.3 / 1.19 | F&A(us) 1.5 / 0.3 / 1.15 | Mops 1.97 / 10.9 / 35@4cores");
+    println!(
+        "{:<24} {:>12} {:>12} {:>12} {:>10}",
+        "transport", "maxBW(Gbps)", "readRTT(us)", "f&a(us)", "Mops/s"
+    );
+    for c in cols {
+        println!(
+            "{:<24} {:>12.1} {:>12.2} {:>12.2} {:>10.2}",
+            c.name,
+            c.max_bw_gbps,
+            c.read_rtt.as_us_f64(),
+            c.fetch_add.as_us_f64(),
+            c.mops
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_ordering_matches_paper() {
+        let cols = run();
+        let (dev, hw, ib) = (&cols[0], &cols[1], &cols[2]);
+        // Latency: sim'd HW << RDMA << dev platform.
+        assert!(hw.read_rtt < ib.read_rtt, "soNUMA beats RDMA on latency");
+        assert!(
+            ib.read_rtt.as_us_f64() / hw.read_rtt.as_us_f64() > 3.0,
+            "paper: ~4x latency advantage"
+        );
+        assert!(dev.read_rtt > ib.read_rtt, "emulation is slower than silicon");
+        // Bandwidth: sim'd HW saturates memory, above the PCIe-capped RDMA.
+        assert!(hw.max_bw_gbps > ib.max_bw_gbps);
+        assert!(dev.max_bw_gbps < 4.0, "dev platform ~1.8 Gbps");
+        // Atomics track reads on every platform (§7.4).
+        for c in cols.iter() {
+            let ratio = c.fetch_add.as_ns_f64() / c.read_rtt.as_ns_f64();
+            assert!((0.7..1.3).contains(&ratio), "{}: f&a/read = {ratio}", c.name);
+        }
+        // Per-core IOPS parity: both ~10 M (RDMA divides its 35 M over 4).
+        assert!((7.0..14.0).contains(&hw.mops), "sim'd HW {} Mops", hw.mops);
+        assert!((1.0..3.5).contains(&dev.mops), "dev platform {} Mops", dev.mops);
+    }
+}

@@ -1,0 +1,315 @@
+//! Reusable measurement processes for the microbenchmarks.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use sonuma_core::{
+    drain_completions, AppProcess, ApiError, NodeApi, NodeId, QpId, SimTime, SonumaSystem, Step,
+    VAddr, Wake,
+};
+
+/// Shared measurement cell.
+pub type Shared<T> = Rc<RefCell<T>>;
+
+/// Remote region the read microbenchmarks stride through; larger than the
+/// 4 MB LLC so repeated reads keep missing, per §7.2 ("the buffer size
+/// exceeds the LLC capacity in both setups").
+pub const READ_REGION_BYTES: u64 = 8 << 20;
+
+/// Outcome of a synchronous-read latency run.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyOut {
+    /// Mean steady-state latency over the measured repetitions.
+    pub mean: SimTime,
+    /// Repetitions measured (after warm-up).
+    pub measured: u32,
+}
+
+/// Issues synchronous remote reads of `size` bytes, striding through a
+/// large remote region; reports the mean latency of the post-warm-up reps.
+pub struct SyncReader {
+    qp: QpId,
+    peer: NodeId,
+    size: u64,
+    warmup: u32,
+    reps: u32,
+    completed: u32,
+    buf: VAddr,
+    posted_at: SimTime,
+    sum_ps: u64,
+    out: Shared<LatencyOut>,
+}
+
+impl SyncReader {
+    /// Creates a reader for `reps` measured reads after `warmup` unmeasured
+    /// ones.
+    pub fn new(qp: QpId, peer: NodeId, size: u64, warmup: u32, reps: u32, out: Shared<LatencyOut>) -> Self {
+        SyncReader {
+            qp,
+            peer,
+            size,
+            warmup,
+            reps,
+            completed: 0,
+            buf: VAddr::new(0),
+            posted_at: SimTime::ZERO,
+            sum_ps: 0,
+            out,
+        }
+    }
+
+    fn offset(&self) -> u64 {
+        (self.completed as u64 * self.size) % (READ_REGION_BYTES - self.size)
+    }
+
+    fn post(&mut self, api: &mut NodeApi<'_>) {
+        self.posted_at = api.now();
+        let off = self.offset() / 64 * 64;
+        api.post_read(self.qp, self.peer, sonuma_core::DEFAULT_CTX, off, self.buf, self.size)
+            .expect("sync read post");
+    }
+}
+
+impl AppProcess for SyncReader {
+    fn wake(&mut self, api: &mut NodeApi<'_>, why: Wake) -> Step {
+        match why {
+            Wake::Start => {
+                self.buf = api.heap_alloc(self.size).unwrap();
+                self.post(api);
+                Step::WaitCq(self.qp)
+            }
+            Wake::CqReady(comps) => {
+                assert_eq!(comps.len(), 1, "synchronous issue");
+                assert!(comps[0].status.is_ok());
+                let rtt = api.now() - self.posted_at;
+                if self.completed >= self.warmup {
+                    self.sum_ps += rtt.as_ps();
+                }
+                self.completed += 1;
+                if self.completed == self.warmup + self.reps {
+                    let mut o = self.out.borrow_mut();
+                    o.mean = SimTime::from_ps(self.sum_ps / self.reps as u64);
+                    o.measured = self.reps;
+                    return Step::Done;
+                }
+                self.post(api);
+                Step::WaitCq(self.qp)
+            }
+            other => panic!("unexpected wake {other:?}"),
+        }
+    }
+}
+
+/// Outcome of an asynchronous streaming run.
+#[derive(Debug, Clone, Default)]
+pub struct StreamOut {
+    /// Payload bytes moved by measured operations.
+    pub bytes: u64,
+    /// Operations completed.
+    pub ops: u64,
+    /// First measured post time.
+    pub started: SimTime,
+    /// Last completion time.
+    pub finished: SimTime,
+}
+
+impl StreamOut {
+    /// Achieved bandwidth in Gbps.
+    pub fn gbps(&self) -> f64 {
+        sonuma_sim::stats::gbps(self.bytes, self.finished.saturating_sub(self.started))
+    }
+
+    /// Achieved operation rate (ops/s).
+    pub fn ops_per_sec(&self) -> f64 {
+        sonuma_sim::stats::ops_per_sec(self.ops, self.finished.saturating_sub(self.started))
+    }
+}
+
+/// Issues pipelined asynchronous remote reads (the Fig. 4 issue loop):
+/// keeps the WQ as full as possible until `target` operations complete.
+pub struct AsyncReader {
+    qp: QpId,
+    peer: NodeId,
+    size: u64,
+    target: u64,
+    issued: u64,
+    completed: u64,
+    lbuf: VAddr,
+    out: Shared<StreamOut>,
+}
+
+impl AsyncReader {
+    /// Creates a reader that completes `target` reads of `size` bytes.
+    pub fn new(qp: QpId, peer: NodeId, size: u64, target: u64, out: Shared<StreamOut>) -> Self {
+        AsyncReader {
+            qp,
+            peer,
+            size,
+            target,
+            issued: 0,
+            completed: 0,
+            lbuf: VAddr::new(0),
+            out,
+        }
+    }
+
+    fn pump(&mut self, api: &mut NodeApi<'_>) -> Step {
+        while self.issued < self.target {
+            let off = (self.issued * self.size) % (READ_REGION_BYTES - self.size) / 64 * 64;
+            let slot = api.next_wq_index(self.qp) as u64;
+            let buf = VAddr::new(self.lbuf.raw() + slot * self.size);
+            match api.post_read(self.qp, self.peer, sonuma_core::DEFAULT_CTX, off, buf, self.size) {
+                Ok(_) => {
+                    if self.issued == 0 {
+                        self.out.borrow_mut().started = api.now();
+                    }
+                    self.issued += 1;
+                }
+                Err(ApiError::WqFull) => return Step::WaitCq(self.qp),
+                Err(e) => panic!("async post failed: {e}"),
+            }
+        }
+        if self.completed < self.target {
+            return Step::WaitCq(self.qp);
+        }
+        Step::Done
+    }
+}
+
+impl AppProcess for AsyncReader {
+    fn wake(&mut self, api: &mut NodeApi<'_>, why: Wake) -> Step {
+        if matches!(why, Wake::Start) {
+            self.lbuf = api
+                .heap_alloc(api.qp_capacity(self.qp) as u64 * self.size)
+                .unwrap();
+        }
+        let comps = drain_completions(api, &why, self.qp);
+        let callback = api.software().callback_cost;
+        for c in &comps {
+            assert!(c.status.is_ok());
+            api.compute(callback); // per-request software overhead (§7.5)
+            self.completed += 1;
+            let mut o = self.out.borrow_mut();
+            o.ops += 1;
+            o.bytes += self.size;
+            o.finished = api.now();
+        }
+        self.pump(api)
+    }
+}
+
+/// Issues synchronous remote fetch-and-adds; reports mean latency
+/// (Table 2's atomic row).
+pub struct AtomicPinger {
+    qp: QpId,
+    peer: NodeId,
+    warmup: u32,
+    reps: u32,
+    completed: u32,
+    buf: VAddr,
+    posted_at: SimTime,
+    sum_ps: u64,
+    out: Shared<LatencyOut>,
+}
+
+impl AtomicPinger {
+    /// Creates a fetch-and-add pinger.
+    pub fn new(qp: QpId, peer: NodeId, warmup: u32, reps: u32, out: Shared<LatencyOut>) -> Self {
+        AtomicPinger {
+            qp,
+            peer,
+            warmup,
+            reps,
+            completed: 0,
+            buf: VAddr::new(0),
+            posted_at: SimTime::ZERO,
+            sum_ps: 0,
+            out,
+        }
+    }
+
+    fn post(&mut self, api: &mut NodeApi<'_>) {
+        self.posted_at = api.now();
+        api.post_fetch_add(self.qp, self.peer, sonuma_core::DEFAULT_CTX, 0, self.buf, 1)
+            .expect("fetch-add post");
+    }
+}
+
+impl AppProcess for AtomicPinger {
+    fn wake(&mut self, api: &mut NodeApi<'_>, why: Wake) -> Step {
+        match why {
+            Wake::Start => {
+                self.buf = api.heap_alloc(64).unwrap();
+                self.post(api);
+                Step::WaitCq(self.qp)
+            }
+            Wake::CqReady(comps) => {
+                assert!(comps[0].status.is_ok());
+                let rtt = api.now() - self.posted_at;
+                if self.completed >= self.warmup {
+                    self.sum_ps += rtt.as_ps();
+                }
+                self.completed += 1;
+                if self.completed == self.warmup + self.reps {
+                    let mut o = self.out.borrow_mut();
+                    o.mean = SimTime::from_ps(self.sum_ps / self.reps as u64);
+                    o.measured = self.reps;
+                    return Step::Done;
+                }
+                self.post(api);
+                Step::WaitCq(self.qp)
+            }
+            other => panic!("unexpected wake {other:?}"),
+        }
+    }
+}
+
+/// Spawns `SyncReader`s per `double_sided` and runs to completion,
+/// returning the node-0 reader's mean latency.
+pub fn run_sync_read(system: &mut SonumaSystem, size: u64, double_sided: bool) -> SimTime {
+    let out0: Shared<LatencyOut> = Rc::new(RefCell::new(LatencyOut::default()));
+    let qp0 = system.create_qp(NodeId(0), 0);
+    system.spawn(
+        NodeId(0),
+        0,
+        Box::new(SyncReader::new(qp0, NodeId(1), size, 4, 12, out0.clone())),
+    );
+    if double_sided {
+        let out1: Shared<LatencyOut> = Rc::new(RefCell::new(LatencyOut::default()));
+        let qp1 = system.create_qp(NodeId(1), 0);
+        system.spawn(
+            NodeId(1),
+            0,
+            Box::new(SyncReader::new(qp1, NodeId(0), size, 4, 12, out1)),
+        );
+    }
+    system.run();
+    let mean = out0.borrow().mean;
+    mean
+}
+
+/// Spawns `AsyncReader`s per `double_sided` and runs to completion,
+/// returning aggregate achieved bandwidth in Gbps and node-0 ops/s.
+pub fn run_async_read(system: &mut SonumaSystem, size: u64, double_sided: bool) -> (f64, f64) {
+    let ops = (READ_REGION_BYTES / 2 / size).clamp(512, 16_384);
+    let out0: Shared<StreamOut> = Rc::new(RefCell::new(StreamOut::default()));
+    let qp0 = system.create_qp(NodeId(0), 0);
+    system.spawn(
+        NodeId(0),
+        0,
+        Box::new(AsyncReader::new(qp0, NodeId(1), size, ops, out0.clone())),
+    );
+    let out1: Shared<StreamOut> = Rc::new(RefCell::new(StreamOut::default()));
+    if double_sided {
+        let qp1 = system.create_qp(NodeId(1), 0);
+        system.spawn(
+            NodeId(1),
+            0,
+            Box::new(AsyncReader::new(qp1, NodeId(0), size, ops, out1.clone())),
+        );
+    }
+    system.run();
+    let gbps = out0.borrow().gbps() + if double_sided { out1.borrow().gbps() } else { 0.0 };
+    let iops = out0.borrow().ops_per_sec();
+    (gbps, iops)
+}

@@ -1,0 +1,164 @@
+//! Barrier synchronization (§5.3): "each participating node broadcasts the
+//! arrival at a barrier by issuing a write to an agreed upon offset on each
+//! of its peers. The nodes then poll locally until all of them reach the
+//! barrier."
+//!
+//! The flag array lives at a fixed offset in every node's context segment:
+//! slot `p` holds the latest round number node `p` has arrived at. Rounds
+//! are monotone counters, so flags never need clearing and a stale wake-up
+//! is harmless.
+
+use sonuma_machine::{ApiError, NodeApi};
+use sonuma_memory::VAddr;
+use sonuma_protocol::{NodeId, QpId};
+
+use crate::DEFAULT_CTX;
+
+const SLOT_BYTES: u64 = 64;
+
+/// A reusable N-party barrier over one-sided writes.
+///
+/// Protocol per round: [`Barrier::arrive`] stores the round number into the
+/// local flag and remote-writes it into every peer's flag slot for this
+/// node; the caller then polls [`Barrier::ready`] (blocking on
+/// [`Barrier::watch`] between polls) until all peers' flags reach the
+/// round.
+#[derive(Debug)]
+pub struct Barrier {
+    qp: QpId,
+    me: usize,
+    nodes: usize,
+    /// Offset of the flag array within every node's context segment.
+    region_base: u64,
+    round: u64,
+    scratch: Option<VAddr>,
+    segment_base: u64,
+}
+
+impl Barrier {
+    /// Creates a barrier endpoint for node `me` of `nodes`, flags at
+    /// `region_base` in every segment.
+    pub fn new(qp: QpId, me: NodeId, nodes: usize, region_base: u64) -> Self {
+        Barrier {
+            qp,
+            me: me.index(),
+            nodes,
+            region_base,
+            round: 0,
+            scratch: None,
+            segment_base: 0,
+        }
+    }
+
+    /// Segment bytes the barrier needs per node.
+    pub fn region_bytes(nodes: usize) -> u64 {
+        nodes as u64 * SLOT_BYTES
+    }
+
+    /// The current round (completed barriers).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Allocates the scratch line; call once on `Wake::Start`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failures.
+    pub fn init(&mut self, api: &mut NodeApi<'_>) -> Result<(), ApiError> {
+        self.scratch = Some(api.heap_alloc(SLOT_BYTES)?);
+        self.segment_base = api.ctx_base(DEFAULT_CTX).raw();
+        Ok(())
+    }
+
+    fn flag_va(&self, node: usize) -> VAddr {
+        VAddr::new(self.segment_base + self.region_base + node as u64 * SLOT_BYTES)
+    }
+
+    /// Announces arrival at the next barrier: bumps the round, stores the
+    /// local flag, and posts one remote write per peer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates posting failures ([`ApiError::WqFull`] if the QP cannot
+    /// hold `nodes - 1` writes — size rings accordingly).
+    pub fn arrive(&mut self, api: &mut NodeApi<'_>) -> Result<(), ApiError> {
+        let scratch = self.scratch.ok_or(ApiError::BadQp)?;
+        self.round += 1;
+        // Local flag: plain store (the coherence hierarchy handles it).
+        api.local_store_u64(self.flag_va(self.me), self.round)?;
+        // Broadcast. Round numbers are monotone, so one scratch line is
+        // safe even if a previous round's write is still awaiting
+        // injection: a peer can only ever observe a value >= the intended
+        // round, which is exactly the barrier predicate.
+        let mut line = [0u8; 64];
+        line[0..8].copy_from_slice(&self.round.to_le_bytes());
+        api.local_write(scratch, &line)?;
+        let my_flag_offset = self.region_base + self.me as u64 * SLOT_BYTES;
+        for peer in 0..self.nodes {
+            if peer == self.me {
+                continue;
+            }
+            api.post_write(
+                self.qp,
+                NodeId(peer as u16),
+                DEFAULT_CTX,
+                my_flag_offset,
+                scratch,
+                SLOT_BYTES,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Whether every participant has arrived at the current round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates local read faults.
+    pub fn ready(&self, api: &mut NodeApi<'_>) -> Result<bool, ApiError> {
+        for peer in 0..self.nodes {
+            if api.local_load_u64(self.flag_va(peer))? < self.round {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// The local flag range to pass to `Step::WaitMemory` while not
+    /// [`Barrier::ready`].
+    pub fn watch(&self) -> (VAddr, u64) {
+        (
+            self.flag_va(0),
+            self.nodes as u64 * SLOT_BYTES,
+        )
+    }
+
+    /// The QP used for arrival broadcasts (drain its CQ opportunistically).
+    pub fn qp(&self) -> QpId {
+        self.qp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_and_watch_cover_all_flags() {
+        let b = Barrier::new(QpId(0), NodeId(2), 8, 0);
+        assert_eq!(Barrier::region_bytes(8), 512);
+        let (_, len) = b.watch();
+        assert_eq!(len, 512);
+        assert_eq!(b.round(), 0);
+    }
+
+    #[test]
+    fn flag_slots_are_distinct() {
+        let b = Barrier::new(QpId(0), NodeId(0), 4, 1024);
+        let flags: Vec<_> = (0..4).map(|p| b.flag_va(p)).collect();
+        for w in flags.windows(2) {
+            assert_eq!(w[1].raw() - w[0].raw(), 64);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! All-reduce: a collective built purely from one-sided writes, in the
+//! spirit of the §5.3 libraries (the paper implements unsolicited
+//! communication and barriers in software and argues the minimal
+//! architectural op set is not a limitation — this module is further
+//! evidence).
+//!
+//! Protocol: the contribution array in every node's context segment has
+//! two *parity banks* of one cache line per participant. At round `r`,
+//! node `i` stores `(r, value)` into bank `r % 2`, slot `i`, locally and
+//! on every peer, then polls until all slots of that bank carry round
+//! `>= r`, and reduces locally. Double buffering makes overwrites safe: a
+//! node can only reach round `r + 2` (which reuses the bank) after every
+//! peer finished round `r + 1`, which implies they consumed round `r`.
+
+use sonuma_machine::{ApiError, NodeApi};
+use sonuma_memory::VAddr;
+use sonuma_protocol::{NodeId, QpId};
+
+use crate::DEFAULT_CTX;
+
+const SLOT_BYTES: u64 = 64;
+
+/// A reusable N-party sum all-reduce over one-sided writes.
+///
+/// Usage per round: [`AllReduce::start`] with this node's contribution,
+/// then poll [`AllReduce::poll`] (parking on [`AllReduce::watch`] between
+/// polls) until it yields the global sum.
+#[derive(Debug)]
+pub struct AllReduce {
+    qp: QpId,
+    me: usize,
+    nodes: usize,
+    region_base: u64,
+    round: u64,
+    scratch: Option<VAddr>,
+    segment_base: u64,
+}
+
+impl AllReduce {
+    /// Creates an endpoint for node `me` of `nodes`, with its region at
+    /// `region_base` in every node's segment.
+    pub fn new(qp: QpId, me: NodeId, nodes: usize, region_base: u64) -> Self {
+        AllReduce {
+            qp,
+            me: me.index(),
+            nodes,
+            region_base,
+            round: 0,
+            scratch: None,
+            segment_base: 0,
+        }
+    }
+
+    /// Segment bytes required per node (two parity banks).
+    pub fn region_bytes(nodes: usize) -> u64 {
+        2 * nodes as u64 * SLOT_BYTES
+    }
+
+    /// Completed rounds.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Allocates the scratch line; call once on `Wake::Start`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failures.
+    pub fn init(&mut self, api: &mut NodeApi<'_>) -> Result<(), ApiError> {
+        self.scratch = Some(api.heap_alloc(SLOT_BYTES)?);
+        self.segment_base = api.ctx_base(DEFAULT_CTX).raw();
+        Ok(())
+    }
+
+    fn slot_offset(&self, round: u64, node: usize) -> u64 {
+        let bank = round % 2;
+        self.region_base + (bank * self.nodes as u64 + node as u64) * SLOT_BYTES
+    }
+
+    fn slot_va(&self, round: u64, node: usize) -> VAddr {
+        VAddr::new(self.segment_base + self.slot_offset(round, node))
+    }
+
+    /// Opens the next round with this node's `value`: stores the local
+    /// slot and broadcasts it to every peer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates posting failures (size QPs for `nodes - 1` writes).
+    pub fn start(&mut self, api: &mut NodeApi<'_>, value: u64) -> Result<(), ApiError> {
+        let scratch = self.scratch.ok_or(ApiError::BadQp)?;
+        self.round += 1;
+        let mut line = [0u8; 64];
+        line[0..8].copy_from_slice(&self.round.to_le_bytes());
+        line[8..16].copy_from_slice(&value.to_le_bytes());
+        api.local_write(self.slot_va(self.round, self.me), &line)?;
+        api.local_write(scratch, &line)?;
+        let offset = self.slot_offset(self.round, self.me);
+        for peer in 0..self.nodes {
+            if peer == self.me {
+                continue;
+            }
+            api.post_write(self.qp, NodeId(peer as u16), DEFAULT_CTX, offset, scratch, SLOT_BYTES)?;
+        }
+        Ok(())
+    }
+
+    /// Returns the round's global sum once every contribution arrived.
+    ///
+    /// # Errors
+    ///
+    /// Propagates local read faults.
+    pub fn poll(&self, api: &mut NodeApi<'_>) -> Result<Option<u64>, ApiError> {
+        let mut sum = 0u64;
+        for node in 0..self.nodes {
+            let mut line = [0u8; 16];
+            api.local_read(self.slot_va(self.round, node), &mut line)?;
+            let round = u64::from_le_bytes(line[0..8].try_into().unwrap());
+            if round < self.round {
+                return Ok(None);
+            }
+            debug_assert_eq!(round, self.round, "bank reused before consumption");
+            sum = sum.wrapping_add(u64::from_le_bytes(line[8..16].try_into().unwrap()));
+        }
+        Ok(Some(sum))
+    }
+
+    /// The local range to pass to `Step::WaitMemory` while contributions
+    /// are outstanding.
+    pub fn watch(&self) -> (VAddr, u64) {
+        let bank = self.round % 2;
+        (
+            VAddr::new(self.segment_base + self.region_base + bank * self.nodes as u64 * SLOT_BYTES),
+            self.nodes as u64 * SLOT_BYTES,
+        )
+    }
+
+    /// The QP used for broadcasts (drain its CQ opportunistically).
+    pub fn qp(&self) -> QpId {
+        self.qp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_is_double_banked() {
+        assert_eq!(AllReduce::region_bytes(4), 512);
+        let a = AllReduce::new(QpId(0), NodeId(1), 4, 0);
+        // Banks alternate by round parity.
+        assert_ne!(a.slot_offset(1, 2), a.slot_offset(2, 2));
+        assert_eq!(a.slot_offset(1, 2), a.slot_offset(3, 2));
+        // Slots within a bank are distinct lines.
+        assert_eq!(a.slot_offset(1, 3) - a.slot_offset(1, 2), 64);
+    }
+
+    #[test]
+    fn watch_covers_current_bank() {
+        let mut a = AllReduce::new(QpId(0), NodeId(0), 4, 1024);
+        a.round = 1;
+        let (_, len) = a.watch();
+        assert_eq!(len, 256);
+    }
+}

@@ -1,0 +1,70 @@
+//! The soNUMA programming model (§5 of the paper).
+//!
+//! This crate is the user-facing layer of the reproduction:
+//!
+//! * [`SystemBuilder`] / [`SonumaSystem`] — assemble a cluster (platform
+//!   preset, topology, context segment), register queue pairs, spawn
+//!   application processes, and drive the simulation;
+//! * the **access library** is re-exported from `sonuma-machine`
+//!   ([`NodeApi`]): one-sided `post_read`/`post_write`/`post_fetch_add`/
+//!   `post_comp_swap` with CQ polling — the paper's `rmc_*_async` inline
+//!   functions (Fig. 4);
+//! * [`msg`] — the unsolicited communication library (§5.3): send/receive
+//!   built entirely in software over one-sided writes and reads, with the
+//!   **push** (packetized inline writes) and **pull** (descriptor + bulk
+//!   read) mechanisms and the compile-time threshold between them;
+//! * [`barrier`] — the barrier primitive (§5.3): each node broadcasts its
+//!   arrival with remote writes and polls locally until all peers arrive.
+//!
+//! # Example
+//!
+//! ```
+//! use sonuma_core::{SonumaSystem, SystemBuilder};
+//! use sonuma_protocol::NodeId;
+//!
+//! let mut system = SystemBuilder::simulated_hardware(2)
+//!     .segment_len(1 << 20)
+//!     .build();
+//! // Put data on node 1, readable by remote one-sided operations.
+//! system.write_ctx(NodeId(1), 0, b"hello, fabric");
+//! let mut back = [0u8; 13];
+//! system.read_ctx(NodeId(1), 0, &mut back);
+//! assert_eq!(&back, b"hello, fabric");
+//! ```
+
+pub mod barrier;
+pub mod collective;
+pub mod msg;
+pub mod system;
+
+pub use barrier::Barrier;
+pub use collective::AllReduce;
+pub use msg::{Messenger, MsgConfig, MsgError, RecvPoll};
+pub use system::{SonumaSystem, SystemBuilder};
+
+// Re-export the execution model so applications depend on one crate.
+pub use sonuma_machine::{
+    ApiError, AppProcess, Completion, MachineConfig, NodeApi, SoftwareTiming, Step, Wake,
+};
+pub use sonuma_memory::VAddr;
+pub use sonuma_protocol::{CtxId, NodeId, QpId, Status};
+pub use sonuma_sim::SimTime;
+
+/// The context id used by [`SystemBuilder`]-managed systems (one global
+/// address space per system, as in the paper's evaluation).
+pub const DEFAULT_CTX: CtxId = CtxId(0);
+
+/// Collects every completion available this wake-up: the ones delivered
+/// with [`Wake::CqReady`] plus any that raced in since (one fresh poll).
+///
+/// Call at the top of [`AppProcess::wake`] before driving a [`Messenger`]
+/// or any other CQ consumer — dropping the `CqReady` payload loses
+/// completions, because the wake-up path already drained the CQ ring.
+pub fn drain_completions(api: &mut NodeApi<'_>, why: &Wake, qp: QpId) -> Vec<Completion> {
+    let mut comps = match why {
+        Wake::CqReady(c) => c.clone(),
+        _ => Vec::new(),
+    };
+    comps.extend(api.poll_cq(qp));
+    comps
+}

@@ -1,0 +1,750 @@
+//! Unsolicited communication (§5.3): send/receive built purely in software
+//! over one-sided remote operations.
+//!
+//! Two mechanisms, exactly as the paper describes:
+//!
+//! * **push** — "the sender creates packets of predefined size, each
+//!   carrying a portion of the message content as part of the payload. It
+//!   then pushes the packets into the peer's buffer": every packet is one
+//!   cache-line `rmc_write` (16-byte header + up to 48 bytes of inline
+//!   payload) into a per-sender bounded buffer in the receiver's context
+//!   segment. Low latency for small messages; per-packet posting cost makes
+//!   it bandwidth-poor for large ones.
+//! * **pull** — "the sender only provides the base address and size ...
+//!   the receiver then pulls the content using a single `rmc_read` and
+//!   acknowledges the completion": the sender stages the payload in its own
+//!   segment and pushes a one-line descriptor; the receiver issues one bulk
+//!   read and releases the staging buffer with its credit update.
+//!
+//! A *threshold* selects push for messages at or below it and pull above —
+//! "at compile time, the user can define the boundary between the two
+//! mechanisms by setting a minimal message-size threshold". Flow control is
+//! a credit scheme: each channel is a ring of `slots` packet slots; the
+//! receiver advertises consumed packets by remotely writing a credit word
+//! in the sender's segment (batched every half window, and eagerly when a
+//! pull completes, since that also frees the sender's staging buffer).
+//!
+//! The messenger is plain application-level code: it owns no hardware and
+//! calls nothing the [`NodeApi`] does not expose — demonstrating the
+//! paper's claim that unsolicited communication needs no architectural
+//! support beyond one-sided reads and writes.
+
+use std::collections::{HashMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+use sonuma_machine::{ApiError, Completion, NodeApi};
+use sonuma_memory::VAddr;
+use sonuma_protocol::{CtxId, NodeId, QpId};
+
+use crate::DEFAULT_CTX;
+
+/// Inline payload bytes per push packet (64-byte line minus the header).
+pub const CHUNK_BYTES: usize = 48;
+
+const SLOT_BYTES: u64 = 64;
+const HDR_SEQ: usize = 0; // u64
+const HDR_KIND: usize = 8; // u8: 0 = fragment, 1 = pull descriptor
+const HDR_LAST: usize = 9; // u8 bool
+const HDR_CHUNK_LEN: usize = 10; // u16
+const HDR_TOTAL_LEN: usize = 12; // u32
+const HDR_CHUNK: usize = 16; // 48 bytes of inline payload
+const HDR_PULL_OFFSET: usize = 16; // u64 (descriptor only)
+
+/// Messaging-library configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MsgConfig {
+    /// Packet slots per directed channel (the credit window).
+    pub slots: usize,
+    /// Messages of `len <= threshold` go push; larger go pull.
+    /// `u64::MAX` disables pull; `0` disables push (used by Fig. 8's
+    /// threshold sweep).
+    pub threshold: u64,
+    /// Maximum message size (bounds the pull staging buffers).
+    pub max_msg_bytes: u64,
+}
+
+impl MsgConfig {
+    /// The simulated-hardware tuning: the paper finds 256 B optimal (§7.3).
+    pub fn hardware() -> Self {
+        MsgConfig {
+            slots: 16,
+            threshold: 256,
+            max_msg_bytes: 64 << 10,
+        }
+    }
+
+    /// The development-platform tuning: 1 KB threshold (§7.3).
+    pub fn dev_platform() -> Self {
+        MsgConfig {
+            slots: 16,
+            threshold: 1024,
+            max_msg_bytes: 64 << 10,
+        }
+    }
+
+    /// Override the push/pull threshold.
+    pub fn with_threshold(mut self, threshold: u64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Bytes of context segment the messenger needs per node, starting at
+    /// its region base.
+    pub fn region_bytes(&self, nodes: usize) -> u64 {
+        let n = nodes as u64;
+        let channels = n * self.slots as u64 * SLOT_BYTES;
+        let credits = n * SLOT_BYTES;
+        let staging = n * self.staging_bytes();
+        channels + credits + staging
+    }
+
+    fn staging_bytes(&self) -> u64 {
+        self.max_msg_bytes.div_ceil(SLOT_BYTES) * SLOT_BYTES
+    }
+}
+
+impl Default for MsgConfig {
+    fn default() -> Self {
+        Self::hardware()
+    }
+}
+
+/// Messaging errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgError {
+    /// The channel's credit window (or staging buffer) is exhausted; wait
+    /// on [`Messenger::credit_watch`] and retry.
+    NoCredit,
+    /// The local work queue is full; wait on the messenger's CQ and retry.
+    Backpressure,
+    /// Message exceeds `max_msg_bytes`.
+    TooBig,
+    /// The messenger was not initialized ([`Messenger::init`]).
+    NotInitialized,
+}
+
+impl fmt::Display for MsgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MsgError::NoCredit => write!(f, "send window exhausted, wait for credit"),
+            MsgError::Backpressure => write!(f, "work queue full, drain completions"),
+            MsgError::TooBig => write!(f, "message exceeds configured maximum"),
+            MsgError::NotInitialized => write!(f, "messenger not initialized"),
+        }
+    }
+}
+
+impl Error for MsgError {}
+
+/// Result of polling for a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecvPoll {
+    /// Nothing new on this channel.
+    Empty,
+    /// A pull is in flight; feed completions and poll again.
+    Pending,
+    /// A complete message.
+    Message(Vec<u8>),
+}
+
+#[derive(Debug)]
+struct PendingPush {
+    data: Vec<u8>,
+    next_packet: u64,
+    total_packets: u64,
+}
+
+#[derive(Debug)]
+struct SendChan {
+    /// Packets sent on this channel.
+    sent: u64,
+    /// Packets the receiver has advertised as fully consumed.
+    acked: u64,
+    /// Seq of the pull descriptor whose staging buffer is still in use
+    /// (0 = staging free). The buffer is released when `acked` reaches it:
+    /// the receiver only credits a descriptor after its bulk read finished.
+    staging_until_seq: u64,
+    /// A push message still has packets to emit (window/WQ limited).
+    pending: Option<PendingPush>,
+}
+
+#[derive(Debug)]
+enum PullState {
+    NeedPost { src_offset: u64, len: u64 },
+    Posted,
+}
+
+#[derive(Debug)]
+struct RecvChan {
+    /// Packets taken off the ring (ring progress; also the expected seq - 1).
+    taken: u64,
+    /// Packets whose resources are fully released (credit basis).
+    creditable: u64,
+    /// Credit value last advertised to the sender.
+    advertised: u64,
+    /// Partially assembled push message.
+    assembling: Vec<u8>,
+    expected_total: u64,
+    /// In-flight pull, if any.
+    pull: Option<PullState>,
+    /// Fully received messages awaiting the application.
+    ready: VecDeque<Vec<u8>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum OpKind {
+    PacketWrite,
+    CreditWrite,
+    PullRead { from: usize },
+}
+
+/// The per-process messaging endpoint.
+///
+/// Embed one in an [`sonuma_machine::AppProcess`]; call
+/// [`Messenger::init`] on `Wake::Start`, feed CQ completions to
+/// [`Messenger::on_completions`], and use `try_send`/`try_recv` plus the
+/// watch helpers to block.
+#[derive(Debug)]
+pub struct Messenger {
+    cfg: MsgConfig,
+    ctx: CtxId,
+    qp: QpId,
+    me: usize,
+    nodes: usize,
+    /// Segment offset where the messaging region begins (same on every
+    /// node).
+    region_base: u64,
+    send: Vec<SendChan>,
+    recv: Vec<RecvChan>,
+    pending: HashMap<u16, OpKind>,
+    scratch: Option<VAddr>,
+    /// Per-channel pull landing buffers: concurrent pulls from different
+    /// senders must not share a destination.
+    pull_bufs: Vec<Option<VAddr>>,
+    segment_base: u64,
+    /// Completed sends (packets acked end-to-end) — statistics.
+    pub packets_sent: u64,
+    /// Messages fully received — statistics.
+    pub messages_received: u64,
+}
+
+impl Messenger {
+    /// Creates an endpoint for node `me` of `nodes`, with its region at
+    /// `region_base` within every node's context segment.
+    pub fn new(cfg: MsgConfig, qp: QpId, me: NodeId, nodes: usize, region_base: u64) -> Self {
+        Messenger {
+            cfg,
+            ctx: DEFAULT_CTX,
+            qp,
+            me: me.index(),
+            nodes,
+            region_base,
+            send: (0..nodes)
+                .map(|_| SendChan {
+                    sent: 0,
+                    acked: 0,
+                    staging_until_seq: 0,
+                    pending: None,
+                })
+                .collect(),
+            recv: (0..nodes)
+                .map(|_| RecvChan {
+                    taken: 0,
+                    creditable: 0,
+                    advertised: 0,
+                    assembling: Vec::new(),
+                    expected_total: 0,
+                    pull: None,
+                    ready: VecDeque::new(),
+                })
+                .collect(),
+            pending: HashMap::new(),
+            scratch: None,
+            pull_bufs: vec![None; nodes],
+            segment_base: 0,
+            packets_sent: 0,
+            messages_received: 0,
+        }
+    }
+
+    /// The queue pair this messenger posts on (wait on its CQ for
+    /// [`MsgError::Backpressure`]).
+    pub fn qp(&self) -> QpId {
+        self.qp
+    }
+
+    /// Allocates scratch buffers; call once on `Wake::Start`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failures.
+    pub fn init(&mut self, api: &mut NodeApi<'_>) -> Result<(), ApiError> {
+        let ring = api.qp_capacity(self.qp) as u64 * SLOT_BYTES;
+        self.scratch = Some(api.heap_alloc(ring)?);
+        for peer in 0..self.nodes {
+            if peer != self.me {
+                self.pull_bufs[peer] = Some(api.heap_alloc(self.cfg.staging_bytes())?);
+            }
+        }
+        self.segment_base = api.ctx_base(self.ctx).raw();
+        Ok(())
+    }
+
+    // -- region layout -------------------------------------------------
+
+    fn channel_offset(&self, sender: usize) -> u64 {
+        self.region_base + sender as u64 * self.cfg.slots as u64 * SLOT_BYTES
+    }
+
+    fn credit_offset(&self, receiver: usize) -> u64 {
+        self.region_base
+            + self.nodes as u64 * self.cfg.slots as u64 * SLOT_BYTES
+            + receiver as u64 * SLOT_BYTES
+    }
+
+    fn staging_offset(&self, receiver: usize) -> u64 {
+        self.region_base
+            + self.nodes as u64 * self.cfg.slots as u64 * SLOT_BYTES
+            + self.nodes as u64 * SLOT_BYTES
+            + receiver as u64 * self.cfg.staging_bytes()
+    }
+
+    /// Local VA of the next slot we expect sender `from` to fill — the
+    /// range to pass to `Step::WaitMemory` when receive-blocking.
+    pub fn recv_watch(&self, from: NodeId) -> (VAddr, u64) {
+        let chan = &self.recv[from.index()];
+        let slot = chan.taken % self.cfg.slots as u64;
+        let va = self.segment_base + self.channel_offset(from.index()) + slot * SLOT_BYTES;
+        (VAddr::new(va), SLOT_BYTES)
+    }
+
+    /// Local VA of the credit word receiver `to` updates — the range to
+    /// watch when send-blocked on [`MsgError::NoCredit`].
+    pub fn credit_watch(&self, to: NodeId) -> (VAddr, u64) {
+        let va = self.segment_base + self.credit_offset(to.index());
+        (VAddr::new(va), SLOT_BYTES)
+    }
+
+    /// The entire inbound-channel region — the range a many-to-one
+    /// receiver (e.g. a server polling every client) watches so that a
+    /// packet from *any* sender wakes it.
+    pub fn recv_watch_all(&self) -> (VAddr, u64) {
+        (
+            VAddr::new(self.segment_base + self.region_base),
+            self.nodes as u64 * self.cfg.slots as u64 * SLOT_BYTES,
+        )
+    }
+
+    // -- sending --------------------------------------------------------
+
+    /// Attempts to send `data` to `to`, choosing push or pull by the
+    /// configured threshold.
+    ///
+    /// On `Ok(())` the message is *accepted in order*: small pushes are
+    /// fully posted; pushes larger than the available window are queued and
+    /// pumped incrementally as credits return (keep calling
+    /// [`Messenger::pump`] — or any messenger method — on wake-ups, and
+    /// check [`Messenger::all_sent`] before finishing).
+    ///
+    /// # Errors
+    ///
+    /// [`MsgError::NoCredit`] (wait on [`Messenger::credit_watch`]),
+    /// [`MsgError::Backpressure`] (wait on the CQ), or
+    /// [`MsgError::TooBig`].
+    pub fn try_send(&mut self, api: &mut NodeApi<'_>, to: NodeId, data: &[u8]) -> Result<(), MsgError> {
+        let scratch = self.scratch.ok_or(MsgError::NotInitialized)?;
+        if data.len() as u64 > self.cfg.max_msg_bytes {
+            return Err(MsgError::TooBig);
+        }
+        let dst = to.index();
+        assert_ne!(dst, self.me, "self-send is a local operation, not messaging");
+
+        // Finish (or make progress on) any earlier partially-posted push:
+        // messages on a channel are strictly ordered.
+        self.pump_channel(api, dst);
+        if self.send[dst].pending.is_some() {
+            return Err(MsgError::NoCredit);
+        }
+
+        let push = (data.len() as u64) <= self.cfg.threshold;
+        if push {
+            let packets = data.len().div_ceil(CHUNK_BYTES).max(1) as u64;
+            self.send[dst].pending = Some(PendingPush {
+                data: data.to_vec(),
+                next_packet: 0,
+                total_packets: packets,
+            });
+            self.pump_channel(api, dst);
+            return Ok(());
+        }
+
+        // Pull: needs the staging buffer, one window slot, and WQ room.
+        self.refresh_acked(api, dst);
+        let chan = &self.send[dst];
+        if chan.staging_until_seq != 0 || chan.sent + 1 - chan.acked > self.cfg.slots as u64 {
+            return Err(MsgError::NoCredit);
+        }
+        if api.outstanding(self.qp) >= api.qp_capacity(self.qp) {
+            return Err(MsgError::Backpressure);
+        }
+        self.send_pull(api, to, data, scratch)
+    }
+
+    /// Whether every accepted message has been fully posted.
+    pub fn all_sent(&self) -> bool {
+        self.send.iter().all(|c| c.pending.is_none())
+    }
+
+    /// Makes progress on partially-posted push messages on all channels.
+    /// Call on every wake-up while streaming.
+    pub fn pump(&mut self, api: &mut NodeApi<'_>) {
+        for dst in 0..self.nodes {
+            self.pump_channel(api, dst);
+        }
+    }
+
+    fn refresh_acked(&mut self, api: &mut NodeApi<'_>, dst: usize) {
+        // The receiver advertises consumed packets by remote-writing this
+        // word in our segment; reading it is a local (cached) load.
+        let credit_va = VAddr::new(self.segment_base + self.credit_offset(dst));
+        if let Ok(acked) = api.local_load_u64(credit_va) {
+            let chan = &mut self.send[dst];
+            chan.acked = chan.acked.max(acked);
+            if chan.staging_until_seq != 0 && chan.acked >= chan.staging_until_seq {
+                chan.staging_until_seq = 0;
+            }
+        }
+    }
+
+    fn pump_channel(&mut self, api: &mut NodeApi<'_>, dst: usize) {
+        if self.send[dst].pending.is_none() {
+            return;
+        }
+        let Some(scratch) = self.scratch else { return };
+        self.refresh_acked(api, dst);
+        loop {
+            let chan = &self.send[dst];
+            let Some(pending) = &chan.pending else { return };
+            if chan.sent + 1 - chan.acked > self.cfg.slots as u64 {
+                return; // window full; credits will pump again
+            }
+            if api.outstanding(self.qp) >= api.qp_capacity(self.qp) {
+                return; // WQ full; completions will pump again
+            }
+            let i = pending.next_packet;
+            let total = pending.total_packets;
+            let lo = (i as usize * CHUNK_BYTES).min(pending.data.len());
+            let hi = (lo + CHUNK_BYTES).min(pending.data.len());
+            let chunk: Vec<u8> = pending.data[lo..hi].to_vec();
+            let total_len = pending.data.len() as u32;
+
+            let seq = self.send[dst].sent + 1;
+            let mut line = [0u8; 64];
+            line[HDR_SEQ..HDR_SEQ + 8].copy_from_slice(&seq.to_le_bytes());
+            line[HDR_KIND] = 0;
+            line[HDR_LAST] = u8::from(i == total - 1);
+            line[HDR_CHUNK_LEN..HDR_CHUNK_LEN + 2]
+                .copy_from_slice(&(chunk.len() as u16).to_le_bytes());
+            line[HDR_TOTAL_LEN..HDR_TOTAL_LEN + 4].copy_from_slice(&total_len.to_le_bytes());
+            line[HDR_CHUNK..HDR_CHUNK + chunk.len()].copy_from_slice(&chunk);
+            if self
+                .post_packet_line(api, NodeId(dst as u16), &line, scratch)
+                .is_err()
+            {
+                return;
+            }
+            let pending = self.send[dst].pending.as_mut().expect("still pending");
+            pending.next_packet += 1;
+            if pending.next_packet == pending.total_packets {
+                self.send[dst].pending = None;
+                return;
+            }
+        }
+    }
+
+    fn post_packet_line(
+        &mut self,
+        api: &mut NodeApi<'_>,
+        to: NodeId,
+        line: &[u8; 64],
+        scratch: VAddr,
+    ) -> Result<(), MsgError> {
+        let dst = to.index();
+        let slot = self.send[dst].sent % self.cfg.slots as u64;
+        let remote_offset = self.channel_offset(self.me) + slot * SLOT_BYTES;
+        // Each in-flight packet needs a stable source line until the RGP
+        // reads it: index the scratch ring by the WQ slot we will occupy
+        // (unique among outstanding operations).
+        let wq_slot = api.next_wq_index(self.qp);
+        let src = VAddr::new(scratch.raw() + wq_slot as u64 * SLOT_BYTES);
+        api.local_write(src, line).map_err(|_| MsgError::NotInitialized)?;
+        let wq = api
+            .post_write(self.qp, to, self.ctx, remote_offset, src, SLOT_BYTES)
+            .map_err(|e| match e {
+                ApiError::WqFull => MsgError::Backpressure,
+                _ => MsgError::NotInitialized,
+            })?;
+        self.pending.insert(wq, OpKind::PacketWrite);
+        self.send[dst].sent += 1;
+        self.packets_sent += 1;
+        Ok(())
+    }
+
+    fn send_pull(
+        &mut self,
+        api: &mut NodeApi<'_>,
+        to: NodeId,
+        data: &[u8],
+        scratch: VAddr,
+    ) -> Result<(), MsgError> {
+        let dst = to.index();
+        let staging_off = self.staging_offset(dst);
+        let staging_va = VAddr::new(self.segment_base + staging_off);
+        if !data.is_empty() {
+            api.local_write(staging_va, data).map_err(|_| MsgError::NotInitialized)?;
+        }
+        let seq = self.send[dst].sent + 1;
+        let mut line = [0u8; 64];
+        line[HDR_SEQ..HDR_SEQ + 8].copy_from_slice(&seq.to_le_bytes());
+        line[HDR_KIND] = 1;
+        line[HDR_LAST] = 1;
+        line[HDR_TOTAL_LEN..HDR_TOTAL_LEN + 4].copy_from_slice(&(data.len() as u32).to_le_bytes());
+        line[HDR_PULL_OFFSET..HDR_PULL_OFFSET + 8].copy_from_slice(&staging_off.to_le_bytes());
+        self.post_packet_line(api, to, &line, scratch)?;
+        if !data.is_empty() {
+            // `post_packet_line` advanced `sent`, so the descriptor's seq
+            // is the new `sent` value.
+            self.send[dst].staging_until_seq = self.send[dst].sent;
+        }
+        Ok(())
+    }
+
+    // -- receiving ------------------------------------------------------
+
+    /// Polls channel `from` for a message, consuming any newly arrived
+    /// packets (and launching the bulk read for pull descriptors).
+    ///
+    /// # Errors
+    ///
+    /// [`MsgError::Backpressure`] if a pull read cannot be posted yet.
+    pub fn try_recv(&mut self, api: &mut NodeApi<'_>, from: NodeId) -> Result<RecvPoll, MsgError> {
+        if self.scratch.is_none() {
+            return Err(MsgError::NotInitialized);
+        }
+        let src = from.index();
+        assert_ne!(src, self.me, "self-receive is a local operation");
+
+        // Retry a pull read that could not be posted earlier.
+        if let Some(PullState::NeedPost { src_offset, len }) = self.recv[src].pull {
+            self.post_pull_read(api, src, src_offset, len)?;
+        }
+
+        loop {
+            if let Some(m) = self.recv[src].ready.pop_front() {
+                self.messages_received += 1;
+                self.maybe_flush_credits(api, src, false);
+                return Ok(RecvPoll::Message(m));
+            }
+            if self.recv[src].pull.is_some() {
+                return Ok(RecvPoll::Pending);
+            }
+
+            // Inspect the next expected slot.
+            let slot = self.recv[src].taken % self.cfg.slots as u64;
+            let slot_va =
+                VAddr::new(self.segment_base + self.channel_offset(src) + slot * SLOT_BYTES);
+            let mut line = [0u8; 64];
+            api.local_read(slot_va, &mut line).map_err(|_| MsgError::NotInitialized)?;
+            let seq = u64::from_le_bytes(line[HDR_SEQ..HDR_SEQ + 8].try_into().unwrap());
+            if seq != self.recv[src].taken + 1 {
+                return Ok(RecvPoll::Empty);
+            }
+
+            // Consume the packet and clear the slot (local stores).
+            api.local_store_u64(slot_va, 0).map_err(|_| MsgError::NotInitialized)?;
+            self.recv[src].taken += 1;
+
+            if line[HDR_KIND] == 1 {
+                // Pull descriptor.
+                let len =
+                    u32::from_le_bytes(line[HDR_TOTAL_LEN..HDR_TOTAL_LEN + 4].try_into().unwrap())
+                        as u64;
+                let off = u64::from_le_bytes(
+                    line[HDR_PULL_OFFSET..HDR_PULL_OFFSET + 8].try_into().unwrap(),
+                );
+                if len == 0 {
+                    self.recv[src].creditable += 1;
+                    self.recv[src].ready.push_back(Vec::new());
+                } else {
+                    self.post_pull_read(api, src, off, len)?;
+                }
+                continue;
+            }
+
+            // Push fragment.
+            let chunk_len =
+                u16::from_le_bytes(line[HDR_CHUNK_LEN..HDR_CHUNK_LEN + 2].try_into().unwrap())
+                    as usize;
+            let total =
+                u32::from_le_bytes(line[HDR_TOTAL_LEN..HDR_TOTAL_LEN + 4].try_into().unwrap())
+                    as u64;
+            let chan = &mut self.recv[src];
+            if chan.assembling.is_empty() {
+                chan.expected_total = total;
+            }
+            chan.assembling
+                .extend_from_slice(&line[HDR_CHUNK..HDR_CHUNK + chunk_len]);
+            chan.creditable += 1;
+            if line[HDR_LAST] == 1 {
+                let msg = std::mem::take(&mut chan.assembling);
+                debug_assert_eq!(msg.len() as u64, chan.expected_total, "fragment loss");
+                chan.ready.push_back(msg);
+            }
+        }
+    }
+
+    fn post_pull_read(
+        &mut self,
+        api: &mut NodeApi<'_>,
+        src: usize,
+        src_offset: u64,
+        len: u64,
+    ) -> Result<(), MsgError> {
+        let buf = self.pull_bufs[src].expect("initialized");
+        let read_len = len.div_ceil(SLOT_BYTES) * SLOT_BYTES;
+        match api.post_read(self.qp, NodeId(src as u16), self.ctx, src_offset, buf, read_len) {
+            Ok(wq) => {
+                self.pending.insert(wq, OpKind::PullRead { from: src });
+                self.recv[src].pull = Some(PullState::Posted);
+                self.recv[src].expected_total = len;
+                Ok(())
+            }
+            Err(ApiError::WqFull) => {
+                self.recv[src].pull = Some(PullState::NeedPost { src_offset, len });
+                Err(MsgError::Backpressure)
+            }
+            Err(_) => Err(MsgError::NotInitialized),
+        }
+    }
+
+    /// Feeds CQ completions (from `Wake::CqReady` or an explicit poll) to
+    /// the messenger's bookkeeping. Completions for other users of the QP
+    /// are ignored.
+    pub fn on_completions(&mut self, api: &mut NodeApi<'_>, comps: &[Completion]) {
+        for c in comps {
+            if c.qp != self.qp {
+                continue;
+            }
+            match self.pending.remove(&c.wq_index) {
+                Some(OpKind::PullRead { from }) => {
+                    debug_assert!(c.status.is_ok(), "pull read failed: {:?}", c.status);
+                    let len = self.recv[from].expected_total as usize;
+                    let mut data = vec![0u8; len];
+                    if len > 0 {
+                        api.local_read(self.pull_bufs[from].expect("initialized"), &mut data)
+                            .expect("pull buffer mapped");
+                    }
+                    let chan = &mut self.recv[from];
+                    chan.pull = None;
+                    chan.creditable += 1;
+                    chan.ready.push_back(data);
+                    // Eager credit: it releases the sender's staging buffer.
+                    self.maybe_flush_credits(api, from, true);
+                }
+                Some(OpKind::PacketWrite) | Some(OpKind::CreditWrite) | None => {}
+            }
+        }
+        // Freed WQ slots may unblock partially-posted pushes.
+        self.pump(api);
+    }
+
+    /// Advertises consumed packets to the sender when at least half the
+    /// window is pending (or unconditionally with `force`).
+    fn maybe_flush_credits(&mut self, api: &mut NodeApi<'_>, from: usize, force: bool) {
+        let chan = &self.recv[from];
+        let unadvertised = chan.creditable - chan.advertised;
+        if unadvertised == 0 {
+            return;
+        }
+        if !force && unadvertised < (self.cfg.slots as u64 / 2).max(1) {
+            return;
+        }
+        let Some(scratch) = self.scratch else { return };
+        if api.outstanding(self.qp) >= api.qp_capacity(self.qp) {
+            return; // retry on a later flush
+        }
+        let value = chan.creditable;
+        let wq_slot = api.next_wq_index(self.qp);
+        let src = VAddr::new(scratch.raw() + wq_slot as u64 * SLOT_BYTES);
+        let mut line = [0u8; 64];
+        line[0..8].copy_from_slice(&value.to_le_bytes());
+        if api.local_write(src, &line).is_err() {
+            return;
+        }
+        // The credit word for (sender=from, receiver=me) lives in the
+        // *sender's* segment, indexed by me.
+        let remote_offset = self.credit_offset(self.me);
+        if let Ok(wq) = api.post_write(self.qp, NodeId(from as u16), self.ctx, remote_offset, src, SLOT_BYTES)
+        {
+            self.pending.insert(wq, OpKind::CreditWrite);
+            self.recv[from].advertised = value;
+        }
+    }
+
+    /// Forces a credit advertisement before blocking (deadlock avoidance:
+    /// never park while holding unadvertised credits the peer may need).
+    pub fn flush_credits(&mut self, api: &mut NodeApi<'_>, from: NodeId) {
+        self.maybe_flush_credits(api, from.index(), true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_layout_is_disjoint_and_sized() {
+        let cfg = MsgConfig::hardware();
+        let m = Messenger::new(cfg, QpId(0), NodeId(1), 4, 4096);
+        // Channels for the four senders.
+        let ch: Vec<u64> = (0..4).map(|s| m.channel_offset(s)).collect();
+        for w in ch.windows(2) {
+            assert_eq!(w[1] - w[0], cfg.slots as u64 * 64);
+        }
+        // Credits after channels, staging after credits.
+        assert_eq!(m.credit_offset(0), 4096 + 4 * 16 * 64);
+        assert!(m.staging_offset(0) >= m.credit_offset(3) + 64);
+        // Total fits the advertised region size.
+        let end = m.staging_offset(3) + cfg.staging_bytes();
+        assert_eq!(end - 4096, cfg.region_bytes(4));
+    }
+
+    #[test]
+    fn threshold_presets_match_paper() {
+        assert_eq!(MsgConfig::hardware().threshold, 256);
+        assert_eq!(MsgConfig::dev_platform().threshold, 1024);
+        assert_eq!(MsgConfig::hardware().with_threshold(0).threshold, 0);
+    }
+
+    #[test]
+    fn chunking_counts() {
+        // 48-byte chunks: 1 packet up to 48 B, 2 up to 96 B, ...
+        assert_eq!(0usize.div_ceil(CHUNK_BYTES).max(1), 1);
+        assert_eq!(48usize.div_ceil(CHUNK_BYTES).max(1), 1);
+        assert_eq!(49usize.div_ceil(CHUNK_BYTES).max(1), 2);
+        assert_eq!(8192usize.div_ceil(CHUNK_BYTES).max(1), 171);
+    }
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            MsgError::NoCredit,
+            MsgError::Backpressure,
+            MsgError::TooBig,
+            MsgError::NotInitialized,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

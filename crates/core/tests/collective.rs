@@ -1,0 +1,108 @@
+//! End-to-end tests of the all-reduce collective.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use sonuma_core::{
+    drain_completions, AllReduce, AppProcess, NodeApi, NodeId, SimTime, Step, SystemBuilder, Wake,
+};
+
+type Shared<T> = Rc<RefCell<T>>;
+
+/// Participates in `rounds` all-reduces; contribution at round r is
+/// `base + r`, recorded sums are checked by the harness.
+struct Participant {
+    a: AllReduce,
+    rounds: u64,
+    base: u64,
+    started: bool,
+    sums: Shared<Vec<(usize, u64, u64)>>, // (node, round, sum)
+}
+
+impl AppProcess for Participant {
+    fn wake(&mut self, api: &mut NodeApi<'_>, why: Wake) -> Step {
+        if matches!(why, Wake::Start) {
+            self.a.init(api).unwrap();
+        }
+        let _ = drain_completions(api, &why, self.a.qp());
+        loop {
+            if !self.started {
+                if self.a.round() == self.rounds {
+                    return Step::Done;
+                }
+                let contribution = self.base + self.a.round() + 1;
+                self.a.start(api, contribution).unwrap();
+                self.started = true;
+            }
+            match self.a.poll(api).unwrap() {
+                Some(sum) => {
+                    let node = api.node_id().index();
+                    self.sums.borrow_mut().push((node, self.a.round(), sum));
+                    self.started = false;
+                    // Jitter so nodes enter rounds at different times.
+                    let jitter = SimTime::from_ns((node as u64 * 271) % 900);
+                    return Step::Sleep(jitter);
+                }
+                None => {
+                    let (addr, len) = self.a.watch();
+                    return Step::WaitCqOrMemory { qp: self.a.qp(), addr, len };
+                }
+            }
+        }
+    }
+}
+
+fn run(nodes: usize, rounds: u64) -> Vec<(usize, u64, u64)> {
+    let mut system = SystemBuilder::simulated_hardware(nodes)
+        .segment_len(1 << 20)
+        .qp_entries(64)
+        .build();
+    let sums: Shared<Vec<(usize, u64, u64)>> = Rc::new(RefCell::new(Vec::new()));
+    for n in 0..nodes {
+        let qp = system.create_qp(NodeId(n as u16), 0);
+        system.spawn(
+            NodeId(n as u16),
+            0,
+            Box::new(Participant {
+                a: AllReduce::new(qp, NodeId(n as u16), nodes, 0),
+                rounds,
+                base: (n as u64 + 1) * 100,
+                started: false,
+                sums: sums.clone(),
+            }),
+        );
+    }
+    system.run();
+    Rc::try_unwrap(sums).unwrap().into_inner()
+}
+
+#[test]
+fn allreduce_sums_every_contribution() {
+    let nodes = 4;
+    let rounds = 3;
+    let log = run(nodes, rounds);
+    assert_eq!(log.len(), nodes * rounds as usize);
+    for r in 1..=rounds {
+        // Expected: sum over nodes of (n+1)*100 + r.
+        let expect: u64 = (0..nodes as u64).map(|n| (n + 1) * 100 + r).sum();
+        for n in 0..nodes {
+            let got = log
+                .iter()
+                .find(|e| e.0 == n && e.1 == r)
+                .unwrap_or_else(|| panic!("node {n} missing round {r}"));
+            assert_eq!(got.2, expect, "node {n} round {r}");
+        }
+    }
+}
+
+#[test]
+fn allreduce_works_pairwise_and_at_scale() {
+    for nodes in [2usize, 8] {
+        let log = run(nodes, 2);
+        let expect_r1: u64 = (0..nodes as u64).map(|n| (n + 1) * 100 + 1).sum();
+        assert!(
+            log.iter().filter(|e| e.1 == 1).all(|e| e.2 == expect_r1),
+            "{nodes} nodes: inconsistent round-1 sums: {log:?}"
+        );
+    }
+}

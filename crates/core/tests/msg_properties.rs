@@ -1,0 +1,130 @@
+//! Property test: arbitrary message sequences (sizes straddling the
+//! push/pull threshold, including empty messages) are delivered complete,
+//! uncorrupted, and in order.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use sonuma_core::{
+    drain_completions, AppProcess, Messenger, MsgConfig, MsgError, NodeApi, NodeId, RecvPoll,
+    Step, SystemBuilder, Wake,
+};
+
+type Shared<T> = Rc<RefCell<T>>;
+
+fn payload(k: usize, size: usize) -> Vec<u8> {
+    (0..size).map(|i| (k * 131 + i * 17) as u8).collect()
+}
+
+struct PropSender {
+    m: Messenger,
+    sizes: Vec<usize>,
+    sent: usize,
+}
+
+impl AppProcess for PropSender {
+    fn wake(&mut self, api: &mut NodeApi<'_>, why: Wake) -> Step {
+        if matches!(why, Wake::Start) {
+            self.m.init(api).unwrap();
+        }
+        let comps = drain_completions(api, &why, self.m.qp());
+        self.m.on_completions(api, &comps);
+        let to = NodeId(1);
+        loop {
+            if self.sent == self.sizes.len() {
+                if !self.m.all_sent() {
+                    let (addr, len) = self.m.credit_watch(to);
+                    return Step::WaitCqOrMemory { qp: self.m.qp(), addr, len };
+                }
+                return Step::Done;
+            }
+            let data = payload(self.sent, self.sizes[self.sent]);
+            match self.m.try_send(api, to, &data) {
+                Ok(()) => self.sent += 1,
+                Err(MsgError::NoCredit) => {
+                    let (addr, len) = self.m.credit_watch(to);
+                    return Step::WaitCqOrMemory { qp: self.m.qp(), addr, len };
+                }
+                Err(MsgError::Backpressure) => return Step::WaitCq(self.m.qp()),
+                Err(e) => panic!("{e}"),
+            }
+        }
+    }
+}
+
+struct PropReceiver {
+    m: Messenger,
+    expect: usize,
+    got: Shared<Vec<Vec<u8>>>,
+}
+
+impl AppProcess for PropReceiver {
+    fn wake(&mut self, api: &mut NodeApi<'_>, why: Wake) -> Step {
+        if matches!(why, Wake::Start) {
+            self.m.init(api).unwrap();
+        }
+        let comps = drain_completions(api, &why, self.m.qp());
+        self.m.on_completions(api, &comps);
+        let from = NodeId(0);
+        loop {
+            if self.got.borrow().len() == self.expect {
+                self.m.flush_credits(api, from);
+                return Step::Done;
+            }
+            match self.m.try_recv(api, from).unwrap() {
+                RecvPoll::Message(v) => self.got.borrow_mut().push(v),
+                RecvPoll::Pending => return Step::WaitCq(self.m.qp()),
+                RecvPoll::Empty => {
+                    self.m.flush_credits(api, from);
+                    let (addr, len) = self.m.recv_watch(from);
+                    return Step::WaitCqOrMemory { qp: self.m.qp(), addr, len };
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn arbitrary_message_sequences_arrive_intact(
+        sizes in vec(0usize..2048, 1..25),
+        threshold in prop_oneof![Just(0u64), Just(256u64), Just(u64::MAX)],
+    ) {
+        let cfg = MsgConfig::hardware().with_threshold(threshold);
+        let mut system = SystemBuilder::simulated_hardware(2)
+            .segment_len(8 << 20)
+            .qp_entries(128)
+            .build();
+        let qp0 = system.create_qp(NodeId(0), 0);
+        let qp1 = system.create_qp(NodeId(1), 0);
+        let got: Shared<Vec<Vec<u8>>> = Rc::new(RefCell::new(Vec::new()));
+        system.spawn(
+            NodeId(0),
+            0,
+            Box::new(PropSender {
+                m: Messenger::new(cfg, qp0, NodeId(0), 2, 0),
+                sizes: sizes.clone(),
+                sent: 0,
+            }),
+        );
+        system.spawn(
+            NodeId(1),
+            0,
+            Box::new(PropReceiver {
+                m: Messenger::new(cfg, qp1, NodeId(1), 2, 0),
+                expect: sizes.len(),
+                got: got.clone(),
+            }),
+        );
+        system.run();
+        let received = got.borrow();
+        prop_assert_eq!(received.len(), sizes.len(), "message count");
+        for (k, (msg, &size)) in received.iter().zip(&sizes).enumerate() {
+            prop_assert_eq!(msg, &payload(k, size), "message {} corrupted", k);
+        }
+    }
+}

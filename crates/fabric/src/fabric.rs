@@ -1,0 +1,244 @@
+//! The assembled fabric: topology + per-link serialization + credits.
+
+use std::collections::HashMap;
+
+use sonuma_protocol::NodeId;
+use sonuma_sim::SimTime;
+
+use crate::config::FabricConfig;
+use crate::link::{LinkSerializer, VirtualChannel};
+use crate::VIRTUAL_LANES;
+
+/// Result of injecting a packet: when and via how many hops it arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Time the packet is fully delivered at the destination NI.
+    pub time: SimTime,
+    /// Number of links traversed.
+    pub hops: u32,
+}
+
+#[derive(Debug)]
+struct DirectedLink {
+    serializer: LinkSerializer,
+    lanes: [VirtualChannel; VIRTUAL_LANES],
+}
+
+/// The rack-scale memory fabric connecting all nodes' network interfaces.
+///
+/// Analytic DES component: [`Fabric::send`] advances internal link state
+/// and returns the packet's arrival time; the caller schedules delivery.
+/// Per-hop costs are `serialization + hop_latency` with store-and-forward
+/// at intermediate routers (indistinguishable from cut-through at soNUMA's
+/// 88-byte MTU), and per-lane credits apply on every hop.
+///
+/// # Example
+///
+/// ```
+/// use sonuma_fabric::{Fabric, FabricConfig};
+/// use sonuma_protocol::NodeId;
+/// use sonuma_sim::SimTime;
+///
+/// let mut f = Fabric::new(FabricConfig::torus2d(4, 4));
+/// let near = f.send(SimTime::ZERO, NodeId(0), NodeId(1), 0, 88);
+/// let far = f.send(SimTime::ZERO, NodeId(0), NodeId(10), 0, 88);
+/// assert!(far.hops > near.hops);
+/// assert!(far.time > near.time);
+/// ```
+#[derive(Debug)]
+pub struct Fabric {
+    config: FabricConfig,
+    links: HashMap<(u16, u16), DirectedLink>,
+    packets_sent: u64,
+    bytes_sent: u64,
+    lane_packets: [u64; VIRTUAL_LANES],
+}
+
+impl Fabric {
+    /// Creates an idle fabric.
+    pub fn new(config: FabricConfig) -> Self {
+        Fabric {
+            config,
+            links: HashMap::new(),
+            packets_sent: 0,
+            bytes_sent: 0,
+            lane_packets: [0; VIRTUAL_LANES],
+        }
+    }
+
+    /// The fabric configuration.
+    pub fn config(&self) -> &FabricConfig {
+        &self.config
+    }
+
+    /// Number of nodes the fabric connects.
+    pub fn nodes(&self) -> usize {
+        self.config.topology.nodes()
+    }
+
+    fn link(&mut self, from: NodeId, to: NodeId) -> &mut DirectedLink {
+        let credits = self.config.credits_per_lane;
+        let credit_return = self.config.credit_return;
+        self.links
+            .entry((from.0, to.0))
+            .or_insert_with(|| DirectedLink {
+                serializer: LinkSerializer::new(),
+                lanes: std::array::from_fn(|_| VirtualChannel::new(credits, credit_return)),
+            })
+    }
+
+    /// Injects a packet of `bytes` on virtual lane `lane` at time `now`;
+    /// returns its arrival at `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 2`, if either node id is out of range, or if
+    /// `src == dst` (local traffic never enters the fabric).
+    pub fn send(&mut self, now: SimTime, src: NodeId, dst: NodeId, lane: usize, bytes: u64) -> Arrival {
+        assert!(lane < VIRTUAL_LANES, "virtual lane out of range");
+        assert_ne!(src, dst, "loopback traffic must not enter the fabric");
+        let route = self.config.topology.route(src, dst);
+        let ser = self.config.serialization(bytes);
+        let hop_latency = self.config.hop_latency;
+
+        let mut at = now;
+        let mut prev = src;
+        for &hop in &route {
+            let link = self.link(prev, hop);
+            // Credit first (receive buffer at `hop`), then the wire.
+            let after_credit = link.lanes[lane].acquire(at, at + ser + hop_latency);
+            let start = link.serializer.occupy(after_credit, ser, bytes);
+            at = start + ser + hop_latency;
+            prev = hop;
+        }
+
+        self.packets_sent += 1;
+        self.bytes_sent += bytes;
+        self.lane_packets[lane] += 1;
+        Arrival {
+            time: at,
+            hops: route.len() as u32,
+        }
+    }
+
+    /// Total packets injected.
+    pub fn packets_sent(&self) -> u64 {
+        self.packets_sent
+    }
+
+    /// Total bytes injected.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Packets per virtual lane `[requests, replies]`.
+    pub fn lane_packets(&self) -> [u64; VIRTUAL_LANES] {
+        self.lane_packets
+    }
+
+    /// Total credit stalls across all links and lanes (congestion metric).
+    pub fn credit_stalls(&self) -> u64 {
+        self.links
+            .values()
+            .flat_map(|l| l.lanes.iter())
+            .map(|vc| vc.stalls())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossbar_uncontended_latency_is_flat() {
+        let mut f = Fabric::new(FabricConfig::paper_crossbar(8));
+        let a = f.send(SimTime::ZERO, NodeId(0), NodeId(5), 0, 88);
+        assert_eq!(a.hops, 1);
+        // 50 ns + 2.75 ns serialization.
+        assert_eq!(a.time, SimTime::from_ns(50) + f.config().serialization(88));
+    }
+
+    #[test]
+    fn torus_latency_scales_with_distance() {
+        let mut f = Fabric::new(FabricConfig::torus2d(4, 4));
+        let one = f.send(SimTime::ZERO, NodeId(0), NodeId(1), 0, 88);
+        let four = f.send(SimTime::ZERO, NodeId(0), NodeId(10), 0, 88);
+        assert_eq!(one.hops, 1);
+        assert_eq!(four.hops, 4);
+        assert!(four.time > one.time * 3, "multi-hop must cost proportionally");
+    }
+
+    #[test]
+    fn link_contention_serializes() {
+        let mut f = Fabric::new(FabricConfig::paper_crossbar(4));
+        let a = f.send(SimTime::ZERO, NodeId(0), NodeId(1), 0, 88);
+        let b = f.send(SimTime::ZERO, NodeId(0), NodeId(1), 0, 88);
+        assert_eq!(b.time - a.time, f.config().serialization(88));
+    }
+
+    #[test]
+    fn distinct_links_do_not_contend() {
+        let mut f = Fabric::new(FabricConfig::paper_crossbar(4));
+        let a = f.send(SimTime::ZERO, NodeId(0), NodeId(1), 0, 88);
+        let b = f.send(SimTime::ZERO, NodeId(2), NodeId(3), 0, 88);
+        assert_eq!(a.time, b.time);
+    }
+
+    #[test]
+    fn lanes_do_not_share_credits() {
+        let cfg = FabricConfig {
+            credits_per_lane: 1,
+            ..FabricConfig::paper_crossbar(2)
+        };
+        let mut f = Fabric::new(cfg);
+        // Exhaust lane 0's single credit.
+        let a0 = f.send(SimTime::ZERO, NodeId(0), NodeId(1), 0, 88);
+        // Lane 1 is unaffected (same physical link, so only serialization).
+        let b = f.send(SimTime::ZERO, NodeId(0), NodeId(1), 1, 88);
+        assert_eq!(b.time - a0.time, f.config().serialization(88));
+        // Lane 0 again: must wait for the credit to return.
+        let a1 = f.send(SimTime::ZERO, NodeId(0), NodeId(1), 0, 88);
+        assert!(a1.time >= a0.time + f.config().credit_return);
+        assert!(f.credit_stalls() >= 1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut f = Fabric::new(FabricConfig::paper_crossbar(4));
+        f.send(SimTime::ZERO, NodeId(0), NodeId(1), 0, 24);
+        f.send(SimTime::ZERO, NodeId(1), NodeId(0), 1, 88);
+        assert_eq!(f.packets_sent(), 2);
+        assert_eq!(f.bytes_sent(), 112);
+        assert_eq!(f.lane_packets(), [1, 1]);
+    }
+
+    #[test]
+    fn sustained_throughput_matches_link_bandwidth() {
+        let mut f = Fabric::new(FabricConfig::paper_crossbar(2));
+        let n = 10_000u64;
+        let mut last = SimTime::ZERO;
+        for _ in 0..n {
+            last = f.send(SimTime::ZERO, NodeId(0), NodeId(1), 0, 88).time;
+        }
+        let gbps = sonuma_sim::stats::gbps(n * 88, last);
+        // Wire rate is 32 GB/s = 256 Gbps; the 16-credit window over a
+        // ~103 ns credit round trip sustains ~88% of it. Either way the
+        // fabric must comfortably outrun one DDR3 channel (~77 Gbps).
+        assert!(gbps > 200.0, "sustained {gbps} Gbps");
+    }
+
+    #[test]
+    #[should_panic(expected = "loopback")]
+    fn loopback_panics() {
+        let mut f = Fabric::new(FabricConfig::paper_crossbar(2));
+        f.send(SimTime::ZERO, NodeId(0), NodeId(0), 0, 88);
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual lane")]
+    fn bad_lane_panics() {
+        let mut f = Fabric::new(FabricConfig::paper_crossbar(2));
+        f.send(SimTime::ZERO, NodeId(0), NodeId(1), 2, 88);
+    }
+}

@@ -1,0 +1,314 @@
+//! Fabric topologies and routing.
+
+use sonuma_protocol::NodeId;
+
+/// A fabric topology with deterministic routing.
+///
+/// Routing is topology-based — "the router's forwarding logic directly maps
+/// destination addresses to outgoing router ports" (§6) — so routes are
+/// computed, never looked up: dimension-order for meshes and torii, direct
+/// for the crossbar.
+///
+/// # Example
+///
+/// ```
+/// use sonuma_fabric::Topology;
+/// use sonuma_protocol::NodeId;
+///
+/// let torus = Topology::torus2d(4, 4);
+/// let path = torus.route(NodeId(0), NodeId(10));
+/// assert_eq!(path.last(), Some(&NodeId(10)));
+/// assert!(path.len() as u32 <= torus.diameter());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Topology {
+    /// Full crossbar: every pair one hop apart (the paper's simulated
+    /// configuration).
+    Crossbar {
+        /// Number of nodes.
+        nodes: usize,
+    },
+    /// 2D torus with wraparound links, dimension-order (X then Y) routing.
+    Torus2D {
+        /// Width (X dimension).
+        width: usize,
+        /// Height (Y dimension).
+        height: usize,
+    },
+    /// 3D torus — the "low-dimensional k-ary n-cube" the paper suggests for
+    /// rack-scale deployments (§6).
+    Torus3D {
+        /// X dimension.
+        x: usize,
+        /// Y dimension.
+        y: usize,
+        /// Z dimension.
+        z: usize,
+    },
+    /// 2D mesh without wraparound links (e.g. a blade backplane where edge
+    /// links are not closed into rings).
+    Mesh2D {
+        /// Width (X dimension).
+        width: usize,
+        /// Height (Y dimension).
+        height: usize,
+    },
+}
+
+impl Topology {
+    /// Builds a crossbar over `nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn crossbar(nodes: usize) -> Self {
+        assert!(nodes > 0, "empty fabric");
+        Topology::Crossbar { nodes }
+    }
+
+    /// Builds a `width x height` 2D torus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn torus2d(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "empty torus");
+        Topology::Torus2D { width, height }
+    }
+
+    /// Builds an `x par y par z` 3D torus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn torus3d(x: usize, y: usize, z: usize) -> Self {
+        assert!(x > 0 && y > 0 && z > 0, "empty torus");
+        Topology::Torus3D { x, y, z }
+    }
+
+    /// Builds a `width x height` mesh (no wraparound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn mesh2d(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "empty mesh");
+        Topology::Mesh2D { width, height }
+    }
+
+    /// Total number of nodes.
+    pub fn nodes(&self) -> usize {
+        match *self {
+            Topology::Crossbar { nodes } => nodes,
+            Topology::Torus2D { width, height } => width * height,
+            Topology::Torus3D { x, y, z } => x * y * z,
+            Topology::Mesh2D { width, height } => width * height,
+        }
+    }
+
+    /// Maximum hop count between any pair.
+    pub fn diameter(&self) -> u32 {
+        match *self {
+            Topology::Crossbar { .. } => 1,
+            Topology::Torus2D { width, height } => (width / 2 + height / 2) as u32,
+            Topology::Torus3D { x, y, z } => (x / 2 + y / 2 + z / 2) as u32,
+            Topology::Mesh2D { width, height } => (width - 1 + height - 1) as u32,
+        }
+    }
+
+    /// The sequence of nodes a packet visits after leaving `src`, ending at
+    /// `dst`. Empty when `src == dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        let n = self.nodes();
+        assert!(src.index() < n && dst.index() < n, "node id out of range");
+        if src == dst {
+            return Vec::new();
+        }
+        match *self {
+            Topology::Crossbar { .. } => vec![dst],
+            Topology::Torus2D { width, height } => {
+                route_torus(&[width, height], src.index(), dst.index())
+            }
+            Topology::Torus3D { x, y, z } => route_torus(&[x, y, z], src.index(), dst.index()),
+            Topology::Mesh2D { width, .. } => route_mesh(width, src.index(), dst.index()),
+        }
+    }
+
+    /// Minimum hop count between two nodes.
+    pub fn distance(&self, src: NodeId, dst: NodeId) -> u32 {
+        self.route(src, dst).len() as u32
+    }
+}
+
+/// Dimension-order routing on a k-ary n-cube with wraparound: resolve each
+/// dimension fully (taking the shorter direction) before the next.
+fn route_torus(dims: &[usize], src: usize, dst: usize) -> Vec<NodeId> {
+    // Decompose into per-dimension coordinates (dimension 0 varies fastest).
+    let coord = |mut id: usize| -> Vec<usize> {
+        dims.iter()
+            .map(|&d| {
+                let c = id % d;
+                id /= d;
+                c
+            })
+            .collect()
+    };
+    let compose = |coords: &[usize]| -> usize {
+        let mut id = 0;
+        for (i, &c) in coords.iter().enumerate().rev() {
+            id = id * dims[i] + c;
+        }
+        id
+    };
+
+    let mut cur = coord(src);
+    let goal = coord(dst);
+    let mut path = Vec::new();
+    for dim in 0..dims.len() {
+        let k = dims[dim];
+        while cur[dim] != goal[dim] {
+            let fwd = (goal[dim] + k - cur[dim]) % k; // hops going +1
+            let step = if fwd <= k - fwd { 1 } else { k - 1 }; // +1 or -1 mod k
+            cur[dim] = (cur[dim] + step) % k;
+            path.push(NodeId(compose(&cur) as u16));
+        }
+    }
+    path
+}
+
+/// Dimension-order (XY) routing on a mesh: no wraparound, so every step
+/// moves monotonically toward the destination coordinate.
+fn route_mesh(width: usize, src: usize, dst: usize) -> Vec<NodeId> {
+    let (mut x, mut y) = (src % width, src / width);
+    let (gx, gy) = (dst % width, dst / width);
+    let mut path = Vec::new();
+    while x != gx {
+        x = if gx > x { x + 1 } else { x - 1 };
+        path.push(NodeId((y * width + x) as u16));
+    }
+    while y != gy {
+        y = if gy > y { y + 1 } else { y - 1 };
+        path.push(NodeId((y * width + x) as u16));
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_routes_have_no_wraparound() {
+        let m = Topology::mesh2d(4, 4);
+        assert_eq!(m.nodes(), 16);
+        assert_eq!(m.diameter(), 6);
+        // 0 -> 3 must walk the whole row (no ring shortcut).
+        assert_eq!(
+            m.route(NodeId(0), NodeId(3)),
+            vec![NodeId(1), NodeId(2), NodeId(3)]
+        );
+        // Corner to corner: Manhattan distance.
+        assert_eq!(m.distance(NodeId(0), NodeId(15)), 6);
+        // Every route ends at its destination.
+        for s in 0..16u16 {
+            for d in 0..16u16 {
+                let path = m.route(NodeId(s), NodeId(d));
+                if s != d {
+                    assert_eq!(*path.last().unwrap(), NodeId(d));
+                    assert!(path.len() as u32 <= m.diameter());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_is_slower_than_torus_at_the_edges() {
+        let mesh = Topology::mesh2d(4, 4);
+        let torus = Topology::torus2d(4, 4);
+        assert!(mesh.distance(NodeId(0), NodeId(3)) > torus.distance(NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn crossbar_routes_are_single_hop() {
+        let t = Topology::crossbar(8);
+        assert_eq!(t.nodes(), 8);
+        assert_eq!(t.diameter(), 1);
+        assert_eq!(t.route(NodeId(0), NodeId(7)), vec![NodeId(7)]);
+        assert_eq!(t.route(NodeId(3), NodeId(3)), vec![]);
+        assert_eq!(t.distance(NodeId(1), NodeId(2)), 1);
+    }
+
+    #[test]
+    fn torus2d_routes_are_dimension_ordered() {
+        let t = Topology::torus2d(4, 4);
+        // 0=(0,0) to 10=(2,2): X first (1, 2), then Y (6, 10).
+        let path = t.route(NodeId(0), NodeId(10));
+        assert_eq!(path, vec![NodeId(1), NodeId(2), NodeId(6), NodeId(10)]);
+    }
+
+    #[test]
+    fn torus_wraparound_takes_short_way() {
+        let t = Topology::torus2d(4, 1);
+        // 0 -> 3 is one hop backwards around the ring, not three forward.
+        assert_eq!(t.route(NodeId(0), NodeId(3)), vec![NodeId(3)]);
+        let t8 = Topology::torus2d(8, 1);
+        assert_eq!(t8.distance(NodeId(0), NodeId(6)), 2); // via 7
+    }
+
+    #[test]
+    fn torus_routes_end_at_destination_and_respect_diameter() {
+        let t = Topology::torus3d(3, 3, 3);
+        for s in 0..27u16 {
+            for d in 0..27u16 {
+                let path = t.route(NodeId(s), NodeId(d));
+                if s == d {
+                    assert!(path.is_empty());
+                } else {
+                    assert_eq!(*path.last().unwrap(), NodeId(d));
+                    assert!(path.len() as u32 <= t.diameter());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus_steps_are_neighbors() {
+        let t = Topology::torus2d(4, 4);
+        for s in 0..16u16 {
+            for d in 0..16u16 {
+                let mut prev = s as usize;
+                for hop in t.route(NodeId(s), NodeId(d)) {
+                    let (px, py) = (prev % 4, prev / 4);
+                    let (hx, hy) = (hop.index() % 4, hop.index() / 4);
+                    let dx = (px as i32 - hx as i32).rem_euclid(4).min((hx as i32 - px as i32).rem_euclid(4));
+                    let dy = (py as i32 - hy as i32).rem_euclid(4).min((hy as i32 - py as i32).rem_euclid(4));
+                    assert_eq!(dx + dy, 1, "non-neighbor step {prev}->{}", hop.index());
+                    prev = hop.index();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diameters() {
+        assert_eq!(Topology::torus2d(4, 4).diameter(), 4);
+        assert_eq!(Topology::torus3d(4, 4, 4).diameter(), 6);
+        assert_eq!(Topology::torus3d(3, 3, 3).diameter(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_node_panics() {
+        Topology::crossbar(2).route(NodeId(0), NodeId(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty fabric")]
+    fn empty_crossbar_panics() {
+        Topology::crossbar(0);
+    }
+}

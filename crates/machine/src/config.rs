@@ -1,0 +1,164 @@
+//! Cluster-wide configuration: hardware parameters plus software costs.
+
+use sonuma_fabric::FabricConfig;
+use sonuma_memory::HierarchyConfig;
+use sonuma_rmc::RmcTiming;
+use sonuma_sim::SimTime;
+
+/// Costs of the user-level access library (§5.2) on a given platform.
+///
+/// These are the software-side halves of every remote operation: composing
+/// and storing a WQ entry, polling the CQ, and dispatching a completion
+/// callback. On the simulated hardware they bound per-core remote-operation
+/// rate at ~10 M ops/s (§7.2: "the limited per-core remote read rate (due
+/// to the software API's overhead on each request)"); on the development
+/// platform the same path costs ~5x more (1.97 M IOPS, Table 2).
+#[derive(Debug, Clone, Copy)]
+pub struct SoftwareTiming {
+    /// Composing + storing one WQ entry (the bare `rmc_*` issue path).
+    pub post_cost: SimTime,
+    /// One CQ poll that finds nothing.
+    pub cq_poll_cost: SimTime,
+    /// Observing one completion: reading the CQ entry and advancing the
+    /// consumer cursor. Asynchronous applications additionally charge
+    /// [`SoftwareTiming::callback_cost`] themselves per completion.
+    pub completion_cost: SimTime,
+    /// Callback dispatch and slot recycling per asynchronous operation —
+    /// "the software API's overhead on each request" that bounds per-core
+    /// remote operation rate at ~10 M ops/s (§7.5). Charged by the
+    /// application's completion handler, not by the raw poll.
+    pub callback_cost: SimTime,
+    /// Latency from an RMC CQ write (or a remote write to watched memory)
+    /// to the polling core observing it — the coherence invalidation plus
+    /// the next poll iteration.
+    pub wake_detect: SimTime,
+    /// Per-message fixed cost of the software send/receive library
+    /// (header packing, credit accounting; §5.3).
+    pub msg_overhead: SimTime,
+}
+
+impl SoftwareTiming {
+    /// The simulated-hardware platform (2 GHz OoO core).
+    pub fn hardware() -> Self {
+        SoftwareTiming {
+            post_cost: SimTime::from_ns(25),
+            cq_poll_cost: SimTime::from_ns(10),
+            completion_cost: SimTime::from_ns(15),
+            callback_cost: SimTime::from_ns(55),
+            wake_detect: SimTime::from_ns(15),
+            msg_overhead: SimTime::from_ns(50),
+        }
+    }
+
+    /// The development platform (guest user space over Xen).
+    pub fn emulated() -> Self {
+        SoftwareTiming {
+            post_cost: SimTime::from_ns(220),
+            cq_poll_cost: SimTime::from_ns(55),
+            completion_cost: SimTime::from_ns(55),
+            callback_cost: SimTime::from_ns(170),
+            wake_detect: SimTime::from_ns(100),
+            msg_overhead: SimTime::from_ns(250),
+        }
+    }
+}
+
+/// Full configuration of a simulated soNUMA cluster.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Number of nodes on the fabric.
+    pub nodes: usize,
+    /// Application cores per node (the RMC is an extra agent).
+    pub cores_per_node: usize,
+    /// Physical memory per node, bytes.
+    pub mem_bytes: u64,
+    /// Cache/DRAM parameters (Table 1).
+    pub hierarchy: HierarchyConfig,
+    /// RMC pipeline timing.
+    pub rmc: RmcTiming,
+    /// Fabric topology and timing.
+    pub fabric: FabricConfig,
+    /// Access-library costs.
+    pub software: SoftwareTiming,
+    /// ITT capacity (in-flight WQ requests per node).
+    pub itt_entries: usize,
+    /// Queue-pair ring size used by the OS when creating QPs.
+    pub qp_entries: u16,
+}
+
+impl MachineConfig {
+    /// The paper's simulated-hardware platform (Table 1) at `nodes` nodes.
+    pub fn simulated_hardware(nodes: usize) -> Self {
+        MachineConfig {
+            nodes,
+            cores_per_node: 1,
+            mem_bytes: 4 << 30,
+            hierarchy: HierarchyConfig::table1(),
+            rmc: RmcTiming::hardware(),
+            fabric: FabricConfig::paper_crossbar(nodes),
+            software: SoftwareTiming::hardware(),
+            itt_entries: 64,
+            qp_entries: 64,
+        }
+    }
+
+    /// The Xen-based development platform (§7.1) at `nodes` nodes: same
+    /// architecture, software-emulation costs.
+    pub fn dev_platform(nodes: usize) -> Self {
+        MachineConfig {
+            nodes,
+            cores_per_node: 1,
+            mem_bytes: 4 << 30,
+            hierarchy: HierarchyConfig::table1(),
+            rmc: RmcTiming::emulated(),
+            fabric: FabricConfig::dev_platform(nodes),
+            software: SoftwareTiming::emulated(),
+            itt_entries: 64,
+            qp_entries: 64,
+        }
+    }
+
+    /// A single-node multicore for the `SHM(pthreads)` PageRank baseline:
+    /// `cores` cores sharing one coherent hierarchy with 4 MB of LLC per
+    /// core (§7.5).
+    pub fn shared_memory_node(cores: usize) -> Self {
+        let mut c = Self::simulated_hardware(1);
+        c.cores_per_node = cores;
+        c.hierarchy = HierarchyConfig::table1_multicore(cores);
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        let hw = MachineConfig::simulated_hardware(8);
+        assert_eq!(hw.nodes, 8);
+        assert_eq!(hw.fabric.topology.nodes(), 8);
+        assert_eq!(hw.cores_per_node, 1);
+
+        let dev = MachineConfig::dev_platform(16);
+        assert_eq!(dev.fabric.topology.nodes(), 16);
+        assert!(dev.software.post_cost > hw.software.post_cost);
+        assert!(dev.rmc.unroll_interval > hw.rmc.unroll_interval);
+    }
+
+    #[test]
+    fn hardware_issue_rate_targets_ten_million_iops() {
+        let s = SoftwareTiming::hardware();
+        // Async loop: issue + observe + callback per operation.
+        let per_op = s.post_cost + s.completion_cost + s.callback_cost;
+        let iops = 1e9 / per_op.as_ns_f64() * 1e-6;
+        assert!((8.0..13.0).contains(&iops), "async issue rate {iops} M ops/s");
+    }
+
+    #[test]
+    fn shm_node_scales_llc() {
+        let c = MachineConfig::shared_memory_node(8);
+        assert_eq!(c.cores_per_node, 8);
+        assert_eq!(c.hierarchy.l2_geometry.size_bytes(), 8 * 4 * 1024 * 1024);
+    }
+}

@@ -1,0 +1,38 @@
+//! Full-system model: nodes, cores, OS driver, and the cluster world that
+//! wires the RMC pipelines to the memory fabric.
+//!
+//! This crate is the reproduction's stand-in for Flexus full-system
+//! simulation. A [`Cluster`] owns every node (physical memory, coherent
+//! cache hierarchy, RMC, cores) plus the fabric, and is driven as the world
+//! of a `sonuma_sim::Engine`. The three RMC pipelines of the paper (§4.2)
+//! are implemented as event chains over that world:
+//!
+//! * **RGP** — `Cluster::rgp_service` polls work queues (reading real WQ
+//!   bytes through the coherence hierarchy), allocates tids in the ITT,
+//!   unrolls multi-line requests, and injects request packets;
+//! * **RRPP** — `Cluster::rrpp_handle` statelessly services requests:
+//!   CT/CT$ lookup, bounds check, TLB/page-walk translation, a local
+//!   coherent memory access (including atomics), and exactly one reply;
+//! * **RCP** — `Cluster::rcp_handle` matches replies via the ITT, writes
+//!   payloads into application buffers, and posts CQ entries.
+//!
+//! Applications are [`AppProcess`] state machines running on simulated
+//! cores in run-to-block style: each wake-up performs local work and API
+//! calls (which charge simulated time) and then blocks on a timer, a
+//! completion queue, or a memory watch — the model of the paper's polling
+//! loops, with the coherence-invalidation wake-up made explicit.
+
+pub mod api;
+pub mod cluster;
+pub mod config;
+pub mod node;
+pub mod process;
+
+pub use api::{ApiError, NodeApi};
+pub use cluster::Cluster;
+pub use config::{MachineConfig, SoftwareTiming};
+pub use node::Node;
+pub use process::{AppProcess, Completion, Step, Wake};
+
+/// Convenience alias: the event engine specialized to the cluster world.
+pub type ClusterEngine = sonuma_sim::Engine<Cluster>;

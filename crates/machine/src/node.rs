@@ -1,0 +1,459 @@
+//! Per-node state: memory, coherence hierarchy, RMC, cores, queue pairs.
+
+use std::collections::VecDeque;
+
+use sonuma_memory::{
+    AccessKind, AddressSpace, AgentId, FrameAllocator, MemError, MemoryHierarchy, PAddr,
+    PhysicalMemory, Tlb, VAddr, PAGE_BYTES,
+};
+use sonuma_protocol::QpId;
+use sonuma_rmc::{ContextTable, CtCache, InflightTable, Maq, QueuePairState, RmcTiming};
+use sonuma_sim::SimTime;
+
+use crate::config::MachineConfig;
+use crate::process::AppProcess;
+
+/// Base virtual address of the per-node private heap (WQ/CQ rings, local
+/// buffers).
+pub const HEAP_BASE: u64 = 0x0010_0000;
+
+/// Base virtual address of context segments (the globally accessible part
+/// of each node's address space).
+pub const CTX_BASE: u64 = 0x4000_0000;
+
+/// Bytes reserved at the top of physical memory for page-table lines (the
+/// hardware walker's memory traffic is charged against real, cacheable
+/// addresses).
+const PT_REGION_BYTES: u64 = 16 << 20;
+
+/// What a core is blocked on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockState {
+    /// No process attached (or the process returned `Step::Done`).
+    Idle,
+    /// Currently executing a wake-up (transient).
+    Running,
+    /// Waiting for a timer.
+    Sleeping,
+    /// Waiting for a completion on a QP.
+    WaitingCq(QpId),
+    /// Waiting for a remote write into a memory range.
+    WaitingMemory(VAddr, u64),
+    /// Waiting for whichever of the two comes first.
+    WaitingEither(QpId, VAddr, u64),
+}
+
+/// One simulated core and its attached process.
+pub struct CoreSlot {
+    /// The application, absent while idle.
+    pub process: Option<Box<dyn AppProcess>>,
+    /// Current blocking state.
+    pub block: BlockState,
+    /// Set while a wake event is already scheduled (dedup).
+    pub wake_pending: bool,
+    /// Logical time the core finished its last wake-up. Wake deliveries
+    /// never precede this: the core cannot observe a completion while it
+    /// is still retiring the instructions of its previous run.
+    pub busy_until: SimTime,
+}
+
+impl std::fmt::Debug for CoreSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoreSlot")
+            .field("attached", &self.process.is_some())
+            .field("block", &self.block)
+            .field("wake_pending", &self.wake_pending)
+            .finish()
+    }
+}
+
+/// Application-side cursors of one queue pair (the halves the access
+/// library owns: WQ producer, CQ consumer).
+#[derive(Debug, Clone)]
+pub struct AppQpCursors {
+    /// Core that owns (polls) this QP.
+    pub owner_core: usize,
+    /// Next WQ slot to fill.
+    pub wq_index: u16,
+    /// Phase bit to write into the next WQ entry.
+    pub wq_phase: bool,
+    /// Next CQ slot to read.
+    pub cq_index: u16,
+    /// Phase bit expected on the next fresh CQ entry.
+    pub cq_phase: bool,
+    /// Posted-but-not-yet-consumed completions (bounds WQ occupancy).
+    pub outstanding: u16,
+    /// Per-slot in-flight markers. Completions arrive out of order (§4.2),
+    /// so a slot is reusable only once *its* completion is processed —
+    /// the paper's `rmc_wait_for_slot` semantics, which is what lets the
+    /// CQ identify requests by WQ index unambiguously.
+    pub slot_busy: Vec<bool>,
+}
+
+/// A remote write observed by this node (for memory-watch wake-ups).
+#[derive(Debug, Clone, Copy)]
+pub struct RemoteWrite {
+    /// Virtual address written.
+    pub addr: VAddr,
+    /// Bytes written.
+    pub len: u64,
+    /// Completion time of the write in the local hierarchy.
+    pub time: SimTime,
+}
+
+/// An armed memory watch: `core` wants a wake-up when a remote write lands
+/// in `[addr, addr+len)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Watch {
+    /// Watching core.
+    pub core: usize,
+    /// Range base.
+    pub addr: VAddr,
+    /// Range length.
+    pub len: u64,
+}
+
+/// The RMC: pipelines' shared state plus its private TLB and counters (§4.3).
+#[derive(Debug)]
+pub struct RmcUnit {
+    /// Pipeline timing parameters.
+    pub timing: RmcTiming,
+    /// The Context Table (driver-maintained).
+    pub ct: ContextTable,
+    /// The CT$ lookaside.
+    pub ct_cache: CtCache,
+    /// Inflight Transaction Table.
+    pub itt: InflightTable,
+    /// Memory Access Queue.
+    pub maq: Maq,
+    /// The RMC's TLB (32 entries, Table 1).
+    pub tlb: Tlb,
+    /// Registered queue pairs (RMC-side cursors).
+    pub qps: Vec<QueuePairState>,
+    /// QPs with possibly-unconsumed WQ entries, in service order.
+    pub active_qps: VecDeque<QpId>,
+    /// Whether an RGP service event is scheduled.
+    pub rgp_busy: bool,
+    /// Requests served by the RRPP (this node as destination).
+    pub rrpp_served: u64,
+    /// Replies processed by the RCP.
+    pub rcp_replies: u64,
+    /// WQ requests launched by the RGP.
+    pub rgp_requests: u64,
+    /// Line packets injected by the RGP.
+    pub rgp_lines: u64,
+}
+
+/// One soNUMA node: SoC + memory + RMC, attached to the fabric.
+#[derive(Debug)]
+pub struct Node {
+    /// Functional memory contents.
+    pub phys: PhysicalMemory,
+    /// Timing model (cores + RMC share it; RMC is the last agent).
+    pub hierarchy: MemoryHierarchy,
+    /// Physical frame allocator.
+    pub alloc: FrameAllocator,
+    /// The single application address space on this node (asid 0).
+    pub space: AddressSpace,
+    /// Bump pointer for heap allocations.
+    pub heap_next: u64,
+    /// The remote memory controller.
+    pub rmc: RmcUnit,
+    /// Application cores.
+    pub cores: Vec<CoreSlot>,
+    /// Application-side QP cursors, indexed like `rmc.qps`.
+    pub app_qps: Vec<AppQpCursors>,
+    /// Armed memory watches.
+    pub watches: Vec<Watch>,
+    /// Core designated to receive remote interrupts, if any.
+    pub interrupt_handler: Option<usize>,
+    /// Interrupts accepted but not yet delivered (FIFO).
+    pub pending_interrupts: VecDeque<(sonuma_protocol::NodeId, u64)>,
+    /// Interrupts dropped because no handler was registered.
+    pub interrupts_dropped: u64,
+    /// Recent remote writes (pruned ring, newest last).
+    pub recent_remote_writes: VecDeque<RemoteWrite>,
+    /// Completed remote operations issued by this node.
+    pub ops_completed: u64,
+    /// Payload bytes this node read from remote memory.
+    pub bytes_read: u64,
+    /// Payload bytes this node wrote to remote memory.
+    pub bytes_written: u64,
+}
+
+impl Node {
+    /// Builds an idle node per `config`.
+    pub fn new(config: &MachineConfig) -> Self {
+        let agents = config.cores_per_node + 1;
+        // Leave the PT region out of the allocatable pool.
+        let allocatable = config.mem_bytes - PT_REGION_BYTES;
+        Node {
+            phys: PhysicalMemory::new(config.mem_bytes),
+            hierarchy: MemoryHierarchy::new(config.hierarchy, agents),
+            alloc: FrameAllocator::new(allocatable),
+            space: AddressSpace::new(0),
+            heap_next: HEAP_BASE,
+            rmc: RmcUnit {
+                timing: config.rmc,
+                ct: ContextTable::new(),
+                ct_cache: CtCache::new(config.rmc.ct_cache_entries),
+                itt: InflightTable::new(config.itt_entries),
+                maq: Maq::new(config.rmc.maq_entries),
+                tlb: Tlb::new(config.rmc.tlb_entries),
+                qps: Vec::new(),
+                active_qps: VecDeque::new(),
+                rgp_busy: false,
+                rrpp_served: 0,
+                rcp_replies: 0,
+                rgp_requests: 0,
+                rgp_lines: 0,
+            },
+            cores: (0..config.cores_per_node)
+                .map(|_| CoreSlot {
+                    process: None,
+                    block: BlockState::Idle,
+                    wake_pending: false,
+                    busy_until: SimTime::ZERO,
+                })
+                .collect(),
+            app_qps: Vec::new(),
+            watches: Vec::new(),
+            interrupt_handler: None,
+            pending_interrupts: VecDeque::new(),
+            interrupts_dropped: 0,
+            recent_remote_writes: VecDeque::new(),
+            ops_completed: 0,
+            bytes_read: 0,
+            bytes_written: 0,
+        }
+    }
+
+    /// The hierarchy agent id of core `c`.
+    pub fn core_agent(&self, core: usize) -> AgentId {
+        debug_assert!(core < self.cores.len());
+        AgentId(core)
+    }
+
+    /// The hierarchy agent id of the RMC (always the last agent).
+    pub fn rmc_agent(&self) -> AgentId {
+        AgentId(self.cores.len())
+    }
+
+    /// Translates a virtual address through the node's page table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MemError::Unmapped`] faults.
+    pub fn translate(&self, va: VAddr) -> Result<PAddr, MemError> {
+        self.space.translate(va)
+    }
+
+    /// Functional read of `buf.len()` bytes at virtual `va` (handles page
+    /// crossings).
+    ///
+    /// # Errors
+    ///
+    /// Fails if any page in the range is unmapped.
+    pub fn read_virt(&self, va: VAddr, buf: &mut [u8]) -> Result<(), MemError> {
+        let mut done = 0usize;
+        while done < buf.len() {
+            let cur = va.offset(done as u64);
+            let pa = self.translate(cur)?;
+            let take = ((PAGE_BYTES - cur.page_offset()) as usize).min(buf.len() - done);
+            self.phys.read(pa, &mut buf[done..done + take]);
+            done += take;
+        }
+        Ok(())
+    }
+
+    /// Functional write of `data` at virtual `va` (handles page crossings).
+    ///
+    /// # Errors
+    ///
+    /// Fails if any page in the range is unmapped.
+    pub fn write_virt(&mut self, va: VAddr, data: &[u8]) -> Result<(), MemError> {
+        let mut done = 0usize;
+        while done < data.len() {
+            let cur = va.offset(done as u64);
+            let pa = self.translate(cur)?;
+            let take = ((PAGE_BYTES - cur.page_offset()) as usize).min(data.len() - done);
+            self.phys.write(pa, &data[done..done + take]);
+            done += take;
+        }
+        Ok(())
+    }
+
+    /// One cache-line access by the RMC through the MAQ: bounded
+    /// concurrency, hierarchy timing. Returns the completion time.
+    pub fn rmc_line_access(&mut self, now: SimTime, pa: PAddr, kind: AccessKind) -> SimTime {
+        let rmc_agent = AgentId(self.cores.len());
+        let hierarchy = &mut self.hierarchy;
+        let (_, done) = self
+            .rmc
+            .maq
+            .schedule(now, |start| hierarchy.access(rmc_agent, pa, kind, start).latency);
+        done
+    }
+
+    /// RMC-side translation with TLB + hardware page walk. Returns the
+    /// translation result and the time translation completes.
+    ///
+    /// Walk traffic is charged against real, cacheable page-table lines in
+    /// a reserved physical region — hot PT entries hit in the LLC exactly
+    /// as the paper's shared-page-table argument expects.
+    pub fn rmc_translate(&mut self, now: SimTime, va: VAddr) -> (Result<PAddr, MemError>, SimTime) {
+        let mut t = now + self.rmc.timing.tlb_lookup;
+        let hit = self.rmc.tlb.lookup(0, va).is_some();
+        if !hit {
+            for level in 0..self.space.walk_references() {
+                let pt_pa = self.pt_line_addr(va, level);
+                t = self.rmc_line_access(t, pt_pa, AccessKind::Read);
+            }
+            if let Ok(pa) = self.space.translate(va) {
+                self.rmc.tlb.insert(0, va, pa.frame_number());
+            }
+        }
+        (self.space.translate(va), t)
+    }
+
+    /// Physical address of the page-table line the walker touches for
+    /// `va` at `level`.
+    fn pt_line_addr(&self, va: VAddr, level: u32) -> PAddr {
+        let region_base = self.phys.capacity() - PT_REGION_BYTES;
+        let idx = (va.page_number() * 2 + level as u64) * 64 % PT_REGION_BYTES;
+        PAddr::new(region_base + idx)
+    }
+
+    /// Allocates `len` bytes (rounded to whole pages for simplicity of
+    /// pinning) from the private heap, mapping frames eagerly.
+    ///
+    /// # Errors
+    ///
+    /// Fails when physical memory is exhausted.
+    pub fn heap_alloc(&mut self, len: u64) -> Result<VAddr, MemError> {
+        let base = VAddr::new(self.heap_next);
+        let pages = len.div_ceil(PAGE_BYTES).max(1);
+        self.space.map_range(base, pages * PAGE_BYTES, &mut self.alloc)?;
+        self.heap_next += pages * PAGE_BYTES;
+        Ok(base)
+    }
+
+    /// Records a remote write for watch matching, pruning old entries.
+    pub fn note_remote_write(&mut self, addr: VAddr, len: u64, time: SimTime) {
+        self.recent_remote_writes.push_back(RemoteWrite { addr, len, time });
+        while self.recent_remote_writes.len() > 128 {
+            self.recent_remote_writes.pop_front();
+        }
+    }
+
+    /// Returns the index of the first armed watch intersecting
+    /// `[addr, addr+len)`, if any.
+    pub fn matching_watch(&self, addr: VAddr, len: u64) -> Option<usize> {
+        self.watches.iter().position(|w| {
+            let (a0, a1) = (addr.raw(), addr.raw() + len);
+            let (w0, w1) = (w.addr.raw(), w.addr.raw() + w.len);
+            a0 < w1 && w0 < a1
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sonuma_protocol::CtxId;
+    use sonuma_rmc::ContextEntry;
+
+    fn node() -> Node {
+        Node::new(&MachineConfig::simulated_hardware(2))
+    }
+
+    #[test]
+    fn heap_alloc_maps_pages() {
+        let mut n = node();
+        let a = n.heap_alloc(100).unwrap();
+        assert_eq!(a.raw(), HEAP_BASE);
+        assert!(n.translate(a).is_ok());
+        let b = n.heap_alloc(PAGE_BYTES * 2).unwrap();
+        assert_eq!(b.raw(), HEAP_BASE + PAGE_BYTES);
+        assert!(n.translate(VAddr::new(b.raw() + 2 * PAGE_BYTES - 1)).is_ok());
+    }
+
+    #[test]
+    fn virt_rw_roundtrip_across_pages() {
+        let mut n = node();
+        let base = n.heap_alloc(3 * PAGE_BYTES).unwrap();
+        let data: Vec<u8> = (0..PAGE_BYTES as usize + 100).map(|i| i as u8).collect();
+        let va = base.offset(PAGE_BYTES - 50);
+        n.write_virt(va, &data).unwrap();
+        let mut back = vec![0u8; data.len()];
+        n.read_virt(va, &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn unmapped_virt_access_fails() {
+        let n = node();
+        let mut buf = [0u8; 4];
+        assert!(n.read_virt(VAddr::new(0xDEAD_0000), &mut buf).is_err());
+    }
+
+    #[test]
+    fn rmc_translate_uses_tlb_after_walk() {
+        let mut n = node();
+        let va = n.heap_alloc(64).unwrap();
+        let (r1, t1) = n.rmc_translate(SimTime::ZERO, va);
+        assert!(r1.is_ok());
+        assert!(t1 > n.rmc.timing.tlb_lookup, "first translation walks");
+        let (r2, t2) = n.rmc_translate(t1, va);
+        assert_eq!(r1.unwrap(), r2.unwrap());
+        assert_eq!(t2 - t1, n.rmc.timing.tlb_lookup, "second translation hits TLB");
+    }
+
+    #[test]
+    fn rmc_line_access_completes_out_of_order() {
+        // §4.3: "The MAQ supports out-of-order completion of memory
+        // accesses" — a later L1 hit may finish before an earlier DRAM miss.
+        let mut n = node();
+        let va = n.heap_alloc(64).unwrap();
+        let pa = n.translate(va).unwrap();
+        let t1 = n.rmc_line_access(SimTime::ZERO, pa, AccessKind::Read); // DRAM
+        let t2 = n.rmc_line_access(SimTime::ZERO, pa, AccessKind::Read); // L1 hit
+        assert!(t2 < t1, "the L1 hit should complete before the DRAM miss");
+        assert_eq!(n.rmc.maq.accesses(), 2);
+    }
+
+    #[test]
+    fn watch_matching_intersects_ranges() {
+        let mut n = node();
+        n.watches.push(Watch { core: 0, addr: VAddr::new(100), len: 50 });
+        assert!(n.matching_watch(VAddr::new(140), 20).is_some());
+        assert!(n.matching_watch(VAddr::new(150), 10).is_none());
+        assert!(n.matching_watch(VAddr::new(0), 101).is_some());
+        assert!(n.matching_watch(VAddr::new(0), 100).is_none());
+    }
+
+    #[test]
+    fn context_registration_is_visible() {
+        let mut n = node();
+        n.rmc.ct.register(
+            CtxId(0),
+            ContextEntry {
+                segment_base: VAddr::new(CTX_BASE),
+                segment_len: 8192,
+                asid: 0,
+                qps: vec![],
+            },
+        );
+        assert!(n.rmc.ct.lookup(CtxId(0)).is_ok());
+    }
+
+    #[test]
+    fn remote_write_log_prunes() {
+        let mut n = node();
+        for i in 0..200 {
+            n.note_remote_write(VAddr::new(i * 64), 64, SimTime::from_ns(i));
+        }
+        assert_eq!(n.recent_remote_writes.len(), 128);
+        assert_eq!(n.recent_remote_writes.front().unwrap().addr, VAddr::new(72 * 64));
+    }
+}

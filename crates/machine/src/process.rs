@@ -1,0 +1,139 @@
+//! The run-to-block application execution model.
+//!
+//! Simulated applications are state machines: on every wake-up they run on
+//! their core — issuing remote operations, touching memory, computing —
+//! with each action charging simulated time through the [`crate::NodeApi`].
+//! They then *block* by returning a [`Step`], and the machine wakes them
+//! when the corresponding event fires. This mirrors how the paper's
+//! applications are written against the asynchronous access library
+//! (Fig. 4): issue loops, CQ polling, and callback dispatch — with the
+//! blocking points made explicit instead of burning simulated cycles in a
+//! spin loop.
+
+use sonuma_memory::VAddr;
+use sonuma_protocol::{QpId, Status};
+use sonuma_sim::SimTime;
+
+use crate::api::NodeApi;
+
+/// One completed WQ request, as observed by the application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Queue pair it completed on.
+    pub qp: QpId,
+    /// Index of the completed WQ entry (the paper's CQ payload, §4.1).
+    pub wq_index: u16,
+    /// Completion status (errors surface here, §4.2).
+    pub status: Status,
+}
+
+/// Why a process was woken.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Wake {
+    /// First wake-up after `spawn`.
+    Start,
+    /// A `Step::Sleep` timer expired.
+    Timer,
+    /// One or more completions are ready on a CQ the process waited on.
+    CqReady(Vec<Completion>),
+    /// A remote write touched memory the process was watching.
+    MemoryTouched {
+        /// Base of the watched range that was written.
+        addr: VAddr,
+    },
+    /// A remote interrupt arrived for this core (the §8 extension: node-to-
+    /// node notification without polling). Delivered when the process next
+    /// blocks; one interrupt per wake-up.
+    Interrupt {
+        /// Originating node.
+        from: sonuma_protocol::NodeId,
+        /// 8-byte payload the sender attached.
+        payload: u64,
+    },
+}
+
+/// How a process blocks at the end of a wake-up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Compute (or idle) for a duration, then wake with [`Wake::Timer`].
+    Sleep(SimTime),
+    /// Park until a completion is available on this queue pair.
+    WaitCq(QpId),
+    /// Park until a remote write lands in `[addr, addr+len)` — the model of
+    /// polling a receive buffer: the poll loop observes the coherence
+    /// invalidation caused by the RMC's write (§5.3).
+    WaitMemory {
+        /// Watched range base.
+        addr: VAddr,
+        /// Watched range length in bytes.
+        len: u64,
+    },
+    /// Park until either a CQ completion or a watched write, whichever
+    /// comes first.
+    WaitCqOrMemory {
+        /// Queue pair to watch.
+        qp: QpId,
+        /// Watched range base.
+        addr: VAddr,
+        /// Watched range length in bytes.
+        len: u64,
+    },
+    /// The process finished; the core goes idle permanently.
+    Done,
+}
+
+/// A simulated application running on one core.
+///
+/// Implementations hold their own state (loop counters, outstanding-slot
+/// tables, measurement accumulators) and advance it on every [`Self::wake`].
+///
+/// # Example
+///
+/// ```
+/// use sonuma_machine::{AppProcess, NodeApi, Step, Wake};
+/// use sonuma_sim::SimTime;
+///
+/// /// Counts its own wake-ups, then finishes.
+/// struct Ticker { remaining: u32 }
+///
+/// impl AppProcess for Ticker {
+///     fn wake(&mut self, _api: &mut NodeApi<'_>, _why: Wake) -> Step {
+///         if self.remaining == 0 {
+///             return Step::Done;
+///         }
+///         self.remaining -= 1;
+///         Step::Sleep(SimTime::from_us(1))
+///     }
+/// }
+/// ```
+pub trait AppProcess {
+    /// Runs the process until it blocks; `why` reports what woke it.
+    fn wake(&mut self, api: &mut NodeApi<'_>, why: Wake) -> Step;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_variants_compare() {
+        assert_eq!(Wake::Start, Wake::Start);
+        assert_ne!(Wake::Start, Wake::Timer);
+        let c = Completion {
+            qp: QpId(0),
+            wq_index: 3,
+            status: Status::Ok,
+        };
+        assert_eq!(Wake::CqReady(vec![c]), Wake::CqReady(vec![c]));
+    }
+
+    #[test]
+    fn step_variants_compare() {
+        assert_eq!(Step::Sleep(SimTime::from_ns(5)), Step::Sleep(SimTime::from_ns(5)));
+        assert_ne!(Step::WaitCq(QpId(0)), Step::WaitCq(QpId(1)));
+        assert_eq!(
+            Step::WaitMemory { addr: VAddr::new(4), len: 8 },
+            Step::WaitMemory { addr: VAddr::new(4), len: 8 }
+        );
+    }
+}

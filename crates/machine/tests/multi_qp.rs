@@ -1,0 +1,168 @@
+//! Multiple queue pairs per node/context: "multi-threaded processes can
+//! register multiple QPs for the same address space and ctx_id" (§4.2).
+//! The RGP round-robins its active-QP list; completions must route to the
+//! right CQ.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use sonuma_machine::{AppProcess, Cluster, ClusterEngine, MachineConfig, NodeApi, Step, Wake};
+use sonuma_memory::VAddr;
+use sonuma_protocol::{CtxId, NodeId, QpId};
+
+const CTX: CtxId = CtxId(0);
+
+/// Drives two QPs concurrently from one core, tagging reads per QP.
+struct TwoQueues {
+    qps: [QpId; 2],
+    bufs: [VAddr; 2],
+    per_qp: u32,
+    done: [u32; 2],
+    issued: [u32; 2],
+    totals: Rc<RefCell<[u32; 2]>>,
+}
+
+impl AppProcess for TwoQueues {
+    fn wake(&mut self, api: &mut NodeApi<'_>, why: Wake) -> Step {
+        if matches!(why, Wake::Start) {
+            self.bufs = [api.heap_alloc(64).unwrap(), api.heap_alloc(64).unwrap()];
+        }
+        if let Wake::CqReady(comps) = &why {
+            for c in comps {
+                let which = self.qps.iter().position(|q| *q == c.qp).expect("known QP");
+                assert!(c.status.is_ok());
+                // Each QP reads a distinct offset; verify no cross-talk.
+                let v = api.local_load_u64(self.bufs[which]).unwrap();
+                assert_eq!(v, 0xAA00 + which as u64, "QP {which} read wrong region");
+                self.done[which] += 1;
+                self.totals.borrow_mut()[which] += 1;
+            }
+        }
+        // Keep both QPs busy; block on whichever lags.
+        for which in 0..2 {
+            while self.issued[which] < self.per_qp
+                && api.outstanding(self.qps[which]) < 4
+            {
+                api.post_read(
+                    self.qps[which],
+                    NodeId(1),
+                    CTX,
+                    (which as u64) * 64,
+                    self.bufs[which],
+                    64,
+                )
+                .unwrap();
+                self.issued[which] += 1;
+            }
+        }
+        if self.done[0] == self.per_qp && self.done[1] == self.per_qp {
+            return Step::Done;
+        }
+        // Wait on the QP with more outstanding work.
+        let lag = if (self.issued[0] - self.done[0]) >= (self.issued[1] - self.done[1]) {
+            0
+        } else {
+            1
+        };
+        Step::WaitCq(self.qps[lag])
+    }
+}
+
+#[test]
+fn two_qps_on_one_core_interleave_correctly() {
+    let mut cluster = Cluster::new(MachineConfig::simulated_hardware(2));
+    cluster.create_context(CTX, 1 << 20).unwrap();
+    cluster.write_ctx(NodeId(1), CTX, 0, &0xAA00u64.to_le_bytes());
+    cluster.write_ctx(NodeId(1), CTX, 64, &0xAA01u64.to_le_bytes());
+    let mut engine = ClusterEngine::new();
+    let qp_a = cluster.create_qp(NodeId(0), CTX, 0).unwrap();
+    let qp_b = cluster.create_qp(NodeId(0), CTX, 0).unwrap();
+    assert_ne!(qp_a, qp_b);
+    let totals = Rc::new(RefCell::new([0u32; 2]));
+    cluster.spawn(
+        &mut engine,
+        NodeId(0),
+        0,
+        Box::new(TwoQueues {
+            qps: [qp_a, qp_b],
+            bufs: [VAddr::new(0); 2],
+            per_qp: 30,
+            done: [0; 2],
+            issued: [0; 2],
+            totals: totals.clone(),
+        }),
+    );
+    engine.run(&mut cluster);
+    assert_eq!(*totals.borrow(), [30, 30]);
+    // Both QPs were registered with the context.
+    let ct_entry = cluster.nodes[0].rmc.ct.lookup(CTX).unwrap();
+    assert_eq!(ct_entry.qps.len(), 2);
+}
+
+/// CQ wake-ups only fire for the QP the core actually waits on; the other
+/// QP's completions sit in its CQ until polled.
+#[test]
+fn completions_stay_on_their_own_queue() {
+    struct SplitPoller {
+        qps: [QpId; 2],
+        buf: VAddr,
+        phase: u8,
+        observed: Rc<RefCell<Vec<(usize, u16)>>>,
+    }
+    impl AppProcess for SplitPoller {
+        fn wake(&mut self, api: &mut NodeApi<'_>, why: Wake) -> Step {
+            match (self.phase, why) {
+                (0, Wake::Start) => {
+                    self.buf = api.heap_alloc(64).unwrap();
+                    // One read on each QP.
+                    api.post_read(self.qps[0], NodeId(1), CTX, 0, self.buf, 64).unwrap();
+                    api.post_read(self.qps[1], NodeId(1), CTX, 0, self.buf, 64).unwrap();
+                    self.phase = 1;
+                    Step::WaitCq(self.qps[0])
+                }
+                (1, Wake::CqReady(comps)) => {
+                    for c in &comps {
+                        assert_eq!(c.qp, self.qps[0], "waited on QP 0 only");
+                        self.observed.borrow_mut().push((0, c.wq_index));
+                    }
+                    // Now drain QP 1 explicitly.
+                    let rest = api.poll_cq(self.qps[1]);
+                    for c in &rest {
+                        assert_eq!(c.qp, self.qps[1]);
+                        self.observed.borrow_mut().push((1, c.wq_index));
+                    }
+                    if self.observed.borrow().len() == 2 {
+                        Step::Done
+                    } else {
+                        // QP 1's completion not in yet: wait for it.
+                        Step::WaitCq(self.qps[1])
+                    }
+                }
+                (p, w) => panic!("unexpected ({p}, {w:?})"),
+            }
+        }
+    }
+
+    let mut cluster = Cluster::new(MachineConfig::simulated_hardware(2));
+    cluster.create_context(CTX, 1 << 20).unwrap();
+    let mut engine = ClusterEngine::new();
+    let qp_a = cluster.create_qp(NodeId(0), CTX, 0).unwrap();
+    let qp_b = cluster.create_qp(NodeId(0), CTX, 0).unwrap();
+    let observed = Rc::new(RefCell::new(Vec::new()));
+    cluster.spawn(
+        &mut engine,
+        NodeId(0),
+        0,
+        Box::new(SplitPoller {
+            qps: [qp_a, qp_b],
+            buf: VAddr::new(0),
+            phase: 0,
+            observed: observed.clone(),
+        }),
+    );
+    engine.run(&mut cluster);
+    let got = observed.borrow();
+    assert_eq!(got.len(), 2);
+    assert!(got.contains(&(0, 0)));
+    assert!(got.contains(&(1, 0)));
+}

@@ -1,0 +1,397 @@
+//! Set-associative cache tag arrays with LRU replacement.
+//!
+//! Caches here are *timing* structures: they track which lines are resident
+//! (tags, dirty bits, LRU order) but never hold data — the functional bytes
+//! stay in [`crate::PhysicalMemory`]. This is the classic decoupled
+//! functional/timing simulator split and keeps the model honest: a hit or
+//! miss changes only latency, never values.
+
+use crate::addr::{PAddr, CACHE_LINE_BYTES};
+
+/// Geometry of one cache level.
+///
+/// # Example
+///
+/// ```
+/// use sonuma_memory::CacheGeometry;
+///
+/// // The paper's L1: 32 KB, 2-way, 64 B lines => 256 sets.
+/// let l1 = CacheGeometry::new(32 * 1024, 2);
+/// assert_eq!(l1.sets(), 256);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    size_bytes: u64,
+    ways: u32,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry from total size and associativity (64 B lines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters do not yield a power-of-two, nonzero set
+    /// count.
+    pub fn new(size_bytes: u64, ways: u32) -> Self {
+        assert!(ways > 0, "associativity must be nonzero");
+        assert!(size_bytes % (CACHE_LINE_BYTES * ways as u64) == 0, "size not divisible into sets");
+        let sets = size_bytes / CACHE_LINE_BYTES / ways as u64;
+        assert!(sets > 0 && sets.is_power_of_two(), "set count must be a nonzero power of two");
+        CacheGeometry { size_bytes, ways }
+    }
+
+    /// Total capacity in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / CACHE_LINE_BYTES / self.ways as u64
+    }
+
+    /// Set index for a physical address.
+    #[inline]
+    pub fn set_of(&self, addr: PAddr) -> u64 {
+        addr.line_index() & (self.sets() - 1)
+    }
+
+    /// Tag for a physical address.
+    #[inline]
+    pub fn tag_of(&self, addr: PAddr) -> u64 {
+        addr.line_index() / self.sets()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    lru: u64,
+}
+
+/// Outcome of a cache lookup-with-fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupResult {
+    /// The line was resident.
+    Hit,
+    /// The line missed; no dirty line was displaced.
+    Miss {
+        /// Line index (addr/64) of a clean line that was evicted, if any.
+        evicted_clean: Option<u64>,
+    },
+    /// The line missed and filling it displaced a dirty line that must be
+    /// written back.
+    MissDirtyEviction {
+        /// Line index (addr/64) of the dirty victim.
+        victim_line: u64,
+    },
+}
+
+impl LookupResult {
+    /// Whether the lookup hit.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, LookupResult::Hit)
+    }
+}
+
+/// One level of set-associative, LRU, write-back cache tags.
+///
+/// # Example
+///
+/// ```
+/// use sonuma_memory::{CacheArray, CacheGeometry, PAddr};
+///
+/// let mut l1 = CacheArray::new(CacheGeometry::new(32 * 1024, 2));
+/// assert!(!l1.probe(PAddr::new(0)));            // cold
+/// l1.access(PAddr::new(0), false);              // fill
+/// assert!(l1.probe(PAddr::new(0)));             // now resident
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheArray {
+    geom: CacheGeometry,
+    ways: Vec<Way>, // sets * ways, row-major by set
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheArray {
+    /// Creates an empty (all-invalid) cache.
+    pub fn new(geom: CacheGeometry) -> Self {
+        let n = (geom.sets() * geom.ways() as u64) as usize;
+        CacheArray {
+            geom,
+            ways: vec![
+                Way {
+                    valid: false,
+                    dirty: false,
+                    tag: 0,
+                    lru: 0,
+                };
+                n
+            ],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn set_range(&self, set: u64) -> std::ops::Range<usize> {
+        let w = self.geom.ways() as usize;
+        let base = set as usize * w;
+        base..base + w
+    }
+
+    /// Whether `addr`'s line is resident, without disturbing LRU or stats.
+    pub fn probe(&self, addr: PAddr) -> bool {
+        let set = self.geom.set_of(addr);
+        let tag = self.geom.tag_of(addr);
+        self.ways[self.set_range(set)]
+            .iter()
+            .any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Accesses `addr`'s line, filling on miss; `write` marks it dirty.
+    ///
+    /// Returns what happened, including any eviction the fill caused.
+    pub fn access(&mut self, addr: PAddr, write: bool) -> LookupResult {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.geom.set_of(addr);
+        let tag = self.geom.tag_of(addr);
+        let sets = self.geom.sets();
+        let range = self.set_range(set);
+
+        // Hit path.
+        if let Some(way) = self.ways[range.clone()]
+            .iter_mut()
+            .find(|w| w.valid && w.tag == tag)
+        {
+            way.lru = tick;
+            way.dirty |= write;
+            self.hits += 1;
+            return LookupResult::Hit;
+        }
+
+        self.misses += 1;
+
+        // Miss: pick an invalid way, else the LRU way.
+        let victim_off = {
+            let ways = &self.ways[range.clone()];
+            match ways.iter().position(|w| !w.valid) {
+                Some(i) => i,
+                None => ways
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.lru)
+                    .map(|(i, _)| i)
+                    .expect("nonzero associativity"),
+            }
+        };
+        let idx = range.start + victim_off;
+        let victim = self.ways[idx];
+        let result = if victim.valid {
+            let victim_line = victim.tag * sets + set;
+            if victim.dirty {
+                LookupResult::MissDirtyEviction { victim_line }
+            } else {
+                LookupResult::Miss {
+                    evicted_clean: Some(victim_line),
+                }
+            }
+        } else {
+            LookupResult::Miss { evicted_clean: None }
+        };
+        self.ways[idx] = Way {
+            valid: true,
+            dirty: write,
+            tag,
+            lru: tick,
+        };
+        result
+    }
+
+    /// Invalidates `addr`'s line if resident; returns whether it was dirty.
+    ///
+    /// Used for coherence: a remote writer invalidates other agents' copies.
+    pub fn invalidate(&mut self, addr: PAddr) -> Option<bool> {
+        let set = self.geom.set_of(addr);
+        let tag = self.geom.tag_of(addr);
+        let range = self.set_range(set);
+        for w in &mut self.ways[range] {
+            if w.valid && w.tag == tag {
+                w.valid = false;
+                return Some(w.dirty);
+            }
+        }
+        None
+    }
+
+    /// Downgrades `addr`'s line to clean (e.g. after a sharer reads a line
+    /// this cache held modified). Returns whether the line was present.
+    pub fn clean(&mut self, addr: PAddr) -> bool {
+        let set = self.geom.set_of(addr);
+        let tag = self.geom.tag_of(addr);
+        let range = self.set_range(set);
+        for w in &mut self.ways[range] {
+            if w.valid && w.tag == tag {
+                w.dirty = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of resident lines (for tests and occupancy stats).
+    pub fn resident_lines(&self) -> usize {
+        self.ways.iter().filter(|w| w.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheArray {
+        // 4 sets x 2 ways x 64B = 512B cache: easy to force evictions.
+        CacheArray::new(CacheGeometry::new(512, 2))
+    }
+
+    fn line(i: u64) -> PAddr {
+        PAddr::new(i * CACHE_LINE_BYTES)
+    }
+
+    #[test]
+    fn geometry_decomposition() {
+        let g = CacheGeometry::new(4 * 1024 * 1024, 16);
+        assert_eq!(g.sets(), 4096);
+        let a = PAddr::new(0x12345678);
+        assert_eq!(g.set_of(a), (0x12345678u64 / 64) % 4096);
+        assert_eq!(g.tag_of(a), (0x12345678u64 / 64) / 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        CacheGeometry::new(192, 1);
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(line(0), false).is_hit());
+        assert!(c.access(line(0), false).is_hit());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn conflict_eviction_lru() {
+        let mut c = tiny();
+        // Lines 0, 4, 8 all map to set 0 in a 4-set cache.
+        c.access(line(0), false);
+        c.access(line(4), false);
+        c.access(line(0), false); // 0 is now MRU, 4 is LRU
+        match c.access(line(8), false) {
+            LookupResult::Miss { evicted_clean: Some(v) } => assert_eq!(v, 4),
+            other => panic!("expected clean eviction of line 4, got {other:?}"),
+        }
+        assert!(c.probe(line(0)));
+        assert!(!c.probe(line(4)));
+        assert!(c.probe(line(8)));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_victim() {
+        let mut c = tiny();
+        c.access(line(0), true); // dirty
+        c.access(line(4), false);
+        c.access(line(4), false);
+        // line 0 is LRU and dirty; filling line 8 must report a writeback.
+        match c.access(line(8), false) {
+            LookupResult::MissDirtyEviction { victim_line } => assert_eq!(victim_line, 0),
+            other => panic!("expected dirty eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_marks_dirty_on_hit() {
+        let mut c = tiny();
+        c.access(line(0), false);
+        c.access(line(0), true); // dirtied by hit
+        c.access(line(4), false);
+        match c.access(line(8), false) {
+            LookupResult::MissDirtyEviction { victim_line } => assert_eq!(victim_line, 0),
+            other => panic!("expected dirty eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness() {
+        let mut c = tiny();
+        c.access(line(0), true);
+        c.access(line(1), false);
+        assert_eq!(c.invalidate(line(0)), Some(true));
+        assert_eq!(c.invalidate(line(1)), Some(false));
+        assert_eq!(c.invalidate(line(2)), None);
+        assert!(!c.probe(line(0)));
+    }
+
+    #[test]
+    fn clean_downgrades() {
+        let mut c = tiny();
+        c.access(line(0), true);
+        assert!(c.clean(line(0)));
+        // After cleaning, evicting it is a clean eviction.
+        c.access(line(4), false);
+        c.access(line(4), false);
+        match c.access(line(8), false) {
+            LookupResult::Miss { evicted_clean: Some(0) } => {}
+            other => panic!("expected clean eviction of line 0, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn probe_does_not_touch_lru() {
+        let mut c = tiny();
+        c.access(line(0), false);
+        c.access(line(4), false);
+        // Probing 0 must not promote it.
+        assert!(c.probe(line(0)));
+        match c.access(line(8), false) {
+            LookupResult::Miss { evicted_clean: Some(v) } => assert_eq!(v, 0),
+            other => panic!("expected eviction of line 0, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resident_count() {
+        let mut c = tiny();
+        assert_eq!(c.resident_lines(), 0);
+        c.access(line(0), false);
+        c.access(line(1), false);
+        assert_eq!(c.resident_lines(), 2);
+    }
+}

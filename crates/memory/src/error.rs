@@ -1,0 +1,62 @@
+//! Memory subsystem error types.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::addr::VAddr;
+
+/// Errors surfaced by the memory subsystem.
+///
+/// Translation faults map onto the soNUMA protocol's error replies: a remote
+/// request whose computed virtual address is unmapped or out of the context
+/// segment's bounds produces an error CQ entry at the source (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// The virtual address has no valid page-table entry.
+    Unmapped(VAddr),
+    /// The node has no free physical frames left.
+    OutOfFrames,
+    /// The virtual address falls outside the registered segment bounds.
+    OutOfBounds(VAddr),
+    /// A mapping request overlaps an existing mapping.
+    AlreadyMapped(VAddr),
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::Unmapped(va) => write!(f, "unmapped virtual address {va}"),
+            MemError::OutOfFrames => write!(f, "physical memory exhausted"),
+            MemError::OutOfBounds(va) => write!(f, "virtual address {va} outside segment bounds"),
+            MemError::AlreadyMapped(va) => write!(f, "virtual address {va} already mapped"),
+        }
+    }
+}
+
+impl Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            MemError::Unmapped(VAddr::new(0x10)),
+            MemError::OutOfFrames,
+            MemError::OutOfBounds(VAddr::new(0x20)),
+            MemError::AlreadyMapped(VAddr::new(0x30)),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: Error>(_: E) {}
+        takes_err(MemError::OutOfFrames);
+    }
+}

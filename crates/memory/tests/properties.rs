@@ -1,0 +1,154 @@
+//! Property-based tests for the memory subsystem invariants.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use sonuma_memory::addr::{lines_spanned, split_into_lines};
+use sonuma_memory::{
+    AccessKind, AddressSpace, AgentId, CacheArray, CacheGeometry, FrameAllocator, HierarchyConfig,
+    MemoryHierarchy, PAddr, PhysicalMemory, Tlb, VAddr, PAGE_BYTES,
+};
+use sonuma_sim::SimTime;
+
+proptest! {
+    /// Writes followed by reads always return the written bytes, regardless
+    /// of alignment or frame-boundary crossings.
+    #[test]
+    fn phys_mem_write_read_roundtrip(
+        addr in 0u64..(1 << 20),
+        data in vec(any::<u8>(), 1..512),
+    ) {
+        let mut mem = PhysicalMemory::new(2 << 20);
+        mem.write(PAddr::new(addr), &data);
+        let mut back = vec![0u8; data.len()];
+        mem.read(PAddr::new(addr), &mut back);
+        prop_assert_eq!(back, data);
+    }
+
+    /// Non-overlapping writes do not disturb each other.
+    #[test]
+    fn phys_mem_disjoint_writes_independent(
+        a_addr in 0u64..10_000,
+        a_data in vec(any::<u8>(), 1..64),
+        gap in 0u64..1_000,
+        b_data in vec(any::<u8>(), 1..64),
+    ) {
+        let b_addr = a_addr + a_data.len() as u64 + gap;
+        let mut mem = PhysicalMemory::new(1 << 20);
+        mem.write(PAddr::new(a_addr), &a_data);
+        mem.write(PAddr::new(b_addr), &b_data);
+        let mut back = vec![0u8; a_data.len()];
+        mem.read(PAddr::new(a_addr), &mut back);
+        prop_assert_eq!(back, a_data);
+    }
+
+    /// `split_into_lines` partitions the range exactly: fragments are
+    /// contiguous, line-contained, and sum to the total length.
+    #[test]
+    fn split_into_lines_partitions(addr in 0u64..100_000, len in 1u64..20_000) {
+        let parts: Vec<_> = split_into_lines(addr, len).collect();
+        prop_assert_eq!(parts.len() as u64, lines_spanned(addr, len));
+        let mut expected_off = 0u64;
+        for &(line, off, n) in &parts {
+            prop_assert_eq!(off, expected_off);
+            let abs = addr + off;
+            // Fragment lies within one cache line starting at `line`.
+            prop_assert!(abs >= line && abs + n <= line + 64);
+            expected_off += n;
+        }
+        prop_assert_eq!(expected_off, len);
+    }
+
+    /// A cache never reports more resident lines than its capacity, and
+    /// hits + misses equals the number of accesses.
+    #[test]
+    fn cache_capacity_and_accounting(lines in vec(0u64..64, 1..200)) {
+        let mut c = CacheArray::new(CacheGeometry::new(1024, 2)); // 16 lines
+        for &l in &lines {
+            c.access(PAddr::new(l * 64), l % 3 == 0);
+        }
+        prop_assert!(c.resident_lines() <= 16);
+        prop_assert_eq!(c.hits() + c.misses(), lines.len() as u64);
+    }
+
+    /// Immediately re-accessing any line is a hit (LRU never evicts the MRU
+    /// line).
+    #[test]
+    fn cache_mru_is_stable(lines in vec(0u64..256, 1..100)) {
+        let mut c = CacheArray::new(CacheGeometry::new(2048, 4));
+        for &l in &lines {
+            c.access(PAddr::new(l * 64), false);
+            prop_assert!(c.access(PAddr::new(l * 64), false).is_hit());
+        }
+    }
+
+    /// TLB occupancy never exceeds capacity and a just-inserted entry
+    /// always hits.
+    #[test]
+    fn tlb_capacity_respected(pages in vec((0u32..4, 0u64..128), 1..200)) {
+        let mut t = Tlb::new(32);
+        for &(asid, vpn) in &pages {
+            t.insert(asid, VAddr::new(vpn * PAGE_BYTES), vpn + 1000);
+            prop_assert_eq!(
+                t.lookup(asid, VAddr::new(vpn * PAGE_BYTES)),
+                Some(vpn + 1000)
+            );
+            prop_assert!(t.occupancy() <= 32);
+        }
+    }
+
+    /// Translation preserves page offsets and maps distinct pages to
+    /// distinct frames.
+    #[test]
+    fn address_space_translation_is_injective(npages in 1u64..32, probe in 0u64..32_768) {
+        let mut alloc = FrameAllocator::new(64 << 20);
+        let mut s = AddressSpace::new(1);
+        s.map_range(VAddr::new(0), npages * PAGE_BYTES, &mut alloc).unwrap();
+        let mut frames = std::collections::HashSet::new();
+        for p in 0..npages {
+            let pa = s.translate(VAddr::new(p * PAGE_BYTES)).unwrap();
+            prop_assert!(frames.insert(pa.frame_number()), "frame reused");
+        }
+        let va = VAddr::new(probe % (npages * PAGE_BYTES));
+        let pa = s.translate(va).unwrap();
+        prop_assert_eq!(pa.frame_offset(), va.page_offset());
+    }
+
+    /// Hierarchy latencies are always at least the L1 latency and the level
+    /// accounting matches the access count.
+    #[test]
+    fn hierarchy_latency_floor(ops in vec((0usize..3, 0u64..512, any::<bool>()), 1..300)) {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::table1(), 3);
+        let l1 = h.config().l1_latency;
+        for &(agent, line, write) in &ops {
+            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            let r = h.access(AgentId(agent), PAddr::new(line * 64), kind, SimTime::ZERO);
+            prop_assert!(r.latency >= l1);
+        }
+        let total: u64 = h.hits_by_level().iter().sum();
+        prop_assert_eq!(total, ops.len() as u64);
+    }
+
+    /// Functional data never depends on cache state: interleaved accesses
+    /// through the hierarchy leave PhysicalMemory identical to a shadow
+    /// model (timing and function are fully decoupled).
+    #[test]
+    fn hierarchy_never_corrupts_function(
+        ops in vec((0usize..2, 0u64..64, any::<u64>(), any::<bool>()), 1..200)
+    ) {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::table1(), 2);
+        let mut mem = PhysicalMemory::new(1 << 20);
+        let mut shadow = vec![0u64; 64];
+        for &(agent, slot, value, write) in &ops {
+            let addr = PAddr::new(slot * 64);
+            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            h.access(AgentId(agent), addr, kind, SimTime::ZERO);
+            if write {
+                mem.store_u64(addr, value);
+                shadow[slot as usize] = value;
+            } else {
+                prop_assert_eq!(mem.load_u64(addr), shadow[slot as usize]);
+            }
+        }
+    }
+}

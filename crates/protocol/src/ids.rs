@@ -1,0 +1,114 @@
+//! Identifier newtypes used across the protocol.
+
+use std::fmt;
+
+/// Identifies one node in the soNUMA fabric.
+///
+/// Carried in the routing-layer header as `<dst_nid, src_nid>`; `dst_nid`
+/// routes the packet and `src_nid` addresses the reply (§6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The node index as a `usize` (for table lookups).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifies a global address-space context (§4.1).
+///
+/// All nodes participating in the same application share a `ctx_id`; it
+/// indexes the destination's Context Table during stateless request
+/// processing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CtxId(pub u16);
+
+impl CtxId {
+    /// The context index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CtxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ctx{}", self.0)
+    }
+}
+
+/// A transfer identifier: the source RMC's handle for an in-flight
+/// transaction.
+///
+/// Opaque to the destination, echoed verbatim in the reply, and used to
+/// index the Inflight Transaction Table (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tid(pub u16);
+
+impl Tid {
+    /// The tid as a `usize` (ITT index).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tid{}", self.0)
+    }
+}
+
+/// Identifies a queue pair registered with a node's RMC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct QpId(pub u16);
+
+impl QpId {
+    /// The queue-pair index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for QpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "qp{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(CtxId(1).to_string(), "ctx1");
+        assert_eq!(Tid(9).to_string(), "tid9");
+        assert_eq!(QpId(0).to_string(), "qp0");
+    }
+
+    #[test]
+    fn index_conversions() {
+        assert_eq!(NodeId(65535).index(), 65535);
+        assert_eq!(Tid(12).index(), 12);
+        assert_eq!(CtxId(7).index(), 7);
+        assert_eq!(QpId(2).index(), 2);
+    }
+
+    #[test]
+    fn ordering_and_equality() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(Tid(5), Tid(5));
+        assert_ne!(CtxId(0), CtxId(1));
+    }
+}

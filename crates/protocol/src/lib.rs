@@ -1,0 +1,39 @@
+//! The soNUMA wire protocol (§6 of the paper).
+//!
+//! soNUMA's protocol layer is a minimal, **stateless** request/reply
+//! protocol: exactly one reply per request, headers small enough that a
+//! message is one header plus at most one cache-line payload, and all the
+//! state needed to process a request carried *in* the request
+//! (`<ctx_id, offset>` plus the destination's own Context Table). The
+//! transfer id (`tid`) is opaque to the destination and echoed in the reply
+//! so the source RMC can locate the originating work-queue entry in its
+//! Inflight Transaction Table.
+//!
+//! This crate defines:
+//!
+//! * identifier newtypes ([`NodeId`], [`CtxId`], [`Tid`], [`QpId`]),
+//! * the operation and status sets ([`RemoteOp`], [`Status`]),
+//! * binary codecs for request/reply packets ([`Packet`]) and for the
+//!   64-byte work-queue / completion-queue entries ([`WqEntry`],
+//!   [`CqEntry`]) that live in simulated memory and are genuinely parsed
+//!   from bytes by the RMC model.
+//!
+//! # Example
+//!
+//! ```
+//! use sonuma_protocol::{CtxId, NodeId, Packet, RemoteOp, Tid};
+//!
+//! let req = Packet::request(NodeId(3), NodeId(1), CtxId(7), Tid(42), RemoteOp::Read, 0x1000, 0);
+//! let bytes = req.encode();
+//! assert_eq!(Packet::decode(&bytes).unwrap(), req);
+//! ```
+
+pub mod ids;
+pub mod ops;
+pub mod packet;
+pub mod queue;
+
+pub use ids::{CtxId, NodeId, QpId, Tid};
+pub use ops::{RemoteOp, Status};
+pub use packet::{Packet, PacketKind, CACHE_LINE_BYTES, HEADER_BYTES, MAX_PACKET_BYTES};
+pub use queue::{CqEntry, WqEntry, CQ_ENTRY_BYTES, WQ_ENTRY_BYTES};

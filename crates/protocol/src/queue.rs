@@ -1,0 +1,302 @@
+//! Work-queue and completion-queue entry layouts.
+//!
+//! The queue pair (QP) is the application/RMC interface: "a work queue (WQ),
+//! a bounded buffer written exclusively by the application, and a completion
+//! queue (CQ), a bounded buffer of the same size written exclusively by the
+//! RMC" (§4.1). Both live in (simulated) main memory and are coherently
+//! cached by cores and RMC alike — so in this reproduction they are real
+//! byte arrays, written and parsed through these codecs, and their cache
+//! behaviour (core writes, RMC polls) falls out of the hierarchy model.
+//!
+//! Entries occupy one 64-byte cache line each. A one-bit *phase* field
+//! toggles on every wrap of the ring, letting the consumer detect fresh
+//! entries without a shared head pointer — the standard lock-free
+//! single-producer/single-consumer ring convention.
+
+use crate::ids::{CtxId, NodeId};
+use crate::ops::{RemoteOp, Status};
+
+/// Wire size of one WQ entry (one cache line).
+pub const WQ_ENTRY_BYTES: u64 = 64;
+
+/// Wire size of one CQ entry (one cache line).
+pub const CQ_ENTRY_BYTES: u64 = 64;
+
+/// One work-queue entry: a remote operation scheduled by the application.
+///
+/// # Example
+///
+/// ```
+/// use sonuma_protocol::{CtxId, NodeId, RemoteOp, WqEntry};
+///
+/// let e = WqEntry::read(NodeId(4), CtxId(0), 0x2000, 0x7000_0000, 256);
+/// let bytes = e.encode(true);
+/// let (back, phase) = WqEntry::decode(&bytes).unwrap();
+/// assert_eq!(back, e);
+/// assert!(phase);
+/// assert_eq!(back.lines(), 4); // 256 B unrolls into four cache lines
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WqEntry {
+    /// Operation to perform.
+    pub op: RemoteOp,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Target global context.
+    pub ctx: CtxId,
+    /// Byte offset into the destination's context segment.
+    pub offset: u64,
+    /// Local buffer virtual address (source for writes, destination for
+    /// reads and atomic results).
+    pub buf_vaddr: u64,
+    /// Transfer length in bytes (multiple of 64 for reads/writes; 8 for
+    /// atomics).
+    pub length: u64,
+    /// First atomic operand (fetch-add delta, or compare-swap expected).
+    pub operand1: u64,
+    /// Second atomic operand (compare-swap new value).
+    pub operand2: u64,
+}
+
+impl WqEntry {
+    /// Builds a remote read request.
+    pub fn read(dst: NodeId, ctx: CtxId, offset: u64, buf_vaddr: u64, length: u64) -> Self {
+        WqEntry {
+            op: RemoteOp::Read,
+            dst,
+            ctx,
+            offset,
+            buf_vaddr,
+            length,
+            operand1: 0,
+            operand2: 0,
+        }
+    }
+
+    /// Builds a remote write request.
+    pub fn write(dst: NodeId, ctx: CtxId, offset: u64, buf_vaddr: u64, length: u64) -> Self {
+        WqEntry {
+            op: RemoteOp::Write,
+            ..WqEntry::read(dst, ctx, offset, buf_vaddr, length)
+        }
+    }
+
+    /// Builds a remote fetch-and-add of `delta` on the 8-byte word at
+    /// `offset`; the previous value lands in `buf_vaddr`.
+    pub fn fetch_add(dst: NodeId, ctx: CtxId, offset: u64, buf_vaddr: u64, delta: u64) -> Self {
+        WqEntry {
+            op: RemoteOp::FetchAdd,
+            operand1: delta,
+            ..WqEntry::read(dst, ctx, offset, buf_vaddr, 8)
+        }
+    }
+
+    /// Builds a remote compare-and-swap on the 8-byte word at `offset`; the
+    /// observed value lands in `buf_vaddr`.
+    pub fn comp_swap(
+        dst: NodeId,
+        ctx: CtxId,
+        offset: u64,
+        buf_vaddr: u64,
+        expected: u64,
+        new: u64,
+    ) -> Self {
+        WqEntry {
+            op: RemoteOp::CompSwap,
+            operand1: expected,
+            operand2: new,
+            ..WqEntry::read(dst, ctx, offset, buf_vaddr, 8)
+        }
+    }
+
+    /// Builds a remote interrupt carrying an 8-byte payload to the
+    /// destination's handler core (the §8 extension).
+    pub fn interrupt(dst: NodeId, ctx: CtxId, payload: u64) -> Self {
+        WqEntry {
+            op: RemoteOp::Interrupt,
+            operand1: payload,
+            ..WqEntry::read(dst, ctx, 0, 0, 0)
+        }
+    }
+
+    /// Number of cache-line transactions this request unrolls into.
+    ///
+    /// Atomics are a single transaction regardless of their 8-byte length.
+    pub fn lines(&self) -> u32 {
+        if self.op.is_atomic() || self.op == RemoteOp::Interrupt || self.length == 0 {
+            1
+        } else {
+            self.length.div_ceil(64) as u32
+        }
+    }
+
+    /// Serializes to one cache line; `phase` is the ring's current phase
+    /// bit (doubles as the valid marker).
+    pub fn encode(&self, phase: bool) -> [u8; WQ_ENTRY_BYTES as usize] {
+        let mut out = [0u8; WQ_ENTRY_BYTES as usize];
+        out[0] = 0x80 | u8::from(phase); // bit7: entry-ever-written marker
+        out[1] = self.op.to_wire();
+        out[2..4].copy_from_slice(&self.dst.0.to_le_bytes());
+        out[4..6].copy_from_slice(&self.ctx.0.to_le_bytes());
+        out[8..16].copy_from_slice(&self.offset.to_le_bytes());
+        out[16..24].copy_from_slice(&self.buf_vaddr.to_le_bytes());
+        out[24..32].copy_from_slice(&self.length.to_le_bytes());
+        out[32..40].copy_from_slice(&self.operand1.to_le_bytes());
+        out[40..48].copy_from_slice(&self.operand2.to_le_bytes());
+        out
+    }
+
+    /// Parses one cache line; returns the entry and its phase bit, or
+    /// `None` if the line was never written or holds an unknown op.
+    pub fn decode(bytes: &[u8; WQ_ENTRY_BYTES as usize]) -> Option<(Self, bool)> {
+        if bytes[0] & 0x80 == 0 {
+            return None;
+        }
+        let phase = bytes[0] & 1 != 0;
+        let op = RemoteOp::from_wire(bytes[1])?;
+        Some((
+            WqEntry {
+                op,
+                dst: NodeId(u16::from_le_bytes([bytes[2], bytes[3]])),
+                ctx: CtxId(u16::from_le_bytes([bytes[4], bytes[5]])),
+                offset: u64::from_le_bytes(bytes[8..16].try_into().ok()?),
+                buf_vaddr: u64::from_le_bytes(bytes[16..24].try_into().ok()?),
+                length: u64::from_le_bytes(bytes[24..32].try_into().ok()?),
+                operand1: u64::from_le_bytes(bytes[32..40].try_into().ok()?),
+                operand2: u64::from_le_bytes(bytes[40..48].try_into().ok()?),
+            },
+            phase,
+        ))
+    }
+}
+
+/// One completion-queue entry, written by the RMC when a WQ request
+/// finishes: "the CQ entry contains the index of the completed WQ request"
+/// (§4.1), plus the completion status for error delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CqEntry {
+    /// Index of the completed WQ entry.
+    pub wq_index: u16,
+    /// Completion status.
+    pub status: Status,
+}
+
+impl CqEntry {
+    /// Builds a successful completion.
+    pub fn ok(wq_index: u16) -> Self {
+        CqEntry {
+            wq_index,
+            status: Status::Ok,
+        }
+    }
+
+    /// Builds an error completion.
+    pub fn error(wq_index: u16, status: Status) -> Self {
+        CqEntry { wq_index, status }
+    }
+
+    /// Serializes to one cache line with the ring phase bit.
+    pub fn encode(&self, phase: bool) -> [u8; CQ_ENTRY_BYTES as usize] {
+        let mut out = [0u8; CQ_ENTRY_BYTES as usize];
+        out[0] = 0x80 | u8::from(phase);
+        out[1] = self.status.to_wire();
+        out[2..4].copy_from_slice(&self.wq_index.to_le_bytes());
+        out
+    }
+
+    /// Parses one cache line; returns the entry and its phase bit.
+    pub fn decode(bytes: &[u8; CQ_ENTRY_BYTES as usize]) -> Option<(Self, bool)> {
+        if bytes[0] & 0x80 == 0 {
+            return None;
+        }
+        let phase = bytes[0] & 1 != 0;
+        let status = Status::from_wire(bytes[1])?;
+        Some((
+            CqEntry {
+                wq_index: u16::from_le_bytes([bytes[2], bytes[3]]),
+                status,
+            },
+            phase,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wq_read_roundtrip() {
+        let e = WqEntry::read(NodeId(3), CtxId(1), 4096, 0x1000, 128);
+        for phase in [false, true] {
+            let bytes = e.encode(phase);
+            assert_eq!(WqEntry::decode(&bytes), Some((e, phase)));
+        }
+    }
+
+    #[test]
+    fn wq_write_roundtrip() {
+        let e = WqEntry::write(NodeId(0), CtxId(2), 0, 0xFFFF_0000, 64);
+        let bytes = e.encode(true);
+        let (back, _) = WqEntry::decode(&bytes).unwrap();
+        assert_eq!(back.op, RemoteOp::Write);
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn wq_atomics_roundtrip() {
+        let fa = WqEntry::fetch_add(NodeId(1), CtxId(0), 8, 0x100, 5);
+        let (back, _) = WqEntry::decode(&fa.encode(false)).unwrap();
+        assert_eq!(back.operand1, 5);
+        assert_eq!(back.length, 8);
+        assert_eq!(back.lines(), 1);
+
+        let cas = WqEntry::comp_swap(NodeId(1), CtxId(0), 8, 0x100, 42, 43);
+        let (back, _) = WqEntry::decode(&cas.encode(false)).unwrap();
+        assert_eq!((back.operand1, back.operand2), (42, 43));
+    }
+
+    #[test]
+    fn unwritten_line_decodes_to_none() {
+        let zeros = [0u8; 64];
+        assert_eq!(WqEntry::decode(&zeros), None);
+        assert_eq!(CqEntry::decode(&zeros), None);
+    }
+
+    #[test]
+    fn line_unrolling_counts() {
+        assert_eq!(WqEntry::read(NodeId(0), CtxId(0), 0, 0, 64).lines(), 1);
+        assert_eq!(WqEntry::read(NodeId(0), CtxId(0), 0, 0, 65).lines(), 2);
+        assert_eq!(WqEntry::read(NodeId(0), CtxId(0), 0, 0, 8192).lines(), 128);
+        assert_eq!(WqEntry::read(NodeId(0), CtxId(0), 0, 0, 0).lines(), 1);
+    }
+
+    #[test]
+    fn wq_interrupt_roundtrip() {
+        let e = WqEntry::interrupt(NodeId(2), CtxId(1), 0xFACE);
+        let (back, _) = WqEntry::decode(&e.encode(true)).unwrap();
+        assert_eq!(back.op, RemoteOp::Interrupt);
+        assert_eq!(back.operand1, 0xFACE);
+        assert_eq!(back.lines(), 1);
+    }
+
+    #[test]
+    fn cq_roundtrip() {
+        for phase in [false, true] {
+            let e = CqEntry::ok(513);
+            assert_eq!(CqEntry::decode(&e.encode(phase)), Some((e, phase)));
+        }
+        let err = CqEntry::error(7, Status::OutOfBounds);
+        let (back, _) = CqEntry::decode(&err.encode(true)).unwrap();
+        assert_eq!(back.status, Status::OutOfBounds);
+        assert_eq!(back.wq_index, 7);
+    }
+
+    #[test]
+    fn corrupt_op_rejected() {
+        let e = WqEntry::read(NodeId(0), CtxId(0), 0, 0, 64);
+        let mut bytes = e.encode(true);
+        bytes[1] = 77;
+        assert_eq!(WqEntry::decode(&bytes), None);
+    }
+}

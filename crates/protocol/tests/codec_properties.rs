@@ -1,0 +1,108 @@
+//! Property tests: every protocol codec roundtrips for arbitrary field
+//! values, and decoding never panics on arbitrary bytes.
+
+use proptest::prelude::*;
+
+use sonuma_protocol::{
+    CqEntry, CtxId, NodeId, Packet, RemoteOp, Status, Tid, WqEntry, HEADER_BYTES,
+    MAX_PACKET_BYTES,
+};
+
+fn arb_op() -> impl Strategy<Value = RemoteOp> {
+    prop_oneof![
+        Just(RemoteOp::Read),
+        Just(RemoteOp::Write),
+        Just(RemoteOp::FetchAdd),
+        Just(RemoteOp::CompSwap),
+        Just(RemoteOp::Interrupt),
+    ]
+}
+
+fn arb_status() -> impl Strategy<Value = Status> {
+    prop_oneof![
+        Just(Status::Ok),
+        Just(Status::OutOfBounds),
+        Just(Status::BadContext),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn packet_request_roundtrip(
+        dst in any::<u16>(), src in any::<u16>(), ctx in any::<u16>(), tid in any::<u16>(),
+        op in arb_op(), offset in any::<u64>(), line_seq in any::<u32>(),
+        payload in proptest::option::of(proptest::array::uniform32(any::<u8>())),
+    ) {
+        // Expand the 32-byte arbitrary seed into a 64-byte payload.
+        let payload = payload.map(|half| {
+            let mut p = [0u8; 64];
+            p[..32].copy_from_slice(&half);
+            p[32..].copy_from_slice(&half);
+            p
+        });
+        let mut pkt = Packet::request(NodeId(dst), NodeId(src), CtxId(ctx), Tid(tid), op, offset, line_seq);
+        pkt.payload = payload;
+        let bytes = pkt.encode();
+        prop_assert_eq!(Packet::decode(&bytes), Some(pkt));
+        prop_assert_eq!(bytes.len() as u64, pkt.wire_bytes());
+    }
+
+    #[test]
+    fn packet_reply_roundtrip(
+        dst in any::<u16>(), src in any::<u16>(), ctx in any::<u16>(), tid in any::<u16>(),
+        op in arb_op(), status in arb_status(), offset in any::<u64>(), line_seq in any::<u32>(),
+    ) {
+        let req = Packet::request(NodeId(dst), NodeId(src), CtxId(ctx), Tid(tid), op, offset, line_seq);
+        let reply = Packet::reply_to(&req, status, Some([0x5A; 64]));
+        let bytes = reply.encode();
+        prop_assert_eq!(Packet::decode(&bytes), Some(reply));
+    }
+
+    /// Decoding arbitrary garbage never panics, and only well-formed sizes
+    /// can possibly decode.
+    #[test]
+    fn packet_decode_total(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let decoded = Packet::decode(&bytes);
+        if bytes.len() != HEADER_BYTES && bytes.len() != MAX_PACKET_BYTES {
+            prop_assert_eq!(decoded, None);
+        }
+    }
+
+    #[test]
+    fn wq_entry_roundtrip(
+        op in arb_op(), dst in any::<u16>(), ctx in any::<u16>(),
+        offset in any::<u64>(), buf in any::<u64>(), length in any::<u64>(),
+        op1 in any::<u64>(), op2 in any::<u64>(), phase in any::<bool>(),
+    ) {
+        let e = WqEntry {
+            op, dst: NodeId(dst), ctx: CtxId(ctx),
+            offset, buf_vaddr: buf, length, operand1: op1, operand2: op2,
+        };
+        prop_assert_eq!(WqEntry::decode(&e.encode(phase)), Some((e, phase)));
+    }
+
+    #[test]
+    fn cq_entry_roundtrip(idx in any::<u16>(), status in arb_status(), phase in any::<bool>()) {
+        let e = CqEntry { wq_index: idx, status };
+        prop_assert_eq!(CqEntry::decode(&e.encode(phase)), Some((e, phase)));
+    }
+
+    /// WQ decode never panics on arbitrary lines.
+    #[test]
+    fn wq_decode_total(bytes in proptest::array::uniform32(any::<u8>())) {
+        let mut line = [0u8; 64];
+        line[..32].copy_from_slice(&bytes);
+        let _ = WqEntry::decode(&line);
+        let _ = CqEntry::decode(&line);
+    }
+
+    /// Unrolling is consistent: lines() x 64 always covers length for
+    /// non-atomic ops.
+    #[test]
+    fn unroll_covers_length(length in 1u64..100_000) {
+        let e = WqEntry::read(NodeId(0), CtxId(0), 0, 0, length);
+        let lines = e.lines() as u64;
+        prop_assert!(lines * 64 >= length);
+        prop_assert!((lines - 1) * 64 < length);
+    }
+}

@@ -1,0 +1,235 @@
+//! The Inflight Transaction Table (ITT).
+//!
+//! "For each request, the RMC generates a transfer identifier (tid) that
+//! allows the source RMC to associate replies with requests ... the ITT
+//! tracks the number of completed cache-line transactions for each WQ
+//! request and is indexed by the request's tid" (§4.2). Requests complete
+//! out of order; the ITT is the only per-transaction state in the system,
+//! and it lives entirely at the *source* — the destination stays stateless.
+
+use sonuma_protocol::{QpId, Status, Tid};
+
+/// What the RCP should do after accounting one reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplyAction {
+    /// More line replies outstanding for this tid.
+    InProgress,
+    /// All lines arrived: post a CQ entry and free the tid.
+    Complete {
+        /// Queue pair the originating WQ entry came from.
+        qp: QpId,
+        /// Index of the completed WQ entry.
+        wq_index: u16,
+        /// Aggregate status (first error encountered wins).
+        status: Status,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InflightEntry {
+    qp: QpId,
+    wq_index: u16,
+    lines_total: u32,
+    lines_done: u32,
+    buf_vaddr: u64,
+    status: Status,
+}
+
+/// The source RMC's table of in-flight WQ requests, indexed by tid.
+///
+/// # Example
+///
+/// ```
+/// use sonuma_rmc::InflightTable;
+/// use sonuma_protocol::QpId;
+///
+/// let mut itt = InflightTable::new(4);
+/// let t = itt.alloc(QpId(0), 0, 128, 0x1000).unwrap(); // one 8 KB read
+/// assert_eq!(itt.in_flight(), 1);
+/// assert_eq!(itt.buf_vaddr(t), 0x1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct InflightTable {
+    slots: Vec<Option<InflightEntry>>,
+    free: Vec<u16>,
+    allocated: u64,
+    completed: u64,
+}
+
+impl InflightTable {
+    /// Creates a table with `capacity` tids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or exceeds `u16::MAX + 1`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0 && capacity <= (u16::MAX as usize) + 1, "bad ITT capacity");
+        InflightTable {
+            slots: vec![None; capacity],
+            free: (0..capacity as u16).rev().collect(),
+            allocated: 0,
+            completed: 0,
+        }
+    }
+
+    /// Tids currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Whether every tid is in use (the RGP must stall).
+    pub fn is_full(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// Lifetime allocations.
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Lifetime completions.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Allocates a tid for a WQ request unrolling into `lines_total`
+    /// transactions; `buf_vaddr` is the local buffer the RCP scatters
+    /// replies into. Returns `None` when the table is full.
+    pub fn alloc(&mut self, qp: QpId, wq_index: u16, lines_total: u32, buf_vaddr: u64) -> Option<Tid> {
+        debug_assert!(lines_total > 0, "zero-line transaction");
+        let tid = self.free.pop()?;
+        self.slots[tid as usize] = Some(InflightEntry {
+            qp,
+            wq_index,
+            lines_total,
+            lines_done: 0,
+            buf_vaddr,
+            status: Status::Ok,
+        });
+        self.allocated += 1;
+        Some(Tid(tid))
+    }
+
+    /// The local buffer base registered for `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is not in flight.
+    pub fn buf_vaddr(&self, tid: Tid) -> u64 {
+        self.slots[tid.index()]
+            .as_ref()
+            .expect("tid not in flight")
+            .buf_vaddr
+    }
+
+    /// Accounts one line reply for `tid`; frees the tid on completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is not in flight (a protocol-level duplicate).
+    pub fn on_reply(&mut self, tid: Tid, status: Status) -> ReplyAction {
+        let slot = self.slots[tid.index()].as_mut().expect("tid not in flight");
+        slot.lines_done += 1;
+        if slot.status == Status::Ok && status != Status::Ok {
+            slot.status = status;
+        }
+        debug_assert!(slot.lines_done <= slot.lines_total, "more replies than requests");
+        if slot.lines_done == slot.lines_total {
+            let done = *slot;
+            self.slots[tid.index()] = None;
+            self.free.push(tid.0);
+            self.completed += 1;
+            ReplyAction::Complete {
+                qp: done.qp,
+                wq_index: done.wq_index,
+                status: done.status,
+            }
+        } else {
+            ReplyAction::InProgress
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_line_completes_immediately() {
+        let mut itt = InflightTable::new(2);
+        let t = itt.alloc(QpId(1), 9, 1, 0).unwrap();
+        match itt.on_reply(t, Status::Ok) {
+            ReplyAction::Complete { qp, wq_index, status } => {
+                assert_eq!(qp, QpId(1));
+                assert_eq!(wq_index, 9);
+                assert!(status.is_ok());
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+        assert_eq!(itt.in_flight(), 0);
+        assert_eq!(itt.completed(), 1);
+    }
+
+    #[test]
+    fn multi_line_counts_to_total() {
+        let mut itt = InflightTable::new(2);
+        let t = itt.alloc(QpId(0), 0, 4, 0x100).unwrap();
+        for _ in 0..3 {
+            assert_eq!(itt.on_reply(t, Status::Ok), ReplyAction::InProgress);
+        }
+        assert!(matches!(itt.on_reply(t, Status::Ok), ReplyAction::Complete { .. }));
+    }
+
+    #[test]
+    fn first_error_sticks() {
+        let mut itt = InflightTable::new(2);
+        let t = itt.alloc(QpId(0), 0, 3, 0).unwrap();
+        itt.on_reply(t, Status::Ok);
+        itt.on_reply(t, Status::OutOfBounds);
+        match itt.on_reply(t, Status::Ok) {
+            ReplyAction::Complete { status, .. } => assert_eq!(status, Status::OutOfBounds),
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn capacity_exhaustion_and_reuse() {
+        let mut itt = InflightTable::new(2);
+        let a = itt.alloc(QpId(0), 0, 1, 0).unwrap();
+        let _b = itt.alloc(QpId(0), 1, 1, 0).unwrap();
+        assert!(itt.is_full());
+        assert!(itt.alloc(QpId(0), 2, 1, 0).is_none());
+        itt.on_reply(a, Status::Ok);
+        assert!(!itt.is_full());
+        let c = itt.alloc(QpId(0), 3, 1, 0).unwrap();
+        assert_eq!(c, a, "freed tid should be reused");
+    }
+
+    #[test]
+    fn distinct_tids_track_independently() {
+        let mut itt = InflightTable::new(8);
+        let a = itt.alloc(QpId(0), 0, 2, 0x0).unwrap();
+        let b = itt.alloc(QpId(1), 5, 1, 0x40).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(itt.buf_vaddr(a), 0x0);
+        assert_eq!(itt.buf_vaddr(b), 0x40);
+        assert!(matches!(itt.on_reply(b, Status::Ok), ReplyAction::Complete { wq_index: 5, .. }));
+        assert_eq!(itt.on_reply(a, Status::Ok), ReplyAction::InProgress);
+        assert!(matches!(itt.on_reply(a, Status::Ok), ReplyAction::Complete { wq_index: 0, .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "tid not in flight")]
+    fn reply_for_free_tid_panics() {
+        let mut itt = InflightTable::new(2);
+        let t = itt.alloc(QpId(0), 0, 1, 0).unwrap();
+        itt.on_reply(t, Status::Ok);
+        itt.on_reply(t, Status::Ok); // duplicate: must panic in the model
+    }
+
+    #[test]
+    #[should_panic(expected = "bad ITT capacity")]
+    fn zero_capacity_panics() {
+        InflightTable::new(0);
+    }
+}

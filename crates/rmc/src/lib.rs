@@ -1,0 +1,54 @@
+//! The Remote Memory Controller (RMC) — the paper's core contribution (§4).
+//!
+//! The RMC is "a simple, hardwired, on-chip architectural block that
+//! services remote memory requests through locally cache-coherent
+//! interactions and interfaces directly with an on-die network interface".
+//! It comprises three decoupled pipelines:
+//!
+//! * **RGP** (Request Generation Pipeline): polls registered work queues,
+//!   unrolls multi-line requests, and injects request packets;
+//! * **RRPP** (Remote Request Processing Pipeline): statelessly services
+//!   incoming requests using only the packet header plus the local
+//!   [`ContextTable`];
+//! * **RCP** (Request Completion Pipeline): matches replies to the
+//!   [`InflightTable`] by `tid`, writes payloads to application buffers,
+//!   and posts CQ entries.
+//!
+//! This crate holds the RMC's *state machines and data structures* — the
+//! Context Table and its cache (CT$), the Inflight Transaction Table (ITT),
+//! the Memory Access Queue (MAQ), per-QP ring cursors, and the
+//! [`RmcTiming`] parameter sets for the two evaluation platforms (hardwired
+//! RMC vs. the software RMCemu of the development platform). The
+//! event-driven pipeline glue that moves packets between these structures,
+//! the caches and the fabric lives in `sonuma-machine`, which owns the
+//! simulation world.
+//!
+//! # Example
+//!
+//! ```
+//! use sonuma_rmc::{InflightTable, ReplyAction};
+//! use sonuma_protocol::{QpId, Status};
+//!
+//! let mut itt = InflightTable::new(16);
+//! let tid = itt.alloc(QpId(0), 3, 2, 0x1000).unwrap(); // 2-line read
+//! assert_eq!(itt.on_reply(tid, Status::Ok), ReplyAction::InProgress);
+//! match itt.on_reply(tid, Status::Ok) {
+//!     ReplyAction::Complete { wq_index, status, .. } => {
+//!         assert_eq!(wq_index, 3);
+//!         assert!(status.is_ok());
+//!     }
+//!     other => panic!("expected completion, got {other:?}"),
+//! }
+//! ```
+
+pub mod config;
+pub mod ct;
+pub mod itt;
+pub mod maq;
+pub mod qp;
+
+pub use config::RmcTiming;
+pub use ct::{ContextEntry, ContextTable, CtCache};
+pub use itt::{InflightTable, ReplyAction};
+pub use maq::Maq;
+pub use qp::QueuePairState;

@@ -1,0 +1,191 @@
+//! RMC-side queue-pair state: ring geometry and cursors.
+//!
+//! The application and the RMC share WQ/CQ rings in memory (§4.1). The
+//! application owns the WQ producer cursor and the CQ consumer cursor; the
+//! RMC owns the mirror cursors tracked here. Phase bits (toggling per ring
+//! wrap) let each side detect fresh entries without shared head pointers.
+
+use sonuma_memory::VAddr;
+use sonuma_protocol::{CtxId, CQ_ENTRY_BYTES, WQ_ENTRY_BYTES};
+
+/// One queue pair as registered with the RMC by the device driver.
+///
+/// # Example
+///
+/// ```
+/// use sonuma_rmc::QueuePairState;
+/// use sonuma_protocol::CtxId;
+/// use sonuma_memory::VAddr;
+///
+/// let mut qp = QueuePairState::new(CtxId(0), 1, VAddr::new(0x1000), VAddr::new(0x3000), 8);
+/// assert_eq!(qp.wq_entry_addr(0), VAddr::new(0x1000));
+/// assert_eq!(qp.wq_entry_addr(1), VAddr::new(0x1040));
+/// let (idx, phase) = qp.wq_cursor();
+/// assert_eq!((idx, phase), (0, true));
+/// qp.advance_wq();
+/// assert_eq!(qp.wq_cursor().0, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueuePairState {
+    ctx: CtxId,
+    asid: u32,
+    wq_base: VAddr,
+    cq_base: VAddr,
+    entries: u16,
+    // RMC consumer cursor over the WQ.
+    wq_index: u16,
+    wq_phase: bool,
+    // RMC producer cursor over the CQ.
+    cq_index: u16,
+    cq_phase: bool,
+    wq_consumed: u64,
+    cq_produced: u64,
+}
+
+impl QueuePairState {
+    /// Registers a QP over rings of `entries` slots at `wq_base`/`cq_base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(ctx: CtxId, asid: u32, wq_base: VAddr, cq_base: VAddr, entries: u16) -> Self {
+        assert!(entries > 0, "empty queue pair");
+        QueuePairState {
+            ctx,
+            asid,
+            wq_base,
+            cq_base,
+            entries,
+            wq_index: 0,
+            wq_phase: true,
+            cq_index: 0,
+            cq_phase: true,
+            wq_consumed: 0,
+            cq_produced: 0,
+        }
+    }
+
+    /// The context this QP belongs to.
+    pub fn ctx(&self) -> CtxId {
+        self.ctx
+    }
+
+    /// Address space for buffer translations.
+    pub fn asid(&self) -> u32 {
+        self.asid
+    }
+
+    /// Ring capacity in entries.
+    pub fn entries(&self) -> u16 {
+        self.entries
+    }
+
+    /// Virtual address of WQ slot `index`.
+    pub fn wq_entry_addr(&self, index: u16) -> VAddr {
+        debug_assert!(index < self.entries);
+        self.wq_base.offset(index as u64 * WQ_ENTRY_BYTES)
+    }
+
+    /// Virtual address of CQ slot `index`.
+    pub fn cq_entry_addr(&self, index: u16) -> VAddr {
+        debug_assert!(index < self.entries);
+        self.cq_base.offset(index as u64 * CQ_ENTRY_BYTES)
+    }
+
+    /// The RMC's WQ consumer cursor: `(next index, expected phase)`.
+    pub fn wq_cursor(&self) -> (u16, bool) {
+        (self.wq_index, self.wq_phase)
+    }
+
+    /// Advances the WQ consumer cursor past one consumed entry.
+    pub fn advance_wq(&mut self) {
+        self.wq_consumed += 1;
+        self.wq_index += 1;
+        if self.wq_index == self.entries {
+            self.wq_index = 0;
+            self.wq_phase = !self.wq_phase;
+        }
+    }
+
+    /// The RMC's CQ producer cursor: `(next index, phase to write)`.
+    pub fn cq_cursor(&self) -> (u16, bool) {
+        (self.cq_index, self.cq_phase)
+    }
+
+    /// Advances the CQ producer cursor past one produced entry.
+    pub fn advance_cq(&mut self) {
+        self.cq_produced += 1;
+        self.cq_index += 1;
+        if self.cq_index == self.entries {
+            self.cq_index = 0;
+            self.cq_phase = !self.cq_phase;
+        }
+    }
+
+    /// Total WQ entries consumed.
+    pub fn wq_consumed(&self) -> u64 {
+        self.wq_consumed
+    }
+
+    /// Total CQ entries produced.
+    pub fn cq_produced(&self) -> u64 {
+        self.cq_produced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qp() -> QueuePairState {
+        QueuePairState::new(CtxId(2), 7, VAddr::new(0x1000), VAddr::new(0x8000), 4)
+    }
+
+    #[test]
+    fn slot_addresses_are_line_spaced() {
+        let qp = qp();
+        assert_eq!(qp.wq_entry_addr(0).raw(), 0x1000);
+        assert_eq!(qp.wq_entry_addr(3).raw(), 0x1000 + 3 * 64);
+        assert_eq!(qp.cq_entry_addr(2).raw(), 0x8000 + 2 * 64);
+    }
+
+    #[test]
+    fn wq_cursor_wraps_and_flips_phase() {
+        let mut qp = qp();
+        assert_eq!(qp.wq_cursor(), (0, true));
+        for _ in 0..4 {
+            qp.advance_wq();
+        }
+        assert_eq!(qp.wq_cursor(), (0, false), "phase flips on wrap");
+        for _ in 0..4 {
+            qp.advance_wq();
+        }
+        assert_eq!(qp.wq_cursor(), (0, true), "phase flips back");
+        assert_eq!(qp.wq_consumed(), 8);
+    }
+
+    #[test]
+    fn cq_cursor_independent_of_wq() {
+        let mut qp = qp();
+        qp.advance_wq();
+        qp.advance_wq();
+        assert_eq!(qp.cq_cursor(), (0, true));
+        qp.advance_cq();
+        assert_eq!(qp.cq_cursor(), (1, true));
+        assert_eq!(qp.cq_produced(), 1);
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let qp = qp();
+        assert_eq!(qp.ctx(), CtxId(2));
+        assert_eq!(qp.asid(), 7);
+        assert_eq!(qp.entries(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty queue pair")]
+    fn zero_entries_panics() {
+        QueuePairState::new(CtxId(0), 0, VAddr::new(0), VAddr::new(0), 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests over the RMC's state machines: the ITT under arbitrary
+//! out-of-order completion, the MAQ's concurrency bound, and CT$ behavior.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use sonuma_protocol::{CtxId, QpId, Status};
+use sonuma_rmc::{ContextEntry, ContextTable, CtCache, InflightTable, Maq, ReplyAction};
+use sonuma_memory::VAddr;
+use sonuma_sim::SimTime;
+
+proptest! {
+    /// For any interleaving of allocations and (randomly ordered) replies,
+    /// every transaction completes exactly once, with exactly its requested
+    /// number of line replies, and tids never leak.
+    #[test]
+    fn itt_completes_each_tid_exactly_once(
+        ops in vec((1u32..16, any::<bool>()), 1..100),
+        pick in vec(any::<u16>(), 0..400),
+    ) {
+        let mut itt = InflightTable::new(32);
+        let mut live: Vec<(sonuma_protocol::Tid, u32)> = Vec::new(); // (tid, remaining)
+        let mut completed = 0u64;
+        let mut expected_completions = 0u64;
+        let mut op_iter = ops.iter();
+        let mut pick_iter = pick.iter();
+        loop {
+            // Alternate: try to allocate, then deliver a random reply.
+            match op_iter.next() {
+                Some(&(lines, _)) => {
+                    if let Some(tid) = itt.alloc(QpId(0), 0, lines, 0x1000) {
+                        live.push((tid, lines));
+                        expected_completions += 1;
+                    }
+                }
+                None => {
+                    if live.is_empty() {
+                        break;
+                    }
+                }
+            }
+            if !live.is_empty() {
+                let idx = match pick_iter.next() {
+                    Some(&p) => p as usize % live.len(),
+                    None => 0,
+                };
+                let (tid, _) = live[idx];
+                match itt.on_reply(tid, Status::Ok) {
+                    ReplyAction::Complete { .. } => {
+                        completed += 1;
+                        live.swap_remove(idx);
+                    }
+                    ReplyAction::InProgress => {
+                        live[idx].1 -= 1;
+                        prop_assert!(live[idx].1 > 0, "InProgress past the last line");
+                    }
+                }
+            }
+        }
+        // Drain the rest.
+        while let Some(&mut (tid, _)) = live.first_mut() {
+            match itt.on_reply(tid, Status::Ok) {
+                ReplyAction::Complete { .. } => {
+                    completed += 1;
+                    live.swap_remove(0);
+                }
+                ReplyAction::InProgress => {}
+            }
+        }
+        prop_assert_eq!(completed, expected_completions);
+        prop_assert_eq!(itt.in_flight(), 0);
+        prop_assert_eq!(itt.completed(), expected_completions);
+    }
+
+    /// The MAQ never lets more than `entries` accesses overlap, for any
+    /// request times and durations.
+    #[test]
+    fn maq_bounds_concurrency(
+        entries in 1usize..16,
+        reqs in vec((0u64..10_000, 1u64..500), 1..200),
+    ) {
+        let mut maq = Maq::new(entries);
+        let mut intervals: Vec<(SimTime, SimTime)> = Vec::new();
+        for &(at_ns, dur_ns) in &reqs {
+            let now = SimTime::from_ns(at_ns);
+            let dur = SimTime::from_ns(dur_ns);
+            let (start, end) = maq.schedule(now, |_| dur);
+            prop_assert!(start >= now);
+            prop_assert_eq!(end - start, dur);
+            intervals.push((start, end));
+        }
+        // Check the concurrency bound at every interval start.
+        for &(t, _) in &intervals {
+            let overlapping = intervals
+                .iter()
+                .filter(|&&(s, e)| s <= t && t < e)
+                .count();
+            prop_assert!(
+                overlapping <= entries,
+                "{overlapping} accesses overlap at {t} with {entries} slots"
+            );
+        }
+    }
+
+    /// The CT$ never reports more hits than touches, and a second touch of
+    /// a context within `capacity` distinct contexts always hits.
+    #[test]
+    fn ct_cache_hit_accounting(
+        capacity in 1usize..8,
+        touches in vec(0u16..32, 1..200),
+    ) {
+        let mut cache = CtCache::new(capacity);
+        let mut last: Option<u16> = None;
+        for &ctx in &touches {
+            let hit = cache.touch(CtxId(ctx));
+            if last == Some(ctx) {
+                prop_assert!(hit, "immediate re-touch must hit");
+            }
+            last = Some(ctx);
+        }
+        prop_assert_eq!(cache.hits() + cache.misses(), touches.len() as u64);
+    }
+
+    /// Segment bounds checking: resolve accepts exactly the in-range
+    /// requests.
+    #[test]
+    fn context_resolve_is_exact(
+        base in 0u64..(1 << 30),
+        seg_len in 64u64..(1 << 20),
+        offset in 0u64..(2 << 20),
+        len in 0u64..4096,
+    ) {
+        let entry = ContextEntry {
+            segment_base: VAddr::new(base),
+            segment_len: seg_len,
+            asid: 0,
+            qps: vec![],
+        };
+        let result = entry.resolve(offset, len);
+        if offset + len <= seg_len {
+            prop_assert_eq!(result.unwrap(), VAddr::new(base + offset));
+        } else {
+            prop_assert_eq!(result.unwrap_err(), Status::OutOfBounds);
+        }
+    }
+
+    /// Context-table registration behaves like a map keyed by ctx id.
+    #[test]
+    fn context_table_is_a_map(ids in vec(0u16..64, 1..64)) {
+        let mut ct = ContextTable::new();
+        let mut model = std::collections::HashMap::new();
+        for (i, &id) in ids.iter().enumerate() {
+            let entry = ContextEntry {
+                segment_base: VAddr::new(i as u64 * 4096),
+                segment_len: 4096,
+                asid: i as u32,
+                qps: vec![],
+            };
+            ct.register(CtxId(id), entry.clone());
+            model.insert(id, entry);
+        }
+        for (&id, expect) in &model {
+            prop_assert_eq!(ct.lookup(CtxId(id)).unwrap(), expect);
+        }
+        prop_assert_eq!(ct.len(), model.len());
+    }
+}

@@ -1,0 +1,298 @@
+//! The event queue and dispatch loop.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A scheduled event: a one-shot closure over the world and the engine.
+type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
+
+struct Scheduled<W> {
+    time: SimTime,
+    seq: u64,
+    f: EventFn<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest (time, seq) pops
+        // first. Ties on time break by insertion order, which makes the
+        // execution order deterministic.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event simulation engine.
+///
+/// `W` is the caller-owned *world*: all mutable simulation state. Events are
+/// closures invoked with `(&mut W, &mut Engine<W>)` so they can both mutate
+/// state and schedule follow-up events. Events at equal timestamps run in
+/// the order they were scheduled.
+///
+/// # Example
+///
+/// ```
+/// use sonuma_sim::{Engine, SimTime};
+///
+/// let mut engine = Engine::new();
+/// let mut log: Vec<u32> = Vec::new();
+/// engine.schedule_at(SimTime::from_ns(5), |w: &mut Vec<u32>, e: &mut Engine<Vec<u32>>| {
+///     w.push(1);
+///     e.schedule_in(SimTime::from_ns(5), |w: &mut Vec<u32>, _| w.push(2));
+/// });
+/// engine.run(&mut log);
+/// assert_eq!(log, vec![1, 2]);
+/// assert_eq!(engine.now(), SimTime::from_ns(10));
+/// ```
+pub struct Engine<W> {
+    queue: BinaryHeap<Scheduled<W>>,
+    now: SimTime,
+    next_seq: u64,
+    executed: u64,
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Engine<W> {
+    /// Creates an empty engine at time zero.
+    pub fn new() -> Self {
+        Engine {
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            executed: 0,
+        }
+    }
+
+    /// The current simulated time (the timestamp of the event being, or last,
+    /// executed).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events executed so far.
+    #[inline]
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `f` to run at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time: the simulation
+    /// cannot travel backwards.
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F)
+    where
+        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={} at={}",
+            self.now,
+            at
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Scheduled {
+            time: at,
+            seq,
+            f: Box::new(f),
+        });
+    }
+
+    /// Schedules `f` to run `delay` after the current time.
+    pub fn schedule_in<F>(&mut self, delay: SimTime, f: F)
+    where
+        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    {
+        self.schedule_at(self.now + delay, f);
+    }
+
+    /// Runs events until the queue is empty.
+    pub fn run(&mut self, world: &mut W) {
+        self.run_until(world, SimTime::MAX);
+    }
+
+    /// Runs events with timestamps `<= horizon`; later events stay queued.
+    ///
+    /// Returns the number of events executed by this call. After returning,
+    /// [`Engine::now`] is the timestamp of the last executed event (or
+    /// unchanged if none ran); it never jumps to `horizon`.
+    pub fn run_until(&mut self, world: &mut W, horizon: SimTime) -> u64 {
+        let mut ran = 0;
+        while let Some(head) = self.queue.peek() {
+            if head.time > horizon {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event vanished");
+            debug_assert!(ev.time >= self.now, "event queue went backwards");
+            self.now = ev.time;
+            self.executed += 1;
+            ran += 1;
+            (ev.f)(world, self);
+        }
+        ran
+    }
+
+    /// Runs at most `max_events` events; used to bound runaway simulations.
+    ///
+    /// Returns the number of events executed.
+    pub fn run_steps(&mut self, world: &mut W, max_events: u64) -> u64 {
+        let mut ran = 0;
+        while ran < max_events {
+            match self.queue.pop() {
+                Some(ev) => {
+                    self.now = ev.time;
+                    self.executed += 1;
+                    ran += 1;
+                    (ev.f)(world, self);
+                }
+                None => break,
+            }
+        }
+        ran
+    }
+}
+
+impl<W> std::fmt::Debug for Engine<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct World {
+        trace: Vec<(u64, &'static str)>,
+    }
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut e = Engine::new();
+        let mut w = World::default();
+        e.schedule_at(SimTime::from_ns(30), |w: &mut World, e: &mut Engine<World>| {
+            w.trace.push((e.now().as_ps(), "c"))
+        });
+        e.schedule_at(SimTime::from_ns(10), |w: &mut World, e: &mut Engine<World>| {
+            w.trace.push((e.now().as_ps(), "a"))
+        });
+        e.schedule_at(SimTime::from_ns(20), |w: &mut World, e: &mut Engine<World>| {
+            w.trace.push((e.now().as_ps(), "b"))
+        });
+        e.run(&mut w);
+        assert_eq!(
+            w.trace,
+            vec![(10_000, "a"), (20_000, "b"), (30_000, "c")]
+        );
+        assert_eq!(e.events_executed(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut e = Engine::new();
+        let mut w = World::default();
+        let t = SimTime::from_ns(5);
+        e.schedule_at(t, |w: &mut World, _: &mut Engine<World>| {
+            w.trace.push((0, "first"))
+        });
+        e.schedule_at(t, |w: &mut World, _: &mut Engine<World>| {
+            w.trace.push((0, "second"))
+        });
+        e.run(&mut w);
+        assert_eq!(w.trace, vec![(0, "first"), (0, "second")]);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut e = Engine::new();
+        let mut w = World::default();
+        e.schedule_at(SimTime::from_ns(1), |w: &mut World, e: &mut Engine<World>| {
+            w.trace.push((e.now().as_ps(), "outer"));
+            e.schedule_in(SimTime::from_ns(2), |w: &mut World, e: &mut Engine<World>| {
+                w.trace.push((e.now().as_ps(), "inner"));
+            });
+        });
+        e.run(&mut w);
+        assert_eq!(w.trace, vec![(1_000, "outer"), (3_000, "inner")]);
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut e = Engine::new();
+        let mut w = World::default();
+        e.schedule_at(SimTime::from_ns(10), |w: &mut World, _: &mut Engine<World>| {
+            w.trace.push((0, "early"))
+        });
+        e.schedule_at(SimTime::from_ns(100), |w: &mut World, _: &mut Engine<World>| {
+            w.trace.push((0, "late"))
+        });
+        let ran = e.run_until(&mut w, SimTime::from_ns(50));
+        assert_eq!(ran, 1);
+        assert_eq!(w.trace.len(), 1);
+        assert_eq!(e.pending(), 1);
+        // now() sticks at the last executed event, not the horizon.
+        assert_eq!(e.now(), SimTime::from_ns(10));
+        e.run(&mut w);
+        assert_eq!(w.trace.len(), 2);
+    }
+
+    #[test]
+    fn run_steps_bounds_execution() {
+        let mut e = Engine::new();
+        let mut w = World::default();
+        for i in 0..10u64 {
+            e.schedule_at(SimTime::from_ns(i), |w: &mut World, _: &mut Engine<World>| {
+                w.trace.push((0, "x"))
+            });
+        }
+        assert_eq!(e.run_steps(&mut w, 4), 4);
+        assert_eq!(w.trace.len(), 4);
+        assert_eq!(e.run_steps(&mut w, 100), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut e = Engine::new();
+        let mut w = World::default();
+        e.schedule_at(SimTime::from_ns(10), |_: &mut World, e: &mut Engine<World>| {
+            // now = 10ns; scheduling at 5ns must panic.
+            e.schedule_at(SimTime::from_ns(5), |_, _| {});
+        });
+        e.run(&mut w);
+    }
+}

@@ -1,0 +1,139 @@
+//! The paper's §8 extensions in action: remote interrupts (node-to-node
+//! notification without polling) and an all-reduce collective built from
+//! one-sided writes.
+//!
+//! ```text
+//! cargo run --example extensions --release
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use sonuma::core::{
+    drain_completions, AllReduce, AppProcess, NodeApi, NodeId, SimTime, Step, SystemBuilder, Wake,
+    DEFAULT_CTX,
+};
+
+/// Coordinator: interrupts every worker to start, then joins the
+/// all-reduce and prints the global sum.
+struct Coordinator {
+    qp: sonuma::core::QpId,
+    a: AllReduce,
+    nodes: usize,
+    kicked: bool,
+    t0: SimTime,
+}
+
+impl AppProcess for Coordinator {
+    fn wake(&mut self, api: &mut NodeApi<'_>, why: Wake) -> Step {
+        if matches!(why, Wake::Start) {
+            self.a.init(api).unwrap();
+            self.t0 = api.now();
+        }
+        let _ = drain_completions(api, &why, self.qp);
+        if !self.kicked {
+            // Wake every worker by interrupt — no polling anywhere.
+            for n in 1..self.nodes {
+                api.post_interrupt(self.qp, NodeId(n as u16), DEFAULT_CTX, 0xC0FFEE)
+                    .unwrap();
+            }
+            self.kicked = true;
+            self.a.start(api, 0).unwrap(); // coordinator contributes 0
+        }
+        match self.a.poll(api).unwrap() {
+            Some(sum) => {
+                println!(
+                    "all-reduce over {} nodes -> sum = {} in {} (kicked off by remote interrupts)",
+                    self.nodes,
+                    sum,
+                    api.now() - self.t0
+                );
+                Step::Done
+            }
+            None => {
+                let (addr, len) = self.a.watch();
+                Step::WaitCqOrMemory { qp: self.qp, addr, len }
+            }
+        }
+    }
+}
+
+/// Worker: sleeps until interrupted, then contributes `100 * node_id`.
+struct Worker {
+    qp: sonuma::core::QpId,
+    a: AllReduce,
+    woken: Rc<RefCell<u32>>,
+}
+
+impl AppProcess for Worker {
+    fn wake(&mut self, api: &mut NodeApi<'_>, why: Wake) -> Step {
+        match why {
+            Wake::Start => {
+                self.a.init(api).unwrap();
+                // Park on a dummy range: only the interrupt can wake us.
+                let dummy = api.ctx_base(DEFAULT_CTX);
+                Step::WaitMemory { addr: dummy, len: 64 }
+            }
+            Wake::Interrupt { from, payload } => {
+                println!(
+                    "node {} interrupted by {} (payload {payload:#x}) at {}",
+                    api.node_id(),
+                    from,
+                    api.now()
+                );
+                *self.woken.borrow_mut() += 1;
+                self.a.start(api, 100 * api.node_id().0 as u64).unwrap();
+                let (addr, len) = self.a.watch();
+                Step::WaitCqOrMemory { qp: self.qp, addr, len }
+            }
+            _ => {
+                let _ = drain_completions(api, &why, self.qp);
+                match self.a.poll(api).unwrap() {
+                    Some(_) => Step::Done,
+                    None => {
+                        let (addr, len) = self.a.watch();
+                        Step::WaitCqOrMemory { qp: self.qp, addr, len }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    let nodes = 4usize;
+    let mut system = SystemBuilder::simulated_hardware(nodes).segment_len(1 << 20).build();
+    let woken = Rc::new(RefCell::new(0u32));
+    for n in 0..nodes {
+        let node = NodeId(n as u16);
+        let qp = system.create_qp(node, 0);
+        if n == 0 {
+            system.spawn(
+                node,
+                0,
+                Box::new(Coordinator {
+                    qp,
+                    a: AllReduce::new(qp, node, nodes, 0),
+                    nodes,
+                    kicked: false,
+                    t0: SimTime::ZERO,
+                }),
+            );
+        } else {
+            system.cluster.set_interrupt_handler(node, 0);
+            system.spawn(
+                node,
+                0,
+                Box::new(Worker {
+                    qp,
+                    a: AllReduce::new(qp, node, nodes, 0),
+                    woken: woken.clone(),
+                }),
+            );
+        }
+    }
+    system.run();
+    assert_eq!(*woken.borrow(), (nodes - 1) as u32);
+    // 100*1 + 100*2 + 100*3 = 600.
+    println!("\nworkers woken by interrupt: {}", woken.borrow());
+}

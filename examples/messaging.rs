@@ -1,0 +1,163 @@
+//! The §5.3 unsolicited-communication library: ping-pong latency and a
+//! one-way stream, showing the push/pull threshold at work.
+//!
+//! ```text
+//! cargo run --example messaging --release
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use sonuma::core::{
+    drain_completions, AppProcess, Messenger, MsgConfig, MsgError, NodeApi, NodeId, RecvPoll,
+    SimTime, Step, SystemBuilder, Wake,
+};
+
+/// Ping side: sends a message, waits for the echo, records the RTT.
+struct Ping {
+    m: Messenger,
+    size: usize,
+    rounds: u32,
+    current: u32,
+    sent: bool,
+    t0: SimTime,
+    rtts: Rc<RefCell<Vec<SimTime>>>,
+}
+
+impl AppProcess for Ping {
+    fn wake(&mut self, api: &mut NodeApi<'_>, why: Wake) -> Step {
+        if matches!(why, Wake::Start) {
+            self.m.init(api).unwrap();
+        }
+        let comps = drain_completions(api, &why, self.m.qp());
+        self.m.on_completions(api, &comps);
+        let peer = NodeId(1);
+        loop {
+            if self.current == self.rounds {
+                return Step::Done;
+            }
+            if !self.sent {
+                let msg = vec![self.current as u8; self.size];
+                self.t0 = api.now();
+                match self.m.try_send(api, peer, &msg) {
+                    Ok(()) => self.sent = true,
+                    Err(_) => return Step::WaitCq(self.m.qp()),
+                }
+            }
+            match self.m.try_recv(api, peer).unwrap() {
+                RecvPoll::Message(echo) => {
+                    assert_eq!(echo.len(), self.size);
+                    self.rtts.borrow_mut().push(api.now() - self.t0);
+                    self.current += 1;
+                    self.sent = false;
+                }
+                RecvPoll::Pending => return Step::WaitCq(self.m.qp()),
+                RecvPoll::Empty => {
+                    self.m.flush_credits(api, peer);
+                    let (addr, len) = if self.m.all_sent() {
+                        self.m.recv_watch(peer)
+                    } else {
+                        self.m.credit_watch(peer)
+                    };
+                    return Step::WaitCqOrMemory { qp: self.m.qp(), addr, len };
+                }
+            }
+        }
+    }
+}
+
+/// Pong side: echoes everything back.
+struct Pong {
+    m: Messenger,
+    rounds: u32,
+    echoed: u32,
+    held: Option<Vec<u8>>,
+}
+
+impl AppProcess for Pong {
+    fn wake(&mut self, api: &mut NodeApi<'_>, why: Wake) -> Step {
+        if matches!(why, Wake::Start) {
+            self.m.init(api).unwrap();
+        }
+        let comps = drain_completions(api, &why, self.m.qp());
+        self.m.on_completions(api, &comps);
+        let peer = NodeId(0);
+        loop {
+            if self.echoed == self.rounds && self.held.is_none() && self.m.all_sent() {
+                return Step::Done;
+            }
+            if let Some(msg) = self.held.take() {
+                match self.m.try_send(api, peer, &msg) {
+                    Ok(()) => {
+                        self.echoed += 1;
+                        continue;
+                    }
+                    Err(MsgError::NoCredit) | Err(MsgError::Backpressure) => {
+                        self.held = Some(msg);
+                        return Step::WaitCq(self.m.qp());
+                    }
+                    Err(e) => panic!("{e}"),
+                }
+            }
+            match self.m.try_recv(api, peer).unwrap() {
+                RecvPoll::Message(msg) => self.held = Some(msg),
+                RecvPoll::Pending => return Step::WaitCq(self.m.qp()),
+                RecvPoll::Empty => {
+                    self.m.flush_credits(api, peer);
+                    let (addr, len) = if self.m.all_sent() {
+                        self.m.recv_watch(peer)
+                    } else {
+                        self.m.credit_watch(peer)
+                    };
+                    return Step::WaitCqOrMemory { qp: self.m.qp(), addr, len };
+                }
+            }
+        }
+    }
+}
+
+fn pingpong(size: usize) -> SimTime {
+    let mut system = SystemBuilder::simulated_hardware(2).segment_len(4 << 20).build();
+    let cfg = MsgConfig::hardware(); // 256 B push/pull threshold
+    let qp0 = system.create_qp(NodeId(0), 0);
+    let qp1 = system.create_qp(NodeId(1), 0);
+    let rtts = Rc::new(RefCell::new(Vec::new()));
+    system.spawn(
+        NodeId(0),
+        0,
+        Box::new(Ping {
+            m: Messenger::new(cfg, qp0, NodeId(0), 2, 0),
+            size,
+            rounds: 10,
+            current: 0,
+            sent: false,
+            t0: SimTime::ZERO,
+            rtts: rtts.clone(),
+        }),
+    );
+    system.spawn(
+        NodeId(1),
+        0,
+        Box::new(Pong {
+            m: Messenger::new(cfg, qp1, NodeId(1), 2, 0),
+            rounds: 10,
+            echoed: 0,
+            held: None,
+        }),
+    );
+    system.run();
+    let v = rtts.borrow();
+    // Steady state: last round trip, halved (half-duplex, as Netpipe
+    // reports).
+    *v.last().unwrap() / 2
+}
+
+fn main() {
+    println!("send/receive over one-sided operations (threshold 256 B):\n");
+    for size in [16usize, 64, 256, 1024, 4096] {
+        let mechanism = if size <= 256 { "push" } else { "pull" };
+        let half = pingpong(size);
+        println!("  {size:>5} B message  ({mechanism})  half-duplex latency {half}");
+    }
+    println!("\npaper: 340 ns minimum half-duplex latency on the simulated hardware (Fig. 8a)");
+}

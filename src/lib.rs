@@ -1,0 +1,20 @@
+//! # soNUMA-rs
+//!
+//! A from-scratch Rust reproduction of **Scale-Out NUMA** (Novakovic et al.,
+//! ASPLOS 2014): the remote memory controller (RMC), its programming model,
+//! and the stateless request/reply protocol layered on a NUMA memory fabric,
+//! together with the full simulation substrate, baselines, applications and
+//! benchmark harness used in the paper's evaluation.
+//!
+//! This facade crate re-exports every subsystem under one namespace. See
+//! `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use sonuma_apps as apps;
+pub use sonuma_baselines as baselines;
+pub use sonuma_core as core;
+pub use sonuma_fabric as fabric;
+pub use sonuma_machine as machine;
+pub use sonuma_memory as memory;
+pub use sonuma_protocol as protocol;
+pub use sonuma_rmc as rmc;
+pub use sonuma_sim as sim;
