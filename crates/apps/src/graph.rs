@@ -81,10 +81,8 @@ impl Graph {
         for &(u, _) in &pairs {
             has_out[u as usize] = true;
         }
-        for u in 0..config.vertices {
-            if !has_out[u] {
-                pairs.push((u as u32, ((u + 1) % config.vertices) as u32));
-            }
+        for (u, _) in has_out.iter().enumerate().filter(|&(_, covered)| !covered) {
+            pairs.push((u as u32, ((u + 1) % config.vertices) as u32));
         }
         Self::from_edges(config.vertices, &pairs)
     }
@@ -98,7 +96,10 @@ impl Graph {
         let mut out_degree = vec![0u32; vertices];
         let mut in_degree = vec![0u64; vertices];
         for &(u, v) in edges {
-            assert!((u as usize) < vertices && (v as usize) < vertices, "edge out of range");
+            assert!(
+                (u as usize) < vertices && (v as usize) < vertices,
+                "edge out of range"
+            );
             out_degree[u as usize] += 1;
             in_degree[v as usize] += 1;
         }
@@ -138,7 +139,7 @@ impl Graph {
 
     /// Out-degree of `v`.
     pub fn out_degree(&self, v: usize) -> u32 {
-        self.out_degree[v as usize]
+        self.out_degree[v]
     }
 
     /// Maximum in-degree (skew diagnostics).
@@ -303,7 +304,10 @@ mod tests {
         assert_eq!(p.nodes(), 8);
         let sizes: Vec<usize> = (0..8).map(|n| p.owned_by(n).len()).collect();
         assert_eq!(sizes.iter().sum::<usize>(), 1000);
-        assert!(sizes.iter().all(|&s| s == 125), "equal cardinality: {sizes:?}");
+        assert!(
+            sizes.iter().all(|&s| s == 125),
+            "equal cardinality: {sizes:?}"
+        );
         for v in 0..1000 {
             let n = p.node_of(v);
             let i = p.index_of(v);

@@ -19,11 +19,11 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use sonuma_core::{
-    drain_completions, AppProcess, Messenger, MsgConfig, MsgError, NodeApi, NodeId, QpId,
-    RecvPoll, SimTime, Step, SystemBuilder, Wake,
-};
 use sonuma_core::VAddr;
+use sonuma_core::{
+    drain_completions, AppProcess, Messenger, MsgConfig, MsgError, NodeApi, NodeId, QpId, RecvPoll,
+    SimTime, Step, SystemBuilder, Wake,
+};
 use sonuma_sim::DetRng;
 
 /// Maximum value bytes per entry.
@@ -86,7 +86,9 @@ fn hash_key(key: u64) -> u64 {
 /// Deterministic value for `key` (verification).
 pub fn value_of(key: u64) -> Vec<u8> {
     let len = 8 + (key % 40) as usize;
-    (0..len).map(|i| (key as usize * 13 + i * 3) as u8).collect()
+    (0..len)
+        .map(|i| (key as usize * 13 + i * 3) as u8)
+        .collect()
 }
 
 fn encode_bucket(key: u64, value: &[u8]) -> [u8; BUCKET_BYTES as usize] {
@@ -147,7 +149,8 @@ impl KvServer {
             api.local_read(va, &mut line).expect("table mapped");
             let (existing, _) = decode_bucket(&line);
             if existing == 0 || existing == key {
-                api.local_write(va, &encode_bucket(key, value)).expect("table mapped");
+                api.local_write(va, &encode_bucket(key, value))
+                    .expect("table mapped");
                 break;
             }
             probe = (probe + 1) % self.buckets;
@@ -192,7 +195,11 @@ impl AppProcess for KvServer {
             if !progressed {
                 // Park until any client's channel (or the CQ) has news.
                 let (addr, len) = self.m.recv_watch_all();
-                return Step::WaitCqOrMemory { qp: self.m.qp(), addr, len };
+                return Step::WaitCqOrMemory {
+                    qp: self.m.qp(),
+                    addr,
+                    len,
+                };
             }
         }
     }
@@ -229,7 +236,14 @@ impl KvClient {
         let st = self.current.as_mut().expect("active GET");
         let offset = TABLE_BASE + st.probe * BUCKET_BYTES;
         st.wq = api
-            .post_read(self.qp, self.server, sonuma_core::DEFAULT_CTX, offset, self.buf, 64)
+            .post_read(
+                self.qp,
+                self.server,
+                sonuma_core::DEFAULT_CTX,
+                offset,
+                self.buf,
+                64,
+            )
             .expect("GET read post");
     }
 
@@ -311,7 +325,11 @@ impl AppProcess for KvClient {
                     Ok(RecvPoll::Empty) => {
                         self.m.flush_credits(api, self.server);
                         let (addr, len) = self.m.recv_watch(self.server);
-                        return Step::WaitCqOrMemory { qp: self.qp, addr, len };
+                        return Step::WaitCqOrMemory {
+                            qp: self.qp,
+                            addr,
+                            len,
+                        };
                     }
                     Err(_) => return Step::WaitCq(self.qp),
                 }
@@ -335,7 +353,11 @@ impl AppProcess for KvClient {
                     }
                     Err(MsgError::NoCredit) => {
                         let (addr, len) = self.m.credit_watch(self.server);
-                        return Step::WaitCqOrMemory { qp: self.qp, addr, len };
+                        return Step::WaitCqOrMemory {
+                            qp: self.qp,
+                            addr,
+                            len,
+                        };
                     }
                     Err(_) => return Step::WaitCq(self.qp),
                 }
@@ -358,8 +380,7 @@ impl AppProcess for KvClient {
                     }
                 }
                 if self.gets_done > 0 {
-                    self.report.borrow_mut().mean_get_ns =
-                        self.lat_sum_ns / self.gets_done as f64;
+                    self.report.borrow_mut().mean_get_ns = self.lat_sum_ns / self.gets_done as f64;
                 }
                 return Step::Done;
             }

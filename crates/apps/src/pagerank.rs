@@ -22,12 +22,12 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use sonuma_core::ApiError;
+use sonuma_core::VAddr;
 use sonuma_core::{
     drain_completions, AppProcess, Barrier, NodeApi, NodeId, QpId, SimTime, Step, SystemBuilder,
     Wake,
 };
-use sonuma_core::ApiError;
-use sonuma_core::VAddr;
 
 use crate::graph::{Graph, Partition};
 
@@ -213,13 +213,13 @@ impl ShmWorker {
                 *budget -= 1;
                 let u = neighbors[self.cursor_e] as usize;
                 api.compute(self.cfg.per_edge_compute);
-                let (rank, deg) =
-                    read_record(api, seg, u, parity).expect("vertex array mapped");
+                let (rank, deg) = read_record(api, seg, u, parity).expect("vertex array mapped");
                 self.acc += 0.85 * rank / deg as f64;
                 self.cursor_e += 1;
             }
             let field = VAddr::new(seg + rank_field_offset(v, next_parity) - VTX_BASE);
-            api.local_store_u64(field, self.acc.to_bits()).expect("mapped");
+            api.local_store_u64(field, self.acc.to_bits())
+                .expect("mapped");
             self.cursor_v += 1;
             self.cursor_e = 0;
             *budget = budget.saturating_sub(1);
@@ -347,7 +347,8 @@ impl BulkWorker {
             }
             let idx = self.part.index_of(v);
             let field = VAddr::new(seg + rank_field_offset(idx, next_parity) - VTX_BASE);
-            api.local_store_u64(field, self.acc.to_bits()).expect("mapped");
+            api.local_store_u64(field, self.acc.to_bits())
+                .expect("mapped");
             self.cursor_v += 1;
             self.cursor_e = 0;
             *budget = budget.saturating_sub(1);
@@ -404,7 +405,11 @@ impl AppProcess for BulkWorker {
                 BulkPhase::BarrierWait => {
                     if !self.barrier.ready(api).unwrap() {
                         let (addr, len) = self.barrier.watch();
-                        return Step::WaitCqOrMemory { qp: self.qp, addr, len };
+                        return Step::WaitCqOrMemory {
+                            qp: self.qp,
+                            addr,
+                            len,
+                        };
                     }
                     self.superstep += 1;
                     if self.superstep == self.cfg.supersteps {
@@ -562,7 +567,11 @@ impl AppProcess for FineGrainWorker {
             if self.in_barrier {
                 if !self.barrier.ready(api).unwrap() {
                     let (addr, len) = self.barrier.watch();
-                    return Step::WaitCqOrMemory { qp: self.qp, addr, len };
+                    return Step::WaitCqOrMemory {
+                        qp: self.qp,
+                        addr,
+                        len,
+                    };
                 }
                 self.in_barrier = false;
                 self.superstep += 1;
@@ -626,11 +635,7 @@ pub fn run(
     }
 }
 
-fn seed_records(
-    write: &mut dyn FnMut(u64, &[u8]),
-    graph: &Graph,
-    vertices: &[u32],
-) {
+fn seed_records(write: &mut dyn FnMut(u64, &[u8]), graph: &Graph, vertices: &[u32]) {
     let init = (1.0 / graph.vertices() as f64).to_bits();
     for (i, &v) in vertices.iter().enumerate() {
         let mut rec = [0u8; REC_BYTES as usize];
@@ -642,7 +647,9 @@ fn seed_records(
 
 fn run_shm(cores: usize, graph: &Rc<Graph>, cfg: &PagerankConfig) -> PagerankResult {
     let seg_len = VTX_BASE + (graph.vertices() as u64 * REC_BYTES).div_ceil(64) * 64 + 64;
-    let mut system = SystemBuilder::shared_memory(cores).segment_len(seg_len).build();
+    let mut system = SystemBuilder::shared_memory(cores)
+        .segment_len(seg_len)
+        .build();
     // Global layout: record i belongs to vertex i.
     let all: Vec<u32> = (0..graph.vertices() as u32).collect();
     seed_records(
@@ -680,7 +687,11 @@ fn run_shm(cores: usize, graph: &Rc<Graph>, cfg: &PagerankConfig) -> PagerankRes
     let mut ranks = vec![0.0f64; graph.vertices()];
     for (v, r) in ranks.iter_mut().enumerate() {
         let mut buf = [0u8; 8];
-        system.read_ctx(NodeId(0), VTX_BASE + rank_field_offset(v, parity) - VTX_BASE, &mut buf);
+        system.read_ctx(
+            NodeId(0),
+            VTX_BASE + rank_field_offset(v, parity) - VTX_BASE,
+            &mut buf,
+        );
         *r = f64::from_bits(u64::from_le_bytes(buf));
     }
     PagerankResult {
@@ -696,8 +707,15 @@ fn run_sonuma(
     graph: &Rc<Graph>,
     cfg: &PagerankConfig,
 ) -> PagerankResult {
-    let part = Rc::new(Partition::random(graph.vertices(), nodes, cfg.partition_seed));
-    let max_owned = (0..nodes).map(|n| part.owned_by(n).len()).max().unwrap_or(1);
+    let part = Rc::new(Partition::random(
+        graph.vertices(),
+        nodes,
+        cfg.partition_seed,
+    ));
+    let max_owned = (0..nodes)
+        .map(|n| part.owned_by(n).len())
+        .max()
+        .unwrap_or(1);
     let seg_len = VTX_BASE + (max_owned as u64 * REC_BYTES).div_ceil(64) * 64 + 64;
     let builder = if cfg.dev_platform {
         SystemBuilder::dev_platform(nodes)
@@ -766,11 +784,7 @@ fn run_sonuma(
         let n = part.node_of(v);
         let idx = part.index_of(v);
         let mut buf = [0u8; 8];
-        system.read_ctx(
-            NodeId(n as u16),
-            rank_field_offset(idx, parity),
-            &mut buf,
-        );
+        system.read_ctx(NodeId(n as u16), rank_field_offset(idx, parity), &mut buf);
         *r = f64::from_bits(u64::from_le_bytes(buf));
     }
     let remote_ops = system.cluster.total_ops_completed();
@@ -798,10 +812,7 @@ mod tests {
     fn assert_close(a: &[f64], b: &[f64]) {
         assert_eq!(a.len(), b.len());
         for (i, (x, y)) in a.iter().zip(b).enumerate() {
-            assert!(
-                (x - y).abs() < 1e-9,
-                "rank {i} differs: {x} vs {y}"
-            );
+            assert!((x - y).abs() < 1e-9, "rank {i} differs: {x} vs {y}");
         }
     }
 
@@ -816,7 +827,10 @@ mod tests {
     #[test]
     fn shm_matches_reference() {
         let g = small_graph();
-        let cfg = PagerankConfig { supersteps: 2, ..Default::default() };
+        let cfg = PagerankConfig {
+            supersteps: 2,
+            ..Default::default()
+        };
         let r = run(Variant::Shm, 4, &g, &cfg);
         assert_close(&r.ranks, &reference_ranks(&g, 2));
         assert_eq!(r.remote_ops, 0);
@@ -825,7 +839,10 @@ mod tests {
     #[test]
     fn bulk_matches_reference() {
         let g = small_graph();
-        let cfg = PagerankConfig { supersteps: 2, ..Default::default() };
+        let cfg = PagerankConfig {
+            supersteps: 2,
+            ..Default::default()
+        };
         let r = run(Variant::Bulk, 4, &g, &cfg);
         assert_close(&r.ranks, &reference_ranks(&g, 2));
         assert!(r.remote_ops > 0);
@@ -834,7 +851,10 @@ mod tests {
     #[test]
     fn fine_grain_matches_reference() {
         let g = small_graph();
-        let cfg = PagerankConfig { supersteps: 2, ..Default::default() };
+        let cfg = PagerankConfig {
+            supersteps: 2,
+            ..Default::default()
+        };
         let r = run(Variant::FineGrain, 4, &g, &cfg);
         assert_close(&r.ranks, &reference_ranks(&g, 2));
         // Remote ops scale with cut edges, far exceeding bulk's per-peer
@@ -846,7 +866,10 @@ mod tests {
     #[test]
     fn parallel_speedup_is_positive() {
         let g = small_graph();
-        let cfg = PagerankConfig { supersteps: 1, ..Default::default() };
+        let cfg = PagerankConfig {
+            supersteps: 1,
+            ..Default::default()
+        };
         let t1 = run(Variant::Shm, 1, &g, &cfg).total_time;
         let t4 = run(Variant::Shm, 4, &g, &cfg).total_time;
         let speedup = t1.as_ns_f64() / t4.as_ns_f64();
@@ -856,7 +879,10 @@ mod tests {
     #[test]
     fn fine_grain_trails_bulk() {
         let g = small_graph();
-        let cfg = PagerankConfig { supersteps: 1, ..Default::default() };
+        let cfg = PagerankConfig {
+            supersteps: 1,
+            ..Default::default()
+        };
         let bulk = run(Variant::Bulk, 4, &g, &cfg).total_time;
         let fine = run(Variant::FineGrain, 4, &g, &cfg).total_time;
         assert!(

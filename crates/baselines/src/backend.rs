@@ -1,0 +1,327 @@
+//! Baseline transports behind the [`RemoteBackend`] contract.
+//!
+//! [`ModeledBackend`] is a functional remote-memory engine timed by a
+//! pluggable [`LinkModel`]: per-node byte segments, a completion-ordered
+//! event clock, per-node issue serialization, and the same §4.2 error
+//! semantics the soNUMA machine implements (out-of-range accesses complete
+//! with [`Status::OutOfBounds`]). The TCP and RDMA models of this crate
+//! each implement [`LinkModel`] (see `tcp.rs` / `rdma.rs`), giving
+//! [`TcpBackend`] and [`RdmaBackend`] — so the `sonuma-core` conformance
+//! suite and the Table 2 harness can replay identical request streams over
+//! commodity networking, RDMA, and soNUMA, and the only thing that differs
+//! is where the time goes.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use sonuma_protocol::{
+    BackendError, NodeId, RemoteBackend, RemoteCompletion, RemoteOp, RemoteRequest, Status,
+};
+use sonuma_sim::SimTime;
+
+use crate::{RdmaFabric, TcpStack};
+
+/// Stage-level cost model of one transport, consumed by [`ModeledBackend`].
+pub trait LinkModel {
+    /// Report label ("TCP/IP (Calxeda)", "RDMA (ConnectX-3)").
+    fn label(&self) -> &'static str;
+
+    /// End-to-end latency of one one-sided operation moving `bytes` of
+    /// payload (request through completion observation).
+    fn op_latency(&self, op: RemoteOp, bytes: u64) -> SimTime;
+
+    /// How long the initiating side stays busy issuing one operation (the
+    /// serialization floor between back-to-back posts from one node).
+    fn issue_occupancy(&self, op: RemoteOp, bytes: u64) -> SimTime;
+}
+
+/// Maximum operations one node may have in flight (the baselines' send
+/// queue depth; posts beyond it see [`BackendError::Backpressure`]).
+pub const WINDOW: usize = 64;
+
+#[derive(Debug)]
+struct Inflight {
+    done: SimTime,
+    seq: u64,
+    src: usize,
+    token: u64,
+    req: RemoteRequest,
+}
+
+impl PartialEq for Inflight {
+    fn eq(&self, other: &Self) -> bool {
+        (self.done, self.seq) == (other.done, other.seq)
+    }
+}
+impl Eq for Inflight {}
+impl PartialOrd for Inflight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Inflight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.done, self.seq).cmp(&(other.done, other.seq))
+    }
+}
+
+/// A functional remote-memory backend timed by a [`LinkModel`].
+#[derive(Debug)]
+pub struct ModeledBackend<M> {
+    model: M,
+    segments: Vec<Vec<u8>>,
+    clock: SimTime,
+    next_free: Vec<SimTime>,
+    inflight: BinaryHeap<Reverse<Inflight>>,
+    ready: Vec<Vec<RemoteCompletion>>,
+    in_window: Vec<usize>,
+    next_token: Vec<u64>,
+    next_seq: u64,
+}
+
+impl<M: LinkModel> ModeledBackend<M> {
+    /// Builds a backend of `nodes` nodes with `segment_len`-byte segments.
+    pub fn new(model: M, nodes: usize, segment_len: u64) -> Self {
+        ModeledBackend {
+            model,
+            segments: (0..nodes)
+                .map(|_| vec![0u8; segment_len as usize])
+                .collect(),
+            clock: SimTime::ZERO,
+            next_free: vec![SimTime::ZERO; nodes],
+            inflight: BinaryHeap::new(),
+            ready: (0..nodes).map(|_| Vec::new()).collect(),
+            in_window: vec![0; nodes],
+            next_token: vec![0; nodes],
+            next_seq: 0,
+        }
+    }
+
+    /// The underlying cost model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Applies `req`'s functional effect at completion time; returns the
+    /// completion payload.
+    fn apply(&mut self, req: &RemoteRequest) -> (Status, Vec<u8>) {
+        let seg = &mut self.segments[req.dst.index()];
+        let end = req.offset.checked_add(req.len);
+        let in_bounds = end.is_some_and(|e| e <= seg.len() as u64);
+        if !in_bounds {
+            return (Status::OutOfBounds, Vec::new());
+        }
+        let lo = req.offset as usize;
+        match req.op {
+            RemoteOp::Read => (Status::Ok, seg[lo..lo + req.len as usize].to_vec()),
+            RemoteOp::Write => {
+                seg[lo..lo + req.payload.len()].copy_from_slice(&req.payload);
+                (Status::Ok, Vec::new())
+            }
+            RemoteOp::FetchAdd => {
+                let old = u64::from_le_bytes(seg[lo..lo + 8].try_into().unwrap());
+                let new = old.wrapping_add(req.operands.0);
+                seg[lo..lo + 8].copy_from_slice(&new.to_le_bytes());
+                (Status::Ok, old.to_le_bytes().to_vec())
+            }
+            RemoteOp::CompSwap => {
+                let old = u64::from_le_bytes(seg[lo..lo + 8].try_into().unwrap());
+                if old == req.operands.0 {
+                    seg[lo..lo + 8].copy_from_slice(&req.operands.1.to_le_bytes());
+                }
+                (Status::Ok, old.to_le_bytes().to_vec())
+            }
+            RemoteOp::Interrupt => (Status::Ok, Vec::new()),
+        }
+    }
+}
+
+impl<M: LinkModel> RemoteBackend for ModeledBackend<M> {
+    fn label(&self) -> &'static str {
+        self.model.label()
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.segments.len()
+    }
+
+    fn segment_len(&self) -> u64 {
+        self.segments.first().map_or(0, |s| s.len() as u64)
+    }
+
+    fn write_ctx(&mut self, node: NodeId, offset: u64, data: &[u8]) {
+        let seg = &mut self.segments[node.index()];
+        let lo = offset as usize;
+        seg[lo..lo + data.len()].copy_from_slice(data);
+    }
+
+    fn read_ctx(&self, node: NodeId, offset: u64, buf: &mut [u8]) {
+        let seg = &self.segments[node.index()];
+        let lo = offset as usize;
+        buf.copy_from_slice(&seg[lo..lo + buf.len()]);
+    }
+
+    fn post(&mut self, src: NodeId, req: RemoteRequest) -> Result<u64, BackendError> {
+        let n = src.index();
+        if n >= self.segments.len() || req.dst.index() >= self.segments.len() {
+            return Err(BackendError::BadNode);
+        }
+        if req.op == RemoteOp::Interrupt
+            || req.len == 0
+            || (req.op == RemoteOp::Write && req.len != req.payload.len() as u64)
+        {
+            return Err(BackendError::BadRequest);
+        }
+        if self.in_window[n] >= WINDOW {
+            return Err(BackendError::Backpressure);
+        }
+        let bytes = match req.op {
+            RemoteOp::Read => req.len,
+            RemoteOp::Write => req.payload.len() as u64,
+            _ => 8,
+        };
+        let issue_at = self.clock.max(self.next_free[n]);
+        self.next_free[n] = issue_at + self.model.issue_occupancy(req.op, bytes);
+        let done = issue_at + self.model.op_latency(req.op, bytes);
+        let token = self.next_token[n];
+        self.next_token[n] += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.in_window[n] += 1;
+        self.inflight.push(Reverse(Inflight {
+            done,
+            seq,
+            src: n,
+            token,
+            req,
+        }));
+        Ok(token)
+    }
+
+    fn poll(&mut self, src: NodeId) -> Vec<RemoteCompletion> {
+        std::mem::take(&mut self.ready[src.index()])
+    }
+
+    fn advance(&mut self) -> bool {
+        let Some(Reverse(op)) = self.inflight.pop() else {
+            return false;
+        };
+        // The clock jumps to the next completion; effects apply in global
+        // completion order, which linearizes atomics.
+        self.clock = self.clock.max(op.done);
+        let (status, data) = self.apply(&op.req);
+        self.in_window[op.src] -= 1;
+        self.ready[op.src].push(RemoteCompletion {
+            token: op.token,
+            status,
+            data,
+        });
+        !self.inflight.is_empty()
+    }
+
+    fn now(&self) -> SimTime {
+        self.clock
+    }
+}
+
+/// Commodity TCP/IP on Calxeda microservers as a [`RemoteBackend`].
+pub type TcpBackend = ModeledBackend<TcpStack>;
+
+impl TcpBackend {
+    /// The Fig. 1 platform with `nodes` nodes.
+    pub fn calxeda(nodes: usize, segment_len: u64) -> Self {
+        ModeledBackend::new(TcpStack::calxeda(), nodes, segment_len)
+    }
+}
+
+/// RDMA over InfiniBand (ConnectX-3 class) as a [`RemoteBackend`].
+pub type RdmaBackend = ModeledBackend<RdmaFabric>;
+
+impl RdmaBackend {
+    /// The Table 2 comparison platform with `nodes` nodes.
+    pub fn connectx3(nodes: usize, segment_len: u64) -> Self {
+        ModeledBackend::new(RdmaFabric::connectx3(), nodes, segment_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rdma_functional_roundtrip() {
+        let mut b = RdmaBackend::connectx3(2, 4096);
+        b.write_ctx(NodeId(1), 0, &[5u8; 64]);
+        let t = b
+            .post(NodeId(0), RemoteRequest::read(NodeId(1), 0, 64))
+            .unwrap();
+        let done = b.complete_all(NodeId(0));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].token, t);
+        assert_eq!(done[0].data, vec![5u8; 64]);
+    }
+
+    #[test]
+    fn out_of_bounds_is_a_status_not_a_panic() {
+        let mut b = TcpBackend::calxeda(2, 4096);
+        b.post(NodeId(0), RemoteRequest::read(NodeId(1), 1 << 20, 64))
+            .unwrap();
+        let done = b.complete_all(NodeId(0));
+        assert_eq!(done[0].status, Status::OutOfBounds);
+    }
+
+    #[test]
+    fn window_backpressure_then_drain() {
+        let mut b = RdmaBackend::connectx3(2, 4096);
+        for _ in 0..WINDOW {
+            b.post(NodeId(0), RemoteRequest::read(NodeId(1), 0, 64))
+                .unwrap();
+        }
+        assert_eq!(
+            b.post(NodeId(0), RemoteRequest::read(NodeId(1), 0, 64)),
+            Err(BackendError::Backpressure)
+        );
+        let done = b.complete_all(NodeId(0));
+        assert_eq!(done.len(), WINDOW);
+        assert!(b
+            .post(NodeId(0), RemoteRequest::read(NodeId(1), 0, 64))
+            .is_ok());
+    }
+
+    #[test]
+    fn tcp_is_slower_than_rdma_for_small_reads() {
+        let mut tcp = TcpBackend::calxeda(2, 4096);
+        let mut rdma = RdmaBackend::connectx3(2, 4096);
+        for b in [&mut tcp as &mut dyn RemoteBackend, &mut rdma] {
+            b.post(NodeId(0), RemoteRequest::read(NodeId(1), 0, 64))
+                .unwrap();
+            let _ = b.complete_all(NodeId(0));
+        }
+        // Fig. 1 vs Table 2: >40 us against ~1.2 us.
+        assert!(tcp.now() > rdma.now() * 10);
+    }
+
+    #[test]
+    fn atomics_linearize_in_completion_order() {
+        let mut b = RdmaBackend::connectx3(3, 4096);
+        for src in [NodeId(0), NodeId(1)] {
+            for _ in 0..8 {
+                b.post(src, RemoteRequest::fetch_add(NodeId(2), 0, 1))
+                    .unwrap();
+            }
+        }
+        while b.advance() {}
+        let mut ctr = [0u8; 8];
+        b.read_ctx(NodeId(2), 0, &mut ctr);
+        assert_eq!(u64::from_le_bytes(ctr), 16);
+        // Observed previous values across both initiators are a permutation
+        // of 0..16.
+        let mut seen: Vec<u64> = [NodeId(0), NodeId(1)]
+            .into_iter()
+            .flat_map(|n| b.poll(n))
+            .map(|c| u64::from_le_bytes(c.data[..8].try_into().unwrap()))
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..16).collect::<Vec<_>>());
+    }
+}

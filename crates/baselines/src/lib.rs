@@ -15,8 +15,15 @@
 //! — is explicit, so the benches can decompose where time goes exactly as
 //! §2.2 of the paper does.
 
+//! Both models also implement the transport-agnostic
+//! [`sonuma_protocol::RemoteBackend`] contract (via [`backend`]), so the
+//! same one-sided request streams the soNUMA machine executes can replay
+//! over TCP and RDMA for apples-to-apples Table 2 comparisons.
+
+pub mod backend;
 pub mod rdma;
 pub mod tcp;
 
+pub use backend::{LinkModel, ModeledBackend, RdmaBackend, TcpBackend};
 pub use rdma::RdmaFabric;
 pub use tcp::TcpStack;

@@ -100,7 +100,8 @@ impl RdmaFabric {
     /// deep pipelining: the PCIe ceiling, unless small operations leave the
     /// adapter issue-limited.
     pub fn read_bandwidth_gbps(&self, bytes: u64, qps: usize) -> f64 {
-        let issue_limited = (self.ops_per_sec_per_qp * qps as u64) as f64 * bytes as f64 * 8.0 / 1e9;
+        let issue_limited =
+            (self.ops_per_sec_per_qp * qps as u64) as f64 * bytes as f64 * 8.0 / 1e9;
         let pcie = self.pcie_bits_per_sec as f64 / 1e9;
         issue_limited.min(pcie)
     }
@@ -115,6 +116,29 @@ impl RdmaFabric {
     /// soNUMA eliminates (used by the Table 2 commentary).
     pub fn pcie_crossings_per_read(&self) -> u32 {
         3 // doorbell, WQE fetch, payload delivery (+ completion piggybacks)
+    }
+}
+
+impl crate::backend::LinkModel for RdmaFabric {
+    fn label(&self) -> &'static str {
+        "RDMA (ConnectX-3)"
+    }
+
+    /// One-sided reads and writes traverse the same doorbell/WQE/wire/DMA
+    /// stages; atomics use the adapter's atomic unit (1.15 µs vs. the
+    /// 1.19 µs read in the paper's Table 2).
+    fn op_latency(&self, op: sonuma_protocol::RemoteOp, bytes: u64) -> SimTime {
+        use sonuma_protocol::RemoteOp;
+        match op {
+            RemoteOp::FetchAdd | RemoteOp::CompSwap => self.fetch_add_latency(),
+            _ => self.read_latency(bytes),
+        }
+    }
+
+    /// The adapter issues at most `ops_per_sec_per_qp` operations per QP;
+    /// one backend port maps to one QP.
+    fn issue_occupancy(&self, _op: sonuma_protocol::RemoteOp, _bytes: u64) -> SimTime {
+        SimTime::from_ns_f64(1e9 / self.ops_per_sec_per_qp as f64)
     }
 }
 
@@ -159,7 +183,10 @@ mod tests {
     fn small_ops_are_issue_limited() {
         let ib = RdmaFabric::connectx3();
         let bw64 = ib.read_bandwidth_gbps(64, 4);
-        assert!(bw64 < 20.0, "64 B ops cannot reach the PCIe ceiling: {bw64}");
+        assert!(
+            bw64 < 20.0,
+            "64 B ops cannot reach the PCIe ceiling: {bw64}"
+        );
     }
 
     #[test]

@@ -109,8 +109,46 @@ impl TcpStack {
     pub fn netpipe_sweep(&self, sizes: &[u64]) -> Vec<(u64, SimTime, f64)> {
         sizes
             .iter()
-            .map(|&s| (s, self.half_duplex_latency(s), self.streaming_bandwidth_gbps(s)))
+            .map(|&s| {
+                (
+                    s,
+                    self.half_duplex_latency(s),
+                    self.streaming_bandwidth_gbps(s),
+                )
+            })
             .collect()
+    }
+}
+
+impl crate::backend::LinkModel for TcpStack {
+    fn label(&self) -> &'static str {
+        "TCP/IP (Calxeda)"
+    }
+
+    /// A one-sided operation over TCP is a request/response exchange
+    /// between user-space agents: the request travels one way (carrying
+    /// the payload for writes), the response the other (carrying the
+    /// payload for reads), each through the full kernel stack.
+    fn op_latency(&self, op: sonuma_protocol::RemoteOp, bytes: u64) -> SimTime {
+        use sonuma_protocol::RemoteOp;
+        let header = 64;
+        let (out, back) = match op {
+            RemoteOp::Read => (header, bytes.max(1)),
+            RemoteOp::Write => (bytes.max(1), header),
+            _ => (header, header),
+        };
+        self.half_duplex_latency(out) + self.half_duplex_latency(back)
+    }
+
+    /// The sender's CPU is busy for the kernel-entry plus per-segment
+    /// stack processing of the outbound message — the Fig. 1 bandwidth
+    /// limiter on wimpy cores.
+    fn issue_occupancy(&self, op: sonuma_protocol::RemoteOp, bytes: u64) -> SimTime {
+        let out = match op {
+            sonuma_protocol::RemoteOp::Write => bytes.max(1),
+            _ => 64,
+        };
+        self.per_message_side + self.per_segment * self.segments(out)
     }
 }
 

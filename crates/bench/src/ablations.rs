@@ -97,7 +97,10 @@ pub fn poll_interval() -> Vec<Point> {
 /// Prints one ablation group.
 pub fn print(title: &str, points: &[Point]) {
     println!("\n=== Ablation: {title} ===");
-    println!("{:<28} {:>14} {:>14}", "setting", "64B lat(ns)", "8KB BW(Gbps)");
+    println!(
+        "{:<28} {:>14} {:>14}",
+        "setting", "64B lat(ns)", "8KB BW(Gbps)"
+    );
     for p in points {
         println!(
             "{:<28} {:>14.1} {:>14.1}",
@@ -126,7 +129,10 @@ mod tests {
     fn software_unrolling_kills_bandwidth() {
         let points = unroll_interval();
         assert!(points[2].gbps < 3.0, "270 ns unrolling ~ dev platform");
-        assert!(points[0].gbps > 30.0, "hardware unrolling sustains DRAM-class BW");
+        assert!(
+            points[0].gbps > 30.0,
+            "hardware unrolling sustains DRAM-class BW"
+        );
     }
 
     #[test]

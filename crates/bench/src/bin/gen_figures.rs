@@ -4,7 +4,8 @@
 //! cargo run -p sonuma-bench --bin gen-figures --release
 //! ```
 //!
-//! Pass subset names (`table1 fig1 fig7 fig8 fig9 table2 ablations`) to
+//! Pass subset names (`table1 fig1 fig7 fig8 fig9 table2 ablations
+//! pipelines`) to
 //! print only some; add `--csv <dir>` to also save plottable CSV files.
 
 use std::path::PathBuf;
@@ -15,14 +16,11 @@ use sonuma_bench::{ablations, fig01, fig07, fig08, fig09, table1, table2};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let csv_dir: Option<PathBuf> = args
-        .iter()
-        .position(|a| a == "--csv")
-        .map(|i| {
-            let dir = args.get(i + 1).expect("--csv needs a directory").clone();
-            args.drain(i..=i + 1);
-            PathBuf::from(dir)
-        });
+    let csv_dir: Option<PathBuf> = args.iter().position(|a| a == "--csv").map(|i| {
+        let dir = args.get(i + 1).expect("--csv needs a directory").clone();
+        args.drain(i..=i + 1);
+        PathBuf::from(dir)
+    });
     let save = |name: &str, table: &CsvTable| {
         if let Some(dir) = &csv_dir {
             let path = table.save(dir, name).expect("write CSV");
@@ -40,7 +38,11 @@ fn main() {
         fig01::print(&rows);
         let mut t = CsvTable::new(&["size_bytes", "latency_us", "bandwidth_gbps"]);
         for r in &rows {
-            t.row(&[r.size.to_string(), cell(r.latency.as_us_f64()), cell(r.gbps)]);
+            t.row(&[
+                r.size.to_string(),
+                cell(r.latency.as_us_f64()),
+                cell(r.gbps),
+            ]);
         }
         save("fig01_netpipe_tcp", &t);
     }
@@ -52,7 +54,10 @@ fn main() {
         let lat_dev = fig07::latency(Platform::DevPlatform);
         fig07::print_latency(Platform::DevPlatform, &lat_dev);
 
-        for (name, rows) in [("fig07a_latency_hw", &lat_hw), ("fig07c_latency_dev", &lat_dev)] {
+        for (name, rows) in [
+            ("fig07a_latency_hw", &lat_hw),
+            ("fig07c_latency_dev", &lat_dev),
+        ] {
             let mut t = CsvTable::new(&["size_bytes", "single_us", "double_us"]);
             for r in rows {
                 t.row(&[
@@ -121,7 +126,12 @@ fn main() {
         for (name, fig) in [("fig09_left_hw", &left), ("fig09_right_dev", &right)] {
             let mut t = CsvTable::new(&["nodes", "shm", "bulk", "fine_grain"]);
             for r in &fig.rows {
-                t.row(&[r.parallelism.to_string(), cell(r.shm), cell(r.bulk), cell(r.fine)]);
+                t.row(&[
+                    r.parallelism.to_string(),
+                    cell(r.shm),
+                    cell(r.bulk),
+                    cell(r.fine),
+                ]);
             }
             save(name, &t);
         }
@@ -129,7 +139,13 @@ fn main() {
     if want("table2") {
         let cols = table2::run();
         table2::print(&cols);
-        let mut t = CsvTable::new(&["transport", "max_bw_gbps", "read_rtt_us", "fetch_add_us", "mops"]);
+        let mut t = CsvTable::new(&[
+            "transport",
+            "max_bw_gbps",
+            "read_rtt_us",
+            "fetch_add_us",
+            "mops",
+        ]);
         for c in &cols {
             t.row(&[
                 c.name.to_string(),
@@ -148,4 +164,37 @@ fn main() {
         ablations::print("fabric topology", &ablations::topology());
         ablations::print("WQ poll cadence", &ablations::poll_interval());
     }
+    if want("pipelines") {
+        let rows = pipeline_counters();
+        sonuma_bench::report::print_pipeline_stats(
+            "RMC pipeline counters (4 nodes, neighbor read stream)",
+            &rows,
+        );
+        save(
+            "pipeline_counters",
+            &sonuma_bench::report::pipeline_stats_table(&rows),
+        );
+    }
+}
+
+/// Drives a short all-nodes read stream over the full machine and
+/// snapshots every node's RGP/RRPP/RCP counters.
+fn pipeline_counters() -> Vec<(String, sonuma_core::PipelineStats)> {
+    use sonuma_core::{NodeId, RemoteBackend, RemoteRequest, SonumaBackend};
+
+    let nodes = 4u16;
+    let mut b = SonumaBackend::simulated_hardware(nodes as usize, 1 << 20);
+    for n in 0..nodes {
+        for i in 0..32u64 {
+            let dst = NodeId((n + 1) % nodes);
+            b.post(NodeId(n), RemoteRequest::read(dst, (i % 16) * 1024, 1024))
+                .expect("32 posts fit a 64-entry WQ");
+        }
+    }
+    while b.advance() {}
+    let mut rows: Vec<(String, sonuma_core::PipelineStats)> = (0..nodes)
+        .map(|n| (format!("n{n}"), b.cluster().pipeline_stats(NodeId(n))))
+        .collect();
+    rows.push(("total".to_string(), b.cluster().total_pipeline_stats()));
+    rows
 }

@@ -20,7 +20,11 @@ pub fn run() -> Vec<Row> {
     let sizes: Vec<u64> = (0..=20).map(|i| 1u64 << i).collect(); // 1 B .. 1 MB
     tcp.netpipe_sweep(&sizes)
         .into_iter()
-        .map(|(size, latency, gbps)| Row { size, latency, gbps })
+        .map(|(size, latency, gbps)| Row {
+            size,
+            latency,
+            gbps,
+        })
         .collect()
 }
 

@@ -61,7 +61,11 @@ pub fn latency(platform: Platform) -> Vec<LatencyRow> {
         .map(|&size| {
             let single = run_sync_read(&mut builder(platform).build(), size, false);
             let double = run_sync_read(&mut builder(platform).build(), size, true);
-            LatencyRow { size, single, double }
+            LatencyRow {
+                size,
+                single,
+                double,
+            }
         })
         .collect()
 }
@@ -97,7 +101,10 @@ pub fn print_latency(platform: Platform, rows: &[LatencyRow]) {
     };
     println!("\n=== {name} ===");
     println!("{paper}");
-    println!("{:>10} {:>16} {:>16}", "size(B)", "single(us)", "double(us)");
+    println!(
+        "{:>10} {:>16} {:>16}",
+        "size(B)", "single(us)", "double(us)"
+    );
     for r in rows {
         println!(
             "{:>10} {:>16.3} {:>16.3}",
@@ -149,7 +156,10 @@ mod tests {
         let first = rows[0].single.as_us_f64();
         let last = rows.last().unwrap().single.as_us_f64();
         assert!((1.2..2.2).contains(&first), "dev 64 B latency {first} us");
-        assert!(last > first * 10.0, "unrolling dominates: {last} vs {first}");
+        assert!(
+            last > first * 10.0,
+            "unrolling dominates: {last} vs {first}"
+        );
     }
 
     #[test]

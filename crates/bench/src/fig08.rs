@@ -98,7 +98,11 @@ impl AppProcess for Pinger {
                     } else {
                         self.m.credit_watch(self.peer)
                     };
-                    return Step::WaitCqOrMemory { qp: self.m.qp(), addr, len };
+                    return Step::WaitCqOrMemory {
+                        qp: self.m.qp(),
+                        addr,
+                        len,
+                    };
                 }
             }
         }
@@ -152,7 +156,11 @@ impl AppProcess for Echoer {
                     } else {
                         self.m.credit_watch(self.peer)
                     };
-                    return Step::WaitCqOrMemory { qp: self.m.qp(), addr, len };
+                    return Step::WaitCqOrMemory {
+                        qp: self.m.qp(),
+                        addr,
+                        len,
+                    };
                 }
             }
         }
@@ -221,7 +229,11 @@ impl AppProcess for StreamSender {
             if self.sent == self.count {
                 if !self.m.all_sent() {
                     let (addr, len) = self.m.credit_watch(self.to);
-                    return Step::WaitCqOrMemory { qp: self.m.qp(), addr, len };
+                    return Step::WaitCqOrMemory {
+                        qp: self.m.qp(),
+                        addr,
+                        len,
+                    };
                 }
                 return Step::Done;
             }
@@ -230,7 +242,11 @@ impl AppProcess for StreamSender {
                 Ok(()) => self.sent += 1,
                 Err(MsgError::NoCredit) => {
                     let (addr, len) = self.m.credit_watch(self.to);
-                    return Step::WaitCqOrMemory { qp: self.m.qp(), addr, len };
+                    return Step::WaitCqOrMemory {
+                        qp: self.m.qp(),
+                        addr,
+                        len,
+                    };
                 }
                 Err(MsgError::Backpressure) => return Step::WaitCq(self.m.qp()),
                 Err(e) => panic!("send failed: {e}"),
@@ -270,7 +286,11 @@ impl AppProcess for StreamReceiver {
                 RecvPoll::Empty => {
                     self.m.flush_credits(api, self.from);
                     let (addr, len) = self.m.recv_watch(self.from);
-                    return Step::WaitCqOrMemory { qp: self.m.qp(), addr, len };
+                    return Step::WaitCqOrMemory {
+                        qp: self.m.qp(),
+                        addr,
+                        len,
+                    };
                 }
             }
         }

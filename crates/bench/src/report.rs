@@ -1,9 +1,12 @@
 //! CSV emission for the figure harnesses, so results can be plotted with
-//! any external tool (`gen-figures --csv <dir>`).
+//! any external tool (`gen-figures --csv <dir>`), plus the per-node RMC
+//! pipeline-counter report.
 
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+
+use sonuma_core::PipelineStats;
 
 /// A simple CSV table: header plus rows of stringified cells.
 #[derive(Debug, Clone, Default)]
@@ -72,6 +75,48 @@ pub fn cell(v: f64) -> String {
     format!("{v:.4}")
 }
 
+/// Builds the per-node RMC pipeline-counter table: one labeled row per
+/// snapshot (typically one per node plus a "total"), one column per
+/// counter (`rgp_requests`, `rgp_lines`, RRPP/RCP equivalents, stalls).
+///
+/// # Panics
+///
+/// Panics if `rows` is empty.
+pub fn pipeline_stats_table(rows: &[(String, PipelineStats)]) -> CsvTable {
+    let (_, first) = rows.first().expect("at least one stats row");
+    let mut header: Vec<&str> = vec!["node"];
+    header.extend(first.rows().iter().map(|(name, _)| *name));
+    let mut t = CsvTable::new(&header);
+    for (label, stats) in rows {
+        let mut cells = vec![label.clone()];
+        cells.extend(stats.rows().iter().map(|(_, v)| v.to_string()));
+        t.row(&cells);
+    }
+    t
+}
+
+/// Prints a pipeline-counter table in aligned columns (the human-readable
+/// sibling of [`pipeline_stats_table`]).
+pub fn print_pipeline_stats(title: &str, rows: &[(String, PipelineStats)]) {
+    println!("\n{title}");
+    let names: Vec<&str> = rows
+        .first()
+        .map(|(_, s)| s.rows().iter().map(|(n, _)| *n).collect())
+        .unwrap_or_default();
+    print!("{:>12}", "node");
+    for n in &names {
+        print!(" {n:>16}");
+    }
+    println!();
+    for (label, stats) in rows {
+        print!("{label:>12}");
+        for (_, v) in stats.rows() {
+            print!(" {v:>16}");
+        }
+        println!();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,5 +148,28 @@ mod tests {
     fn ragged_rows_panic() {
         let mut t = CsvTable::new(&["a", "b"]);
         t.row(&["1".into()]);
+    }
+
+    #[test]
+    fn pipeline_stats_render_one_column_per_counter() {
+        let a = PipelineStats {
+            rgp_requests: 3,
+            rcp_completions: 3,
+            ..PipelineStats::default()
+        };
+        let rows = vec![("n0".to_string(), a), ("total".to_string(), a.merge(a))];
+        let t = pipeline_stats_table(&rows);
+        assert_eq!(t.len(), 2);
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("node,rgp_requests,rgp_lines"));
+        assert!(header.contains("rgp_itt_stalls"));
+        assert!(header.contains("rrpp_served"));
+        assert!(header.contains("rcp_completions"));
+        assert!(lines.next().unwrap().starts_with("n0,3,"));
+        assert!(lines.next().unwrap().starts_with("total,6,"));
+        // Human-readable sibling must not panic.
+        print_pipeline_stats("probe", &rows);
     }
 }

@@ -9,9 +9,8 @@ pub fn print() {
     let h = &c.hierarchy;
     println!("\n=== Table 1: system parameters (from the live configuration) ===");
     println!(
-        "{:<10} {}",
-        "Core",
-        "ARM Cortex-A15-like cost model, 2 GHz (paper: 64-bit, OoO, 3-wide)"
+        "{:<10} ARM Cortex-A15-like cost model, 2 GHz (paper: 64-bit, OoO, 3-wide)",
+        "Core"
     );
     println!(
         "{:<10} split I/D {} KB {}-way, 64-byte blocks, {:.1}-ns tag+data",

@@ -8,7 +8,9 @@ use sonuma_baselines::RdmaFabric;
 use sonuma_core::{NodeId, SimTime, SystemBuilder};
 
 use crate::fig07::Platform;
-use crate::workloads::{run_async_read, run_sync_read, AtomicPinger, LatencyOut, READ_REGION_BYTES};
+use crate::workloads::{
+    run_async_read, run_sync_read, AtomicPinger, LatencyOut, READ_REGION_BYTES,
+};
 
 /// One column of Table 2.
 #[derive(Debug, Clone)]
@@ -31,7 +33,9 @@ fn sonuma_column(platform: Platform, name: &'static str) -> Column {
             Platform::SimulatedHardware => SystemBuilder::simulated_hardware(2),
             Platform::DevPlatform => SystemBuilder::dev_platform(2),
         };
-        b.segment_len(READ_REGION_BYTES + 4096).qp_entries(64).build()
+        b.segment_len(READ_REGION_BYTES + 4096)
+            .qp_entries(64)
+            .build()
     };
     let read_rtt = run_sync_read(&mut build(), 64, false);
     let (max_bw_gbps, _) = run_async_read(&mut build(), 8192, false);
@@ -112,17 +116,28 @@ mod tests {
             ib.read_rtt.as_us_f64() / hw.read_rtt.as_us_f64() > 3.0,
             "paper: ~4x latency advantage"
         );
-        assert!(dev.read_rtt > ib.read_rtt, "emulation is slower than silicon");
+        assert!(
+            dev.read_rtt > ib.read_rtt,
+            "emulation is slower than silicon"
+        );
         // Bandwidth: sim'd HW saturates memory, above the PCIe-capped RDMA.
         assert!(hw.max_bw_gbps > ib.max_bw_gbps);
         assert!(dev.max_bw_gbps < 4.0, "dev platform ~1.8 Gbps");
         // Atomics track reads on every platform (§7.4).
         for c in cols.iter() {
             let ratio = c.fetch_add.as_ns_f64() / c.read_rtt.as_ns_f64();
-            assert!((0.7..1.3).contains(&ratio), "{}: f&a/read = {ratio}", c.name);
+            assert!(
+                (0.7..1.3).contains(&ratio),
+                "{}: f&a/read = {ratio}",
+                c.name
+            );
         }
         // Per-core IOPS parity: both ~10 M (RDMA divides its 35 M over 4).
         assert!((7.0..14.0).contains(&hw.mops), "sim'd HW {} Mops", hw.mops);
-        assert!((1.0..3.5).contains(&dev.mops), "dev platform {} Mops", dev.mops);
+        assert!(
+            (1.0..3.5).contains(&dev.mops),
+            "dev platform {} Mops",
+            dev.mops
+        );
     }
 }

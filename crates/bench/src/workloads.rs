@@ -4,7 +4,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use sonuma_core::{
-    drain_completions, AppProcess, ApiError, NodeApi, NodeId, QpId, SimTime, SonumaSystem, Step,
+    drain_completions, ApiError, AppProcess, NodeApi, NodeId, QpId, SimTime, SonumaSystem, Step,
     VAddr, Wake,
 };
 
@@ -43,7 +43,14 @@ pub struct SyncReader {
 impl SyncReader {
     /// Creates a reader for `reps` measured reads after `warmup` unmeasured
     /// ones.
-    pub fn new(qp: QpId, peer: NodeId, size: u64, warmup: u32, reps: u32, out: Shared<LatencyOut>) -> Self {
+    pub fn new(
+        qp: QpId,
+        peer: NodeId,
+        size: u64,
+        warmup: u32,
+        reps: u32,
+        out: Shared<LatencyOut>,
+    ) -> Self {
         SyncReader {
             qp,
             peer,
@@ -65,8 +72,15 @@ impl SyncReader {
     fn post(&mut self, api: &mut NodeApi<'_>) {
         self.posted_at = api.now();
         let off = self.offset() / 64 * 64;
-        api.post_read(self.qp, self.peer, sonuma_core::DEFAULT_CTX, off, self.buf, self.size)
-            .expect("sync read post");
+        api.post_read(
+            self.qp,
+            self.peer,
+            sonuma_core::DEFAULT_CTX,
+            off,
+            self.buf,
+            self.size,
+        )
+        .expect("sync read post");
     }
 }
 
@@ -158,7 +172,14 @@ impl AsyncReader {
             let off = (self.issued * self.size) % (READ_REGION_BYTES - self.size) / 64 * 64;
             let slot = api.next_wq_index(self.qp) as u64;
             let buf = VAddr::new(self.lbuf.raw() + slot * self.size);
-            match api.post_read(self.qp, self.peer, sonuma_core::DEFAULT_CTX, off, buf, self.size) {
+            match api.post_read(
+                self.qp,
+                self.peer,
+                sonuma_core::DEFAULT_CTX,
+                off,
+                buf,
+                self.size,
+            ) {
                 Ok(_) => {
                     if self.issued == 0 {
                         self.out.borrow_mut().started = api.now();
@@ -309,7 +330,12 @@ pub fn run_async_read(system: &mut SonumaSystem, size: u64, double_sided: bool) 
         );
     }
     system.run();
-    let gbps = out0.borrow().gbps() + if double_sided { out1.borrow().gbps() } else { 0.0 };
+    let gbps = out0.borrow().gbps()
+        + if double_sided {
+            out1.borrow().gbps()
+        } else {
+            0.0
+        };
     let iops = out0.borrow().ops_per_sec();
     (gbps, iops)
 }

@@ -128,10 +128,7 @@ impl Barrier {
     /// The local flag range to pass to `Step::WaitMemory` while not
     /// [`Barrier::ready`].
     pub fn watch(&self) -> (VAddr, u64) {
-        (
-            self.flag_va(0),
-            self.nodes as u64 * SLOT_BYTES,
-        )
+        (self.flag_va(0), self.nodes as u64 * SLOT_BYTES)
     }
 
     /// The QP used for arrival broadcasts (drain its CQ opportunistically).

@@ -100,7 +100,14 @@ impl AllReduce {
             if peer == self.me {
                 continue;
             }
-            api.post_write(self.qp, NodeId(peer as u16), DEFAULT_CTX, offset, scratch, SLOT_BYTES)?;
+            api.post_write(
+                self.qp,
+                NodeId(peer as u16),
+                DEFAULT_CTX,
+                offset,
+                scratch,
+                SLOT_BYTES,
+            )?;
         }
         Ok(())
     }
@@ -130,7 +137,9 @@ impl AllReduce {
     pub fn watch(&self) -> (VAddr, u64) {
         let bank = self.round % 2;
         (
-            VAddr::new(self.segment_base + self.region_base + bank * self.nodes as u64 * SLOT_BYTES),
+            VAddr::new(
+                self.segment_base + self.region_base + bank * self.nodes as u64 * SLOT_BYTES,
+            ),
             self.nodes as u64 * SLOT_BYTES,
         )
     }

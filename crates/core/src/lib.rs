@@ -14,7 +14,11 @@
 //!   **push** (packetized inline writes) and **pull** (descriptor + bulk
 //!   read) mechanisms and the compile-time threshold between them;
 //! * [`barrier`] — the barrier primitive (§5.3): each node broadcasts its
-//!   arrival with remote writes and polls locally until all peers arrive.
+//!   arrival with remote writes and polls locally until all peers arrive;
+//! * the transport-agnostic [`RemoteBackend`] contract is re-exported here
+//!   together with [`SonumaBackend`]; the backend conformance suite under
+//!   `tests/` runs the same one-sided request streams over soNUMA and the
+//!   TCP/RDMA baselines (apples-to-apples Table 2 semantics).
 //!
 //! # Example
 //!
@@ -44,10 +48,13 @@ pub use system::{SonumaSystem, SystemBuilder};
 
 // Re-export the execution model so applications depend on one crate.
 pub use sonuma_machine::{
-    ApiError, AppProcess, Completion, MachineConfig, NodeApi, SoftwareTiming, Step, Wake,
+    ApiError, AppProcess, Completion, MachineConfig, NodeApi, PipelineStats, SoftwareTiming,
+    SonumaBackend, Step, Wake,
 };
 pub use sonuma_memory::VAddr;
-pub use sonuma_protocol::{CtxId, NodeId, QpId, Status};
+pub use sonuma_protocol::{
+    BackendError, CtxId, NodeId, QpId, RemoteBackend, RemoteCompletion, RemoteRequest, Status,
+};
 pub use sonuma_sim::SimTime;
 
 /// The context id used by [`SystemBuilder`]-managed systems (one global

@@ -352,13 +352,21 @@ impl Messenger {
     /// [`MsgError::NoCredit`] (wait on [`Messenger::credit_watch`]),
     /// [`MsgError::Backpressure`] (wait on the CQ), or
     /// [`MsgError::TooBig`].
-    pub fn try_send(&mut self, api: &mut NodeApi<'_>, to: NodeId, data: &[u8]) -> Result<(), MsgError> {
+    pub fn try_send(
+        &mut self,
+        api: &mut NodeApi<'_>,
+        to: NodeId,
+        data: &[u8],
+    ) -> Result<(), MsgError> {
         let scratch = self.scratch.ok_or(MsgError::NotInitialized)?;
         if data.len() as u64 > self.cfg.max_msg_bytes {
             return Err(MsgError::TooBig);
         }
         let dst = to.index();
-        assert_ne!(dst, self.me, "self-send is a local operation, not messaging");
+        assert_ne!(
+            dst, self.me,
+            "self-send is a local operation, not messaging"
+        );
 
         // Finish (or make progress on) any earlier partially-posted push:
         // messages on a channel are strictly ordered.
@@ -478,7 +486,8 @@ impl Messenger {
         // (unique among outstanding operations).
         let wq_slot = api.next_wq_index(self.qp);
         let src = VAddr::new(scratch.raw() + wq_slot as u64 * SLOT_BYTES);
-        api.local_write(src, line).map_err(|_| MsgError::NotInitialized)?;
+        api.local_write(src, line)
+            .map_err(|_| MsgError::NotInitialized)?;
         let wq = api
             .post_write(self.qp, to, self.ctx, remote_offset, src, SLOT_BYTES)
             .map_err(|e| match e {
@@ -502,7 +511,8 @@ impl Messenger {
         let staging_off = self.staging_offset(dst);
         let staging_va = VAddr::new(self.segment_base + staging_off);
         if !data.is_empty() {
-            api.local_write(staging_va, data).map_err(|_| MsgError::NotInitialized)?;
+            api.local_write(staging_va, data)
+                .map_err(|_| MsgError::NotInitialized)?;
         }
         let seq = self.send[dst].sent + 1;
         let mut line = [0u8; 64];
@@ -555,14 +565,16 @@ impl Messenger {
             let slot_va =
                 VAddr::new(self.segment_base + self.channel_offset(src) + slot * SLOT_BYTES);
             let mut line = [0u8; 64];
-            api.local_read(slot_va, &mut line).map_err(|_| MsgError::NotInitialized)?;
+            api.local_read(slot_va, &mut line)
+                .map_err(|_| MsgError::NotInitialized)?;
             let seq = u64::from_le_bytes(line[HDR_SEQ..HDR_SEQ + 8].try_into().unwrap());
             if seq != self.recv[src].taken + 1 {
                 return Ok(RecvPoll::Empty);
             }
 
             // Consume the packet and clear the slot (local stores).
-            api.local_store_u64(slot_va, 0).map_err(|_| MsgError::NotInitialized)?;
+            api.local_store_u64(slot_va, 0)
+                .map_err(|_| MsgError::NotInitialized)?;
             self.recv[src].taken += 1;
 
             if line[HDR_KIND] == 1 {
@@ -571,7 +583,9 @@ impl Messenger {
                     u32::from_le_bytes(line[HDR_TOTAL_LEN..HDR_TOTAL_LEN + 4].try_into().unwrap())
                         as u64;
                 let off = u64::from_le_bytes(
-                    line[HDR_PULL_OFFSET..HDR_PULL_OFFSET + 8].try_into().unwrap(),
+                    line[HDR_PULL_OFFSET..HDR_PULL_OFFSET + 8]
+                        .try_into()
+                        .unwrap(),
                 );
                 if len == 0 {
                     self.recv[src].creditable += 1;
@@ -613,7 +627,14 @@ impl Messenger {
     ) -> Result<(), MsgError> {
         let buf = self.pull_bufs[src].expect("initialized");
         let read_len = len.div_ceil(SLOT_BYTES) * SLOT_BYTES;
-        match api.post_read(self.qp, NodeId(src as u16), self.ctx, src_offset, buf, read_len) {
+        match api.post_read(
+            self.qp,
+            NodeId(src as u16),
+            self.ctx,
+            src_offset,
+            buf,
+            read_len,
+        ) {
             Ok(wq) => {
                 self.pending.insert(wq, OpKind::PullRead { from: src });
                 self.recv[src].pull = Some(PullState::Posted);
@@ -685,8 +706,14 @@ impl Messenger {
         // The credit word for (sender=from, receiver=me) lives in the
         // *sender's* segment, indexed by me.
         let remote_offset = self.credit_offset(self.me);
-        if let Ok(wq) = api.post_write(self.qp, NodeId(from as u16), self.ctx, remote_offset, src, SLOT_BYTES)
-        {
+        if let Ok(wq) = api.post_write(
+            self.qp,
+            NodeId(from as u16),
+            self.ctx,
+            remote_offset,
+            src,
+            SLOT_BYTES,
+        ) {
             self.pending.insert(wq, OpKind::CreditWrite);
             self.recv[from].advertised = value;
         }

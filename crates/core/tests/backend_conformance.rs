@@ -1,0 +1,274 @@
+//! The backend conformance suite: one set of messaging and one-sided
+//! semantics tests, run identically over every [`RemoteBackend`].
+//!
+//! This is what makes the Table 2 comparisons apples-to-apples: the soNUMA
+//! machine (full RGP/RRPP/RCP pipeline simulation), the RDMA model, and
+//! the TCP model all execute the *same* request streams below and must
+//! produce byte-identical functional results — only their clocks differ.
+//! Each generic `suite_*` function is instantiated for all three backends
+//! by the `conformance!` macro at the bottom.
+
+use sonuma_baselines::{RdmaBackend, TcpBackend};
+use sonuma_core::{BackendError, NodeId, RemoteBackend, RemoteRequest, SonumaBackend, Status};
+
+const SEG: u64 = 256 << 10;
+
+/// Line-granular pattern unique per (token-ish) index.
+fn pattern(i: usize, len: usize) -> Vec<u8> {
+    (0..len).map(|k| (i * 37 + k * 11) as u8).collect()
+}
+
+/// Remote writes land and remote reads observe them, end to end.
+fn suite_read_write_roundtrip<B: RemoteBackend>(mut b: B) {
+    let (src, dst) = (NodeId(0), NodeId(1));
+    b.write_ctx(dst, 0, &pattern(7, 256));
+
+    let t_read = b.post(src, RemoteRequest::read(dst, 0, 256)).unwrap();
+    let done = b.complete_all(src);
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].token, t_read);
+    assert_eq!(done[0].status, Status::Ok);
+    assert_eq!(done[0].data, pattern(7, 256));
+
+    let msg = pattern(9, 128);
+    b.post(src, RemoteRequest::write(dst, 4096, msg.clone()))
+        .unwrap();
+    let done = b.complete_all(src);
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].status, Status::Ok);
+    let mut back = vec![0u8; 128];
+    b.read_ctx(dst, 4096, &mut back);
+    assert_eq!(back, msg);
+}
+
+/// Many outstanding reads complete — possibly out of order — each with the
+/// data its own token asked for.
+fn suite_interleaved_reads_match_tokens<B: RemoteBackend>(mut b: B) {
+    let (src, dst) = (NodeId(0), NodeId(1));
+    let n = 16usize;
+    for i in 0..n {
+        b.write_ctx(dst, (i * 64) as u64, &pattern(i, 64));
+    }
+    let mut tokens = Vec::new();
+    for i in 0..n {
+        tokens.push(
+            b.post(src, RemoteRequest::read(dst, (i * 64) as u64, 64))
+                .unwrap(),
+        );
+    }
+    let done = b.complete_all(src);
+    assert_eq!(done.len(), n, "every posted read completes exactly once");
+    for c in &done {
+        let i = tokens
+            .iter()
+            .position(|&t| t == c.token)
+            .expect("known token");
+        assert_eq!(c.status, Status::Ok);
+        assert_eq!(c.data, pattern(i, 64), "token {} got wrong data", c.token);
+    }
+}
+
+/// Concurrent fetch-adds from two initiators linearize: the counter sums,
+/// and the observed previous values are a permutation of `0..total`.
+fn suite_atomic_counter_linearizes<B: RemoteBackend>(mut b: B) {
+    let target = NodeId(2);
+    let per_node = 8u64;
+    for src in [NodeId(0), NodeId(1)] {
+        for _ in 0..per_node {
+            b.post(src, RemoteRequest::fetch_add(target, 0, 1)).unwrap();
+        }
+    }
+    while b.advance() {}
+    let mut ctr = [0u8; 8];
+    b.read_ctx(target, 0, &mut ctr);
+    assert_eq!(u64::from_le_bytes(ctr), 2 * per_node);
+
+    let mut seen: Vec<u64> = [NodeId(0), NodeId(1)]
+        .into_iter()
+        .flat_map(|nid| b.poll(nid))
+        .map(|c| u64::from_le_bytes(c.data[..8].try_into().unwrap()))
+        .collect();
+    seen.sort_unstable();
+    assert_eq!(seen, (0..2 * per_node).collect::<Vec<_>>());
+}
+
+/// Out-of-range accesses complete with an error status — §4.2's error
+/// reply path — and never panic or corrupt memory.
+fn suite_out_of_bounds_surfaces_status<B: RemoteBackend>(mut b: B) {
+    let (src, dst) = (NodeId(0), NodeId(1));
+    b.post(
+        src,
+        RemoteRequest::read(dst, b.segment_len() + (64 << 10), 64),
+    )
+    .unwrap();
+    let done = b.complete_all(src);
+    assert_eq!(done.len(), 1);
+    assert_ne!(done[0].status, Status::Ok);
+    assert!(done[0].data.is_empty());
+}
+
+/// Posting past the transport's queue depth reports backpressure; draining
+/// completions frees the queue and nothing is lost or duplicated.
+fn suite_backpressure_then_drain<B: RemoteBackend>(mut b: B) {
+    let (src, dst) = (NodeId(0), NodeId(1));
+    let mut accepted = 0u64;
+    let hit_backpressure = loop {
+        match b.post(src, RemoteRequest::read(dst, 0, 64)) {
+            Ok(_) => accepted += 1,
+            Err(BackendError::Backpressure) => break true,
+            Err(e) => panic!("unexpected post error: {e:?}"),
+        }
+        if accepted > 4096 {
+            break false;
+        }
+    };
+    assert!(hit_backpressure, "queue depth should be finite");
+    let done = b.complete_all(src);
+    assert_eq!(
+        done.len(),
+        accepted as usize,
+        "no completion lost or duplicated"
+    );
+    assert!(b.post(src, RemoteRequest::read(dst, 0, 64)).is_ok());
+}
+
+/// Degenerate request shapes are rejected at post time — identically on
+/// every backend, so a stream that runs clean on one transport cannot
+/// fail validation on another.
+fn suite_rejects_degenerate_requests<B: RemoteBackend>(mut b: B) {
+    let (src, dst) = (NodeId(0), NodeId(1));
+    assert_eq!(
+        b.post(src, RemoteRequest::read(dst, 0, 0)),
+        Err(BackendError::BadRequest),
+        "zero-length read"
+    );
+    assert_eq!(
+        b.post(src, RemoteRequest::write(dst, 0, Vec::new())),
+        Err(BackendError::BadRequest),
+        "zero-length write"
+    );
+    let mismatched = sonuma_core::RemoteRequest {
+        len: 64,
+        ..RemoteRequest::write(dst, 0, vec![1u8; 128])
+    };
+    assert_eq!(
+        b.post(src, mismatched),
+        Err(BackendError::BadRequest),
+        "write with len disagreeing with payload"
+    );
+    assert_eq!(
+        b.post(NodeId(7), RemoteRequest::read(dst, 0, 64)),
+        Err(BackendError::BadNode),
+        "source node out of range"
+    );
+    // The backend stays usable after rejected posts.
+    b.post(src, RemoteRequest::write(dst, 0, vec![2u8; 64]))
+        .unwrap();
+    assert_eq!(b.complete_all(src).len(), 1);
+}
+
+/// Pull-style messaging over pure one-sided operations (§5.3): the sender
+/// stages a message in its own segment and remote-writes a descriptor into
+/// the receiver's mailbox; the receiver pulls the payload with one read.
+fn suite_pull_messaging_roundtrip<B: RemoteBackend>(mut b: B) {
+    let (sender, receiver) = (NodeId(0), NodeId(1));
+    let msg = pattern(21, 1024);
+    let staging_off = 8192u64;
+    let mailbox_off = 0u64;
+
+    // Sender: stage payload locally, then push the descriptor
+    // (len || staging offset) as one 64-byte line.
+    b.write_ctx(sender, staging_off, &msg);
+    let mut desc = vec![0u8; 64];
+    desc[0..8].copy_from_slice(&(msg.len() as u64).to_le_bytes());
+    desc[8..16].copy_from_slice(&staging_off.to_le_bytes());
+    b.post(sender, RemoteRequest::write(receiver, mailbox_off, desc))
+        .unwrap();
+    let done = b.complete_all(sender);
+    assert_eq!(done[0].status, Status::Ok);
+
+    // Receiver: observe the descriptor in its own segment, pull the bulk.
+    let mut line = [0u8; 64];
+    b.read_ctx(receiver, mailbox_off, &mut line);
+    let len = u64::from_le_bytes(line[0..8].try_into().unwrap());
+    let off = u64::from_le_bytes(line[8..16].try_into().unwrap());
+    assert_eq!(len as usize, msg.len());
+    b.post(receiver, RemoteRequest::read(sender, off, len))
+        .unwrap();
+    let done = b.complete_all(receiver);
+    assert_eq!(done[0].status, Status::Ok);
+    assert_eq!(done[0].data, msg);
+}
+
+macro_rules! conformance {
+    ($backend:ident, $mk:expr) => {
+        mod $backend {
+            use super::*;
+
+            #[test]
+            fn read_write_roundtrip() {
+                suite_read_write_roundtrip($mk(2));
+            }
+
+            #[test]
+            fn interleaved_reads_match_tokens() {
+                suite_interleaved_reads_match_tokens($mk(2));
+            }
+
+            #[test]
+            fn atomic_counter_linearizes() {
+                suite_atomic_counter_linearizes($mk(3));
+            }
+
+            #[test]
+            fn out_of_bounds_surfaces_status() {
+                suite_out_of_bounds_surfaces_status($mk(2));
+            }
+
+            #[test]
+            fn backpressure_then_drain() {
+                suite_backpressure_then_drain($mk(2));
+            }
+
+            #[test]
+            fn rejects_degenerate_requests() {
+                suite_rejects_degenerate_requests($mk(2));
+            }
+
+            #[test]
+            fn pull_messaging_roundtrip() {
+                suite_pull_messaging_roundtrip($mk(2));
+            }
+        }
+    };
+}
+
+conformance!(sonuma, |nodes| SonumaBackend::simulated_hardware(
+    nodes, SEG
+));
+conformance!(rdma, |nodes| RdmaBackend::connectx3(nodes, SEG));
+conformance!(tcp, |nodes| TcpBackend::calxeda(nodes, SEG));
+
+/// The cross-backend ordering the paper reports: soNUMA under RDMA under
+/// TCP for small remote reads (Table 2, Fig. 1).
+#[test]
+fn small_read_latency_ordering_matches_table2() {
+    fn one_read(b: &mut dyn RemoteBackend) -> sonuma_core::SimTime {
+        b.write_ctx(NodeId(1), 0, &[1u8; 64]);
+        b.post(NodeId(0), RemoteRequest::read(NodeId(1), 0, 64))
+            .unwrap();
+        let done = b.complete_all(NodeId(0));
+        assert_eq!(done[0].status, Status::Ok);
+        b.now()
+    }
+    let mut sonuma = SonumaBackend::simulated_hardware(2, SEG);
+    let mut rdma = RdmaBackend::connectx3(2, SEG);
+    let mut tcp = TcpBackend::calxeda(2, SEG);
+    let t_sonuma = one_read(&mut sonuma);
+    let t_rdma = one_read(&mut rdma);
+    let t_tcp = one_read(&mut tcp);
+    assert!(
+        t_sonuma < t_rdma && t_rdma < t_tcp,
+        "expected soNUMA < RDMA < TCP, got {t_sonuma} / {t_rdma} / {t_tcp}"
+    );
+}

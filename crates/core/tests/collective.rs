@@ -25,27 +25,29 @@ impl AppProcess for Participant {
             self.a.init(api).unwrap();
         }
         let _ = drain_completions(api, &why, self.a.qp());
-        loop {
-            if !self.started {
-                if self.a.round() == self.rounds {
-                    return Step::Done;
-                }
-                let contribution = self.base + self.a.round() + 1;
-                self.a.start(api, contribution).unwrap();
-                self.started = true;
+        if !self.started {
+            if self.a.round() == self.rounds {
+                return Step::Done;
             }
-            match self.a.poll(api).unwrap() {
-                Some(sum) => {
-                    let node = api.node_id().index();
-                    self.sums.borrow_mut().push((node, self.a.round(), sum));
-                    self.started = false;
-                    // Jitter so nodes enter rounds at different times.
-                    let jitter = SimTime::from_ns((node as u64 * 271) % 900);
-                    return Step::Sleep(jitter);
-                }
-                None => {
-                    let (addr, len) = self.a.watch();
-                    return Step::WaitCqOrMemory { qp: self.a.qp(), addr, len };
+            let contribution = self.base + self.a.round() + 1;
+            self.a.start(api, contribution).unwrap();
+            self.started = true;
+        }
+        match self.a.poll(api).unwrap() {
+            Some(sum) => {
+                let node = api.node_id().index();
+                self.sums.borrow_mut().push((node, self.a.round(), sum));
+                self.started = false;
+                // Jitter so nodes enter rounds at different times.
+                let jitter = SimTime::from_ns((node as u64 * 271) % 900);
+                Step::Sleep(jitter)
+            }
+            None => {
+                let (addr, len) = self.a.watch();
+                Step::WaitCqOrMemory {
+                    qp: self.a.qp(),
+                    addr,
+                    len,
                 }
             }
         }

@@ -5,8 +5,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use sonuma_core::{
-    AppProcess, Barrier, Messenger, MsgConfig, MsgError, NodeApi, NodeId, RecvPoll, SimTime,
-    Step, SystemBuilder, Wake,
+    AppProcess, Barrier, Messenger, MsgConfig, MsgError, NodeApi, NodeId, RecvPoll, SimTime, Step,
+    SystemBuilder, Wake,
 };
 
 type Shared<T> = Rc<RefCell<T>>;
@@ -31,7 +31,11 @@ impl Sender {
             if self.sent == self.count {
                 if !self.m.all_sent() {
                     let (addr, len) = self.m.credit_watch(self.to);
-                    return Step::WaitCqOrMemory { qp: self.m.qp(), addr, len };
+                    return Step::WaitCqOrMemory {
+                        qp: self.m.qp(),
+                        addr,
+                        len,
+                    };
                 }
                 *self.finished_at.borrow_mut() = api.now();
                 return Step::Done;
@@ -41,7 +45,11 @@ impl Sender {
                 Ok(()) => self.sent += 1,
                 Err(MsgError::NoCredit) => {
                     let (addr, len) = self.m.credit_watch(self.to);
-                    return Step::WaitCqOrMemory { qp: self.m.qp(), addr, len };
+                    return Step::WaitCqOrMemory {
+                        qp: self.m.qp(),
+                        addr,
+                        len,
+                    };
                 }
                 Err(MsgError::Backpressure) => return Step::WaitCq(self.m.qp()),
                 Err(e) => panic!("send failed: {e}"),
@@ -84,7 +92,11 @@ impl Receiver {
                 Ok(RecvPoll::Empty) => {
                     self.m.flush_credits(api, self.from);
                     let (addr, len) = self.m.recv_watch(self.from);
-                    return Step::WaitCqOrMemory { qp: self.m.qp(), addr, len };
+                    return Step::WaitCqOrMemory {
+                        qp: self.m.qp(),
+                        addr,
+                        len,
+                    };
                 }
                 Err(MsgError::Backpressure) => return Step::WaitCq(self.m.qp()),
                 Err(e) => panic!("recv failed: {e}"),
@@ -214,13 +226,21 @@ fn mixed_sizes_cross_the_threshold() {
                     *self.done.borrow_mut() = api.now();
                     return Step::Done;
                 }
-                let size = if self.sent % 2 == 0 { 64 } else { 2048 };
+                let size = if self.sent.is_multiple_of(2) {
+                    64
+                } else {
+                    2048
+                };
                 let data = message_pattern(self.sent, size);
                 match self.m.try_send(api, NodeId(1), &data) {
                     Ok(()) => self.sent += 1,
                     Err(MsgError::NoCredit) => {
                         let (addr, len) = self.m.credit_watch(NodeId(1));
-                        return Step::WaitCqOrMemory { qp: self.m.qp(), addr, len };
+                        return Step::WaitCqOrMemory {
+                            qp: self.m.qp(),
+                            addr,
+                            len,
+                        };
                     }
                     Err(MsgError::Backpressure) => return Step::WaitCq(self.m.qp()),
                     Err(e) => panic!("{e}"),
@@ -304,7 +324,11 @@ impl AppProcess for Pinger {
                     } else {
                         self.m.credit_watch(self.peer)
                     };
-                    return Step::WaitCqOrMemory { qp: self.m.qp(), addr, len };
+                    return Step::WaitCqOrMemory {
+                        qp: self.m.qp(),
+                        addr,
+                        len,
+                    };
                 }
             }
         }
@@ -356,7 +380,11 @@ impl AppProcess for Echoer {
                     } else {
                         self.m.credit_watch(self.peer)
                     };
-                    return Step::WaitCqOrMemory { qp: self.m.qp(), addr, len };
+                    return Step::WaitCqOrMemory {
+                        qp: self.m.qp(),
+                        addr,
+                        len,
+                    };
                 }
             }
         }
@@ -432,30 +460,29 @@ impl AppProcess for BarrierProc {
             self.b.init(api).unwrap();
         }
         let _ = api.poll_cq(self.b.qp());
-        loop {
-            if !self.in_round {
-                if self.b.round() == self.rounds as u64 {
-                    return Step::Done;
-                }
-                self.arrived_at = api.now();
-                self.b.arrive(api).unwrap();
-                self.in_round = true;
+        if !self.in_round {
+            if self.b.round() == self.rounds as u64 {
+                return Step::Done;
             }
-            if self.b.ready(api).unwrap() {
-                let node = api.node_id().index();
-                self.log.borrow_mut().push((
-                    node,
-                    self.b.round(),
-                    self.arrived_at,
-                    api.now(),
-                ));
-                self.in_round = false;
-                // Desynchronize entries to stress the barrier.
-                let jitter = SimTime::from_ns(((node as u64 + 1) * 137) % 500);
-                return Step::Sleep(jitter);
-            }
-            let (addr, len) = self.b.watch();
-            return Step::WaitCqOrMemory { qp: self.b.qp(), addr, len };
+            self.arrived_at = api.now();
+            self.b.arrive(api).unwrap();
+            self.in_round = true;
+        }
+        if self.b.ready(api).unwrap() {
+            let node = api.node_id().index();
+            self.log
+                .borrow_mut()
+                .push((node, self.b.round(), self.arrived_at, api.now()));
+            self.in_round = false;
+            // Desynchronize entries to stress the barrier.
+            let jitter = SimTime::from_ns(((node as u64 + 1) * 137) % 500);
+            return Step::Sleep(jitter);
+        }
+        let (addr, len) = self.b.watch();
+        Step::WaitCqOrMemory {
+            qp: self.b.qp(),
+            addr,
+            len,
         }
     }
 }

@@ -9,8 +9,8 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 use sonuma_core::{
-    drain_completions, AppProcess, Messenger, MsgConfig, MsgError, NodeApi, NodeId, RecvPoll,
-    Step, SystemBuilder, Wake,
+    drain_completions, AppProcess, Messenger, MsgConfig, MsgError, NodeApi, NodeId, RecvPoll, Step,
+    SystemBuilder, Wake,
 };
 
 type Shared<T> = Rc<RefCell<T>>;
@@ -37,7 +37,11 @@ impl AppProcess for PropSender {
             if self.sent == self.sizes.len() {
                 if !self.m.all_sent() {
                     let (addr, len) = self.m.credit_watch(to);
-                    return Step::WaitCqOrMemory { qp: self.m.qp(), addr, len };
+                    return Step::WaitCqOrMemory {
+                        qp: self.m.qp(),
+                        addr,
+                        len,
+                    };
                 }
                 return Step::Done;
             }
@@ -46,7 +50,11 @@ impl AppProcess for PropSender {
                 Ok(()) => self.sent += 1,
                 Err(MsgError::NoCredit) => {
                     let (addr, len) = self.m.credit_watch(to);
-                    return Step::WaitCqOrMemory { qp: self.m.qp(), addr, len };
+                    return Step::WaitCqOrMemory {
+                        qp: self.m.qp(),
+                        addr,
+                        len,
+                    };
                 }
                 Err(MsgError::Backpressure) => return Step::WaitCq(self.m.qp()),
                 Err(e) => panic!("{e}"),
@@ -80,7 +88,11 @@ impl AppProcess for PropReceiver {
                 RecvPoll::Empty => {
                     self.m.flush_credits(api, from);
                     let (addr, len) = self.m.recv_watch(from);
-                    return Step::WaitCqOrMemory { qp: self.m.qp(), addr, len };
+                    return Step::WaitCqOrMemory {
+                        qp: self.m.qp(),
+                        addr,
+                        len,
+                    };
                 }
             }
         }

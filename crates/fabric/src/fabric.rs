@@ -94,7 +94,14 @@ impl Fabric {
     ///
     /// Panics if `lane >= 2`, if either node id is out of range, or if
     /// `src == dst` (local traffic never enters the fabric).
-    pub fn send(&mut self, now: SimTime, src: NodeId, dst: NodeId, lane: usize, bytes: u64) -> Arrival {
+    pub fn send(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        lane: usize,
+        bytes: u64,
+    ) -> Arrival {
         assert!(lane < VIRTUAL_LANES, "virtual lane out of range");
         assert_ne!(src, dst, "loopback traffic must not enter the fabric");
         let route = self.config.topology.route(src, dst);
@@ -166,7 +173,10 @@ mod tests {
         let four = f.send(SimTime::ZERO, NodeId(0), NodeId(10), 0, 88);
         assert_eq!(one.hops, 1);
         assert_eq!(four.hops, 4);
-        assert!(four.time > one.time * 3, "multi-hop must cost proportionally");
+        assert!(
+            four.time > one.time * 3,
+            "multi-hop must cost proportionally"
+        );
     }
 
     #[test]

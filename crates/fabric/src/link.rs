@@ -185,7 +185,10 @@ mod tests {
         let d = SimTime::from_ns(3);
         assert_eq!(link.occupy(SimTime::ZERO, d, 88), SimTime::ZERO);
         assert_eq!(link.occupy(SimTime::ZERO, d, 88), SimTime::from_ns(3));
-        assert_eq!(link.occupy(SimTime::from_ns(10), d, 88), SimTime::from_ns(10));
+        assert_eq!(
+            link.occupy(SimTime::from_ns(10), d, 88),
+            SimTime::from_ns(10)
+        );
         assert_eq!(link.bytes(), 264);
         assert_eq!(link.packets(), 3);
     }

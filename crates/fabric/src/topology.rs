@@ -284,8 +284,12 @@ mod tests {
                 for hop in t.route(NodeId(s), NodeId(d)) {
                     let (px, py) = (prev % 4, prev / 4);
                     let (hx, hy) = (hop.index() % 4, hop.index() / 4);
-                    let dx = (px as i32 - hx as i32).rem_euclid(4).min((hx as i32 - px as i32).rem_euclid(4));
-                    let dy = (py as i32 - hy as i32).rem_euclid(4).min((hy as i32 - py as i32).rem_euclid(4));
+                    let dx = (px as i32 - hx as i32)
+                        .rem_euclid(4)
+                        .min((hx as i32 - px as i32).rem_euclid(4));
+                    let dy = (py as i32 - hy as i32)
+                        .rem_euclid(4)
+                        .min((hy as i32 - py as i32).rem_euclid(4));
                     assert_eq!(dx + dy, 1, "non-neighbor step {prev}->{}", hop.index());
                     prev = hop.index();
                 }

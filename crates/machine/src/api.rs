@@ -173,10 +173,7 @@ impl<'a> NodeApi<'a> {
         let n = self.node;
         {
             let node = &self.cluster.nodes[n];
-            let cursors = node
-                .app_qps
-                .get(qp.index())
-                .ok_or(ApiError::BadQp)?;
+            let cursors = node.app_qps.get(qp.index()).ok_or(ApiError::BadQp)?;
             if cursors.owner_core != self.core {
                 return Err(ApiError::BadQp);
             }
@@ -206,7 +203,10 @@ impl<'a> NodeApi<'a> {
         let bytes = entry.encode(wq_phase);
         let pa = node.translate(wq_va).expect("WQ rings pinned");
         let agent = node.core_agent(self.core);
-        let store = node.hierarchy.access(agent, pa, AccessKind::Write, now).latency;
+        let store = node
+            .hierarchy
+            .access(agent, pa, AccessKind::Write, now)
+            .latency;
         node.write_virt(wq_va, &bytes).expect("WQ mapped");
 
         let posted_index = wq_index;
@@ -243,7 +243,7 @@ impl<'a> NodeApi<'a> {
         buf: VAddr,
         len: u64,
     ) -> Result<u16, ApiError> {
-        if len == 0 || len % CACHE_LINE_BYTES != 0 {
+        if len == 0 || !len.is_multiple_of(CACHE_LINE_BYTES) {
             return Err(ApiError::BadLength);
         }
         self.post(qp, WqEntry::read(dst, ctx, offset, buf.raw(), len))
@@ -264,7 +264,7 @@ impl<'a> NodeApi<'a> {
         buf: VAddr,
         len: u64,
     ) -> Result<u16, ApiError> {
-        if len == 0 || len % CACHE_LINE_BYTES != 0 {
+        if len == 0 || !len.is_multiple_of(CACHE_LINE_BYTES) {
             return Err(ApiError::BadLength);
         }
         self.post(qp, WqEntry::write(dst, ctx, offset, buf.raw(), len))
@@ -285,7 +285,10 @@ impl<'a> NodeApi<'a> {
         result_buf: VAddr,
         delta: u64,
     ) -> Result<u16, ApiError> {
-        self.post(qp, WqEntry::fetch_add(dst, ctx, offset, result_buf.raw(), delta))
+        self.post(
+            qp,
+            WqEntry::fetch_add(dst, ctx, offset, result_buf.raw(), delta),
+        )
     }
 
     /// Schedules a remote compare-and-swap on the 8-byte word at
@@ -294,6 +297,7 @@ impl<'a> NodeApi<'a> {
     /// # Errors
     ///
     /// As [`NodeApi::post_read`].
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's rmc_comp_swap_async signature
     pub fn post_comp_swap(
         &mut self,
         qp: QpId,

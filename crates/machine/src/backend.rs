@@ -1,0 +1,359 @@
+//! [`SonumaBackend`]: the soNUMA machine behind the transport-agnostic
+//! [`RemoteBackend`] contract.
+//!
+//! The backend owns a [`Cluster`] plus its engine and drives one queue
+//! pair per node from outside the simulation — posts go through the same
+//! access-library path simulated applications use ([`crate::NodeApi`]), so
+//! they pay WQ-store, RGP, fabric, RRPP and RCP costs exactly as §4.2
+//! models them. This is what lets `sonuma-core`'s backend conformance
+//! suite and the Table 2 harness run identical request streams over
+//! soNUMA and over the baseline transports.
+
+use std::collections::HashMap;
+
+use sonuma_memory::VAddr;
+use sonuma_protocol::{
+    BackendError, CtxId, NodeId, QpId, RemoteBackend, RemoteCompletion, RemoteOp, RemoteRequest,
+};
+use sonuma_sim::SimTime;
+
+use crate::api::{ApiError, NodeApi};
+use crate::cluster::Cluster;
+use crate::config::MachineConfig;
+use crate::ClusterEngine;
+
+const BACKEND_CTX: CtxId = CtxId(0);
+
+/// One posted-but-not-yet-reported operation.
+#[derive(Debug, Clone, Copy)]
+struct PendingOp {
+    token: u64,
+    op: RemoteOp,
+    /// Local landing buffer (reads/atomics read back at completion).
+    buf: VAddr,
+    len: u64,
+}
+
+/// Per-node driver state: the QP this backend posts on and its landing
+/// buffers, keyed by WQ slot (unique among outstanding operations).
+#[derive(Debug, Default)]
+struct NodePort {
+    qp: Option<QpId>,
+    pending: HashMap<u16, PendingOp>,
+    ready: Vec<RemoteCompletion>,
+    next_token: u64,
+    /// Pooled landing buffers, one per WQ slot, grown on demand and
+    /// reused across operations so arbitrarily long request streams never
+    /// exhaust the node heap.
+    bufs: HashMap<u16, (VAddr, u64)>,
+}
+
+/// The full soNUMA machine exposed as a [`RemoteBackend`].
+///
+/// # Example
+///
+/// ```
+/// use sonuma_machine::SonumaBackend;
+/// use sonuma_protocol::{NodeId, RemoteBackend, RemoteRequest};
+///
+/// let mut b = SonumaBackend::simulated_hardware(2, 1 << 20);
+/// b.write_ctx(NodeId(1), 0, &[0xAB; 64]);
+/// let t = b.post(NodeId(0), RemoteRequest::read(NodeId(1), 0, 64)).unwrap();
+/// let done = b.complete_all(NodeId(0));
+/// assert_eq!(done[0].token, t);
+/// assert_eq!(done[0].data, vec![0xAB; 64]);
+/// ```
+pub struct SonumaBackend {
+    cluster: Cluster,
+    engine: ClusterEngine,
+    ports: Vec<NodePort>,
+    segment_len: u64,
+}
+
+impl std::fmt::Debug for SonumaBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SonumaBackend")
+            .field("nodes", &self.cluster.num_nodes())
+            .field("now", &self.engine.now())
+            .finish()
+    }
+}
+
+impl SonumaBackend {
+    /// Builds a backend over `config` with a `segment_len`-byte context on
+    /// every node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment cannot be mapped.
+    pub fn new(config: MachineConfig, segment_len: u64) -> Self {
+        let nodes = config.nodes;
+        let mut cluster = Cluster::new(config);
+        cluster
+            .create_context(BACKEND_CTX, segment_len)
+            .expect("segment must fit in node memory");
+        SonumaBackend {
+            cluster,
+            engine: ClusterEngine::new(),
+            ports: (0..nodes).map(|_| NodePort::default()).collect(),
+            segment_len,
+        }
+    }
+
+    /// The paper's simulated-hardware platform (Table 1).
+    pub fn simulated_hardware(nodes: usize, segment_len: u64) -> Self {
+        Self::new(MachineConfig::simulated_hardware(nodes), segment_len)
+    }
+
+    /// The Xen-based development platform (§7.1).
+    pub fn dev_platform(nodes: usize, segment_len: u64) -> Self {
+        Self::new(MachineConfig::dev_platform(nodes), segment_len)
+    }
+
+    /// The underlying cluster (pipeline statistics, node inspection).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Lazily creates node `n`'s QP (core 0 owns it).
+    fn port_qp(&mut self, n: usize) -> QpId {
+        if let Some(qp) = self.ports[n].qp {
+            return qp;
+        }
+        let qp = self
+            .cluster
+            .create_qp(NodeId(n as u16), BACKEND_CTX, 0)
+            .expect("QP ring allocation failed");
+        self.ports[n].qp = Some(qp);
+        qp
+    }
+
+    /// Harvests CQ entries for node `n` into finished completions.
+    fn harvest(&mut self, n: usize) {
+        let Some(qp) = self.ports[n].qp else { return };
+        let comps = self.cluster.drain_cq(n, qp);
+        for c in comps {
+            let Some(p) = self.ports[n].pending.remove(&c.wq_index) else {
+                continue;
+            };
+            let mut data = Vec::new();
+            if c.status.is_ok() {
+                match p.op {
+                    RemoteOp::Read => {
+                        data = vec![0u8; p.len as usize];
+                        self.cluster.nodes[n]
+                            .read_virt(p.buf, &mut data)
+                            .expect("landing buffer mapped");
+                    }
+                    RemoteOp::FetchAdd | RemoteOp::CompSwap => {
+                        data = vec![0u8; 8];
+                        self.cluster.nodes[n]
+                            .read_virt(p.buf, &mut data)
+                            .expect("landing buffer mapped");
+                    }
+                    RemoteOp::Write | RemoteOp::Interrupt => {}
+                }
+            }
+            self.ports[n].ready.push(RemoteCompletion {
+                token: p.token,
+                status: c.status,
+                data,
+            });
+        }
+    }
+}
+
+impl RemoteBackend for SonumaBackend {
+    fn label(&self) -> &'static str {
+        "soNUMA"
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.cluster.num_nodes()
+    }
+
+    fn segment_len(&self) -> u64 {
+        self.segment_len
+    }
+
+    fn write_ctx(&mut self, node: NodeId, offset: u64, data: &[u8]) {
+        self.cluster.write_ctx(node, BACKEND_CTX, offset, data);
+    }
+
+    fn read_ctx(&self, node: NodeId, offset: u64, buf: &mut [u8]) {
+        self.cluster.read_ctx(node, BACKEND_CTX, offset, buf);
+    }
+
+    fn post(&mut self, src: NodeId, req: RemoteRequest) -> Result<u64, BackendError> {
+        let n = src.index();
+        if n >= self.cluster.num_nodes() || req.dst.index() >= self.cluster.num_nodes() {
+            return Err(BackendError::BadNode);
+        }
+        if req.op == RemoteOp::Write && req.len != req.payload.len() as u64 {
+            return Err(BackendError::BadRequest);
+        }
+        let qp = self.port_qp(n);
+
+        // Stage a landing/source buffer sized for the payload (whole lines:
+        // the RMC moves cache-line multiples).
+        let buf_len = match req.op {
+            RemoteOp::Read | RemoteOp::Write => req.len,
+            _ => 64,
+        };
+        if buf_len == 0 {
+            // Zero-length reads/writes are rejected before touching the WQ.
+            return Err(BackendError::BadRequest);
+        }
+        // Reuse (or grow) the landing buffer pooled for the WQ slot this
+        // post will occupy; a failed post leaves the buffer pooled, so
+        // neither retries nor long streams leak node heap.
+        let need = buf_len.max(64);
+        let wq_slot = {
+            let api = NodeApi::new(&mut self.cluster, &mut self.engine, n, 0, SimTime::ZERO);
+            api.next_wq_index(qp)
+        };
+        let buf = match self.ports[n].bufs.get(&wq_slot).copied() {
+            Some((va, len)) if len >= need => va,
+            _ => {
+                let mut api =
+                    NodeApi::new(&mut self.cluster, &mut self.engine, n, 0, SimTime::ZERO);
+                let va = api.heap_alloc(need).map_err(|_| BackendError::Exhausted)?;
+                self.ports[n].bufs.insert(wq_slot, (va, need));
+                va
+            }
+        };
+        let mut api = NodeApi::new(&mut self.cluster, &mut self.engine, n, 0, SimTime::ZERO);
+        if req.op == RemoteOp::Write {
+            api.local_write(buf, &req.payload).expect("buffer mapped");
+        }
+        let posted = match req.op {
+            RemoteOp::Read => api.post_read(qp, req.dst, BACKEND_CTX, req.offset, buf, req.len),
+            RemoteOp::Write => api.post_write(
+                qp,
+                req.dst,
+                BACKEND_CTX,
+                req.offset,
+                buf,
+                req.payload.len() as u64,
+            ),
+            RemoteOp::FetchAdd => {
+                api.post_fetch_add(qp, req.dst, BACKEND_CTX, req.offset, buf, req.operands.0)
+            }
+            RemoteOp::CompSwap => api.post_comp_swap(
+                qp,
+                req.dst,
+                BACKEND_CTX,
+                req.offset,
+                buf,
+                req.operands.0,
+                req.operands.1,
+            ),
+            RemoteOp::Interrupt => return Err(BackendError::BadRequest),
+        };
+        let wq_index = match posted {
+            Ok(i) => i,
+            Err(ApiError::WqFull) => return Err(BackendError::Backpressure),
+            Err(ApiError::BadLength) => return Err(BackendError::BadRequest),
+            Err(_) => return Err(BackendError::BadRequest),
+        };
+        let port = &mut self.ports[n];
+        let token = port.next_token;
+        port.next_token += 1;
+        port.pending.insert(
+            wq_index,
+            PendingOp {
+                token,
+                op: req.op,
+                buf,
+                len: req.len,
+            },
+        );
+        Ok(token)
+    }
+
+    fn poll(&mut self, src: NodeId) -> Vec<RemoteCompletion> {
+        let n = src.index();
+        self.harvest(n);
+        std::mem::take(&mut self.ports[n].ready)
+    }
+
+    fn advance(&mut self) -> bool {
+        if self.engine.pending() == 0 {
+            return false;
+        }
+        // One bounded burst per call keeps advance() responsive without
+        // busy-stepping single events.
+        self.engine.run_steps(&mut self.cluster, 256);
+        self.engine.pending() > 0
+    }
+
+    fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_atomic_roundtrip() {
+        let mut b = SonumaBackend::simulated_hardware(2, 1 << 20);
+        let src = NodeId(0);
+        let dst = NodeId(1);
+
+        b.write_ctx(dst, 0, &[9u8; 128]);
+        let t_read = b.post(src, RemoteRequest::read(dst, 0, 128)).unwrap();
+        let t_write = b
+            .post(src, RemoteRequest::write(dst, 256, vec![3u8; 64]))
+            .unwrap();
+        let t_fa = b.post(src, RemoteRequest::fetch_add(dst, 512, 41)).unwrap();
+        let done = b.complete_all(src);
+        assert_eq!(done.len(), 3);
+        for c in &done {
+            assert!(c.status.is_ok(), "completion failed: {c:?}");
+            if c.token == t_read {
+                assert_eq!(c.data, vec![9u8; 128]);
+            } else if c.token == t_fa {
+                assert_eq!(u64::from_le_bytes(c.data[..8].try_into().unwrap()), 0);
+            } else {
+                assert_eq!(c.token, t_write);
+            }
+        }
+        let mut back = [0u8; 64];
+        b.read_ctx(dst, 256, &mut back);
+        assert_eq!(back, [3u8; 64]);
+        let mut ctr = [0u8; 8];
+        b.read_ctx(dst, 512, &mut ctr);
+        assert_eq!(u64::from_le_bytes(ctr), 41);
+        assert!(b.now() > SimTime::ZERO, "operations charge simulated time");
+    }
+
+    #[test]
+    fn out_of_bounds_reports_status() {
+        let mut b = SonumaBackend::simulated_hardware(2, 4096);
+        let far = 1 << 30;
+        b.post(NodeId(0), RemoteRequest::read(NodeId(1), far, 64))
+            .unwrap();
+        let done = b.complete_all(NodeId(0));
+        assert_eq!(done.len(), 1);
+        assert!(!done[0].status.is_ok());
+        assert!(done[0].data.is_empty());
+    }
+
+    #[test]
+    fn pipeline_stats_visible_through_backend() {
+        let mut b = SonumaBackend::simulated_hardware(2, 1 << 20);
+        for _ in 0..4 {
+            b.post(NodeId(0), RemoteRequest::read(NodeId(1), 0, 256))
+                .unwrap();
+        }
+        let _ = b.complete_all(NodeId(0));
+        let src_stats = b.cluster().pipeline_stats(NodeId(0));
+        let dst_stats = b.cluster().pipeline_stats(NodeId(1));
+        assert_eq!(src_stats.rgp_requests, 4);
+        assert_eq!(src_stats.rgp_lines, 16, "256 B unrolls into 4 lines");
+        assert_eq!(dst_stats.rrpp_served, 16);
+        assert_eq!(src_stats.rcp_completions, 4);
+    }
+}

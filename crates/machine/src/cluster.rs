@@ -1,30 +1,21 @@
-//! The cluster world: all nodes + the fabric + the RMC pipeline event glue.
+//! The cluster world: node + fabric ownership and the OS-driver surface.
+//!
+//! Pipeline event logic lives in [`crate::pipeline`] (RGP/RRPP/RCP) and
+//! core scheduling in `crate::sched`; this module holds only what the
+//! paper's §5.1 kernel driver owns — contexts, queue pairs, process
+//! attachment — plus functional segment access for workload setup and the
+//! cluster-wide statistics accessors.
 
 use sonuma_fabric::Fabric;
-use sonuma_memory::{AccessKind, MemError, VAddr, CACHE_LINE_BYTES};
-use sonuma_protocol::{CqEntry, CtxId, NodeId, Packet, QpId, RemoteOp, Status, Tid, WqEntry};
-use sonuma_rmc::{ContextEntry, QueuePairState, ReplyAction};
+use sonuma_memory::{MemError, VAddr};
+use sonuma_protocol::{CtxId, NodeId, QpId};
+use sonuma_rmc::{ContextEntry, QueuePairState};
 use sonuma_sim::SimTime;
 
-use crate::api::NodeApi;
 use crate::config::MachineConfig;
-use crate::node::{AppQpCursors, BlockState, Node, Watch, CTX_BASE};
-use crate::process::{AppProcess, Completion, Step, Wake};
+use crate::node::{AppQpCursors, BlockState, Node, CTX_BASE};
+use crate::process::{AppProcess, Wake};
 use crate::ClusterEngine;
-
-/// One unrolled cache-line transaction queued for injection by the RGP.
-#[derive(Debug, Clone, Copy)]
-struct LineRequest {
-    dst: NodeId,
-    ctx: CtxId,
-    tid: Tid,
-    op: RemoteOp,
-    offset: u64,
-    line_seq: u32,
-    /// Local VA the payload is read from (writes), or operands (atomics).
-    payload_src: Option<VAddr>,
-    operands: (u64, u64),
-}
 
 /// The simulation world: every node plus the memory fabric.
 ///
@@ -164,9 +155,12 @@ impl Cluster {
         slot.process = Some(process);
         slot.block = BlockState::Sleeping;
         let n = node.index();
-        engine.schedule_in(SimTime::ZERO, move |w: &mut Cluster, e: &mut ClusterEngine| {
-            w.wake_core(e, n, core, Wake::Start);
-        });
+        engine.schedule_in(
+            SimTime::ZERO,
+            move |w: &mut Cluster, e: &mut ClusterEngine| {
+                w.wake_core(e, n, core, Wake::Start);
+            },
+        );
     }
 
     /// Functional write into a node's context segment (test/workload setup;
@@ -196,581 +190,6 @@ impl Cluster {
             .resolve(offset, buf.len() as u64)
             .expect("read outside segment");
         n.read_virt(va, buf).expect("segment must be mapped");
-    }
-
-    // ------------------------------------------------------------------
-    // Request Generation Pipeline (RGP).
-    // ------------------------------------------------------------------
-
-    /// Notifies the RGP that `qp` may have fresh WQ entries (the coherence
-    /// hint of a core's WQ store). Called by the access library after every
-    /// post.
-    pub(crate) fn notify_rgp(&mut self, engine: &mut ClusterEngine, now: SimTime, n: usize, qp: QpId) {
-        let node = &mut self.nodes[n];
-        if !node.rmc.active_qps.contains(&qp) {
-            node.rmc.active_qps.push_back(qp);
-        }
-        if !node.rmc.rgp_busy {
-            node.rmc.rgp_busy = true;
-            // Detection latency: on average half a poll interval elapses
-            // before the polling loop re-reads this WQ.
-            let detect = node.rmc.timing.poll_interval / 2;
-            engine.schedule_at(now + detect, move |w: &mut Cluster, e: &mut ClusterEngine| {
-                w.rgp_service(e, n);
-            });
-        }
-    }
-
-    /// One RGP service step: consume at most one WQ entry from the QP at
-    /// the head of the active list, unroll it, and chain.
-    fn rgp_service(&mut self, engine: &mut ClusterEngine, n: usize) {
-        let now = engine.now();
-        let node = &mut self.nodes[n];
-        let timing = node.rmc.timing;
-
-        let Some(&qp) = node.rmc.active_qps.front() else {
-            node.rmc.rgp_busy = false;
-            return;
-        };
-
-        // Fetch the WQ entry at the RMC's consumer cursor through the
-        // coherent hierarchy (this is where the core-to-RMC cache-to-cache
-        // transfer of a fresh entry is paid).
-        let (wq_index, expected_phase) = node.rmc.qps[qp.index()].wq_cursor();
-        let wq_va = node.rmc.qps[qp.index()].wq_entry_addr(wq_index);
-        let (pa, t_xl) = node.rmc_translate(now, wq_va);
-        let pa = pa.expect("WQ rings are pinned by the driver");
-        let t_read = node.rmc_line_access(t_xl, pa, AccessKind::Read);
-        let mut line = [0u8; 64];
-        node.read_virt(wq_va, &mut line).expect("WQ rings are mapped");
-
-        let parsed = WqEntry::decode(&line).filter(|(_, phase)| *phase == expected_phase);
-        let Some((entry, _)) = parsed else {
-            // No new entry: retire this QP from the active list.
-            node.rmc.active_qps.pop_front();
-            if node.rmc.active_qps.is_empty() {
-                node.rmc.rgp_busy = false;
-            } else {
-                engine.schedule_at(t_read, move |w: &mut Cluster, e: &mut ClusterEngine| {
-                    w.rgp_service(e, n);
-                });
-            }
-            return;
-        };
-
-        if node.rmc.itt.is_full() {
-            // All tids in flight: retry after a poll interval.
-            engine.schedule_at(
-                now + timing.poll_interval,
-                move |w: &mut Cluster, e: &mut ClusterEngine| w.rgp_service(e, n),
-            );
-            return;
-        }
-
-        let lines = entry.lines();
-        let tid = node
-            .rmc
-            .itt
-            .alloc(qp, wq_index, lines, entry.buf_vaddr)
-            .expect("checked not full");
-        node.rmc.qps[qp.index()].advance_wq();
-        node.rmc.rgp_requests += 1;
-
-        // Unroll into line-sized transactions (§4.2): one injection every
-        // initiation interval.
-        let t0 = t_read + timing.rgp_per_request;
-        for k in 0..lines {
-            let at = t0 + timing.unroll_interval * k as u64;
-            let spec = LineRequest {
-                dst: entry.dst,
-                ctx: entry.ctx,
-                tid,
-                op: entry.op,
-                offset: entry.offset + k as u64 * CACHE_LINE_BYTES,
-                line_seq: k,
-                payload_src: (entry.op == RemoteOp::Write)
-                    .then(|| VAddr::new(entry.buf_vaddr + k as u64 * CACHE_LINE_BYTES)),
-                operands: (entry.operand1, entry.operand2),
-            };
-            engine.schedule_at(at, move |w: &mut Cluster, e: &mut ClusterEngine| {
-                w.inject_line(e, n, spec);
-            });
-        }
-
-        // Rotate this QP to the back and chain the next service step once
-        // the unroll finishes occupying the pipeline.
-        let node = &mut self.nodes[n];
-        if let Some(front) = node.rmc.active_qps.pop_front() {
-            node.rmc.active_qps.push_back(front);
-        }
-        let t_next = (t0 + timing.unroll_interval * lines as u64).max(now + timing.stage_local);
-        engine.schedule_at(t_next, move |w: &mut Cluster, e: &mut ClusterEngine| {
-            w.rgp_service(e, n);
-        });
-    }
-
-    /// Injects one unrolled line transaction into the fabric (reading the
-    /// payload for writes).
-    fn inject_line(&mut self, engine: &mut ClusterEngine, n: usize, spec: LineRequest) {
-        let now = engine.now();
-        let node = &mut self.nodes[n];
-        let timing = node.rmc.timing;
-        let src = NodeId(n as u16);
-
-        let mut t = now;
-        let mut payload: Option<[u8; 64]> = None;
-        match spec.op {
-            RemoteOp::Write => {
-                let va = spec.payload_src.expect("writes carry a payload source");
-                let (pa, t_xl) = node.rmc_translate(t, va);
-                let pa = pa.expect("local buffer validated at post time");
-                t = node.rmc_line_access(t_xl, pa, AccessKind::Read);
-                let mut buf = [0u8; 64];
-                node.read_virt(va, &mut buf).expect("local buffer mapped");
-                payload = Some(buf);
-            }
-            RemoteOp::FetchAdd | RemoteOp::CompSwap | RemoteOp::Interrupt => {
-                let mut buf = [0u8; 64];
-                buf[0..8].copy_from_slice(&spec.operands.0.to_le_bytes());
-                buf[8..16].copy_from_slice(&spec.operands.1.to_le_bytes());
-                payload = Some(buf);
-                t += timing.stage_local;
-            }
-            RemoteOp::Read => {
-                t += timing.stage_local;
-            }
-        }
-
-        let pkt = Packet {
-            kind: sonuma_protocol::PacketKind::Request,
-            dst: spec.dst,
-            src,
-            ctx: spec.ctx,
-            tid: spec.tid,
-            op: spec.op,
-            status: Status::Ok,
-            offset: spec.offset,
-            line_seq: spec.line_seq,
-            payload,
-        };
-        node.rmc.rgp_lines += 1;
-        self.route_packet(engine, t, pkt);
-    }
-
-    /// Delivers `pkt` to its destination's RRPP (requests) or RCP
-    /// (replies), through the fabric or the local NI loopback.
-    fn route_packet(&mut self, engine: &mut ClusterEngine, t: SimTime, pkt: Packet) {
-        let dst = pkt.dst.index();
-        let is_request = pkt.kind == sonuma_protocol::PacketKind::Request;
-        let deliver_at = if pkt.dst == pkt.src {
-            // Local loopback through the NI: no fabric traversal.
-            t + self.nodes[dst].rmc.timing.stage_local
-        } else {
-            self.fabric
-                .send(t, pkt.src, pkt.dst, pkt.virtual_lane(), pkt.wire_bytes())
-                .time
-        };
-        engine.schedule_at(deliver_at, move |w: &mut Cluster, e: &mut ClusterEngine| {
-            if is_request {
-                w.rrpp_handle(e, dst, pkt);
-            } else {
-                w.rcp_handle(e, dst, pkt);
-            }
-        });
-    }
-
-    // ------------------------------------------------------------------
-    // Remote Request Processing Pipeline (RRPP) — stateless (§4.2, §6).
-    // ------------------------------------------------------------------
-
-    /// Services one incoming request packet at node `n` and sends exactly
-    /// one reply.
-    fn rrpp_handle(&mut self, engine: &mut ClusterEngine, n: usize, pkt: Packet) {
-        let now = engine.now();
-        let node = &mut self.nodes[n];
-        let timing = node.rmc.timing;
-        node.rmc.rrpp_served += 1;
-
-        let mut t = now + timing.rrpp_per_packet;
-        if !node.rmc.ct_cache.touch(pkt.ctx) {
-            t += timing.ct_miss_penalty;
-        }
-
-        // Remote interrupt (§8 extension): validate the context, then hand
-        // the payload to the registered handler core — no memory access.
-        if pkt.op == RemoteOp::Interrupt {
-            let status = match node.rmc.ct.lookup(pkt.ctx) {
-                Ok(_) => {
-                    let payload = pkt
-                        .payload
-                        .map(|p| u64::from_le_bytes(p[0..8].try_into().unwrap()))
-                        .unwrap_or(0);
-                    if node.interrupt_handler.is_some() {
-                        node.pending_interrupts.push_back((pkt.src, payload));
-                        self.deliver_interrupt(engine, n, t);
-                    } else {
-                        self.nodes[n].interrupts_dropped += 1;
-                    }
-                    Status::Ok
-                }
-                Err(status) => status,
-            };
-            let reply = Packet::reply_to(&pkt, status, None);
-            let t = t + self.nodes[n].rmc.timing.stage_local;
-            self.route_packet(engine, t, reply);
-            return;
-        }
-
-        let size = if pkt.op.is_atomic() { 8 } else { CACHE_LINE_BYTES };
-        // Stateless handling: everything below uses only the packet header
-        // and this node's CT/page tables.
-        let resolved = node
-            .rmc
-            .ct
-            .lookup(pkt.ctx)
-            .and_then(|entry| entry.resolve(pkt.offset, size));
-        let va = match resolved {
-            Ok(va) => va,
-            Err(status) => {
-                let reply = Packet::reply_to(&pkt, status, None);
-                self.route_packet(engine, t + timing.stage_local, reply);
-                return;
-            }
-        };
-
-        let (pa, t_xl) = node.rmc_translate(t, va);
-        let Ok(pa) = pa else {
-            // Mapped-segment invariant violated only by teardown races;
-            // surface as a bounds error per the paper's error reply path.
-            let reply = Packet::reply_to(&pkt, Status::OutOfBounds, None);
-            self.route_packet(engine, t + timing.stage_local, reply);
-            return;
-        };
-
-        let kind = match pkt.op {
-            RemoteOp::Read => AccessKind::Read,
-            _ => AccessKind::Write,
-        };
-        let t_mem = node.rmc_line_access(t_xl, pa, kind);
-
-        let mut reply_payload: Option<[u8; 64]> = None;
-        match pkt.op {
-            RemoteOp::Interrupt => unreachable!("handled before translation"),
-            RemoteOp::Read => {
-                let mut buf = [0u8; 64];
-                node.read_virt(va, &mut buf).expect("segment mapped");
-                reply_payload = Some(buf);
-            }
-            RemoteOp::Write => {
-                let data = pkt.payload.expect("write request carries payload");
-                node.write_virt(va, &data).expect("segment mapped");
-                node.note_remote_write(va, CACHE_LINE_BYTES, t_mem);
-            }
-            RemoteOp::FetchAdd => {
-                let delta = pkt.payload.map(|p| u64::from_le_bytes(p[0..8].try_into().unwrap()))
-                    .expect("fetch-add carries operands");
-                let old = node.phys.fetch_add_u64(pa, delta);
-                let mut buf = [0u8; 64];
-                buf[0..8].copy_from_slice(&old.to_le_bytes());
-                reply_payload = Some(buf);
-                node.note_remote_write(va, 8, t_mem);
-            }
-            RemoteOp::CompSwap => {
-                let p = pkt.payload.expect("compare-swap carries operands");
-                let expected = u64::from_le_bytes(p[0..8].try_into().unwrap());
-                let new = u64::from_le_bytes(p[8..16].try_into().unwrap());
-                let old = node.phys.compare_swap_u64(pa, expected, new);
-                let mut buf = [0u8; 64];
-                buf[0..8].copy_from_slice(&old.to_le_bytes());
-                reply_payload = Some(buf);
-                node.note_remote_write(va, 8, t_mem);
-            }
-        }
-
-        // Remote writes/atomics may satisfy a memory watch (a core polling
-        // its receive buffer).
-        if kind == AccessKind::Write {
-            self.trigger_watches(engine, n, va, size, t_mem);
-        }
-
-        let reply = Packet::reply_to(&pkt, Status::Ok, reply_payload);
-        self.route_packet(engine, t_mem + timing.stage_local, reply);
-    }
-
-    /// Registers `core` as node `node`'s remote-interrupt handler (§8
-    /// extension). Interrupts arriving with no handler are counted and
-    /// dropped.
-    pub fn set_interrupt_handler(&mut self, node: NodeId, core: usize) {
-        assert!(core < self.nodes[node.index()].cores.len(), "core out of range");
-        self.nodes[node.index()].interrupt_handler = Some(core);
-    }
-
-    /// Delivers the next pending interrupt to the handler core if it is
-    /// parked (one per wake-up; redelivery happens when the core blocks
-    /// again).
-    fn deliver_interrupt(&mut self, engine: &mut ClusterEngine, n: usize, t: SimTime) {
-        let Some(core) = self.nodes[n].interrupt_handler else {
-            return;
-        };
-        let slot = &self.nodes[n].cores[core];
-        let parked = matches!(
-            slot.block,
-            BlockState::WaitingCq(_)
-                | BlockState::WaitingMemory(_, _)
-                | BlockState::WaitingEither(_, _, _)
-        );
-        if !parked || slot.wake_pending || self.nodes[n].pending_interrupts.is_empty() {
-            return;
-        }
-        let (from, payload) = self.nodes[n]
-            .pending_interrupts
-            .pop_front()
-            .expect("checked nonempty");
-        self.nodes[n].cores[core].wake_pending = true;
-        let at = (t + self.config.software.wake_detect).max(self.nodes[n].cores[core].busy_until);
-        engine.schedule_at(at, move |w: &mut Cluster, e: &mut ClusterEngine| {
-            w.wake_core(e, n, core, Wake::Interrupt { from, payload });
-        });
-    }
-
-    /// Wakes any core whose armed watch intersects the written range.
-    fn trigger_watches(
-        &mut self,
-        engine: &mut ClusterEngine,
-        n: usize,
-        addr: VAddr,
-        len: u64,
-        t: SimTime,
-    ) {
-        while let Some(idx) = self.nodes[n].matching_watch(addr, len) {
-            let watch = self.nodes[n].watches.swap_remove(idx);
-            let core = watch.core;
-            let slot = &mut self.nodes[n].cores[core];
-            if slot.wake_pending {
-                continue;
-            }
-            slot.wake_pending = true;
-            let at = (t + self.config.software.wake_detect).max(slot.busy_until);
-            engine.schedule_at(at, move |w: &mut Cluster, e: &mut ClusterEngine| {
-                w.wake_core(e, n, core, Wake::MemoryTouched { addr });
-            });
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Request Completion Pipeline (RCP) (§4.2).
-    // ------------------------------------------------------------------
-
-    /// Processes one reply at the originating node `n`.
-    fn rcp_handle(&mut self, engine: &mut ClusterEngine, n: usize, pkt: Packet) {
-        let now = engine.now();
-        let node = &mut self.nodes[n];
-        let timing = node.rmc.timing;
-        node.rmc.rcp_replies += 1;
-
-        let mut t = now + timing.rcp_per_packet;
-
-        // Scatter the payload into the application buffer (reads/atomics).
-        if pkt.status.is_ok() && pkt.op.reply_carries_payload() {
-            let base = node.rmc.itt.buf_vaddr(pkt.tid);
-            let dest = VAddr::new(base + pkt.line_seq as u64 * CACHE_LINE_BYTES);
-            let (pa, t_xl) = node.rmc_translate(t, dest);
-            let pa = pa.expect("local buffer validated at post time");
-            t = node.rmc_line_access(t_xl, pa, AccessKind::Write);
-            let payload = pkt.payload.expect("reply carries payload");
-            if pkt.op.is_atomic() {
-                node.write_virt(dest, &payload[0..8]).expect("buffer mapped");
-            } else {
-                node.write_virt(dest, &payload).expect("buffer mapped");
-                node.bytes_read += CACHE_LINE_BYTES;
-            }
-        } else if pkt.op == RemoteOp::Write {
-            node.bytes_written += CACHE_LINE_BYTES;
-            t += timing.stage_local;
-        }
-
-        match node.rmc.itt.on_reply(pkt.tid, pkt.status) {
-            ReplyAction::InProgress => {}
-            ReplyAction::Complete { qp, wq_index, status } => {
-                // Post the CQ entry through the coherent hierarchy.
-                let (cq_index, cq_phase) = node.rmc.qps[qp.index()].cq_cursor();
-                let cq_va = node.rmc.qps[qp.index()].cq_entry_addr(cq_index);
-                let (pa, t_xl) = node.rmc_translate(t, cq_va);
-                let pa = pa.expect("CQ rings are pinned");
-                t = node.rmc_line_access(t_xl, pa, AccessKind::Write);
-                let bytes = CqEntry { wq_index, status }.encode(cq_phase);
-                node.write_virt(cq_va, &bytes).expect("CQ mapped");
-                node.rmc.qps[qp.index()].advance_cq();
-                node.ops_completed += 1;
-                self.maybe_cq_wake(engine, n, qp, t);
-            }
-        }
-    }
-
-    /// Schedules a CQ wake-up for the QP's owner core if it is parked on
-    /// this queue.
-    fn maybe_cq_wake(&mut self, engine: &mut ClusterEngine, n: usize, qp: QpId, t: SimTime) {
-        let owner = self.nodes[n].app_qps[qp.index()].owner_core;
-        let slot = &self.nodes[n].cores[owner];
-        let waiting = matches!(
-            slot.block,
-            BlockState::WaitingCq(q) | BlockState::WaitingEither(q, _, _) if q == qp
-        );
-        if !waiting || slot.wake_pending {
-            return;
-        }
-        let busy = self.nodes[n].cores[owner].busy_until;
-        self.nodes[n].cores[owner].wake_pending = true;
-        let at = (t + self.config.software.wake_detect).max(busy);
-        engine.schedule_at(at, move |w: &mut Cluster, e: &mut ClusterEngine| {
-            w.deliver_cq_wake(e, n, qp);
-        });
-    }
-
-    /// Drains the CQ and wakes the owner with the completions.
-    fn deliver_cq_wake(&mut self, engine: &mut ClusterEngine, n: usize, qp: QpId) {
-        let owner = self.nodes[n].app_qps[qp.index()].owner_core;
-        let comps = self.drain_cq(n, qp);
-        if comps.is_empty() {
-            // Raced with an explicit poll; nothing to deliver.
-            self.nodes[n].cores[owner].wake_pending = false;
-            return;
-        }
-        self.wake_core(engine, n, owner, Wake::CqReady(comps));
-    }
-
-    /// Functionally drains every fresh CQ entry (application-side consumer).
-    pub(crate) fn drain_cq(&mut self, n: usize, qp: QpId) -> Vec<Completion> {
-        let mut out = Vec::new();
-        loop {
-            let (cq_index, cq_phase) = {
-                let cur = &self.nodes[n].app_qps[qp.index()];
-                (cur.cq_index, cur.cq_phase)
-            };
-            let cq_va = self.nodes[n].rmc.qps[qp.index()].cq_entry_addr(cq_index);
-            let mut line = [0u8; 64];
-            self.nodes[n]
-                .read_virt(cq_va, &mut line)
-                .expect("CQ mapped");
-            match CqEntry::decode(&line) {
-                Some((entry, phase)) if phase == cq_phase => {
-                    out.push(Completion {
-                        qp,
-                        wq_index: entry.wq_index,
-                        status: entry.status,
-                    });
-                    let entries = self.nodes[n].rmc.qps[qp.index()].entries();
-                    let cur = &mut self.nodes[n].app_qps[qp.index()];
-                    cur.cq_index += 1;
-                    if cur.cq_index == entries {
-                        cur.cq_index = 0;
-                        cur.cq_phase = !cur.cq_phase;
-                    }
-                    cur.outstanding = cur.outstanding.saturating_sub(1);
-                    cur.slot_busy[entry.wq_index as usize] = false;
-                }
-                _ => break,
-            }
-        }
-        out
-    }
-
-    // ------------------------------------------------------------------
-    // Core execution (run-to-block).
-    // ------------------------------------------------------------------
-
-    /// Runs one process wake-up and applies its blocking decision.
-    pub(crate) fn wake_core(&mut self, engine: &mut ClusterEngine, n: usize, core: usize, why: Wake) {
-        let Some(mut process) = self.nodes[n].cores[core].process.take() else {
-            return;
-        };
-        // Disarm any watch this core had (single-wake semantics).
-        self.nodes[n].watches.retain(|w| w.core != core);
-        let slot = &mut self.nodes[n].cores[core];
-        slot.block = BlockState::Running;
-        slot.wake_pending = false;
-
-        // Charge the software cost of observing this wake-up.
-        let software = self.config.software;
-        let base_charge = match &why {
-            Wake::Start | Wake::Timer => SimTime::ZERO,
-            Wake::CqReady(comps) => {
-                software.cq_poll_cost + software.completion_cost * comps.len() as u64
-            }
-            Wake::MemoryTouched { .. } => software.cq_poll_cost,
-            // Interrupt entry: vectoring + handler prologue, modeled like
-            // one completion observation.
-            Wake::Interrupt { .. } => software.completion_cost,
-        };
-
-        let mut api = NodeApi::new(self, engine, n, core, base_charge);
-        let step = process.wake(&mut api, why);
-        let elapsed = api.elapsed();
-        let now = engine.now() + elapsed;
-
-        if !matches!(step, Step::Done) {
-            self.nodes[n].cores[core].process = Some(process);
-        }
-        self.apply_step(engine, n, core, step, now);
-    }
-
-    /// Applies a process's blocking decision at logical time `now`.
-    fn apply_step(&mut self, engine: &mut ClusterEngine, n: usize, core: usize, step: Step, now: SimTime) {
-        self.nodes[n].cores[core].busy_until = now;
-        match step {
-            Step::Done => {
-                self.nodes[n].cores[core].block = BlockState::Idle;
-                // Anchor the work performed in this final wake-up on the
-                // event clock, so total simulated time includes it.
-                engine.schedule_at(now, |_: &mut Cluster, _: &mut ClusterEngine| {});
-            }
-            Step::Sleep(d) => {
-                self.nodes[n].cores[core].block = BlockState::Sleeping;
-                engine.schedule_at(now + d, move |w: &mut Cluster, e: &mut ClusterEngine| {
-                    w.wake_core(e, n, core, Wake::Timer);
-                });
-            }
-            Step::WaitCq(qp) => {
-                self.nodes[n].cores[core].block = BlockState::WaitingCq(qp);
-                self.recheck_cq(engine, n, core, qp, now);
-            }
-            Step::WaitMemory { addr, len } => {
-                self.nodes[n].cores[core].block = BlockState::WaitingMemory(addr, len);
-                self.nodes[n].watches.push(Watch { core, addr, len });
-            }
-            Step::WaitCqOrMemory { qp, addr, len } => {
-                self.nodes[n].cores[core].block = BlockState::WaitingEither(qp, addr, len);
-                self.nodes[n].watches.push(Watch { core, addr, len });
-                self.recheck_cq(engine, n, core, qp, now);
-            }
-        }
-        // A parked handler core picks up any interrupt that arrived while
-        // it was running.
-        if self.nodes[n].interrupt_handler == Some(core)
-            && !self.nodes[n].pending_interrupts.is_empty()
-        {
-            self.deliver_interrupt(engine, n, now);
-        }
-    }
-
-    /// If completions already sit in the CQ when a core parks on it, wake
-    /// it immediately (the poll loop would have found them).
-    fn recheck_cq(&mut self, engine: &mut ClusterEngine, n: usize, core: usize, qp: QpId, now: SimTime) {
-        let (cq_index, cq_phase) = {
-            let cur = &self.nodes[n].app_qps[qp.index()];
-            (cur.cq_index, cur.cq_phase)
-        };
-        let cq_va = self.nodes[n].rmc.qps[qp.index()].cq_entry_addr(cq_index);
-        let mut line = [0u8; 64];
-        self.nodes[n].read_virt(cq_va, &mut line).expect("CQ mapped");
-        let fresh = matches!(CqEntry::decode(&line), Some((_, phase)) if phase == cq_phase);
-        if fresh && !self.nodes[n].cores[core].wake_pending {
-            self.nodes[n].cores[core].wake_pending = true;
-            let poll = self.config.software.cq_poll_cost;
-            engine.schedule_at(now + poll, move |w: &mut Cluster, e: &mut ClusterEngine| {
-                w.deliver_cq_wake(e, n, qp);
-            });
-        }
     }
 
     // ------------------------------------------------------------------

@@ -152,7 +152,10 @@ mod tests {
         // Async loop: issue + observe + callback per operation.
         let per_op = s.post_cost + s.completion_cost + s.callback_cost;
         let iops = 1e9 / per_op.as_ns_f64() * 1e-6;
-        assert!((8.0..13.0).contains(&iops), "async issue rate {iops} M ops/s");
+        assert!(
+            (8.0..13.0).contains(&iops),
+            "async issue rate {iops} M ops/s"
+        );
     }
 
     #[test]

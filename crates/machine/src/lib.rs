@@ -4,17 +4,26 @@
 //! This crate is the reproduction's stand-in for Flexus full-system
 //! simulation. A [`Cluster`] owns every node (physical memory, coherent
 //! cache hierarchy, RMC, cores) plus the fabric, and is driven as the world
-//! of a `sonuma_sim::Engine`. The three RMC pipelines of the paper (§4.2)
-//! are implemented as event chains over that world:
+//! of a `sonuma_sim::Engine`. The crate is layered:
 //!
-//! * **RGP** — `Cluster::rgp_service` polls work queues (reading real WQ
-//!   bytes through the coherence hierarchy), allocates tids in the ITT,
-//!   unrolls multi-line requests, and injects request packets;
-//! * **RRPP** — `Cluster::rrpp_handle` statelessly services requests:
-//!   CT/CT$ lookup, bounds check, TLB/page-walk translation, a local
-//!   coherent memory access (including atomics), and exactly one reply;
-//! * **RCP** — `Cluster::rcp_handle` matches replies via the ITT, writes
-//!   payloads into application buffers, and posts CQ entries.
+//! * [`cluster`] — world ownership and the OS-driver surface of §5.1
+//!   (contexts, queue pairs, process attachment);
+//! * [`pipeline`] — one module per RMC pipeline (§4.2), each with its own
+//!   state machine and backpressure counters:
+//!   [`pipeline::rgp`] polls work queues (reading real WQ bytes through
+//!   the coherence hierarchy), allocates tids in the ITT, unrolls
+//!   multi-line requests, and injects request packets;
+//!   [`pipeline::rrpp`] statelessly services requests — CT/CT$ lookup,
+//!   bounds check, TLB/page-walk translation, a local coherent memory
+//!   access (including atomics), and exactly one reply;
+//!   [`pipeline::rcp`] matches replies via the ITT, writes payloads into
+//!   application buffers, and posts CQ entries.
+//!   A [`PipelineStats`] snapshot exposes every pipeline counter per node;
+//! * `sched` — run-to-block core scheduling: CQ wake-ups, memory watches,
+//!   and remote-interrupt delivery;
+//! * [`backend`] — [`SonumaBackend`], the soNUMA implementation of the
+//!   transport-agnostic `sonuma_protocol::RemoteBackend` contract, so the
+//!   same request streams can run over the baselines for Table 2.
 //!
 //! Applications are [`AppProcess`] state machines running on simulated
 //! cores in run-to-block style: each wake-up performs local work and API
@@ -23,15 +32,20 @@
 //! loops, with the coherence-invalidation wake-up made explicit.
 
 pub mod api;
+pub mod backend;
 pub mod cluster;
 pub mod config;
 pub mod node;
+pub mod pipeline;
 pub mod process;
+pub mod sched;
 
 pub use api::{ApiError, NodeApi};
+pub use backend::SonumaBackend;
 pub use cluster::Cluster;
 pub use config::{MachineConfig, SoftwareTiming};
 pub use node::Node;
+pub use pipeline::{PipelineStats, RcpState, RgpPhase, RgpState, RrppState};
 pub use process::{AppProcess, Completion, Step, Wake};
 
 /// Convenience alias: the event engine specialized to the cluster world.

@@ -11,6 +11,7 @@ use sonuma_rmc::{ContextTable, CtCache, InflightTable, Maq, QueuePairState, RmcT
 use sonuma_sim::SimTime;
 
 use crate::config::MachineConfig;
+use crate::pipeline::{RcpState, RgpState, RrppState};
 use crate::process::AppProcess;
 
 /// Base virtual address of the per-node private heap (WQ/CQ rings, local
@@ -113,7 +114,8 @@ pub struct Watch {
     pub len: u64,
 }
 
-/// The RMC: pipelines' shared state plus its private TLB and counters (§4.3).
+/// The RMC: the three pipelines' state machines plus the structures they
+/// share — CT/CT$, ITT, MAQ, TLB and the per-QP cursors (§4.2, §4.3).
 #[derive(Debug)]
 pub struct RmcUnit {
     /// Pipeline timing parameters.
@@ -130,18 +132,12 @@ pub struct RmcUnit {
     pub tlb: Tlb,
     /// Registered queue pairs (RMC-side cursors).
     pub qps: Vec<QueuePairState>,
-    /// QPs with possibly-unconsumed WQ entries, in service order.
-    pub active_qps: VecDeque<QpId>,
-    /// Whether an RGP service event is scheduled.
-    pub rgp_busy: bool,
-    /// Requests served by the RRPP (this node as destination).
-    pub rrpp_served: u64,
-    /// Replies processed by the RCP.
-    pub rcp_replies: u64,
-    /// WQ requests launched by the RGP.
-    pub rgp_requests: u64,
-    /// Line packets injected by the RGP.
-    pub rgp_lines: u64,
+    /// Request Generation Pipeline state and counters.
+    pub rgp: RgpState,
+    /// Remote Request Processing Pipeline counters.
+    pub rrpp: RrppState,
+    /// Request Completion Pipeline counters.
+    pub rcp: RcpState,
 }
 
 /// One soNUMA node: SoC + memory + RMC, attached to the fabric.
@@ -201,12 +197,9 @@ impl Node {
                 maq: Maq::new(config.rmc.maq_entries),
                 tlb: Tlb::new(config.rmc.tlb_entries),
                 qps: Vec::new(),
-                active_qps: VecDeque::new(),
-                rgp_busy: false,
-                rrpp_served: 0,
-                rcp_replies: 0,
-                rgp_requests: 0,
-                rgp_lines: 0,
+                rgp: RgpState::default(),
+                rrpp: RrppState::default(),
+                rcp: RcpState::default(),
             },
             cores: (0..config.cores_per_node)
                 .map(|_| CoreSlot {
@@ -288,10 +281,9 @@ impl Node {
     pub fn rmc_line_access(&mut self, now: SimTime, pa: PAddr, kind: AccessKind) -> SimTime {
         let rmc_agent = AgentId(self.cores.len());
         let hierarchy = &mut self.hierarchy;
-        let (_, done) = self
-            .rmc
-            .maq
-            .schedule(now, |start| hierarchy.access(rmc_agent, pa, kind, start).latency);
+        let (_, done) = self.rmc.maq.schedule(now, |start| {
+            hierarchy.access(rmc_agent, pa, kind, start).latency
+        });
         done
     }
 
@@ -333,14 +325,16 @@ impl Node {
     pub fn heap_alloc(&mut self, len: u64) -> Result<VAddr, MemError> {
         let base = VAddr::new(self.heap_next);
         let pages = len.div_ceil(PAGE_BYTES).max(1);
-        self.space.map_range(base, pages * PAGE_BYTES, &mut self.alloc)?;
+        self.space
+            .map_range(base, pages * PAGE_BYTES, &mut self.alloc)?;
         self.heap_next += pages * PAGE_BYTES;
         Ok(base)
     }
 
     /// Records a remote write for watch matching, pruning old entries.
     pub fn note_remote_write(&mut self, addr: VAddr, len: u64, time: SimTime) {
-        self.recent_remote_writes.push_back(RemoteWrite { addr, len, time });
+        self.recent_remote_writes
+            .push_back(RemoteWrite { addr, len, time });
         while self.recent_remote_writes.len() > 128 {
             self.recent_remote_writes.pop_front();
         }
@@ -375,7 +369,9 @@ mod tests {
         assert!(n.translate(a).is_ok());
         let b = n.heap_alloc(PAGE_BYTES * 2).unwrap();
         assert_eq!(b.raw(), HEAP_BASE + PAGE_BYTES);
-        assert!(n.translate(VAddr::new(b.raw() + 2 * PAGE_BYTES - 1)).is_ok());
+        assert!(n
+            .translate(VAddr::new(b.raw() + 2 * PAGE_BYTES - 1))
+            .is_ok());
     }
 
     #[test]
@@ -406,7 +402,11 @@ mod tests {
         assert!(t1 > n.rmc.timing.tlb_lookup, "first translation walks");
         let (r2, t2) = n.rmc_translate(t1, va);
         assert_eq!(r1.unwrap(), r2.unwrap());
-        assert_eq!(t2 - t1, n.rmc.timing.tlb_lookup, "second translation hits TLB");
+        assert_eq!(
+            t2 - t1,
+            n.rmc.timing.tlb_lookup,
+            "second translation hits TLB"
+        );
     }
 
     #[test]
@@ -425,7 +425,11 @@ mod tests {
     #[test]
     fn watch_matching_intersects_ranges() {
         let mut n = node();
-        n.watches.push(Watch { core: 0, addr: VAddr::new(100), len: 50 });
+        n.watches.push(Watch {
+            core: 0,
+            addr: VAddr::new(100),
+            len: 50,
+        });
         assert!(n.matching_watch(VAddr::new(140), 20).is_some());
         assert!(n.matching_watch(VAddr::new(150), 10).is_none());
         assert!(n.matching_watch(VAddr::new(0), 101).is_some());
@@ -454,6 +458,9 @@ mod tests {
             n.note_remote_write(VAddr::new(i * 64), 64, SimTime::from_ns(i));
         }
         assert_eq!(n.recent_remote_writes.len(), 128);
-        assert_eq!(n.recent_remote_writes.front().unwrap().addr, VAddr::new(72 * 64));
+        assert_eq!(
+            n.recent_remote_writes.front().unwrap().addr,
+            VAddr::new(72 * 64)
+        );
     }
 }

@@ -1,0 +1,152 @@
+//! The three decoupled RMC pipelines (§4.2) as explicit modules.
+//!
+//! The paper's central architectural claim is that the RMC is *three
+//! independent pipelines* sharing only the Context Table, the ITT and the
+//! MAQ:
+//!
+//! * [`rgp`] — the Request Generation Pipeline (source side, WQ to fabric);
+//! * [`rrpp`] — the Remote Request Processing Pipeline (destination side,
+//!   stateless request service);
+//! * [`rcp`] — the Request Completion Pipeline (source side, fabric to CQ).
+//!
+//! Each module owns its pipeline's state machine
+//! ([`RgpState`]/[`RrppState`]/[`RcpState`]), its backpressure counters,
+//! and the event logic that advances it over the cluster world. The
+//! [`PipelineStats`] snapshot collects every counter for one node, which is
+//! what the benchmark harness prints for per-pipeline ablations.
+
+pub mod rcp;
+pub mod rgp;
+pub mod rrpp;
+
+pub use rcp::RcpState;
+pub use rgp::{RgpPhase, RgpState};
+pub use rrpp::RrppState;
+
+use sonuma_protocol::{NodeId, Packet, PacketKind};
+use sonuma_sim::SimTime;
+
+use crate::cluster::Cluster;
+use crate::ClusterEngine;
+
+/// A point-in-time snapshot of one node's pipeline counters.
+///
+/// Field prefixes name the pipeline the counter belongs to. Snapshots are
+/// plain data: diff two to measure an interval, or sum them across nodes
+/// with [`PipelineStats::merge`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// WQ requests launched by the RGP (tid allocated, unroll started).
+    pub rgp_requests: u64,
+    /// Line-sized request packets injected by the RGP.
+    pub rgp_lines: u64,
+    /// WQ ring reads the RGP performed while polling.
+    pub rgp_wq_polls: u64,
+    /// WQ polls that found no fresh entry.
+    pub rgp_empty_polls: u64,
+    /// RGP service retries because every ITT tid was in flight — the
+    /// pipeline's backpressure signal.
+    pub rgp_itt_stalls: u64,
+    /// Request packets serviced by the RRPP (this node as destination).
+    pub rrpp_served: u64,
+    /// RRPP context lookups that missed the CT$.
+    pub rrpp_ct_misses: u64,
+    /// Error replies the RRPP generated (bounds/context violations).
+    pub rrpp_errors: u64,
+    /// Remote-interrupt requests the RRPP handled.
+    pub rrpp_interrupts: u64,
+    /// Reply packets processed by the RCP.
+    pub rcp_replies: u64,
+    /// CQ entries the RCP posted (completed WQ requests).
+    pub rcp_completions: u64,
+    /// Transactions in flight in the ITT at snapshot time.
+    pub itt_in_flight: u64,
+}
+
+impl PipelineStats {
+    /// Element-wise sum of two snapshots (cluster-wide aggregation).
+    #[must_use]
+    pub fn merge(self, other: PipelineStats) -> PipelineStats {
+        PipelineStats {
+            rgp_requests: self.rgp_requests + other.rgp_requests,
+            rgp_lines: self.rgp_lines + other.rgp_lines,
+            rgp_wq_polls: self.rgp_wq_polls + other.rgp_wq_polls,
+            rgp_empty_polls: self.rgp_empty_polls + other.rgp_empty_polls,
+            rgp_itt_stalls: self.rgp_itt_stalls + other.rgp_itt_stalls,
+            rrpp_served: self.rrpp_served + other.rrpp_served,
+            rrpp_ct_misses: self.rrpp_ct_misses + other.rrpp_ct_misses,
+            rrpp_errors: self.rrpp_errors + other.rrpp_errors,
+            rrpp_interrupts: self.rrpp_interrupts + other.rrpp_interrupts,
+            rcp_replies: self.rcp_replies + other.rcp_replies,
+            rcp_completions: self.rcp_completions + other.rcp_completions,
+            itt_in_flight: self.itt_in_flight + other.itt_in_flight,
+        }
+    }
+
+    /// `(name, value)` rows in presentation order, so reporting layers can
+    /// render snapshots without hand-listing fields.
+    pub fn rows(&self) -> [(&'static str, u64); 12] {
+        [
+            ("rgp_requests", self.rgp_requests),
+            ("rgp_lines", self.rgp_lines),
+            ("rgp_wq_polls", self.rgp_wq_polls),
+            ("rgp_empty_polls", self.rgp_empty_polls),
+            ("rgp_itt_stalls", self.rgp_itt_stalls),
+            ("rrpp_served", self.rrpp_served),
+            ("rrpp_ct_misses", self.rrpp_ct_misses),
+            ("rrpp_errors", self.rrpp_errors),
+            ("rrpp_interrupts", self.rrpp_interrupts),
+            ("rcp_replies", self.rcp_replies),
+            ("rcp_completions", self.rcp_completions),
+            ("itt_in_flight", self.itt_in_flight),
+        ]
+    }
+}
+
+impl Cluster {
+    /// Snapshot of node `node`'s pipeline counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn pipeline_stats(&self, node: NodeId) -> PipelineStats {
+        let n = &self.nodes[node.index()];
+        let mut s = n
+            .rmc
+            .rgp
+            .stats()
+            .merge(n.rmc.rrpp.stats())
+            .merge(n.rmc.rcp.stats());
+        s.itt_in_flight = n.rmc.itt.in_flight() as u64;
+        s
+    }
+
+    /// Cluster-wide sum of every node's pipeline counters.
+    pub fn total_pipeline_stats(&self) -> PipelineStats {
+        (0..self.nodes.len())
+            .map(|n| self.pipeline_stats(NodeId(n as u16)))
+            .fold(PipelineStats::default(), PipelineStats::merge)
+    }
+
+    /// Delivers `pkt` to its destination's RRPP (requests) or RCP
+    /// (replies), through the fabric or the local NI loopback.
+    pub(crate) fn route_packet(&mut self, engine: &mut ClusterEngine, t: SimTime, pkt: Packet) {
+        let dst = pkt.dst.index();
+        let is_request = pkt.kind == PacketKind::Request;
+        let deliver_at = if pkt.dst == pkt.src {
+            // Local loopback through the NI: no fabric traversal.
+            t + self.nodes[dst].rmc.timing.stage_local
+        } else {
+            self.fabric
+                .send(t, pkt.src, pkt.dst, pkt.virtual_lane(), pkt.wire_bytes())
+                .time
+        };
+        engine.schedule_at(deliver_at, move |w: &mut Cluster, e: &mut ClusterEngine| {
+            if is_request {
+                w.rrpp_handle(e, dst, pkt);
+            } else {
+                w.rcp_handle(e, dst, pkt);
+            }
+        });
+    }
+}

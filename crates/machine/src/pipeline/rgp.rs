@@ -1,0 +1,261 @@
+//! The Request Generation Pipeline (RGP, §4.2).
+//!
+//! The RGP is the source-side front half of the RMC: it polls registered
+//! work queues through the coherence hierarchy, allocates a tid in the ITT
+//! for each fresh WQ entry, unrolls multi-line requests into cache-line
+//! transactions at the pipeline's initiation interval, and injects request
+//! packets into the fabric.
+//!
+//! Its service loop is an explicit state machine ([`RgpPhase`]): `Idle`
+//! when no QP has pending work, `Polling` while a service event is
+//! scheduled, and `Stalled` while it backs off from a full ITT — the
+//! pipeline's only backpressure point, counted in
+//! [`RgpState::itt_full_stalls`].
+
+use std::collections::VecDeque;
+
+use sonuma_memory::{AccessKind, VAddr, CACHE_LINE_BYTES};
+use sonuma_protocol::{CtxId, NodeId, Packet, PacketKind, QpId, RemoteOp, Status, Tid, WqEntry};
+use sonuma_sim::SimTime;
+
+use super::PipelineStats;
+use crate::cluster::Cluster;
+use crate::ClusterEngine;
+
+/// Where the RGP's service loop currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RgpPhase {
+    /// No active QPs; the next WQ post restarts the loop.
+    #[default]
+    Idle,
+    /// A service event is scheduled (polling or unrolling).
+    Polling,
+    /// Backing off from a full ITT; retries after a poll interval.
+    Stalled,
+}
+
+/// Per-node RGP state machine and counters.
+#[derive(Debug, Default)]
+pub struct RgpState {
+    /// Current service-loop phase.
+    pub phase: RgpPhase,
+    /// QPs with possibly-unconsumed WQ entries, in service order.
+    pub active_qps: VecDeque<QpId>,
+    /// WQ requests launched (tid allocated, unroll started).
+    pub requests: u64,
+    /// Line packets injected into the fabric.
+    pub lines: u64,
+    /// WQ ring reads performed while polling.
+    pub wq_polls: u64,
+    /// WQ polls that found no fresh entry.
+    pub empty_polls: u64,
+    /// Service retries forced by a full ITT (backpressure).
+    pub itt_full_stalls: u64,
+}
+
+impl RgpState {
+    /// Whether a service event is currently scheduled.
+    pub fn busy(&self) -> bool {
+        self.phase != RgpPhase::Idle
+    }
+
+    /// This pipeline's slice of a [`PipelineStats`] snapshot.
+    pub fn stats(&self) -> PipelineStats {
+        PipelineStats {
+            rgp_requests: self.requests,
+            rgp_lines: self.lines,
+            rgp_wq_polls: self.wq_polls,
+            rgp_empty_polls: self.empty_polls,
+            rgp_itt_stalls: self.itt_full_stalls,
+            ..PipelineStats::default()
+        }
+    }
+}
+
+/// One unrolled cache-line transaction queued for injection by the RGP.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LineRequest {
+    dst: NodeId,
+    ctx: CtxId,
+    tid: Tid,
+    op: RemoteOp,
+    offset: u64,
+    line_seq: u32,
+    /// Local VA the payload is read from (writes), or operands (atomics).
+    payload_src: Option<VAddr>,
+    operands: (u64, u64),
+}
+
+impl Cluster {
+    /// Notifies the RGP that `qp` may have fresh WQ entries (the coherence
+    /// hint of a core's WQ store). Called by the access library after every
+    /// post.
+    pub(crate) fn notify_rgp(
+        &mut self,
+        engine: &mut ClusterEngine,
+        now: SimTime,
+        n: usize,
+        qp: QpId,
+    ) {
+        let node = &mut self.nodes[n];
+        if !node.rmc.rgp.active_qps.contains(&qp) {
+            node.rmc.rgp.active_qps.push_back(qp);
+        }
+        if !node.rmc.rgp.busy() {
+            node.rmc.rgp.phase = RgpPhase::Polling;
+            // Detection latency: on average half a poll interval elapses
+            // before the polling loop re-reads this WQ.
+            let detect = node.rmc.timing.poll_interval / 2;
+            engine.schedule_at(
+                now + detect,
+                move |w: &mut Cluster, e: &mut ClusterEngine| {
+                    w.rgp_service(e, n);
+                },
+            );
+        }
+    }
+
+    /// One RGP service step: consume at most one WQ entry from the QP at
+    /// the head of the active list, unroll it, and chain.
+    pub(crate) fn rgp_service(&mut self, engine: &mut ClusterEngine, n: usize) {
+        let now = engine.now();
+        let node = &mut self.nodes[n];
+        let timing = node.rmc.timing;
+
+        let Some(&qp) = node.rmc.rgp.active_qps.front() else {
+            node.rmc.rgp.phase = RgpPhase::Idle;
+            return;
+        };
+
+        // Fetch the WQ entry at the RMC's consumer cursor through the
+        // coherent hierarchy (this is where the core-to-RMC cache-to-cache
+        // transfer of a fresh entry is paid).
+        let (wq_index, expected_phase) = node.rmc.qps[qp.index()].wq_cursor();
+        let wq_va = node.rmc.qps[qp.index()].wq_entry_addr(wq_index);
+        let (pa, t_xl) = node.rmc_translate(now, wq_va);
+        let pa = pa.expect("WQ rings are pinned by the driver");
+        let t_read = node.rmc_line_access(t_xl, pa, AccessKind::Read);
+        let mut line = [0u8; 64];
+        node.read_virt(wq_va, &mut line)
+            .expect("WQ rings are mapped");
+        node.rmc.rgp.wq_polls += 1;
+
+        let parsed = WqEntry::decode(&line).filter(|(_, phase)| *phase == expected_phase);
+        let Some((entry, _)) = parsed else {
+            // No new entry: retire this QP from the active list.
+            node.rmc.rgp.empty_polls += 1;
+            node.rmc.rgp.active_qps.pop_front();
+            if node.rmc.rgp.active_qps.is_empty() {
+                node.rmc.rgp.phase = RgpPhase::Idle;
+            } else {
+                engine.schedule_at(t_read, move |w: &mut Cluster, e: &mut ClusterEngine| {
+                    w.rgp_service(e, n);
+                });
+            }
+            return;
+        };
+
+        if node.rmc.itt.is_full() {
+            // All tids in flight: back off and retry after a poll interval.
+            node.rmc.rgp.phase = RgpPhase::Stalled;
+            node.rmc.rgp.itt_full_stalls += 1;
+            engine.schedule_at(
+                now + timing.poll_interval,
+                move |w: &mut Cluster, e: &mut ClusterEngine| {
+                    w.nodes[n].rmc.rgp.phase = RgpPhase::Polling;
+                    w.rgp_service(e, n);
+                },
+            );
+            return;
+        }
+
+        let lines = entry.lines();
+        let tid = node
+            .rmc
+            .itt
+            .alloc(qp, wq_index, lines, entry.buf_vaddr)
+            .expect("checked not full");
+        node.rmc.qps[qp.index()].advance_wq();
+        node.rmc.rgp.requests += 1;
+
+        // Unroll into line-sized transactions (§4.2): one injection every
+        // initiation interval.
+        let t0 = t_read + timing.rgp_per_request;
+        for k in 0..lines {
+            let at = t0 + timing.unroll_interval * k as u64;
+            let spec = LineRequest {
+                dst: entry.dst,
+                ctx: entry.ctx,
+                tid,
+                op: entry.op,
+                offset: entry.offset + k as u64 * CACHE_LINE_BYTES,
+                line_seq: k,
+                payload_src: (entry.op == RemoteOp::Write)
+                    .then(|| VAddr::new(entry.buf_vaddr + k as u64 * CACHE_LINE_BYTES)),
+                operands: (entry.operand1, entry.operand2),
+            };
+            engine.schedule_at(at, move |w: &mut Cluster, e: &mut ClusterEngine| {
+                w.inject_line(e, n, spec);
+            });
+        }
+
+        // Rotate this QP to the back and chain the next service step once
+        // the unroll finishes occupying the pipeline.
+        let node = &mut self.nodes[n];
+        if let Some(front) = node.rmc.rgp.active_qps.pop_front() {
+            node.rmc.rgp.active_qps.push_back(front);
+        }
+        let t_next = (t0 + timing.unroll_interval * lines as u64).max(now + timing.stage_local);
+        engine.schedule_at(t_next, move |w: &mut Cluster, e: &mut ClusterEngine| {
+            w.rgp_service(e, n);
+        });
+    }
+
+    /// Injects one unrolled line transaction into the fabric (reading the
+    /// payload for writes).
+    fn inject_line(&mut self, engine: &mut ClusterEngine, n: usize, spec: LineRequest) {
+        let now = engine.now();
+        let node = &mut self.nodes[n];
+        let timing = node.rmc.timing;
+        let src = NodeId(n as u16);
+
+        let mut t = now;
+        let mut payload: Option<[u8; 64]> = None;
+        match spec.op {
+            RemoteOp::Write => {
+                let va = spec.payload_src.expect("writes carry a payload source");
+                let (pa, t_xl) = node.rmc_translate(t, va);
+                let pa = pa.expect("local buffer validated at post time");
+                t = node.rmc_line_access(t_xl, pa, AccessKind::Read);
+                let mut buf = [0u8; 64];
+                node.read_virt(va, &mut buf).expect("local buffer mapped");
+                payload = Some(buf);
+            }
+            RemoteOp::FetchAdd | RemoteOp::CompSwap | RemoteOp::Interrupt => {
+                let mut buf = [0u8; 64];
+                buf[0..8].copy_from_slice(&spec.operands.0.to_le_bytes());
+                buf[8..16].copy_from_slice(&spec.operands.1.to_le_bytes());
+                payload = Some(buf);
+                t += timing.stage_local;
+            }
+            RemoteOp::Read => {
+                t += timing.stage_local;
+            }
+        }
+
+        let pkt = Packet {
+            kind: PacketKind::Request,
+            dst: spec.dst,
+            src,
+            ctx: spec.ctx,
+            tid: spec.tid,
+            op: spec.op,
+            status: Status::Ok,
+            offset: spec.offset,
+            line_seq: spec.line_seq,
+            payload,
+        };
+        node.rmc.rgp.lines += 1;
+        self.route_packet(engine, t, pkt);
+    }
+}

@@ -129,11 +129,20 @@ mod tests {
 
     #[test]
     fn step_variants_compare() {
-        assert_eq!(Step::Sleep(SimTime::from_ns(5)), Step::Sleep(SimTime::from_ns(5)));
+        assert_eq!(
+            Step::Sleep(SimTime::from_ns(5)),
+            Step::Sleep(SimTime::from_ns(5))
+        );
         assert_ne!(Step::WaitCq(QpId(0)), Step::WaitCq(QpId(1)));
         assert_eq!(
-            Step::WaitMemory { addr: VAddr::new(4), len: 8 },
-            Step::WaitMemory { addr: VAddr::new(4), len: 8 }
+            Step::WaitMemory {
+                addr: VAddr::new(4),
+                len: 8
+            },
+            Step::WaitMemory {
+                addr: VAddr::new(4),
+                len: 8
+            }
         );
     }
 }

@@ -1,0 +1,175 @@
+//! RGP backpressure: when every ITT tid is in flight the pipeline must
+//! stall and retry — and once tids free up, drain the work queue without
+//! losing or double-issuing a single WQ entry (§4.2's flow control).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use sonuma_machine::{
+    AppProcess, Cluster, ClusterEngine, MachineConfig, NodeApi, RgpPhase, Step, Wake,
+};
+use sonuma_memory::VAddr;
+use sonuma_protocol::{CtxId, NodeId, QpId};
+
+const CTX: CtxId = CtxId(0);
+
+/// Posts `total` remote reads as fast as the WQ accepts them, then drains
+/// completions, recording every completed WQ index.
+struct Flooder {
+    qp: QpId,
+    dst: NodeId,
+    total: u32,
+    posted: u32,
+    completed: Rc<RefCell<HashMap<u16, u32>>>,
+    done: Rc<RefCell<u32>>,
+    buf: Option<VAddr>,
+}
+
+impl Flooder {
+    fn pump(&mut self, api: &mut NodeApi<'_>) -> Step {
+        let buf = self.buf.expect("allocated on start");
+        while self.posted < self.total {
+            // Distinct offsets so each request is distinguishable; 4-line
+            // reads keep several line transactions per tid in flight.
+            let offset = u64::from(self.posted % 64) * 256;
+            match api.post_read(self.qp, self.dst, CTX, offset, buf, 256) {
+                Ok(_) => self.posted += 1,
+                Err(_) => break, // WQ full: wait for completions
+            }
+        }
+        if *self.done.borrow() == self.total {
+            return Step::Done;
+        }
+        Step::WaitCq(self.qp)
+    }
+}
+
+impl AppProcess for Flooder {
+    fn wake(&mut self, api: &mut NodeApi<'_>, why: Wake) -> Step {
+        match why {
+            Wake::Start => {
+                self.buf = Some(api.heap_alloc(256).unwrap());
+                self.pump(api)
+            }
+            Wake::CqReady(comps) => {
+                for c in &comps {
+                    assert!(c.status.is_ok(), "completion error: {:?}", c.status);
+                    *self.completed.borrow_mut().entry(c.wq_index).or_insert(0) += 1;
+                    *self.done.borrow_mut() += 1;
+                }
+                // Pick up stragglers the wake-up did not carry.
+                for c in api.poll_cq(self.qp) {
+                    assert!(c.status.is_ok());
+                    *self.completed.borrow_mut().entry(c.wq_index).or_insert(0) += 1;
+                    *self.done.borrow_mut() += 1;
+                }
+                self.pump(api)
+            }
+            other => panic!("unexpected wake {other:?}"),
+        }
+    }
+}
+
+/// Tiny ITT + deep WQ: the RGP must hit ITT-full stalls, retry, and still
+/// deliver exactly one completion per posted WQ entry.
+#[test]
+fn itt_exhaustion_stalls_then_drains_losslessly() {
+    let mut config = MachineConfig::simulated_hardware(2);
+    config.itt_entries = 2; // force backpressure immediately
+    config.qp_entries = 32;
+    let mut cluster = Cluster::new(config);
+    cluster.create_context(CTX, 1 << 20).unwrap();
+    let mut engine = ClusterEngine::new();
+
+    let qp = cluster.create_qp(NodeId(0), CTX, 0).unwrap();
+    let completed: Rc<RefCell<HashMap<u16, u32>>> = Rc::new(RefCell::new(HashMap::new()));
+    let done = Rc::new(RefCell::new(0u32));
+    let total = 120u32;
+    cluster.spawn(
+        &mut engine,
+        NodeId(0),
+        0,
+        Box::new(Flooder {
+            qp,
+            dst: NodeId(1),
+            total,
+            posted: 0,
+            completed: completed.clone(),
+            done: done.clone(),
+            buf: None,
+        }),
+    );
+    engine.run(&mut cluster);
+
+    assert_eq!(*done.borrow(), total, "every posted request completes");
+    let stats = cluster.pipeline_stats(NodeId(0));
+    assert_eq!(
+        stats.rgp_requests,
+        u64::from(total),
+        "RGP launched each WQ entry once"
+    );
+    assert_eq!(
+        stats.rgp_lines,
+        u64::from(total) * 4,
+        "4 lines per 256 B read"
+    );
+    assert_eq!(stats.rcp_completions, u64::from(total));
+    assert!(
+        stats.rgp_itt_stalls > 0,
+        "a 2-entry ITT under 120 requests must stall the RGP"
+    );
+
+    // No WQ entry lost or double-issued: completions per ring slot match
+    // the number of times the application cycled through that slot.
+    let per_slot = completed.borrow();
+    let slots = 32u32;
+    for slot in 0..slots {
+        let full_rounds = total / slots;
+        let expect = full_rounds + u32::from(slot < total % slots);
+        assert_eq!(
+            per_slot.get(&(slot as u16)).copied().unwrap_or(0),
+            expect,
+            "WQ slot {slot} completed the wrong number of times"
+        );
+    }
+
+    // Steady state restored: nothing left in flight, pipeline idle.
+    assert_eq!(cluster.nodes[0].rmc.itt.in_flight(), 0, "no leaked tids");
+    assert_eq!(cluster.nodes[0].rmc.rgp.phase, RgpPhase::Idle);
+}
+
+/// The stall counter stays at zero when the ITT is deep enough — the
+/// backpressure path is attributable, not ambient noise.
+#[test]
+fn ample_itt_never_stalls() {
+    let mut config = MachineConfig::simulated_hardware(2);
+    config.itt_entries = 64;
+    let mut cluster = Cluster::new(config);
+    cluster.create_context(CTX, 1 << 20).unwrap();
+    let mut engine = ClusterEngine::new();
+
+    let qp = cluster.create_qp(NodeId(0), CTX, 0).unwrap();
+    let completed = Rc::new(RefCell::new(HashMap::new()));
+    let done = Rc::new(RefCell::new(0u32));
+    cluster.spawn(
+        &mut engine,
+        NodeId(0),
+        0,
+        Box::new(Flooder {
+            qp,
+            dst: NodeId(1),
+            total: 40,
+            posted: 0,
+            completed,
+            done: done.clone(),
+            buf: None,
+        }),
+    );
+    engine.run(&mut cluster);
+
+    assert_eq!(*done.borrow(), 40);
+    let stats = cluster.pipeline_stats(NodeId(0));
+    assert_eq!(stats.rgp_itt_stalls, 0, "64 tids cover a 64-slot WQ");
+    assert_eq!(stats.rgp_requests, 40);
+}

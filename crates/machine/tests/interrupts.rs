@@ -63,7 +63,10 @@ impl AppProcess for Handler {
         // Park on a dummy watch: nothing ever writes here, so any wake-up
         // must be an interrupt.
         let dummy = api.ctx_base(CTX);
-        Step::WaitMemory { addr: dummy, len: 64 }
+        Step::WaitMemory {
+            addr: dummy,
+            len: 64,
+        }
     }
 }
 
@@ -147,7 +150,10 @@ fn pending_interrupts_deliver_when_the_handler_parks() {
                 return Step::Sleep(SimTime::from_us(5)); // interrupts arrive now
             }
             let dummy = api.ctx_base(CTX);
-            Step::WaitMemory { addr: dummy, len: 64 }
+            Step::WaitMemory {
+                addr: dummy,
+                len: 64,
+            }
         }
     }
 

@@ -40,9 +40,7 @@ impl AppProcess for TwoQueues {
         }
         // Keep both QPs busy; block on whichever lags.
         for which in 0..2 {
-            while self.issued[which] < self.per_qp
-                && api.outstanding(self.qps[which]) < 4
-            {
+            while self.issued[which] < self.per_qp && api.outstanding(self.qps[which]) < 4 {
                 api.post_read(
                     self.qps[which],
                     NodeId(1),
@@ -115,8 +113,10 @@ fn completions_stay_on_their_own_queue() {
                 (0, Wake::Start) => {
                     self.buf = api.heap_alloc(64).unwrap();
                     // One read on each QP.
-                    api.post_read(self.qps[0], NodeId(1), CTX, 0, self.buf, 64).unwrap();
-                    api.post_read(self.qps[1], NodeId(1), CTX, 0, self.buf, 64).unwrap();
+                    api.post_read(self.qps[0], NodeId(1), CTX, 0, self.buf, 64)
+                        .unwrap();
+                    api.post_read(self.qps[1], NodeId(1), CTX, 0, self.buf, 64)
+                        .unwrap();
                     self.phase = 1;
                     Step::WaitCq(self.qps[0])
                 }

@@ -100,8 +100,15 @@ impl AppProcess for ReadSteady {
                     return Step::Done;
                 }
                 self.posted_at = api.now();
-                api.post_read(self.qp, self.dst, CTX, self.offset, self.buf.unwrap(), self.len)
-                    .unwrap();
+                api.post_read(
+                    self.qp,
+                    self.dst,
+                    CTX,
+                    self.offset,
+                    self.buf.unwrap(),
+                    self.len,
+                )
+                .unwrap();
                 Step::WaitCq(self.qp)
             }
             other => panic!("unexpected wake {other:?}"),
@@ -161,7 +168,12 @@ fn run_read(config: MachineConfig, offset: u64, len: u64, pattern: Option<&[u8]>
 #[test]
 fn remote_read_moves_correct_bytes() {
     let pattern: Vec<u8> = (0..64u32).map(|i| (i * 7 + 3) as u8).collect();
-    let r = run_read(MachineConfig::simulated_hardware(2), 4096, 64, Some(&pattern));
+    let r = run_read(
+        MachineConfig::simulated_hardware(2),
+        4096,
+        64,
+        Some(&pattern),
+    );
     assert_eq!(r.status, Some(Status::Ok));
     assert_eq!(r.data, pattern);
 }
@@ -202,7 +214,12 @@ fn dev_platform_is_roughly_5x_slower_than_hardware() {
 #[test]
 fn multi_line_read_reassembles_in_order() {
     let pattern: Vec<u8> = (0..8192u32).map(|i| (i % 251) as u8).collect();
-    let r = run_read(MachineConfig::simulated_hardware(2), 8192, 8192, Some(&pattern));
+    let r = run_read(
+        MachineConfig::simulated_hardware(2),
+        8192,
+        8192,
+        Some(&pattern),
+    );
     assert_eq!(r.status, Some(Status::Ok));
     assert_eq!(r.data, pattern);
 }
@@ -210,7 +227,12 @@ fn multi_line_read_reassembles_in_order() {
 #[test]
 fn out_of_bounds_read_delivers_error_completion() {
     // Segment is 1 MiB; read starting at the last line but spanning beyond.
-    let r = run_read(MachineConfig::simulated_hardware(2), (1 << 20) - 64, 128, None);
+    let r = run_read(
+        MachineConfig::simulated_hardware(2),
+        (1 << 20) - 64,
+        128,
+        None,
+    );
     assert_eq!(r.status, Some(Status::OutOfBounds));
     assert!(r.data.is_empty());
 }
@@ -291,7 +313,8 @@ impl AppProcess for AtomicDance {
             (0, Wake::Start) => {
                 let buf = api.heap_alloc(64).unwrap();
                 self.buf = Some(buf);
-                api.post_fetch_add(self.qp, self.dst, CTX, 512, buf, 5).unwrap();
+                api.post_fetch_add(self.qp, self.dst, CTX, 512, buf, 5)
+                    .unwrap();
                 self.phase = 1;
                 Step::WaitCq(self.qp)
             }
@@ -352,7 +375,10 @@ impl AppProcess for Watcher {
     fn wake(&mut self, api: &mut NodeApi<'_>, why: Wake) -> Step {
         let mailbox = VAddr::new(api.ctx_base(CTX).raw() + self.mailbox_offset);
         match why {
-            Wake::Start => Step::WaitMemory { addr: mailbox, len: 64 },
+            Wake::Start => Step::WaitMemory {
+                addr: mailbox,
+                len: 64,
+            },
             Wake::MemoryTouched { .. } => {
                 let v = api.local_load_u64(mailbox).unwrap();
                 *self.woke.borrow_mut() = Some(v);
@@ -528,5 +554,9 @@ fn local_node_atomics_use_loopback() {
     );
     engine.run(&mut cluster);
     assert_eq!(*observed.borrow(), vec![7, 12]);
-    assert_eq!(cluster.fabric.packets_sent(), 0, "loopback must bypass the fabric");
+    assert_eq!(
+        cluster.fabric.packets_sent(),
+        0,
+        "loopback must bypass the fabric"
+    );
 }

@@ -29,7 +29,9 @@ struct Pipeliner {
 impl AppProcess for Pipeliner {
     fn wake(&mut self, api: &mut NodeApi<'_>, why: Wake) -> Step {
         if matches!(why, Wake::Start) {
-            self.buf = api.heap_alloc(64 * api.qp_capacity(self.qp) as u64).unwrap();
+            self.buf = api
+                .heap_alloc(64 * api.qp_capacity(self.qp) as u64)
+                .unwrap();
         }
         if let Wake::CqReady(comps) = &why {
             for c in comps {
@@ -158,5 +160,8 @@ fn rgp_is_fair_across_queue_pairs() {
     let (a, b) = (*finishes[0].borrow(), *finishes[1].borrow());
     assert!(a > 0.0 && b > 0.0, "both streams must finish");
     let ratio = a.max(b) / a.min(b);
-    assert!(ratio < 1.5, "RGP starvation: finish times {a:.1} vs {b:.1} us");
+    assert!(
+        ratio < 1.5,
+        "RGP starvation: finish times {a:.1} vs {b:.1} us"
+    );
 }

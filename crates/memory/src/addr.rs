@@ -70,7 +70,7 @@ impl VAddr {
     /// Whether the address is aligned to `align` bytes (power of two).
     #[inline]
     pub const fn is_aligned(self, align: u64) -> bool {
-        self.0 % align == 0
+        self.0.is_multiple_of(align)
     }
 }
 

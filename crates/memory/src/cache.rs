@@ -34,9 +34,15 @@ impl CacheGeometry {
     /// count.
     pub fn new(size_bytes: u64, ways: u32) -> Self {
         assert!(ways > 0, "associativity must be nonzero");
-        assert!(size_bytes % (CACHE_LINE_BYTES * ways as u64) == 0, "size not divisible into sets");
+        assert!(
+            size_bytes.is_multiple_of(CACHE_LINE_BYTES * ways as u64),
+            "size not divisible into sets"
+        );
         let sets = size_bytes / CACHE_LINE_BYTES / ways as u64;
-        assert!(sets > 0 && sets.is_power_of_two(), "set count must be a nonzero power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "set count must be a nonzero power of two"
+        );
         CacheGeometry { size_bytes, ways }
     }
 
@@ -222,7 +228,9 @@ impl CacheArray {
                 }
             }
         } else {
-            LookupResult::Miss { evicted_clean: None }
+            LookupResult::Miss {
+                evicted_clean: None,
+            }
         };
         self.ways[idx] = Way {
             valid: true,
@@ -315,7 +323,9 @@ mod tests {
         c.access(line(4), false);
         c.access(line(0), false); // 0 is now MRU, 4 is LRU
         match c.access(line(8), false) {
-            LookupResult::Miss { evicted_clean: Some(v) } => assert_eq!(v, 4),
+            LookupResult::Miss {
+                evicted_clean: Some(v),
+            } => assert_eq!(v, 4),
             other => panic!("expected clean eviction of line 4, got {other:?}"),
         }
         assert!(c.probe(line(0)));
@@ -368,7 +378,9 @@ mod tests {
         c.access(line(4), false);
         c.access(line(4), false);
         match c.access(line(8), false) {
-            LookupResult::Miss { evicted_clean: Some(0) } => {}
+            LookupResult::Miss {
+                evicted_clean: Some(0),
+            } => {}
             other => panic!("expected clean eviction of line 0, got {other:?}"),
         }
     }
@@ -381,7 +393,9 @@ mod tests {
         // Probing 0 must not promote it.
         assert!(c.probe(line(0)));
         match c.access(line(8), false) {
-            LookupResult::Miss { evicted_clean: Some(v) } => assert_eq!(v, 0),
+            LookupResult::Miss {
+                evicted_clean: Some(v),
+            } => assert_eq!(v, 0),
             other => panic!("expected eviction of line 0, got {other:?}"),
         }
     }

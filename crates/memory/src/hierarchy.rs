@@ -219,7 +219,13 @@ impl MemoryHierarchy {
     /// Returns the latency to data and the supplying level, and updates tag
     /// and ownership state. Accesses never span lines: callers split larger
     /// transfers with [`crate::addr::split_into_lines`].
-    pub fn access(&mut self, agent: AgentId, addr: PAddr, kind: AccessKind, now: SimTime) -> AccessResult {
+    pub fn access(
+        &mut self,
+        agent: AgentId,
+        addr: PAddr,
+        kind: AccessKind,
+        now: SimTime,
+    ) -> AccessResult {
         assert!(agent.0 < self.l1s.len(), "unknown agent {agent:?}");
         let line = addr.line_index();
         let write = kind == AccessKind::Write;
@@ -396,7 +402,11 @@ mod tests {
         // B writes: A's copy must be invalidated.
         h.access(B, addr, AccessKind::Write, SimTime::ZERO);
         let r = h.access(A, addr, AccessKind::Read, SimTime::ZERO);
-        assert_eq!(r.level, HitLevel::CacheToCache, "A must fetch B's dirty line");
+        assert_eq!(
+            r.level,
+            HitLevel::CacheToCache,
+            "A must fetch B's dirty line"
+        );
     }
 
     #[test]

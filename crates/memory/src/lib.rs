@@ -42,7 +42,9 @@ pub use addr::{PAddr, VAddr, CACHE_LINE_BYTES, PAGE_BYTES};
 pub use cache::{CacheArray, CacheGeometry, LookupResult};
 pub use dram::{DramConfig, DramModel};
 pub use error::MemError;
-pub use hierarchy::{AccessKind, AccessResult, AgentId, HierarchyConfig, HitLevel, MemoryHierarchy};
+pub use hierarchy::{
+    AccessKind, AccessResult, AgentId, HierarchyConfig, HitLevel, MemoryHierarchy,
+};
 pub use page::{AddressSpace, FrameAllocator};
 pub use phys::PhysicalMemory;
 pub use tlb::Tlb;

@@ -196,7 +196,8 @@ mod tests {
     fn map_translate_roundtrip() {
         let mut alloc = FrameAllocator::new(1 << 20);
         let mut s = AddressSpace::new(1);
-        s.map_range(VAddr::new(0), 2 * PAGE_BYTES, &mut alloc).unwrap();
+        s.map_range(VAddr::new(0), 2 * PAGE_BYTES, &mut alloc)
+            .unwrap();
         let pa0 = s.translate(VAddr::new(10)).unwrap();
         let pa1 = s.translate(VAddr::new(PAGE_BYTES + 10)).unwrap();
         assert_eq!(pa0.frame_offset(), 10);
@@ -233,7 +234,8 @@ mod tests {
     fn unmap_returns_frames() {
         let mut alloc = FrameAllocator::new(4 * PAGE_BYTES);
         let mut s = AddressSpace::new(1);
-        s.map_range(VAddr::new(0), 4 * PAGE_BYTES, &mut alloc).unwrap();
+        s.map_range(VAddr::new(0), 4 * PAGE_BYTES, &mut alloc)
+            .unwrap();
         assert_eq!(alloc.available(), 0);
         s.unmap_range(VAddr::new(0), 2 * PAGE_BYTES, &mut alloc);
         assert_eq!(alloc.available(), 2);

@@ -65,7 +65,11 @@ impl PhysicalMemory {
     /// Panics if the range exceeds capacity.
     pub fn read(&self, addr: PAddr, buf: &mut [u8]) {
         let end = addr.raw() + buf.len() as u64;
-        assert!(end <= self.capacity, "read past end of memory: {addr}+{}", buf.len());
+        assert!(
+            end <= self.capacity,
+            "read past end of memory: {addr}+{}",
+            buf.len()
+        );
         let mut cur = addr.raw();
         let mut done = 0usize;
         while done < buf.len() {
@@ -88,7 +92,11 @@ impl PhysicalMemory {
     /// Panics if the range exceeds capacity.
     pub fn write(&mut self, addr: PAddr, data: &[u8]) {
         let end = addr.raw() + data.len() as u64;
-        assert!(end <= self.capacity, "write past end of memory: {addr}+{}", data.len());
+        assert!(
+            end <= self.capacity,
+            "write past end of memory: {addr}+{}",
+            data.len()
+        );
         let mut cur = addr.raw();
         let mut done = 0usize;
         while done < data.len() {

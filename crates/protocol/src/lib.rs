@@ -16,7 +16,10 @@
 //! * binary codecs for request/reply packets ([`Packet`]) and for the
 //!   64-byte work-queue / completion-queue entries ([`WqEntry`],
 //!   [`CqEntry`]) that live in simulated memory and are genuinely parsed
-//!   from bytes by the RMC model.
+//!   from bytes by the RMC model,
+//! * the [`RemoteBackend`] transport contract (post/poll/completion over
+//!   per-node segments) that the soNUMA machine and the TCP/RDMA baseline
+//!   models all implement, so higher layers run unchanged over any of them.
 //!
 //! # Example
 //!
@@ -28,11 +31,13 @@
 //! assert_eq!(Packet::decode(&bytes).unwrap(), req);
 //! ```
 
+pub mod backend;
 pub mod ids;
 pub mod ops;
 pub mod packet;
 pub mod queue;
 
+pub use backend::{BackendError, RemoteBackend, RemoteCompletion, RemoteRequest};
 pub use ids::{CtxId, NodeId, QpId, Tid};
 pub use ops::{RemoteOp, Status};
 pub use packet::{Packet, PacketKind, CACHE_LINE_BYTES, HEADER_BYTES, MAX_PACKET_BYTES};

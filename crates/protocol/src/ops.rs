@@ -61,7 +61,10 @@ impl RemoteOp {
 
     /// Whether the *reply* packet carries a data payload.
     pub fn reply_carries_payload(self) -> bool {
-        matches!(self, RemoteOp::Read | RemoteOp::FetchAdd | RemoteOp::CompSwap)
+        matches!(
+            self,
+            RemoteOp::Read | RemoteOp::FetchAdd | RemoteOp::CompSwap
+        )
     }
 
     /// Whether this is an atomic read-modify-write.

@@ -135,7 +135,12 @@ impl Packet {
 
     /// Size of this packet on the wire, in bytes.
     pub fn wire_bytes(&self) -> u64 {
-        (HEADER_BYTES + if self.payload.is_some() { CACHE_LINE_BYTES } else { 0 }) as u64
+        (HEADER_BYTES
+            + if self.payload.is_some() {
+                CACHE_LINE_BYTES
+            } else {
+                0
+            }) as u64
     }
 
     /// The virtual lane this packet travels on: requests on VL0, replies on
@@ -224,7 +229,15 @@ mod tests {
     use super::*;
 
     fn sample_request() -> Packet {
-        Packet::request(NodeId(7), NodeId(2), CtxId(3), Tid(11), RemoteOp::Read, 0xABCD_0040, 5)
+        Packet::request(
+            NodeId(7),
+            NodeId(2),
+            CtxId(3),
+            Tid(11),
+            RemoteOp::Read,
+            0xABCD_0040,
+            5,
+        )
     }
 
     #[test]

@@ -4,8 +4,7 @@
 use proptest::prelude::*;
 
 use sonuma_protocol::{
-    CqEntry, CtxId, NodeId, Packet, RemoteOp, Status, Tid, WqEntry, HEADER_BYTES,
-    MAX_PACKET_BYTES,
+    CqEntry, CtxId, NodeId, Packet, RemoteOp, Status, Tid, WqEntry, HEADER_BYTES, MAX_PACKET_BYTES,
 };
 
 fn arb_op() -> impl Strategy<Value = RemoteOp> {

@@ -123,6 +123,9 @@ mod tests {
         // dev-platform ceiling.
         let emu = RmcTiming::emulated();
         let gbps = 64.0 * 8.0 / emu.unroll_interval.as_ns_f64();
-        assert!((1.5..2.4).contains(&gbps), "dev-platform line rate {gbps} Gbps");
+        assert!(
+            (1.5..2.4).contains(&gbps),
+            "dev-platform line rate {gbps} Gbps"
+        );
     }
 }

@@ -210,7 +210,10 @@ mod tests {
         assert!(ct.is_empty());
         ct.register(CtxId(3), entry(0x4000, 1 << 20));
         assert_eq!(ct.len(), 1);
-        assert_eq!(ct.lookup(CtxId(3)).unwrap().segment_base, VAddr::new(0x4000));
+        assert_eq!(
+            ct.lookup(CtxId(3)).unwrap().segment_base,
+            VAddr::new(0x4000)
+        );
         assert_eq!(ct.lookup(CtxId(0)), Err(Status::BadContext));
     }
 

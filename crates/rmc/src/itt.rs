@@ -63,7 +63,10 @@ impl InflightTable {
     ///
     /// Panics if `capacity` is zero or exceeds `u16::MAX + 1`.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0 && capacity <= (u16::MAX as usize) + 1, "bad ITT capacity");
+        assert!(
+            capacity > 0 && capacity <= (u16::MAX as usize) + 1,
+            "bad ITT capacity"
+        );
         InflightTable {
             slots: vec![None; capacity],
             free: (0..capacity as u16).rev().collect(),
@@ -95,7 +98,13 @@ impl InflightTable {
     /// Allocates a tid for a WQ request unrolling into `lines_total`
     /// transactions; `buf_vaddr` is the local buffer the RCP scatters
     /// replies into. Returns `None` when the table is full.
-    pub fn alloc(&mut self, qp: QpId, wq_index: u16, lines_total: u32, buf_vaddr: u64) -> Option<Tid> {
+    pub fn alloc(
+        &mut self,
+        qp: QpId,
+        wq_index: u16,
+        lines_total: u32,
+        buf_vaddr: u64,
+    ) -> Option<Tid> {
         debug_assert!(lines_total > 0, "zero-line transaction");
         let tid = self.free.pop()?;
         self.slots[tid as usize] = Some(InflightEntry {
@@ -133,7 +142,10 @@ impl InflightTable {
         if slot.status == Status::Ok && status != Status::Ok {
             slot.status = status;
         }
-        debug_assert!(slot.lines_done <= slot.lines_total, "more replies than requests");
+        debug_assert!(
+            slot.lines_done <= slot.lines_total,
+            "more replies than requests"
+        );
         if slot.lines_done == slot.lines_total {
             let done = *slot;
             self.slots[tid.index()] = None;
@@ -159,7 +171,11 @@ mod tests {
         let mut itt = InflightTable::new(2);
         let t = itt.alloc(QpId(1), 9, 1, 0).unwrap();
         match itt.on_reply(t, Status::Ok) {
-            ReplyAction::Complete { qp, wq_index, status } => {
+            ReplyAction::Complete {
+                qp,
+                wq_index,
+                status,
+            } => {
                 assert_eq!(qp, QpId(1));
                 assert_eq!(wq_index, 9);
                 assert!(status.is_ok());
@@ -177,7 +193,10 @@ mod tests {
         for _ in 0..3 {
             assert_eq!(itt.on_reply(t, Status::Ok), ReplyAction::InProgress);
         }
-        assert!(matches!(itt.on_reply(t, Status::Ok), ReplyAction::Complete { .. }));
+        assert!(matches!(
+            itt.on_reply(t, Status::Ok),
+            ReplyAction::Complete { .. }
+        ));
     }
 
     #[test]
@@ -213,9 +232,15 @@ mod tests {
         assert_ne!(a, b);
         assert_eq!(itt.buf_vaddr(a), 0x0);
         assert_eq!(itt.buf_vaddr(b), 0x40);
-        assert!(matches!(itt.on_reply(b, Status::Ok), ReplyAction::Complete { wq_index: 5, .. }));
+        assert!(matches!(
+            itt.on_reply(b, Status::Ok),
+            ReplyAction::Complete { wq_index: 5, .. }
+        ));
         assert_eq!(itt.on_reply(a, Status::Ok), ReplyAction::InProgress);
-        assert!(matches!(itt.on_reply(a, Status::Ok), ReplyAction::Complete { wq_index: 0, .. }));
+        assert!(matches!(
+            itt.on_reply(a, Status::Ok),
+            ReplyAction::Complete { wq_index: 0, .. }
+        ));
     }
 
     #[test]

@@ -14,14 +14,16 @@
 //!   [`InflightTable`] by `tid`, writes payloads to application buffers,
 //!   and posts CQ entries.
 //!
-//! This crate holds the RMC's *state machines and data structures* — the
-//! Context Table and its cache (CT$), the Inflight Transaction Table (ITT),
-//! the Memory Access Queue (MAQ), per-QP ring cursors, and the
-//! [`RmcTiming`] parameter sets for the two evaluation platforms (hardwired
-//! RMC vs. the software RMCemu of the development platform). The
-//! event-driven pipeline glue that moves packets between these structures,
-//! the caches and the fabric lives in `sonuma-machine`, which owns the
-//! simulation world.
+//! This crate holds the RMC's *shared data structures* — the Context Table
+//! and its cache (CT$), the Inflight Transaction Table (ITT), the Memory
+//! Access Queue (MAQ), per-QP ring cursors, and the [`RmcTiming`]
+//! parameter sets for the two evaluation platforms (hardwired RMC vs. the
+//! software RMCemu of the development platform). The pipelines themselves
+//! live in `sonuma-machine`'s `pipeline` module, one file per pipeline
+//! (`pipeline::rgp`, `pipeline::rrpp`, `pipeline::rcp`): each owns its
+//! per-stage state machine and backpressure counters over the structures
+//! defined here, and exposes them through a per-node `PipelineStats`
+//! snapshot.
 //!
 //! # Example
 //!

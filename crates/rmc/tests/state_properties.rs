@@ -4,9 +4,9 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 
+use sonuma_memory::VAddr;
 use sonuma_protocol::{CtxId, QpId, Status};
 use sonuma_rmc::{ContextEntry, ContextTable, CtCache, InflightTable, Maq, ReplyAction};
-use sonuma_memory::VAddr;
 use sonuma_sim::SimTime;
 
 proptest! {

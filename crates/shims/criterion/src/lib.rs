@@ -1,0 +1,132 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace must build with no network access, so this crate provides
+//! the slice of the criterion API the `sonuma-bench` bench targets use:
+//! [`Criterion::benchmark_group`], `sample_size`, `bench_function`,
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Instead of statistical sampling it runs each benchmark
+//! `sample_size` times and reports the minimum, mean, and maximum wall
+//! time — enough to eyeball regressions and to keep the bench targets
+//! compiling and runnable in CI.
+
+use std::time::Instant;
+
+/// Times one benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<std::time::Duration>,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Runs `f` once per sample, recording wall time.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        for _ in 0..self.iters.max(1) {
+            let start = Instant::now();
+            let out = f();
+            self.samples.push(start.elapsed());
+            drop(out);
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u32,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many times each benchmark body runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u32;
+        self
+    }
+
+    /// Runs one benchmark and prints a one-line timing summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters: self.sample_size,
+        };
+        f(&mut b);
+        let (mut lo, mut hi, mut sum) = (f64::INFINITY, 0.0f64, 0.0f64);
+        for s in &b.samples {
+            let us = s.as_secs_f64() * 1e6;
+            lo = lo.min(us);
+            hi = hi.max(us);
+            sum += us;
+        }
+        let n = b.samples.len().max(1) as f64;
+        println!(
+            "{}/{id}: min {lo:.1} us, mean {:.1} us, max {hi:.1} us ({} samples)",
+            self.name,
+            sum / n,
+            b.samples.len()
+        );
+        self
+    }
+
+    /// Ends the group (formatting no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            _c: self,
+        }
+    }
+}
+
+/// Collects benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Ignore harness arguments (e.g. `--bench` from `cargo bench`).
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(c: &mut Criterion) {
+        let mut g = c.benchmark_group("probe");
+        g.sample_size(3);
+        let mut runs = 0u32;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 3);
+    }
+
+    crate::criterion_group!(benches, probe);
+
+    #[test]
+    fn group_runs_targets() {
+        benches();
+    }
+}

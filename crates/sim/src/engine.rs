@@ -204,20 +204,20 @@ mod tests {
     fn events_run_in_time_order() {
         let mut e = Engine::new();
         let mut w = World::default();
-        e.schedule_at(SimTime::from_ns(30), |w: &mut World, e: &mut Engine<World>| {
-            w.trace.push((e.now().as_ps(), "c"))
-        });
-        e.schedule_at(SimTime::from_ns(10), |w: &mut World, e: &mut Engine<World>| {
-            w.trace.push((e.now().as_ps(), "a"))
-        });
-        e.schedule_at(SimTime::from_ns(20), |w: &mut World, e: &mut Engine<World>| {
-            w.trace.push((e.now().as_ps(), "b"))
-        });
-        e.run(&mut w);
-        assert_eq!(
-            w.trace,
-            vec![(10_000, "a"), (20_000, "b"), (30_000, "c")]
+        e.schedule_at(
+            SimTime::from_ns(30),
+            |w: &mut World, e: &mut Engine<World>| w.trace.push((e.now().as_ps(), "c")),
         );
+        e.schedule_at(
+            SimTime::from_ns(10),
+            |w: &mut World, e: &mut Engine<World>| w.trace.push((e.now().as_ps(), "a")),
+        );
+        e.schedule_at(
+            SimTime::from_ns(20),
+            |w: &mut World, e: &mut Engine<World>| w.trace.push((e.now().as_ps(), "b")),
+        );
+        e.run(&mut w);
+        assert_eq!(w.trace, vec![(10_000, "a"), (20_000, "b"), (30_000, "c")]);
         assert_eq!(e.events_executed(), 3);
     }
 
@@ -240,12 +240,18 @@ mod tests {
     fn events_can_schedule_events() {
         let mut e = Engine::new();
         let mut w = World::default();
-        e.schedule_at(SimTime::from_ns(1), |w: &mut World, e: &mut Engine<World>| {
-            w.trace.push((e.now().as_ps(), "outer"));
-            e.schedule_in(SimTime::from_ns(2), |w: &mut World, e: &mut Engine<World>| {
-                w.trace.push((e.now().as_ps(), "inner"));
-            });
-        });
+        e.schedule_at(
+            SimTime::from_ns(1),
+            |w: &mut World, e: &mut Engine<World>| {
+                w.trace.push((e.now().as_ps(), "outer"));
+                e.schedule_in(
+                    SimTime::from_ns(2),
+                    |w: &mut World, e: &mut Engine<World>| {
+                        w.trace.push((e.now().as_ps(), "inner"));
+                    },
+                );
+            },
+        );
         e.run(&mut w);
         assert_eq!(w.trace, vec![(1_000, "outer"), (3_000, "inner")]);
     }
@@ -254,12 +260,14 @@ mod tests {
     fn run_until_respects_horizon() {
         let mut e = Engine::new();
         let mut w = World::default();
-        e.schedule_at(SimTime::from_ns(10), |w: &mut World, _: &mut Engine<World>| {
-            w.trace.push((0, "early"))
-        });
-        e.schedule_at(SimTime::from_ns(100), |w: &mut World, _: &mut Engine<World>| {
-            w.trace.push((0, "late"))
-        });
+        e.schedule_at(
+            SimTime::from_ns(10),
+            |w: &mut World, _: &mut Engine<World>| w.trace.push((0, "early")),
+        );
+        e.schedule_at(
+            SimTime::from_ns(100),
+            |w: &mut World, _: &mut Engine<World>| w.trace.push((0, "late")),
+        );
         let ran = e.run_until(&mut w, SimTime::from_ns(50));
         assert_eq!(ran, 1);
         assert_eq!(w.trace.len(), 1);
@@ -275,9 +283,10 @@ mod tests {
         let mut e = Engine::new();
         let mut w = World::default();
         for i in 0..10u64 {
-            e.schedule_at(SimTime::from_ns(i), |w: &mut World, _: &mut Engine<World>| {
-                w.trace.push((0, "x"))
-            });
+            e.schedule_at(
+                SimTime::from_ns(i),
+                |w: &mut World, _: &mut Engine<World>| w.trace.push((0, "x")),
+            );
         }
         assert_eq!(e.run_steps(&mut w, 4), 4);
         assert_eq!(w.trace.len(), 4);
@@ -289,10 +298,13 @@ mod tests {
     fn scheduling_into_the_past_panics() {
         let mut e = Engine::new();
         let mut w = World::default();
-        e.schedule_at(SimTime::from_ns(10), |_: &mut World, e: &mut Engine<World>| {
-            // now = 10ns; scheduling at 5ns must panic.
-            e.schedule_at(SimTime::from_ns(5), |_, _| {});
-        });
+        e.schedule_at(
+            SimTime::from_ns(10),
+            |_: &mut World, e: &mut Engine<World>| {
+                // now = 10ns; scheduling at 5ns must panic.
+                e.schedule_at(SimTime::from_ns(5), |_, _| {});
+            },
+        );
         e.run(&mut w);
     }
 }

@@ -192,7 +192,11 @@ impl LatencyHistogram {
     /// Records one latency sample.
     pub fn record(&mut self, t: SimTime) {
         let ps = t.as_ps();
-        let idx = if ps == 0 { 0 } else { 63 - ps.leading_zeros() as usize };
+        let idx = if ps == 0 {
+            0
+        } else {
+            63 - ps.leading_zeros() as usize
+        };
         self.buckets[idx] += 1;
         self.count += 1;
         self.sum_ps += ps as u128;

@@ -185,7 +185,7 @@ impl fmt::Display for SimTime {
         let ps = self.0;
         if ps == 0 {
             write!(f, "0ns")
-        } else if ps % 1_000_000_000 == 0 {
+        } else if ps.is_multiple_of(1_000_000_000) {
             write!(f, "{}ms", ps / 1_000_000_000)
         } else if ps >= 1_000_000 {
             write!(f, "{:.3}us", self.as_us_f64())

@@ -52,7 +52,11 @@ impl AppProcess for Coordinator {
             }
             None => {
                 let (addr, len) = self.a.watch();
-                Step::WaitCqOrMemory { qp: self.qp, addr, len }
+                Step::WaitCqOrMemory {
+                    qp: self.qp,
+                    addr,
+                    len,
+                }
             }
         }
     }
@@ -72,7 +76,10 @@ impl AppProcess for Worker {
                 self.a.init(api).unwrap();
                 // Park on a dummy range: only the interrupt can wake us.
                 let dummy = api.ctx_base(DEFAULT_CTX);
-                Step::WaitMemory { addr: dummy, len: 64 }
+                Step::WaitMemory {
+                    addr: dummy,
+                    len: 64,
+                }
             }
             Wake::Interrupt { from, payload } => {
                 println!(
@@ -84,7 +91,11 @@ impl AppProcess for Worker {
                 *self.woken.borrow_mut() += 1;
                 self.a.start(api, 100 * api.node_id().0 as u64).unwrap();
                 let (addr, len) = self.a.watch();
-                Step::WaitCqOrMemory { qp: self.qp, addr, len }
+                Step::WaitCqOrMemory {
+                    qp: self.qp,
+                    addr,
+                    len,
+                }
             }
             _ => {
                 let _ = drain_completions(api, &why, self.qp);
@@ -92,7 +103,11 @@ impl AppProcess for Worker {
                     Some(_) => Step::Done,
                     None => {
                         let (addr, len) = self.a.watch();
-                        Step::WaitCqOrMemory { qp: self.qp, addr, len }
+                        Step::WaitCqOrMemory {
+                            qp: self.qp,
+                            addr,
+                            len,
+                        }
                     }
                 }
             }
@@ -102,7 +117,9 @@ impl AppProcess for Worker {
 
 fn main() {
     let nodes = 4usize;
-    let mut system = SystemBuilder::simulated_hardware(nodes).segment_len(1 << 20).build();
+    let mut system = SystemBuilder::simulated_hardware(nodes)
+        .segment_len(1 << 20)
+        .build();
     let woken = Rc::new(RefCell::new(0u32));
     for n in 0..nodes {
         let node = NodeId(n as u16);

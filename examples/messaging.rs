@@ -59,7 +59,11 @@ impl AppProcess for Ping {
                     } else {
                         self.m.credit_watch(peer)
                     };
-                    return Step::WaitCqOrMemory { qp: self.m.qp(), addr, len };
+                    return Step::WaitCqOrMemory {
+                        qp: self.m.qp(),
+                        addr,
+                        len,
+                    };
                 }
             }
         }
@@ -109,7 +113,11 @@ impl AppProcess for Pong {
                     } else {
                         self.m.credit_watch(peer)
                     };
-                    return Step::WaitCqOrMemory { qp: self.m.qp(), addr, len };
+                    return Step::WaitCqOrMemory {
+                        qp: self.m.qp(),
+                        addr,
+                        len,
+                    };
                 }
             }
         }
@@ -117,7 +125,9 @@ impl AppProcess for Pong {
 }
 
 fn pingpong(size: usize) -> SimTime {
-    let mut system = SystemBuilder::simulated_hardware(2).segment_len(4 << 20).build();
+    let mut system = SystemBuilder::simulated_hardware(2)
+        .segment_len(4 << 20)
+        .build();
     let cfg = MsgConfig::hardware(); // 256 B push/pull threshold
     let qp0 = system.create_qp(NodeId(0), 0);
     let qp1 = system.create_qp(NodeId(1), 0);

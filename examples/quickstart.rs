@@ -37,7 +37,8 @@ impl AppProcess for Quickstart {
                 self.buf = api.heap_alloc(4096).unwrap();
                 // Remote read: copy 64 bytes of node 1's segment here.
                 self.posted_at = api.now();
-                api.post_read(self.qp, peer, DEFAULT_CTX, 0, self.buf, 64).unwrap();
+                api.post_read(self.qp, peer, DEFAULT_CTX, 0, self.buf, 64)
+                    .unwrap();
                 self.phase = 1;
                 Step::WaitCq(self.qp)
             }
@@ -53,7 +54,8 @@ impl AppProcess for Quickstart {
                 // Remote write: publish 128 bytes into node 1's segment.
                 api.local_write(self.buf, &[0x42u8; 128]).unwrap();
                 self.posted_at = api.now();
-                api.post_write(self.qp, peer, DEFAULT_CTX, 4096, self.buf, 128).unwrap();
+                api.post_write(self.qp, peer, DEFAULT_CTX, 4096, self.buf, 128)
+                    .unwrap();
                 self.phase = 2;
                 Step::WaitCq(self.qp)
             }
@@ -65,7 +67,8 @@ impl AppProcess for Quickstart {
 
                 // Remote fetch-and-add on a counter in node 1's segment.
                 self.posted_at = api.now();
-                api.post_fetch_add(self.qp, peer, DEFAULT_CTX, 8192, self.buf, 7).unwrap();
+                api.post_fetch_add(self.qp, peer, DEFAULT_CTX, 8192, self.buf, 7)
+                    .unwrap();
                 self.phase = 3;
                 Step::WaitCq(self.qp)
             }
@@ -84,7 +87,9 @@ impl AppProcess for Quickstart {
 }
 
 fn main() {
-    let mut system = SystemBuilder::simulated_hardware(2).segment_len(1 << 20).build();
+    let mut system = SystemBuilder::simulated_hardware(2)
+        .segment_len(1 << 20)
+        .build();
 
     // Seed node 1's globally readable segment.
     system.write_ctx(NodeId(1), 0, b"hello, rack!\0");

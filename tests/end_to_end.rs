@@ -31,7 +31,11 @@ impl AppProcess for RingReader {
             assert_eq!(comps.len(), 1);
             assert_eq!(comps[0].status, Status::Ok);
             let got = api.local_load_u64(self.buf).unwrap();
-            assert_eq!(got, 0xBEEF_0000 + self.next_peer as u64, "payload from peer");
+            assert_eq!(
+                got,
+                0xBEEF_0000 + self.next_peer as u64,
+                "payload from peer"
+            );
             *self.verified.borrow_mut() += 1;
             self.next_peer += 1;
         }
@@ -62,10 +66,16 @@ fn all_to_all_reads_over_a_torus() {
     let nodes = 16usize;
     let mut config = MachineConfig::simulated_hardware(nodes);
     config.fabric = FabricConfig::torus2d(4, 4);
-    let mut system = SystemBuilder::from_config(config).segment_len(1 << 20).build();
+    let mut system = SystemBuilder::from_config(config)
+        .segment_len(1 << 20)
+        .build();
 
     for n in 0..nodes {
-        system.write_ctx(NodeId(n as u16), 0, &(0xBEEF_0000u64 + n as u64).to_le_bytes());
+        system.write_ctx(
+            NodeId(n as u16),
+            0,
+            &(0xBEEF_0000u64 + n as u64).to_le_bytes(),
+        );
     }
     let verified: Shared<u32> = Rc::new(RefCell::new(0));
     for n in 0..nodes {
@@ -126,7 +136,9 @@ impl AppProcess for Incrementer {
 fn concurrent_atomics_lose_no_updates() {
     let nodes = 5usize;
     let per_node = 40u32;
-    let mut system = SystemBuilder::simulated_hardware(nodes).segment_len(1 << 20).build();
+    let mut system = SystemBuilder::simulated_hardware(nodes)
+        .segment_len(1 << 20)
+        .build();
     system.write_ctx(NodeId(0), 128, &0u64.to_le_bytes());
     for n in 1..nodes {
         let qp = system.create_qp(NodeId(n as u16), 0);
@@ -174,10 +186,18 @@ impl AppProcess for ErrorProber {
             api.post_read(self.qp, NodeId(1), DEFAULT_CTX, 1 << 21, self.buf, 64)
                 .unwrap();
             // Straddling the end of the segment.
-            api.post_read(self.qp, NodeId(1), DEFAULT_CTX, (1 << 20) - 64, self.buf, 128)
-                .unwrap();
+            api.post_read(
+                self.qp,
+                NodeId(1),
+                DEFAULT_CTX,
+                (1 << 20) - 64,
+                self.buf,
+                128,
+            )
+            .unwrap();
             // A valid one for contrast.
-            api.post_read(self.qp, NodeId(1), DEFAULT_CTX, 0, self.buf, 64).unwrap();
+            api.post_read(self.qp, NodeId(1), DEFAULT_CTX, 0, self.buf, 64)
+                .unwrap();
             self.posted = true;
         }
         if self.statuses.borrow().len() == 3 {
@@ -189,7 +209,9 @@ impl AppProcess for ErrorProber {
 
 #[test]
 fn protocol_errors_surface_in_the_cq() {
-    let mut system = SystemBuilder::simulated_hardware(2).segment_len(1 << 20).build();
+    let mut system = SystemBuilder::simulated_hardware(2)
+        .segment_len(1 << 20)
+        .build();
     let qp = system.create_qp(NodeId(0), 0);
     let statuses: Shared<Vec<Status>> = Rc::new(RefCell::new(Vec::new()));
     system.spawn(
@@ -219,9 +241,15 @@ fn protocol_errors_surface_in_the_cq() {
 fn full_system_determinism() {
     let run = || {
         let nodes = 4usize;
-        let mut system = SystemBuilder::simulated_hardware(nodes).segment_len(1 << 20).build();
+        let mut system = SystemBuilder::simulated_hardware(nodes)
+            .segment_len(1 << 20)
+            .build();
         for n in 0..nodes {
-            system.write_ctx(NodeId(n as u16), 0, &(0xBEEF_0000u64 + n as u64).to_le_bytes());
+            system.write_ctx(
+                NodeId(n as u16),
+                0,
+                &(0xBEEF_0000u64 + n as u64).to_le_bytes(),
+            );
         }
         let verified: Shared<u32> = Rc::new(RefCell::new(0));
         for n in 0..nodes {

@@ -9,8 +9,8 @@ use sonuma::apps::graph::{Graph, GraphConfig};
 use sonuma::apps::kvstore::{self, KvStoreConfig};
 use sonuma::apps::pagerank::{self, PagerankConfig, Variant};
 use sonuma::core::{
-    drain_completions, AppProcess, Messenger, MsgConfig, MsgError, NodeApi, NodeId, RecvPoll,
-    Step, SystemBuilder, Wake,
+    drain_completions, AppProcess, Messenger, MsgConfig, MsgError, NodeApi, NodeId, RecvPoll, Step,
+    SystemBuilder, Wake,
 };
 
 type Shared<T> = Rc<RefCell<T>>;
@@ -41,7 +41,11 @@ impl AppProcess for FanInSender {
             if self.sent == self.count {
                 if !self.m.all_sent() {
                     let (addr, len) = self.m.credit_watch(to);
-                    return Step::WaitCqOrMemory { qp: self.m.qp(), addr, len };
+                    return Step::WaitCqOrMemory {
+                        qp: self.m.qp(),
+                        addr,
+                        len,
+                    };
                 }
                 return Step::Done;
             }
@@ -51,7 +55,11 @@ impl AppProcess for FanInSender {
                 Ok(()) => self.sent += 1,
                 Err(MsgError::NoCredit) => {
                     let (addr, len) = self.m.credit_watch(to);
-                    return Step::WaitCqOrMemory { qp: self.m.qp(), addr, len };
+                    return Step::WaitCqOrMemory {
+                        qp: self.m.qp(),
+                        addr,
+                        len,
+                    };
                 }
                 Err(MsgError::Backpressure) => return Step::WaitCq(self.m.qp()),
                 Err(e) => panic!("{e}"),
@@ -102,7 +110,11 @@ impl AppProcess for FanInSink {
                     return Step::WaitCq(self.m.qp());
                 }
                 let (addr, len) = self.m.recv_watch_all();
-                return Step::WaitCqOrMemory { qp: self.m.qp(), addr, len };
+                return Step::WaitCqOrMemory {
+                    qp: self.m.qp(),
+                    addr,
+                    len,
+                };
             }
         }
     }

@@ -9,9 +9,7 @@ use std::rc::Rc;
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use sonuma::core::{
-    AppProcess, NodeApi, NodeId, Step, SystemBuilder, VAddr, Wake, DEFAULT_CTX,
-};
+use sonuma::core::{AppProcess, NodeApi, NodeId, Step, SystemBuilder, VAddr, Wake, DEFAULT_CTX};
 
 /// One randomly generated operation against a peer's segment, expressed at
 /// cache-line granularity (the architecture's unit).
@@ -86,24 +84,53 @@ impl AppProcess for Scripted {
             Op::Write { at, lines, fill } => {
                 let data = vec![fill; lines as usize * 64];
                 api.local_write(self.buf, &data).unwrap();
-                api.post_write(self.qp, self.peer, DEFAULT_CTX, at * 64, self.buf, data.len() as u64)
-                    .unwrap();
+                api.post_write(
+                    self.qp,
+                    self.peer,
+                    DEFAULT_CTX,
+                    at * 64,
+                    self.buf,
+                    data.len() as u64,
+                )
+                .unwrap();
             }
             Op::Read { at, lines } => {
-                api.post_read(self.qp, self.peer, DEFAULT_CTX, at * 64, self.buf, lines as u64 * 64)
-                    .unwrap();
+                api.post_read(
+                    self.qp,
+                    self.peer,
+                    DEFAULT_CTX,
+                    at * 64,
+                    self.buf,
+                    lines as u64 * 64,
+                )
+                .unwrap();
             }
             Op::FetchAdd { at, delta } => {
-                api.post_fetch_add(self.qp, self.peer, DEFAULT_CTX, at * 64, self.buf, delta as u64)
-                    .unwrap();
+                api.post_fetch_add(
+                    self.qp,
+                    self.peer,
+                    DEFAULT_CTX,
+                    at * 64,
+                    self.buf,
+                    delta as u64,
+                )
+                .unwrap();
             }
             Op::Swap { at, to } => {
                 // Expected value embedded by the generator as operand1 via
                 // comp_swap: the shadow's current word.
                 let (_, expect) = &self.ops[self.cursor];
                 let expected = u64::from_le_bytes(expect[0..8].try_into().unwrap());
-                api.post_comp_swap(self.qp, self.peer, DEFAULT_CTX, at * 64, self.buf, expected, to)
-                    .unwrap();
+                api.post_comp_swap(
+                    self.qp,
+                    self.peer,
+                    DEFAULT_CTX,
+                    at * 64,
+                    self.buf,
+                    expected,
+                    to,
+                )
+                .unwrap();
             }
         }
         Step::WaitCq(self.qp)
