@@ -10,14 +10,16 @@
 //! suite and the Table 2 harness can replay identical request streams over
 //! commodity networking, RDMA, and soNUMA, and the only thing that differs
 //! is where the time goes.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//!
+//! The in-flight set rides the same typed `sonuma_sim::EventEngine` the
+//! machine uses: each posted operation becomes one [`OpComplete`] event on
+//! the functional [`LinkWorld`], so completion ordering, the clock, and
+//! the events-executed counter all come from one engine implementation.
 
 use sonuma_protocol::{
     BackendError, NodeId, RemoteBackend, RemoteCompletion, RemoteOp, RemoteRequest, Status,
 };
-use sonuma_sim::SimTime;
+use sonuma_sim::{EventEngine, SimTime, World};
 
 use crate::{RdmaFabric, TcpStack};
 
@@ -39,69 +41,26 @@ pub trait LinkModel {
 /// queue depth; posts beyond it see [`BackendError::Backpressure`]).
 pub const WINDOW: usize = 64;
 
-#[derive(Debug)]
-struct Inflight {
-    done: SimTime,
-    seq: u64,
+/// One in-flight operation completing at the time it was scheduled for —
+/// the baselines' single typed event.
+#[derive(Debug, Clone)]
+pub struct OpComplete {
     src: usize,
     token: u64,
     req: RemoteRequest,
 }
 
-impl PartialEq for Inflight {
-    fn eq(&self, other: &Self) -> bool {
-        (self.done, self.seq) == (other.done, other.seq)
-    }
-}
-impl Eq for Inflight {}
-impl PartialOrd for Inflight {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Inflight {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.done, self.seq).cmp(&(other.done, other.seq))
-    }
-}
-
-/// A functional remote-memory backend timed by a [`LinkModel`].
+/// The functional world behind a [`ModeledBackend`]: per-node segments,
+/// completion queues, and window occupancy. Timing lives entirely in the
+/// engine's event schedule.
 #[derive(Debug)]
-pub struct ModeledBackend<M> {
-    model: M,
+pub struct LinkWorld {
     segments: Vec<Vec<u8>>,
-    clock: SimTime,
-    next_free: Vec<SimTime>,
-    inflight: BinaryHeap<Reverse<Inflight>>,
     ready: Vec<Vec<RemoteCompletion>>,
     in_window: Vec<usize>,
-    next_token: Vec<u64>,
-    next_seq: u64,
 }
 
-impl<M: LinkModel> ModeledBackend<M> {
-    /// Builds a backend of `nodes` nodes with `segment_len`-byte segments.
-    pub fn new(model: M, nodes: usize, segment_len: u64) -> Self {
-        ModeledBackend {
-            model,
-            segments: (0..nodes)
-                .map(|_| vec![0u8; segment_len as usize])
-                .collect(),
-            clock: SimTime::ZERO,
-            next_free: vec![SimTime::ZERO; nodes],
-            inflight: BinaryHeap::new(),
-            ready: (0..nodes).map(|_| Vec::new()).collect(),
-            in_window: vec![0; nodes],
-            next_token: vec![0; nodes],
-            next_seq: 0,
-        }
-    }
-
-    /// The underlying cost model.
-    pub fn model(&self) -> &M {
-        &self.model
-    }
-
+impl LinkWorld {
     /// Applies `req`'s functional effect at completion time; returns the
     /// completion payload.
     fn apply(&mut self, req: &RemoteRequest) -> (Status, Vec<u8>) {
@@ -136,34 +95,84 @@ impl<M: LinkModel> ModeledBackend<M> {
     }
 }
 
+impl World for LinkWorld {
+    type Event = OpComplete;
+
+    fn handle(&mut self, _engine: &mut EventEngine<Self>, event: OpComplete) {
+        // Effects apply in global completion order (the engine's
+        // (time, seq) order), which linearizes atomics.
+        let (status, data) = self.apply(&event.req);
+        self.in_window[event.src] -= 1;
+        self.ready[event.src].push(RemoteCompletion {
+            token: event.token,
+            status,
+            data,
+        });
+    }
+}
+
+/// A functional remote-memory backend timed by a [`LinkModel`].
+#[derive(Debug)]
+pub struct ModeledBackend<M> {
+    model: M,
+    world: LinkWorld,
+    engine: EventEngine<LinkWorld>,
+    next_free: Vec<SimTime>,
+    next_token: Vec<u64>,
+}
+
+impl<M: LinkModel> ModeledBackend<M> {
+    /// Builds a backend of `nodes` nodes with `segment_len`-byte segments.
+    pub fn new(model: M, nodes: usize, segment_len: u64) -> Self {
+        ModeledBackend {
+            model,
+            world: LinkWorld {
+                segments: (0..nodes)
+                    .map(|_| vec![0u8; segment_len as usize])
+                    .collect(),
+                ready: (0..nodes).map(|_| Vec::new()).collect(),
+                in_window: vec![0; nodes],
+            },
+            engine: EventEngine::new(),
+            next_free: vec![SimTime::ZERO; nodes],
+            next_token: vec![0; nodes],
+        }
+    }
+
+    /// The underlying cost model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+}
+
 impl<M: LinkModel> RemoteBackend for ModeledBackend<M> {
     fn label(&self) -> &'static str {
         self.model.label()
     }
 
     fn num_nodes(&self) -> usize {
-        self.segments.len()
+        self.world.segments.len()
     }
 
     fn segment_len(&self) -> u64 {
-        self.segments.first().map_or(0, |s| s.len() as u64)
+        self.world.segments.first().map_or(0, |s| s.len() as u64)
     }
 
     fn write_ctx(&mut self, node: NodeId, offset: u64, data: &[u8]) {
-        let seg = &mut self.segments[node.index()];
+        let seg = &mut self.world.segments[node.index()];
         let lo = offset as usize;
         seg[lo..lo + data.len()].copy_from_slice(data);
     }
 
     fn read_ctx(&self, node: NodeId, offset: u64, buf: &mut [u8]) {
-        let seg = &self.segments[node.index()];
+        let seg = &self.world.segments[node.index()];
         let lo = offset as usize;
         buf.copy_from_slice(&seg[lo..lo + buf.len()]);
     }
 
     fn post(&mut self, src: NodeId, req: RemoteRequest) -> Result<u64, BackendError> {
         let n = src.index();
-        if n >= self.segments.len() || req.dst.index() >= self.segments.len() {
+        if n >= self.world.segments.len() || req.dst.index() >= self.world.segments.len() {
             return Err(BackendError::BadNode);
         }
         if req.op == RemoteOp::Interrupt
@@ -172,7 +181,7 @@ impl<M: LinkModel> RemoteBackend for ModeledBackend<M> {
         {
             return Err(BackendError::BadRequest);
         }
-        if self.in_window[n] >= WINDOW {
+        if self.world.in_window[n] >= WINDOW {
             return Err(BackendError::Backpressure);
         }
         let bytes = match req.op {
@@ -180,47 +189,36 @@ impl<M: LinkModel> RemoteBackend for ModeledBackend<M> {
             RemoteOp::Write => req.payload.len() as u64,
             _ => 8,
         };
-        let issue_at = self.clock.max(self.next_free[n]);
+        let issue_at = self.engine.now().max(self.next_free[n]);
         self.next_free[n] = issue_at + self.model.issue_occupancy(req.op, bytes);
         let done = issue_at + self.model.op_latency(req.op, bytes);
         let token = self.next_token[n];
         self.next_token[n] += 1;
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.in_window[n] += 1;
-        self.inflight.push(Reverse(Inflight {
-            done,
-            seq,
-            src: n,
-            token,
-            req,
-        }));
+        self.world.in_window[n] += 1;
+        self.engine
+            .schedule_at(done, OpComplete { src: n, token, req });
         Ok(token)
     }
 
     fn poll(&mut self, src: NodeId) -> Vec<RemoteCompletion> {
-        std::mem::take(&mut self.ready[src.index()])
+        std::mem::take(&mut self.world.ready[src.index()])
     }
 
     fn advance(&mut self) -> bool {
-        let Some(Reverse(op)) = self.inflight.pop() else {
+        // One completion per call, exactly as the old heap-based engine
+        // advanced; the clock jumps to the completed event's time.
+        if self.engine.run_steps(&mut self.world, 1) == 0 {
             return false;
-        };
-        // The clock jumps to the next completion; effects apply in global
-        // completion order, which linearizes atomics.
-        self.clock = self.clock.max(op.done);
-        let (status, data) = self.apply(&op.req);
-        self.in_window[op.src] -= 1;
-        self.ready[op.src].push(RemoteCompletion {
-            token: op.token,
-            status,
-            data,
-        });
-        !self.inflight.is_empty()
+        }
+        self.engine.pending() > 0
     }
 
     fn now(&self) -> SimTime {
-        self.clock
+        self.engine.now()
+    }
+
+    fn events_processed(&self) -> u64 {
+        self.engine.events_executed()
     }
 }
 

@@ -1,0 +1,191 @@
+//! The scenario runner CLI.
+//!
+//! ```text
+//! cargo run --release -p sonuma-bench --bin sonuma-bench -- scenario --smoke
+//! ```
+//!
+//! Subcommand `scenario` sweeps declarative scenario specs across the
+//! requested backends and writes a versioned, machine-readable
+//! `BENCH.json`:
+//!
+//! * `--smoke` — the three canned CI specs;
+//! * `--canned <name>` — one canned spec by name (repeatable; see `--list`);
+//! * `--spec <file.toml>` — a spec file (repeatable);
+//! * `--out <path>` — report destination (default `BENCH.json`);
+//! * `--baseline <path>` — compare events/sec against a checked-in report
+//!   and exit nonzero on regression;
+//! * `--max-regress <frac>` — allowed events/sec drop (default `0.20`);
+//! * `--list` — print the canned spec names and exit.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sonuma_bench::json::Json;
+use sonuma_bench::scenario::{
+    self, calibrate, canned_specs, check_baseline, report_calibrated, run_specs, smoke_specs,
+    validate_report, ScenarioSpec,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sonuma-bench scenario [--smoke] [--canned NAME]... [--spec FILE]...\n\
+         \x20                          [--out FILE] [--baseline FILE] [--max-regress FRAC]\n\
+         \x20                          [--list]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("scenario") => scenario_cmd(args.collect()),
+        _ => usage(),
+    }
+}
+
+fn scenario_cmd(args: Vec<String>) -> ExitCode {
+    let mut specs: Vec<ScenarioSpec> = Vec::new();
+    let mut out = PathBuf::from("BENCH.json");
+    let mut baseline: Option<PathBuf> = None;
+    let mut max_regress = 0.20f64;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--smoke" => specs.extend(smoke_specs()),
+            "--canned" => {
+                let name = value("--canned");
+                match canned_specs().into_iter().find(|s| s.name == name) {
+                    Some(spec) => specs.push(spec),
+                    None => {
+                        eprintln!("unknown canned spec {name:?}; try --list");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--spec" => {
+                let path = value("--spec");
+                let text = match std::fs::read_to_string(&path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                match ScenarioSpec::from_toml(&text) {
+                    Ok(spec) => specs.push(spec),
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--out" => out = PathBuf::from(value("--out")),
+            "--baseline" => baseline = Some(PathBuf::from(value("--baseline"))),
+            "--max-regress" => {
+                max_regress = value("--max-regress").parse().unwrap_or_else(|_| {
+                    eprintln!("--max-regress needs a fraction like 0.20");
+                    std::process::exit(2);
+                });
+            }
+            "--list" => {
+                for spec in canned_specs() {
+                    println!(
+                        "{:<20} {:>4} nodes  {:<12} {:<14} backend={}",
+                        spec.name,
+                        spec.nodes,
+                        spec.topology_label(),
+                        spec.workload_label(),
+                        spec.backend_label(),
+                    );
+                }
+                return ExitCode::SUCCESS;
+            }
+            _ => usage(),
+        }
+    }
+    if specs.is_empty() {
+        eprintln!("no scenarios selected (use --smoke, --canned, or --spec)");
+        return ExitCode::from(2);
+    }
+
+    let results = run_specs(&specs);
+    print_summary(&results);
+
+    // Host calibration lets the baseline gate compare machines by ratio
+    // instead of raw wall-clock rates.
+    let calibration = calibrate();
+    println!("\nhost calibration: {calibration:.0} boxed events/sec");
+    let doc = report_calibrated(&results, calibration);
+    if let Err(e) = validate_report(&doc) {
+        eprintln!("internal error: generated report fails schema check: {e}");
+        return ExitCode::FAILURE;
+    }
+    let text = doc.render();
+    if let Err(e) = std::fs::write(&out, &text) {
+        eprintln!("cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("\nwrote {}", out.display());
+
+    if let Some(path) = baseline {
+        let base_text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read baseline {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let base = match Json::parse(&base_text) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("baseline {} is not valid JSON: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let check = check_baseline(&doc, &base, max_regress);
+        for note in &check.notes {
+            println!("note: {note}");
+        }
+        if check.failures.is_empty() {
+            println!(
+                "baseline check passed ({}% regression budget)",
+                max_regress * 100.0
+            );
+        } else {
+            for failure in &check.failures {
+                eprintln!("REGRESSION: {failure}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_summary(results: &[scenario::ScenarioResult]) {
+    println!(
+        "{:<20} {:<22} {:>9} {:>12} {:>9} {:>10} {:>10} {:>12}",
+        "scenario", "backend", "ops", "ops/s(sim)", "Gbps", "p50(ns)", "p99(ns)", "events/s(wall)"
+    );
+    for result in results {
+        for run in &result.runs {
+            println!(
+                "{:<20} {:<22} {:>9} {:>12.0} {:>9.2} {:>10.0} {:>10.0} {:>12.0}",
+                result.spec.name,
+                run.backend,
+                run.ops,
+                run.ops_per_sec,
+                run.gbps,
+                run.p50.as_ns_f64(),
+                run.p99.as_ns_f64(),
+                run.wall_events_per_sec,
+            );
+        }
+    }
+}

@@ -15,13 +15,22 @@
 //! | [`table1`] | Table 1 — simulation parameters |
 //! | [`table2`] | Table 2 — soNUMA vs. RDMA/InfiniBand |
 //! | [`ablations`] | design-point sweeps (CT$, MAQ, unrolling, topology) |
+//!
+//! Beyond the paper's figures, [`scenario`] is the config-driven harness:
+//! declarative [`scenario::ScenarioSpec`]s (flat TOML) executed across all
+//! three `RemoteBackend`s by the `sonuma-bench scenario` binary, reported
+//! as versioned machine-readable `BENCH.json` ([`json`] is the
+//! dependency-free JSON layer underneath), and gated in CI against
+//! `bench/baseline.json`.
 
 pub mod ablations;
 pub mod fig01;
 pub mod fig07;
 pub mod fig08;
 pub mod fig09;
+pub mod json;
 pub mod report;
+pub mod scenario;
 pub mod table1;
 pub mod table2;
 pub mod workloads;

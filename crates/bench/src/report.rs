@@ -9,7 +9,11 @@ use std::path::{Path, PathBuf};
 use sonuma_core::PipelineStats;
 
 /// A simple CSV table: header plus rows of stringified cells.
-#[derive(Debug, Clone, Default)]
+///
+/// Deliberately has no `Default`: a table with an empty header would make
+/// every [`CsvTable::row`] call panic, so the only constructor is
+/// [`CsvTable::new`] with explicit column names.
+#[derive(Debug, Clone)]
 pub struct CsvTable {
     header: Vec<String>,
     rows: Vec<Vec<String>>,
@@ -39,9 +43,21 @@ impl CsvTable {
         self.rows.len()
     }
 
-    /// Whether the table has no data rows.
+    /// Whether the table has no data rows (the `is_empty` twin clippy's
+    /// `len_without_is_empty` expects next to [`CsvTable::len`]).
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
+    }
+
+    /// The column names, in order.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// The data rows, in insertion order (read-back for consumers that
+    /// post-process tables instead of writing them straight to disk).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
     }
 
     /// Renders the table as CSV text.
@@ -128,6 +144,8 @@ mod tests {
         t.row(&["64".into(), cell(350.25)]);
         t.row(&["128".into(), cell(353.0)]);
         assert_eq!(t.len(), 2);
+        assert_eq!(t.header(), &["size".to_string(), "latency_ns".to_string()]);
+        assert_eq!(t.rows()[1][0], "128");
         let csv = t.to_csv();
         assert_eq!(csv, "size,latency_ns\n64,350.2500\n128,353.0000\n");
     }

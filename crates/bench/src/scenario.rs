@@ -1,0 +1,1219 @@
+//! Config-driven scenario harness: declarative cluster/workload specs,
+//! executed over every [`RemoteBackend`], reported as versioned
+//! machine-readable `BENCH.json`.
+//!
+//! A [`ScenarioSpec`] names everything an experiment needs — node count,
+//! fabric topology, platform, backend set, workload mix, operation size,
+//! per-node operation count, issue window, and the RNG seed — in a flat
+//! TOML file (`key = value` lines only; see [`ScenarioSpec::to_toml`]).
+//! The `sonuma-bench scenario` binary sweeps specs, drives each across the
+//! requested backends through the transport-agnostic `RemoteBackend`
+//! contract, and emits one report containing simulated throughput,
+//! p50/p99 latency, per-node RMC pipeline counters (soNUMA runs), and the
+//! host-side events/sec that the `bench-smoke` CI lane gates on.
+//!
+//! Everything except the `wall_*` fields is a pure function of the spec:
+//! two runs of the same spec + seed render byte-identical JSON once those
+//! fields are stripped, which the determinism test under `tests/` asserts.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Instant;
+
+use sonuma_baselines::{RdmaBackend, TcpBackend};
+use sonuma_core::{
+    MachineConfig, NodeId, PipelineStats, RemoteBackend, RemoteRequest, SonumaBackend,
+};
+use sonuma_fabric::FabricConfig;
+use sonuma_sim::stats::LatencyHistogram;
+use sonuma_sim::{DetRng, SimTime};
+
+use crate::json::Json;
+
+/// Version tag of the report format (bump on breaking schema changes).
+pub const REPORT_SCHEMA: &str = "sonuma-bench.scenario/v1";
+
+/// A transport a scenario runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The full soNUMA machine (`SonumaBackend`).
+    Sonuma,
+    /// The calibrated ConnectX-3-class RDMA model.
+    Rdma,
+    /// The calibrated Calxeda TCP/IP model.
+    Tcp,
+}
+
+impl BackendKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            BackendKind::Sonuma => "sonuma",
+            BackendKind::Rdma => "rdma",
+            BackendKind::Tcp => "tcp",
+        }
+    }
+}
+
+/// Which backends a spec requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendSel {
+    /// One specific transport.
+    One(BackendKind),
+    /// soNUMA, RDMA and TCP (the Table 2 trio).
+    All,
+}
+
+impl BackendSel {
+    /// The concrete backend list, in fixed report order.
+    pub fn kinds(self) -> Vec<BackendKind> {
+        match self {
+            BackendSel::One(k) => vec![k],
+            BackendSel::All => vec![BackendKind::Sonuma, BackendKind::Rdma, BackendKind::Tcp],
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            BackendSel::All => "all",
+            BackendSel::One(k) => k.as_str(),
+        }
+    }
+}
+
+/// Fabric arrangement for soNUMA runs (the modeled baselines have no
+/// topology; they ignore this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// Full crossbar, flat inter-node latency (Table 1).
+    Crossbar,
+    /// 2D torus, `w × h` nodes.
+    Torus2d(usize, usize),
+    /// 3D torus, `x × y × z` nodes.
+    Torus3d(usize, usize, usize),
+}
+
+impl TopologySpec {
+    fn to_config(self, nodes: usize) -> FabricConfig {
+        match self {
+            TopologySpec::Crossbar => FabricConfig::paper_crossbar(nodes),
+            TopologySpec::Torus2d(w, h) => FabricConfig::torus2d(w, h),
+            TopologySpec::Torus3d(x, y, z) => FabricConfig::torus3d(x, y, z),
+        }
+    }
+
+    fn render(self) -> String {
+        match self {
+            TopologySpec::Crossbar => "crossbar".to_string(),
+            TopologySpec::Torus2d(w, h) => format!("torus2d:{w}x{h}"),
+            TopologySpec::Torus3d(x, y, z) => format!("torus3d:{x}x{y}x{z}"),
+        }
+    }
+}
+
+/// Timing platform for soNUMA runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlatformSpec {
+    /// The paper's simulated-hardware platform (Table 1).
+    Hardware,
+    /// The Xen-based development platform (§7.1).
+    Dev,
+}
+
+/// Request stream shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Every node reads random offsets on uniformly random peers.
+    UniformRead,
+    /// Every node streams sequential reads from its ring successor.
+    NeighborRead,
+    /// Uniform destinations; each operation is a read with probability
+    /// `read_fraction`, otherwise a write.
+    Mixed,
+}
+
+impl WorkloadKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            WorkloadKind::UniformRead => "uniform-read",
+            WorkloadKind::NeighborRead => "neighbor-read",
+            WorkloadKind::Mixed => "mixed",
+        }
+    }
+}
+
+/// A declarative scenario: everything one benchmark run needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (report key; also the baseline-matching key).
+    pub name: String,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Fabric arrangement (soNUMA runs).
+    pub topology: TopologySpec,
+    /// Timing platform (soNUMA runs).
+    pub platform: PlatformSpec,
+    /// Transports to execute.
+    pub backend: BackendSel,
+    /// Request stream shape.
+    pub workload: WorkloadKind,
+    /// Probability an operation is a read (`mixed` workload only).
+    pub read_fraction: f64,
+    /// Payload bytes per operation (cache-line multiple).
+    pub op_bytes: u64,
+    /// Operations each node issues.
+    pub ops_per_node: u64,
+    /// Maximum operations a node keeps in flight.
+    pub window: usize,
+    /// Per-node globally readable segment size.
+    pub segment_bytes: u64,
+    /// Seed for every stochastic workload decision.
+    pub seed: u64,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        ScenarioSpec {
+            name: String::new(),
+            nodes: 0,
+            topology: TopologySpec::Crossbar,
+            platform: PlatformSpec::Hardware,
+            backend: BackendSel::All,
+            workload: WorkloadKind::UniformRead,
+            read_fraction: 0.5,
+            op_bytes: 64,
+            ops_per_node: 128,
+            window: 16,
+            segment_bytes: 1 << 20,
+            seed: 42,
+        }
+    }
+}
+
+/// Why a spec failed to load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The text is not valid flat TOML (`line`, `message`).
+    Parse(usize, String),
+    /// The values are syntactically fine but semantically invalid.
+    Invalid(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Parse(line, msg) => write!(f, "line {line}: {msg}"),
+            SpecError::Invalid(msg) => write!(f, "invalid spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl ScenarioSpec {
+    /// Checks every cross-field constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let err = |msg: String| Err(SpecError::Invalid(msg));
+        if self.name.is_empty() {
+            return err("name must be nonempty".into());
+        }
+        if self.nodes < 2 {
+            return err(format!(
+                "nodes = {} (remote ops need at least 2)",
+                self.nodes
+            ));
+        }
+        if self.nodes > u16::MAX as usize {
+            return err(format!("nodes = {} exceeds the NodeId space", self.nodes));
+        }
+        match self.topology {
+            TopologySpec::Crossbar => {}
+            TopologySpec::Torus2d(w, h) => {
+                if w * h != self.nodes || w < 2 || h < 2 {
+                    return err(format!(
+                        "torus2d:{w}x{h} does not arrange {} nodes",
+                        self.nodes
+                    ));
+                }
+            }
+            TopologySpec::Torus3d(x, y, z) => {
+                if x * y * z != self.nodes || x < 2 || y < 2 || z < 2 {
+                    return err(format!(
+                        "torus3d:{x}x{y}x{z} does not arrange {} nodes",
+                        self.nodes
+                    ));
+                }
+            }
+        }
+        if self.op_bytes == 0 || !self.op_bytes.is_multiple_of(64) || self.op_bytes > 8192 {
+            return err(format!(
+                "op_bytes = {} (must be a cache-line multiple in 64..=8192)",
+                self.op_bytes
+            ));
+        }
+        if self.ops_per_node == 0 {
+            return err("ops_per_node must be positive".into());
+        }
+        if self.window == 0 || self.window > 64 {
+            return err(format!("window = {} (must be 1..=64)", self.window));
+        }
+        if !(0.0..=1.0).contains(&self.read_fraction) {
+            return err(format!(
+                "read_fraction = {} out of [0, 1]",
+                self.read_fraction
+            ));
+        }
+        if self.segment_bytes < self.op_bytes * 2 || self.segment_bytes > (1 << 30) {
+            return err(format!(
+                "segment_bytes = {} (need 2*op_bytes..=1 GiB)",
+                self.segment_bytes
+            ));
+        }
+        Ok(())
+    }
+
+    /// Renders the spec as flat TOML, the format [`ScenarioSpec::from_toml`]
+    /// reads back (round-trip stable).
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# sonuma-bench scenario spec\n");
+        out.push_str(&format!("name = \"{}\"\n", self.name));
+        out.push_str(&format!("nodes = {}\n", self.nodes));
+        out.push_str(&format!("topology = \"{}\"\n", self.topology.render()));
+        out.push_str(&format!(
+            "platform = \"{}\"\n",
+            match self.platform {
+                PlatformSpec::Hardware => "hardware",
+                PlatformSpec::Dev => "dev",
+            }
+        ));
+        out.push_str(&format!("backend = \"{}\"\n", self.backend.as_str()));
+        out.push_str(&format!("workload = \"{}\"\n", self.workload.as_str()));
+        out.push_str(&format!("read_fraction = {}\n", self.read_fraction));
+        out.push_str(&format!("op_bytes = {}\n", self.op_bytes));
+        out.push_str(&format!("ops_per_node = {}\n", self.ops_per_node));
+        out.push_str(&format!("window = {}\n", self.window));
+        out.push_str(&format!("segment_bytes = {}\n", self.segment_bytes));
+        out.push_str(&format!("seed = {}\n", self.seed));
+        out
+    }
+
+    /// Parses a flat TOML spec (comments and blank lines allowed; every
+    /// key checked; unknown keys rejected).
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Parse`] on malformed lines, [`SpecError::Invalid`] on
+    /// constraint violations.
+    pub fn from_toml(text: &str) -> Result<ScenarioSpec, SpecError> {
+        let mut spec = ScenarioSpec::default();
+        let mut saw_name = false;
+        let mut saw_nodes = false;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let parse_err = |msg: &str| SpecError::Parse(lineno, msg.to_string());
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| parse_err("expected `key = value`"))?;
+            let key = key.trim();
+            let value = parse_scalar(value.trim()).map_err(|m| SpecError::Parse(lineno, m))?;
+            match key {
+                "name" => {
+                    spec.name = value.into_string(lineno, "name")?;
+                    saw_name = true;
+                }
+                "nodes" => {
+                    spec.nodes = value.into_u64(lineno, "nodes")? as usize;
+                    saw_nodes = true;
+                }
+                "topology" => {
+                    spec.topology = parse_topology(&value.into_string(lineno, "topology")?)
+                        .map_err(|m| SpecError::Parse(lineno, m))?;
+                }
+                "platform" => {
+                    spec.platform = match value.into_string(lineno, "platform")?.as_str() {
+                        "hardware" => PlatformSpec::Hardware,
+                        "dev" => PlatformSpec::Dev,
+                        other => {
+                            return Err(SpecError::Parse(
+                                lineno,
+                                format!("unknown platform {other:?} (hardware|dev)"),
+                            ))
+                        }
+                    };
+                }
+                "backend" => {
+                    spec.backend = match value.into_string(lineno, "backend")?.as_str() {
+                        "all" => BackendSel::All,
+                        "sonuma" => BackendSel::One(BackendKind::Sonuma),
+                        "rdma" => BackendSel::One(BackendKind::Rdma),
+                        "tcp" => BackendSel::One(BackendKind::Tcp),
+                        other => {
+                            return Err(SpecError::Parse(
+                                lineno,
+                                format!("unknown backend {other:?} (sonuma|rdma|tcp|all)"),
+                            ))
+                        }
+                    };
+                }
+                "workload" => {
+                    spec.workload = match value.into_string(lineno, "workload")?.as_str() {
+                        "uniform-read" => WorkloadKind::UniformRead,
+                        "neighbor-read" => WorkloadKind::NeighborRead,
+                        "mixed" => WorkloadKind::Mixed,
+                        other => {
+                            return Err(SpecError::Parse(
+                                lineno,
+                                format!(
+                                    "unknown workload {other:?} \
+                                     (uniform-read|neighbor-read|mixed)"
+                                ),
+                            ))
+                        }
+                    };
+                }
+                "read_fraction" => spec.read_fraction = value.into_f64(lineno, "read_fraction")?,
+                "op_bytes" => spec.op_bytes = value.into_u64(lineno, "op_bytes")?,
+                "ops_per_node" => spec.ops_per_node = value.into_u64(lineno, "ops_per_node")?,
+                "window" => spec.window = value.into_u64(lineno, "window")? as usize,
+                "segment_bytes" => spec.segment_bytes = value.into_u64(lineno, "segment_bytes")?,
+                "seed" => spec.seed = value.into_u64(lineno, "seed")?,
+                other => {
+                    return Err(SpecError::Parse(lineno, format!("unknown key {other:?}")));
+                }
+            }
+        }
+        if !saw_name {
+            return Err(SpecError::Invalid("missing required key `name`".into()));
+        }
+        if !saw_nodes {
+            return Err(SpecError::Invalid("missing required key `nodes`".into()));
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Human-readable topology label (`crossbar`, `torus2d:4x4`, ...).
+    pub fn topology_label(&self) -> String {
+        self.topology.render()
+    }
+
+    /// Human-readable workload label.
+    pub fn workload_label(&self) -> &'static str {
+        self.workload.as_str()
+    }
+
+    /// Human-readable backend-selection label.
+    pub fn backend_label(&self) -> &'static str {
+        self.backend.as_str()
+    }
+
+    /// The spec as an ordered JSON object (embedded in the report).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("nodes".into(), Json::Num(self.nodes as f64)),
+            ("topology".into(), Json::Str(self.topology.render())),
+            (
+                "platform".into(),
+                Json::Str(
+                    match self.platform {
+                        PlatformSpec::Hardware => "hardware",
+                        PlatformSpec::Dev => "dev",
+                    }
+                    .into(),
+                ),
+            ),
+            ("backend".into(), Json::Str(self.backend.as_str().into())),
+            ("workload".into(), Json::Str(self.workload.as_str().into())),
+            ("read_fraction".into(), Json::Num(self.read_fraction)),
+            ("op_bytes".into(), Json::Num(self.op_bytes as f64)),
+            ("ops_per_node".into(), Json::Num(self.ops_per_node as f64)),
+            ("window".into(), Json::Num(self.window as f64)),
+            ("segment_bytes".into(), Json::Num(self.segment_bytes as f64)),
+            ("seed".into(), Json::Num(self.seed as f64)),
+        ])
+    }
+}
+
+/// A scalar TOML value: quoted string or bare number.
+enum Scalar {
+    Str(String),
+    Num(String),
+}
+
+impl Scalar {
+    fn into_string(self, lineno: usize, key: &str) -> Result<String, SpecError> {
+        match self {
+            Scalar::Str(s) => Ok(s),
+            Scalar::Num(_) => Err(SpecError::Parse(
+                lineno,
+                format!("{key} must be a quoted string"),
+            )),
+        }
+    }
+
+    fn into_u64(self, lineno: usize, key: &str) -> Result<u64, SpecError> {
+        match self {
+            Scalar::Num(n) => n
+                .parse::<u64>()
+                .map_err(|_| SpecError::Parse(lineno, format!("{key} must be an integer"))),
+            Scalar::Str(_) => Err(SpecError::Parse(
+                lineno,
+                format!("{key} must be an unquoted integer"),
+            )),
+        }
+    }
+
+    fn into_f64(self, lineno: usize, key: &str) -> Result<f64, SpecError> {
+        match self {
+            Scalar::Num(n) => n
+                .parse::<f64>()
+                .map_err(|_| SpecError::Parse(lineno, format!("{key} must be a number"))),
+            Scalar::Str(_) => Err(SpecError::Parse(
+                lineno,
+                format!("{key} must be an unquoted number"),
+            )),
+        }
+    }
+}
+
+fn parse_scalar(value: &str) -> Result<Scalar, String> {
+    if let Some(rest) = value.strip_prefix('"') {
+        let end = rest.find('"').ok_or("unterminated string")?;
+        let tail = rest[end + 1..].trim();
+        if !tail.is_empty() && !tail.starts_with('#') {
+            return Err(format!("trailing garbage after string: {tail:?}"));
+        }
+        return Ok(Scalar::Str(rest[..end].to_string()));
+    }
+    let bare = match value.find('#') {
+        Some(i) => value[..i].trim(),
+        None => value,
+    };
+    if bare.is_empty() {
+        return Err("empty value".to_string());
+    }
+    Ok(Scalar::Num(bare.to_string()))
+}
+
+fn parse_topology(text: &str) -> Result<TopologySpec, String> {
+    if text == "crossbar" {
+        return Ok(TopologySpec::Crossbar);
+    }
+    let dims = |spec: &str| -> Result<Vec<usize>, String> {
+        spec.split('x')
+            .map(|d| {
+                d.parse::<usize>()
+                    .map_err(|_| format!("bad dimension {d:?}"))
+            })
+            .collect()
+    };
+    if let Some(rest) = text.strip_prefix("torus2d:") {
+        let d = dims(rest)?;
+        if d.len() != 2 {
+            return Err("torus2d needs WxH".to_string());
+        }
+        return Ok(TopologySpec::Torus2d(d[0], d[1]));
+    }
+    if let Some(rest) = text.strip_prefix("torus3d:") {
+        let d = dims(rest)?;
+        if d.len() != 3 {
+            return Err("torus3d needs XxYxZ".to_string());
+        }
+        return Ok(TopologySpec::Torus3d(d[0], d[1], d[2]));
+    }
+    Err(format!(
+        "unknown topology {text:?} (crossbar|torus2d:WxH|torus3d:XxYxZ)"
+    ))
+}
+
+// ---------------------------------------------------------------------
+// Execution.
+// ---------------------------------------------------------------------
+
+/// Metrics of one spec running over one backend.
+#[derive(Debug, Clone)]
+pub struct BackendRun {
+    /// Transport label (`RemoteBackend::label`).
+    pub backend: String,
+    /// Operations completed.
+    pub ops: u64,
+    /// Payload bytes moved by completed operations.
+    pub payload_bytes: u64,
+    /// Operations that completed with an error status.
+    pub errors: u64,
+    /// Total simulated time.
+    pub sim_time: SimTime,
+    /// Completed operations per simulated second.
+    pub ops_per_sec: f64,
+    /// Payload bandwidth over simulated time, Gbps.
+    pub gbps: f64,
+    /// Median post-to-completion latency.
+    pub p50: SimTime,
+    /// 99th-percentile post-to-completion latency.
+    pub p99: SimTime,
+    /// Mean post-to-completion latency.
+    pub mean: SimTime,
+    /// Discrete events the backend's engine executed.
+    pub events: u64,
+    /// Host wall-clock seconds the run took.
+    pub wall_secs: f64,
+    /// Host-side engine throughput: `events / wall_secs`. This is the
+    /// metric the CI bench-smoke lane gates on.
+    pub wall_events_per_sec: f64,
+    /// Cluster-wide pipeline counters (soNUMA runs only).
+    pub pipeline_total: Option<PipelineStats>,
+    /// Per-node pipeline counters, indexed by node id (soNUMA runs only).
+    pub per_node: Vec<PipelineStats>,
+}
+
+/// One executed scenario: the spec plus one run per backend.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// The spec that was executed.
+    pub spec: ScenarioSpec,
+    /// One entry per requested backend, in [`BackendSel::kinds`] order.
+    pub runs: Vec<BackendRun>,
+}
+
+enum BackendInstance {
+    Sonuma(Box<SonumaBackend>),
+    Rdma(Box<RdmaBackend>),
+    Tcp(Box<TcpBackend>),
+}
+
+impl BackendInstance {
+    fn build(spec: &ScenarioSpec, kind: BackendKind) -> BackendInstance {
+        match kind {
+            BackendKind::Sonuma => {
+                let mut config = match spec.platform {
+                    PlatformSpec::Hardware => MachineConfig::simulated_hardware(spec.nodes),
+                    PlatformSpec::Dev => MachineConfig::dev_platform(spec.nodes),
+                };
+                config.fabric = spec.topology.to_config(spec.nodes);
+                BackendInstance::Sonuma(Box::new(SonumaBackend::new(config, spec.segment_bytes)))
+            }
+            BackendKind::Rdma => BackendInstance::Rdma(Box::new(RdmaBackend::connectx3(
+                spec.nodes,
+                spec.segment_bytes,
+            ))),
+            BackendKind::Tcp => BackendInstance::Tcp(Box::new(TcpBackend::calxeda(
+                spec.nodes,
+                spec.segment_bytes,
+            ))),
+        }
+    }
+
+    fn as_dyn(&mut self) -> &mut dyn RemoteBackend {
+        match self {
+            BackendInstance::Sonuma(b) => b.as_mut(),
+            BackendInstance::Rdma(b) => b.as_mut(),
+            BackendInstance::Tcp(b) => b.as_mut(),
+        }
+    }
+}
+
+/// Deterministic per-node request generator.
+struct RequestGen {
+    rng: DetRng,
+    issued: u64,
+}
+
+impl RequestGen {
+    fn next(&mut self, spec: &ScenarioSpec, node: usize) -> RemoteRequest {
+        let i = self.issued;
+        self.issued += 1;
+        let slots = (spec.segment_bytes - spec.op_bytes) / 64;
+        let peer = |rng: &mut DetRng| {
+            let d = rng.below(spec.nodes as u64 - 1);
+            let d = if d >= node as u64 { d + 1 } else { d };
+            NodeId(d as u16)
+        };
+        match spec.workload {
+            WorkloadKind::UniformRead => {
+                let dst = peer(&mut self.rng);
+                let offset = self.rng.below(slots + 1) * 64;
+                RemoteRequest::read(dst, offset, spec.op_bytes)
+            }
+            WorkloadKind::NeighborRead => {
+                let dst = NodeId(((node + 1) % spec.nodes) as u16);
+                let offset = (i * spec.op_bytes) % (slots * 64).max(64);
+                RemoteRequest::read(dst, offset / 64 * 64, spec.op_bytes)
+            }
+            WorkloadKind::Mixed => {
+                let dst = peer(&mut self.rng);
+                let offset = self.rng.below(slots + 1) * 64;
+                if self.rng.chance(spec.read_fraction) {
+                    RemoteRequest::read(dst, offset, spec.op_bytes)
+                } else {
+                    let fill = (node as u8) ^ (i as u8) ^ 0xA5;
+                    RemoteRequest::write(dst, offset, vec![fill; spec.op_bytes as usize])
+                }
+            }
+        }
+    }
+}
+
+/// Drives `spec`'s request stream over one backend to completion.
+///
+/// Latencies are measured post-to-observation: a completion is
+/// timestamped with `backend.now()` at the poll following the `advance`
+/// burst that executed it, so they are exact for the one-event-per-call
+/// baselines and late by at most one burst's simulated span (64 engine
+/// events) for soNUMA.
+fn drive(spec: &ScenarioSpec, backend: &mut dyn RemoteBackend) -> BackendRun {
+    let nodes = spec.nodes;
+    let started = Instant::now();
+    let mut root = DetRng::seed(spec.seed);
+    let mut gens: Vec<RequestGen> = (0..nodes)
+        .map(|n| RequestGen {
+            rng: root.fork(n as u64),
+            issued: 0,
+        })
+        .collect();
+    // token -> (post time ps, payload bytes); filled at post, drained at
+    // completion. Never iterated, so the HashMap order cannot leak into
+    // the results.
+    let mut pending: Vec<HashMap<u64, (u64, u64)>> = (0..nodes).map(|_| HashMap::new()).collect();
+    let mut remaining: Vec<u64> = vec![spec.ops_per_node; nodes];
+    let mut hist = LatencyHistogram::new();
+    let mut ops = 0u64;
+    let mut payload_bytes = 0u64;
+    let mut errors = 0u64;
+
+    loop {
+        let mut posted_any = false;
+        for n in 0..nodes {
+            while remaining[n] > 0 && pending[n].len() < spec.window {
+                let req = gens[n].next(spec, n);
+                let bytes = spec.op_bytes;
+                match backend.post(NodeId(n as u16), req) {
+                    Ok(token) => {
+                        pending[n].insert(token, (backend.now().as_ps(), bytes));
+                        remaining[n] -= 1;
+                        posted_any = true;
+                    }
+                    Err(sonuma_core::BackendError::Backpressure) => break,
+                    Err(e) => panic!("scenario {} post failed on {n}: {e}", spec.name),
+                }
+            }
+        }
+        let more = backend.advance();
+        for (n, node_pending) in pending.iter_mut().enumerate() {
+            for c in backend.poll(NodeId(n as u16)) {
+                let (posted_ps, bytes) = node_pending
+                    .remove(&c.token)
+                    .expect("completion for unknown token");
+                hist.record(backend.now().saturating_sub(SimTime::from_ps(posted_ps)));
+                ops += 1;
+                if c.status.is_ok() {
+                    payload_bytes += bytes;
+                } else {
+                    errors += 1;
+                }
+            }
+        }
+        let inflight: usize = pending.iter().map(HashMap::len).sum();
+        if !more && !posted_any && inflight == 0 && remaining.iter().all(|&r| r == 0) {
+            break;
+        }
+    }
+
+    let sim_time = backend.now();
+    let wall_secs = started.elapsed().as_secs_f64();
+    let events = backend.events_processed();
+    BackendRun {
+        backend: backend.label().to_string(),
+        ops,
+        payload_bytes,
+        errors,
+        sim_time,
+        ops_per_sec: sonuma_sim::stats::ops_per_sec(ops, sim_time),
+        gbps: sonuma_sim::stats::gbps(payload_bytes, sim_time),
+        p50: hist.percentile(0.50),
+        p99: hist.percentile(0.99),
+        mean: hist.mean(),
+        events,
+        wall_secs,
+        wall_events_per_sec: if wall_secs > 0.0 {
+            events as f64 / wall_secs
+        } else {
+            0.0
+        },
+        // Pipeline counters are attached by `run_spec` for soNUMA runs.
+        pipeline_total: None,
+        per_node: Vec::new(),
+    }
+}
+
+/// How many times each (spec, backend) pair is driven for wall-clock
+/// timing. The simulated metrics come from the first drive (they are
+/// identical across repetitions by construction); the reported
+/// `wall_events_per_sec` is the best of the repetitions, the standard
+/// antidote to scheduler noise in a CI-gated throughput number.
+pub const TIMING_REPS: u32 = 3;
+
+/// Executes one spec over every backend it requests.
+///
+/// # Panics
+///
+/// Panics if the spec fails [`ScenarioSpec::validate`] or a post is
+/// rejected for a non-backpressure reason (both indicate harness bugs —
+/// specs are validated at load time).
+pub fn run_spec(spec: &ScenarioSpec) -> ScenarioResult {
+    spec.validate().expect("spec validated at load time");
+    let mut runs = Vec::new();
+    for kind in spec.backend.kinds() {
+        let mut instance = BackendInstance::build(spec, kind);
+        let mut run = drive(spec, instance.as_dyn());
+        if let BackendInstance::Sonuma(b) = &instance {
+            run.per_node = (0..spec.nodes)
+                .map(|n| b.cluster().pipeline_stats(NodeId(n as u16)))
+                .collect();
+            run.pipeline_total = Some(b.cluster().total_pipeline_stats());
+        }
+        for _ in 1..TIMING_REPS {
+            let mut retimed = BackendInstance::build(spec, kind);
+            let rep = drive(spec, retimed.as_dyn());
+            debug_assert_eq!(rep.events, run.events, "repetitions must be identical");
+            if rep.wall_events_per_sec > run.wall_events_per_sec {
+                run.wall_events_per_sec = rep.wall_events_per_sec;
+                run.wall_secs = rep.wall_secs;
+            }
+        }
+        runs.push(run);
+    }
+    ScenarioResult {
+        spec: spec.clone(),
+        runs,
+    }
+}
+
+/// Executes a list of specs in order.
+pub fn run_specs(specs: &[ScenarioSpec]) -> Vec<ScenarioResult> {
+    specs.iter().map(run_spec).collect()
+}
+
+// ---------------------------------------------------------------------
+// Reporting.
+// ---------------------------------------------------------------------
+
+fn stats_json(stats: &PipelineStats) -> Json {
+    Json::Obj(
+        stats
+            .rows()
+            .iter()
+            .map(|&(name, value)| (name.to_string(), Json::Num(value as f64)))
+            .collect(),
+    )
+}
+
+fn run_json(run: &BackendRun) -> Json {
+    let mut members = vec![
+        ("backend".to_string(), Json::Str(run.backend.clone())),
+        ("ops".to_string(), Json::Num(run.ops as f64)),
+        (
+            "payload_bytes".to_string(),
+            Json::Num(run.payload_bytes as f64),
+        ),
+        ("errors".to_string(), Json::Num(run.errors as f64)),
+        ("sim_us".to_string(), Json::Num(run.sim_time.as_us_f64())),
+        ("ops_per_sec".to_string(), Json::Num(run.ops_per_sec)),
+        ("gbps".to_string(), Json::Num(run.gbps)),
+        ("lat_p50_ns".to_string(), Json::Num(run.p50.as_ns_f64())),
+        ("lat_p99_ns".to_string(), Json::Num(run.p99.as_ns_f64())),
+        ("lat_mean_ns".to_string(), Json::Num(run.mean.as_ns_f64())),
+        ("events".to_string(), Json::Num(run.events as f64)),
+        ("wall_secs".to_string(), Json::Num(run.wall_secs)),
+        (
+            "wall_events_per_sec".to_string(),
+            Json::Num(run.wall_events_per_sec),
+        ),
+    ];
+    if let Some(total) = &run.pipeline_total {
+        members.push(("pipeline_total".to_string(), stats_json(total)));
+        members.push((
+            "per_node".to_string(),
+            Json::Arr(run.per_node.iter().map(stats_json).collect()),
+        ));
+    }
+    Json::Obj(members)
+}
+
+/// Measures this machine's single-core event throughput: the legacy
+/// boxed-closure engine draining a fixed pseudorandom 100k-event workload
+/// (best of three). Reports store this next to their absolute events/sec
+/// so [`check_baseline`] can compare runs from different machines by the
+/// *ratio* to the host's own calibration instead of raw wall-clock rates.
+pub fn calibrate() -> f64 {
+    const N: u64 = 100_000;
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let started = Instant::now();
+        let mut engine: sonuma_sim::Engine<u64> = sonuma_sim::Engine::new();
+        let mut acc = 0u64;
+        let mut seed = 0x243F_6A88_85A3_08D3u64;
+        for _ in 0..N {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            let salt = seed;
+            engine.schedule_at(
+                SimTime::from_ps(seed % 5_000_000_000),
+                move |w: &mut u64, _| {
+                    *w = w.wrapping_add(salt);
+                },
+            );
+        }
+        engine.run(&mut acc);
+        assert_ne!(acc, 0);
+        best = best.max(N as f64 / started.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Builds the versioned report document from executed scenarios.
+pub fn report(results: &[ScenarioResult]) -> Json {
+    report_inner(results, None)
+}
+
+/// As [`report`], embedding a host calibration (see [`calibrate`]) so the
+/// report can gate — and be gated — across machines.
+pub fn report_calibrated(results: &[ScenarioResult], boxed_events_per_sec: f64) -> Json {
+    report_inner(results, Some(boxed_events_per_sec))
+}
+
+fn report_inner(results: &[ScenarioResult], calibration: Option<f64>) -> Json {
+    let mut members = vec![("schema".to_string(), Json::Str(REPORT_SCHEMA.into()))];
+    if let Some(eps) = calibration {
+        members.push((
+            "calibration".to_string(),
+            Json::Obj(vec![(
+                "wall_boxed_events_per_sec".to_string(),
+                Json::Num(eps),
+            )]),
+        ));
+    }
+    members.push((
+        "scenarios".to_string(),
+        Json::Arr(
+            results
+                .iter()
+                .map(|r| {
+                    Json::Obj(vec![
+                        ("spec".into(), r.spec.to_json()),
+                        (
+                            "runs".into(),
+                            Json::Arr(r.runs.iter().map(run_json).collect()),
+                        ),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    Json::Obj(members)
+}
+
+/// Checks that a parsed document is a well-formed scenario report.
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation.
+pub fn validate_report(doc: &Json) -> Result<(), String> {
+    match doc.str_of("schema") {
+        Some(REPORT_SCHEMA) => {}
+        Some(other) => return Err(format!("unknown schema {other:?}")),
+        None => return Err("missing schema tag".to_string()),
+    }
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(Json::as_arr)
+        .ok_or("missing scenarios array")?;
+    if scenarios.is_empty() {
+        return Err("empty scenarios array".to_string());
+    }
+    for (i, sc) in scenarios.iter().enumerate() {
+        let spec = sc
+            .get("spec")
+            .ok_or(format!("scenario {i}: missing spec"))?;
+        let name = spec
+            .str_of("name")
+            .ok_or(format!("scenario {i}: spec has no name"))?;
+        spec.u64_of("nodes")
+            .filter(|&n| n >= 2)
+            .ok_or(format!("scenario {name}: bad nodes"))?;
+        spec.u64_of("seed")
+            .ok_or(format!("scenario {name}: no seed"))?;
+        let runs = sc
+            .get("runs")
+            .and_then(Json::as_arr)
+            .ok_or(format!("scenario {name}: missing runs"))?;
+        if runs.is_empty() {
+            return Err(format!("scenario {name}: no runs"));
+        }
+        for run in runs {
+            let backend = run
+                .str_of("backend")
+                .ok_or(format!("scenario {name}: run without backend"))?;
+            for key in [
+                "ops",
+                "payload_bytes",
+                "errors",
+                "sim_us",
+                "ops_per_sec",
+                "gbps",
+                "lat_p50_ns",
+                "lat_p99_ns",
+                "events",
+                "wall_secs",
+                "wall_events_per_sec",
+            ] {
+                run.f64_of(key)
+                    .ok_or(format!("scenario {name}/{backend}: missing {key}"))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Outcome of comparing a fresh report against a checked-in baseline.
+#[derive(Debug, Default)]
+pub struct BaselineCheck {
+    /// `(scenario, backend)` pairs that regressed, with details.
+    pub failures: Vec<String>,
+    /// Informational lines (sim-metric drift, missing counterparts).
+    pub notes: Vec<String>,
+}
+
+/// Pairs whose baseline executed fewer events than this are too short for
+/// a meaningful wall-clock rate (sub-10 ms runs are scheduler noise); they
+/// are excluded from per-pair gating but still count toward the aggregate.
+pub const MIN_GATED_EVENTS: u64 = 100_000;
+
+#[derive(Debug)]
+struct RunRow {
+    name: String,
+    backend: String,
+    eps: f64,
+    sim_us: f64,
+    events: f64,
+    wall_secs: f64,
+}
+
+fn run_rows(doc: &Json) -> Vec<RunRow> {
+    let mut out = Vec::new();
+    if let Some(scenarios) = doc.get("scenarios").and_then(Json::as_arr) {
+        for sc in scenarios {
+            let name = sc
+                .get("spec")
+                .and_then(|s| s.str_of("name"))
+                .unwrap_or("?")
+                .to_string();
+            if let Some(runs) = sc.get("runs").and_then(Json::as_arr) {
+                for run in runs {
+                    out.push(RunRow {
+                        name: name.clone(),
+                        backend: run.str_of("backend").unwrap_or("?").to_string(),
+                        eps: run.f64_of("wall_events_per_sec").unwrap_or(0.0),
+                        sim_us: run.f64_of("sim_us").unwrap_or(0.0),
+                        events: run.f64_of("events").unwrap_or(0.0),
+                        wall_secs: run.f64_of("wall_secs").unwrap_or(0.0),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The host calibration embedded in a report, if present and sane.
+fn calibration_of(doc: &Json) -> Option<f64> {
+    doc.get("calibration")
+        .and_then(|c| c.f64_of("wall_boxed_events_per_sec"))
+        .filter(|&x| x > 0.0)
+}
+
+/// Compares wall-clock events/sec of `current` against `baseline`.
+///
+/// When both reports embed a host calibration (see [`calibrate`]), rates
+/// are compared *relative to each host's calibration*, so a baseline
+/// recorded on one machine meaningfully gates a run on another; without
+/// calibration the comparison falls back to absolute rates (noted).
+///
+/// Two gates, both with budget `max_regress` (e.g. `0.20`):
+///
+/// * per `(scenario, backend)` pair, for pairs whose baseline executed at
+///   least [`MIN_GATED_EVENTS`] events;
+/// * the aggregate `Σ events / Σ wall_secs` across every matched pair,
+///   which is the overall typed-engine throughput the tentpole protects.
+///
+/// Simulated-metric drift and current runs with no baseline counterpart
+/// (i.e. not gated at all) are reported as notes, not failures — both
+/// mean the baseline wants regenerating.
+pub fn check_baseline(current: &Json, baseline: &Json, max_regress: f64) -> BaselineCheck {
+    let mut check = BaselineCheck::default();
+    let cur = run_rows(current);
+    let base_rows = run_rows(baseline);
+    // Normalization divisors: each host's own calibration, or 1.0 for the
+    // absolute fallback when either side lacks one.
+    let (cur_calib, base_calib) = match (calibration_of(current), calibration_of(baseline)) {
+        (Some(c), Some(b)) => (c, b),
+        _ => {
+            check.notes.push(
+                "no calibration on one or both reports; comparing absolute \
+                 events/sec (hardware differences count as regressions)"
+                    .to_string(),
+            );
+            (1.0, 1.0)
+        }
+    };
+    let (mut base_events, mut base_wall) = (0.0f64, 0.0f64);
+    let (mut cur_events, mut cur_wall) = (0.0f64, 0.0f64);
+    for base in &base_rows {
+        let Some(row) = cur
+            .iter()
+            .find(|r| r.name == base.name && r.backend == base.backend)
+        else {
+            check.failures.push(format!(
+                "{}/{}: present in baseline, missing in run",
+                base.name, base.backend
+            ));
+            continue;
+        };
+        base_events += base.events;
+        base_wall += base.wall_secs;
+        cur_events += row.events;
+        cur_wall += row.wall_secs;
+        let base_rel = base.eps / base_calib;
+        let cur_rel = row.eps / cur_calib;
+        let floor = base_rel * (1.0 - max_regress);
+        if base.events < MIN_GATED_EVENTS as f64 {
+            check.notes.push(format!(
+                "{}/{}: only {:.0} events in baseline, below the {} gating \
+                 floor; counted in the aggregate only",
+                base.name, base.backend, base.events, MIN_GATED_EVENTS
+            ));
+        } else if cur_rel < floor {
+            check.failures.push(format!(
+                "{}/{}: {:.3} x-calibration events/sec < {:.3} \
+                 (baseline {:.3}, max regression {:.0}%)",
+                base.name,
+                base.backend,
+                cur_rel,
+                floor,
+                base_rel,
+                max_regress * 100.0
+            ));
+        }
+        if (row.sim_us - base.sim_us).abs() > base.sim_us * 1e-9 {
+            check.notes.push(format!(
+                "{}/{}: simulated time drifted ({:.3} us -> {:.3} us); \
+                 regenerate bench/baseline.json if intended",
+                base.name, base.backend, base.sim_us, row.sim_us
+            ));
+        }
+    }
+    // Runs with no baseline counterpart are not gated — surface that.
+    for row in &cur {
+        if !base_rows
+            .iter()
+            .any(|b| b.name == row.name && b.backend == row.backend)
+        {
+            check.notes.push(format!(
+                "{}/{}: not in baseline, events/sec not gated; regenerate \
+                 bench/baseline.json to cover it",
+                row.name, row.backend
+            ));
+        }
+    }
+    if base_wall > 0.0 && cur_wall > 0.0 {
+        let base_agg = base_events / base_wall / base_calib;
+        let cur_agg = cur_events / cur_wall / cur_calib;
+        let floor = base_agg * (1.0 - max_regress);
+        if cur_agg < floor {
+            check.failures.push(format!(
+                "aggregate: {cur_agg:.3} x-calibration events/sec < {floor:.3} \
+                 (baseline {base_agg:.3}, max regression {:.0}%)",
+                max_regress * 100.0
+            ));
+        }
+    }
+    check
+}
+
+// ---------------------------------------------------------------------
+// Canned specs.
+// ---------------------------------------------------------------------
+
+/// The three small specs the CI `bench-smoke` lane runs.
+pub fn smoke_specs() -> Vec<ScenarioSpec> {
+    vec![
+        ScenarioSpec {
+            name: "smoke-uniform-8".into(),
+            nodes: 8,
+            backend: BackendSel::All,
+            workload: WorkloadKind::UniformRead,
+            op_bytes: 256,
+            ops_per_node: 1500,
+            window: 12,
+            seed: 7,
+            ..ScenarioSpec::default()
+        },
+        ScenarioSpec {
+            name: "smoke-torus-16".into(),
+            nodes: 16,
+            topology: TopologySpec::Torus2d(4, 4),
+            backend: BackendSel::One(BackendKind::Sonuma),
+            workload: WorkloadKind::NeighborRead,
+            op_bytes: 1024,
+            ops_per_node: 400,
+            window: 8,
+            seed: 11,
+            ..ScenarioSpec::default()
+        },
+        ScenarioSpec {
+            name: "smoke-mixed-4".into(),
+            nodes: 4,
+            backend: BackendSel::All,
+            workload: WorkloadKind::Mixed,
+            read_fraction: 0.75,
+            op_bytes: 128,
+            ops_per_node: 2000,
+            window: 16,
+            seed: 13,
+            ..ScenarioSpec::default()
+        },
+    ]
+}
+
+/// The rack-scale scenario: 512 soNUMA nodes streaming neighbor reads —
+/// the scale the paper's §6 fabric discussion targets.
+pub fn rack512_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "rack512-neighbor".into(),
+        nodes: 512,
+        backend: BackendSel::One(BackendKind::Sonuma),
+        workload: WorkloadKind::NeighborRead,
+        op_bytes: 512,
+        ops_per_node: 8,
+        window: 4,
+        segment_bytes: 1 << 18,
+        seed: 99,
+        ..ScenarioSpec::default()
+    }
+}
+
+/// Every canned spec, addressable by name from the CLI.
+pub fn canned_specs() -> Vec<ScenarioSpec> {
+    let mut specs = smoke_specs();
+    specs.push(rack512_spec());
+    specs
+}

@@ -1,0 +1,301 @@
+//! Scenario-harness coverage: spec serde round-trips, malformed-spec
+//! rejection, report schema validity, baseline comparison, and the
+//! determinism contract (same spec + seed => byte-identical `BENCH.json`
+//! modulo wall-clock fields).
+
+use sonuma_bench::json::Json;
+use sonuma_bench::scenario::{
+    canned_specs, check_baseline, rack512_spec, report, run_spec, run_specs, smoke_specs,
+    validate_report, BackendKind, BackendSel, ScenarioSpec, SpecError, TopologySpec, WorkloadKind,
+};
+
+/// Strips the wall-clock fields (the only non-deterministic content).
+fn strip_wall(text: &str) -> String {
+    text.lines()
+        .filter(|line| !line.contains("\"wall_"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn tiny_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "tiny".into(),
+        nodes: 3,
+        backend: BackendSel::All,
+        workload: WorkloadKind::Mixed,
+        read_fraction: 0.5,
+        op_bytes: 128,
+        ops_per_node: 24,
+        window: 6,
+        seed: 5,
+        ..ScenarioSpec::default()
+    }
+}
+
+#[test]
+fn toml_roundtrip_preserves_every_field() {
+    for spec in canned_specs() {
+        let text = spec.to_toml();
+        let back = ScenarioSpec::from_toml(&text).expect("canned specs parse");
+        assert_eq!(back, spec, "round-trip drifted for {}", spec.name);
+    }
+    // A torus3d spec with every non-default field set.
+    let spec = ScenarioSpec {
+        name: "full".into(),
+        nodes: 27,
+        topology: TopologySpec::Torus3d(3, 3, 3),
+        platform: sonuma_bench::scenario::PlatformSpec::Dev,
+        backend: BackendSel::One(BackendKind::Tcp),
+        workload: WorkloadKind::Mixed,
+        read_fraction: 0.25,
+        op_bytes: 192,
+        ops_per_node: 7,
+        window: 3,
+        segment_bytes: 1 << 16,
+        seed: 1234567,
+    };
+    assert_eq!(ScenarioSpec::from_toml(&spec.to_toml()).unwrap(), spec);
+}
+
+#[test]
+fn malformed_specs_are_rejected() {
+    // Zero nodes.
+    let zero_nodes = "name = \"x\"\nnodes = 0\n";
+    assert!(matches!(
+        ScenarioSpec::from_toml(zero_nodes),
+        Err(SpecError::Invalid(_))
+    ));
+    // One node cannot issue remote operations either.
+    assert!(ScenarioSpec::from_toml("name = \"x\"\nnodes = 1\n").is_err());
+    // Unknown backend.
+    let bad_backend = "name = \"x\"\nnodes = 2\nbackend = \"quic\"\n";
+    assert!(matches!(
+        ScenarioSpec::from_toml(bad_backend),
+        Err(SpecError::Parse(3, _))
+    ));
+    // Unknown key.
+    assert!(ScenarioSpec::from_toml("name = \"x\"\nnodes = 2\nnodez = 3\n").is_err());
+    // Topology that does not arrange the node count.
+    let bad_torus = "name = \"x\"\nnodes = 9\ntopology = \"torus2d:4x4\"\n";
+    assert!(matches!(
+        ScenarioSpec::from_toml(bad_torus),
+        Err(SpecError::Invalid(_))
+    ));
+    // Non-line-multiple op size.
+    assert!(ScenarioSpec::from_toml("name = \"x\"\nnodes = 2\nop_bytes = 100\n").is_err());
+    // Window beyond the queue depth.
+    assert!(ScenarioSpec::from_toml("name = \"x\"\nnodes = 2\nwindow = 65\n").is_err());
+    // Missing required keys.
+    assert!(ScenarioSpec::from_toml("nodes = 2\n").is_err());
+    assert!(ScenarioSpec::from_toml("name = \"x\"\n").is_err());
+    // Syntax errors carry line numbers.
+    assert!(matches!(
+        ScenarioSpec::from_toml("name = \"x\"\nnodes 2\n"),
+        Err(SpecError::Parse(2, _))
+    ));
+    // Errors render.
+    let err = ScenarioSpec::from_toml(zero_nodes).unwrap_err();
+    assert!(err.to_string().contains("nodes"));
+}
+
+#[test]
+fn comments_and_spacing_are_tolerated() {
+    let text = "\n# leading comment\n  name = \"spaced\"   \n\nnodes = 2  # trailing\n";
+    let spec = ScenarioSpec::from_toml(text).unwrap();
+    assert_eq!(spec.name, "spaced");
+    assert_eq!(spec.nodes, 2);
+}
+
+#[test]
+fn report_is_schema_valid_and_parses_back() {
+    let results = run_specs(&[tiny_spec()]);
+    let doc = report(&results);
+    validate_report(&doc).expect("generated report must satisfy its own schema");
+    let text = doc.render();
+    let back = Json::parse(&text).expect("rendered report parses");
+    validate_report(&back).expect("parsed report still valid");
+    // Corruptions are caught.
+    assert!(validate_report(&Json::parse("{}").unwrap()).is_err());
+    let wrong = text.replace("sonuma-bench.scenario/v1", "sonuma-bench.scenario/v0");
+    assert!(validate_report(&Json::parse(&wrong).unwrap()).is_err());
+}
+
+#[test]
+fn same_spec_and_seed_is_byte_identical_modulo_wall_clock() {
+    let specs = vec![tiny_spec()];
+    let a = report(&run_specs(&specs)).render();
+    let b = report(&run_specs(&specs)).render();
+    assert_eq!(
+        strip_wall(&a),
+        strip_wall(&b),
+        "two runs of the same spec+seed must render identically"
+    );
+    // A different seed must actually change the uniform workload's stream.
+    let mut reseeded = tiny_spec();
+    reseeded.seed += 1;
+    reseeded.workload = WorkloadKind::UniformRead;
+    let mut original = tiny_spec();
+    original.workload = WorkloadKind::UniformRead;
+    let a = report(&run_specs(&[original])).render();
+    let c = report(&run_specs(&[reseeded])).render();
+    assert_ne!(strip_wall(&a), strip_wall(&c), "seed must matter");
+}
+
+#[test]
+fn sonuma_runs_expose_pipeline_counters() {
+    let mut spec = tiny_spec();
+    spec.backend = BackendSel::One(BackendKind::Sonuma);
+    spec.workload = WorkloadKind::NeighborRead;
+    let result = run_spec(&spec);
+    assert_eq!(result.runs.len(), 1);
+    let run = &result.runs[0];
+    assert_eq!(run.ops, spec.ops_per_node * spec.nodes as u64);
+    assert_eq!(run.errors, 0);
+    assert_eq!(run.per_node.len(), spec.nodes);
+    let total = run.pipeline_total.expect("soNUMA attaches pipeline stats");
+    assert_eq!(total.rgp_requests, run.ops);
+    assert_eq!(total.rcp_completions, run.ops);
+    assert!(run.events > 0, "typed engine events must be counted");
+    assert!(run.sim_time.as_ps() > 0);
+}
+
+#[test]
+fn baseline_check_flags_regressions_and_missing_runs() {
+    let results = run_specs(&[tiny_spec()]);
+    let doc = report(&results);
+    // Identical reports pass at any budget.
+    let check = check_baseline(&doc, &doc, 0.20);
+    assert!(check.failures.is_empty(), "{:?}", check.failures);
+    // A baseline that was 10x faster (10x the rate, a tenth of the wall
+    // time) fails the 20% budget via the aggregate gate — these tiny runs
+    // sit below the per-pair MIN_GATED_EVENTS floor.
+    fn speed_up(value: &mut Json, factor: f64) {
+        match value {
+            Json::Obj(members) => {
+                for (key, v) in members.iter_mut() {
+                    match (key.as_str(), &mut *v) {
+                        ("wall_events_per_sec", Json::Num(x)) => *x *= factor,
+                        ("wall_secs", Json::Num(x)) => *x /= factor,
+                        _ => speed_up(v, factor),
+                    }
+                }
+            }
+            Json::Arr(items) => items.iter_mut().for_each(|v| speed_up(v, factor)),
+            _ => {}
+        }
+    }
+    let mut inflated = doc.clone();
+    speed_up(&mut inflated, 10.0);
+    let check = check_baseline(&doc, &inflated, 0.20);
+    assert!(!check.failures.is_empty(), "10x slower must regress");
+    // Baseline entries missing from the run are failures too.
+    let mut other = tiny_spec();
+    other.name = "renamed".into();
+    let renamed = report(&run_specs(&[other]));
+    let check = check_baseline(&renamed, &doc, 0.20);
+    assert!(check.failures.iter().any(|f| f.contains("missing in run")));
+}
+
+#[test]
+fn baseline_check_normalizes_by_host_calibration() {
+    use sonuma_bench::scenario::report_calibrated;
+    let results = run_specs(&[tiny_spec()]);
+    // Same results, "recorded" on hosts of different speeds. Halving
+    // wall_secs doubles the implied throughput of the baseline host.
+    fn scale_wall_secs(value: &mut Json, factor: f64) {
+        match value {
+            Json::Obj(members) => {
+                for (key, v) in members.iter_mut() {
+                    match (key.as_str(), &mut *v) {
+                        ("wall_secs", Json::Num(x)) => *x *= factor,
+                        ("wall_events_per_sec", Json::Num(x)) => *x /= factor,
+                        _ => scale_wall_secs(v, factor),
+                    }
+                }
+            }
+            Json::Arr(items) => items.iter_mut().for_each(|v| scale_wall_secs(v, factor)),
+            _ => {}
+        }
+    }
+    let current = report_calibrated(&results, 1_000_000.0);
+    // A 2x-faster baseline host: twice the throughput AND twice the
+    // calibration. Absolute comparison would flag a 50% regression;
+    // normalization must pass it.
+    let mut fast_host = report_calibrated(&results, 2_000_000.0);
+    scale_wall_secs(&mut fast_host, 0.5);
+    let check = check_baseline(&current, &fast_host, 0.20);
+    assert!(
+        check.failures.is_empty(),
+        "hardware speed must not gate: {:?}",
+        check.failures
+    );
+    // Same wall numbers but claiming a 2x-slower host: the code "ran 2x
+    // faster than its host" in the baseline, so the current run is a real
+    // 50% normalized regression and must fail.
+    let slow_host_same_speed = report_calibrated(&results, 500_000.0);
+    let check = check_baseline(&current, &slow_host_same_speed, 0.20);
+    assert!(
+        !check.failures.is_empty(),
+        "normalized regression must fail"
+    );
+    // Without calibration on one side, the gate falls back to absolute
+    // rates and says so.
+    let uncalibrated = report(&results);
+    let check = check_baseline(&uncalibrated, &current, 0.20);
+    assert!(check.notes.iter().any(|n| n.contains("no calibration")));
+}
+
+#[test]
+fn smoke_and_rack_specs_validate() {
+    for spec in smoke_specs() {
+        spec.validate().expect("smoke specs must be valid");
+    }
+    let rack = rack512_spec();
+    rack.validate().expect("rack512 must be valid");
+    assert_eq!(rack.nodes, 512);
+}
+
+#[test]
+fn shipped_spec_files_parse() {
+    let specs_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../bench/specs");
+    let mut parsed = 0;
+    for entry in std::fs::read_dir(specs_dir).expect("bench/specs exists") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("toml") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let spec =
+            ScenarioSpec::from_toml(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        // The shipped rack512 file must stay in sync with the canned spec
+        // the acceptance run uses.
+        if spec.name == "rack512-neighbor" {
+            assert_eq!(spec, rack512_spec(), "bench/specs/rack512.toml drifted");
+        }
+        parsed += 1;
+    }
+    assert!(parsed >= 2, "expected shipped spec files, found {parsed}");
+}
+
+#[test]
+fn mid_scale_neighbor_scenario_completes() {
+    // A 64-node slice of the rack512 shape keeps test time bounded while
+    // exercising the same code path the 512-node acceptance run uses.
+    let spec = ScenarioSpec {
+        name: "rack64".into(),
+        nodes: 64,
+        backend: BackendSel::One(BackendKind::Sonuma),
+        workload: WorkloadKind::NeighborRead,
+        op_bytes: 512,
+        ops_per_node: 8,
+        window: 4,
+        segment_bytes: 1 << 18,
+        seed: 99,
+        ..ScenarioSpec::default()
+    };
+    let result = run_spec(&spec);
+    let run = &result.runs[0];
+    assert_eq!(run.ops, 64 * 8);
+    assert_eq!(run.errors, 0);
+    assert_eq!(run.per_node.len(), 64);
+}

@@ -282,13 +282,19 @@ impl RemoteBackend for SonumaBackend {
             return false;
         }
         // One bounded burst per call keeps advance() responsive without
-        // busy-stepping single events.
-        self.engine.run_steps(&mut self.cluster, 256);
+        // busy-stepping single events. The burst also bounds the clock
+        // granularity callers observe between polls (completion latencies
+        // measured at poll time are late by at most one burst's span).
+        self.engine.run_steps(&mut self.cluster, 64);
         self.engine.pending() > 0
     }
 
     fn now(&self) -> SimTime {
         self.engine.now()
+    }
+
+    fn events_processed(&self) -> u64 {
+        self.engine.events_executed()
     }
 }
 

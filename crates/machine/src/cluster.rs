@@ -13,8 +13,9 @@ use sonuma_rmc::{ContextEntry, QueuePairState};
 use sonuma_sim::SimTime;
 
 use crate::config::MachineConfig;
+use crate::event::{ClusterEvent, WakeReason};
 use crate::node::{AppQpCursors, BlockState, Node, CTX_BASE};
-use crate::process::{AppProcess, Wake};
+use crate::process::AppProcess;
 use crate::ClusterEngine;
 
 /// The simulation world: every node plus the memory fabric.
@@ -154,11 +155,12 @@ impl Cluster {
         assert!(slot.process.is_none(), "core already occupied");
         slot.process = Some(process);
         slot.block = BlockState::Sleeping;
-        let n = node.index();
         engine.schedule_in(
             SimTime::ZERO,
-            move |w: &mut Cluster, e: &mut ClusterEngine| {
-                w.wake_core(e, n, core, Wake::Start);
+            ClusterEvent::CoreWake {
+                node: node.0,
+                core: core as u16,
+                reason: WakeReason::Start,
             },
         );
     }

@@ -1,0 +1,165 @@
+//! The cluster's typed event set and its dispatch.
+//!
+//! Every discrete thing that can happen to the simulated machine is a
+//! [`ClusterEvent`] variant — pipeline advances, fabric link deliveries,
+//! core wake-ups, timers — dispatched by the `World` implementation below.
+//! Events carry only ids and fixed-size payloads, so scheduling one never
+//! allocates: the `sonuma_sim::EventEngine` stores them by value in its
+//! arena. This is what lets 512-node scenario runs spend their time in
+//! pipeline logic instead of `Box<dyn FnOnce>` churn.
+
+use sonuma_memory::VAddr;
+use sonuma_protocol::{NodeId, Packet, PacketKind, QpId};
+use sonuma_sim::World;
+
+use crate::cluster::Cluster;
+use crate::pipeline::rgp::LineRequest;
+use crate::pipeline::RgpPhase;
+use crate::process::Wake;
+use crate::ClusterEngine;
+
+/// One scheduled occurrence in the cluster world.
+#[derive(Debug, Clone)]
+pub enum ClusterEvent {
+    /// One RGP service step at `node`: poll the head active QP, unroll a
+    /// fresh WQ entry, chain the next step.
+    RgpService {
+        /// Node whose RGP advances.
+        node: u16,
+    },
+    /// The RGP at `node` resumes polling after an ITT-full backoff.
+    RgpResume {
+        /// Node whose RGP leaves the `Stalled` phase.
+        node: u16,
+    },
+    /// The RGP at `node` injects one unrolled line transaction into the
+    /// fabric.
+    InjectLine {
+        /// Originating node.
+        node: u16,
+        /// The unrolled cache-line transaction.
+        line: LineRequest,
+    },
+    /// `pkt` is fully delivered at its destination NI (fabric arrival or
+    /// local loopback) and enters the RRPP (requests) or RCP (replies).
+    Deliver {
+        /// The delivered packet; `pkt.dst` names the receiving node.
+        pkt: Packet,
+    },
+    /// Deliver pending CQ completions to the owner core of `(node, qp)`.
+    CqWake {
+        /// Node the queue pair lives on.
+        node: u16,
+        /// Queue pair whose CQ is drained.
+        qp: QpId,
+    },
+    /// Wake `core` on `node` for `reason`.
+    CoreWake {
+        /// Node the core belongs to.
+        node: u16,
+        /// Core index within the node.
+        core: u16,
+        /// Why the core wakes.
+        reason: WakeReason,
+    },
+    /// Anchors the event clock at the scheduled time so the simulated
+    /// duration includes work performed in a final wake-up; no state
+    /// change.
+    Anchor,
+}
+
+/// Why a [`ClusterEvent::CoreWake`] was scheduled.
+///
+/// This is the by-value half of [`Wake`]: CQ-completion wake-ups carry a
+/// drained `Vec<Completion>` and are delivered through
+/// [`ClusterEvent::CqWake`] instead, which drains the ring at delivery
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeReason {
+    /// First wake-up after `spawn`.
+    Start,
+    /// A `Step::Sleep` timer expired.
+    Timer,
+    /// A remote write touched watched memory.
+    MemoryTouched {
+        /// Base of the watched range that was written.
+        addr: VAddr,
+    },
+    /// A remote interrupt arrived for this core.
+    Interrupt {
+        /// Originating node.
+        from: NodeId,
+        /// 8-byte payload the sender attached.
+        payload: u64,
+    },
+}
+
+impl From<WakeReason> for Wake {
+    fn from(reason: WakeReason) -> Wake {
+        match reason {
+            WakeReason::Start => Wake::Start,
+            WakeReason::Timer => Wake::Timer,
+            WakeReason::MemoryTouched { addr } => Wake::MemoryTouched { addr },
+            WakeReason::Interrupt { from, payload } => Wake::Interrupt { from, payload },
+        }
+    }
+}
+
+impl World for Cluster {
+    type Event = ClusterEvent;
+
+    fn handle(&mut self, engine: &mut ClusterEngine, event: ClusterEvent) {
+        match event {
+            ClusterEvent::RgpService { node } => self.rgp_service(engine, node as usize),
+            ClusterEvent::RgpResume { node } => {
+                self.nodes[node as usize].rmc.rgp.phase = RgpPhase::Polling;
+                self.rgp_service(engine, node as usize);
+            }
+            ClusterEvent::InjectLine { node, line } => {
+                self.inject_line(engine, node as usize, line);
+            }
+            ClusterEvent::Deliver { pkt } => {
+                let dst = pkt.dst.index();
+                if pkt.kind == PacketKind::Request {
+                    self.rrpp_handle(engine, dst, pkt);
+                } else {
+                    self.rcp_handle(engine, dst, pkt);
+                }
+            }
+            ClusterEvent::CqWake { node, qp } => self.deliver_cq_wake(engine, node as usize, qp),
+            ClusterEvent::CoreWake { node, core, reason } => {
+                self.wake_core(engine, node as usize, core as usize, reason.into());
+            }
+            ClusterEvent::Anchor => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_reasons_convert() {
+        assert_eq!(Wake::from(WakeReason::Start), Wake::Start);
+        assert_eq!(Wake::from(WakeReason::Timer), Wake::Timer);
+        assert_eq!(
+            Wake::from(WakeReason::MemoryTouched {
+                addr: VAddr::new(64)
+            }),
+            Wake::MemoryTouched {
+                addr: VAddr::new(64)
+            }
+        );
+        assert_eq!(
+            Wake::from(WakeReason::Interrupt {
+                from: NodeId(3),
+                payload: 9
+            }),
+            Wake::Interrupt {
+                from: NodeId(3),
+                payload: 9
+            }
+        );
+    }
+}

@@ -35,6 +35,7 @@ pub mod api;
 pub mod backend;
 pub mod cluster;
 pub mod config;
+pub mod event;
 pub mod node;
 pub mod pipeline;
 pub mod process;
@@ -44,9 +45,12 @@ pub use api::{ApiError, NodeApi};
 pub use backend::SonumaBackend;
 pub use cluster::Cluster;
 pub use config::{MachineConfig, SoftwareTiming};
+pub use event::{ClusterEvent, WakeReason};
 pub use node::Node;
 pub use pipeline::{PipelineStats, RcpState, RgpPhase, RgpState, RrppState};
 pub use process::{AppProcess, Completion, Step, Wake};
 
-/// Convenience alias: the event engine specialized to the cluster world.
-pub type ClusterEngine = sonuma_sim::Engine<Cluster>;
+/// Convenience alias: the typed event engine specialized to the cluster
+/// world (events are [`ClusterEvent`]s dispatched by value — see
+/// [`event`]).
+pub type ClusterEngine = sonuma_sim::EventEngine<Cluster>;

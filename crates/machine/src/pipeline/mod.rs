@@ -23,10 +23,11 @@ pub use rcp::RcpState;
 pub use rgp::{RgpPhase, RgpState};
 pub use rrpp::RrppState;
 
-use sonuma_protocol::{NodeId, Packet, PacketKind};
+use sonuma_protocol::{NodeId, Packet};
 use sonuma_sim::SimTime;
 
 use crate::cluster::Cluster;
+use crate::event::ClusterEvent;
 use crate::ClusterEngine;
 
 /// A point-in-time snapshot of one node's pipeline counters.
@@ -129,10 +130,11 @@ impl Cluster {
     }
 
     /// Delivers `pkt` to its destination's RRPP (requests) or RCP
-    /// (replies), through the fabric or the local NI loopback.
+    /// (replies), through the fabric or the local NI loopback. The fabric
+    /// computes the arrival analytically (link serialization + credits);
+    /// the arrival itself is a typed [`ClusterEvent::Deliver`].
     pub(crate) fn route_packet(&mut self, engine: &mut ClusterEngine, t: SimTime, pkt: Packet) {
         let dst = pkt.dst.index();
-        let is_request = pkt.kind == PacketKind::Request;
         let deliver_at = if pkt.dst == pkt.src {
             // Local loopback through the NI: no fabric traversal.
             t + self.nodes[dst].rmc.timing.stage_local
@@ -141,12 +143,6 @@ impl Cluster {
                 .send(t, pkt.src, pkt.dst, pkt.virtual_lane(), pkt.wire_bytes())
                 .time
         };
-        engine.schedule_at(deliver_at, move |w: &mut Cluster, e: &mut ClusterEngine| {
-            if is_request {
-                w.rrpp_handle(e, dst, pkt);
-            } else {
-                w.rcp_handle(e, dst, pkt);
-            }
-        });
+        engine.schedule_at(deliver_at, ClusterEvent::Deliver { pkt });
     }
 }

@@ -20,6 +20,7 @@ use sonuma_sim::SimTime;
 
 use super::PipelineStats;
 use crate::cluster::Cluster;
+use crate::event::ClusterEvent;
 use crate::ClusterEngine;
 
 /// Where the RGP's service loop currently is.
@@ -72,9 +73,11 @@ impl RgpState {
     }
 }
 
-/// One unrolled cache-line transaction queued for injection by the RGP.
+/// One unrolled cache-line transaction queued for injection by the RGP
+/// (carried by value inside [`ClusterEvent::InjectLine`]; the fields are
+/// pipeline-internal).
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct LineRequest {
+pub struct LineRequest {
     dst: NodeId,
     ctx: CtxId,
     tid: Tid,
@@ -106,12 +109,7 @@ impl Cluster {
             // Detection latency: on average half a poll interval elapses
             // before the polling loop re-reads this WQ.
             let detect = node.rmc.timing.poll_interval / 2;
-            engine.schedule_at(
-                now + detect,
-                move |w: &mut Cluster, e: &mut ClusterEngine| {
-                    w.rgp_service(e, n);
-                },
-            );
+            engine.schedule_at(now + detect, ClusterEvent::RgpService { node: n as u16 });
         }
     }
 
@@ -148,9 +146,7 @@ impl Cluster {
             if node.rmc.rgp.active_qps.is_empty() {
                 node.rmc.rgp.phase = RgpPhase::Idle;
             } else {
-                engine.schedule_at(t_read, move |w: &mut Cluster, e: &mut ClusterEngine| {
-                    w.rgp_service(e, n);
-                });
+                engine.schedule_at(t_read, ClusterEvent::RgpService { node: n as u16 });
             }
             return;
         };
@@ -161,10 +157,7 @@ impl Cluster {
             node.rmc.rgp.itt_full_stalls += 1;
             engine.schedule_at(
                 now + timing.poll_interval,
-                move |w: &mut Cluster, e: &mut ClusterEngine| {
-                    w.nodes[n].rmc.rgp.phase = RgpPhase::Polling;
-                    w.rgp_service(e, n);
-                },
+                ClusterEvent::RgpResume { node: n as u16 },
             );
             return;
         }
@@ -183,7 +176,7 @@ impl Cluster {
         let t0 = t_read + timing.rgp_per_request;
         for k in 0..lines {
             let at = t0 + timing.unroll_interval * k as u64;
-            let spec = LineRequest {
+            let line = LineRequest {
                 dst: entry.dst,
                 ctx: entry.ctx,
                 tid,
@@ -194,9 +187,13 @@ impl Cluster {
                     .then(|| VAddr::new(entry.buf_vaddr + k as u64 * CACHE_LINE_BYTES)),
                 operands: (entry.operand1, entry.operand2),
             };
-            engine.schedule_at(at, move |w: &mut Cluster, e: &mut ClusterEngine| {
-                w.inject_line(e, n, spec);
-            });
+            engine.schedule_at(
+                at,
+                ClusterEvent::InjectLine {
+                    node: n as u16,
+                    line,
+                },
+            );
         }
 
         // Rotate this QP to the back and chain the next service step once
@@ -206,14 +203,12 @@ impl Cluster {
             node.rmc.rgp.active_qps.push_back(front);
         }
         let t_next = (t0 + timing.unroll_interval * lines as u64).max(now + timing.stage_local);
-        engine.schedule_at(t_next, move |w: &mut Cluster, e: &mut ClusterEngine| {
-            w.rgp_service(e, n);
-        });
+        engine.schedule_at(t_next, ClusterEvent::RgpService { node: n as u16 });
     }
 
     /// Injects one unrolled line transaction into the fabric (reading the
     /// payload for writes).
-    fn inject_line(&mut self, engine: &mut ClusterEngine, n: usize, spec: LineRequest) {
+    pub(crate) fn inject_line(&mut self, engine: &mut ClusterEngine, n: usize, spec: LineRequest) {
         let now = engine.now();
         let node = &mut self.nodes[n];
         let timing = node.rmc.timing;

@@ -14,6 +14,7 @@ use sonuma_sim::SimTime;
 
 use crate::api::NodeApi;
 use crate::cluster::Cluster;
+use crate::event::{ClusterEvent, WakeReason};
 use crate::node::{BlockState, Watch};
 use crate::process::{Completion, Step, Wake};
 use crate::ClusterEngine;
@@ -44,9 +45,7 @@ impl Cluster {
         let busy = self.nodes[n].cores[owner].busy_until;
         self.nodes[n].cores[owner].wake_pending = true;
         let at = (t + self.config().software.wake_detect).max(busy);
-        engine.schedule_at(at, move |w: &mut Cluster, e: &mut ClusterEngine| {
-            w.deliver_cq_wake(e, n, qp);
-        });
+        engine.schedule_at(at, ClusterEvent::CqWake { node: n as u16, qp });
     }
 
     /// Drains the CQ and wakes the owner with the completions.
@@ -116,9 +115,14 @@ impl Cluster {
             }
             slot.wake_pending = true;
             let at = (t + wake_detect).max(slot.busy_until);
-            engine.schedule_at(at, move |w: &mut Cluster, e: &mut ClusterEngine| {
-                w.wake_core(e, n, core, Wake::MemoryTouched { addr });
-            });
+            engine.schedule_at(
+                at,
+                ClusterEvent::CoreWake {
+                    node: n as u16,
+                    core: core as u16,
+                    reason: WakeReason::MemoryTouched { addr },
+                },
+            );
         }
     }
 
@@ -145,9 +149,14 @@ impl Cluster {
             .expect("checked nonempty");
         self.nodes[n].cores[core].wake_pending = true;
         let at = (t + self.config().software.wake_detect).max(self.nodes[n].cores[core].busy_until);
-        engine.schedule_at(at, move |w: &mut Cluster, e: &mut ClusterEngine| {
-            w.wake_core(e, n, core, Wake::Interrupt { from, payload });
-        });
+        engine.schedule_at(
+            at,
+            ClusterEvent::CoreWake {
+                node: n as u16,
+                core: core as u16,
+                reason: WakeReason::Interrupt { from, payload },
+            },
+        );
     }
 
     // ------------------------------------------------------------------
@@ -210,13 +219,18 @@ impl Cluster {
                 self.nodes[n].cores[core].block = BlockState::Idle;
                 // Anchor the work performed in this final wake-up on the
                 // event clock, so total simulated time includes it.
-                engine.schedule_at(now, |_: &mut Cluster, _: &mut ClusterEngine| {});
+                engine.schedule_at(now, ClusterEvent::Anchor);
             }
             Step::Sleep(d) => {
                 self.nodes[n].cores[core].block = BlockState::Sleeping;
-                engine.schedule_at(now + d, move |w: &mut Cluster, e: &mut ClusterEngine| {
-                    w.wake_core(e, n, core, Wake::Timer);
-                });
+                engine.schedule_at(
+                    now + d,
+                    ClusterEvent::CoreWake {
+                        node: n as u16,
+                        core: core as u16,
+                        reason: WakeReason::Timer,
+                    },
+                );
             }
             Step::WaitCq(qp) => {
                 self.nodes[n].cores[core].block = BlockState::WaitingCq(qp);
@@ -264,9 +278,7 @@ impl Cluster {
         if fresh && !self.nodes[n].cores[core].wake_pending {
             self.nodes[n].cores[core].wake_pending = true;
             let poll = self.config().software.cq_poll_cost;
-            engine.schedule_at(now + poll, move |w: &mut Cluster, e: &mut ClusterEngine| {
-                w.deliver_cq_wake(e, n, qp);
-            });
+            engine.schedule_at(now + poll, ClusterEvent::CqWake { node: n as u16, qp });
         }
     }
 

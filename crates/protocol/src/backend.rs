@@ -190,6 +190,12 @@ pub trait RemoteBackend {
     /// The backend's current simulated time.
     fn now(&self) -> SimTime;
 
+    /// Number of discrete events the backend's engine has executed so far
+    /// — the denominator of the wall-clock events/sec metric the benchmark
+    /// harness gates CI on. Implementations without an internal event
+    /// engine report completions processed instead.
+    fn events_processed(&self) -> u64;
+
     /// Runs [`RemoteBackend::advance`] to quiescence and drains every
     /// completion for `src` (convenience for lock-step request streams).
     fn complete_all(&mut self, src: NodeId) -> Vec<RemoteCompletion> {

@@ -1,4 +1,11 @@
-//! The event queue and dispatch loop.
+//! The legacy boxed-closure event queue and dispatch loop.
+//!
+//! This is the original engine: one heap-allocated `Box<dyn FnOnce>` per
+//! event in a single global `BinaryHeap`. Production worlds have migrated
+//! to the typed, arena-backed [`crate::EventEngine`]; this module is kept
+//! as the simplest-possible reference implementation and as the baseline
+//! the `benches/engine.rs` micro-benchmark measures the typed engine
+//! against.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;

@@ -9,10 +9,18 @@
 //! # Design
 //!
 //! * [`SimTime`] is an integer count of picoseconds.
-//! * [`Engine`] is generic over a *world* type `W` owned by the caller.
-//!   Events are boxed `FnOnce(&mut W, &mut Engine<W>)` closures ordered by
-//!   `(time, sequence-number)`, which makes runs bit-reproducible: two runs
-//!   with the same seed schedule and execute identical event sequences.
+//! * [`EventEngine`] is the production engine: the caller's *world*
+//!   implements [`World`] by declaring a typed event `enum` and a
+//!   `handle` method; events are stored by value in a slab arena and
+//!   ordered by a calendar queue, so the scheduling hot path is
+//!   allocation-free. Events are executed in `(time, sequence-number)`
+//!   order, which makes runs bit-reproducible: two runs with the same
+//!   seed schedule and execute identical event sequences.
+//! * [`Engine`] is the legacy boxed-closure engine (one `Box<dyn FnOnce>`
+//!   heap allocation per event). It is kept as the reference
+//!   implementation and as the comparison baseline for the
+//!   `benches/engine.rs` micro-benchmark; new worlds should implement
+//!   [`World`] instead.
 //! * [`rng::DetRng`] wraps a seeded PRNG so every stochastic decision is
 //!   reproducible, and [`stats`] provides the counters and histograms used
 //!   by the measurement harnesses.
@@ -20,24 +28,34 @@
 //! # Example
 //!
 //! ```
-//! use sonuma_sim::{Engine, SimTime};
+//! use sonuma_sim::{EventEngine, SimTime, World};
 //!
-//! struct World { ticks: u32 }
-//! let mut engine = Engine::new();
-//! let mut world = World { ticks: 0 };
-//! engine.schedule_at(SimTime::from_ns(10), |w: &mut World, _e: &mut Engine<World>| {
-//!     w.ticks += 1;
-//! });
+//! struct Counter { ticks: u32 }
+//! enum Ev { Tick }
+//!
+//! impl World for Counter {
+//!     type Event = Ev;
+//!     fn handle(&mut self, _engine: &mut EventEngine<Self>, event: Ev) {
+//!         let Ev::Tick = event;
+//!         self.ticks += 1;
+//!     }
+//! }
+//!
+//! let mut engine = EventEngine::new();
+//! let mut world = Counter { ticks: 0 };
+//! engine.schedule_at(SimTime::from_ns(10), Ev::Tick);
 //! engine.run(&mut world);
 //! assert_eq!(world.ticks, 1);
 //! assert_eq!(engine.now(), SimTime::from_ns(10));
 //! ```
 
 pub mod engine;
+pub mod event;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use engine::Engine;
+pub use event::{EventEngine, World};
 pub use rng::DetRng;
 pub use time::SimTime;
