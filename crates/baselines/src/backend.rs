@@ -119,6 +119,10 @@ pub struct ModeledBackend<M> {
     engine: EventEngine<LinkWorld>,
     next_free: Vec<SimTime>,
     next_token: Vec<u64>,
+    /// Idle-clock floor (`advance_clock_to`): the engine clock only moves
+    /// with completions, so open-loop idle time is tracked separately and
+    /// `now()` reports the max of the two.
+    clock_floor: SimTime,
 }
 
 impl<M: LinkModel> ModeledBackend<M> {
@@ -136,6 +140,7 @@ impl<M: LinkModel> ModeledBackend<M> {
             engine: EventEngine::new(),
             next_free: vec![SimTime::ZERO; nodes],
             next_token: vec![0; nodes],
+            clock_floor: SimTime::ZERO,
         }
     }
 
@@ -189,7 +194,11 @@ impl<M: LinkModel> RemoteBackend for ModeledBackend<M> {
             RemoteOp::Write => req.payload.len() as u64,
             _ => 8,
         };
-        let issue_at = self.engine.now().max(self.next_free[n]);
+        let issue_at = self
+            .engine
+            .now()
+            .max(self.clock_floor)
+            .max(self.next_free[n]);
         self.next_free[n] = issue_at + self.model.issue_occupancy(req.op, bytes);
         let done = issue_at + self.model.op_latency(req.op, bytes);
         let token = self.next_token[n];
@@ -214,7 +223,11 @@ impl<M: LinkModel> RemoteBackend for ModeledBackend<M> {
     }
 
     fn now(&self) -> SimTime {
-        self.engine.now()
+        self.engine.now().max(self.clock_floor)
+    }
+
+    fn advance_clock_to(&mut self, t: SimTime) {
+        self.clock_floor = self.clock_floor.max(t);
     }
 
     fn events_processed(&self) -> u64 {

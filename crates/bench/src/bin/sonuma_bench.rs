@@ -186,6 +186,31 @@ fn print_summary(results: &[scenario::ScenarioResult]) {
                 run.p99.as_ns_f64(),
                 run.wall_events_per_sec,
             );
+            if !run.tenants.is_empty() {
+                let per_class: Vec<String> = [
+                    sonuma_core::SloClass::Gold,
+                    sonuma_core::SloClass::Silver,
+                    sonuma_core::SloClass::Bronze,
+                ]
+                .iter()
+                .filter_map(|&class| {
+                    run.class_histogram(class).map(|hist| {
+                        format!(
+                            "{} p99 {:.0} ns",
+                            class.as_str(),
+                            hist.percentile(0.99).as_ns_f64()
+                        )
+                    })
+                })
+                .collect();
+                println!(
+                    "{:<20}   {} tenants, jain {:.4}, {}",
+                    "",
+                    run.tenants.len(),
+                    run.jain_fairness(),
+                    per_class.join(", "),
+                );
+            }
         }
     }
 }

@@ -33,6 +33,7 @@ pub mod report;
 pub mod scenario;
 pub mod table1;
 pub mod table2;
+pub mod trafficgen;
 pub mod workloads;
 
 /// Request sizes swept by the microbenchmarks (64 B .. 8 KB, as in

@@ -16,22 +16,26 @@
 //! two runs of the same spec + seed render byte-identical JSON once those
 //! fields are stripped, which the determinism test under `tests/` asserts.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::time::Instant;
 
 use sonuma_baselines::{RdmaBackend, TcpBackend};
 use sonuma_core::{
-    MachineConfig, NodeId, PipelineStats, RemoteBackend, RemoteRequest, SonumaBackend,
+    MachineConfig, NodeId, PipelineStats, RemoteBackend, RemoteRequest, SchedPolicy, SloClass,
+    SonumaBackend, TenantId,
 };
-use sonuma_fabric::FabricConfig;
+use sonuma_fabric::{FabricConfig, LinkStats};
 use sonuma_sim::stats::LatencyHistogram;
 use sonuma_sim::{DetRng, SimTime};
 
 use crate::json::Json;
+use crate::trafficgen::{jain_index, ArrivalGen, ArrivalKind, ZipfSampler};
 
 /// Version tag of the report format (bump on breaking schema changes).
-pub const REPORT_SCHEMA: &str = "sonuma-bench.scenario/v1";
+/// v2 added the `per_tenant` and `fabric` run sections (multi-tenant
+/// open-loop scenarios) and the `offered_ops`/`lat_p999_ns` run fields.
+pub const REPORT_SCHEMA: &str = "sonuma-bench.scenario/v2";
 
 /// A transport a scenario runs over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,6 +145,87 @@ impl WorkloadKind {
     }
 }
 
+/// How tenant scheduling weights are assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightMode {
+    /// Every tenant gets weight 1.
+    Uniform,
+    /// Weight follows the SLO class: gold 8, silver 4, bronze 1.
+    Tiered,
+}
+
+impl WeightMode {
+    fn as_str(self) -> &'static str {
+        match self {
+            WeightMode::Uniform => "uniform",
+            WeightMode::Tiered => "tiered",
+        }
+    }
+
+    fn parse(s: &str) -> Result<WeightMode, String> {
+        match s {
+            "uniform" => Ok(WeightMode::Uniform),
+            "tiered" => Ok(WeightMode::Tiered),
+            other => Err(format!("unknown weights {other:?} (uniform|tiered)")),
+        }
+    }
+}
+
+/// The `[tenants]` section: how many tenants share the cluster and how
+/// the RGP arbitrates between their queue pairs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenancySpec {
+    /// Total tenants across the cluster; tenant `t` is homed on node
+    /// `t % nodes` (channel `t / nodes`) and gets its own queue pair
+    /// there. SLO classes are assigned in contiguous thirds by id
+    /// (gold, then silver, then bronze).
+    pub tenants: usize,
+    /// The RGP's QoS policy.
+    pub scheduler: SchedPolicy,
+    /// Weight assignment.
+    pub weights: WeightMode,
+}
+
+/// The `[traffic]` section: the open-loop arrival process every tenant
+/// drives (replaces the closed-loop `ops_per_node`/`window` stream).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficSpec {
+    /// Arrival-process shape.
+    pub arrival: ArrivalKind,
+    /// Offered load per tenant, operations per simulated second.
+    pub rate_per_tenant: f64,
+    /// Arrival horizon in simulated microseconds (completions drain
+    /// after it).
+    pub duration_us: f64,
+    /// Zipf skew over remote addresses (0 = uniform).
+    pub zipf_addr: f64,
+    /// Zipf skew over destination nodes (0 = uniform; >0 concentrates
+    /// load on low-numbered nodes — incast).
+    pub zipf_dst: f64,
+    /// Arrivals per burst (bursty process only).
+    pub burst: u32,
+}
+
+/// The SLO class of tenant `id` out of `total`: contiguous thirds.
+pub fn tenant_class(id: usize, total: usize) -> SloClass {
+    match id * 3 / total.max(1) {
+        0 => SloClass::Gold,
+        1 => SloClass::Silver,
+        _ => SloClass::Bronze,
+    }
+}
+
+fn class_weight(mode: WeightMode, class: SloClass) -> u32 {
+    match mode {
+        WeightMode::Uniform => 1,
+        WeightMode::Tiered => match class {
+            SloClass::Gold => 8,
+            SloClass::Silver => 4,
+            SloClass::Bronze => 1,
+        },
+    }
+}
+
 /// A declarative scenario: everything one benchmark run needs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
@@ -168,6 +253,12 @@ pub struct ScenarioSpec {
     pub segment_bytes: u64,
     /// Seed for every stochastic workload decision.
     pub seed: u64,
+    /// Multi-tenant QP virtualization (`[tenants]` section). Present iff
+    /// `traffic` is present; together they switch the run from the
+    /// closed-loop stream to the open-loop tenant generator.
+    pub tenancy: Option<TenancySpec>,
+    /// Open-loop arrival processes (`[traffic]` section).
+    pub traffic: Option<TrafficSpec>,
 }
 
 impl Default for ScenarioSpec {
@@ -185,6 +276,31 @@ impl Default for ScenarioSpec {
             window: 16,
             segment_bytes: 1 << 20,
             seed: 42,
+            tenancy: None,
+            traffic: None,
+        }
+    }
+}
+
+impl Default for TenancySpec {
+    fn default() -> Self {
+        TenancySpec {
+            tenants: 0,
+            scheduler: SchedPolicy::Wdrr,
+            weights: WeightMode::Uniform,
+        }
+    }
+}
+
+impl Default for TrafficSpec {
+    fn default() -> Self {
+        TrafficSpec {
+            arrival: ArrivalKind::Poisson,
+            rate_per_tenant: 100_000.0,
+            duration_us: 100.0,
+            zipf_addr: 0.0,
+            zipf_dst: 0.0,
+            burst: 8,
         }
     }
 }
@@ -272,6 +388,43 @@ impl ScenarioSpec {
                 self.segment_bytes
             ));
         }
+        match (&self.tenancy, &self.traffic) {
+            (None, None) => {}
+            (Some(_), None) => {
+                return err("[tenants] requires a [traffic] section".into());
+            }
+            (None, Some(_)) => {
+                return err("[traffic] requires a [tenants] section".into());
+            }
+            (Some(tn), Some(tr)) => {
+                if tn.tenants < self.nodes {
+                    return err(format!(
+                        "tenants = {} (need at least one per node, {} nodes)",
+                        tn.tenants, self.nodes
+                    ));
+                }
+                if tn.tenants > 1 << 20 {
+                    return err(format!("tenants = {} (max 2^20)", tn.tenants));
+                }
+                if !(tr.rate_per_tenant > 0.0 && tr.rate_per_tenant <= 1e9) {
+                    return err(format!(
+                        "rate_per_tenant = {} (need (0, 1e9] ops/s)",
+                        tr.rate_per_tenant
+                    ));
+                }
+                if !(tr.duration_us > 0.0 && tr.duration_us <= 1e6) {
+                    return err(format!("duration_us = {} (need (0, 1e6])", tr.duration_us));
+                }
+                for (key, theta) in [("zipf_addr", tr.zipf_addr), ("zipf_dst", tr.zipf_dst)] {
+                    if !(0.0..=4.0).contains(&theta) {
+                        return err(format!("{key} = {theta} out of [0, 4]"));
+                    }
+                }
+                if tr.burst == 0 || tr.burst > 1024 {
+                    return err(format!("burst = {} (need 1..=1024)", tr.burst));
+                }
+            }
+        }
         Ok(())
     }
 
@@ -298,6 +451,19 @@ impl ScenarioSpec {
         out.push_str(&format!("window = {}\n", self.window));
         out.push_str(&format!("segment_bytes = {}\n", self.segment_bytes));
         out.push_str(&format!("seed = {}\n", self.seed));
+        if let (Some(tn), Some(tr)) = (&self.tenancy, &self.traffic) {
+            out.push_str("\n[tenants]\n");
+            out.push_str(&format!("count = {}\n", tn.tenants));
+            out.push_str(&format!("scheduler = \"{}\"\n", tn.scheduler.as_str()));
+            out.push_str(&format!("weights = \"{}\"\n", tn.weights.as_str()));
+            out.push_str("\n[traffic]\n");
+            out.push_str(&format!("arrival = \"{}\"\n", tr.arrival.as_str()));
+            out.push_str(&format!("rate_per_tenant = {}\n", tr.rate_per_tenant));
+            out.push_str(&format!("duration_us = {}\n", tr.duration_us));
+            out.push_str(&format!("zipf_addr = {}\n", tr.zipf_addr));
+            out.push_str(&format!("zipf_dst = {}\n", tr.zipf_dst));
+            out.push_str(&format!("burst = {}\n", tr.burst));
+        }
         out
     }
 
@@ -312,6 +478,14 @@ impl ScenarioSpec {
         let mut spec = ScenarioSpec::default();
         let mut saw_name = false;
         let mut saw_nodes = false;
+        /// Which TOML table the parser is inside.
+        #[derive(PartialEq, Clone, Copy)]
+        enum Section {
+            Top,
+            Tenants,
+            Traffic,
+        }
+        let mut section = Section::Top;
         for (idx, raw) in text.lines().enumerate() {
             let lineno = idx + 1;
             let line = raw.trim();
@@ -319,11 +493,77 @@ impl ScenarioSpec {
                 continue;
             }
             let parse_err = |msg: &str| SpecError::Parse(lineno, msg.to_string());
+            if let Some(header) = line.strip_prefix('[') {
+                let name = header
+                    .strip_suffix(']')
+                    .ok_or_else(|| parse_err("unterminated section header"))?
+                    .trim();
+                section = match name {
+                    "tenants" => {
+                        spec.tenancy.get_or_insert_with(TenancySpec::default);
+                        Section::Tenants
+                    }
+                    "traffic" => {
+                        spec.traffic.get_or_insert_with(TrafficSpec::default);
+                        Section::Traffic
+                    }
+                    other => {
+                        return Err(parse_err(&format!(
+                            "unknown section [{other}] (tenants|traffic)"
+                        )))
+                    }
+                };
+                continue;
+            }
             let (key, value) = line
                 .split_once('=')
                 .ok_or_else(|| parse_err("expected `key = value`"))?;
             let key = key.trim();
             let value = parse_scalar(value.trim()).map_err(|m| SpecError::Parse(lineno, m))?;
+            if section == Section::Tenants {
+                let tn = spec.tenancy.as_mut().expect("section initialized");
+                match key {
+                    "count" => tn.tenants = value.into_u64(lineno, "count")? as usize,
+                    "scheduler" => {
+                        tn.scheduler = SchedPolicy::parse(&value.into_string(lineno, "scheduler")?)
+                            .map_err(|m| SpecError::Parse(lineno, m))?;
+                    }
+                    "weights" => {
+                        tn.weights = WeightMode::parse(&value.into_string(lineno, "weights")?)
+                            .map_err(|m| SpecError::Parse(lineno, m))?;
+                    }
+                    other => {
+                        return Err(SpecError::Parse(
+                            lineno,
+                            format!("unknown key {other:?} in [tenants]"),
+                        ));
+                    }
+                }
+                continue;
+            }
+            if section == Section::Traffic {
+                let tr = spec.traffic.as_mut().expect("section initialized");
+                match key {
+                    "arrival" => {
+                        tr.arrival = ArrivalKind::parse(&value.into_string(lineno, "arrival")?)
+                            .map_err(|m| SpecError::Parse(lineno, m))?;
+                    }
+                    "rate_per_tenant" => {
+                        tr.rate_per_tenant = value.into_f64(lineno, "rate_per_tenant")?;
+                    }
+                    "duration_us" => tr.duration_us = value.into_f64(lineno, "duration_us")?,
+                    "zipf_addr" => tr.zipf_addr = value.into_f64(lineno, "zipf_addr")?,
+                    "zipf_dst" => tr.zipf_dst = value.into_f64(lineno, "zipf_dst")?,
+                    "burst" => tr.burst = value.into_u64(lineno, "burst")? as u32,
+                    other => {
+                        return Err(SpecError::Parse(
+                            lineno,
+                            format!("unknown key {other:?} in [traffic]"),
+                        ));
+                    }
+                }
+                continue;
+            }
             match key {
                 "name" => {
                     spec.name = value.into_string(lineno, "name")?;
@@ -417,7 +657,7 @@ impl ScenarioSpec {
 
     /// The spec as an ordered JSON object (embedded in the report).
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut members = vec![
             ("name".into(), Json::Str(self.name.clone())),
             ("nodes".into(), Json::Num(self.nodes as f64)),
             ("topology".into(), Json::Str(self.topology.render())),
@@ -439,7 +679,29 @@ impl ScenarioSpec {
             ("window".into(), Json::Num(self.window as f64)),
             ("segment_bytes".into(), Json::Num(self.segment_bytes as f64)),
             ("seed".into(), Json::Num(self.seed as f64)),
-        ])
+        ];
+        if let (Some(tn), Some(tr)) = (&self.tenancy, &self.traffic) {
+            members.push((
+                "tenants".into(),
+                Json::Obj(vec![
+                    ("count".into(), Json::Num(tn.tenants as f64)),
+                    ("scheduler".into(), Json::Str(tn.scheduler.as_str().into())),
+                    ("weights".into(), Json::Str(tn.weights.as_str().into())),
+                ]),
+            ));
+            members.push((
+                "traffic".into(),
+                Json::Obj(vec![
+                    ("arrival".into(), Json::Str(tr.arrival.as_str().into())),
+                    ("rate_per_tenant".into(), Json::Num(tr.rate_per_tenant)),
+                    ("duration_us".into(), Json::Num(tr.duration_us)),
+                    ("zipf_addr".into(), Json::Num(tr.zipf_addr)),
+                    ("zipf_dst".into(), Json::Num(tr.zipf_dst)),
+                    ("burst".into(), Json::Num(tr.burst as f64)),
+                ]),
+            ));
+        }
+        Json::Obj(members)
     }
 }
 
@@ -539,6 +801,56 @@ fn parse_topology(text: &str) -> Result<TopologySpec, String> {
 // Execution.
 // ---------------------------------------------------------------------
 
+/// Per-tenant outcome of one open-loop run.
+#[derive(Debug, Clone)]
+pub struct TenantOutcome {
+    /// Cluster-wide tenant id.
+    pub tenant: u32,
+    /// Home node the tenant posts from.
+    pub node: u16,
+    /// SLO class.
+    pub class: SloClass,
+    /// WDRR weight.
+    pub weight: u32,
+    /// Arrivals the generator offered within the horizon.
+    pub offered: u64,
+    /// Operations completed.
+    pub ops: u64,
+    /// Completions with an error status.
+    pub errors: u64,
+    /// Arrival-to-completion latency distribution (includes software
+    /// queueing — the number a tenant actually experiences).
+    pub hist: LatencyHistogram,
+}
+
+/// Fabric-level congestion counters of one soNUMA run.
+#[derive(Debug, Clone)]
+pub struct FabricSummary {
+    /// Total bytes injected into the fabric.
+    pub bytes: u64,
+    /// Total packets injected.
+    pub packets: u64,
+    /// Credit stalls summed over every link and lane.
+    pub credit_stalls: u64,
+    /// Packets per virtual lane `[requests, replies]`.
+    pub lane_packets: [u64; 2],
+    /// Directed links that carried traffic.
+    pub links_observed: usize,
+    /// The hottest links by bytes (capped; see [`MAX_REPORTED_LINKS`]).
+    pub hot_links: Vec<LinkStats>,
+}
+
+/// How many per-link rows a report includes (the hottest by bytes); the
+/// aggregate counters always cover every link.
+pub const MAX_REPORTED_LINKS: usize = 16;
+
+/// How many per-tenant detail rows a report includes (lowest ids first).
+/// The truncation is explicit (`detail_shown` / `detail_truncated`), and
+/// the fairness index and per-class aggregates always cover every
+/// tenant — only the row dump is capped, so thousand-tenant reports stay
+/// reviewable.
+pub const MAX_REPORTED_TENANTS: usize = 64;
+
 /// Metrics of one spec running over one backend.
 #[derive(Debug, Clone)]
 pub struct BackendRun {
@@ -546,6 +858,9 @@ pub struct BackendRun {
     pub backend: String,
     /// Operations completed.
     pub ops: u64,
+    /// Arrivals offered by the open-loop generator (equals `ops` when the
+    /// run kept up; 0 for closed-loop runs, which have no offered load).
+    pub offered_ops: u64,
     /// Payload bytes moved by completed operations.
     pub payload_bytes: u64,
     /// Operations that completed with an error status.
@@ -560,6 +875,8 @@ pub struct BackendRun {
     pub p50: SimTime,
     /// 99th-percentile post-to-completion latency.
     pub p99: SimTime,
+    /// 99.9th-percentile post-to-completion latency.
+    pub p999: SimTime,
     /// Mean post-to-completion latency.
     pub mean: SimTime,
     /// Discrete events the backend's engine executed.
@@ -573,6 +890,41 @@ pub struct BackendRun {
     pub pipeline_total: Option<PipelineStats>,
     /// Per-node pipeline counters, indexed by node id (soNUMA runs only).
     pub per_node: Vec<PipelineStats>,
+    /// Per-tenant outcomes (open-loop tenancy runs only), by tenant id.
+    pub tenants: Vec<TenantOutcome>,
+    /// Fabric congestion counters (soNUMA runs only).
+    pub fabric: Option<FabricSummary>,
+}
+
+impl BackendRun {
+    /// Each tenant's delivered fraction (achieved / offered), skipping
+    /// tenants that offered nothing. This is the allocation vector the
+    /// fairness index is computed over: under a feasible load every
+    /// entry is 1; under overload the scheduler's split shows.
+    pub fn delivered_fractions(&self) -> Vec<f64> {
+        self.tenants
+            .iter()
+            .filter(|t| t.offered > 0)
+            .map(|t| t.ops as f64 / t.offered as f64)
+            .collect()
+    }
+
+    /// Jain's fairness index over [`BackendRun::delivered_fractions`].
+    pub fn jain_fairness(&self) -> f64 {
+        jain_index(&self.delivered_fractions())
+    }
+
+    /// The merged arrival-to-completion histogram of every tenant in
+    /// `class` (`None` when no tenant of that class exists).
+    pub fn class_histogram(&self, class: SloClass) -> Option<LatencyHistogram> {
+        let mut hist = LatencyHistogram::new();
+        let mut any = false;
+        for t in self.tenants.iter().filter(|t| t.class == class) {
+            hist.merge_from(&t.hist);
+            any = true;
+        }
+        any.then_some(hist)
+    }
 }
 
 /// One executed scenario: the spec plus one run per backend.
@@ -599,7 +951,26 @@ impl BackendInstance {
                     PlatformSpec::Dev => MachineConfig::dev_platform(spec.nodes),
                 };
                 config.fabric = spec.topology.to_config(spec.nodes);
-                BackendInstance::Sonuma(Box::new(SonumaBackend::new(config, spec.segment_bytes)))
+                if let Some(tn) = &spec.tenancy {
+                    config.sched_policy = tn.scheduler;
+                }
+                let mut backend = SonumaBackend::new(config, spec.segment_bytes);
+                if let Some(tn) = &spec.tenancy {
+                    // Every tenant gets a dedicated QP on its home node,
+                    // registered under its weight and SLO class so the
+                    // RGP's QoS scheduler arbitrates real queues.
+                    for t in 0..tn.tenants {
+                        let class = tenant_class(t, tn.tenants);
+                        backend.register_tenant_channel(
+                            NodeId((t % spec.nodes) as u16),
+                            (t / spec.nodes) as u32,
+                            TenantId(t as u32),
+                            class_weight(tn.weights, class),
+                            class,
+                        );
+                    }
+                }
+                BackendInstance::Sonuma(Box::new(backend))
             }
             BackendKind::Rdma => BackendInstance::Rdma(Box::new(RdmaBackend::connectx3(
                 spec.nodes,
@@ -733,6 +1104,7 @@ fn drive(spec: &ScenarioSpec, backend: &mut dyn RemoteBackend) -> BackendRun {
     BackendRun {
         backend: backend.label().to_string(),
         ops,
+        offered_ops: 0,
         payload_bytes,
         errors,
         sim_time,
@@ -740,6 +1112,7 @@ fn drive(spec: &ScenarioSpec, backend: &mut dyn RemoteBackend) -> BackendRun {
         gbps: sonuma_sim::stats::gbps(payload_bytes, sim_time),
         p50: hist.percentile(0.50),
         p99: hist.percentile(0.99),
+        p999: hist.percentile(0.999),
         mean: hist.mean(),
         events,
         wall_secs,
@@ -751,6 +1124,196 @@ fn drive(spec: &ScenarioSpec, backend: &mut dyn RemoteBackend) -> BackendRun {
         // Pipeline counters are attached by `run_spec` for soNUMA runs.
         pipeline_total: None,
         per_node: Vec::new(),
+        tenants: Vec::new(),
+        fabric: None,
+    }
+}
+
+/// One tenant's live state inside the open-loop driver.
+struct TenantDriver {
+    home: usize,
+    channel: u32,
+    class: SloClass,
+    weight: u32,
+    rng: DetRng,
+    arrivals: ArrivalGen,
+    /// Arrived-but-not-yet-posted requests (head blocked on WQ space).
+    backlog: VecDeque<(u64, RemoteRequest)>,
+    offered: u64,
+    completed: u64,
+    errors: u64,
+    hist: LatencyHistogram,
+}
+
+/// Drives `spec`'s open-loop tenant streams over one backend until every
+/// arrival within the horizon has been offered, posted, and completed.
+///
+/// Arrivals are generated per tenant by seeded [`ArrivalGen`]s; requests
+/// pick their destination node and remote address through the spec's
+/// Zipf samplers. Latency is measured **arrival-to-completion** — an
+/// operation stuck behind a noisy neighbor's backlog accrues queueing
+/// delay even before its WQ post succeeds, which is exactly the tail a
+/// tenant observes.
+fn drive_open_loop(spec: &ScenarioSpec, backend: &mut dyn RemoteBackend) -> BackendRun {
+    let tn = spec.tenancy.as_ref().expect("open-loop spec");
+    let tr = spec.traffic.as_ref().expect("open-loop spec");
+    let nodes = spec.nodes;
+    let started = Instant::now();
+    let horizon_ps = (tr.duration_us * 1e6) as u64;
+    // Zipf support over whole-op slots; capped so the CDF table stays
+    // small for huge segments (the hot set is what skew is about).
+    let slots = ((spec.segment_bytes - spec.op_bytes) / spec.op_bytes + 1).min(1 << 16) as usize;
+    let addr_sampler = ZipfSampler::new(slots, tr.zipf_addr);
+    let dst_sampler = ZipfSampler::new(nodes, tr.zipf_dst);
+
+    let mut root = DetRng::seed(spec.seed);
+    let mut tenants: Vec<TenantDriver> = (0..tn.tenants)
+        .map(|t| {
+            let class = tenant_class(t, tn.tenants);
+            TenantDriver {
+                home: t % nodes,
+                channel: (t / nodes) as u32,
+                class,
+                weight: class_weight(tn.weights, class),
+                rng: root.fork(t as u64),
+                arrivals: ArrivalGen::new(tr.arrival, tr.rate_per_tenant, tr.burst),
+                backlog: VecDeque::new(),
+                offered: 0,
+                completed: 0,
+                errors: 0,
+                hist: LatencyHistogram::new(),
+            }
+        })
+        .collect();
+    // token -> (tenant, arrival ps, payload bytes), per posting node
+    // (tokens are unique per node across channels).
+    let mut pending: Vec<HashMap<u64, (usize, u64, u64)>> =
+        (0..nodes).map(|_| HashMap::new()).collect();
+    let mut hist = LatencyHistogram::new();
+    let mut ops = 0u64;
+    let mut payload_bytes = 0u64;
+    let mut errors = 0u64;
+
+    loop {
+        let now_ps = backend.now().as_ps();
+        // 1. Materialize every arrival that is due, in tenant order.
+        for (idx, t) in tenants.iter_mut().enumerate() {
+            while t.arrivals.peek_ps() <= now_ps {
+                let Some(at) = t.arrivals.next_arrival(&mut t.rng, horizon_ps) else {
+                    break;
+                };
+                let dst_rank = dst_sampler.sample(&mut t.rng);
+                let dst = if dst_rank == t.home {
+                    NodeId(((dst_rank + 1) % nodes) as u16)
+                } else {
+                    NodeId(dst_rank as u16)
+                };
+                let offset = addr_sampler.sample(&mut t.rng) as u64 * spec.op_bytes;
+                let req = if t.rng.chance(spec.read_fraction) {
+                    RemoteRequest::read(dst, offset, spec.op_bytes)
+                } else {
+                    let fill = (idx as u8) ^ (t.offered as u8) ^ 0x5A;
+                    RemoteRequest::write(dst, offset, vec![fill; spec.op_bytes as usize])
+                };
+                t.backlog.push_back((at, req));
+                t.offered += 1;
+            }
+        }
+        // 2. Post as much backlog as the queues accept, in tenant order.
+        let mut posted_any = false;
+        for (idx, t) in tenants.iter_mut().enumerate() {
+            while let Some((at, req)) = t.backlog.front() {
+                match backend.post_on(NodeId(t.home as u16), t.channel, req.clone()) {
+                    Ok(token) => {
+                        pending[t.home].insert(token, (idx, *at, spec.op_bytes));
+                        t.backlog.pop_front();
+                        posted_any = true;
+                    }
+                    Err(sonuma_core::BackendError::Backpressure) => break,
+                    Err(e) => panic!("scenario {} tenant post failed: {e}", spec.name),
+                }
+            }
+        }
+        // 3. Make progress and account completions.
+        let more = backend.advance();
+        let now = backend.now();
+        for (n, node_pending) in pending.iter_mut().enumerate() {
+            for c in backend.poll(NodeId(n as u16)) {
+                let (idx, at, bytes) = node_pending
+                    .remove(&c.token)
+                    .expect("completion for unknown token");
+                let lat = now.saturating_sub(SimTime::from_ps(at));
+                let t = &mut tenants[idx];
+                t.completed += 1;
+                t.hist.record(lat);
+                hist.record(lat);
+                ops += 1;
+                if c.status.is_ok() {
+                    payload_bytes += bytes;
+                } else {
+                    errors += 1;
+                    t.errors += 1;
+                }
+            }
+        }
+        // 4. Terminate, or jump the idle clock to the next arrival.
+        let backlogged = tenants.iter().any(|t| !t.backlog.is_empty());
+        let inflight: usize = pending.iter().map(HashMap::len).sum();
+        if !more && !posted_any && !backlogged && inflight == 0 {
+            let next = tenants
+                .iter()
+                .map(|t| t.arrivals.peek_ps())
+                .filter(|&p| p <= horizon_ps)
+                .min();
+            match next {
+                Some(p) => backend.advance_clock_to(SimTime::from_ps(p)),
+                None => break,
+            }
+        }
+    }
+
+    let sim_time = backend.now();
+    let wall_secs = started.elapsed().as_secs_f64();
+    let events = backend.events_processed();
+    let offered_ops = tenants.iter().map(|t| t.offered).sum();
+    let outcomes = tenants
+        .into_iter()
+        .enumerate()
+        .map(|(t, d)| TenantOutcome {
+            tenant: t as u32,
+            node: d.home as u16,
+            class: d.class,
+            weight: d.weight,
+            offered: d.offered,
+            ops: d.completed,
+            errors: d.errors,
+            hist: d.hist,
+        })
+        .collect();
+    BackendRun {
+        backend: backend.label().to_string(),
+        ops,
+        offered_ops,
+        payload_bytes,
+        errors,
+        sim_time,
+        ops_per_sec: sonuma_sim::stats::ops_per_sec(ops, sim_time),
+        gbps: sonuma_sim::stats::gbps(payload_bytes, sim_time),
+        p50: hist.percentile(0.50),
+        p99: hist.percentile(0.99),
+        p999: hist.percentile(0.999),
+        mean: hist.mean(),
+        events,
+        wall_secs,
+        wall_events_per_sec: if wall_secs > 0.0 {
+            events as f64 / wall_secs
+        } else {
+            0.0
+        },
+        pipeline_total: None,
+        per_node: Vec::new(),
+        tenants: outcomes,
+        fabric: None,
     }
 }
 
@@ -770,19 +1333,39 @@ pub const TIMING_REPS: u32 = 3;
 /// specs are validated at load time).
 pub fn run_spec(spec: &ScenarioSpec) -> ScenarioResult {
     spec.validate().expect("spec validated at load time");
+    let drive_one = |instance: &mut BackendInstance| {
+        if spec.tenancy.is_some() {
+            drive_open_loop(spec, instance.as_dyn())
+        } else {
+            drive(spec, instance.as_dyn())
+        }
+    };
     let mut runs = Vec::new();
     for kind in spec.backend.kinds() {
         let mut instance = BackendInstance::build(spec, kind);
-        let mut run = drive(spec, instance.as_dyn());
+        let mut run = drive_one(&mut instance);
         if let BackendInstance::Sonuma(b) = &instance {
             run.per_node = (0..spec.nodes)
                 .map(|n| b.cluster().pipeline_stats(NodeId(n as u16)))
                 .collect();
             run.pipeline_total = Some(b.cluster().total_pipeline_stats());
+            let fabric = &b.cluster().fabric;
+            let links = fabric.link_stats();
+            let mut hot: Vec<LinkStats> = links.clone();
+            hot.sort_by_key(|l| (std::cmp::Reverse(l.bytes), l.src, l.dst));
+            hot.truncate(MAX_REPORTED_LINKS);
+            run.fabric = Some(FabricSummary {
+                bytes: fabric.bytes_sent(),
+                packets: fabric.packets_sent(),
+                credit_stalls: fabric.credit_stalls(),
+                lane_packets: fabric.lane_packets(),
+                links_observed: links.len(),
+                hot_links: hot,
+            });
         }
         for _ in 1..TIMING_REPS {
             let mut retimed = BackendInstance::build(spec, kind);
-            let rep = drive(spec, retimed.as_dyn());
+            let rep = drive_one(&mut retimed);
             debug_assert_eq!(rep.events, run.events, "repetitions must be identical");
             if rep.wall_events_per_sec > run.wall_events_per_sec {
                 run.wall_events_per_sec = rep.wall_events_per_sec;
@@ -816,10 +1399,136 @@ fn stats_json(stats: &PipelineStats) -> Json {
     )
 }
 
+/// Latency members of a tenant/class histogram, in report order.
+fn latency_json(hist: &LatencyHistogram) -> Vec<(String, Json)> {
+    vec![
+        (
+            "lat_p50_ns".to_string(),
+            Json::Num(hist.percentile(0.50).as_ns_f64()),
+        ),
+        (
+            "lat_p99_ns".to_string(),
+            Json::Num(hist.percentile(0.99).as_ns_f64()),
+        ),
+        (
+            "lat_p999_ns".to_string(),
+            Json::Num(hist.percentile(0.999).as_ns_f64()),
+        ),
+        (
+            "lat_mean_ns".to_string(),
+            Json::Num(hist.mean().as_ns_f64()),
+        ),
+    ]
+}
+
+/// The `per_tenant` report section: achieved-vs-offered fairness (Jain's
+/// index over each tenant's delivered fraction), per-SLO-class latency
+/// aggregates, and the full per-tenant table.
+fn per_tenant_json(run: &BackendRun) -> Json {
+    let jain = run.jain_fairness();
+    let mut classes = Vec::new();
+    for class in [SloClass::Gold, SloClass::Silver, SloClass::Bronze] {
+        let Some(hist) = run.class_histogram(class) else {
+            continue;
+        };
+        let (mut count, mut offered, mut ops) = (0u64, 0u64, 0u64);
+        for t in run.tenants.iter().filter(|t| t.class == class) {
+            count += 1;
+            offered += t.offered;
+            ops += t.ops;
+        }
+        let mut members = vec![
+            ("class".to_string(), Json::Str(class.as_str().into())),
+            ("tenants".to_string(), Json::Num(count as f64)),
+            ("offered_ops".to_string(), Json::Num(offered as f64)),
+            ("ops".to_string(), Json::Num(ops as f64)),
+        ];
+        members.extend(latency_json(&hist));
+        classes.push(Json::Obj(members));
+    }
+    let tenants = run
+        .tenants
+        .iter()
+        .take(MAX_REPORTED_TENANTS)
+        .map(|t| {
+            let mut members = vec![
+                ("tenant".to_string(), Json::Num(t.tenant as f64)),
+                ("node".to_string(), Json::Num(t.node as f64)),
+                ("class".to_string(), Json::Str(t.class.as_str().into())),
+                ("weight".to_string(), Json::Num(t.weight as f64)),
+                ("offered_ops".to_string(), Json::Num(t.offered as f64)),
+                ("ops".to_string(), Json::Num(t.ops as f64)),
+                ("errors".to_string(), Json::Num(t.errors as f64)),
+            ];
+            members.extend(latency_json(&t.hist));
+            Json::Obj(members)
+        })
+        .collect();
+    let shown = run.tenants.len().min(MAX_REPORTED_TENANTS);
+    Json::Obj(vec![
+        ("tenants".to_string(), Json::Num(run.tenants.len() as f64)),
+        ("jain_fairness".to_string(), Json::Num(jain)),
+        ("classes".to_string(), Json::Arr(classes)),
+        ("detail_shown".to_string(), Json::Num(shown as f64)),
+        (
+            "detail_truncated".to_string(),
+            Json::Bool(run.tenants.len() > shown),
+        ),
+        ("detail".to_string(), Json::Arr(tenants)),
+    ])
+}
+
+fn fabric_json(fabric: &FabricSummary) -> Json {
+    Json::Obj(vec![
+        ("bytes".to_string(), Json::Num(fabric.bytes as f64)),
+        ("packets".to_string(), Json::Num(fabric.packets as f64)),
+        (
+            "credit_stalls".to_string(),
+            Json::Num(fabric.credit_stalls as f64),
+        ),
+        (
+            "lane_packets".to_string(),
+            Json::Arr(
+                fabric
+                    .lane_packets
+                    .iter()
+                    .map(|&p| Json::Num(p as f64))
+                    .collect(),
+            ),
+        ),
+        (
+            "links_observed".to_string(),
+            Json::Num(fabric.links_observed as f64),
+        ),
+        (
+            "hot_links".to_string(),
+            Json::Arr(
+                fabric
+                    .hot_links
+                    .iter()
+                    .map(|l| {
+                        Json::Obj(vec![
+                            ("src".to_string(), Json::Num(l.src.0 as f64)),
+                            ("dst".to_string(), Json::Num(l.dst.0 as f64)),
+                            ("bytes".to_string(), Json::Num(l.bytes as f64)),
+                            ("packets".to_string(), Json::Num(l.packets as f64)),
+                            (
+                                "credit_stalls".to_string(),
+                                Json::Num(l.credit_stalls as f64),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 fn run_json(run: &BackendRun) -> Json {
     let mut members = vec![
         ("backend".to_string(), Json::Str(run.backend.clone())),
         ("ops".to_string(), Json::Num(run.ops as f64)),
+        ("offered_ops".to_string(), Json::Num(run.offered_ops as f64)),
         (
             "payload_bytes".to_string(),
             Json::Num(run.payload_bytes as f64),
@@ -830,6 +1539,7 @@ fn run_json(run: &BackendRun) -> Json {
         ("gbps".to_string(), Json::Num(run.gbps)),
         ("lat_p50_ns".to_string(), Json::Num(run.p50.as_ns_f64())),
         ("lat_p99_ns".to_string(), Json::Num(run.p99.as_ns_f64())),
+        ("lat_p999_ns".to_string(), Json::Num(run.p999.as_ns_f64())),
         ("lat_mean_ns".to_string(), Json::Num(run.mean.as_ns_f64())),
         ("events".to_string(), Json::Num(run.events as f64)),
         ("wall_secs".to_string(), Json::Num(run.wall_secs)),
@@ -838,6 +1548,12 @@ fn run_json(run: &BackendRun) -> Json {
             Json::Num(run.wall_events_per_sec),
         ),
     ];
+    if !run.tenants.is_empty() {
+        members.push(("per_tenant".to_string(), per_tenant_json(run)));
+    }
+    if let Some(fabric) = &run.fabric {
+        members.push(("fabric".to_string(), fabric_json(fabric)));
+    }
     if let Some(total) = &run.pipeline_total {
         members.push(("pipeline_total".to_string(), stats_json(total)));
         members.push((
@@ -965,6 +1681,7 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
                 .ok_or(format!("scenario {name}: run without backend"))?;
             for key in [
                 "ops",
+                "offered_ops",
                 "payload_bytes",
                 "errors",
                 "sim_us",
@@ -972,12 +1689,29 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
                 "gbps",
                 "lat_p50_ns",
                 "lat_p99_ns",
+                "lat_p999_ns",
                 "events",
                 "wall_secs",
                 "wall_events_per_sec",
             ] {
                 run.f64_of(key)
                     .ok_or(format!("scenario {name}/{backend}: missing {key}"))?;
+            }
+            if let Some(pt) = run.get("per_tenant") {
+                let jain = pt
+                    .f64_of("jain_fairness")
+                    .ok_or(format!("scenario {name}/{backend}: per_tenant has no jain"))?;
+                if !(0.0..=1.0).contains(&jain) {
+                    return Err(format!(
+                        "scenario {name}/{backend}: jain_fairness {jain} out of [0, 1]"
+                    ));
+                }
+                pt.get("detail")
+                    .and_then(Json::as_arr)
+                    .filter(|d| !d.is_empty())
+                    .ok_or(format!(
+                        "scenario {name}/{backend}: per_tenant without detail"
+                    ))?;
             }
         }
     }
@@ -1211,9 +1945,69 @@ pub fn rack512_spec() -> ScenarioSpec {
     }
 }
 
+/// The multi-tenant rack: 64 nodes, 1024 tenants (16 per node, each with
+/// its own QP), Zipf-skewed open-loop Poisson traffic, WDRR scheduling
+/// with uniform weights. The fairness acceptance scenario: with equal
+/// weights and a feasible offered load, every tenant's delivered
+/// fraction should be near 1 and Jain's index ≥ 0.95.
+pub fn rack64_tenants_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "rack64-tenants".into(),
+        nodes: 64,
+        backend: BackendSel::All,
+        workload: WorkloadKind::Mixed,
+        read_fraction: 0.8,
+        op_bytes: 64,
+        segment_bytes: 1 << 18,
+        seed: 4242,
+        tenancy: Some(TenancySpec {
+            tenants: 1024,
+            scheduler: SchedPolicy::Wdrr,
+            weights: WeightMode::Uniform,
+        }),
+        traffic: Some(TrafficSpec {
+            arrival: ArrivalKind::Poisson,
+            rate_per_tenant: 150_000.0,
+            duration_us: 200.0,
+            zipf_addr: 0.9,
+            zipf_dst: 0.4,
+            burst: 8,
+        }),
+        ..ScenarioSpec::default()
+    }
+}
+
+/// The noisy-neighbor rack: same shape as [`rack64_tenants_spec`] but
+/// phase-aligned bursty arrivals under strict-priority scheduling with
+/// tiered weights — every epoch, all 16 tenants of a node dump a burst
+/// into their WQs at once, and the RGP drains gold first. Expected
+/// outcome: gold p99 well below bronze p99 on the soNUMA backend.
+pub fn rack64_tenants_strict_spec() -> ScenarioSpec {
+    #[allow(clippy::needless_update)]
+    ScenarioSpec {
+        name: "rack64-tenants-strict".into(),
+        tenancy: Some(TenancySpec {
+            tenants: 1024,
+            scheduler: SchedPolicy::StrictPriority,
+            weights: WeightMode::Tiered,
+        }),
+        traffic: Some(TrafficSpec {
+            arrival: ArrivalKind::Bursty,
+            rate_per_tenant: 150_000.0,
+            duration_us: 200.0,
+            zipf_addr: 0.9,
+            zipf_dst: 0.4,
+            burst: 16,
+        }),
+        ..rack64_tenants_spec()
+    }
+}
+
 /// Every canned spec, addressable by name from the CLI.
 pub fn canned_specs() -> Vec<ScenarioSpec> {
     let mut specs = smoke_specs();
     specs.push(rack512_spec());
+    specs.push(rack64_tenants_spec());
+    specs.push(rack64_tenants_strict_spec());
     specs
 }

@@ -1,0 +1,307 @@
+//! Deterministic open-loop traffic generation for multi-tenant scenarios.
+//!
+//! Closed-loop drivers (post, wait, post again) measure a system that is
+//! never overcommitted; rack-scale tenancy questions — noisy neighbors,
+//! incast, SLO-class separation — only appear under *open-loop* load,
+//! where arrivals keep coming whether or not earlier operations finished.
+//! This module provides the three seeded arrival processes
+//! ([`ArrivalGen`]: Poisson, uniform, bursty) and the Zipf samplers
+//! ([`ZipfSampler`]) that skew destination-node and remote-address
+//! selection, all driven from `sonuma_sim::DetRng` so a spec + seed fully
+//! determines the offered stream.
+//!
+//! Everything here is pure generation; the scenario harness owns the
+//! loop that posts arrivals into a `RemoteBackend` and accounts
+//! completions per tenant.
+
+use sonuma_sim::DetRng;
+
+/// Shape of a tenant's arrival process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalKind {
+    /// Memoryless arrivals: exponential inter-arrival times (the classic
+    /// open-loop model).
+    Poisson,
+    /// Fixed inter-arrival interval (a perfectly paced load generator).
+    Uniform,
+    /// Back-to-back bursts of `burst` arrivals at epoch boundaries, all
+    /// tenants phase-aligned — the worst case for head-of-line blocking
+    /// inside one node's RGP.
+    Bursty,
+}
+
+impl ArrivalKind {
+    /// Spec/report label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ArrivalKind::Poisson => "poisson",
+            ArrivalKind::Uniform => "uniform",
+            ArrivalKind::Bursty => "bursty",
+        }
+    }
+
+    /// Parses a spec label.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown label back.
+    pub fn parse(s: &str) -> Result<ArrivalKind, String> {
+        match s {
+            "poisson" => Ok(ArrivalKind::Poisson),
+            "uniform" => Ok(ArrivalKind::Uniform),
+            "bursty" => Ok(ArrivalKind::Bursty),
+            other => Err(format!(
+                "unknown arrival process {other:?} (poisson|uniform|bursty)"
+            )),
+        }
+    }
+}
+
+/// One tenant's arrival-time generator: yields absolute arrival times in
+/// picoseconds, strictly ordered, until the horizon.
+#[derive(Debug)]
+pub struct ArrivalGen {
+    kind: ArrivalKind,
+    /// Mean inter-arrival time, ps.
+    mean_ps: f64,
+    /// Arrivals per burst (bursty only).
+    burst: u32,
+    /// Next arrival's absolute time, ps.
+    next_ps: f64,
+    /// Arrivals remaining in the current burst (bursty only).
+    in_burst: u32,
+}
+
+impl ArrivalGen {
+    /// A generator producing `rate_per_sec` arrivals per simulated second
+    /// on average, starting at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not positive or `burst` is zero.
+    pub fn new(kind: ArrivalKind, rate_per_sec: f64, burst: u32) -> Self {
+        assert!(rate_per_sec > 0.0, "arrival rate must be positive");
+        assert!(burst > 0, "burst must be nonzero");
+        ArrivalGen {
+            kind,
+            mean_ps: 1e12 / rate_per_sec,
+            burst,
+            next_ps: 0.0,
+            in_burst: burst,
+        }
+    }
+
+    /// The next arrival at or before `horizon_ps`, advancing internal
+    /// state; `None` once the process passes the horizon (it stays
+    /// exhausted — arrivals stop at the horizon for good).
+    pub fn next_arrival(&mut self, rng: &mut DetRng, horizon_ps: u64) -> Option<u64> {
+        if self.next_ps > horizon_ps as f64 {
+            return None;
+        }
+        let arrival = self.next_ps as u64;
+        let delta = match self.kind {
+            ArrivalKind::Uniform => self.mean_ps,
+            ArrivalKind::Poisson => {
+                // Inverse-CDF exponential draw; 1-u keeps the argument
+                // of ln strictly positive.
+                let u = rng.unit_f64();
+                -(1.0 - u).ln() * self.mean_ps
+            }
+            ArrivalKind::Bursty => {
+                // `burst` arrivals land back-to-back, then the process
+                // idles to the next epoch so the long-run rate matches.
+                self.in_burst -= 1;
+                if self.in_burst > 0 {
+                    0.0
+                } else {
+                    self.in_burst = self.burst;
+                    self.mean_ps * self.burst as f64
+                }
+            }
+        };
+        self.next_ps += delta.max(1.0);
+        Some(arrival)
+    }
+
+    /// The absolute time of the next arrival, ps (may be past the
+    /// horizon).
+    pub fn peek_ps(&self) -> u64 {
+        self.next_ps as u64
+    }
+}
+
+/// A Zipf(θ) sampler over `n` ranked items: rank 0 is the most popular,
+/// with probability proportional to `1/(r+1)^θ`. θ = 0 degenerates to
+/// uniform. The CDF is precomputed once and shared per shape, so
+/// per-arrival sampling is one RNG draw plus a binary search.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler for `n` items with skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is negative.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "empty Zipf support");
+        assert!(theta >= 0.0, "negative Zipf skew");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let u = rng.unit_f64();
+        // First rank whose cumulative mass covers u.
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("CDF is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Number of items in the support.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the support is empty (never true — construction rejects
+    /// `n == 0`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+/// Jain's fairness index over per-tenant allocations: `(Σx)² / (n·Σx²)`,
+/// 1.0 for perfectly equal shares, `1/n` when one tenant takes
+/// everything. Zero-only inputs report 0.
+pub fn jain_index(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return 0.0;
+    }
+    sum * sum / (xs.len() as f64 * sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_hits_the_requested_rate() {
+        let mut rng = DetRng::seed(7);
+        let mut gen = ArrivalGen::new(ArrivalKind::Poisson, 1e6, 1); // 1 op/us
+        let horizon = 10_000_000_000; // 10 ms => expect ~10k arrivals
+        let mut count = 0u64;
+        while gen.next_arrival(&mut rng, horizon).is_some() {
+            count += 1;
+        }
+        assert!(
+            (9_000..11_000).contains(&count),
+            "Poisson at 1 op/us over 10 ms produced {count} arrivals"
+        );
+    }
+
+    #[test]
+    fn uniform_is_exactly_paced() {
+        let mut rng = DetRng::seed(1);
+        let mut gen = ArrivalGen::new(ArrivalKind::Uniform, 1e6, 1);
+        let t0 = gen.next_arrival(&mut rng, u64::MAX).unwrap();
+        let t1 = gen.next_arrival(&mut rng, u64::MAX).unwrap();
+        let t2 = gen.next_arrival(&mut rng, u64::MAX).unwrap();
+        assert_eq!(t0, 0);
+        assert_eq!(t1 - t0, 1_000_000, "1 us spacing at 1 op/us");
+        assert_eq!(t2 - t1, 1_000_000);
+    }
+
+    #[test]
+    fn bursty_clusters_and_keeps_long_run_rate() {
+        let mut rng = DetRng::seed(2);
+        let mut gen = ArrivalGen::new(ArrivalKind::Bursty, 1e6, 4);
+        let times: Vec<u64> = (0..8)
+            .map(|_| gen.next_arrival(&mut rng, u64::MAX).unwrap())
+            .collect();
+        // First burst of 4 lands (nearly) together, next burst one epoch
+        // later.
+        assert!(times[3] - times[0] <= 3, "burst is back-to-back: {times:?}");
+        assert!(
+            times[4] >= 4_000_000,
+            "epoch gap restores the rate: {times:?}"
+        );
+        assert!(times[7] - times[4] <= 3);
+    }
+
+    #[test]
+    fn arrivals_are_deterministic_and_exhaust_at_horizon() {
+        let stream = |seed| {
+            let mut rng = DetRng::seed(seed);
+            let mut gen = ArrivalGen::new(ArrivalKind::Poisson, 1e7, 1);
+            let mut out = Vec::new();
+            while let Some(t) = gen.next_arrival(&mut rng, 1_000_000) {
+                out.push(t);
+            }
+            // Exhausted generators stay exhausted at the same horizon.
+            assert!(gen.next_arrival(&mut rng, 1_000_000).is_none());
+            assert!(gen.peek_ps() > 1_000_000);
+            out
+        };
+        assert_eq!(stream(42), stream(42));
+        assert_ne!(stream(42), stream(43));
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let mut rng = DetRng::seed(3);
+        let z = ZipfSampler::new(100, 0.99);
+        let mut counts = [0u64; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(
+            counts[0] > counts[50] * 10,
+            "rank 0 ({}) must dominate rank 50 ({})",
+            counts[0],
+            counts[50]
+        );
+        assert_eq!(counts.iter().sum::<u64>(), 20_000);
+    }
+
+    #[test]
+    fn zipf_zero_theta_is_uniform() {
+        let mut rng = DetRng::seed(4);
+        let z = ZipfSampler::new(10, 0.0);
+        let mut counts = [0u64; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(*max < min * 2, "θ=0 must be near-uniform: {counts:?}");
+    }
+
+    #[test]
+    fn jain_index_extremes() {
+        assert!((jain_index(&[1.0, 1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        let skewed = jain_index(&[1.0, 0.0, 0.0, 0.0]);
+        assert!((skewed - 0.25).abs() < 1e-12, "one-taker gives 1/n");
+        assert_eq!(jain_index(&[]), 0.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 0.0);
+    }
+}

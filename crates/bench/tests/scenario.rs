@@ -53,6 +53,8 @@ fn toml_roundtrip_preserves_every_field() {
         window: 3,
         segment_bytes: 1 << 16,
         seed: 1234567,
+        tenancy: None,
+        traffic: None,
     };
     assert_eq!(ScenarioSpec::from_toml(&spec.to_toml()).unwrap(), spec);
 }
@@ -116,7 +118,7 @@ fn report_is_schema_valid_and_parses_back() {
     validate_report(&back).expect("parsed report still valid");
     // Corruptions are caught.
     assert!(validate_report(&Json::parse("{}").unwrap()).is_err());
-    let wrong = text.replace("sonuma-bench.scenario/v1", "sonuma-bench.scenario/v0");
+    let wrong = text.replace("sonuma-bench.scenario/v2", "sonuma-bench.scenario/v0");
     assert!(validate_report(&Json::parse(&wrong).unwrap()).is_err());
 }
 
@@ -267,14 +269,28 @@ fn shipped_spec_files_parse() {
         let text = std::fs::read_to_string(&path).unwrap();
         let spec =
             ScenarioSpec::from_toml(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
-        // The shipped rack512 file must stay in sync with the canned spec
-        // the acceptance run uses.
+        // Shipped files must stay in sync with the canned specs the
+        // acceptance runs use.
         if spec.name == "rack512-neighbor" {
             assert_eq!(spec, rack512_spec(), "bench/specs/rack512.toml drifted");
         }
+        if spec.name == "rack64-tenants" {
+            assert_eq!(
+                spec,
+                sonuma_bench::scenario::rack64_tenants_spec(),
+                "bench/specs/rack64-tenants.toml drifted"
+            );
+        }
+        if spec.name == "rack64-tenants-strict" {
+            assert_eq!(
+                spec,
+                sonuma_bench::scenario::rack64_tenants_strict_spec(),
+                "bench/specs/rack64-tenants-strict.toml drifted"
+            );
+        }
         parsed += 1;
     }
-    assert!(parsed >= 2, "expected shipped spec files, found {parsed}");
+    assert!(parsed >= 4, "expected shipped spec files, found {parsed}");
 }
 
 #[test]

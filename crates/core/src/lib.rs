@@ -48,12 +48,13 @@ pub use system::{SonumaSystem, SystemBuilder};
 
 // Re-export the execution model so applications depend on one crate.
 pub use sonuma_machine::{
-    ApiError, AppProcess, Completion, MachineConfig, NodeApi, PipelineStats, SoftwareTiming,
-    SonumaBackend, Step, Wake,
+    ApiError, AppProcess, Completion, MachineConfig, NodeApi, PipelineStats, SchedPolicy, SloClass,
+    SoftwareTiming, SonumaBackend, Step, TenantSpec, TenantStats, Wake,
 };
 pub use sonuma_memory::VAddr;
 pub use sonuma_protocol::{
     BackendError, CtxId, NodeId, QpId, RemoteBackend, RemoteCompletion, RemoteRequest, Status,
+    TenantId,
 };
 pub use sonuma_sim::SimTime;
 

@@ -151,6 +151,42 @@ impl Fabric {
             .map(|vc| vc.stalls())
             .sum()
     }
+
+    /// Per-link traffic counters for every directed link that has carried
+    /// at least one packet, sorted by `(src, dst)` — deterministic
+    /// regardless of traffic pattern, so reports built from it are
+    /// byte-stable across runs.
+    pub fn link_stats(&self) -> Vec<LinkStats> {
+        let mut out: Vec<LinkStats> = self
+            .links
+            .iter()
+            .map(|(&(src, dst), link)| LinkStats {
+                src: NodeId(src),
+                dst: NodeId(dst),
+                bytes: link.serializer.bytes(),
+                packets: link.serializer.packets(),
+                credit_stalls: link.lanes.iter().map(VirtualChannel::stalls).sum(),
+            })
+            .collect();
+        out.sort_unstable_by_key(|l| (l.src, l.dst));
+        out
+    }
+}
+
+/// Traffic counters of one directed link (see [`Fabric::link_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Bytes serialized onto the wire.
+    pub bytes: u64,
+    /// Packets serialized onto the wire.
+    pub packets: u64,
+    /// Sends that had to wait for a credit, summed over the link's
+    /// virtual lanes (`VirtualChannel::stalls`).
+    pub credit_stalls: u64,
 }
 
 #[cfg(test)]
@@ -236,6 +272,24 @@ mod tests {
         // ~103 ns credit round trip sustains ~88% of it. Either way the
         // fabric must comfortably outrun one DDR3 channel (~77 Gbps).
         assert!(gbps > 200.0, "sustained {gbps} Gbps");
+    }
+
+    #[test]
+    fn link_stats_are_sorted_and_complete() {
+        let mut f = Fabric::new(FabricConfig::paper_crossbar(4));
+        f.send(SimTime::ZERO, NodeId(2), NodeId(1), 0, 88);
+        f.send(SimTime::ZERO, NodeId(0), NodeId(3), 1, 24);
+        f.send(SimTime::ZERO, NodeId(0), NodeId(3), 1, 24);
+        let stats = f.link_stats();
+        assert_eq!(stats.len(), 2, "only links that carried traffic");
+        assert_eq!((stats[0].src, stats[0].dst), (NodeId(0), NodeId(3)));
+        assert_eq!((stats[0].bytes, stats[0].packets), (48, 2));
+        assert_eq!((stats[1].src, stats[1].dst), (NodeId(2), NodeId(1)));
+        assert_eq!(
+            stats.iter().map(|l| l.bytes).sum::<u64>(),
+            f.bytes_sent(),
+            "per-link bytes must account for every byte sent"
+        );
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod link;
 pub mod topology;
 
 pub use config::FabricConfig;
-pub use fabric::{Arrival, Fabric};
+pub use fabric::{Arrival, Fabric, LinkStats};
 pub use link::{LinkTiming, VirtualChannel};
 pub use topology::Topology;
 

@@ -172,7 +172,7 @@ impl<'a> NodeApi<'a> {
     fn post(&mut self, qp: QpId, entry: WqEntry) -> Result<u16, ApiError> {
         let n = self.node;
         {
-            let node = &self.cluster.nodes[n];
+            let node = &mut self.cluster.nodes[n];
             let cursors = node.app_qps.get(qp.index()).ok_or(ApiError::BadQp)?;
             if cursors.owner_core != self.core {
                 return Err(ApiError::BadQp);
@@ -183,6 +183,10 @@ impl<'a> NodeApi<'a> {
             if cursors.outstanding >= node.rmc.qps[qp.index()].entries()
                 || cursors.slot_busy[cursors.wq_index as usize]
             {
+                // Backpressure is an explicit error, never a silent drop;
+                // count it so noisy-neighbor rejection is observable.
+                node.wq_full_rejections += 1;
+                node.tenants.note_wq_full(qp);
                 return Err(ApiError::WqFull);
             }
         }
@@ -358,6 +362,40 @@ impl<'a> NodeApi<'a> {
     /// Ring capacity of `qp`.
     pub fn qp_capacity(&self, qp: QpId) -> u16 {
         self.cluster.nodes[self.node].rmc.qps[qp.index()].entries()
+    }
+
+    /// Registers (or updates) a tenant on this node, making its weight and
+    /// SLO class visible to the RGP's QoS scheduler. Setup path: no time
+    /// charge.
+    pub fn register_tenant(&mut self, spec: crate::tenancy::TenantSpec) {
+        self.cluster.nodes[self.node].tenants.register(spec);
+    }
+
+    /// Creates a queue pair owned by this core and bound to `tenant`
+    /// (which must be registered). Setup path: no time charge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::OutOfMemory`] if the rings cannot be allocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is not registered or `ctx` does not exist.
+    pub fn create_tenant_qp(
+        &mut self,
+        ctx: CtxId,
+        tenant: sonuma_protocol::TenantId,
+    ) -> Result<QpId, ApiError> {
+        let node = NodeId(self.node as u16);
+        let core = self.core;
+        self.cluster
+            .create_tenant_qp(node, ctx, core, tenant)
+            .map_err(|_| ApiError::OutOfMemory)
+    }
+
+    /// The tenant registration owning `qp`, if any.
+    pub fn qp_tenant(&self, qp: QpId) -> Option<crate::tenancy::TenantSpec> {
+        self.cluster.nodes[self.node].tenants.qp_tenant(qp).copied()
     }
 
     /// Local memory read with cache-timing charges (one hierarchy access

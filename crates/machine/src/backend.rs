@@ -1,25 +1,32 @@
 //! [`SonumaBackend`]: the soNUMA machine behind the transport-agnostic
 //! [`RemoteBackend`] contract.
 //!
-//! The backend owns a [`Cluster`] plus its engine and drives one queue
-//! pair per node from outside the simulation — posts go through the same
-//! access-library path simulated applications use ([`crate::NodeApi`]), so
-//! they pay WQ-store, RGP, fabric, RRPP and RCP costs exactly as §4.2
-//! models them. This is what lets `sonuma-core`'s backend conformance
-//! suite and the Table 2 harness run identical request streams over
-//! soNUMA and over the baseline transports.
+//! The backend owns a [`Cluster`] plus its engine and drives tenant
+//! channels — one queue pair per `(node, channel)` — from outside the
+//! simulation: posts go through the same access-library path simulated
+//! applications use ([`crate::NodeApi`]), so they pay WQ-store, RGP,
+//! fabric, RRPP and RCP costs exactly as §4.2 models them, and channels
+//! registered with [`SonumaBackend::register_tenant_channel`] are
+//! scheduled by the RGP under their tenant's weight and SLO class. This
+//! is what lets `sonuma-core`'s backend conformance suite and the Table 2
+//! harness run identical request streams over soNUMA and over the
+//! baseline transports, and what lets the multi-tenant traffic harness
+//! create real per-tenant contention inside one node's RMC.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use sonuma_memory::VAddr;
 use sonuma_protocol::{
     BackendError, CtxId, NodeId, QpId, RemoteBackend, RemoteCompletion, RemoteOp, RemoteRequest,
+    TenantId,
 };
 use sonuma_sim::SimTime;
 
 use crate::api::{ApiError, NodeApi};
 use crate::cluster::Cluster;
 use crate::config::MachineConfig;
+use crate::event::ClusterEvent;
+use crate::tenancy::{SloClass, TenantSpec};
 use crate::ClusterEngine;
 
 const BACKEND_CTX: CtxId = CtxId(0);
@@ -34,18 +41,27 @@ struct PendingOp {
     len: u64,
 }
 
-/// Per-node driver state: the QP this backend posts on and its landing
-/// buffers, keyed by WQ slot (unique among outstanding operations).
-#[derive(Debug, Default)]
-struct NodePort {
-    qp: Option<QpId>,
+/// Driver state of one tenant channel: its queue pair, in-flight
+/// operations keyed by WQ slot (unique among outstanding operations on
+/// one QP), and pooled landing buffers.
+#[derive(Debug)]
+struct ChannelPort {
+    qp: QpId,
     pending: HashMap<u16, PendingOp>,
-    ready: Vec<RemoteCompletion>,
-    next_token: u64,
     /// Pooled landing buffers, one per WQ slot, grown on demand and
     /// reused across operations so arbitrarily long request streams never
     /// exhaust the node heap.
     bufs: HashMap<u16, (VAddr, u64)>,
+}
+
+/// Per-node driver state: tenant channels (ordered map — harvest order,
+/// and therefore report content, is independent of registration pattern)
+/// plus the node-wide completion staging area and token counter.
+#[derive(Debug, Default)]
+struct NodePort {
+    channels: BTreeMap<u32, ChannelPort>,
+    ready: Vec<RemoteCompletion>,
+    next_token: u64,
 }
 
 /// The full soNUMA machine exposed as a [`RemoteBackend`].
@@ -68,6 +84,11 @@ pub struct SonumaBackend {
     engine: ClusterEngine,
     ports: Vec<NodePort>,
     segment_len: u64,
+    /// Idle-clock floor (`advance_clock_to`): the engine clock only moves
+    /// while events execute, so the externally visible `now()` reports
+    /// the max of the two. An Anchor event scheduled at the floor pulls
+    /// the engine clock up on the next `advance()`.
+    clock_floor: SimTime,
 }
 
 impl std::fmt::Debug for SonumaBackend {
@@ -97,6 +118,7 @@ impl SonumaBackend {
             engine: ClusterEngine::new(),
             ports: (0..nodes).map(|_| NodePort::default()).collect(),
             segment_len,
+            clock_floor: SimTime::ZERO,
         }
     }
 
@@ -115,50 +137,108 @@ impl SonumaBackend {
         &self.cluster
     }
 
-    /// Lazily creates node `n`'s QP (core 0 owns it).
-    fn port_qp(&mut self, n: usize) -> QpId {
-        if let Some(qp) = self.ports[n].qp {
-            return qp;
+    /// Registers tenant `channel` on `node`: the tenant is registered
+    /// with the node's RMC under `(weight, slo)` and a dedicated queue
+    /// pair is created for it, so [`RemoteBackend::post_on`] traffic for
+    /// this channel is scheduled by the RGP under the tenant's QoS class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if QP ring allocation fails (node memory exhausted).
+    pub fn register_tenant_channel(
+        &mut self,
+        node: NodeId,
+        channel: u32,
+        tenant: TenantId,
+        weight: u32,
+        slo: SloClass,
+    ) {
+        let n = node.index();
+        self.cluster.register_tenant(
+            node,
+            TenantSpec {
+                id: tenant,
+                weight,
+                slo,
+            },
+        );
+        let qp = self
+            .cluster
+            .create_tenant_qp(node, BACKEND_CTX, 0, tenant)
+            .expect("QP ring allocation failed");
+        self.ports[n].channels.insert(
+            channel,
+            ChannelPort {
+                qp,
+                pending: HashMap::new(),
+                bufs: HashMap::new(),
+            },
+        );
+    }
+
+    /// Lazily creates node `n`'s queue pair for `channel` (core 0 owns
+    /// it; the QP is untagged, i.e. best-effort, unless the channel was
+    /// registered through [`SonumaBackend::register_tenant_channel`]).
+    fn channel_qp(&mut self, n: usize, channel: u32) -> QpId {
+        if let Some(port) = self.ports[n].channels.get(&channel) {
+            return port.qp;
         }
         let qp = self
             .cluster
             .create_qp(NodeId(n as u16), BACKEND_CTX, 0)
             .expect("QP ring allocation failed");
-        self.ports[n].qp = Some(qp);
+        self.ports[n].channels.insert(
+            channel,
+            ChannelPort {
+                qp,
+                pending: HashMap::new(),
+                bufs: HashMap::new(),
+            },
+        );
         qp
     }
 
     /// Harvests CQ entries for node `n` into finished completions.
     fn harvest(&mut self, n: usize) {
-        let Some(qp) = self.ports[n].qp else { return };
-        let comps = self.cluster.drain_cq(n, qp);
-        for c in comps {
-            let Some(p) = self.ports[n].pending.remove(&c.wq_index) else {
-                continue;
-            };
-            let mut data = Vec::new();
-            if c.status.is_ok() {
-                match p.op {
-                    RemoteOp::Read => {
-                        data = vec![0u8; p.len as usize];
-                        self.cluster.nodes[n]
-                            .read_virt(p.buf, &mut data)
-                            .expect("landing buffer mapped");
+        let qps: Vec<(u32, QpId)> = self.ports[n]
+            .channels
+            .iter()
+            .map(|(&c, port)| (c, port.qp))
+            .collect();
+        for (channel, qp) in qps {
+            let comps = self.cluster.drain_cq(n, qp);
+            for c in comps {
+                let port = self.ports[n]
+                    .channels
+                    .get_mut(&channel)
+                    .expect("channel exists");
+                let Some(p) = port.pending.remove(&c.wq_index) else {
+                    continue;
+                };
+                let mut data = Vec::new();
+                if c.status.is_ok() {
+                    match p.op {
+                        RemoteOp::Read => {
+                            data = vec![0u8; p.len as usize];
+                            self.cluster.nodes[n]
+                                .read_virt(p.buf, &mut data)
+                                .expect("landing buffer mapped");
+                        }
+                        RemoteOp::FetchAdd | RemoteOp::CompSwap => {
+                            data = vec![0u8; 8];
+                            self.cluster.nodes[n]
+                                .read_virt(p.buf, &mut data)
+                                .expect("landing buffer mapped");
+                        }
+                        RemoteOp::Write | RemoteOp::Interrupt => {}
                     }
-                    RemoteOp::FetchAdd | RemoteOp::CompSwap => {
-                        data = vec![0u8; 8];
-                        self.cluster.nodes[n]
-                            .read_virt(p.buf, &mut data)
-                            .expect("landing buffer mapped");
-                    }
-                    RemoteOp::Write | RemoteOp::Interrupt => {}
                 }
+                self.ports[n].ready.push(RemoteCompletion {
+                    token: p.token,
+                    status: c.status,
+                    data,
+                });
             }
-            self.ports[n].ready.push(RemoteCompletion {
-                token: p.token,
-                status: c.status,
-                data,
-            });
         }
     }
 }
@@ -185,6 +265,15 @@ impl RemoteBackend for SonumaBackend {
     }
 
     fn post(&mut self, src: NodeId, req: RemoteRequest) -> Result<u64, BackendError> {
+        self.post_on(src, 0, req)
+    }
+
+    fn post_on(
+        &mut self,
+        src: NodeId,
+        channel: u32,
+        req: RemoteRequest,
+    ) -> Result<u64, BackendError> {
         let n = src.index();
         if n >= self.cluster.num_nodes() || req.dst.index() >= self.cluster.num_nodes() {
             return Err(BackendError::BadNode);
@@ -192,7 +281,7 @@ impl RemoteBackend for SonumaBackend {
         if req.op == RemoteOp::Write && req.len != req.payload.len() as u64 {
             return Err(BackendError::BadRequest);
         }
-        let qp = self.port_qp(n);
+        let qp = self.channel_qp(n, channel);
 
         // Stage a landing/source buffer sized for the payload (whole lines:
         // the RMC moves cache-line multiples).
@@ -212,13 +301,23 @@ impl RemoteBackend for SonumaBackend {
             let api = NodeApi::new(&mut self.cluster, &mut self.engine, n, 0, SimTime::ZERO);
             api.next_wq_index(qp)
         };
-        let buf = match self.ports[n].bufs.get(&wq_slot).copied() {
+        let pooled = self.ports[n]
+            .channels
+            .get(&channel)
+            .and_then(|port| port.bufs.get(&wq_slot))
+            .copied();
+        let buf = match pooled {
             Some((va, len)) if len >= need => va,
             _ => {
                 let mut api =
                     NodeApi::new(&mut self.cluster, &mut self.engine, n, 0, SimTime::ZERO);
                 let va = api.heap_alloc(need).map_err(|_| BackendError::Exhausted)?;
-                self.ports[n].bufs.insert(wq_slot, (va, need));
+                self.ports[n]
+                    .channels
+                    .get_mut(&channel)
+                    .expect("channel exists")
+                    .bufs
+                    .insert(wq_slot, (va, need));
                 va
             }
         };
@@ -259,15 +358,19 @@ impl RemoteBackend for SonumaBackend {
         let port = &mut self.ports[n];
         let token = port.next_token;
         port.next_token += 1;
-        port.pending.insert(
-            wq_index,
-            PendingOp {
-                token,
-                op: req.op,
-                buf,
-                len: req.len,
-            },
-        );
+        port.channels
+            .get_mut(&channel)
+            .expect("channel exists")
+            .pending
+            .insert(
+                wq_index,
+                PendingOp {
+                    token,
+                    op: req.op,
+                    buf,
+                    len: req.len,
+                },
+            );
         Ok(token)
     }
 
@@ -290,7 +393,18 @@ impl RemoteBackend for SonumaBackend {
     }
 
     fn now(&self) -> SimTime {
-        self.engine.now()
+        self.engine.now().max(self.clock_floor)
+    }
+
+    fn advance_clock_to(&mut self, t: SimTime) {
+        // The floor moves `now()` immediately (the trait contract); the
+        // Anchor event — which touches no state — pulls the engine's own
+        // clock up on the next advance(), so the machinery's internal
+        // timing catches up too.
+        if t > self.engine.now() {
+            self.clock_floor = self.clock_floor.max(t);
+            self.engine.schedule_at(t, ClusterEvent::Anchor);
+        }
     }
 
     fn events_processed(&self) -> u64 {
@@ -361,5 +475,55 @@ mod tests {
         assert_eq!(src_stats.rgp_lines, 16, "256 B unrolls into 4 lines");
         assert_eq!(dst_stats.rrpp_served, 16);
         assert_eq!(src_stats.rcp_completions, 4);
+    }
+
+    #[test]
+    fn tenant_channels_are_isolated_queues() {
+        let mut b = SonumaBackend::simulated_hardware(2, 1 << 20);
+        b.register_tenant_channel(NodeId(0), 0, TenantId(100), 1, SloClass::Gold);
+        b.register_tenant_channel(NodeId(0), 1, TenantId(101), 1, SloClass::Bronze);
+        // Fill channel 0's entire WQ ring.
+        let entries = b.cluster().config().qp_entries as usize;
+        for _ in 0..entries {
+            b.post_on(NodeId(0), 0, RemoteRequest::read(NodeId(1), 0, 64))
+                .unwrap();
+        }
+        assert_eq!(
+            b.post_on(NodeId(0), 0, RemoteRequest::read(NodeId(1), 0, 64)),
+            Err(BackendError::Backpressure),
+            "channel 0 is full"
+        );
+        // Channel 1 still accepts posts: one tenant's backlog cannot
+        // reject another's work.
+        let t = b
+            .post_on(NodeId(0), 1, RemoteRequest::read(NodeId(1), 0, 64))
+            .unwrap();
+        let done = b.complete_all(NodeId(0));
+        assert_eq!(done.len(), entries + 1);
+        assert!(done.iter().any(|c| c.token == t));
+        // Per-tenant accounting reached the RMC.
+        let stats = b.cluster().tenant_stats(NodeId(0));
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].1.completions, entries as u64);
+        assert_eq!(stats[1].1.completions, 1);
+    }
+
+    #[test]
+    fn advance_clock_to_moves_idle_time_forward() {
+        let mut b = SonumaBackend::simulated_hardware(2, 4096);
+        assert_eq!(b.now(), SimTime::ZERO);
+        b.advance_clock_to(SimTime::from_us(5));
+        assert_eq!(
+            b.now(),
+            SimTime::from_us(5),
+            "the jump is visible immediately, per the trait contract"
+        );
+        while b.advance() {}
+        assert_eq!(b.now(), SimTime::from_us(5));
+        // Posting after the jump charges from the advanced clock.
+        b.post(NodeId(0), RemoteRequest::read(NodeId(1), 0, 64))
+            .unwrap();
+        let _ = b.complete_all(NodeId(0));
+        assert!(b.now() > SimTime::from_us(5));
     }
 }

@@ -8,9 +8,11 @@
 
 use sonuma_fabric::Fabric;
 use sonuma_memory::{MemError, VAddr};
-use sonuma_protocol::{CtxId, NodeId, QpId};
+use sonuma_protocol::{CtxId, NodeId, QpId, TenantId};
 use sonuma_rmc::{ContextEntry, QueuePairState};
 use sonuma_sim::SimTime;
+
+use crate::tenancy::{TenantSpec, TenantStats};
 
 use crate::config::MachineConfig;
 use crate::event::{ClusterEvent, WakeReason};
@@ -141,6 +143,49 @@ impl Cluster {
             entry.qps.push(qp);
         }
         Ok(qp)
+    }
+
+    /// Registers (or updates) a tenant on `node`: its WDRR weight and SLO
+    /// class become visible to the RGP's QoS scheduler for every QP later
+    /// bound to it.
+    pub fn register_tenant(&mut self, node: NodeId, spec: TenantSpec) {
+        self.nodes[node.index()].tenants.register(spec);
+    }
+
+    /// As [`Cluster::create_qp`], additionally binding the new queue pair
+    /// to `tenant` so the RGP schedules it under the tenant's weight and
+    /// SLO class.
+    ///
+    /// # Errors
+    ///
+    /// Fails on memory exhaustion or an unregistered context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is not registered on `node`.
+    pub fn create_tenant_qp(
+        &mut self,
+        node: NodeId,
+        ctx: CtxId,
+        owner_core: usize,
+        tenant: TenantId,
+    ) -> Result<QpId, MemError> {
+        assert!(
+            self.nodes[node.index()].tenants.lookup(tenant).is_some(),
+            "tenant {tenant} not registered on {node}"
+        );
+        let qp = self.create_qp(node, ctx, owner_core)?;
+        self.nodes[node.index()].tenants.bind_qp(qp, tenant);
+        Ok(qp)
+    }
+
+    /// Snapshot of `node`'s per-tenant counters, in registration order.
+    pub fn tenant_stats(&self, node: NodeId) -> Vec<(TenantSpec, TenantStats)> {
+        self.nodes[node.index()]
+            .tenants
+            .iter()
+            .map(|(spec, stats)| (*spec, *stats))
+            .collect()
     }
 
     /// Attaches `process` to a core and schedules its first wake-up.

@@ -5,6 +5,8 @@ use sonuma_memory::HierarchyConfig;
 use sonuma_rmc::RmcTiming;
 use sonuma_sim::SimTime;
 
+use crate::pipeline::rgp::SchedPolicy;
+
 /// Costs of the user-level access library (§5.2) on a given platform.
 ///
 /// These are the software-side halves of every remote operation: composing
@@ -84,6 +86,8 @@ pub struct MachineConfig {
     pub itt_entries: usize,
     /// Queue-pair ring size used by the OS when creating QPs.
     pub qp_entries: u16,
+    /// QoS policy each node's RGP uses to arbitrate between active QPs.
+    pub sched_policy: SchedPolicy,
 }
 
 impl MachineConfig {
@@ -99,6 +103,7 @@ impl MachineConfig {
             software: SoftwareTiming::hardware(),
             itt_entries: 64,
             qp_entries: 64,
+            sched_policy: SchedPolicy::RoundRobin,
         }
     }
 
@@ -115,6 +120,7 @@ impl MachineConfig {
             software: SoftwareTiming::emulated(),
             itt_entries: 64,
             qp_entries: 64,
+            sched_policy: SchedPolicy::RoundRobin,
         }
     }
 

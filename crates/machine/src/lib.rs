@@ -40,6 +40,7 @@ pub mod node;
 pub mod pipeline;
 pub mod process;
 pub mod sched;
+pub mod tenancy;
 
 pub use api::{ApiError, NodeApi};
 pub use backend::SonumaBackend;
@@ -47,8 +48,10 @@ pub use cluster::Cluster;
 pub use config::{MachineConfig, SoftwareTiming};
 pub use event::{ClusterEvent, WakeReason};
 pub use node::Node;
+pub use pipeline::rgp::{QpClass, QpScheduler, SchedPolicy};
 pub use pipeline::{PipelineStats, RcpState, RgpPhase, RgpState, RrppState};
 pub use process::{AppProcess, Completion, Step, Wake};
+pub use tenancy::{SloClass, TenantSpec, TenantStats, TenantTable};
 
 /// Convenience alias: the typed event engine specialized to the cluster
 /// world (events are [`ClusterEvent`]s dispatched by value — see

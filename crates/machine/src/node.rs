@@ -13,6 +13,7 @@ use sonuma_sim::SimTime;
 use crate::config::MachineConfig;
 use crate::pipeline::{RcpState, RgpState, RrppState};
 use crate::process::AppProcess;
+use crate::tenancy::TenantTable;
 
 /// Base virtual address of the per-node private heap (WQ/CQ rings, local
 /// buffers).
@@ -159,6 +160,12 @@ pub struct Node {
     pub cores: Vec<CoreSlot>,
     /// Application-side QP cursors, indexed like `rmc.qps`.
     pub app_qps: Vec<AppQpCursors>,
+    /// Tenant registry: QP ownership, weights/SLO classes, per-tenant
+    /// counters.
+    pub tenants: TenantTable,
+    /// Posts the access library rejected with `WqFull` (API-boundary
+    /// backpressure, all tenants).
+    pub wq_full_rejections: u64,
     /// Armed memory watches.
     pub watches: Vec<Watch>,
     /// Core designated to receive remote interrupts, if any.
@@ -197,7 +204,7 @@ impl Node {
                 maq: Maq::new(config.rmc.maq_entries),
                 tlb: Tlb::new(config.rmc.tlb_entries),
                 qps: Vec::new(),
-                rgp: RgpState::default(),
+                rgp: RgpState::with_policy(config.sched_policy),
                 rrpp: RrppState::default(),
                 rcp: RcpState::default(),
             },
@@ -210,6 +217,8 @@ impl Node {
                 })
                 .collect(),
             app_qps: Vec::new(),
+            tenants: TenantTable::default(),
+            wq_full_rejections: 0,
             watches: Vec::new(),
             interrupt_handler: None,
             pending_interrupts: VecDeque::new(),

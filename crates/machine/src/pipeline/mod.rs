@@ -48,6 +48,13 @@ pub struct PipelineStats {
     /// RGP service retries because every ITT tid was in flight — the
     /// pipeline's backpressure signal.
     pub rgp_itt_stalls: u64,
+    /// Pending QPs the RGP's QoS scheduler passed over in favor of
+    /// higher-priority work — the starvation-pressure signal (0 under
+    /// round-robin and WDRR, which never skip).
+    pub rgp_sched_skips: u64,
+    /// Posts the access library rejected with `WqFull` — the backpressure
+    /// tenants themselves experienced at the API boundary.
+    pub api_wq_full: u64,
     /// Request packets serviced by the RRPP (this node as destination).
     pub rrpp_served: u64,
     /// RRPP context lookups that missed the CT$.
@@ -74,6 +81,8 @@ impl PipelineStats {
             rgp_wq_polls: self.rgp_wq_polls + other.rgp_wq_polls,
             rgp_empty_polls: self.rgp_empty_polls + other.rgp_empty_polls,
             rgp_itt_stalls: self.rgp_itt_stalls + other.rgp_itt_stalls,
+            rgp_sched_skips: self.rgp_sched_skips + other.rgp_sched_skips,
+            api_wq_full: self.api_wq_full + other.api_wq_full,
             rrpp_served: self.rrpp_served + other.rrpp_served,
             rrpp_ct_misses: self.rrpp_ct_misses + other.rrpp_ct_misses,
             rrpp_errors: self.rrpp_errors + other.rrpp_errors,
@@ -86,13 +95,15 @@ impl PipelineStats {
 
     /// `(name, value)` rows in presentation order, so reporting layers can
     /// render snapshots without hand-listing fields.
-    pub fn rows(&self) -> [(&'static str, u64); 12] {
+    pub fn rows(&self) -> [(&'static str, u64); 14] {
         [
             ("rgp_requests", self.rgp_requests),
             ("rgp_lines", self.rgp_lines),
             ("rgp_wq_polls", self.rgp_wq_polls),
             ("rgp_empty_polls", self.rgp_empty_polls),
             ("rgp_itt_stalls", self.rgp_itt_stalls),
+            ("rgp_sched_skips", self.rgp_sched_skips),
+            ("api_wq_full", self.api_wq_full),
             ("rrpp_served", self.rrpp_served),
             ("rrpp_ct_misses", self.rrpp_ct_misses),
             ("rrpp_errors", self.rrpp_errors),
@@ -119,6 +130,7 @@ impl Cluster {
             .merge(n.rmc.rrpp.stats())
             .merge(n.rmc.rcp.stats());
         s.itt_in_flight = n.rmc.itt.in_flight() as u64;
+        s.api_wq_full = n.wq_full_rejections;
         s
     }
 

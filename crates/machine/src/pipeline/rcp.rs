@@ -84,6 +84,7 @@ impl Cluster {
                 node.rmc.qps[qp.index()].advance_cq();
                 node.rmc.rcp.completions += 1;
                 node.ops_completed += 1;
+                node.tenants.note_completion(qp);
                 self.maybe_cq_wake(engine, n, qp, t);
             }
         }

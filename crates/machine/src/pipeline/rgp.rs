@@ -1,4 +1,5 @@
-//! The Request Generation Pipeline (RGP, §4.2).
+//! The Request Generation Pipeline (RGP, §4.2) with QoS-aware QP
+//! scheduling.
 //!
 //! The RGP is the source-side front half of the RMC: it polls registered
 //! work queues through the coherence hierarchy, allocates a tid in the ITT
@@ -6,7 +7,14 @@
 //! transactions at the pipeline's initiation interval, and injects request
 //! packets into the fabric.
 //!
-//! Its service loop is an explicit state machine ([`RgpPhase`]): `Idle`
+//! Which WQ gets polled next is a policy decision: a node multiplexes
+//! many tenant-owned queue pairs through one RGP, and under load the
+//! polling order *is* the QoS policy. The [`QpScheduler`] trait makes it
+//! pluggable; [`RrScheduler`] (the classic flat rotation),
+//! [`WdrrScheduler`] (weighted deficit round-robin over line quanta) and
+//! [`StrictScheduler`] (SLO-class priority tiers) implement it.
+//!
+//! The service loop is an explicit state machine ([`RgpPhase`]): `Idle`
 //! when no QP has pending work, `Polling` while a service event is
 //! scheduled, and `Stalled` while it backs off from a full ITT — the
 //! pipeline's only backpressure point, counted in
@@ -21,6 +29,7 @@ use sonuma_sim::SimTime;
 use super::PipelineStats;
 use crate::cluster::Cluster;
 use crate::event::ClusterEvent;
+use crate::tenancy::SloClass;
 use crate::ClusterEngine;
 
 /// Where the RGP's service loop currently is.
@@ -35,13 +44,327 @@ pub enum RgpPhase {
     Stalled,
 }
 
-/// Per-node RGP state machine and counters.
+/// Scheduling attributes the RGP resolves for a QP when it activates
+/// (from the owning tenant's registration; untagged QPs get the default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QpClass {
+    /// WDRR weight (line quanta per scheduling round).
+    pub weight: u32,
+    /// Strict-priority level (0 served first).
+    pub priority: u8,
+}
+
+impl Default for QpClass {
+    fn default() -> Self {
+        QpClass {
+            weight: 1,
+            priority: SloClass::Silver.priority(),
+        }
+    }
+}
+
+/// Arbitration policy over a node's active queue pairs.
+///
+/// The RGP drives the scheduler with a strict call protocol:
+///
+/// 1. [`QpScheduler::activate`] whenever a QP may have fresh WQ entries
+///    (idempotent while the QP is already active);
+/// 2. [`QpScheduler::select`] to pick the QP to poll next (stable until
+///    the outcome is reported — a stalled RGP re-selects the same QP);
+/// 3. exactly one of [`QpScheduler::consumed`] (a WQ entry was serviced,
+///    with its unrolled line count as the cost) or
+///    [`QpScheduler::emptied`] (the poll found nothing; the QP
+///    deactivates until its next `activate`).
+pub trait QpScheduler: std::fmt::Debug + Send {
+    /// Marks `qp` active with scheduling attributes `class`. Idempotent
+    /// while the QP is already active (the class of an active QP is not
+    /// re-resolved until it deactivates).
+    fn activate(&mut self, qp: QpId, class: QpClass);
+
+    /// The QP the RGP should poll next, or `None` when no QP is active.
+    /// Must return the same QP until `consumed`/`emptied` is reported.
+    fn select(&mut self) -> Option<QpId>;
+
+    /// Reports that one WQ entry of `qp` was serviced, unrolling into
+    /// `lines` cache-line transactions (the scheduling cost unit).
+    fn consumed(&mut self, qp: QpId, lines: u32);
+
+    /// Reports that polling `qp` found no fresh entry; deactivates it.
+    fn emptied(&mut self, qp: QpId);
+
+    /// Whether any QP is active.
+    fn has_work(&self) -> bool;
+
+    /// Times a pending QP was passed over in favor of another by policy
+    /// (the starvation-pressure signal; 0 for policies that never skip).
+    fn skips(&self) -> u64;
+
+    /// Policy label for reports.
+    fn label(&self) -> &'static str;
+}
+
+/// Which [`QpScheduler`] a node's RGP runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Flat round-robin rotation (the paper's baseline behavior).
+    #[default]
+    RoundRobin,
+    /// Weighted deficit round-robin over line quanta.
+    Wdrr,
+    /// Strict SLO-class priority (gold before silver before bronze).
+    StrictPriority,
+}
+
+impl SchedPolicy {
+    /// Builds a fresh scheduler implementing this policy.
+    pub fn build(self) -> Box<dyn QpScheduler> {
+        match self {
+            SchedPolicy::RoundRobin => Box::new(RrScheduler::default()),
+            SchedPolicy::Wdrr => Box::new(WdrrScheduler::default()),
+            SchedPolicy::StrictPriority => Box::new(StrictScheduler::default()),
+        }
+    }
+
+    /// Config/report label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SchedPolicy::RoundRobin => "rr",
+            SchedPolicy::Wdrr => "wdrr",
+            SchedPolicy::StrictPriority => "strict",
+        }
+    }
+
+    /// Parses a config label.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown label back.
+    pub fn parse(s: &str) -> Result<SchedPolicy, String> {
+        match s {
+            "rr" => Ok(SchedPolicy::RoundRobin),
+            "wdrr" => Ok(SchedPolicy::Wdrr),
+            "strict" => Ok(SchedPolicy::StrictPriority),
+            other => Err(format!("unknown scheduler {other:?} (rr|wdrr|strict)")),
+        }
+    }
+}
+
+/// Grows a per-QP side table to cover `qp`.
+fn ensure_slot<T: Clone + Default>(v: &mut Vec<T>, qp: QpId) {
+    if v.len() <= qp.index() {
+        v.resize(qp.index() + 1, T::default());
+    }
+}
+
+/// Flat round-robin: every active QP is serviced one WQ entry per turn.
 #[derive(Debug, Default)]
+pub struct RrScheduler {
+    queue: VecDeque<QpId>,
+    active: Vec<bool>,
+}
+
+impl QpScheduler for RrScheduler {
+    fn activate(&mut self, qp: QpId, _class: QpClass) {
+        ensure_slot(&mut self.active, qp);
+        if !self.active[qp.index()] {
+            self.active[qp.index()] = true;
+            self.queue.push_back(qp);
+        }
+    }
+
+    fn select(&mut self) -> Option<QpId> {
+        self.queue.front().copied()
+    }
+
+    fn consumed(&mut self, qp: QpId, _lines: u32) {
+        debug_assert_eq!(self.queue.front(), Some(&qp));
+        if let Some(front) = self.queue.pop_front() {
+            self.queue.push_back(front);
+        }
+    }
+
+    fn emptied(&mut self, qp: QpId) {
+        debug_assert_eq!(self.queue.front(), Some(&qp));
+        self.queue.pop_front();
+        self.active[qp.index()] = false;
+    }
+
+    fn has_work(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    fn skips(&self) -> u64 {
+        0
+    }
+
+    fn label(&self) -> &'static str {
+        "rr"
+    }
+}
+
+/// Line quanta one unit of WDRR weight buys per scheduling round. A
+/// weight-`w` QP may service up to `w * QUANTUM_LINES` cache-line
+/// transactions before yielding the pipeline.
+pub const QUANTUM_LINES: i64 = 8;
+
+/// Weighted deficit round-robin over unrolled cache-line counts.
+///
+/// Each QP accrues `weight * QUANTUM_LINES` of deficit when it reaches
+/// the head of the rotation and spends it per serviced line. Because the
+/// cost of a WQ entry is only known *after* polling it, the scheduler
+/// serves first and charges after, letting the deficit go negative; the
+/// debt carries into the next round, so long-run service remains
+/// proportional to weight and every nonzero-weight QP is served each
+/// rotation (no starvation).
+#[derive(Debug, Default)]
+pub struct WdrrScheduler {
+    queue: VecDeque<QpId>,
+    active: Vec<bool>,
+    weight: Vec<u32>,
+    deficit: Vec<i64>,
+    head_charged: bool,
+}
+
+impl QpScheduler for WdrrScheduler {
+    fn activate(&mut self, qp: QpId, class: QpClass) {
+        ensure_slot(&mut self.active, qp);
+        ensure_slot(&mut self.weight, qp);
+        ensure_slot(&mut self.deficit, qp);
+        if !self.active[qp.index()] {
+            self.active[qp.index()] = true;
+            self.weight[qp.index()] = class.weight.max(1);
+            self.queue.push_back(qp);
+        }
+    }
+
+    fn select(&mut self) -> Option<QpId> {
+        self.queue.front()?;
+        // Rotate past QPs still repaying debt from oversized requests;
+        // each pass adds a quantum, so every nonzero-weight QP surfaces
+        // within a bounded number of rotations (no starvation).
+        loop {
+            let qp = *self.queue.front().expect("checked nonempty");
+            if !self.head_charged {
+                self.deficit[qp.index()] += self.weight[qp.index()] as i64 * QUANTUM_LINES;
+                self.head_charged = true;
+            }
+            if self.deficit[qp.index()] > 0 {
+                return Some(qp);
+            }
+            let front = self.queue.pop_front().expect("checked nonempty");
+            self.queue.push_back(front);
+            self.head_charged = false;
+        }
+    }
+
+    fn consumed(&mut self, qp: QpId, lines: u32) {
+        debug_assert_eq!(self.queue.front(), Some(&qp));
+        self.deficit[qp.index()] -= lines as i64;
+        if self.deficit[qp.index()] <= 0 {
+            if let Some(front) = self.queue.pop_front() {
+                self.queue.push_back(front);
+            }
+            self.head_charged = false;
+        }
+    }
+
+    fn emptied(&mut self, qp: QpId) {
+        debug_assert_eq!(self.queue.front(), Some(&qp));
+        self.queue.pop_front();
+        self.active[qp.index()] = false;
+        // An emptied queue forfeits its unspent deficit (classic DRR),
+        // but keeps its debt: a huge request cannot be laundered by
+        // draining and re-posting.
+        self.deficit[qp.index()] = self.deficit[qp.index()].min(0);
+        self.head_charged = false;
+    }
+
+    fn has_work(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    fn skips(&self) -> u64 {
+        0
+    }
+
+    fn label(&self) -> &'static str {
+        "wdrr"
+    }
+}
+
+/// Strict SLO-class priority: gold QPs are always served before silver,
+/// silver before bronze; within a level, round-robin. Lower classes can
+/// starve under sustained high-priority load — [`StrictScheduler::skips`]
+/// counts every pass-over so that pressure is observable.
+#[derive(Debug, Default)]
+pub struct StrictScheduler {
+    levels: [VecDeque<QpId>; SloClass::LEVELS],
+    active: Vec<bool>,
+    level_of: Vec<u8>,
+    skips: u64,
+}
+
+impl QpScheduler for StrictScheduler {
+    fn activate(&mut self, qp: QpId, class: QpClass) {
+        ensure_slot(&mut self.active, qp);
+        ensure_slot(&mut self.level_of, qp);
+        if !self.active[qp.index()] {
+            self.active[qp.index()] = true;
+            let level = (class.priority as usize).min(SloClass::LEVELS - 1);
+            self.level_of[qp.index()] = level as u8;
+            self.levels[level].push_back(qp);
+        }
+    }
+
+    fn select(&mut self) -> Option<QpId> {
+        let level = self.levels.iter().position(|q| !q.is_empty())?;
+        self.levels[level].front().copied()
+    }
+
+    fn consumed(&mut self, qp: QpId, _lines: u32) {
+        let level = self.level_of[qp.index()] as usize;
+        debug_assert_eq!(self.levels[level].front(), Some(&qp));
+        // One WQ entry was genuinely serviced past every pending
+        // lower-priority QP: count the pass-overs here (not in select,
+        // which ITT-stall retries and empty polls re-invoke without
+        // servicing anything — that would inflate the metric with
+        // timing-dependent recounts).
+        self.skips += self.levels[level + 1..]
+            .iter()
+            .map(|q| q.len() as u64)
+            .sum::<u64>();
+        if let Some(front) = self.levels[level].pop_front() {
+            self.levels[level].push_back(front);
+        }
+    }
+
+    fn emptied(&mut self, qp: QpId) {
+        let level = self.level_of[qp.index()] as usize;
+        debug_assert_eq!(self.levels[level].front(), Some(&qp));
+        self.levels[level].pop_front();
+        self.active[qp.index()] = false;
+    }
+
+    fn has_work(&self) -> bool {
+        self.levels.iter().any(|q| !q.is_empty())
+    }
+
+    fn skips(&self) -> u64 {
+        self.skips
+    }
+
+    fn label(&self) -> &'static str {
+        "strict"
+    }
+}
+
+/// Per-node RGP state machine and counters.
+#[derive(Debug)]
 pub struct RgpState {
     /// Current service-loop phase.
     pub phase: RgpPhase,
-    /// QPs with possibly-unconsumed WQ entries, in service order.
-    pub active_qps: VecDeque<QpId>,
+    /// The QoS policy arbitrating between active QPs.
+    pub scheduler: Box<dyn QpScheduler>,
     /// WQ requests launched (tid allocated, unroll started).
     pub requests: u64,
     /// Line packets injected into the fabric.
@@ -54,7 +377,26 @@ pub struct RgpState {
     pub itt_full_stalls: u64,
 }
 
+impl Default for RgpState {
+    fn default() -> Self {
+        RgpState::with_policy(SchedPolicy::RoundRobin)
+    }
+}
+
 impl RgpState {
+    /// Fresh state running `policy`.
+    pub fn with_policy(policy: SchedPolicy) -> Self {
+        RgpState {
+            phase: RgpPhase::default(),
+            scheduler: policy.build(),
+            requests: 0,
+            lines: 0,
+            wq_polls: 0,
+            empty_polls: 0,
+            itt_full_stalls: 0,
+        }
+    }
+
     /// Whether a service event is currently scheduled.
     pub fn busy(&self) -> bool {
         self.phase != RgpPhase::Idle
@@ -68,6 +410,7 @@ impl RgpState {
             rgp_wq_polls: self.wq_polls,
             rgp_empty_polls: self.empty_polls,
             rgp_itt_stalls: self.itt_full_stalls,
+            rgp_sched_skips: self.scheduler.skips(),
             ..PipelineStats::default()
         }
     }
@@ -101,9 +444,15 @@ impl Cluster {
         qp: QpId,
     ) {
         let node = &mut self.nodes[n];
-        if !node.rmc.rgp.active_qps.contains(&qp) {
-            node.rmc.rgp.active_qps.push_back(qp);
-        }
+        let class = node
+            .tenants
+            .qp_tenant(qp)
+            .map(|spec| QpClass {
+                weight: spec.weight,
+                priority: spec.slo.priority(),
+            })
+            .unwrap_or_default();
+        node.rmc.rgp.scheduler.activate(qp, class);
         if !node.rmc.rgp.busy() {
             node.rmc.rgp.phase = RgpPhase::Polling;
             // Detection latency: on average half a poll interval elapses
@@ -113,14 +462,14 @@ impl Cluster {
         }
     }
 
-    /// One RGP service step: consume at most one WQ entry from the QP at
-    /// the head of the active list, unroll it, and chain.
+    /// One RGP service step: poll the QP the scheduler picks, consume at
+    /// most one WQ entry, unroll it, and chain.
     pub(crate) fn rgp_service(&mut self, engine: &mut ClusterEngine, n: usize) {
         let now = engine.now();
         let node = &mut self.nodes[n];
         let timing = node.rmc.timing;
 
-        let Some(&qp) = node.rmc.rgp.active_qps.front() else {
+        let Some(qp) = node.rmc.rgp.scheduler.select() else {
             node.rmc.rgp.phase = RgpPhase::Idle;
             return;
         };
@@ -140,10 +489,10 @@ impl Cluster {
 
         let parsed = WqEntry::decode(&line).filter(|(_, phase)| *phase == expected_phase);
         let Some((entry, _)) = parsed else {
-            // No new entry: retire this QP from the active list.
+            // No new entry: deactivate this QP until its next post.
             node.rmc.rgp.empty_polls += 1;
-            node.rmc.rgp.active_qps.pop_front();
-            if node.rmc.rgp.active_qps.is_empty() {
+            node.rmc.rgp.scheduler.emptied(qp);
+            if !node.rmc.rgp.scheduler.has_work() {
                 node.rmc.rgp.phase = RgpPhase::Idle;
             } else {
                 engine.schedule_at(t_read, ClusterEvent::RgpService { node: n as u16 });
@@ -153,6 +502,7 @@ impl Cluster {
 
         if node.rmc.itt.is_full() {
             // All tids in flight: back off and retry after a poll interval.
+            // The scheduler is untouched, so the resume re-selects this QP.
             node.rmc.rgp.phase = RgpPhase::Stalled;
             node.rmc.rgp.itt_full_stalls += 1;
             engine.schedule_at(
@@ -170,6 +520,7 @@ impl Cluster {
             .expect("checked not full");
         node.rmc.qps[qp.index()].advance_wq();
         node.rmc.rgp.requests += 1;
+        node.tenants.note_request(qp);
 
         // Unroll into line-sized transactions (§4.2): one injection every
         // initiation interval.
@@ -196,12 +547,9 @@ impl Cluster {
             );
         }
 
-        // Rotate this QP to the back and chain the next service step once
+        // Charge the service to the scheduler and chain the next step once
         // the unroll finishes occupying the pipeline.
-        let node = &mut self.nodes[n];
-        if let Some(front) = node.rmc.rgp.active_qps.pop_front() {
-            node.rmc.rgp.active_qps.push_back(front);
-        }
+        node.rmc.rgp.scheduler.consumed(qp, lines);
         let t_next = (t0 + timing.unroll_interval * lines as u64).max(now + timing.stage_local);
         engine.schedule_at(t_next, ClusterEvent::RgpService { node: n as u16 });
     }
@@ -252,5 +600,119 @@ impl Cluster {
         };
         node.rmc.rgp.lines += 1;
         self.route_packet(engine, t, pkt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qp(i: u16) -> QpId {
+        QpId(i)
+    }
+
+    fn class(weight: u32, priority: u8) -> QpClass {
+        QpClass { weight, priority }
+    }
+
+    #[test]
+    fn rr_rotates_and_deactivates() {
+        let mut s = RrScheduler::default();
+        s.activate(qp(0), QpClass::default());
+        s.activate(qp(1), QpClass::default());
+        s.activate(qp(0), QpClass::default()); // idempotent
+        assert_eq!(s.select(), Some(qp(0)));
+        s.consumed(qp(0), 1);
+        assert_eq!(s.select(), Some(qp(1)));
+        s.emptied(qp(1));
+        assert_eq!(s.select(), Some(qp(0)));
+        s.emptied(qp(0));
+        assert!(!s.has_work());
+        assert_eq!(s.select(), None);
+    }
+
+    #[test]
+    fn wdrr_service_is_weight_proportional() {
+        let mut s = WdrrScheduler::default();
+        s.activate(qp(0), class(3, 1));
+        s.activate(qp(1), class(1, 1));
+        let mut served = [0u64; 2];
+        // Both queues stay backlogged; single-line requests.
+        for _ in 0..4000 {
+            let q = s.select().unwrap();
+            served[q.index()] += 1;
+            s.consumed(q, 1);
+        }
+        let ratio = served[0] as f64 / served[1] as f64;
+        assert!(
+            (2.5..3.5).contains(&ratio),
+            "weight-3 vs weight-1 served {served:?} (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn wdrr_big_requests_carry_debt() {
+        let mut s = WdrrScheduler::default();
+        s.activate(qp(0), class(1, 1));
+        s.activate(qp(1), class(1, 1));
+        let mut served_lines = [0i64; 2];
+        for _ in 0..2000 {
+            let q = s.select().unwrap();
+            // QP 0 posts 128-line (8 KiB) requests, QP 1 single lines.
+            let lines = if q.index() == 0 { 128 } else { 1 };
+            served_lines[q.index()] += lines as i64;
+            s.consumed(q, lines);
+        }
+        let ratio = served_lines[0] as f64 / served_lines[1] as f64;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "equal weights must get equal line service: {served_lines:?}"
+        );
+    }
+
+    #[test]
+    fn strict_serves_gold_first_and_counts_skips() {
+        let mut s = StrictScheduler::default();
+        s.activate(qp(0), class(1, SloClass::Bronze.priority()));
+        s.activate(qp(1), class(1, SloClass::Gold.priority()));
+        assert_eq!(s.select(), Some(qp(1)), "gold preempts bronze");
+        assert_eq!(s.skips(), 0, "selection alone is not a pass-over");
+        s.consumed(qp(1), 1);
+        assert_eq!(s.skips(), 1, "bronze was serviced past");
+        assert_eq!(s.select(), Some(qp(1)), "gold keeps the pipeline");
+        assert_eq!(s.skips(), 1, "re-selection does not re-count");
+        s.emptied(qp(1));
+        assert_eq!(s.select(), Some(qp(0)), "bronze runs once gold drains");
+        s.consumed(qp(0), 1);
+        assert!(s.has_work());
+    }
+
+    #[test]
+    fn policy_labels_roundtrip() {
+        for p in [
+            SchedPolicy::RoundRobin,
+            SchedPolicy::Wdrr,
+            SchedPolicy::StrictPriority,
+        ] {
+            assert_eq!(SchedPolicy::parse(p.as_str()).unwrap(), p);
+            assert_eq!(p.build().label(), p.as_str());
+        }
+        assert!(SchedPolicy::parse("fifo").is_err());
+    }
+
+    #[test]
+    fn schedulers_report_idle_when_drained() {
+        for policy in [
+            SchedPolicy::RoundRobin,
+            SchedPolicy::Wdrr,
+            SchedPolicy::StrictPriority,
+        ] {
+            let mut s = policy.build();
+            assert_eq!(s.select(), None);
+            s.activate(qp(2), QpClass::default());
+            assert_eq!(s.select(), Some(qp(2)));
+            s.emptied(qp(2));
+            assert!(!s.has_work(), "{policy:?} must drain");
+        }
     }
 }

@@ -180,6 +180,37 @@ pub trait RemoteBackend {
     /// (poll and retry), or a validation error.
     fn post(&mut self, src: NodeId, req: RemoteRequest) -> Result<u64, BackendError>;
 
+    /// Posts `req` from `src` on tenant channel `channel`. Backends with
+    /// real per-channel queues (soNUMA's tenant-owned QPs) give every
+    /// channel its own queue, so one tenant's backlog cannot reject
+    /// another's posts; transports without that machinery fall back to
+    /// the shared per-node queue. Tokens share the per-node completion
+    /// space either way: completions for every channel of `src` appear in
+    /// [`RemoteBackend::poll`]`(src)`.
+    ///
+    /// # Errors
+    ///
+    /// As [`RemoteBackend::post`].
+    fn post_on(
+        &mut self,
+        src: NodeId,
+        channel: u32,
+        req: RemoteRequest,
+    ) -> Result<u64, BackendError> {
+        let _ = channel;
+        self.post(src, req)
+    }
+
+    /// Advances the backend's notion of "now" to at least `t` even when
+    /// nothing is in flight (a no-op if the clock is already past `t`).
+    /// Open-loop traffic generators need this: with a purely
+    /// completion-driven clock, an idle backend would never reach the
+    /// next scheduled arrival time. The default is a no-op, which is
+    /// correct only for backends whose clock advances on its own.
+    fn advance_clock_to(&mut self, t: SimTime) {
+        let _ = t;
+    }
+
     /// Drains completions available at `src` right now (non-blocking).
     fn poll(&mut self, src: NodeId) -> Vec<RemoteCompletion>;
 

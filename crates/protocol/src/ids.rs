@@ -67,6 +67,30 @@ impl fmt::Display for Tid {
     }
 }
 
+/// Identifies one tenant sharing a node's RMC.
+///
+/// Queue pairs are the user-level interface to remote memory (§4.1); a
+/// rack serving many applications multiplexes thousands of tenant-owned
+/// QPs per node. The tenant id tags each QP so the RGP's QoS scheduler
+/// can arbitrate between owners; it never crosses the wire (requests stay
+/// stateless, §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The tenant index as a `usize` (tenant-table lookups).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
 /// Identifies a queue pair registered with a node's RMC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct QpId(pub u16);
@@ -95,6 +119,8 @@ mod tests {
         assert_eq!(CtxId(1).to_string(), "ctx1");
         assert_eq!(Tid(9).to_string(), "tid9");
         assert_eq!(QpId(0).to_string(), "qp0");
+        assert_eq!(TenantId(1024).to_string(), "t1024");
+        assert_eq!(TenantId(7).index(), 7);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod packet;
 pub mod queue;
 
 pub use backend::{BackendError, RemoteBackend, RemoteCompletion, RemoteRequest};
-pub use ids::{CtxId, NodeId, QpId, Tid};
+pub use ids::{CtxId, NodeId, QpId, TenantId, Tid};
 pub use ops::{RemoteOp, Status};
 pub use packet::{Packet, PacketKind, CACHE_LINE_BYTES, HEADER_BYTES, MAX_PACKET_BYTES};
 pub use queue::{CqEntry, WqEntry, CQ_ENTRY_BYTES, WQ_ENTRY_BYTES};

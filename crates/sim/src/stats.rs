@@ -254,6 +254,19 @@ impl LatencyHistogram {
     pub fn reset(&mut self) {
         *self = LatencyHistogram::new();
     }
+
+    /// Folds `other`'s samples into `self` (bucket-wise: exact for every
+    /// statistic this histogram reports). Used to aggregate per-tenant
+    /// histograms into per-class distributions.
+    pub fn merge_from(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_ps += other.sum_ps;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// Converts a byte count moved over a duration into Gbps (decimal giga).
@@ -365,6 +378,30 @@ mod tests {
         h.record(SimTime::ZERO);
         assert_eq!(h.count(), 1);
         assert_eq!(h.mean(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn histogram_merge_matches_joint_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut joint = LatencyHistogram::new();
+        for i in 1..=100u64 {
+            let t = SimTime::from_ns(i * 13 % 997);
+            if i % 2 == 0 {
+                a.record(t)
+            } else {
+                b.record(t)
+            }
+            joint.record(t);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), joint.count());
+        assert_eq!(a.mean(), joint.mean());
+        assert_eq!(a.min(), joint.min());
+        assert_eq!(a.max(), joint.max());
+        for q in [0.5, 0.99, 0.999] {
+            assert_eq!(a.percentile(q), joint.percentile(q));
+        }
     }
 
     #[test]
