@@ -170,13 +170,21 @@ fn scenario_cmd(args: Vec<String>) -> ExitCode {
 
 fn print_summary(results: &[scenario::ScenarioResult]) {
     println!(
-        "{:<20} {:<22} {:>9} {:>12} {:>9} {:>10} {:>10} {:>12}",
-        "scenario", "backend", "ops", "ops/s(sim)", "Gbps", "p50(ns)", "p99(ns)", "events/s(wall)"
+        "{:<20} {:<22} {:>9} {:>12} {:>9} {:>10} {:>10} {:>12} {:>12}",
+        "scenario",
+        "backend",
+        "ops",
+        "ops/s(sim)",
+        "Gbps",
+        "p50(ns)",
+        "p99(ns)",
+        "events/s(wall)",
+        "pkts/s(wall)"
     );
     for result in results {
         for run in &result.runs {
             println!(
-                "{:<20} {:<22} {:>9} {:>12.0} {:>9.2} {:>10.0} {:>10.0} {:>12.0}",
+                "{:<20} {:<22} {:>9} {:>12.0} {:>9.2} {:>10.0} {:>10.0} {:>12.0} {:>12.0}",
                 result.spec.name,
                 run.backend,
                 run.ops,
@@ -185,6 +193,7 @@ fn print_summary(results: &[scenario::ScenarioResult]) {
                 run.p50.as_ns_f64(),
                 run.p99.as_ns_f64(),
                 run.wall_events_per_sec,
+                run.wall_packets_per_sec,
             );
             if !run.tenants.is_empty() {
                 let per_class: Vec<String> = [

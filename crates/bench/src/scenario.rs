@@ -35,7 +35,12 @@ use crate::trafficgen::{jain_index, ArrivalGen, ArrivalKind, ZipfSampler};
 /// Version tag of the report format (bump on breaking schema changes).
 /// v2 added the `per_tenant` and `fabric` run sections (multi-tenant
 /// open-loop scenarios) and the `offered_ops`/`lat_p999_ns` run fields.
-pub const REPORT_SCHEMA: &str = "sonuma-bench.scenario/v2";
+/// v3 added `wall_packets_per_sec` (fabric packets over host wall time —
+/// the batching-invariant throughput the bench-smoke lane gates alongside
+/// events/sec) and redefined `events` as *logical* events: line
+/// injections folded into one burst event still count individually, so
+/// the metric is comparable across `rgp_burst_lines` settings.
+pub const REPORT_SCHEMA: &str = "sonuma-bench.scenario/v3";
 
 /// A transport a scenario runs over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -879,13 +884,21 @@ pub struct BackendRun {
     pub p999: SimTime,
     /// Mean post-to-completion latency.
     pub mean: SimTime,
-    /// Discrete events the backend's engine executed.
+    /// Logical events the backend processed (engine events plus
+    /// injections folded into batched burst events — invariant under
+    /// batching configuration).
     pub events: u64,
     /// Host wall-clock seconds the run took.
     pub wall_secs: f64,
     /// Host-side engine throughput: `events / wall_secs`. This is the
     /// metric the CI bench-smoke lane gates on.
     pub wall_events_per_sec: f64,
+    /// Host-side fabric throughput: fabric packets over `wall_secs`
+    /// (0 for backends without a modeled fabric). Packet counts are a
+    /// pure function of the spec, so this is the cleanest wall-clock
+    /// figure of merit for the fabric hot path; the bench-smoke lane
+    /// gates it alongside events/sec.
+    pub wall_packets_per_sec: f64,
     /// Cluster-wide pipeline counters (soNUMA runs only).
     pub pipeline_total: Option<PipelineStats>,
     /// Per-node pipeline counters, indexed by node id (soNUMA runs only).
@@ -1121,6 +1134,8 @@ fn drive(spec: &ScenarioSpec, backend: &mut dyn RemoteBackend) -> BackendRun {
         } else {
             0.0
         },
+        // Fabric packet rate is attached by `run_spec` for soNUMA runs.
+        wall_packets_per_sec: 0.0,
         // Pipeline counters are attached by `run_spec` for soNUMA runs.
         pipeline_total: None,
         per_node: Vec::new(),
@@ -1310,6 +1325,7 @@ fn drive_open_loop(spec: &ScenarioSpec, backend: &mut dyn RemoteBackend) -> Back
         } else {
             0.0
         },
+        wall_packets_per_sec: 0.0,
         pipeline_total: None,
         per_node: Vec::new(),
         tenants: outcomes,
@@ -1348,7 +1364,13 @@ pub fn run_spec(spec: &ScenarioSpec) -> ScenarioResult {
             run.per_node = (0..spec.nodes)
                 .map(|n| b.cluster().pipeline_stats(NodeId(n as u16)))
                 .collect();
-            run.pipeline_total = Some(b.cluster().total_pipeline_stats());
+            // Fold the cluster total from the per-node snapshots already
+            // taken: one O(N) pass, no re-snapshotting per counter.
+            let mut total = PipelineStats::default();
+            for stats in &run.per_node {
+                total.merge_from(stats);
+            }
+            run.pipeline_total = Some(total);
             let fabric = &b.cluster().fabric;
             let links = fabric.link_stats();
             let mut hot: Vec<LinkStats> = links.clone();
@@ -1370,6 +1392,11 @@ pub fn run_spec(spec: &ScenarioSpec) -> ScenarioResult {
             if rep.wall_events_per_sec > run.wall_events_per_sec {
                 run.wall_events_per_sec = rep.wall_events_per_sec;
                 run.wall_secs = rep.wall_secs;
+            }
+        }
+        if let Some(fabric) = &run.fabric {
+            if run.wall_secs > 0.0 {
+                run.wall_packets_per_sec = fabric.packets as f64 / run.wall_secs;
             }
         }
         runs.push(run);
@@ -1547,6 +1574,10 @@ fn run_json(run: &BackendRun) -> Json {
             "wall_events_per_sec".to_string(),
             Json::Num(run.wall_events_per_sec),
         ),
+        (
+            "wall_packets_per_sec".to_string(),
+            Json::Num(run.wall_packets_per_sec),
+        ),
     ];
     if !run.tenants.is_empty() {
         members.push(("per_tenant".to_string(), per_tenant_json(run)));
@@ -1693,6 +1724,7 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
                 "events",
                 "wall_secs",
                 "wall_events_per_sec",
+                "wall_packets_per_sec",
             ] {
                 run.f64_of(key)
                     .ok_or(format!("scenario {name}/{backend}: missing {key}"))?;
@@ -1737,6 +1769,7 @@ struct RunRow {
     name: String,
     backend: String,
     eps: f64,
+    pps: f64,
     sim_us: f64,
     events: f64,
     wall_secs: f64,
@@ -1757,6 +1790,7 @@ fn run_rows(doc: &Json) -> Vec<RunRow> {
                         name: name.clone(),
                         backend: run.str_of("backend").unwrap_or("?").to_string(),
                         eps: run.f64_of("wall_events_per_sec").unwrap_or(0.0),
+                        pps: run.f64_of("wall_packets_per_sec").unwrap_or(0.0),
                         sim_us: run.f64_of("sim_us").unwrap_or(0.0),
                         events: run.f64_of("events").unwrap_or(0.0),
                         wall_secs: run.f64_of("wall_secs").unwrap_or(0.0),
@@ -1782,10 +1816,12 @@ fn calibration_of(doc: &Json) -> Option<f64> {
 /// recorded on one machine meaningfully gates a run on another; without
 /// calibration the comparison falls back to absolute rates (noted).
 ///
-/// Two gates, both with budget `max_regress` (e.g. `0.20`):
+/// Three gates, all with budget `max_regress` (e.g. `0.20`):
 ///
-/// * per `(scenario, backend)` pair, for pairs whose baseline executed at
-///   least [`MIN_GATED_EVENTS`] events;
+/// * per `(scenario, backend)` pair on events/sec, for pairs whose
+///   baseline executed at least [`MIN_GATED_EVENTS`] events;
+/// * per pair on `wall_packets_per_sec`, for fabric-backed pairs meeting
+///   the same floor — the batching-invariant fabric hot-path gate;
 /// * the aggregate `Σ events / Σ wall_secs` across every matched pair,
 ///   which is the overall typed-engine throughput the tentpole protects.
 ///
@@ -1835,17 +1871,40 @@ pub fn check_baseline(current: &Json, baseline: &Json, max_regress: f64) -> Base
                  floor; counted in the aggregate only",
                 base.name, base.backend, base.events, MIN_GATED_EVENTS
             ));
-        } else if cur_rel < floor {
-            check.failures.push(format!(
-                "{}/{}: {:.3} x-calibration events/sec < {:.3} \
-                 (baseline {:.3}, max regression {:.0}%)",
-                base.name,
-                base.backend,
-                cur_rel,
-                floor,
-                base_rel,
-                max_regress * 100.0
-            ));
+        } else {
+            if cur_rel < floor {
+                check.failures.push(format!(
+                    "{}/{}: {:.3} x-calibration events/sec < {:.3} \
+                     (baseline {:.3}, max regression {:.0}%)",
+                    base.name,
+                    base.backend,
+                    cur_rel,
+                    floor,
+                    base_rel,
+                    max_regress * 100.0
+                ));
+            }
+            // Fabric-backed pairs additionally gate on packet rate. Only
+            // the baseline side is checked for presence: a current run
+            // whose packet rate collapsed to zero (fabric summary lost,
+            // field dropped) must FAIL the gate, not silently skip it.
+            if base.pps > 0.0 {
+                let base_prel = base.pps / base_calib;
+                let cur_prel = row.pps / cur_calib;
+                let pfloor = base_prel * (1.0 - max_regress);
+                if cur_prel < pfloor {
+                    check.failures.push(format!(
+                        "{}/{}: {:.3} x-calibration packets/sec < {:.3} \
+                         (baseline {:.3}, max regression {:.0}%)",
+                        base.name,
+                        base.backend,
+                        cur_prel,
+                        pfloor,
+                        base_prel,
+                        max_regress * 100.0
+                    ));
+                }
+            }
         }
         if (row.sim_us - base.sim_us).abs() > base.sim_us * 1e-9 {
             check.notes.push(format!(
@@ -1945,6 +2004,28 @@ pub fn rack512_spec() -> ScenarioSpec {
     }
 }
 
+/// The routing-heavy rack: 512 nodes arranged as an 8×8×8 3D torus (the
+/// "low-dimensional k-ary n-cube" of §6), every node issuing 1 KB
+/// (16-line) reads to uniformly random peers. Average route length is ~6
+/// hops, so each operation drives ~192 link traversals — per-packet
+/// routing and link-state work dominates the event loop, which is what
+/// the dense-fabric refactor and `wall_packets_per_sec` gate protect.
+pub fn rack512_torus_scan_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "rack512-torus-scan".into(),
+        nodes: 512,
+        topology: TopologySpec::Torus3d(8, 8, 8),
+        backend: BackendSel::One(BackendKind::Sonuma),
+        workload: WorkloadKind::UniformRead,
+        op_bytes: 1024,
+        ops_per_node: 16,
+        window: 4,
+        segment_bytes: 1 << 18,
+        seed: 77,
+        ..ScenarioSpec::default()
+    }
+}
+
 /// The multi-tenant rack: 64 nodes, 1024 tenants (16 per node, each with
 /// its own QP), Zipf-skewed open-loop Poisson traffic, WDRR scheduling
 /// with uniform weights. The fairness acceptance scenario: with equal
@@ -2007,6 +2088,7 @@ pub fn rack64_tenants_strict_spec() -> ScenarioSpec {
 pub fn canned_specs() -> Vec<ScenarioSpec> {
     let mut specs = smoke_specs();
     specs.push(rack512_spec());
+    specs.push(rack512_torus_scan_spec());
     specs.push(rack64_tenants_spec());
     specs.push(rack64_tenants_strict_spec());
     specs

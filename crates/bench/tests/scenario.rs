@@ -118,7 +118,7 @@ fn report_is_schema_valid_and_parses_back() {
     validate_report(&back).expect("parsed report still valid");
     // Corruptions are caught.
     assert!(validate_report(&Json::parse("{}").unwrap()).is_err());
-    let wrong = text.replace("sonuma-bench.scenario/v2", "sonuma-bench.scenario/v0");
+    let wrong = text.replace("sonuma-bench.scenario/v3", "sonuma-bench.scenario/v0");
     assert!(validate_report(&Json::parse(&wrong).unwrap()).is_err());
 }
 
@@ -196,6 +196,41 @@ fn baseline_check_flags_regressions_and_missing_runs() {
     let renamed = report(&run_specs(&[other]));
     let check = check_baseline(&renamed, &doc, 0.20);
     assert!(check.failures.iter().any(|f| f.contains("missing in run")));
+}
+
+#[test]
+fn packet_rate_gate_fails_when_current_rate_collapses() {
+    // A fabric-backed pair above the event floor must fail — not skip —
+    // the packets/sec gate if the current run's wall_packets_per_sec
+    // drops to zero (e.g. the fabric summary is lost). Hand-crafted
+    // reports keep the test instant and the numbers explicit.
+    let doc_with_pps = |pps: f64| {
+        Json::parse(&format!(
+            r#"{{"scenarios": [{{
+                 "spec": {{"name": "rack", "nodes": 512, "seed": 1}},
+                 "runs": [{{
+                   "backend": "soNUMA", "sim_us": 10.0,
+                   "events": 200000, "wall_secs": 0.5,
+                   "wall_events_per_sec": 400000.0,
+                   "wall_packets_per_sec": {pps}
+                 }}]
+               }}]}}"#
+        ))
+        .expect("handwritten report parses")
+    };
+    let baseline = doc_with_pps(300000.0);
+    // Zeroed current rate: must fail on packets/sec specifically.
+    let check = check_baseline(&doc_with_pps(0.0), &baseline, 0.20);
+    assert!(
+        check.failures.iter().any(|f| f.contains("packets/sec")),
+        "zeroed packet rate must fail the gate: {:?}",
+        check.failures
+    );
+    // A >20% drop fails; a small drop passes.
+    let check = check_baseline(&doc_with_pps(200000.0), &baseline, 0.20);
+    assert!(check.failures.iter().any(|f| f.contains("packets/sec")));
+    let check = check_baseline(&doc_with_pps(290000.0), &baseline, 0.20);
+    assert!(check.failures.is_empty(), "{:?}", check.failures);
 }
 
 #[test]
@@ -288,9 +323,52 @@ fn shipped_spec_files_parse() {
                 "bench/specs/rack64-tenants-strict.toml drifted"
             );
         }
+        if spec.name == "rack512-torus-scan" {
+            assert_eq!(
+                spec,
+                sonuma_bench::scenario::rack512_torus_scan_spec(),
+                "bench/specs/rack512-torus-scan.toml drifted"
+            );
+        }
         parsed += 1;
     }
-    assert!(parsed >= 4, "expected shipped spec files, found {parsed}");
+    assert!(parsed >= 5, "expected shipped spec files, found {parsed}");
+}
+
+#[test]
+fn fabric_link_sections_are_deterministic_under_dense_layout() {
+    // A multi-hop torus with shared intermediate links is the layout most
+    // sensitive to link-state ordering: run the same spec twice and
+    // require the rendered `fabric` sections (per-link bytes/packets/
+    // stalls, hottest-first) to be byte-identical.
+    let spec = ScenarioSpec {
+        name: "torus-det".into(),
+        nodes: 16,
+        topology: TopologySpec::Torus2d(4, 4),
+        backend: BackendSel::One(BackendKind::Sonuma),
+        workload: WorkloadKind::UniformRead,
+        op_bytes: 256,
+        ops_per_node: 32,
+        window: 8,
+        seed: 21,
+        ..ScenarioSpec::default()
+    };
+    let render_fabric = || {
+        let result = run_spec(&spec);
+        let run = &result.runs[0];
+        let fabric = run.fabric.as_ref().expect("soNUMA attaches fabric stats");
+        assert!(fabric.links_observed > 0);
+        let text = report(std::slice::from_ref(&result)).render();
+        let start = text.find("\"fabric\"").expect("fabric section rendered");
+        let end = text[start..]
+            .find("\"pipeline_total\"")
+            .expect("fabric precedes pipeline_total");
+        text[start..start + end].to_string()
+    };
+    let a = render_fabric();
+    let b = render_fabric();
+    assert!(a.contains("hot_links"));
+    assert_eq!(a, b, "fabric.links section must be byte-stable across runs");
 }
 
 #[test]

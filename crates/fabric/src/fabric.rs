@@ -1,12 +1,11 @@
 //! The assembled fabric: topology + per-link serialization + credits.
 
-use std::collections::HashMap;
-
 use sonuma_protocol::NodeId;
 use sonuma_sim::SimTime;
 
 use crate::config::FabricConfig;
 use crate::link::{LinkSerializer, VirtualChannel};
+use crate::topology::{NextHopTable, Topology};
 use crate::VIRTUAL_LANES;
 
 /// Result of injecting a packet: when and via how many hops it arrives.
@@ -20,8 +19,85 @@ pub struct Arrival {
 
 #[derive(Debug)]
 struct DirectedLink {
+    src: u16,
+    dst: u16,
     serializer: LinkSerializer,
     lanes: [VirtualChannel; VIRTUAL_LANES],
+}
+
+/// How `(from, to)` directed-link pairs map into the dense link table —
+/// the fabric's "adjacency index". Both forms are pure arithmetic, so a
+/// hop's link lookup is an index computation plus one array load, no
+/// hashing.
+#[derive(Debug, Clone, Copy)]
+enum AdjIndex {
+    /// Crossbar: src-major ordered-pair index. `from` owns a contiguous
+    /// block of `n - 1` slots, one per possible peer (the diagonal is
+    /// skipped — loopback never enters the fabric).
+    Pairs { n: usize },
+    /// Torus/mesh: node × output port. Ports pair up per dimension
+    /// (+1 direction then −1), so a D-dimensional grid has 2·D ports per
+    /// node and `n · 2D` slots total.
+    Grid { dims: [u16; 3], ndims: u8 },
+}
+
+impl AdjIndex {
+    fn of(topology: &Topology) -> AdjIndex {
+        match *topology {
+            Topology::Crossbar { nodes } => AdjIndex::Pairs { n: nodes },
+            Topology::Torus2D { width, height } | Topology::Mesh2D { width, height } => {
+                AdjIndex::Grid {
+                    dims: [width as u16, height as u16, 1],
+                    ndims: 2,
+                }
+            }
+            Topology::Torus3D { x, y, z } => AdjIndex::Grid {
+                dims: [x as u16, y as u16, z as u16],
+                ndims: 3,
+            },
+        }
+    }
+
+    /// Total slots in the dense table.
+    fn slots(self, nodes: usize) -> usize {
+        match self {
+            AdjIndex::Pairs { n } => n * (n - 1).max(1),
+            AdjIndex::Grid { ndims, .. } => nodes * 2 * ndims as usize,
+        }
+    }
+
+    /// The slot of directed link `from -> to`. `to` must be one hop from
+    /// `from` under the owning topology's routing.
+    fn index(self, from: NodeId, to: NodeId) -> usize {
+        match self {
+            AdjIndex::Pairs { n } => {
+                let peer = if to.index() < from.index() {
+                    to.index()
+                } else {
+                    to.index() - 1
+                };
+                from.index() * (n - 1) + peer
+            }
+            AdjIndex::Grid { dims, ndims } => {
+                // Find the one dimension the neighbors differ in and its
+                // direction: +1 steps take the even port, −1 the odd.
+                // (On a ring of 2 both directions coincide on the even
+                // port — there is only one physical link.)
+                let (mut f, mut t) = (from.index(), to.index());
+                for (d, &dim) in dims[..ndims as usize].iter().enumerate() {
+                    let k = dim as usize;
+                    let (fc, tc) = (f % k, t % k);
+                    if fc != tc {
+                        let port = 2 * d + usize::from((tc + k - fc) % k != 1);
+                        return from.index() * 2 * ndims as usize + port;
+                    }
+                    f /= k;
+                    t /= k;
+                }
+                unreachable!("link endpoints are not grid neighbors");
+            }
+        }
+    }
 }
 
 /// The rack-scale memory fabric connecting all nodes' network interfaces.
@@ -31,6 +107,12 @@ struct DirectedLink {
 /// Per-hop costs are `serialization + hop_latency` with store-and-forward
 /// at intermediate routers (indistinguishable from cut-through at soNUMA's
 /// 88-byte MTU), and per-lane credits apply on every hop.
+///
+/// Hot-path discipline: routes come from the allocation-free
+/// [`Topology::route_iter`], and link state lives in a dense table indexed
+/// by [`AdjIndex`] arithmetic, so a send does zero hashing and — once a
+/// link's state exists (created boxed on its first packet, with credit
+/// deques pre-sized to the credit pool) — zero heap allocation.
 ///
 /// # Example
 ///
@@ -45,21 +127,41 @@ struct DirectedLink {
 /// assert!(far.hops > near.hops);
 /// assert!(far.time > near.time);
 /// ```
-#[derive(Debug)]
 pub struct Fabric {
     config: FabricConfig,
-    links: HashMap<(u16, u16), DirectedLink>,
+    adj: AdjIndex,
+    /// Dense link table, [`AdjIndex`]-indexed. Boxed so an idle slot costs
+    /// one machine word; filled on a link's first packet.
+    links: Vec<Option<Box<DirectedLink>>>,
+    /// Lazily-built forwarding table (see [`Fabric::next_hops`]).
+    next_hops: Option<NextHopTable>,
     packets_sent: u64,
     bytes_sent: u64,
     lane_packets: [u64; VIRTUAL_LANES],
 }
 
+impl std::fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fabric")
+            .field("config", &self.config)
+            .field("links_active", &self.links.iter().flatten().count())
+            .field("packets_sent", &self.packets_sent)
+            .field("bytes_sent", &self.bytes_sent)
+            .finish()
+    }
+}
+
 impl Fabric {
     /// Creates an idle fabric.
     pub fn new(config: FabricConfig) -> Self {
+        let adj = AdjIndex::of(&config.topology);
+        let mut links = Vec::new();
+        links.resize_with(adj.slots(config.topology.nodes()), || None);
         Fabric {
             config,
-            links: HashMap::new(),
+            adj,
+            links,
+            next_hops: None,
             packets_sent: 0,
             bytes_sent: 0,
             lane_packets: [0; VIRTUAL_LANES],
@@ -76,15 +178,29 @@ impl Fabric {
         self.config.topology.nodes()
     }
 
+    /// The dense next-hop forwarding table for this fabric's topology,
+    /// built on first use (N×N; see [`NextHopTable`]). The send path
+    /// routes arithmetically and never needs it — this is the structure a
+    /// table-routed topology would plug in, exposed for tools and tests.
+    pub fn next_hops(&mut self) -> &NextHopTable {
+        self.next_hops
+            .get_or_insert_with(|| self.config.topology.next_hop_table())
+    }
+
     fn link(&mut self, from: NodeId, to: NodeId) -> &mut DirectedLink {
-        let credits = self.config.credits_per_lane;
-        let credit_return = self.config.credit_return;
-        self.links
-            .entry((from.0, to.0))
-            .or_insert_with(|| DirectedLink {
+        let idx = self.adj.index(from, to);
+        let slot = &mut self.links[idx];
+        if slot.is_none() {
+            let credits = self.config.credits_per_lane;
+            let credit_return = self.config.credit_return;
+            *slot = Some(Box::new(DirectedLink {
+                src: from.0,
+                dst: to.0,
                 serializer: LinkSerializer::new(),
                 lanes: std::array::from_fn(|_| VirtualChannel::new(credits, credit_return)),
-            })
+            }));
+        }
+        slot.as_mut().expect("just filled")
     }
 
     /// Injects a packet of `bytes` on virtual lane `lane` at time `now`;
@@ -104,28 +220,26 @@ impl Fabric {
     ) -> Arrival {
         assert!(lane < VIRTUAL_LANES, "virtual lane out of range");
         assert_ne!(src, dst, "loopback traffic must not enter the fabric");
-        let route = self.config.topology.route(src, dst);
         let ser = self.config.serialization(bytes);
         let hop_latency = self.config.hop_latency;
 
         let mut at = now;
         let mut prev = src;
-        for &hop in &route {
+        let mut hops = 0u32;
+        for hop in self.config.topology.route_iter(src, dst) {
             let link = self.link(prev, hop);
             // Credit first (receive buffer at `hop`), then the wire.
             let after_credit = link.lanes[lane].acquire(at, at + ser + hop_latency);
             let start = link.serializer.occupy(after_credit, ser, bytes);
             at = start + ser + hop_latency;
             prev = hop;
+            hops += 1;
         }
 
         self.packets_sent += 1;
         self.bytes_sent += bytes;
         self.lane_packets[lane] += 1;
-        Arrival {
-            time: at,
-            hops: route.len() as u32,
-        }
+        Arrival { time: at, hops }
     }
 
     /// Total packets injected.
@@ -146,7 +260,8 @@ impl Fabric {
     /// Total credit stalls across all links and lanes (congestion metric).
     pub fn credit_stalls(&self) -> u64 {
         self.links
-            .values()
+            .iter()
+            .flatten()
             .flat_map(|l| l.lanes.iter())
             .map(|vc| vc.stalls())
             .sum()
@@ -160,9 +275,10 @@ impl Fabric {
         let mut out: Vec<LinkStats> = self
             .links
             .iter()
-            .map(|(&(src, dst), link)| LinkStats {
-                src: NodeId(src),
-                dst: NodeId(dst),
+            .flatten()
+            .map(|link| LinkStats {
+                src: NodeId(link.src),
+                dst: NodeId(link.dst),
                 bytes: link.serializer.bytes(),
                 packets: link.serializer.packets(),
                 credit_stalls: link.lanes.iter().map(VirtualChannel::stalls).sum(),
@@ -289,6 +405,63 @@ mod tests {
             stats.iter().map(|l| l.bytes).sum::<u64>(),
             f.bytes_sent(),
             "per-link bytes must account for every byte sent"
+        );
+    }
+
+    #[test]
+    fn link_stats_ordering_matches_hashmap_reference() {
+        // The dense layout must report exactly what the original
+        // HashMap-keyed implementation did: one row per directed link that
+        // carried traffic, sorted by (src, dst). The reference here
+        // accumulates the same traffic into a HashMap and sorts its keys.
+        use std::collections::HashMap;
+        for config in [
+            FabricConfig::paper_crossbar(6),
+            FabricConfig::torus2d(3, 4),
+            FabricConfig::torus3d(2, 3, 2),
+        ] {
+            let topo = config.topology.clone();
+            let n = topo.nodes() as u16;
+            let mut fabric = Fabric::new(config);
+            let mut reference: HashMap<(u16, u16), (u64, u64)> = HashMap::new();
+            let mut seed = 12345u64;
+            for i in 0..500u64 {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let src = (seed >> 33) as u16 % n;
+                let dst = (seed >> 17) as u16 % n;
+                if src == dst {
+                    continue;
+                }
+                let bytes = if i % 3 == 0 { 24 } else { 88 };
+                fabric.send(SimTime::from_ns(i), NodeId(src), NodeId(dst), 0, bytes);
+                let mut prev = src;
+                for hop in topo.route(NodeId(src), NodeId(dst)) {
+                    let e = reference.entry((prev, hop.0)).or_default();
+                    e.0 += bytes;
+                    e.1 += 1;
+                    prev = hop.0;
+                }
+            }
+            let mut expected: Vec<((u16, u16), (u64, u64))> = reference.into_iter().collect();
+            expected.sort_unstable_by_key(|&(k, _)| k);
+            let stats = fabric.link_stats();
+            assert_eq!(stats.len(), expected.len(), "{topo:?} link row count");
+            for (row, ((src, dst), (bytes, packets))) in stats.iter().zip(expected) {
+                assert_eq!((row.src.0, row.dst.0), (src, dst), "{topo:?} ordering");
+                assert_eq!((row.bytes, row.packets), (bytes, packets), "{topo:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn next_hops_table_is_lazily_built_and_consistent() {
+        let mut fabric = Fabric::new(FabricConfig::torus2d(4, 4));
+        let table = fabric.next_hops();
+        assert_eq!(table.nodes(), 16);
+        assert_eq!(
+            table.next_hop(NodeId(0), NodeId(10)),
+            NodeId(1),
+            "X-first dimension-order routing"
         );
     }
 

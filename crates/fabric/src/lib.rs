@@ -35,7 +35,7 @@ pub mod topology;
 pub use config::FabricConfig;
 pub use fabric::{Arrival, Fabric, LinkStats};
 pub use link::{LinkTiming, VirtualChannel};
-pub use topology::Topology;
+pub use topology::{NextHopTable, RouteIter, Topology};
 
 /// Number of virtual lanes: requests on 0, replies on 1 (§6).
 pub const VIRTUAL_LANES: usize = 2;

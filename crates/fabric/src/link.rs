@@ -53,7 +53,10 @@ impl VirtualChannel {
         VirtualChannel {
             credits,
             credit_return,
-            in_flight: VecDeque::new(),
+            // Occupancy never exceeds the credit pool (acquire reclaims or
+            // evicts before inserting), so pre-sizing the deque to it makes
+            // every later acquire allocation-free.
+            in_flight: VecDeque::with_capacity(credits),
             stalls: 0,
         }
     }

@@ -7,7 +7,11 @@ use sonuma_protocol::NodeId;
 /// Routing is topology-based — "the router's forwarding logic directly maps
 /// destination addresses to outgoing router ports" (§6) — so routes are
 /// computed, never looked up: dimension-order for meshes and torii, direct
-/// for the crossbar.
+/// for the crossbar. [`Topology::route_iter`] yields the hop sequence
+/// without touching the heap (this is what [`crate::Fabric::send`] walks on
+/// every packet); [`Topology::route`] is the allocating convenience wrapper
+/// for tests and tools. Topologies whose routing is *not* arithmetic can be
+/// served by a precomputed [`NextHopTable`] instead.
 ///
 /// # Example
 ///
@@ -19,6 +23,8 @@ use sonuma_protocol::NodeId;
 /// let path = torus.route(NodeId(0), NodeId(10));
 /// assert_eq!(path.last(), Some(&NodeId(10)));
 /// assert!(path.len() as u32 <= torus.diameter());
+/// // The allocation-free iterator yields the same hops.
+/// assert!(torus.route_iter(NodeId(0), NodeId(10)).eq(path.into_iter()));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Topology {
@@ -116,85 +122,271 @@ impl Topology {
         }
     }
 
+    /// Allocation-free iterator over the nodes a packet visits after
+    /// leaving `src`, ending at `dst`. Empty when `src == dst`. This is the
+    /// hot-path form: every hop is computed arithmetically from fixed-size
+    /// coordinate arrays, so routing a packet never touches the heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn route_iter(&self, src: NodeId, dst: NodeId) -> RouteIter {
+        let n = self.nodes();
+        assert!(src.index() < n && dst.index() < n, "node id out of range");
+        let state = if src == dst {
+            RouteState::Done
+        } else {
+            match *self {
+                Topology::Crossbar { .. } => RouteState::Direct { dst: dst.0 },
+                Topology::Torus2D { width, height } => {
+                    torus_state(&[width, height], src.index(), dst.index())
+                }
+                Topology::Torus3D { x, y, z } => torus_state(&[x, y, z], src.index(), dst.index()),
+                Topology::Mesh2D { width, .. } => RouteState::Mesh {
+                    width: width as u16,
+                    x: (src.index() % width) as u16,
+                    y: (src.index() / width) as u16,
+                    gx: (dst.index() % width) as u16,
+                    gy: (dst.index() / width) as u16,
+                },
+            }
+        };
+        RouteIter { state }
+    }
+
     /// The sequence of nodes a packet visits after leaving `src`, ending at
-    /// `dst`. Empty when `src == dst`.
+    /// `dst`, as an owned `Vec`. Empty when `src == dst`. Allocating
+    /// convenience form of [`Topology::route_iter`] for tests and tools —
+    /// the fabric's per-packet path never calls this.
     ///
     /// # Panics
     ///
     /// Panics if either id is out of range.
     pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        self.route_iter(src, dst).collect()
+    }
+
+    /// Minimum hop count between two nodes, computed arithmetically
+    /// (no route materialization).
+    pub fn distance(&self, src: NodeId, dst: NodeId) -> u32 {
         let n = self.nodes();
         assert!(src.index() < n && dst.index() < n, "node id out of range");
         if src == dst {
-            return Vec::new();
+            return 0;
         }
         match *self {
-            Topology::Crossbar { .. } => vec![dst],
+            Topology::Crossbar { .. } => 1,
             Topology::Torus2D { width, height } => {
-                route_torus(&[width, height], src.index(), dst.index())
+                ring_distance(width, src.index(), dst.index())
+                    + ring_distance(height, src.index() / width, dst.index() / width)
             }
-            Topology::Torus3D { x, y, z } => route_torus(&[x, y, z], src.index(), dst.index()),
-            Topology::Mesh2D { width, .. } => route_mesh(width, src.index(), dst.index()),
+            Topology::Torus3D { x, y, z } => {
+                ring_distance(x, src.index(), dst.index())
+                    + ring_distance(y, src.index() / x, dst.index() / x)
+                    + ring_distance(z, src.index() / (x * y), dst.index() / (x * y))
+            }
+            Topology::Mesh2D { width, .. } => {
+                let (sx, sy) = (src.index() % width, src.index() / width);
+                let (dx, dy) = (dst.index() % width, dst.index() / width);
+                (sx.abs_diff(dx) + sy.abs_diff(dy)) as u32
+            }
         }
     }
 
-    /// Minimum hop count between two nodes.
-    pub fn distance(&self, src: NodeId, dst: NodeId) -> u32 {
-        self.route(src, dst).len() as u32
+    /// Builds the dense next-hop forwarding table for this topology (see
+    /// [`NextHopTable`]). O(N²) space; the arithmetic topologies above
+    /// never need it, but it is the routing structure of choice for
+    /// topologies whose next hop is awkward to compute on the fly.
+    pub fn next_hop_table(&self) -> NextHopTable {
+        NextHopTable::build(self)
     }
 }
 
-/// Dimension-order routing on a k-ary n-cube with wraparound: resolve each
-/// dimension fully (taking the shorter direction) before the next.
-fn route_torus(dims: &[usize], src: usize, dst: usize) -> Vec<NodeId> {
-    // Decompose into per-dimension coordinates (dimension 0 varies fastest).
-    let coord = |mut id: usize| -> Vec<usize> {
-        dims.iter()
-            .map(|&d| {
-                let c = id % d;
-                id /= d;
-                c
-            })
-            .collect()
-    };
-    let compose = |coords: &[usize]| -> usize {
-        let mut id = 0;
-        for (i, &c) in coords.iter().enumerate().rev() {
-            id = id * dims[i] + c;
-        }
-        id
-    };
-
-    let mut cur = coord(src);
-    let goal = coord(dst);
-    let mut path = Vec::new();
-    for dim in 0..dims.len() {
-        let k = dims[dim];
-        while cur[dim] != goal[dim] {
-            let fwd = (goal[dim] + k - cur[dim]) % k; // hops going +1
-            let step = if fwd <= k - fwd { 1 } else { k - 1 }; // +1 or -1 mod k
-            cur[dim] = (cur[dim] + step) % k;
-            path.push(NodeId(compose(&cur) as u16));
-        }
-    }
-    path
+/// Shortest directed hop count between positions `s` and `d` on a ring of
+/// `k` (both taken modulo `k` after dividing out faster dimensions).
+fn ring_distance(k: usize, s: usize, d: usize) -> u32 {
+    let (s, d) = (s % k, d % k);
+    let fwd = (d + k - s) % k;
+    fwd.min(k - fwd) as u32
 }
 
-/// Dimension-order (XY) routing on a mesh: no wraparound, so every step
-/// moves monotonically toward the destination coordinate.
-fn route_mesh(width: usize, src: usize, dst: usize) -> Vec<NodeId> {
-    let (mut x, mut y) = (src % width, src / width);
-    let (gx, gy) = (dst % width, dst / width);
-    let mut path = Vec::new();
-    while x != gx {
-        x = if gx > x { x + 1 } else { x - 1 };
-        path.push(NodeId((y * width + x) as u16));
+/// Initial dimension-order walk state on a k-ary n-cube: coordinates are
+/// decomposed once into fixed-size arrays (dimension 0 varies fastest), so
+/// iterating the route allocates nothing.
+fn torus_state(dims: &[usize], src: usize, dst: usize) -> RouteState {
+    let mut d = [1u16; 3];
+    let mut cur = [0u16; 3];
+    let mut goal = [0u16; 3];
+    let (mut s, mut g) = (src, dst);
+    for (i, &k) in dims.iter().enumerate() {
+        d[i] = k as u16;
+        cur[i] = (s % k) as u16;
+        goal[i] = (g % k) as u16;
+        s /= k;
+        g /= k;
     }
-    while y != gy {
-        y = if gy > y { y + 1 } else { y - 1 };
-        path.push(NodeId((y * width + x) as u16));
+    RouteState::Torus {
+        dims: d,
+        ndims: dims.len() as u8,
+        dim: 0,
+        cur,
+        goal,
     }
-    path
+}
+
+/// Allocation-free route iterator (see [`Topology::route_iter`]).
+///
+/// Plain `Copy` data: the topology's parameters and the walker's current
+/// position are captured in fixed-size arrays at construction, so cloning
+/// or iterating never allocates.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteIter {
+    state: RouteState,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum RouteState {
+    /// Route fully consumed (or `src == dst`).
+    Done,
+    /// Crossbar: one hop straight to the destination.
+    Direct { dst: u16 },
+    /// Dimension-order walk on a k-ary n-cube with wraparound: resolve
+    /// each dimension fully (taking the shorter direction) before the
+    /// next.
+    Torus {
+        dims: [u16; 3],
+        ndims: u8,
+        dim: u8,
+        cur: [u16; 3],
+        goal: [u16; 3],
+    },
+    /// Dimension-order (XY) walk on a mesh: no wraparound, so every step
+    /// moves monotonically toward the destination coordinate.
+    Mesh {
+        width: u16,
+        x: u16,
+        y: u16,
+        gx: u16,
+        gy: u16,
+    },
+}
+
+impl Iterator for RouteIter {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        match &mut self.state {
+            RouteState::Done => None,
+            RouteState::Direct { dst } => {
+                let hop = NodeId(*dst);
+                self.state = RouteState::Done;
+                Some(hop)
+            }
+            RouteState::Torus {
+                dims,
+                ndims,
+                dim,
+                cur,
+                goal,
+            } => {
+                while *dim < *ndims && cur[*dim as usize] == goal[*dim as usize] {
+                    *dim += 1;
+                }
+                if *dim >= *ndims {
+                    self.state = RouteState::Done;
+                    return None;
+                }
+                let i = *dim as usize;
+                let k = dims[i];
+                let fwd = (goal[i] + k - cur[i]) % k; // hops going +1
+                let step = if fwd <= k - fwd { 1 } else { k - 1 }; // +1 or -1 mod k
+                cur[i] = (cur[i] + step) % k;
+                let mut id = 0u32;
+                for j in (0..*ndims as usize).rev() {
+                    id = id * dims[j] as u32 + cur[j] as u32;
+                }
+                Some(NodeId(id as u16))
+            }
+            RouteState::Mesh {
+                width,
+                x,
+                y,
+                gx,
+                gy,
+            } => {
+                if x != gx {
+                    *x = if *gx > *x { *x + 1 } else { *x - 1 };
+                } else if y != gy {
+                    *y = if *gy > *y { *y + 1 } else { *y - 1 };
+                } else {
+                    self.state = RouteState::Done;
+                    return None;
+                }
+                Some(NodeId(*y * *width + *x))
+            }
+        }
+    }
+}
+
+/// Dense precomputed forwarding table: `next_hop(cur, dst)` is one array
+/// load. This is the "forwarding logic directly maps destination addresses
+/// to outgoing router ports" structure (§6) in table form, N×N `u16`s —
+/// the fallback for topologies whose next hop is awkward to compute
+/// arithmetically, and the reference the routing-equivalence tests check
+/// [`RouteIter`] against.
+#[derive(Debug, Clone)]
+pub struct NextHopTable {
+    n: usize,
+    next: Vec<u16>,
+}
+
+impl NextHopTable {
+    /// Precomputes every (current, destination) pair's next hop.
+    pub fn build(topo: &Topology) -> Self {
+        let n = topo.nodes();
+        let mut next = vec![0u16; n * n];
+        for cur in 0..n {
+            for dst in 0..n {
+                next[cur * n + dst] = if cur == dst {
+                    cur as u16
+                } else {
+                    topo.route_iter(NodeId(cur as u16), NodeId(dst as u16))
+                        .next()
+                        .expect("nonempty route")
+                        .0
+                };
+            }
+        }
+        NextHopTable { n, next }
+    }
+
+    /// Number of nodes the table covers.
+    pub fn nodes(&self) -> usize {
+        self.n
+    }
+
+    /// The node a packet at `cur` forwards to on its way to `dst`
+    /// (`cur` itself when already there).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn next_hop(&self, cur: NodeId, dst: NodeId) -> NodeId {
+        NodeId(self.next[cur.index() * self.n + dst.index()])
+    }
+
+    /// The full hop sequence from `src` to `dst` via repeated table
+    /// lookups — hop-for-hop identical to [`Topology::route_iter`] on the
+    /// topology the table was built from.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        let mut path = Vec::new();
+        let mut cur = src;
+        while cur != dst {
+            cur = self.next_hop(cur, dst);
+            path.push(cur);
+        }
+        path
+    }
 }
 
 #[cfg(test)]
@@ -305,9 +497,59 @@ mod tests {
     }
 
     #[test]
+    fn distance_is_arithmetic_and_matches_route_len() {
+        for topo in [
+            Topology::crossbar(9),
+            Topology::torus2d(4, 4),
+            Topology::torus3d(3, 4, 2),
+            Topology::mesh2d(5, 3),
+        ] {
+            let n = topo.nodes() as u16;
+            for s in 0..n {
+                for d in 0..n {
+                    assert_eq!(
+                        topo.distance(NodeId(s), NodeId(d)),
+                        topo.route(NodeId(s), NodeId(d)).len() as u32,
+                        "{topo:?} {s}->{d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_hop_table_matches_route_iter() {
+        for topo in [
+            Topology::crossbar(6),
+            Topology::torus2d(4, 3),
+            Topology::mesh2d(3, 4),
+        ] {
+            let table = topo.next_hop_table();
+            assert_eq!(table.nodes(), topo.nodes());
+            let n = topo.nodes() as u16;
+            for s in 0..n {
+                assert_eq!(table.next_hop(NodeId(s), NodeId(s)), NodeId(s));
+                for d in 0..n {
+                    assert_eq!(
+                        table.route(NodeId(s), NodeId(d)),
+                        topo.route(NodeId(s), NodeId(d)),
+                        "{topo:?} {s}->{d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn out_of_range_node_panics() {
         Topology::crossbar(2).route(NodeId(0), NodeId(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_distance_panics() {
+        Topology::torus2d(2, 2).distance(NodeId(9), NodeId(0));
     }
 
     #[test]

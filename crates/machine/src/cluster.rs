@@ -40,6 +40,12 @@ pub struct Cluster {
     pub nodes: Vec<Node>,
     /// The memory fabric.
     pub fabric: Fabric,
+    /// Logical events folded into batched engine events: a line burst of
+    /// `n` injections executes as one engine event but represents `n`
+    /// logical pipeline steps. Adding these back keeps `events_processed`
+    /// (and the events/sec throughput gate) comparable across
+    /// `rgp_burst_lines` settings.
+    pub(crate) batched_logical_events: u64,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -67,6 +73,7 @@ impl Cluster {
             nodes: (0..config.nodes).map(|_| Node::new(&config)).collect(),
             fabric: Fabric::new(config.fabric.clone()),
             config,
+            batched_logical_events: 0,
         }
     }
 
@@ -136,6 +143,7 @@ impl Cluster {
             wq_phase: true,
             cq_index: 0,
             cq_phase: true,
+            cq_drained: 0,
             outstanding: 0,
             slot_busy: vec![false; entries as usize],
         });

@@ -88,6 +88,13 @@ pub struct MachineConfig {
     pub qp_entries: u16,
     /// QoS policy each node's RGP uses to arbitrate between active QPs.
     pub sched_policy: SchedPolicy,
+    /// Cache-line transactions one RGP unroll event injects (≥ 1). This is
+    /// a host-side batching knob, not a timing parameter: every line keeps
+    /// its own fabric injection timestamp and delivery time (spaced at the
+    /// RMC's initiation interval) regardless of the burst size — bursting
+    /// only folds what would be `burst` separate engine events into one
+    /// service step, which is most of the event churn of large transfers.
+    pub rgp_burst_lines: u32,
 }
 
 impl MachineConfig {
@@ -104,6 +111,7 @@ impl MachineConfig {
             itt_entries: 64,
             qp_entries: 64,
             sched_policy: SchedPolicy::RoundRobin,
+            rgp_burst_lines: 8,
         }
     }
 
@@ -121,6 +129,7 @@ impl MachineConfig {
             itt_entries: 64,
             qp_entries: 64,
             sched_policy: SchedPolicy::RoundRobin,
+            rgp_burst_lines: 8,
         }
     }
 

@@ -13,7 +13,7 @@ use sonuma_protocol::{NodeId, Packet, PacketKind, QpId};
 use sonuma_sim::World;
 
 use crate::cluster::Cluster;
-use crate::pipeline::rgp::LineRequest;
+use crate::pipeline::rgp::LineBurst;
 use crate::pipeline::RgpPhase;
 use crate::process::Wake;
 use crate::ClusterEngine;
@@ -32,13 +32,14 @@ pub enum ClusterEvent {
         /// Node whose RGP leaves the `Stalled` phase.
         node: u16,
     },
-    /// The RGP at `node` injects one unrolled line transaction into the
-    /// fabric.
-    InjectLine {
+    /// The RGP at `node` injects a burst of unrolled line transactions
+    /// into the fabric, each at its own initiation-interval-spaced
+    /// timestamp (see [`LineBurst`]).
+    InjectBurst {
         /// Originating node.
         node: u16,
-        /// The unrolled cache-line transaction.
-        line: LineRequest,
+        /// The run of unrolled cache-line transactions.
+        burst: LineBurst,
     },
     /// `pkt` is fully delivered at its destination NI (fabric arrival or
     /// local loopback) and enters the RRPP (requests) or RCP (replies).
@@ -115,8 +116,8 @@ impl World for Cluster {
                 self.nodes[node as usize].rmc.rgp.phase = RgpPhase::Polling;
                 self.rgp_service(engine, node as usize);
             }
-            ClusterEvent::InjectLine { node, line } => {
-                self.inject_line(engine, node as usize, line);
+            ClusterEvent::InjectBurst { node, burst } => {
+                self.inject_burst(engine, node as usize, burst);
             }
             ClusterEvent::Deliver { pkt } => {
                 let dst = pkt.dst.index();

@@ -83,6 +83,11 @@ pub struct AppQpCursors {
     pub cq_index: u16,
     /// Phase bit expected on the next fresh CQ entry.
     pub cq_phase: bool,
+    /// CQ entries this consumer has drained. Compared against the RMC's
+    /// `cq_produced` counter for an O(1) "anything new?" check, so the
+    /// ubiquitous empty poll never walks the ring through page
+    /// translation.
+    pub cq_drained: u64,
     /// Posted-but-not-yet-consumed completions (bounds WQ occupancy).
     pub outstanding: u16,
     /// Per-slot in-flight markers. Completions arrive out of order (§4.2),

@@ -72,25 +72,33 @@ pub struct PipelineStats {
 }
 
 impl PipelineStats {
-    /// Element-wise sum of two snapshots (cluster-wide aggregation).
+    /// Element-wise in-place accumulation of `other` into `self` — the
+    /// fold step of cluster-wide aggregation. Report loops summing
+    /// hundreds of per-node snapshots use this so the fold is one pass
+    /// over borrowed data, not a chain of by-value copies.
+    pub fn merge_from(&mut self, other: &PipelineStats) {
+        self.rgp_requests += other.rgp_requests;
+        self.rgp_lines += other.rgp_lines;
+        self.rgp_wq_polls += other.rgp_wq_polls;
+        self.rgp_empty_polls += other.rgp_empty_polls;
+        self.rgp_itt_stalls += other.rgp_itt_stalls;
+        self.rgp_sched_skips += other.rgp_sched_skips;
+        self.api_wq_full += other.api_wq_full;
+        self.rrpp_served += other.rrpp_served;
+        self.rrpp_ct_misses += other.rrpp_ct_misses;
+        self.rrpp_errors += other.rrpp_errors;
+        self.rrpp_interrupts += other.rrpp_interrupts;
+        self.rcp_replies += other.rcp_replies;
+        self.rcp_completions += other.rcp_completions;
+        self.itt_in_flight += other.itt_in_flight;
+    }
+
+    /// Element-wise sum of two snapshots (by-value convenience form of
+    /// [`PipelineStats::merge_from`]).
     #[must_use]
-    pub fn merge(self, other: PipelineStats) -> PipelineStats {
-        PipelineStats {
-            rgp_requests: self.rgp_requests + other.rgp_requests,
-            rgp_lines: self.rgp_lines + other.rgp_lines,
-            rgp_wq_polls: self.rgp_wq_polls + other.rgp_wq_polls,
-            rgp_empty_polls: self.rgp_empty_polls + other.rgp_empty_polls,
-            rgp_itt_stalls: self.rgp_itt_stalls + other.rgp_itt_stalls,
-            rgp_sched_skips: self.rgp_sched_skips + other.rgp_sched_skips,
-            api_wq_full: self.api_wq_full + other.api_wq_full,
-            rrpp_served: self.rrpp_served + other.rrpp_served,
-            rrpp_ct_misses: self.rrpp_ct_misses + other.rrpp_ct_misses,
-            rrpp_errors: self.rrpp_errors + other.rrpp_errors,
-            rrpp_interrupts: self.rrpp_interrupts + other.rrpp_interrupts,
-            rcp_replies: self.rcp_replies + other.rcp_replies,
-            rcp_completions: self.rcp_completions + other.rcp_completions,
-            itt_in_flight: self.itt_in_flight + other.itt_in_flight,
-        }
+    pub fn merge(mut self, other: PipelineStats) -> PipelineStats {
+        self.merge_from(&other);
+        self
     }
 
     /// `(name, value)` rows in presentation order, so reporting layers can
@@ -134,11 +142,16 @@ impl Cluster {
         s
     }
 
-    /// Cluster-wide sum of every node's pipeline counters.
+    /// Cluster-wide sum of every node's pipeline counters: one in-place
+    /// O(N) fold per call. Callers that need both the total and the
+    /// per-node rows (the bench report path) should snapshot per-node
+    /// stats once and fold those, rather than calling this per counter.
     pub fn total_pipeline_stats(&self) -> PipelineStats {
-        (0..self.nodes.len())
-            .map(|n| self.pipeline_stats(NodeId(n as u16)))
-            .fold(PipelineStats::default(), PipelineStats::merge)
+        let mut total = PipelineStats::default();
+        for n in 0..self.nodes.len() {
+            total.merge_from(&self.pipeline_stats(NodeId(n as u16)));
+        }
+        total
     }
 
     /// Delivers `pkt` to its destination's RRPP (requests) or RCP

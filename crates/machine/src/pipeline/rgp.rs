@@ -416,19 +416,28 @@ impl RgpState {
     }
 }
 
-/// One unrolled cache-line transaction queued for injection by the RGP
-/// (carried by value inside [`ClusterEvent::InjectLine`]; the fields are
-/// pipeline-internal).
+/// A run of unrolled cache-line transactions queued for injection by the
+/// RGP (carried by value inside [`ClusterEvent::InjectBurst`]; the fields
+/// are pipeline-internal). Line `k` of the burst targets
+/// `offset + k·64` with sequence `first_seq + k` and is injected at the
+/// event's time plus `k` initiation intervals — identical per-line timing
+/// to one event per line, at a fraction of the engine churn.
 #[derive(Debug, Clone, Copy)]
-pub struct LineRequest {
+pub struct LineBurst {
     dst: NodeId,
     ctx: CtxId,
     tid: Tid,
     op: RemoteOp,
+    /// Segment offset of the burst's first line.
     offset: u64,
-    line_seq: u32,
-    /// Local VA the payload is read from (writes), or operands (atomics).
+    /// `line_seq` of the burst's first line.
+    first_seq: u32,
+    /// Lines in this burst (≥ 1).
+    count: u32,
+    /// Local VA the first line's payload is read from (writes only;
+    /// subsequent lines stride by one cache line).
     payload_src: Option<VAddr>,
+    /// Operand words (atomics/interrupts).
     operands: (u64, u64),
 }
 
@@ -466,6 +475,7 @@ impl Cluster {
     /// most one WQ entry, unroll it, and chain.
     pub(crate) fn rgp_service(&mut self, engine: &mut ClusterEngine, n: usize) {
         let now = engine.now();
+        let burst = self.config().rgp_burst_lines.max(1);
         let node = &mut self.nodes[n];
         let timing = node.rmc.timing;
 
@@ -523,28 +533,32 @@ impl Cluster {
         node.tenants.note_request(qp);
 
         // Unroll into line-sized transactions (§4.2): one injection every
-        // initiation interval.
+        // initiation interval, scheduled `rgp_burst_lines` to an event so
+        // a large transfer costs O(lines / burst) engine events while
+        // every line keeps its own injection timestamp.
         let t0 = t_read + timing.rgp_per_request;
-        for k in 0..lines {
-            let at = t0 + timing.unroll_interval * k as u64;
-            let line = LineRequest {
-                dst: entry.dst,
-                ctx: entry.ctx,
-                tid,
-                op: entry.op,
-                offset: entry.offset + k as u64 * CACHE_LINE_BYTES,
-                line_seq: k,
-                payload_src: (entry.op == RemoteOp::Write)
-                    .then(|| VAddr::new(entry.buf_vaddr + k as u64 * CACHE_LINE_BYTES)),
-                operands: (entry.operand1, entry.operand2),
-            };
+        let mut k = 0u32;
+        while k < lines {
+            let count = burst.min(lines - k);
             engine.schedule_at(
-                at,
-                ClusterEvent::InjectLine {
+                t0 + timing.unroll_interval * k as u64,
+                ClusterEvent::InjectBurst {
                     node: n as u16,
-                    line,
+                    burst: LineBurst {
+                        dst: entry.dst,
+                        ctx: entry.ctx,
+                        tid,
+                        op: entry.op,
+                        offset: entry.offset + k as u64 * CACHE_LINE_BYTES,
+                        first_seq: k,
+                        count,
+                        payload_src: (entry.op == RemoteOp::Write)
+                            .then(|| VAddr::new(entry.buf_vaddr + k as u64 * CACHE_LINE_BYTES)),
+                        operands: (entry.operand1, entry.operand2),
+                    },
                 },
             );
+            k += count;
         }
 
         // Charge the service to the scheduler and chain the next step once
@@ -554,19 +568,42 @@ impl Cluster {
         engine.schedule_at(t_next, ClusterEvent::RgpService { node: n as u16 });
     }
 
-    /// Injects one unrolled line transaction into the fabric (reading the
-    /// payload for writes).
-    pub(crate) fn inject_line(&mut self, engine: &mut ClusterEngine, n: usize, spec: LineRequest) {
+    /// Injects a burst of unrolled line transactions into the fabric
+    /// (reading the payload for writes). Line `k` of the burst is injected
+    /// at the event time plus `k` initiation intervals — exactly the
+    /// timestamps the lines would get as individual events.
+    pub(crate) fn inject_burst(&mut self, engine: &mut ClusterEngine, n: usize, spec: LineBurst) {
         let now = engine.now();
+        let unroll = self.nodes[n].rmc.timing.unroll_interval;
+        // One engine event stands in for `count` logical injections; keep
+        // the logical-event count batching-invariant for throughput
+        // reporting.
+        self.batched_logical_events += spec.count as u64 - 1;
+        for k in 0..spec.count {
+            self.inject_line_at(engine, n, &spec, k, now + unroll * k as u64);
+        }
+    }
+
+    /// Injects line `k` of `spec` starting its pipeline work at `at`.
+    fn inject_line_at(
+        &mut self,
+        engine: &mut ClusterEngine,
+        n: usize,
+        spec: &LineBurst,
+        k: u32,
+        at: SimTime,
+    ) {
         let node = &mut self.nodes[n];
         let timing = node.rmc.timing;
         let src = NodeId(n as u16);
+        let line_bytes = k as u64 * CACHE_LINE_BYTES;
 
-        let mut t = now;
+        let mut t = at;
         let mut payload: Option<[u8; 64]> = None;
         match spec.op {
             RemoteOp::Write => {
-                let va = spec.payload_src.expect("writes carry a payload source");
+                let base = spec.payload_src.expect("writes carry a payload source");
+                let va = VAddr::new(base.raw() + line_bytes);
                 let (pa, t_xl) = node.rmc_translate(t, va);
                 let pa = pa.expect("local buffer validated at post time");
                 t = node.rmc_line_access(t_xl, pa, AccessKind::Read);
@@ -594,8 +631,8 @@ impl Cluster {
             tid: spec.tid,
             op: spec.op,
             status: Status::Ok,
-            offset: spec.offset,
-            line_seq: spec.line_seq,
+            offset: spec.offset + line_bytes,
+            line_seq: spec.first_seq + k,
             payload,
         };
         node.rmc.rgp.lines += 1;

@@ -62,6 +62,15 @@ impl Cluster {
 
     /// Functionally drains every fresh CQ entry (application-side consumer).
     pub(crate) fn drain_cq(&mut self, n: usize, qp: QpId) -> Vec<Completion> {
+        // O(1) emptiness check against the RMC's producer counter: the
+        // overwhelmingly common empty poll must not walk the CQ ring
+        // through page translation (a 512-node driver polls every node
+        // between engine bursts).
+        if self.nodes[n].app_qps[qp.index()].cq_drained
+            == self.nodes[n].rmc.qps[qp.index()].cq_produced()
+        {
+            return Vec::new();
+        }
         let mut out = Vec::new();
         loop {
             let (cq_index, cq_phase) = {
@@ -87,6 +96,7 @@ impl Cluster {
                         cur.cq_index = 0;
                         cur.cq_phase = !cur.cq_phase;
                     }
+                    cur.cq_drained += 1;
                     cur.outstanding = cur.outstanding.saturating_sub(1);
                     cur.slot_busy[entry.wq_index as usize] = false;
                 }

@@ -74,13 +74,9 @@ impl CacheGeometry {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Way {
-    valid: bool,
-    dirty: bool,
-    tag: u64,
-    lru: u64,
-}
+/// Per-way flag bits (see [`CacheArray`]'s parallel arrays).
+const VALID: u8 = 1;
+const DIRTY: u8 = 2;
 
 /// Outcome of a cache lookup-with-fill.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,7 +118,14 @@ impl LookupResult {
 #[derive(Debug, Clone)]
 pub struct CacheArray {
     geom: CacheGeometry,
-    ways: Vec<Way>, // sets * ways, row-major by set
+    // Way state as parallel arrays (sets × ways, row-major by set), all
+    // zero-initialized. `vec![0; n]` allocates zeroed pages straight from
+    // the allocator, so building a rack of 4 MB LLC tag arrays costs
+    // virtual address space, not hundreds of megabytes of writes — pages
+    // materialize only for sets the workload actually touches.
+    tags: Vec<u64>,
+    lru: Vec<u64>,
+    flags: Vec<u8>, // VALID | DIRTY
     tick: u64,
     hits: u64,
     misses: u64,
@@ -134,15 +137,9 @@ impl CacheArray {
         let n = (geom.sets() * geom.ways() as u64) as usize;
         CacheArray {
             geom,
-            ways: vec![
-                Way {
-                    valid: false,
-                    dirty: false,
-                    tag: 0,
-                    lru: 0,
-                };
-                n
-            ],
+            tags: vec![0; n],
+            lru: vec![0; n],
+            flags: vec![0; n],
             tick: 0,
             hits: 0,
             misses: 0,
@@ -174,9 +171,8 @@ impl CacheArray {
     pub fn probe(&self, addr: PAddr) -> bool {
         let set = self.geom.set_of(addr);
         let tag = self.geom.tag_of(addr);
-        self.ways[self.set_range(set)]
-            .iter()
-            .any(|w| w.valid && w.tag == tag)
+        self.set_range(set)
+            .any(|i| self.flags[i] & VALID != 0 && self.tags[i] == tag)
     }
 
     /// Accesses `addr`'s line, filling on miss; `write` marks it dirty.
@@ -191,12 +187,14 @@ impl CacheArray {
         let range = self.set_range(set);
 
         // Hit path.
-        if let Some(way) = self.ways[range.clone()]
-            .iter_mut()
-            .find(|w| w.valid && w.tag == tag)
+        if let Some(i) = range
+            .clone()
+            .find(|&i| self.flags[i] & VALID != 0 && self.tags[i] == tag)
         {
-            way.lru = tick;
-            way.dirty |= write;
+            self.lru[i] = tick;
+            if write {
+                self.flags[i] |= DIRTY;
+            }
             self.hits += 1;
             return LookupResult::Hit;
         }
@@ -204,23 +202,15 @@ impl CacheArray {
         self.misses += 1;
 
         // Miss: pick an invalid way, else the LRU way.
-        let victim_off = {
-            let ways = &self.ways[range.clone()];
-            match ways.iter().position(|w| !w.valid) {
-                Some(i) => i,
-                None => ways
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, w)| w.lru)
-                    .map(|(i, _)| i)
-                    .expect("nonzero associativity"),
-            }
+        let idx = match range.clone().find(|&i| self.flags[i] & VALID == 0) {
+            Some(i) => i,
+            None => range
+                .min_by_key(|&i| self.lru[i])
+                .expect("nonzero associativity"),
         };
-        let idx = range.start + victim_off;
-        let victim = self.ways[idx];
-        let result = if victim.valid {
-            let victim_line = victim.tag * sets + set;
-            if victim.dirty {
+        let result = if self.flags[idx] & VALID != 0 {
+            let victim_line = self.tags[idx] * sets + set;
+            if self.flags[idx] & DIRTY != 0 {
                 LookupResult::MissDirtyEviction { victim_line }
             } else {
                 LookupResult::Miss {
@@ -232,12 +222,9 @@ impl CacheArray {
                 evicted_clean: None,
             }
         };
-        self.ways[idx] = Way {
-            valid: true,
-            dirty: write,
-            tag,
-            lru: tick,
-        };
+        self.tags[idx] = tag;
+        self.lru[idx] = tick;
+        self.flags[idx] = VALID | if write { DIRTY } else { 0 };
         result
     }
 
@@ -247,11 +234,11 @@ impl CacheArray {
     pub fn invalidate(&mut self, addr: PAddr) -> Option<bool> {
         let set = self.geom.set_of(addr);
         let tag = self.geom.tag_of(addr);
-        let range = self.set_range(set);
-        for w in &mut self.ways[range] {
-            if w.valid && w.tag == tag {
-                w.valid = false;
-                return Some(w.dirty);
+        for i in self.set_range(set) {
+            if self.flags[i] & VALID != 0 && self.tags[i] == tag {
+                let dirty = self.flags[i] & DIRTY != 0;
+                self.flags[i] &= !VALID;
+                return Some(dirty);
             }
         }
         None
@@ -262,10 +249,9 @@ impl CacheArray {
     pub fn clean(&mut self, addr: PAddr) -> bool {
         let set = self.geom.set_of(addr);
         let tag = self.geom.tag_of(addr);
-        let range = self.set_range(set);
-        for w in &mut self.ways[range] {
-            if w.valid && w.tag == tag {
-                w.dirty = false;
+        for i in self.set_range(set) {
+            if self.flags[i] & VALID != 0 && self.tags[i] == tag {
+                self.flags[i] &= !DIRTY;
                 return true;
             }
         }
@@ -274,7 +260,7 @@ impl CacheArray {
 
     /// Number of resident lines (for tests and occupancy stats).
     pub fn resident_lines(&self) -> usize {
-        self.ways.iter().filter(|w| w.valid).count()
+        self.flags.iter().filter(|&&f| f & VALID != 0).count()
     }
 }
 

@@ -10,13 +10,12 @@
 //! behind the paper's claim that RMC/core communication avoids PCIe DMA:
 //! here it costs a ~15 ns on-chip transfer rather than ~450 ns per crossing.
 
-use std::collections::HashMap;
-
 use sonuma_sim::SimTime;
 
 use crate::addr::PAddr;
 use crate::cache::{CacheArray, CacheGeometry, LookupResult};
 use crate::dram::{DramConfig, DramModel};
+use crate::fasthash::FastMap;
 
 /// Identifies an agent (core or RMC) attached to the hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -132,7 +131,9 @@ pub struct MemoryHierarchy {
     l1s: Vec<CacheArray>,
     l2: CacheArray,
     dram: DramModel,
-    lines: HashMap<u64, LineState>,
+    /// Line number → coherence state. Fast-hashed: probed several times
+    /// per access, never iterated.
+    lines: FastMap<u64, LineState>,
     hits_by_level: [u64; 4],
 }
 
@@ -151,7 +152,7 @@ impl MemoryHierarchy {
                 .collect(),
             l2: CacheArray::new(config.l2_geometry),
             dram: DramModel::new(config.dram),
-            lines: HashMap::new(),
+            lines: FastMap::default(),
             hits_by_level: [0; 4],
         }
     }

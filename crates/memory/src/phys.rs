@@ -1,8 +1,7 @@
 //! Functional physical memory: the bytes behind every simulated node.
 
-use std::collections::HashMap;
-
 use crate::addr::{PAddr, PAGE_BYTES};
+use crate::fasthash::FastMap;
 
 /// One simulated node's physical memory: a sparse array of 8 KB frames.
 ///
@@ -21,7 +20,9 @@ use crate::addr::{PAddr, PAGE_BYTES};
 /// ```
 #[derive(Debug, Clone)]
 pub struct PhysicalMemory {
-    frames: HashMap<u64, Box<[u8]>>,
+    /// Frame number → bytes. Fast-hashed: probed on every functional read
+    /// and write, and never iterated (order cannot leak into results).
+    frames: FastMap<u64, Box<[u8]>>,
     capacity: u64,
 }
 
@@ -35,7 +36,7 @@ impl PhysicalMemory {
         assert!(capacity > 0, "zero-capacity memory");
         let capacity = capacity.div_ceil(PAGE_BYTES) * PAGE_BYTES;
         PhysicalMemory {
-            frames: HashMap::new(),
+            frames: FastMap::default(),
             capacity,
         }
     }

@@ -152,27 +152,38 @@ impl Packet {
         }
     }
 
-    /// Serializes to bytes.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(MAX_PACKET_BYTES);
-        let kind_and_payload = match self.kind {
+    /// Serializes into a caller-provided buffer, returning the number of
+    /// bytes written ([`HEADER_BYTES`], or [`MAX_PACKET_BYTES`] with a
+    /// payload). The allocation-free form of [`Packet::encode`] for wire
+    /// paths that serialize per packet.
+    pub fn encode_into(&self, out: &mut [u8; MAX_PACKET_BYTES]) -> usize {
+        out[0] = match self.kind {
             PacketKind::Request => 0u8,
             PacketKind::Reply => 1u8,
         } | if self.payload.is_some() { 0b10 } else { 0 };
-        out.push(kind_and_payload);
-        out.push(self.op.to_wire() | (self.status.to_wire() << 4));
-        out.extend_from_slice(&self.dst.0.to_le_bytes());
-        out.extend_from_slice(&self.src.0.to_le_bytes());
-        out.extend_from_slice(&self.ctx.0.to_le_bytes());
-        out.extend_from_slice(&self.tid.0.to_le_bytes());
-        out.extend_from_slice(&self.line_seq.to_le_bytes());
-        out.extend_from_slice(&[0u8; 2]); // reserved, pads header to 24
-        out.extend_from_slice(&self.offset.to_le_bytes());
-        debug_assert_eq!(out.len(), HEADER_BYTES);
-        if let Some(p) = &self.payload {
-            out.extend_from_slice(p);
+        out[1] = self.op.to_wire() | (self.status.to_wire() << 4);
+        out[2..4].copy_from_slice(&self.dst.0.to_le_bytes());
+        out[4..6].copy_from_slice(&self.src.0.to_le_bytes());
+        out[6..8].copy_from_slice(&self.ctx.0.to_le_bytes());
+        out[8..10].copy_from_slice(&self.tid.0.to_le_bytes());
+        out[10..14].copy_from_slice(&self.line_seq.to_le_bytes());
+        out[14..16].copy_from_slice(&[0u8; 2]); // reserved, pads header to 24
+        out[16..24].copy_from_slice(&self.offset.to_le_bytes());
+        match &self.payload {
+            Some(p) => {
+                out[HEADER_BYTES..].copy_from_slice(p);
+                MAX_PACKET_BYTES
+            }
+            None => HEADER_BYTES,
         }
-        out
+    }
+
+    /// Serializes to owned bytes (see [`Packet::encode_into`] for the
+    /// allocation-free form).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = [0u8; MAX_PACKET_BYTES];
+        let len = self.encode_into(&mut buf);
+        buf[..len].to_vec()
     }
 
     /// Deserializes from bytes.
@@ -246,6 +257,23 @@ mod tests {
         let bytes = p.encode();
         assert_eq!(bytes.len(), HEADER_BYTES);
         assert_eq!(Packet::decode(&bytes), Some(p));
+    }
+
+    #[test]
+    fn encode_into_roundtrips_and_matches_encode() {
+        let mut buf = [0u8; MAX_PACKET_BYTES];
+        // Header-only request.
+        let req = sample_request();
+        let n = req.encode_into(&mut buf);
+        assert_eq!(n, HEADER_BYTES);
+        assert_eq!(Packet::decode(&buf[..n]), Some(req));
+        assert_eq!(&buf[..n], req.encode().as_slice());
+        // Payload-carrying reply reuses the same buffer.
+        let rep = Packet::reply_to(&req, Status::Ok, Some([0x5A; 64]));
+        let n = rep.encode_into(&mut buf);
+        assert_eq!(n, MAX_PACKET_BYTES);
+        assert_eq!(Packet::decode(&buf[..n]), Some(rep));
+        assert_eq!(&buf[..n], rep.encode().as_slice());
     }
 
     #[test]
