@@ -193,8 +193,8 @@ fn pipeline_counters() -> Vec<(String, sonuma_core::PipelineStats)> {
     }
     while b.advance() {}
     let mut rows: Vec<(String, sonuma_core::PipelineStats)> = (0..nodes)
-        .map(|n| (format!("n{n}"), b.cluster().pipeline_stats(NodeId(n))))
+        .map(|n| (format!("n{n}"), b.pipeline_stats(NodeId(n))))
         .collect();
-    rows.push(("total".to_string(), b.cluster().total_pipeline_stats()));
+    rows.push(("total".to_string(), b.total_pipeline_stats()));
     rows
 }

@@ -22,15 +22,17 @@ use std::process::ExitCode;
 
 use sonuma_bench::json::Json;
 use sonuma_bench::scenario::{
-    self, calibrate, canned_specs, check_baseline, report_calibrated, run_specs, smoke_specs,
-    validate_report, ScenarioSpec,
+    self, calibrate, canned_specs, check_baseline, equivalence_diff, report_calibrated, run_specs,
+    smoke_specs, validate_report, ScenarioSpec, REPORT_SCHEMA,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: sonuma-bench scenario [--smoke] [--canned NAME]... [--spec FILE]...\n\
-         \x20                          [--out FILE] [--baseline FILE] [--max-regress FRAC]\n\
-         \x20                          [--list]"
+         \x20                          [--threads N] [--out FILE] [--baseline FILE]\n\
+         \x20                          [--max-regress FRAC] [--list]\n\
+         \x20      sonuma-bench baseline [--regen] [--file PATH]\n\
+         \x20      sonuma-bench diff-runs A.json B.json"
     );
     std::process::exit(2);
 }
@@ -39,8 +41,131 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("scenario") => scenario_cmd(args.collect()),
+        Some("baseline") => baseline_cmd(args.collect()),
+        Some("diff-runs") => diff_runs_cmd(args.collect()),
         _ => usage(),
     }
+}
+
+/// Reads and parses a JSON report, exiting with a CLI error on failure.
+fn load_json(path: &str) -> Result<Json, ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("cannot read {path}: {e}");
+        ExitCode::from(2)
+    })?;
+    Json::parse(&text).map_err(|e| {
+        eprintln!("{path} is not valid JSON: {e}");
+        ExitCode::from(2)
+    })
+}
+
+/// `diff-runs A B`: compares two scenario reports for simulated
+/// equivalence (everything except `wall_*`, calibration, and shard
+/// metadata must match byte-for-byte). Exit 0 iff equivalent — the CI
+/// parallel-equivalence step's workhorse.
+fn diff_runs_cmd(args: Vec<String>) -> ExitCode {
+    let [a_path, b_path] = args.as_slice() else {
+        usage();
+    };
+    let (a, b) = match (load_json(a_path), load_json(b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(c), _) | (_, Err(c)) => return c,
+    };
+    let diffs = equivalence_diff(&a, &b);
+    if diffs.is_empty() {
+        println!("{a_path} and {b_path} are simulation-equivalent (wall/shard fields ignored)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{} difference(s) outside wall/shard fields:", diffs.len());
+        for d in &diffs {
+            eprintln!("  {d}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// `baseline [--regen] [--file PATH]`: without `--regen`, asserts the
+/// checked-in baseline's schema matches this binary's (the friendly
+/// version of the raw missing-field cascade a stale baseline used to
+/// produce); with `--regen`, re-runs the full bench-smoke scenario set
+/// and rewrites the baseline.
+fn baseline_cmd(args: Vec<String>) -> ExitCode {
+    let mut regen = false;
+    let mut path = PathBuf::from("bench/baseline.json");
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--regen" => regen = true,
+            "--file" => {
+                path = PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("--file needs a value");
+                    std::process::exit(2);
+                }))
+            }
+            _ => usage(),
+        }
+    }
+    if !regen {
+        let doc = match load_json(&path.display().to_string()) {
+            Ok(doc) => doc,
+            Err(code) => return code,
+        };
+        return match doc.str_of("schema") {
+            Some(REPORT_SCHEMA) => {
+                println!(
+                    "{}: schema {REPORT_SCHEMA} matches this binary",
+                    path.display()
+                );
+                ExitCode::SUCCESS
+            }
+            other => {
+                eprintln!(
+                    "{}: schema {:?} does not match this binary's {REPORT_SCHEMA:?}; \
+                     run `sonuma-bench baseline --regen`",
+                    path.display(),
+                    other.unwrap_or("<missing>")
+                );
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let specs = baseline_specs();
+    let results = run_specs(&specs);
+    let calibration = calibrate();
+    let doc = report_calibrated(&results, calibration);
+    if let Err(e) = validate_report(&doc) {
+        eprintln!("internal error: generated report fails schema check: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&path, doc.render()) {
+        eprintln!("cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "regenerated {} ({} scenarios, schema {REPORT_SCHEMA})",
+        path.display(),
+        specs.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// The scenario set the bench-smoke lane gates on — what `baseline
+/// --regen` records.
+fn baseline_specs() -> Vec<ScenarioSpec> {
+    let keep = [
+        "rack64-tenants",
+        "rack64-tenants-strict",
+        "rack512-neighbor",
+        "rack512-torus-scan",
+        "rack1024-shard",
+    ];
+    let mut specs = smoke_specs();
+    specs.extend(
+        canned_specs()
+            .into_iter()
+            .filter(|s| keep.contains(&s.name.as_str())),
+    );
+    specs
 }
 
 fn scenario_cmd(args: Vec<String>) -> ExitCode {
@@ -48,6 +173,7 @@ fn scenario_cmd(args: Vec<String>) -> ExitCode {
     let mut out = PathBuf::from("BENCH.json");
     let mut baseline: Option<PathBuf> = None;
     let mut max_regress = 0.20f64;
+    let mut threads: Option<usize> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -86,6 +212,12 @@ fn scenario_cmd(args: Vec<String>) -> ExitCode {
                     }
                 }
             }
+            "--threads" => {
+                threads = Some(value("--threads").parse().unwrap_or_else(|_| {
+                    eprintln!("--threads needs a positive integer");
+                    std::process::exit(2);
+                }));
+            }
             "--out" => out = PathBuf::from(value("--out")),
             "--baseline" => baseline = Some(PathBuf::from(value("--baseline"))),
             "--max-regress" => {
@@ -113,6 +245,15 @@ fn scenario_cmd(args: Vec<String>) -> ExitCode {
     if specs.is_empty() {
         eprintln!("no scenarios selected (use --smoke, --canned, or --spec)");
         return ExitCode::from(2);
+    }
+    if let Some(threads) = threads {
+        for spec in &mut specs {
+            spec.threads = threads;
+            if let Err(e) = spec.validate() {
+                eprintln!("--threads {threads}: {e}");
+                return ExitCode::from(2);
+            }
+        }
     }
 
     let results = run_specs(&specs);

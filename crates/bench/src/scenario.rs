@@ -40,7 +40,13 @@ use crate::trafficgen::{jain_index, ArrivalGen, ArrivalKind, ZipfSampler};
 /// events/sec) and redefined `events` as *logical* events: line
 /// injections folded into one burst event still count individually, so
 /// the metric is comparable across `rgp_burst_lines` settings.
-pub const REPORT_SCHEMA: &str = "sonuma-bench.scenario/v3";
+/// v4 added the `threads` spec field (`[execution]` section) and the
+/// per-run `sharding` section (thread/shard counts, conservative epochs,
+/// per-shard event counts and wall rates). Everything outside `wall_*`
+/// fields and the `sharding` section is independent of the thread count —
+/// the parallel-equivalence CI gate diffs two reports with those
+/// stripped (see [`equivalence_diff`]).
+pub const REPORT_SCHEMA: &str = "sonuma-bench.scenario/v4";
 
 /// A transport a scenario runs over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -258,6 +264,10 @@ pub struct ScenarioSpec {
     pub segment_bytes: u64,
     /// Seed for every stochastic workload decision.
     pub seed: u64,
+    /// Host threads the soNUMA backend shards its cluster across
+    /// (`[execution]` section / `--threads`). Purely a wall-clock knob:
+    /// every simulated metric is identical for every value.
+    pub threads: usize,
     /// Multi-tenant QP virtualization (`[tenants]` section). Present iff
     /// `traffic` is present; together they switch the run from the
     /// closed-loop stream to the open-loop tenant generator.
@@ -281,6 +291,7 @@ impl Default for ScenarioSpec {
             window: 16,
             segment_bytes: 1 << 20,
             seed: 42,
+            threads: 1,
             tenancy: None,
             traffic: None,
         }
@@ -393,6 +404,9 @@ impl ScenarioSpec {
                 self.segment_bytes
             ));
         }
+        if self.threads == 0 || self.threads > 64 {
+            return err(format!("threads = {} (must be 1..=64)", self.threads));
+        }
         match (&self.tenancy, &self.traffic) {
             (None, None) => {}
             (Some(_), None) => {
@@ -456,6 +470,10 @@ impl ScenarioSpec {
         out.push_str(&format!("window = {}\n", self.window));
         out.push_str(&format!("segment_bytes = {}\n", self.segment_bytes));
         out.push_str(&format!("seed = {}\n", self.seed));
+        if self.threads != 1 {
+            out.push_str("\n[execution]\n");
+            out.push_str(&format!("threads = {}\n", self.threads));
+        }
         if let (Some(tn), Some(tr)) = (&self.tenancy, &self.traffic) {
             out.push_str("\n[tenants]\n");
             out.push_str(&format!("count = {}\n", tn.tenants));
@@ -489,6 +507,7 @@ impl ScenarioSpec {
             Top,
             Tenants,
             Traffic,
+            Execution,
         }
         let mut section = Section::Top;
         for (idx, raw) in text.lines().enumerate() {
@@ -512,9 +531,10 @@ impl ScenarioSpec {
                         spec.traffic.get_or_insert_with(TrafficSpec::default);
                         Section::Traffic
                     }
+                    "execution" => Section::Execution,
                     other => {
                         return Err(parse_err(&format!(
-                            "unknown section [{other}] (tenants|traffic)"
+                            "unknown section [{other}] (tenants|traffic|execution)"
                         )))
                     }
                 };
@@ -541,6 +561,18 @@ impl ScenarioSpec {
                         return Err(SpecError::Parse(
                             lineno,
                             format!("unknown key {other:?} in [tenants]"),
+                        ));
+                    }
+                }
+                continue;
+            }
+            if section == Section::Execution {
+                match key {
+                    "threads" => spec.threads = value.into_u64(lineno, "threads")? as usize,
+                    other => {
+                        return Err(SpecError::Parse(
+                            lineno,
+                            format!("unknown key {other:?} in [execution]"),
                         ));
                     }
                 }
@@ -684,6 +716,7 @@ impl ScenarioSpec {
             ("window".into(), Json::Num(self.window as f64)),
             ("segment_bytes".into(), Json::Num(self.segment_bytes as f64)),
             ("seed".into(), Json::Num(self.seed as f64)),
+            ("threads".into(), Json::Num(self.threads as f64)),
         ];
         if let (Some(tn), Some(tr)) = (&self.tenancy, &self.traffic) {
             members.push((
@@ -899,6 +932,18 @@ pub struct BackendRun {
     /// figure of merit for the fabric hot path; the bench-smoke lane
     /// gates it alongside events/sec.
     pub wall_packets_per_sec: f64,
+    /// Host threads the spec requested for this run.
+    pub threads: usize,
+    /// Shards the backend actually executed with (1 for the modeled
+    /// baselines, which have no internal parallelism).
+    pub shards: usize,
+    /// Conservative epochs the sharded engine ran (soNUMA; 0 otherwise).
+    /// Partition-invariant: a pure function of the event structure.
+    pub epochs: u64,
+    /// Logical events executed per shard (soNUMA runs only). Shard
+    /// *metadata*: depends on the partition, excluded from the
+    /// parallel-equivalence diff.
+    pub shard_events: Vec<u64>,
     /// Cluster-wide pipeline counters (soNUMA runs only).
     pub pipeline_total: Option<PipelineStats>,
     /// Per-node pipeline counters, indexed by node id (soNUMA runs only).
@@ -967,7 +1012,8 @@ impl BackendInstance {
                 if let Some(tn) = &spec.tenancy {
                     config.sched_policy = tn.scheduler;
                 }
-                let mut backend = SonumaBackend::new(config, spec.segment_bytes);
+                let mut backend =
+                    SonumaBackend::with_threads(config, spec.segment_bytes, spec.threads);
                 if let Some(tn) = &spec.tenancy {
                     // Every tenant gets a dedicated QP on its home node,
                     // registered under its weight and SLO class so the
@@ -985,14 +1031,18 @@ impl BackendInstance {
                 }
                 BackendInstance::Sonuma(Box::new(backend))
             }
-            BackendKind::Rdma => BackendInstance::Rdma(Box::new(RdmaBackend::connectx3(
-                spec.nodes,
-                spec.segment_bytes,
-            ))),
-            BackendKind::Tcp => BackendInstance::Tcp(Box::new(TcpBackend::calxeda(
-                spec.nodes,
-                spec.segment_bytes,
-            ))),
+            BackendKind::Rdma => {
+                let mut b = Box::new(RdmaBackend::connectx3(spec.nodes, spec.segment_bytes));
+                // Thread-count hint: the modeled baselines have no internal
+                // parallelism and ignore it (default trait impl).
+                b.set_threads(spec.threads);
+                BackendInstance::Rdma(b)
+            }
+            BackendKind::Tcp => {
+                let mut b = Box::new(TcpBackend::calxeda(spec.nodes, spec.segment_bytes));
+                b.set_threads(spec.threads);
+                BackendInstance::Tcp(b)
+            }
         }
     }
 
@@ -1136,6 +1186,11 @@ fn drive(spec: &ScenarioSpec, backend: &mut dyn RemoteBackend) -> BackendRun {
         },
         // Fabric packet rate is attached by `run_spec` for soNUMA runs.
         wall_packets_per_sec: 0.0,
+        // Sharding metadata is attached by `run_spec`.
+        threads: 1,
+        shards: 1,
+        epochs: 0,
+        shard_events: Vec::new(),
         // Pipeline counters are attached by `run_spec` for soNUMA runs.
         pipeline_total: None,
         per_node: Vec::new(),
@@ -1326,6 +1381,10 @@ fn drive_open_loop(spec: &ScenarioSpec, backend: &mut dyn RemoteBackend) -> Back
             0.0
         },
         wall_packets_per_sec: 0.0,
+        threads: 1,
+        shards: 1,
+        epochs: 0,
+        shard_events: Vec::new(),
         pipeline_total: None,
         per_node: Vec::new(),
         tenants: outcomes,
@@ -1360,9 +1419,13 @@ pub fn run_spec(spec: &ScenarioSpec) -> ScenarioResult {
     for kind in spec.backend.kinds() {
         let mut instance = BackendInstance::build(spec, kind);
         let mut run = drive_one(&mut instance);
+        run.threads = spec.threads;
         if let BackendInstance::Sonuma(b) = &instance {
+            run.shards = b.num_shards();
+            run.epochs = b.epochs();
+            run.shard_events = b.shard_events();
             run.per_node = (0..spec.nodes)
-                .map(|n| b.cluster().pipeline_stats(NodeId(n as u16)))
+                .map(|n| b.pipeline_stats(NodeId(n as u16)))
                 .collect();
             // Fold the cluster total from the per-node snapshots already
             // taken: one O(N) pass, no re-snapshotting per counter.
@@ -1371,7 +1434,7 @@ pub fn run_spec(spec: &ScenarioSpec) -> ScenarioResult {
                 total.merge_from(stats);
             }
             run.pipeline_total = Some(total);
-            let fabric = &b.cluster().fabric;
+            let fabric = b.fabric();
             let links = fabric.link_stats();
             let mut hot: Vec<LinkStats> = links.clone();
             hot.sort_by_key(|l| (std::cmp::Reverse(l.bytes), l.src, l.dst));
@@ -1579,6 +1642,37 @@ fn run_json(run: &BackendRun) -> Json {
             Json::Num(run.wall_packets_per_sec),
         ),
     ];
+    // Shard metadata: everything here either depends on the partition
+    // (shard_events) or on the host (wall rates), so the whole section is
+    // stripped by `equivalence_diff` alongside the wall_* fields.
+    let mut sharding = vec![
+        ("threads".to_string(), Json::Num(run.threads as f64)),
+        ("shards".to_string(), Json::Num(run.shards as f64)),
+        ("epochs".to_string(), Json::Num(run.epochs as f64)),
+    ];
+    if !run.shard_events.is_empty() {
+        sharding.push((
+            "shard_events".to_string(),
+            Json::Arr(
+                run.shard_events
+                    .iter()
+                    .map(|&e| Json::Num(e as f64))
+                    .collect(),
+            ),
+        ));
+        if run.wall_secs > 0.0 {
+            sharding.push((
+                "wall_shard_events_per_sec".to_string(),
+                Json::Arr(
+                    run.shard_events
+                        .iter()
+                        .map(|&e| Json::Num(e as f64 / run.wall_secs))
+                        .collect(),
+                ),
+            ));
+        }
+    }
+    members.push(("sharding".to_string(), Json::Obj(sharding)));
     if !run.tenants.is_empty() {
         members.push(("per_tenant".to_string(), per_tenant_json(run)));
     }
@@ -1729,6 +1823,14 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
                 run.f64_of(key)
                     .ok_or(format!("scenario {name}/{backend}: missing {key}"))?;
             }
+            let sharding = run
+                .get("sharding")
+                .ok_or(format!("scenario {name}/{backend}: missing sharding"))?;
+            for key in ["threads", "shards", "epochs"] {
+                sharding
+                    .u64_of(key)
+                    .ok_or(format!("scenario {name}/{backend}: sharding has no {key}"))?;
+            }
             if let Some(pt) = run.get("per_tenant") {
                 let jain = pt
                     .f64_of("jain_fairness")
@@ -1830,6 +1932,19 @@ fn calibration_of(doc: &Json) -> Option<f64> {
 /// mean the baseline wants regenerating.
 pub fn check_baseline(current: &Json, baseline: &Json, max_regress: f64) -> BaselineCheck {
     let mut check = BaselineCheck::default();
+    // A stale baseline fails loudly with the fix, not with a cascade of
+    // missing-field errors: the schema version must match the binary's.
+    match baseline.str_of("schema") {
+        Some(REPORT_SCHEMA) => {}
+        other => {
+            check.failures.push(format!(
+                "baseline schema {} does not match this binary's {REPORT_SCHEMA:?}; \
+                 regenerate it with `sonuma-bench baseline --regen`",
+                other.map_or("<missing>".to_string(), |s| format!("{s:?}"))
+            ));
+            return check;
+        }
+    }
     let cur = run_rows(current);
     let base_rows = run_rows(baseline);
     // Normalization divisors: each host's own calibration, or 1.0 for the
@@ -1940,6 +2055,97 @@ pub fn check_baseline(current: &Json, baseline: &Json, max_regress: f64) -> Base
         }
     }
     check
+}
+
+// ---------------------------------------------------------------------
+// Parallel-equivalence diffing.
+// ---------------------------------------------------------------------
+
+/// Whether `key` is excluded from the parallel-equivalence comparison:
+/// host-dependent wall-clock fields (`wall_*`, `calibration`), the
+/// requested thread count itself, and the partition-dependent `sharding`
+/// run section.
+fn equivalence_ignored(key: &str) -> bool {
+    key.starts_with("wall_") || matches!(key, "calibration" | "sharding" | "threads")
+}
+
+/// Strips every [`equivalence_ignored`] member, recursively.
+fn strip_volatile(doc: &Json) -> Json {
+    match doc {
+        Json::Obj(members) => Json::Obj(
+            members
+                .iter()
+                .filter(|(k, _)| !equivalence_ignored(k))
+                .map(|(k, v)| (k.clone(), strip_volatile(v)))
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.iter().map(strip_volatile).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Caps the diff list: past a point, more entries add nothing.
+const MAX_DIFFS: usize = 32;
+
+fn diff_push(out: &mut Vec<String>, entry: String) {
+    if out.len() < MAX_DIFFS {
+        out.push(entry);
+    }
+}
+
+fn diff_json(a: &Json, b: &Json, path: &str, out: &mut Vec<String>) {
+    if out.len() >= MAX_DIFFS {
+        return;
+    }
+    match (a, b) {
+        (Json::Obj(ma), Json::Obj(mb)) => {
+            for (k, va) in ma {
+                match mb.iter().find(|(kb, _)| kb == k) {
+                    Some((_, vb)) => diff_json(va, vb, &format!("{path}.{k}"), out),
+                    None => diff_push(out, format!("{path}.{k}: present only in the first report")),
+                }
+            }
+            for (k, _) in mb {
+                if !ma.iter().any(|(ka, _)| ka == k) {
+                    diff_push(
+                        out,
+                        format!("{path}.{k}: present only in the second report"),
+                    );
+                }
+            }
+        }
+        (Json::Arr(aa), Json::Arr(ab)) => {
+            if aa.len() != ab.len() {
+                diff_push(
+                    out,
+                    format!("{path}: array length {} vs {}", aa.len(), ab.len()),
+                );
+                return;
+            }
+            for (i, (va, vb)) in aa.iter().zip(ab).enumerate() {
+                diff_json(va, vb, &format!("{path}[{i}]"), out);
+            }
+        }
+        _ => {
+            let (ra, rb) = (a.render(), b.render());
+            if ra != rb {
+                diff_push(out, format!("{path}: {ra} vs {rb}"));
+            }
+        }
+    }
+}
+
+/// Compares two scenario reports for *simulated* equivalence: every
+/// member except the wall-clock fields, the calibration block, and the
+/// shard-metadata section must be byte-identical. Returns the list of
+/// differences (empty means equivalent) — this is the check the CI
+/// `parallel-equivalence` step runs between `--threads 1` and
+/// `--threads 4` reports.
+pub fn equivalence_diff(a: &Json, b: &Json) -> Vec<String> {
+    let (sa, sb) = (strip_volatile(a), strip_volatile(b));
+    let mut out = Vec::new();
+    diff_json(&sa, &sb, "$", &mut out);
+    out
 }
 
 // ---------------------------------------------------------------------
@@ -2084,6 +2290,29 @@ pub fn rack64_tenants_strict_spec() -> ScenarioSpec {
     }
 }
 
+/// The sharded-engine showcase: 1024 soNUMA nodes as a 16×8×8 3D torus,
+/// every node streaming reads to its ring successor, executed across 4
+/// shard threads (`[execution] threads = 4`). Twice the node count the
+/// serial engine was sized for, kept affordable in CI wall-clock by the
+/// conservative-parallel engine — and, like every scenario, bit-identical
+/// at any `--threads` value.
+pub fn rack1024_shard_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "rack1024-shard".into(),
+        nodes: 1024,
+        topology: TopologySpec::Torus3d(16, 8, 8),
+        backend: BackendSel::One(BackendKind::Sonuma),
+        workload: WorkloadKind::NeighborRead,
+        op_bytes: 512,
+        ops_per_node: 8,
+        window: 4,
+        segment_bytes: 1 << 18,
+        seed: 1024,
+        threads: 4,
+        ..ScenarioSpec::default()
+    }
+}
+
 /// Every canned spec, addressable by name from the CLI.
 pub fn canned_specs() -> Vec<ScenarioSpec> {
     let mut specs = smoke_specs();
@@ -2091,5 +2320,6 @@ pub fn canned_specs() -> Vec<ScenarioSpec> {
     specs.push(rack512_torus_scan_spec());
     specs.push(rack64_tenants_spec());
     specs.push(rack64_tenants_strict_spec());
+    specs.push(rack1024_shard_spec());
     specs
 }

@@ -5,17 +5,10 @@
 
 use sonuma_bench::json::Json;
 use sonuma_bench::scenario::{
-    canned_specs, check_baseline, rack512_spec, report, run_spec, run_specs, smoke_specs,
-    validate_report, BackendKind, BackendSel, ScenarioSpec, SpecError, TopologySpec, WorkloadKind,
+    canned_specs, check_baseline, equivalence_diff, rack512_spec, report, run_spec, run_specs,
+    smoke_specs, validate_report, BackendKind, BackendSel, ScenarioSpec, SpecError, TopologySpec,
+    WorkloadKind, REPORT_SCHEMA,
 };
-
-/// Strips the wall-clock fields (the only non-deterministic content).
-fn strip_wall(text: &str) -> String {
-    text.lines()
-        .filter(|line| !line.contains("\"wall_"))
-        .collect::<Vec<_>>()
-        .join("\n")
-}
 
 fn tiny_spec() -> ScenarioSpec {
     ScenarioSpec {
@@ -53,6 +46,7 @@ fn toml_roundtrip_preserves_every_field() {
         window: 3,
         segment_bytes: 1 << 16,
         seed: 1234567,
+        threads: 3,
         tenancy: None,
         traffic: None,
     };
@@ -118,18 +112,18 @@ fn report_is_schema_valid_and_parses_back() {
     validate_report(&back).expect("parsed report still valid");
     // Corruptions are caught.
     assert!(validate_report(&Json::parse("{}").unwrap()).is_err());
-    let wrong = text.replace("sonuma-bench.scenario/v3", "sonuma-bench.scenario/v0");
+    let wrong = text.replace(REPORT_SCHEMA, "sonuma-bench.scenario/v0");
     assert!(validate_report(&Json::parse(&wrong).unwrap()).is_err());
 }
 
 #[test]
 fn same_spec_and_seed_is_byte_identical_modulo_wall_clock() {
     let specs = vec![tiny_spec()];
-    let a = report(&run_specs(&specs)).render();
-    let b = report(&run_specs(&specs)).render();
+    let a = report(&run_specs(&specs));
+    let b = report(&run_specs(&specs));
     assert_eq!(
-        strip_wall(&a),
-        strip_wall(&b),
+        equivalence_diff(&a, &b),
+        Vec::<String>::new(),
         "two runs of the same spec+seed must render identically"
     );
     // A different seed must actually change the uniform workload's stream.
@@ -138,9 +132,9 @@ fn same_spec_and_seed_is_byte_identical_modulo_wall_clock() {
     reseeded.workload = WorkloadKind::UniformRead;
     let mut original = tiny_spec();
     original.workload = WorkloadKind::UniformRead;
-    let a = report(&run_specs(&[original])).render();
-    let c = report(&run_specs(&[reseeded])).render();
-    assert_ne!(strip_wall(&a), strip_wall(&c), "seed must matter");
+    let a = report(&run_specs(&[original]));
+    let c = report(&run_specs(&[reseeded]));
+    assert!(!equivalence_diff(&a, &c).is_empty(), "seed must matter");
 }
 
 #[test]
@@ -206,7 +200,8 @@ fn packet_rate_gate_fails_when_current_rate_collapses() {
     // reports keep the test instant and the numbers explicit.
     let doc_with_pps = |pps: f64| {
         Json::parse(&format!(
-            r#"{{"scenarios": [{{
+            r#"{{"schema": "{REPORT_SCHEMA}",
+               "scenarios": [{{
                  "spec": {{"name": "rack", "nodes": 512, "seed": 1}},
                  "runs": [{{
                    "backend": "soNUMA", "sim_us": 10.0,
@@ -330,9 +325,49 @@ fn shipped_spec_files_parse() {
                 "bench/specs/rack512-torus-scan.toml drifted"
             );
         }
+        if spec.name == "rack1024-shard" {
+            assert_eq!(
+                spec,
+                sonuma_bench::scenario::rack1024_shard_spec(),
+                "bench/specs/rack1024-shard.toml drifted"
+            );
+        }
         parsed += 1;
     }
-    assert!(parsed >= 5, "expected shipped spec files, found {parsed}");
+    assert!(parsed >= 6, "expected shipped spec files, found {parsed}");
+}
+
+#[test]
+fn threaded_report_is_equivalent_to_serial() {
+    // The report-level version of the machine crate's bit-equivalence
+    // tests: a sharded run's BENCH.json must match the serial run's
+    // outside wall-clock and shard-metadata fields — exactly what the CI
+    // parallel-equivalence step asserts on the rack scenarios.
+    let mut serial = tiny_spec();
+    serial.backend = BackendSel::One(BackendKind::Sonuma);
+    let mut threaded = serial.clone();
+    threaded.threads = 3;
+    let a = report(&run_specs(&[serial]));
+    let b = report(&run_specs(&[threaded]));
+    assert_eq!(equivalence_diff(&a, &b), Vec::<String>::new());
+    // The differ is not vacuous: a changed simulated field must surface.
+    let mut tweaked = b.clone();
+    fn bump_ops(value: &mut Json) {
+        match value {
+            Json::Obj(members) => {
+                for (key, v) in members.iter_mut() {
+                    match (key.as_str(), &mut *v) {
+                        ("ops", Json::Num(x)) => *x += 1.0,
+                        _ => bump_ops(v),
+                    }
+                }
+            }
+            Json::Arr(items) => items.iter_mut().for_each(bump_ops),
+            _ => {}
+        }
+    }
+    bump_ops(&mut tweaked);
+    assert!(!equivalence_diff(&a, &tweaked).is_empty());
 }
 
 #[test]

@@ -3,8 +3,8 @@
 //! the rack64 acceptance scenarios, report schema, and determinism.
 
 use sonuma_bench::scenario::{
-    rack64_tenants_spec, rack64_tenants_strict_spec, report, run_spec, run_specs, validate_report,
-    BackendKind, BackendSel, ScenarioSpec, TenancySpec, TrafficSpec, WeightMode,
+    equivalence_diff, rack64_tenants_spec, rack64_tenants_strict_spec, report, run_spec, run_specs,
+    validate_report, BackendKind, BackendSel, ScenarioSpec, TenancySpec, TrafficSpec, WeightMode,
 };
 use sonuma_bench::trafficgen::{jain_index, ArrivalKind};
 use sonuma_core::{SchedPolicy, SloClass};
@@ -124,16 +124,10 @@ fn wdrr_uniform_weights_are_fair_and_deterministic() {
     let total = run.pipeline_total.expect("pipeline stats attached");
     assert_eq!(total.rcp_completions, run.ops);
 
-    // Determinism: the full report renders identically modulo wall fields.
-    let strip = |text: &str| {
-        text.lines()
-            .filter(|l| !l.contains("\"wall_"))
-            .collect::<Vec<_>>()
-            .join("\n")
-    };
-    let a = report(&run_specs(std::slice::from_ref(&spec))).render();
-    let b = report(&run_specs(&[spec])).render();
-    assert_eq!(strip(&a), strip(&b));
+    // Determinism: the full report is identical modulo wall/shard fields.
+    let a = report(&run_specs(std::slice::from_ref(&spec)));
+    let b = report(&run_specs(&[spec]));
+    assert_eq!(equivalence_diff(&a, &b), Vec::<String>::new());
 }
 
 #[test]

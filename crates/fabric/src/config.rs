@@ -76,6 +76,16 @@ impl FabricConfig {
     pub fn serialization(&self, bytes: u64) -> SimTime {
         SimTime::from_ns_f64(bytes as f64 / self.link_bytes_per_sec as f64 * 1e9)
     }
+
+    /// A lower bound on the injection-to-delivery latency of any packet of
+    /// at least `min_packet_bytes`: one hop of latency plus one link's
+    /// serialization of the smallest packet. Credits and contention only
+    /// delay further, and multi-hop routes pay this per hop, so every
+    /// fabric delivery lands at least this far after its injection — the
+    /// *lookahead* that bounds the sharded engine's epochs.
+    pub fn min_delivery_delay(&self, min_packet_bytes: u64) -> SimTime {
+        self.hop_latency + self.serialization(min_packet_bytes)
+    }
 }
 
 #[cfg(test)]

@@ -110,7 +110,7 @@ impl AdjIndex {
 ///
 /// Hot-path discipline: routes come from the allocation-free
 /// [`Topology::route_iter`], and link state lives in a dense table indexed
-/// by [`AdjIndex`] arithmetic, so a send does zero hashing and — once a
+/// by `AdjIndex` arithmetic, so a send does zero hashing and — once a
 /// link's state exists (created boxed on its first packet, with credit
 /// deques pre-sized to the credit pool) — zero heap allocation.
 ///

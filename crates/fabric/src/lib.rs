@@ -30,11 +30,13 @@
 pub mod config;
 pub mod fabric;
 pub mod link;
+pub mod partition;
 pub mod topology;
 
 pub use config::FabricConfig;
 pub use fabric::{Arrival, Fabric, LinkStats};
 pub use link::{LinkTiming, VirtualChannel};
+pub use partition::ShardPlan;
 pub use topology::{NextHopTable, RouteIter, Topology};
 
 /// Number of virtual lanes: requests on 0, replies on 1 (§6).

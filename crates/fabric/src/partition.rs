@@ -1,0 +1,208 @@
+//! Node-to-shard partitioning for conservative-parallel simulation.
+//!
+//! A [`ShardPlan`] splits the fabric's node id space into contiguous
+//! ranges, one per shard. Contiguity matters twice over: shard membership
+//! becomes a binary search over a handful of bounds, and — because node
+//! ids enumerate grid topologies x-major (the same order `AdjIndex` uses
+//! for the dense link table) — a contiguous id range is a contiguous slab
+//! of the torus/mesh, so most neighbor links stay shard-internal.
+//! [`ShardPlan::for_topology`] additionally aligns shard boundaries to
+//! whole rows (2D) or planes (3D) when the grid allows it, which keeps
+//! the cut surface — and with it cross-shard traffic — minimal.
+
+use crate::topology::Topology;
+
+/// A partition of nodes `0..n` into contiguous shard ranges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// `shards + 1` strictly increasing bounds; shard `s` owns
+    /// `bounds[s]..bounds[s + 1]`.
+    bounds: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// An even contiguous split of `nodes` into `shards` ranges (shard
+    /// counts above the node count are clamped down — a shard must own at
+    /// least one node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` or `shards` is zero.
+    pub fn contiguous(nodes: usize, shards: usize) -> ShardPlan {
+        assert!(nodes > 0, "cannot partition an empty cluster");
+        assert!(shards > 0, "need at least one shard");
+        let shards = shards.min(nodes);
+        let bounds = (0..=shards).map(|s| s * nodes / shards).collect();
+        ShardPlan { bounds }
+    }
+
+    /// A topology-aware contiguous split: grid boundaries snap to whole
+    /// rows/planes so torus/mesh shards cut the minimum number of links;
+    /// crossbars (where every split is equivalent) fall back to the even
+    /// split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn for_topology(topology: &Topology, shards: usize) -> ShardPlan {
+        let nodes = topology.nodes();
+        let plane = match *topology {
+            Topology::Crossbar { .. } => 1,
+            Topology::Torus2D { width, .. } | Topology::Mesh2D { width, .. } => width,
+            Topology::Torus3D { x, y, .. } => x * y,
+        };
+        let even = ShardPlan::contiguous(nodes, shards);
+        if plane <= 1 {
+            return even;
+        }
+        // Snap each interior bound to the nearest plane boundary; keep the
+        // result only if it stays strictly increasing (enough planes to go
+        // around), otherwise the unaligned even split is the best we can do.
+        let mut bounds: Vec<usize> = even
+            .bounds
+            .iter()
+            .map(|&b| ((b + plane / 2) / plane) * plane)
+            .collect();
+        *bounds.first_mut().expect("nonempty bounds") = 0;
+        *bounds.last_mut().expect("nonempty bounds") = nodes;
+        if bounds.windows(2).all(|w| w[0] < w[1]) {
+            ShardPlan { bounds }
+        } else {
+            even
+        }
+    }
+
+    /// A plan from explicit bounds (`bounds[0] == 0`, strictly
+    /// increasing, last bound = node count). This is the surface the
+    /// partition-equivalence property tests use to exercise *arbitrary*
+    /// contiguous partitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn from_bounds(bounds: Vec<usize>) -> Result<ShardPlan, String> {
+        if bounds.len() < 2 {
+            return Err("a plan needs at least one shard (two bounds)".into());
+        }
+        if bounds[0] != 0 {
+            return Err(format!("first bound must be 0, got {}", bounds[0]));
+        }
+        if !bounds.windows(2).all(|w| w[0] < w[1]) {
+            return Err(format!("bounds must be strictly increasing: {bounds:?}"));
+        }
+        Ok(ShardPlan { bounds })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Total nodes covered.
+    pub fn nodes(&self) -> usize {
+        *self.bounds.last().expect("nonempty bounds")
+    }
+
+    /// The node range shard `s` owns.
+    pub fn range(&self, s: usize) -> std::ops::Range<usize> {
+        self.bounds[s]..self.bounds[s + 1]
+    }
+
+    /// The shard owning `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the plan.
+    pub fn shard_of(&self, node: usize) -> usize {
+        assert!(node < self.nodes(), "node {node} outside plan");
+        // partition_point returns the count of bounds <= node, which is
+        // exactly 1 + the owning shard index.
+        self.bounds.partition_point(|&b| b <= node) - 1
+    }
+
+    /// Number of directed links (as used by the topology's routing) whose
+    /// endpoints live in different shards under this plan — the cut
+    /// surface cross-shard traffic must cross. O(n²); a planning/test
+    /// metric, not a hot path.
+    pub fn cut_links(&self, topology: &Topology) -> usize {
+        use sonuma_protocol::NodeId;
+        let table = topology.next_hop_table();
+        let n = topology.nodes();
+        let mut links = std::collections::BTreeSet::new();
+        for a in 0..n {
+            for d in 0..n {
+                if a != d {
+                    let hop = table.next_hop(NodeId(a as u16), NodeId(d as u16));
+                    links.insert((a, hop.index()));
+                }
+            }
+        }
+        links
+            .iter()
+            .filter(|&&(a, b)| self.shard_of(a) != self.shard_of(b))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_covers_everything_evenly() {
+        let plan = ShardPlan::contiguous(10, 4);
+        assert_eq!(plan.shards(), 4);
+        assert_eq!(plan.nodes(), 10);
+        let sizes: Vec<usize> = (0..4).map(|s| plan.range(s).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 2 || s == 3));
+        for n in 0..10 {
+            let s = plan.shard_of(n);
+            assert!(plan.range(s).contains(&n));
+        }
+    }
+
+    #[test]
+    fn shard_count_clamps_to_nodes() {
+        let plan = ShardPlan::contiguous(2, 8);
+        assert_eq!(plan.shards(), 2);
+    }
+
+    #[test]
+    fn grid_plans_align_to_planes() {
+        let topo = Topology::torus3d(4, 4, 8); // plane = 16, 8 planes
+        let plan = ShardPlan::for_topology(&topo, 4);
+        assert_eq!(plan.shards(), 4);
+        for s in 0..4 {
+            assert_eq!(plan.range(s).start % 16, 0, "shard {s} starts on a plane");
+        }
+        // Plane alignment means each shard cuts exactly its two boundary
+        // planes (x and y rings are internal): fewer cut links than an
+        // arbitrary split through the middle of a plane.
+        let aligned_cut = plan.cut_links(&topo);
+        let skewed = ShardPlan::from_bounds(vec![0, 30, 62, 94, 128]).expect("valid bounds");
+        assert!(
+            aligned_cut <= skewed.cut_links(&topo),
+            "plane alignment must not increase the cut"
+        );
+    }
+
+    #[test]
+    fn degenerate_grids_fall_back() {
+        // 3 shards over 2 rows of 8: not enough planes, falls back to the
+        // even split but still covers everything.
+        let topo = Topology::torus2d(8, 2);
+        let plan = ShardPlan::for_topology(&topo, 3);
+        assert_eq!(plan.shards(), 3);
+        assert_eq!(plan.nodes(), 16);
+    }
+
+    #[test]
+    fn bad_bounds_are_rejected() {
+        assert!(ShardPlan::from_bounds(vec![0]).is_err());
+        assert!(ShardPlan::from_bounds(vec![1, 4]).is_err());
+        assert!(ShardPlan::from_bounds(vec![0, 4, 4]).is_err());
+        assert!(ShardPlan::from_bounds(vec![0, 4, 2]).is_err());
+        assert!(ShardPlan::from_bounds(vec![0, 4, 8]).is_ok());
+    }
+}

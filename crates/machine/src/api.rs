@@ -126,7 +126,8 @@ impl<'a> NodeApi<'a> {
     ///
     /// Panics if the context is not registered.
     pub fn ctx_base(&self, ctx: CtxId) -> VAddr {
-        self.cluster.nodes[self.node]
+        self.cluster
+            .node(self.node)
             .rmc
             .ct
             .lookup(ctx)
@@ -140,7 +141,8 @@ impl<'a> NodeApi<'a> {
     ///
     /// Panics if the context is not registered.
     pub fn ctx_len(&self, ctx: CtxId) -> u64 {
-        self.cluster.nodes[self.node]
+        self.cluster
+            .node(self.node)
             .rmc
             .ct
             .lookup(ctx)
@@ -154,13 +156,14 @@ impl<'a> NodeApi<'a> {
     ///
     /// Returns [`ApiError::OutOfMemory`] on exhaustion.
     pub fn heap_alloc(&mut self, len: u64) -> Result<VAddr, ApiError> {
-        self.cluster.nodes[self.node]
+        self.cluster
+            .node_mut(self.node)
             .heap_alloc(len)
             .map_err(|_| ApiError::OutOfMemory)
     }
 
     fn validate_buffer(&self, va: VAddr, len: u64) -> Result<(), ApiError> {
-        let node = &self.cluster.nodes[self.node];
+        let node = self.cluster.node(self.node);
         node.translate(va).map_err(|_| ApiError::Unmapped(va))?;
         if len > 0 {
             let last = va.offset(len - 1);
@@ -172,7 +175,7 @@ impl<'a> NodeApi<'a> {
     fn post(&mut self, qp: QpId, entry: WqEntry) -> Result<u16, ApiError> {
         let n = self.node;
         {
-            let node = &mut self.cluster.nodes[n];
+            let node = self.cluster.node_mut(n);
             let cursors = node.app_qps.get(qp.index()).ok_or(ApiError::BadQp)?;
             if cursors.owner_core != self.core {
                 return Err(ApiError::BadQp);
@@ -198,7 +201,7 @@ impl<'a> NodeApi<'a> {
 
         let now = self.now();
         let software = self.cluster.config().software;
-        let node = &mut self.cluster.nodes[n];
+        let node = self.cluster.node_mut(n);
         let (wq_index, wq_phase) = {
             let cur = &node.app_qps[qp.index()];
             (cur.wq_index, cur.wq_phase)
@@ -349,26 +352,26 @@ impl<'a> NodeApi<'a> {
 
     /// Operations posted but not yet observed complete on `qp`.
     pub fn outstanding(&self, qp: QpId) -> u16 {
-        self.cluster.nodes[self.node].app_qps[qp.index()].outstanding
+        self.cluster.node(self.node).app_qps[qp.index()].outstanding
     }
 
     /// The WQ slot index the next successful post will occupy. Useful for
     /// associating per-operation resources (e.g. a scratch source line that
     /// must stay stable until the RGP reads it) with the slot.
     pub fn next_wq_index(&self, qp: QpId) -> u16 {
-        self.cluster.nodes[self.node].app_qps[qp.index()].wq_index
+        self.cluster.node(self.node).app_qps[qp.index()].wq_index
     }
 
     /// Ring capacity of `qp`.
     pub fn qp_capacity(&self, qp: QpId) -> u16 {
-        self.cluster.nodes[self.node].rmc.qps[qp.index()].entries()
+        self.cluster.node(self.node).rmc.qps[qp.index()].entries()
     }
 
     /// Registers (or updates) a tenant on this node, making its weight and
     /// SLO class visible to the RGP's QoS scheduler. Setup path: no time
     /// charge.
     pub fn register_tenant(&mut self, spec: crate::tenancy::TenantSpec) {
-        self.cluster.nodes[self.node].tenants.register(spec);
+        self.cluster.node_mut(self.node).tenants.register(spec);
     }
 
     /// Creates a queue pair owned by this core and bound to `tenant`
@@ -395,7 +398,7 @@ impl<'a> NodeApi<'a> {
 
     /// The tenant registration owning `qp`, if any.
     pub fn qp_tenant(&self, qp: QpId) -> Option<crate::tenancy::TenantSpec> {
-        self.cluster.nodes[self.node].tenants.qp_tenant(qp).copied()
+        self.cluster.node(self.node).tenants.qp_tenant(qp).copied()
     }
 
     /// Local memory read with cache-timing charges (one hierarchy access
@@ -406,7 +409,8 @@ impl<'a> NodeApi<'a> {
     /// Returns [`ApiError::Unmapped`] if the range is not mapped.
     pub fn local_read(&mut self, va: VAddr, buf: &mut [u8]) -> Result<(), ApiError> {
         self.local_access(va, buf.len() as u64, AccessKind::Read)?;
-        self.cluster.nodes[self.node]
+        self.cluster
+            .node(self.node)
             .read_virt(va, buf)
             .map_err(|_| ApiError::Unmapped(va))
     }
@@ -418,7 +422,8 @@ impl<'a> NodeApi<'a> {
     /// Returns [`ApiError::Unmapped`] if the range is not mapped.
     pub fn local_write(&mut self, va: VAddr, data: &[u8]) -> Result<(), ApiError> {
         self.local_access(va, data.len() as u64, AccessKind::Write)?;
-        self.cluster.nodes[self.node]
+        self.cluster
+            .node_mut(self.node)
             .write_virt(va, data)
             .map_err(|_| ApiError::Unmapped(va))
     }
@@ -449,7 +454,7 @@ impl<'a> NodeApi<'a> {
         }
         self.validate_buffer(va, len)?;
         let mut t = self.now();
-        let node = &mut self.cluster.nodes[self.node];
+        let node = self.cluster.node_mut(self.node);
         let agent = node.core_agent(self.core);
         let mut charged = SimTime::ZERO;
         for (line, _, _) in sonuma_memory::addr::split_into_lines(va.raw(), len) {

@@ -1,20 +1,22 @@
 //! [`SonumaBackend`]: the soNUMA machine behind the transport-agnostic
 //! [`RemoteBackend`] contract.
 //!
-//! The backend owns a [`Cluster`] plus its engine and drives tenant
-//! channels — one queue pair per `(node, channel)` — from outside the
+//! The backend owns a [`ShardedCluster`] — the cluster partitioned into
+//! per-thread shards advancing in conservative epochs — and drives tenant
+//! channels (one queue pair per `(node, channel)`) from outside the
 //! simulation: posts go through the same access-library path simulated
 //! applications use ([`crate::NodeApi`]), so they pay WQ-store, RGP,
-//! fabric, RRPP and RCP costs exactly as §4.2 models them, and channels
-//! registered with [`SonumaBackend::register_tenant_channel`] are
-//! scheduled by the RGP under their tenant's weight and SLO class. This
-//! is what lets `sonuma-core`'s backend conformance suite and the Table 2
-//! harness run identical request streams over soNUMA and over the
-//! baseline transports, and what lets the multi-tenant traffic harness
-//! create real per-tenant contention inside one node's RMC.
+//! fabric, RRPP and RCP costs exactly as §4.2 models them. With
+//! `threads = 1` the cluster is a single shard and execution is serial;
+//! with `threads = N` the shards run on `N` OS threads, and the epoch
+//! merge keeps every simulated outcome bit-identical to the serial run
+//! (see [`crate::shard`] for the argument). Channels registered with
+//! [`SonumaBackend::register_tenant_channel`] are scheduled by the RGP
+//! under their tenant's weight and SLO class.
 
 use std::collections::{BTreeMap, HashMap};
 
+use sonuma_fabric::{Fabric, ShardPlan};
 use sonuma_memory::VAddr;
 use sonuma_protocol::{
     BackendError, CtxId, NodeId, QpId, RemoteBackend, RemoteCompletion, RemoteOp, RemoteRequest,
@@ -23,11 +25,10 @@ use sonuma_protocol::{
 use sonuma_sim::SimTime;
 
 use crate::api::{ApiError, NodeApi};
-use crate::cluster::Cluster;
 use crate::config::MachineConfig;
-use crate::event::ClusterEvent;
-use crate::tenancy::{SloClass, TenantSpec};
-use crate::ClusterEngine;
+use crate::pipeline::PipelineStats;
+use crate::shard::ShardedCluster;
+use crate::tenancy::{SloClass, TenantSpec, TenantStats};
 
 const BACKEND_CTX: CtxId = CtxId(0);
 
@@ -64,6 +65,17 @@ struct NodePort {
     next_token: u64,
 }
 
+/// A registered tenant channel, logged so `set_threads` can rebuild the
+/// cluster under a new partition and replay the registrations.
+#[derive(Debug, Clone, Copy)]
+struct TenantChannel {
+    node: NodeId,
+    channel: u32,
+    tenant: TenantId,
+    weight: u32,
+    slo: SloClass,
+}
+
 /// The full soNUMA machine exposed as a [`RemoteBackend`].
 ///
 /// # Example
@@ -80,44 +92,70 @@ struct NodePort {
 /// assert_eq!(done[0].data, vec![0xAB; 64]);
 /// ```
 pub struct SonumaBackend {
-    cluster: Cluster,
-    engine: ClusterEngine,
+    sharded: ShardedCluster,
     ports: Vec<NodePort>,
     segment_len: u64,
-    /// Idle-clock floor (`advance_clock_to`): the engine clock only moves
-    /// while events execute, so the externally visible `now()` reports
-    /// the max of the two. An Anchor event scheduled at the floor pulls
-    /// the engine clock up on the next `advance()`.
+    tenant_log: Vec<TenantChannel>,
+    /// Idle-clock floor (`advance_clock_to`): the externally visible
+    /// `now()` never lags behind a requested jump even while events are
+    /// still catching up.
     clock_floor: SimTime,
 }
 
 impl std::fmt::Debug for SonumaBackend {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SonumaBackend")
-            .field("nodes", &self.cluster.num_nodes())
-            .field("now", &self.engine.now())
+            .field("nodes", &self.sharded.num_nodes())
+            .field("shards", &self.sharded.num_shards())
+            .field("now", &self.now())
             .finish()
     }
 }
 
 impl SonumaBackend {
-    /// Builds a backend over `config` with a `segment_len`-byte context on
-    /// every node.
+    /// Builds a single-threaded (one-shard) backend over `config` with a
+    /// `segment_len`-byte context on every node.
     ///
     /// # Panics
     ///
     /// Panics if the segment cannot be mapped.
     pub fn new(config: MachineConfig, segment_len: u64) -> Self {
-        let nodes = config.nodes;
-        let mut cluster = Cluster::new(config);
-        cluster
+        Self::with_threads(config, segment_len, 1)
+    }
+
+    /// Builds a backend whose cluster is sharded across `threads` OS
+    /// threads (topology-aware contiguous partition). Results are
+    /// bit-identical for every `threads` value; only wall-clock changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero or the segment cannot be mapped.
+    pub fn with_threads(config: MachineConfig, segment_len: u64, threads: usize) -> Self {
+        Self::from_sharded(ShardedCluster::new(config, threads), segment_len)
+    }
+
+    /// Builds a backend over an explicit node→shard partition (testing
+    /// surface for the partition-equivalence properties; `bounds` as in
+    /// `ShardPlan::from_bounds`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid plan or if the segment cannot be mapped.
+    pub fn with_partition(config: MachineConfig, segment_len: u64, bounds: Vec<usize>) -> Self {
+        let plan = ShardPlan::from_bounds(bounds).expect("valid shard bounds");
+        Self::from_sharded(ShardedCluster::with_plan(config, plan), segment_len)
+    }
+
+    fn from_sharded(mut sharded: ShardedCluster, segment_len: u64) -> Self {
+        let nodes = sharded.num_nodes();
+        sharded
             .create_context(BACKEND_CTX, segment_len)
             .expect("segment must fit in node memory");
         SonumaBackend {
-            cluster,
-            engine: ClusterEngine::new(),
+            sharded,
             ports: (0..nodes).map(|_| NodePort::default()).collect(),
             segment_len,
+            tenant_log: Vec::new(),
             clock_floor: SimTime::ZERO,
         }
     }
@@ -132,9 +170,51 @@ impl SonumaBackend {
         Self::new(MachineConfig::dev_platform(nodes), segment_len)
     }
 
-    /// The underlying cluster (pipeline statistics, node inspection).
-    pub fn cluster(&self) -> &Cluster {
-        &self.cluster
+    /// The cluster configuration.
+    pub fn config(&self) -> &MachineConfig {
+        self.sharded.config()
+    }
+
+    /// Number of shards (== executing threads).
+    pub fn num_shards(&self) -> usize {
+        self.sharded.num_shards()
+    }
+
+    /// Conservative epochs executed so far (partition-invariant).
+    pub fn epochs(&self) -> u64 {
+        self.sharded.epochs()
+    }
+
+    /// The global memory fabric (traffic counters, link stats).
+    pub fn fabric(&self) -> &Fabric {
+        self.sharded.fabric()
+    }
+
+    /// Pipeline counters of `node`.
+    pub fn pipeline_stats(&self, node: NodeId) -> PipelineStats {
+        self.sharded.pipeline_stats(node)
+    }
+
+    /// Cluster-wide pipeline counter totals.
+    pub fn total_pipeline_stats(&self) -> PipelineStats {
+        self.sharded.total_pipeline_stats()
+    }
+
+    /// Per-tenant counters of `node`, in registration order.
+    pub fn tenant_stats(&self, node: NodeId) -> Vec<(TenantSpec, TenantStats)> {
+        self.sharded.tenant_stats(node)
+    }
+
+    /// Per-shard logical event counts (shard metadata for reports).
+    pub fn shard_events(&self) -> Vec<u64> {
+        self.sharded.shard_events()
+    }
+
+    /// Delivery-order hash of `node` — equal across runs iff packets
+    /// arrived in the same order at the same times (the determinism
+    /// checksum the equivalence tests gate on).
+    pub fn delivery_hash(&self, node: NodeId) -> u64 {
+        self.sharded.delivery_hash(node)
     }
 
     /// Registers tenant `channel` on `node`: the tenant is registered
@@ -153,8 +233,14 @@ impl SonumaBackend {
         weight: u32,
         slo: SloClass,
     ) {
-        let n = node.index();
-        self.cluster.register_tenant(
+        self.tenant_log.push(TenantChannel {
+            node,
+            channel,
+            tenant,
+            weight,
+            slo,
+        });
+        self.sharded.register_tenant(
             node,
             TenantSpec {
                 id: tenant,
@@ -163,10 +249,10 @@ impl SonumaBackend {
             },
         );
         let qp = self
-            .cluster
+            .sharded
             .create_tenant_qp(node, BACKEND_CTX, 0, tenant)
             .expect("QP ring allocation failed");
-        self.ports[n].channels.insert(
+        self.ports[node.index()].channels.insert(
             channel,
             ChannelPort {
                 qp,
@@ -184,7 +270,7 @@ impl SonumaBackend {
             return port.qp;
         }
         let qp = self
-            .cluster
+            .sharded
             .create_qp(NodeId(n as u16), BACKEND_CTX, 0)
             .expect("QP ring allocation failed");
         self.ports[n].channels.insert(
@@ -205,41 +291,45 @@ impl SonumaBackend {
     /// ring, so the per-advance poll sweep over hundreds of idle nodes
     /// costs integer compares, not heap traffic.
     fn harvest(&mut self, n: usize) {
-        let cluster = &mut self.cluster;
+        let SonumaBackend { sharded, ports, .. } = self;
         let NodePort {
             channels, ready, ..
-        } = &mut self.ports[n];
-        for port in channels.values_mut() {
-            let comps = cluster.drain_cq(n, port.qp);
-            for c in comps {
-                let Some(p) = port.pending.remove(&c.wq_index) else {
-                    continue;
-                };
-                let mut data = Vec::new();
-                if c.status.is_ok() {
-                    match p.op {
-                        RemoteOp::Read => {
-                            data = vec![0u8; p.len as usize];
-                            cluster.nodes[n]
-                                .read_virt(p.buf, &mut data)
-                                .expect("landing buffer mapped");
+        } = &mut ports[n];
+        sharded.with_node(n, |cluster, _| {
+            for port in channels.values_mut() {
+                let comps = cluster.drain_cq(n, port.qp);
+                for c in comps {
+                    let Some(p) = port.pending.remove(&c.wq_index) else {
+                        continue;
+                    };
+                    let mut data = Vec::new();
+                    if c.status.is_ok() {
+                        match p.op {
+                            RemoteOp::Read => {
+                                data = vec![0u8; p.len as usize];
+                                cluster
+                                    .node(n)
+                                    .read_virt(p.buf, &mut data)
+                                    .expect("landing buffer mapped");
+                            }
+                            RemoteOp::FetchAdd | RemoteOp::CompSwap => {
+                                data = vec![0u8; 8];
+                                cluster
+                                    .node(n)
+                                    .read_virt(p.buf, &mut data)
+                                    .expect("landing buffer mapped");
+                            }
+                            RemoteOp::Write | RemoteOp::Interrupt => {}
                         }
-                        RemoteOp::FetchAdd | RemoteOp::CompSwap => {
-                            data = vec![0u8; 8];
-                            cluster.nodes[n]
-                                .read_virt(p.buf, &mut data)
-                                .expect("landing buffer mapped");
-                        }
-                        RemoteOp::Write | RemoteOp::Interrupt => {}
                     }
+                    ready.push(RemoteCompletion {
+                        token: p.token,
+                        status: c.status,
+                        data,
+                    });
                 }
-                ready.push(RemoteCompletion {
-                    token: p.token,
-                    status: c.status,
-                    data,
-                });
             }
-        }
+        });
     }
 }
 
@@ -249,19 +339,37 @@ impl RemoteBackend for SonumaBackend {
     }
 
     fn num_nodes(&self) -> usize {
-        self.cluster.num_nodes()
+        self.sharded.num_nodes()
     }
 
     fn segment_len(&self) -> u64 {
         self.segment_len
     }
 
+    fn set_threads(&mut self, threads: usize) {
+        if threads == self.sharded.num_shards() {
+            return;
+        }
+        assert!(
+            self.now() == SimTime::ZERO
+                && self.sharded.events_processed() == 0
+                && self.ports.iter().all(|p| p.next_token == 0),
+            "set_threads must be called before any traffic"
+        );
+        let config = self.sharded.config().clone();
+        let replay = std::mem::take(&mut self.tenant_log);
+        *self = Self::with_threads(config, self.segment_len, threads.max(1));
+        for t in replay {
+            self.register_tenant_channel(t.node, t.channel, t.tenant, t.weight, t.slo);
+        }
+    }
+
     fn write_ctx(&mut self, node: NodeId, offset: u64, data: &[u8]) {
-        self.cluster.write_ctx(node, BACKEND_CTX, offset, data);
+        self.sharded.write_ctx(node, BACKEND_CTX, offset, data);
     }
 
     fn read_ctx(&self, node: NodeId, offset: u64, buf: &mut [u8]) {
-        self.cluster.read_ctx(node, BACKEND_CTX, offset, buf);
+        self.sharded.read_ctx(node, BACKEND_CTX, offset, buf);
     }
 
     fn post(&mut self, src: NodeId, req: RemoteRequest) -> Result<u64, BackendError> {
@@ -275,10 +383,15 @@ impl RemoteBackend for SonumaBackend {
         req: RemoteRequest,
     ) -> Result<u64, BackendError> {
         let n = src.index();
-        if n >= self.cluster.num_nodes() || req.dst.index() >= self.cluster.num_nodes() {
+        if n >= self.sharded.num_nodes() || req.dst.index() >= self.sharded.num_nodes() {
             return Err(BackendError::BadNode);
         }
         if req.op == RemoteOp::Write && req.len != req.payload.len() as u64 {
+            return Err(BackendError::BadRequest);
+        }
+        if req.op == RemoteOp::Interrupt {
+            // Interrupts are an application-level extension, not part of
+            // the transport contract.
             return Err(BackendError::BadRequest);
         }
         let qp = self.channel_qp(n, channel);
@@ -297,10 +410,9 @@ impl RemoteBackend for SonumaBackend {
         // post will occupy; a failed post leaves the buffer pooled, so
         // neither retries nor long streams leak node heap.
         let need = buf_len.max(64);
-        let wq_slot = {
-            let api = NodeApi::new(&mut self.cluster, &mut self.engine, n, 0, SimTime::ZERO);
-            api.next_wq_index(qp)
-        };
+        let wq_slot = self.sharded.with_node(n, |cluster, engine| {
+            NodeApi::new(cluster, engine, n, 0, SimTime::ZERO).next_wq_index(qp)
+        });
         let pooled = self.ports[n]
             .channels
             .get(&channel)
@@ -309,9 +421,12 @@ impl RemoteBackend for SonumaBackend {
         let buf = match pooled {
             Some((va, len)) if len >= need => va,
             _ => {
-                let mut api =
-                    NodeApi::new(&mut self.cluster, &mut self.engine, n, 0, SimTime::ZERO);
-                let va = api.heap_alloc(need).map_err(|_| BackendError::Exhausted)?;
+                let va = self
+                    .sharded
+                    .with_node(n, |cluster, engine| {
+                        NodeApi::new(cluster, engine, n, 0, SimTime::ZERO).heap_alloc(need)
+                    })
+                    .map_err(|_| BackendError::Exhausted)?;
                 self.ports[n]
                     .channels
                     .get_mut(&channel)
@@ -321,34 +436,36 @@ impl RemoteBackend for SonumaBackend {
                 va
             }
         };
-        let mut api = NodeApi::new(&mut self.cluster, &mut self.engine, n, 0, SimTime::ZERO);
-        if req.op == RemoteOp::Write {
-            api.local_write(buf, &req.payload).expect("buffer mapped");
-        }
-        let posted = match req.op {
-            RemoteOp::Read => api.post_read(qp, req.dst, BACKEND_CTX, req.offset, buf, req.len),
-            RemoteOp::Write => api.post_write(
-                qp,
-                req.dst,
-                BACKEND_CTX,
-                req.offset,
-                buf,
-                req.payload.len() as u64,
-            ),
-            RemoteOp::FetchAdd => {
-                api.post_fetch_add(qp, req.dst, BACKEND_CTX, req.offset, buf, req.operands.0)
+        let posted = self.sharded.with_node(n, |cluster, engine| {
+            let mut api = NodeApi::new(cluster, engine, n, 0, SimTime::ZERO);
+            if req.op == RemoteOp::Write {
+                api.local_write(buf, &req.payload).expect("buffer mapped");
             }
-            RemoteOp::CompSwap => api.post_comp_swap(
-                qp,
-                req.dst,
-                BACKEND_CTX,
-                req.offset,
-                buf,
-                req.operands.0,
-                req.operands.1,
-            ),
-            RemoteOp::Interrupt => return Err(BackendError::BadRequest),
-        };
+            match req.op {
+                RemoteOp::Read => api.post_read(qp, req.dst, BACKEND_CTX, req.offset, buf, req.len),
+                RemoteOp::Write => api.post_write(
+                    qp,
+                    req.dst,
+                    BACKEND_CTX,
+                    req.offset,
+                    buf,
+                    req.payload.len() as u64,
+                ),
+                RemoteOp::FetchAdd => {
+                    api.post_fetch_add(qp, req.dst, BACKEND_CTX, req.offset, buf, req.operands.0)
+                }
+                RemoteOp::CompSwap => api.post_comp_swap(
+                    qp,
+                    req.dst,
+                    BACKEND_CTX,
+                    req.offset,
+                    buf,
+                    req.operands.0,
+                    req.operands.1,
+                ),
+                RemoteOp::Interrupt => unreachable!("rejected at validation"),
+            }
+        });
         let wq_index = match posted {
             Ok(i) => i,
             Err(ApiError::WqFull) => return Err(BackendError::Backpressure),
@@ -381,37 +498,34 @@ impl RemoteBackend for SonumaBackend {
     }
 
     fn advance(&mut self) -> bool {
-        if self.engine.pending() == 0 {
-            return false;
-        }
-        // One bounded burst per call keeps advance() responsive without
-        // busy-stepping single events. The burst also bounds the clock
-        // granularity callers observe between polls (completion latencies
-        // measured at poll time are late by at most one burst's span).
-        self.engine.run_steps(&mut self.cluster, 64);
-        self.engine.pending() > 0
+        // One bounded round per call keeps advance() responsive without
+        // busy-stepping single events. A round is a fixed number of
+        // *events* spread over however many conservative epochs they
+        // need, so the driver's interleaving with the simulation — and
+        // with it every simulated outcome — is identical at every thread
+        // count. The round also bounds the clock granularity callers
+        // observe between polls (completion latencies measured at poll
+        // time are late by at most one round's span).
+        self.sharded.advance_round()
     }
 
     fn now(&self) -> SimTime {
-        self.engine.now().max(self.clock_floor)
+        self.sharded.now().max(self.clock_floor)
     }
 
     fn advance_clock_to(&mut self, t: SimTime) {
-        // The floor moves `now()` immediately (the trait contract); the
-        // Anchor event — which touches no state — pulls the engine's own
-        // clock up on the next advance(), so the machinery's internal
-        // timing catches up too.
-        if t > self.engine.now() {
-            self.clock_floor = self.clock_floor.max(t);
-            self.engine.schedule_at(t, ClusterEvent::Anchor);
-        }
+        // The floor moves `now()` immediately (the trait contract); when
+        // nothing earlier is pending the shard engines jump too, so work
+        // posted after the jump charges from the advanced clock.
+        self.clock_floor = self.clock_floor.max(t);
+        self.sharded.advance_clock_to(t);
     }
 
     fn events_processed(&self) -> u64 {
         // Engine events plus the logical injections folded into line
         // bursts, so the count (and events/sec) is invariant under
-        // `rgp_burst_lines` batching.
-        self.engine.events_executed() + self.cluster.batched_logical_events
+        // `rgp_burst_lines` batching — and under the shard count.
+        self.sharded.events_processed()
     }
 }
 
@@ -472,8 +586,8 @@ mod tests {
                 .unwrap();
         }
         let _ = b.complete_all(NodeId(0));
-        let src_stats = b.cluster().pipeline_stats(NodeId(0));
-        let dst_stats = b.cluster().pipeline_stats(NodeId(1));
+        let src_stats = b.pipeline_stats(NodeId(0));
+        let dst_stats = b.pipeline_stats(NodeId(1));
         assert_eq!(src_stats.rgp_requests, 4);
         assert_eq!(src_stats.rgp_lines, 16, "256 B unrolls into 4 lines");
         assert_eq!(dst_stats.rrpp_served, 16);
@@ -486,7 +600,7 @@ mod tests {
         b.register_tenant_channel(NodeId(0), 0, TenantId(100), 1, SloClass::Gold);
         b.register_tenant_channel(NodeId(0), 1, TenantId(101), 1, SloClass::Bronze);
         // Fill channel 0's entire WQ ring.
-        let entries = b.cluster().config().qp_entries as usize;
+        let entries = b.config().qp_entries as usize;
         for _ in 0..entries {
             b.post_on(NodeId(0), 0, RemoteRequest::read(NodeId(1), 0, 64))
                 .unwrap();
@@ -505,7 +619,7 @@ mod tests {
         assert_eq!(done.len(), entries + 1);
         assert!(done.iter().any(|c| c.token == t));
         // Per-tenant accounting reached the RMC.
-        let stats = b.cluster().tenant_stats(NodeId(0));
+        let stats = b.tenant_stats(NodeId(0));
         assert_eq!(stats.len(), 2);
         assert_eq!(stats[0].1.completions, entries as u64);
         assert_eq!(stats[1].1.completions, 1);
@@ -528,5 +642,71 @@ mod tests {
             .unwrap();
         let _ = b.complete_all(NodeId(0));
         assert!(b.now() > SimTime::from_us(5));
+    }
+
+    #[test]
+    fn set_threads_repartitions_before_traffic() {
+        let mut b = SonumaBackend::simulated_hardware(4, 1 << 16);
+        b.register_tenant_channel(NodeId(1), 0, TenantId(7), 2, SloClass::Gold);
+        b.set_threads(2);
+        assert_eq!(b.num_shards(), 2);
+        // The tenant registration survived the rebuild.
+        let stats = b.tenant_stats(NodeId(1));
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].0.id, TenantId(7));
+        let t = b
+            .post_on(NodeId(1), 0, RemoteRequest::read(NodeId(2), 0, 64))
+            .unwrap();
+        let done = b.complete_all(NodeId(1));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].token, t);
+    }
+
+    #[test]
+    #[should_panic(expected = "before any traffic")]
+    fn set_threads_after_traffic_panics() {
+        let mut b = SonumaBackend::simulated_hardware(2, 4096);
+        b.post(NodeId(0), RemoteRequest::read(NodeId(1), 0, 64))
+            .unwrap();
+        b.set_threads(4);
+    }
+
+    #[test]
+    fn threaded_run_matches_serial_bit_for_bit() {
+        let drive = |threads: usize| {
+            let mut b =
+                SonumaBackend::with_threads(MachineConfig::simulated_hardware(8), 1 << 16, threads);
+            for n in 0..8u16 {
+                b.write_ctx(NodeId(n), 0, &[n as u8; 256]);
+            }
+            let mut tokens = Vec::new();
+            for round in 0..6u64 {
+                for n in 0..8u16 {
+                    let dst = NodeId(((n as u64 + 1 + round) % 8) as u16);
+                    if dst == NodeId(n) {
+                        continue;
+                    }
+                    tokens.push(b.post(NodeId(n), RemoteRequest::read(dst, 0, 256)).unwrap());
+                }
+                while b.advance() {}
+            }
+            let mut done = Vec::new();
+            for n in 0..8u16 {
+                done.extend(b.complete_all(NodeId(n)));
+            }
+            let hashes: Vec<u64> = (0..8u16).map(|n| b.delivery_hash(NodeId(n))).collect();
+            let stats: Vec<PipelineStats> =
+                (0..8u16).map(|n| b.pipeline_stats(NodeId(n))).collect();
+            (b.now(), b.events_processed(), done, hashes, stats)
+        };
+        let serial = drive(1);
+        for threads in [2, 3, 4] {
+            let parallel = drive(threads);
+            assert_eq!(serial.0, parallel.0, "sim time, {threads} threads");
+            assert_eq!(serial.1, parallel.1, "events, {threads} threads");
+            assert_eq!(serial.2, parallel.2, "completions, {threads} threads");
+            assert_eq!(serial.3, parallel.3, "delivery order, {threads} threads");
+            assert_eq!(serial.4, parallel.4, "pipeline stats, {threads} threads");
+        }
     }
 }

@@ -8,7 +8,7 @@
 
 use sonuma_fabric::Fabric;
 use sonuma_memory::{MemError, VAddr};
-use sonuma_protocol::{CtxId, NodeId, QpId, TenantId};
+use sonuma_protocol::{CtxId, NodeId, Packet, QpId, TenantId};
 use sonuma_rmc::{ContextEntry, QueuePairState};
 use sonuma_sim::SimTime;
 
@@ -19,6 +19,36 @@ use crate::event::{ClusterEvent, WakeReason};
 use crate::node::{AppQpCursors, BlockState, Node, CTX_BASE};
 use crate::process::AppProcess;
 use crate::ClusterEngine;
+
+/// One fabric send staged for the epoch-barrier merge (shard mode).
+///
+/// `(src, seq)` is the deterministic tiebreak: `seq` counts the packets
+/// each source node has ever injected, so the merge order
+/// `(time, src, seq)` is a total order that depends only on the
+/// simulation's history — never on how nodes are distributed over shards.
+#[derive(Debug, Clone)]
+pub(crate) struct Departure {
+    /// Fabric injection time.
+    pub t: SimTime,
+    /// Injecting node.
+    pub src: NodeId,
+    /// Per-source injection sequence number.
+    pub seq: u64,
+    /// The packet itself (`pkt.dst` names the receiver).
+    pub pkt: Packet,
+}
+
+/// Where this cluster's packets go: straight into an owned fabric
+/// (classic single-engine mode) or into a mailbox drained at the epoch
+/// barrier (one shard of a `ShardedCluster`).
+pub(crate) enum RoutePath {
+    /// The cluster owns the whole world; sends resolve inline.
+    Direct(Box<Fabric>),
+    /// The cluster is one shard; sends are staged as [`Departure`]s and
+    /// the `ShardedCluster` merges them into the global fabric in
+    /// deterministic order.
+    Mailbox(Vec<Departure>),
+}
 
 /// The simulation world: every node plus the memory fabric.
 ///
@@ -36,10 +66,16 @@ use crate::ClusterEngine;
 /// ```
 pub struct Cluster {
     config: MachineConfig,
-    /// All nodes, indexed by `NodeId`.
+    /// The nodes this cluster *owns*, holding global ids
+    /// `node_base..node_base + nodes.len()`. A classic cluster owns every
+    /// node (`node_base == 0`), so indexing by `NodeId` keeps working; a
+    /// shard cluster owns a contiguous slice and all internal code goes
+    /// through [`Cluster::node`]/[`Cluster::node_mut`], which translate.
     pub nodes: Vec<Node>,
-    /// The memory fabric.
-    pub fabric: Fabric,
+    /// Global id of `nodes[0]` (0 except for shard clusters).
+    node_base: usize,
+    /// Owned fabric, or the shard-mode departure mailbox.
+    pub(crate) route: RoutePath,
     /// Logical events folded into batched engine events: a line burst of
     /// `n` injections executes as one engine event but represents `n`
     /// logical pipeline steps. Adding these back keeps `events_processed`
@@ -50,10 +86,14 @@ pub struct Cluster {
 
 impl std::fmt::Debug for Cluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Cluster")
-            .field("nodes", &self.nodes.len())
-            .field("fabric", &self.fabric)
-            .finish()
+        let mut d = f.debug_struct("Cluster");
+        d.field("nodes", &self.nodes.len())
+            .field("node_base", &self.node_base);
+        match &self.route {
+            RoutePath::Direct(fabric) => d.field("fabric", fabric),
+            RoutePath::Mailbox(outbox) => d.field("outbox", &outbox.len()),
+        };
+        d.finish()
     }
 }
 
@@ -71,7 +111,30 @@ impl Cluster {
         );
         Cluster {
             nodes: (0..config.nodes).map(|_| Node::new(&config)).collect(),
-            fabric: Fabric::new(config.fabric.clone()),
+            node_base: 0,
+            route: RoutePath::Direct(Box::new(Fabric::new(config.fabric.clone()))),
+            config,
+            batched_logical_events: 0,
+        }
+    }
+
+    /// Builds one *shard* of a cluster: the world of nodes
+    /// `range.start..range.end`, with fabric sends staged in a mailbox
+    /// for the owning `ShardedCluster`'s epoch merge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or outside `config.nodes`.
+    pub(crate) fn shard_slice(config: MachineConfig, range: std::ops::Range<usize>) -> Self {
+        assert!(
+            !range.is_empty() && range.end <= config.nodes,
+            "shard range {range:?} outside cluster of {}",
+            config.nodes
+        );
+        Cluster {
+            nodes: range.clone().map(|_| Node::new(&config)).collect(),
+            node_base: range.start,
+            route: RoutePath::Mailbox(Vec::new()),
             config,
             batched_logical_events: 0,
         }
@@ -82,9 +145,56 @@ impl Cluster {
         &self.config
     }
 
-    /// Number of nodes.
+    /// Number of nodes in the *whole* cluster (a shard answers for the
+    /// full fabric, not just its slice — destination validation and peer
+    /// sampling depend on it).
     pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
+        self.config.nodes
+    }
+
+    /// Global id of the first node this cluster owns.
+    pub fn node_base(&self) -> usize {
+        self.node_base
+    }
+
+    /// Global ids of the nodes this cluster owns.
+    pub fn owned_nodes(&self) -> std::ops::Range<usize> {
+        self.node_base..self.node_base + self.nodes.len()
+    }
+
+    /// The node with *global* id `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this cluster does not own `n`.
+    #[inline]
+    pub fn node(&self, n: usize) -> &Node {
+        &self.nodes[n - self.node_base]
+    }
+
+    /// Mutable access to the node with *global* id `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this cluster does not own `n`.
+    #[inline]
+    pub fn node_mut(&mut self, n: usize) -> &mut Node {
+        &mut self.nodes[n - self.node_base]
+    }
+
+    /// The memory fabric (classic single-engine clusters only).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shard cluster — shards do not own the fabric; ask the
+    /// `ShardedCluster` (or `SonumaBackend::fabric`) instead.
+    pub fn fabric(&self) -> &Fabric {
+        match &self.route {
+            RoutePath::Direct(fabric) => fabric,
+            RoutePath::Mailbox(_) => {
+                panic!("shard clusters do not own the fabric; query the ShardedCluster")
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -128,7 +238,7 @@ impl Cluster {
         owner_core: usize,
     ) -> Result<QpId, MemError> {
         let entries = self.config.qp_entries;
-        let n = &mut self.nodes[node.index()];
+        let n = self.node_mut(node.index());
         assert!(owner_core < n.cores.len(), "owner core out of range");
         let ring_bytes = entries as u64 * 64;
         let wq_base = n.heap_alloc(ring_bytes)?;
@@ -157,7 +267,7 @@ impl Cluster {
     /// class become visible to the RGP's QoS scheduler for every QP later
     /// bound to it.
     pub fn register_tenant(&mut self, node: NodeId, spec: TenantSpec) {
-        self.nodes[node.index()].tenants.register(spec);
+        self.node_mut(node.index()).tenants.register(spec);
     }
 
     /// As [`Cluster::create_qp`], additionally binding the new queue pair
@@ -179,17 +289,17 @@ impl Cluster {
         tenant: TenantId,
     ) -> Result<QpId, MemError> {
         assert!(
-            self.nodes[node.index()].tenants.lookup(tenant).is_some(),
+            self.node(node.index()).tenants.lookup(tenant).is_some(),
             "tenant {tenant} not registered on {node}"
         );
         let qp = self.create_qp(node, ctx, owner_core)?;
-        self.nodes[node.index()].tenants.bind_qp(qp, tenant);
+        self.node_mut(node.index()).tenants.bind_qp(qp, tenant);
         Ok(qp)
     }
 
     /// Snapshot of `node`'s per-tenant counters, in registration order.
     pub fn tenant_stats(&self, node: NodeId) -> Vec<(TenantSpec, TenantStats)> {
-        self.nodes[node.index()]
+        self.node(node.index())
             .tenants
             .iter()
             .map(|(spec, stats)| (*spec, *stats))
@@ -204,7 +314,7 @@ impl Cluster {
         core: usize,
         process: Box<dyn AppProcess>,
     ) {
-        let slot = &mut self.nodes[node.index()].cores[core];
+        let slot = &mut self.node_mut(node.index()).cores[core];
         assert!(slot.process.is_none(), "core already occupied");
         slot.process = Some(process);
         slot.block = BlockState::Sleeping;
@@ -225,7 +335,7 @@ impl Cluster {
     ///
     /// Panics if the context or range is invalid.
     pub fn write_ctx(&mut self, node: NodeId, ctx: CtxId, offset: u64, data: &[u8]) {
-        let n = &mut self.nodes[node.index()];
+        let n = self.node_mut(node.index());
         let entry = n.rmc.ct.lookup(ctx).expect("context not registered");
         let va = entry
             .resolve(offset, data.len() as u64)
@@ -239,7 +349,7 @@ impl Cluster {
     ///
     /// Panics if the context or range is invalid.
     pub fn read_ctx(&self, node: NodeId, ctx: CtxId, offset: u64, buf: &mut [u8]) {
-        let n = &self.nodes[node.index()];
+        let n = self.node(node.index());
         let entry = n.rmc.ct.lookup(ctx).expect("context not registered");
         let va = entry
             .resolve(offset, buf.len() as u64)

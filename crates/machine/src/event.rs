@@ -106,6 +106,12 @@ impl From<WakeReason> for Wake {
     }
 }
 
+/// One FNV-1a step folding `x` into the delivery-order hash.
+#[inline]
+fn fnv_mix(h: u64, x: u64) -> u64 {
+    (h ^ x).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
 impl World for Cluster {
     type Event = ClusterEvent;
 
@@ -113,7 +119,7 @@ impl World for Cluster {
         match event {
             ClusterEvent::RgpService { node } => self.rgp_service(engine, node as usize),
             ClusterEvent::RgpResume { node } => {
-                self.nodes[node as usize].rmc.rgp.phase = RgpPhase::Polling;
+                self.node_mut(node as usize).rmc.rgp.phase = RgpPhase::Polling;
                 self.rgp_service(engine, node as usize);
             }
             ClusterEvent::InjectBurst { node, burst } => {
@@ -121,6 +127,17 @@ impl World for Cluster {
             }
             ClusterEvent::Deliver { pkt } => {
                 let dst = pkt.dst.index();
+                // Fold the delivery into the receiver's order hash: equal
+                // hashes mean packet-for-packet identical delivery order,
+                // which is what the serial-equivalence tests assert across
+                // shard counts.
+                let node = self.node_mut(dst);
+                let mut h = node.deliver_hash;
+                h = fnv_mix(h, engine.now().as_ps());
+                h = fnv_mix(h, pkt.src.0 as u64);
+                h = fnv_mix(h, pkt.tid.0 as u64);
+                h = fnv_mix(h, pkt.line_seq as u64);
+                node.deliver_hash = h;
                 if pkt.kind == PacketKind::Request {
                     self.rrpp_handle(engine, dst, pkt);
                 } else {

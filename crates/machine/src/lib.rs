@@ -21,6 +21,11 @@
 //!   A [`PipelineStats`] snapshot exposes every pipeline counter per node;
 //! * `sched` — run-to-block core scheduling: CQ wake-ups, memory watches,
 //!   and remote-interrupt delivery;
+//! * [`shard`] — [`ShardedCluster`]: the cluster partitioned into
+//!   per-thread shards (each a [`Cluster`] owning a slice of nodes, with
+//!   fabric sends staged in a mailbox), advanced in conservative epochs
+//!   with a deterministic fabric merge at each barrier, so `--threads N`
+//!   runs are bit-identical to serial ones;
 //! * [`backend`] — [`SonumaBackend`], the soNUMA implementation of the
 //!   transport-agnostic `sonuma_protocol::RemoteBackend` contract, so the
 //!   same request streams can run over the baselines for Table 2.
@@ -40,6 +45,7 @@ pub mod node;
 pub mod pipeline;
 pub mod process;
 pub mod sched;
+pub mod shard;
 pub mod tenancy;
 
 pub use api::{ApiError, NodeApi};
@@ -51,6 +57,7 @@ pub use node::Node;
 pub use pipeline::rgp::{QpClass, QpScheduler, SchedPolicy};
 pub use pipeline::{PipelineStats, RcpState, RgpPhase, RgpState, RrppState};
 pub use process::{AppProcess, Completion, Step, Wake};
+pub use shard::{ShardedCluster, ADVANCE_ROUND_EVENTS};
 pub use tenancy::{SloClass, TenantSpec, TenantStats, TenantTable};
 
 /// Convenience alias: the typed event engine specialized to the cluster

@@ -128,9 +128,9 @@ impl Cluster {
     ///
     /// # Panics
     ///
-    /// Panics if `node` is out of range.
+    /// Panics if this cluster does not own `node`.
     pub fn pipeline_stats(&self, node: NodeId) -> PipelineStats {
-        let n = &self.nodes[node.index()];
+        let n = self.node(node.index());
         let mut s = n
             .rmc
             .rgp
@@ -142,32 +142,59 @@ impl Cluster {
         s
     }
 
-    /// Cluster-wide sum of every node's pipeline counters: one in-place
-    /// O(N) fold per call. Callers that need both the total and the
-    /// per-node rows (the bench report path) should snapshot per-node
-    /// stats once and fold those, rather than calling this per counter.
+    /// Sum of the pipeline counters of every node this cluster *owns*
+    /// (the whole cluster classically; one shard's slice under the
+    /// sharded engine): one in-place O(N) fold per call. Callers that
+    /// need both the total and the per-node rows (the bench report path)
+    /// should snapshot per-node stats once and fold those, rather than
+    /// calling this per counter.
     pub fn total_pipeline_stats(&self) -> PipelineStats {
         let mut total = PipelineStats::default();
-        for n in 0..self.nodes.len() {
+        for n in self.owned_nodes() {
             total.merge_from(&self.pipeline_stats(NodeId(n as u16)));
         }
         total
     }
 
     /// Delivers `pkt` to its destination's RRPP (requests) or RCP
-    /// (replies), through the fabric or the local NI loopback. The fabric
-    /// computes the arrival analytically (link serialization + credits);
-    /// the arrival itself is a typed [`ClusterEvent::Deliver`].
+    /// (replies), through the fabric or the local NI loopback.
+    ///
+    /// Classic clusters resolve the fabric traversal inline (link
+    /// serialization + credits) and schedule the typed
+    /// [`ClusterEvent::Deliver`] at the computed arrival. Shard clusters
+    /// instead stamp the send with its `(src, seq)` merge key and stage
+    /// it in the mailbox; the `ShardedCluster` applies every staged send
+    /// to the one global fabric at the epoch barrier, in an order that is
+    /// a pure function of simulated history — which is what keeps
+    /// `--threads N` bit-identical to `--threads 1`.
     pub(crate) fn route_packet(&mut self, engine: &mut ClusterEngine, t: SimTime, pkt: Packet) {
-        let dst = pkt.dst.index();
-        let deliver_at = if pkt.dst == pkt.src {
-            // Local loopback through the NI: no fabric traversal.
-            t + self.nodes[dst].rmc.timing.stage_local
-        } else {
-            self.fabric
-                .send(t, pkt.src, pkt.dst, pkt.virtual_lane(), pkt.wire_bytes())
-                .time
-        };
-        engine.schedule_at(deliver_at, ClusterEvent::Deliver { pkt });
+        if pkt.dst == pkt.src {
+            // Local loopback through the NI: no fabric traversal, stays
+            // within the owning shard.
+            let deliver_at = t + self.node(pkt.dst.index()).rmc.timing.stage_local;
+            engine.schedule_at(deliver_at, ClusterEvent::Deliver { pkt });
+            return;
+        }
+        let src = pkt.src;
+        match &mut self.route {
+            crate::cluster::RoutePath::Direct(fabric) => {
+                let deliver_at = fabric
+                    .send(t, pkt.src, pkt.dst, pkt.virtual_lane(), pkt.wire_bytes())
+                    .time;
+                engine.schedule_at(deliver_at, ClusterEvent::Deliver { pkt });
+            }
+            crate::cluster::RoutePath::Mailbox(_) => {
+                let seq = {
+                    let node = self.node_mut(src.index());
+                    let seq = node.fabric_seq;
+                    node.fabric_seq += 1;
+                    seq
+                };
+                let crate::cluster::RoutePath::Mailbox(outbox) = &mut self.route else {
+                    unreachable!("route path changed underfoot");
+                };
+                outbox.push(crate::cluster::Departure { t, src, seq, pkt });
+            }
+        }
     }
 }

@@ -40,7 +40,7 @@ impl Cluster {
     /// Processes one reply at the originating node `n`.
     pub(crate) fn rcp_handle(&mut self, engine: &mut ClusterEngine, n: usize, pkt: Packet) {
         let now = engine.now();
-        let node = &mut self.nodes[n];
+        let node = self.node_mut(n);
         let timing = node.rmc.timing;
         node.rmc.rcp.replies += 1;
 

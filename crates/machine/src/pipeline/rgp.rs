@@ -452,7 +452,7 @@ impl Cluster {
         n: usize,
         qp: QpId,
     ) {
-        let node = &mut self.nodes[n];
+        let node = self.node_mut(n);
         let class = node
             .tenants
             .qp_tenant(qp)
@@ -476,7 +476,7 @@ impl Cluster {
     pub(crate) fn rgp_service(&mut self, engine: &mut ClusterEngine, n: usize) {
         let now = engine.now();
         let burst = self.config().rgp_burst_lines.max(1);
-        let node = &mut self.nodes[n];
+        let node = self.node_mut(n);
         let timing = node.rmc.timing;
 
         let Some(qp) = node.rmc.rgp.scheduler.select() else {
@@ -574,7 +574,7 @@ impl Cluster {
     /// timestamps the lines would get as individual events.
     pub(crate) fn inject_burst(&mut self, engine: &mut ClusterEngine, n: usize, spec: LineBurst) {
         let now = engine.now();
-        let unroll = self.nodes[n].rmc.timing.unroll_interval;
+        let unroll = self.node(n).rmc.timing.unroll_interval;
         // One engine event stands in for `count` logical injections; keep
         // the logical-event count batching-invariant for throughput
         // reporting.
@@ -593,7 +593,7 @@ impl Cluster {
         k: u32,
         at: SimTime,
     ) {
-        let node = &mut self.nodes[n];
+        let node = self.node_mut(n);
         let timing = node.rmc.timing;
         let src = NodeId(n as u16);
         let line_bytes = k as u64 * CACHE_LINE_BYTES;

@@ -47,7 +47,7 @@ impl Cluster {
     /// one reply.
     pub(crate) fn rrpp_handle(&mut self, engine: &mut ClusterEngine, n: usize, pkt: Packet) {
         let now = engine.now();
-        let node = &mut self.nodes[n];
+        let node = self.node_mut(n);
         let timing = node.rmc.timing;
         node.rmc.rrpp.served += 1;
 
@@ -71,7 +71,7 @@ impl Cluster {
                         node.pending_interrupts.push_back((pkt.src, payload));
                         self.deliver_interrupt(engine, n, t);
                     } else {
-                        self.nodes[n].interrupts_dropped += 1;
+                        self.node_mut(n).interrupts_dropped += 1;
                     }
                     Status::Ok
                 }
@@ -81,7 +81,7 @@ impl Cluster {
                 }
             };
             let reply = Packet::reply_to(&pkt, status, None);
-            let t = t + self.nodes[n].rmc.timing.stage_local;
+            let t = t + self.node(n).rmc.timing.stage_local;
             self.route_packet(engine, t, reply);
             return;
         }

@@ -33,8 +33,8 @@ impl Cluster {
         qp: QpId,
         t: SimTime,
     ) {
-        let owner = self.nodes[n].app_qps[qp.index()].owner_core;
-        let slot = &self.nodes[n].cores[owner];
+        let owner = self.node_mut(n).app_qps[qp.index()].owner_core;
+        let slot = &self.node_mut(n).cores[owner];
         let waiting = matches!(
             slot.block,
             BlockState::WaitingCq(q) | BlockState::WaitingEither(q, _, _) if q == qp
@@ -42,19 +42,19 @@ impl Cluster {
         if !waiting || slot.wake_pending {
             return;
         }
-        let busy = self.nodes[n].cores[owner].busy_until;
-        self.nodes[n].cores[owner].wake_pending = true;
+        let busy = self.node_mut(n).cores[owner].busy_until;
+        self.node_mut(n).cores[owner].wake_pending = true;
         let at = (t + self.config().software.wake_detect).max(busy);
         engine.schedule_at(at, ClusterEvent::CqWake { node: n as u16, qp });
     }
 
     /// Drains the CQ and wakes the owner with the completions.
     pub(crate) fn deliver_cq_wake(&mut self, engine: &mut ClusterEngine, n: usize, qp: QpId) {
-        let owner = self.nodes[n].app_qps[qp.index()].owner_core;
+        let owner = self.node_mut(n).app_qps[qp.index()].owner_core;
         let comps = self.drain_cq(n, qp);
         if comps.is_empty() {
             // Raced with an explicit poll; nothing to deliver.
-            self.nodes[n].cores[owner].wake_pending = false;
+            self.node_mut(n).cores[owner].wake_pending = false;
             return;
         }
         self.wake_core(engine, n, owner, Wake::CqReady(comps));
@@ -66,20 +66,20 @@ impl Cluster {
         // overwhelmingly common empty poll must not walk the CQ ring
         // through page translation (a 512-node driver polls every node
         // between engine bursts).
-        if self.nodes[n].app_qps[qp.index()].cq_drained
-            == self.nodes[n].rmc.qps[qp.index()].cq_produced()
+        if self.node_mut(n).app_qps[qp.index()].cq_drained
+            == self.node_mut(n).rmc.qps[qp.index()].cq_produced()
         {
             return Vec::new();
         }
         let mut out = Vec::new();
         loop {
             let (cq_index, cq_phase) = {
-                let cur = &self.nodes[n].app_qps[qp.index()];
+                let cur = &self.node_mut(n).app_qps[qp.index()];
                 (cur.cq_index, cur.cq_phase)
             };
-            let cq_va = self.nodes[n].rmc.qps[qp.index()].cq_entry_addr(cq_index);
+            let cq_va = self.node_mut(n).rmc.qps[qp.index()].cq_entry_addr(cq_index);
             let mut line = [0u8; 64];
-            self.nodes[n]
+            self.node_mut(n)
                 .read_virt(cq_va, &mut line)
                 .expect("CQ mapped");
             match CqEntry::decode(&line) {
@@ -89,8 +89,8 @@ impl Cluster {
                         wq_index: entry.wq_index,
                         status: entry.status,
                     });
-                    let entries = self.nodes[n].rmc.qps[qp.index()].entries();
-                    let cur = &mut self.nodes[n].app_qps[qp.index()];
+                    let entries = self.node_mut(n).rmc.qps[qp.index()].entries();
+                    let cur = &mut self.node_mut(n).app_qps[qp.index()];
                     cur.cq_index += 1;
                     if cur.cq_index == entries {
                         cur.cq_index = 0;
@@ -116,10 +116,10 @@ impl Cluster {
         t: SimTime,
     ) {
         let wake_detect = self.config().software.wake_detect;
-        while let Some(idx) = self.nodes[n].matching_watch(addr, len) {
-            let watch = self.nodes[n].watches.swap_remove(idx);
+        while let Some(idx) = self.node_mut(n).matching_watch(addr, len) {
+            let watch = self.node_mut(n).watches.swap_remove(idx);
             let core = watch.core;
-            let slot = &mut self.nodes[n].cores[core];
+            let slot = &mut self.node_mut(n).cores[core];
             if slot.wake_pending {
                 continue;
             }
@@ -140,25 +140,27 @@ impl Cluster {
     /// parked (one per wake-up; redelivery happens when the core blocks
     /// again).
     pub(crate) fn deliver_interrupt(&mut self, engine: &mut ClusterEngine, n: usize, t: SimTime) {
-        let Some(core) = self.nodes[n].interrupt_handler else {
+        let Some(core) = self.node_mut(n).interrupt_handler else {
             return;
         };
-        let slot = &self.nodes[n].cores[core];
+        let slot = &self.node(n).cores[core];
         let parked = matches!(
             slot.block,
             BlockState::WaitingCq(_)
                 | BlockState::WaitingMemory(_, _)
                 | BlockState::WaitingEither(_, _, _)
         );
-        if !parked || slot.wake_pending || self.nodes[n].pending_interrupts.is_empty() {
+        let wake_pending = slot.wake_pending;
+        if !parked || wake_pending || self.node(n).pending_interrupts.is_empty() {
             return;
         }
-        let (from, payload) = self.nodes[n]
+        let (from, payload) = self
+            .node_mut(n)
             .pending_interrupts
             .pop_front()
             .expect("checked nonempty");
-        self.nodes[n].cores[core].wake_pending = true;
-        let at = (t + self.config().software.wake_detect).max(self.nodes[n].cores[core].busy_until);
+        self.node_mut(n).cores[core].wake_pending = true;
+        let at = (t + self.config().software.wake_detect).max(self.node(n).cores[core].busy_until);
         engine.schedule_at(
             at,
             ClusterEvent::CoreWake {
@@ -181,12 +183,12 @@ impl Cluster {
         core: usize,
         why: Wake,
     ) {
-        let Some(mut process) = self.nodes[n].cores[core].process.take() else {
+        let Some(mut process) = self.node_mut(n).cores[core].process.take() else {
             return;
         };
         // Disarm any watch this core had (single-wake semantics).
-        self.nodes[n].watches.retain(|w| w.core != core);
-        let slot = &mut self.nodes[n].cores[core];
+        self.node_mut(n).watches.retain(|w| w.core != core);
+        let slot = &mut self.node_mut(n).cores[core];
         slot.block = BlockState::Running;
         slot.wake_pending = false;
 
@@ -209,7 +211,7 @@ impl Cluster {
         let now = engine.now() + elapsed;
 
         if !matches!(step, Step::Done) {
-            self.nodes[n].cores[core].process = Some(process);
+            self.node_mut(n).cores[core].process = Some(process);
         }
         self.apply_step(engine, n, core, step, now);
     }
@@ -223,16 +225,16 @@ impl Cluster {
         step: Step,
         now: SimTime,
     ) {
-        self.nodes[n].cores[core].busy_until = now;
+        self.node_mut(n).cores[core].busy_until = now;
         match step {
             Step::Done => {
-                self.nodes[n].cores[core].block = BlockState::Idle;
+                self.node_mut(n).cores[core].block = BlockState::Idle;
                 // Anchor the work performed in this final wake-up on the
                 // event clock, so total simulated time includes it.
                 engine.schedule_at(now, ClusterEvent::Anchor);
             }
             Step::Sleep(d) => {
-                self.nodes[n].cores[core].block = BlockState::Sleeping;
+                self.node_mut(n).cores[core].block = BlockState::Sleeping;
                 engine.schedule_at(
                     now + d,
                     ClusterEvent::CoreWake {
@@ -243,23 +245,23 @@ impl Cluster {
                 );
             }
             Step::WaitCq(qp) => {
-                self.nodes[n].cores[core].block = BlockState::WaitingCq(qp);
+                self.node_mut(n).cores[core].block = BlockState::WaitingCq(qp);
                 self.recheck_cq(engine, n, core, qp, now);
             }
             Step::WaitMemory { addr, len } => {
-                self.nodes[n].cores[core].block = BlockState::WaitingMemory(addr, len);
-                self.nodes[n].watches.push(Watch { core, addr, len });
+                self.node_mut(n).cores[core].block = BlockState::WaitingMemory(addr, len);
+                self.node_mut(n).watches.push(Watch { core, addr, len });
             }
             Step::WaitCqOrMemory { qp, addr, len } => {
-                self.nodes[n].cores[core].block = BlockState::WaitingEither(qp, addr, len);
-                self.nodes[n].watches.push(Watch { core, addr, len });
+                self.node_mut(n).cores[core].block = BlockState::WaitingEither(qp, addr, len);
+                self.node_mut(n).watches.push(Watch { core, addr, len });
                 self.recheck_cq(engine, n, core, qp, now);
             }
         }
         // A parked handler core picks up any interrupt that arrived while
         // it was running.
-        if self.nodes[n].interrupt_handler == Some(core)
-            && !self.nodes[n].pending_interrupts.is_empty()
+        if self.node_mut(n).interrupt_handler == Some(core)
+            && !self.node_mut(n).pending_interrupts.is_empty()
         {
             self.deliver_interrupt(engine, n, now);
         }
@@ -276,17 +278,17 @@ impl Cluster {
         now: SimTime,
     ) {
         let (cq_index, cq_phase) = {
-            let cur = &self.nodes[n].app_qps[qp.index()];
+            let cur = &self.node_mut(n).app_qps[qp.index()];
             (cur.cq_index, cur.cq_phase)
         };
-        let cq_va = self.nodes[n].rmc.qps[qp.index()].cq_entry_addr(cq_index);
+        let cq_va = self.node_mut(n).rmc.qps[qp.index()].cq_entry_addr(cq_index);
         let mut line = [0u8; 64];
-        self.nodes[n]
+        self.node_mut(n)
             .read_virt(cq_va, &mut line)
             .expect("CQ mapped");
         let fresh = matches!(CqEntry::decode(&line), Some((_, phase)) if phase == cq_phase);
-        if fresh && !self.nodes[n].cores[core].wake_pending {
-            self.nodes[n].cores[core].wake_pending = true;
+        if fresh && !self.node_mut(n).cores[core].wake_pending {
+            self.node_mut(n).cores[core].wake_pending = true;
             let poll = self.config().software.cq_poll_cost;
             engine.schedule_at(now + poll, ClusterEvent::CqWake { node: n as u16, qp });
         }
@@ -297,9 +299,9 @@ impl Cluster {
     /// dropped.
     pub fn set_interrupt_handler(&mut self, node: NodeId, core: usize) {
         assert!(
-            core < self.nodes[node.index()].cores.len(),
+            core < self.node_mut(node.index()).cores.len(),
             "core out of range"
         );
-        self.nodes[node.index()].interrupt_handler = Some(core);
+        self.node_mut(node.index()).interrupt_handler = Some(core);
     }
 }

@@ -1,0 +1,500 @@
+//! The sharded cluster: conservative-parallel execution of the machine.
+//!
+//! [`ShardedCluster`] partitions the cluster's nodes into contiguous
+//! shards (one per thread, planned by `sonuma_fabric::ShardPlan` so grid
+//! shards are whole torus slabs), gives each shard *ownership* of its
+//! slice of world state — a [`Cluster`] in mailbox mode plus its own
+//! `ClusterEngine` — and advances all shards in epochs bounded by the
+//! fabric's minimum delivery latency (`FabricConfig::min_delivery_delay`
+//! of the smallest packet). The single global [`Fabric`] lives here, not
+//! in any shard.
+//!
+//! # Why `--threads N` is bit-identical to `--threads 1`
+//!
+//! Determinism rests on three invariants:
+//!
+//! 1. **Packets are the only cross-node channel.** Every event a node
+//!    schedules targets that node itself; influence between nodes flows
+//!    exclusively through fabric packets (and harness-level driver calls,
+//!    which are serial). So each node's event history is a function of
+//!    the packet stream it receives.
+//! 2. **Every non-loopback packet takes the mailbox path — even when
+//!    source and destination share a shard.** At each epoch barrier the
+//!    staged sends of *all* shards are merged into the global fabric in
+//!    `(inject time, source node, per-source sequence)` order, and the
+//!    resulting `Deliver` events are scheduled into destination shards in
+//!    `(arrival, source, sequence)` order. Both keys are pure functions
+//!    of simulated history, so link-state evolution and delivery order
+//!    never depend on the partition.
+//! 3. **Epoch boundaries are partition-invariant.** An epoch starts at
+//!    the globally earliest pending event and spans one lookahead; the
+//!    lookahead is a topology constant. Shard clocks align to the epoch
+//!    boundary at each barrier, so harness-level posts charge from the
+//!    same simulated time at any thread count.
+//!
+//! The conservative-safety argument is the usual one: a packet injected
+//! during epoch `[T, T + L)` arrives no earlier than `T + L` (one hop of
+//! latency plus minimum serialization per hop, credits only delay), so
+//! merging at the barrier never schedules into any shard's past.
+
+use sonuma_fabric::{Fabric, ShardPlan};
+use sonuma_protocol::{CtxId, NodeId, Packet, QpId, TenantId, HEADER_BYTES};
+use sonuma_sim::{EpochWorld, ShardedEngine, SimTime};
+
+use crate::cluster::{Cluster, Departure, RoutePath};
+use crate::config::MachineConfig;
+use crate::event::ClusterEvent;
+use crate::pipeline::PipelineStats;
+use crate::tenancy::{TenantSpec, TenantStats};
+use crate::ClusterEngine;
+
+/// Events one `advance()` round executes before handing control back to
+/// the driver (posts/polls happen between rounds). Rounds are measured in
+/// events — a partition-invariant quantity — so the driver's interleaving
+/// with the simulation is identical at every thread count. 64 matches the
+/// pre-sharding `run_steps(64)` burst, keeping the driver's observation
+/// granularity (and with it measured completion latencies) close to the
+/// classic engine's.
+pub const ADVANCE_ROUND_EVENTS: u64 = 64;
+
+/// One shard: its slice of the world plus the engine that drives it.
+pub(crate) struct ShardSlot {
+    pub world: Cluster,
+    pub engine: ClusterEngine,
+}
+
+// SAFETY: the only non-`Send` constituent of `Cluster` is the attached
+// application process slot (`CoreSlot.process`, a `Box<dyn AppProcess>`
+// whose implementations may capture `Rc` state). Shard clusters are
+// constructed exclusively by `ShardedCluster` from fresh nodes, and
+// nothing in the sharded surface can attach a process (`Cluster::spawn`
+// is unreachable through it), so every `process` slot is `None` for the
+// slot's entire lifetime. All remaining state is owned plain data.
+// `ShardedCluster::with_plan` asserts the invariant at construction.
+unsafe impl Send for ShardSlot {}
+
+impl EpochWorld for ShardSlot {
+    fn run_epoch(&mut self, horizon: SimTime) -> u64 {
+        self.engine.run_until(&mut self.world, horizon)
+    }
+
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        self.engine.next_time()
+    }
+
+    fn align_clock(&mut self, to: SimTime) {
+        self.engine.advance_now_to(to);
+    }
+}
+
+/// The cluster sharded across threads, with the global fabric and the
+/// epoch-barrier merge. Mirrors the [`Cluster`] driver surface (contexts,
+/// queue pairs, tenants, functional segment access, statistics) with
+/// global node ids routed to the owning shard.
+pub struct ShardedCluster {
+    engine: ShardedEngine<ShardSlot>,
+    fabric: Fabric,
+    plan: ShardPlan,
+    config: MachineConfig,
+    /// Global clock: the last epoch boundary (or an idle-jump target).
+    clock: SimTime,
+    /// Cached engine events + batched logical events, refreshed at round
+    /// boundaries (`events_processed` is a `&self` query).
+    events: u64,
+    /// Scratch for the epoch merge, reused across exchanges.
+    merge_buf: Vec<Departure>,
+}
+
+impl std::fmt::Debug for ShardedCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCluster")
+            .field("nodes", &self.config.nodes)
+            .field("shards", &self.plan.shards())
+            .field("lookahead", &self.engine.lookahead())
+            .field("clock", &self.clock)
+            .finish()
+    }
+}
+
+impl ShardedCluster {
+    /// Builds a cluster sharded into (at most) `threads` topology-aware
+    /// contiguous slabs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero or the fabric topology disagrees with
+    /// `config.nodes`.
+    pub fn new(config: MachineConfig, threads: usize) -> Self {
+        let plan = ShardPlan::for_topology(&config.fabric.topology, threads);
+        Self::with_plan(config, plan)
+    }
+
+    /// Builds a cluster sharded per an explicit [`ShardPlan`] — the
+    /// surface the partition-equivalence property tests use to exercise
+    /// arbitrary contiguous partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan does not cover exactly `config.nodes` nodes or
+    /// the fabric topology disagrees with `config.nodes`.
+    pub fn with_plan(config: MachineConfig, plan: ShardPlan) -> Self {
+        assert_eq!(
+            config.fabric.topology.nodes(),
+            config.nodes,
+            "fabric topology size must match node count"
+        );
+        assert_eq!(
+            plan.nodes(),
+            config.nodes,
+            "shard plan must cover every node"
+        );
+        let lookahead = config.fabric.min_delivery_delay(HEADER_BYTES as u64);
+        let shards: Vec<ShardSlot> = (0..plan.shards())
+            .map(|s| {
+                let world = Cluster::shard_slice(config.clone(), plan.range(s));
+                // The Send invariant of ShardSlot: no process ever attaches.
+                debug_assert!(world
+                    .nodes
+                    .iter()
+                    .all(|n| n.cores.iter().all(|c| c.process.is_none())));
+                ShardSlot {
+                    world,
+                    engine: ClusterEngine::new(),
+                }
+            })
+            .collect();
+        ShardedCluster {
+            engine: ShardedEngine::new(shards, lookahead),
+            fabric: Fabric::new(config.fabric.clone()),
+            plan,
+            config,
+            clock: SimTime::ZERO,
+            events: 0,
+            merge_buf: Vec::new(),
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Number of nodes across all shards.
+    pub fn num_nodes(&self) -> usize {
+        self.config.nodes
+    }
+
+    /// Number of shards (== executing threads).
+    pub fn num_shards(&self) -> usize {
+        self.plan.shards()
+    }
+
+    /// The partition in force.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Epochs executed so far (partition-invariant).
+    pub fn epochs(&self) -> u64 {
+        self.engine.epochs()
+    }
+
+    /// The shard owning `node`.
+    pub fn shard_of(&self, node: usize) -> usize {
+        self.plan.shard_of(node)
+    }
+
+    /// The global memory fabric (shared by every shard's traffic).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// The global simulated clock: every shard is aligned to it between
+    /// rounds.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Engine events executed plus batched logical events, summed across
+    /// shards — partition-invariant (cached at round boundaries).
+    pub fn events_processed(&self) -> u64 {
+        self.events
+    }
+
+    /// Per-shard logical event counts, for the report's sharding section.
+    pub fn shard_events(&self) -> Vec<u64> {
+        (0..self.plan.shards())
+            .map(|s| {
+                self.engine.peek_shard(s, |slot| {
+                    slot.engine.events_executed() + slot.world.batched_logical_events
+                })
+            })
+            .collect()
+    }
+
+    /// Runs `f` with the shard owning `node` (its world and engine).
+    pub(crate) fn with_node<R>(
+        &mut self,
+        node: usize,
+        f: impl FnOnce(&mut Cluster, &mut ClusterEngine) -> R,
+    ) -> R {
+        let shard = self.plan.shard_of(node);
+        self.engine
+            .with_shard(shard, |slot| f(&mut slot.world, &mut slot.engine))
+    }
+
+    /// Read-only access to the shard owning `node`.
+    pub(crate) fn peek_node<R>(&self, node: usize, f: impl FnOnce(&Cluster) -> R) -> R {
+        let shard = self.plan.shard_of(node);
+        self.engine.peek_shard(shard, |slot| f(&slot.world))
+    }
+
+    // ------------------------------------------------------------------
+    // Driver surface (global node ids, routed to the owning shard).
+    // ------------------------------------------------------------------
+
+    /// Establishes context `ctx` on every node of every shard.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any node cannot map the segment.
+    pub fn create_context(
+        &mut self,
+        ctx: CtxId,
+        segment_len: u64,
+    ) -> Result<(), sonuma_memory::MemError> {
+        let mut result = Ok(());
+        self.engine.for_each_shard(|_, slot| {
+            if result.is_ok() {
+                result = slot.world.create_context(ctx, segment_len);
+            }
+        });
+        result
+    }
+
+    /// Creates a queue pair on `node` (see [`Cluster::create_qp`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails on memory exhaustion or an unregistered context.
+    pub fn create_qp(
+        &mut self,
+        node: NodeId,
+        ctx: CtxId,
+        owner_core: usize,
+    ) -> Result<QpId, sonuma_memory::MemError> {
+        self.with_node(node.index(), |cluster, _| {
+            cluster.create_qp(node, ctx, owner_core)
+        })
+    }
+
+    /// Registers a tenant on `node` (see [`Cluster::register_tenant`]).
+    pub fn register_tenant(&mut self, node: NodeId, spec: TenantSpec) {
+        self.with_node(node.index(), |cluster, _| {
+            cluster.register_tenant(node, spec)
+        });
+    }
+
+    /// Creates a tenant-bound queue pair (see [`Cluster::create_tenant_qp`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails on memory exhaustion or an unregistered context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is not registered on `node`.
+    pub fn create_tenant_qp(
+        &mut self,
+        node: NodeId,
+        ctx: CtxId,
+        owner_core: usize,
+        tenant: TenantId,
+    ) -> Result<QpId, sonuma_memory::MemError> {
+        self.with_node(node.index(), |cluster, _| {
+            cluster.create_tenant_qp(node, ctx, owner_core, tenant)
+        })
+    }
+
+    /// Per-tenant counters of `node` (see [`Cluster::tenant_stats`]).
+    pub fn tenant_stats(&self, node: NodeId) -> Vec<(TenantSpec, TenantStats)> {
+        self.peek_node(node.index(), |cluster| cluster.tenant_stats(node))
+    }
+
+    /// Functional write into `node`'s context segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context or range is invalid.
+    pub fn write_ctx(&mut self, node: NodeId, ctx: CtxId, offset: u64, data: &[u8]) {
+        self.with_node(node.index(), |cluster, _| {
+            cluster.write_ctx(node, ctx, offset, data)
+        });
+    }
+
+    /// Functional read from `node`'s context segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context or range is invalid.
+    pub fn read_ctx(&self, node: NodeId, ctx: CtxId, offset: u64, buf: &mut [u8]) {
+        self.peek_node(node.index(), |cluster| {
+            cluster.read_ctx(node, ctx, offset, buf)
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Statistics.
+    // ------------------------------------------------------------------
+
+    /// Pipeline counters of `node`.
+    pub fn pipeline_stats(&self, node: NodeId) -> PipelineStats {
+        self.peek_node(node.index(), |cluster| cluster.pipeline_stats(node))
+    }
+
+    /// Cluster-wide pipeline counter totals.
+    pub fn total_pipeline_stats(&self) -> PipelineStats {
+        let mut total = PipelineStats::default();
+        for s in 0..self.plan.shards() {
+            self.engine.peek_shard(s, |slot| {
+                total.merge_from(&slot.world.total_pipeline_stats());
+            });
+        }
+        total
+    }
+
+    /// Total remote operations completed across the cluster.
+    pub fn total_ops_completed(&self) -> u64 {
+        self.fold_shards(|c| c.total_ops_completed())
+    }
+
+    /// Total remote-read payload bytes delivered.
+    pub fn total_bytes_read(&self) -> u64 {
+        self.fold_shards(|c| c.total_bytes_read())
+    }
+
+    /// Total remote-write payload bytes delivered.
+    pub fn total_bytes_written(&self) -> u64 {
+        self.fold_shards(|c| c.total_bytes_written())
+    }
+
+    /// The delivery-order hash of `node` (see `Node::deliver_hash`):
+    /// equal across two runs iff packets arrived at `node` in the same
+    /// order at the same times.
+    pub fn delivery_hash(&self, node: NodeId) -> u64 {
+        self.peek_node(node.index(), |cluster| {
+            cluster.node(node.index()).deliver_hash
+        })
+    }
+
+    fn fold_shards(&self, f: impl Fn(&Cluster) -> u64) -> u64 {
+        (0..self.plan.shards())
+            .map(|s| self.engine.peek_shard(s, |slot| f(&slot.world)))
+            .sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Execution.
+    // ------------------------------------------------------------------
+
+    /// Jumps the global clock to `t` when nothing earlier is pending (the
+    /// open-loop idle jump). With events pending before `t`, only the
+    /// externally visible clock moves; engine clocks catch up through
+    /// epochs.
+    pub fn advance_clock_to(&mut self, t: SimTime) {
+        let mut min_next: Option<SimTime> = None;
+        self.engine.for_each_shard(|_, slot| {
+            min_next = match (min_next, slot.next_event_time()) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        });
+        if min_next.is_none_or(|m| m >= t) {
+            self.engine.for_each_shard(|_, slot| slot.align_clock(t));
+        }
+        self.clock = self.clock.max(t);
+    }
+
+    /// Runs one driver round: epochs (with the fabric merge at each
+    /// barrier) until [`ADVANCE_ROUND_EVENTS`] events have executed or
+    /// the simulation drains. Returns whether work remains.
+    pub fn advance_round(&mut self) -> bool {
+        let mut ran_total = 0u64;
+        let more = loop {
+            let ran = self.engine.run_epoch();
+            let exchanged = self.exchange();
+            if ran == 0 && exchanged == 0 {
+                break false;
+            }
+            ran_total += ran;
+            if ran_total >= ADVANCE_ROUND_EVENTS {
+                break true;
+            }
+        };
+        self.sync_caches();
+        more
+    }
+
+    /// Refreshes the `&self`-queryable caches (clock, event counts) from
+    /// shard state. Called at round boundaries.
+    fn sync_caches(&mut self) {
+        self.clock = self.clock.max(self.engine.horizon());
+        let mut events = 0u64;
+        self.engine.for_each_shard(|_, slot| {
+            events += slot.engine.events_executed() + slot.world.batched_logical_events;
+        });
+        self.events = events;
+    }
+
+    /// The epoch-barrier merge: drains every shard's mailbox, applies the
+    /// staged sends to the global fabric in `(time, src, seq)` order, and
+    /// schedules the `Deliver` events into destination shards in
+    /// `(arrival, src, seq)` order. Returns the number of packets merged.
+    fn exchange(&mut self) -> usize {
+        let merge = &mut self.merge_buf;
+        merge.clear();
+        self.engine.for_each_shard(|_, slot| {
+            if let RoutePath::Mailbox(outbox) = &mut slot.world.route {
+                merge.append(outbox);
+            }
+        });
+        if merge.is_empty() {
+            return 0;
+        }
+        merge.sort_unstable_by_key(|d| (d.t, d.src, d.seq));
+        let horizon = self.engine.horizon();
+        let mut deliveries: Vec<(usize, SimTime, Packet)> = Vec::with_capacity(merge.len());
+        for d in merge.iter() {
+            let arrival = self
+                .fabric
+                .send(
+                    d.t,
+                    d.src,
+                    d.pkt.dst,
+                    d.pkt.virtual_lane(),
+                    d.pkt.wire_bytes(),
+                )
+                .time;
+            debug_assert!(
+                arrival > horizon,
+                "conservative bound violated: arrival {arrival} within epoch (horizon {horizon})"
+            );
+            deliveries.push((self.plan.shard_of(d.pkt.dst.index()), arrival, d.pkt));
+        }
+        let n = deliveries.len();
+        // One lock per destination shard, preserving merged order within
+        // each shard (stable partition).
+        for s in 0..self.plan.shards() {
+            if deliveries.iter().any(|&(shard, _, _)| shard == s) {
+                self.engine.with_shard(s, |slot| {
+                    for &(shard, at, pkt) in &deliveries {
+                        if shard == s {
+                            slot.engine.schedule_at(at, ClusterEvent::Deliver { pkt });
+                        }
+                    }
+                });
+            }
+        }
+        n
+    }
+}

@@ -527,7 +527,7 @@ fn simulation_is_deterministic() {
             engine.now(),
             engine.events_executed(),
             latency,
-            cluster.fabric.packets_sent(),
+            cluster.fabric().packets_sent(),
         )
     };
     assert_eq!(run(), run());
@@ -555,7 +555,7 @@ fn local_node_atomics_use_loopback() {
     engine.run(&mut cluster);
     assert_eq!(*observed.borrow(), vec![7, 12]);
     assert_eq!(
-        cluster.fabric.packets_sent(),
+        cluster.fabric().packets_sent(),
         0,
         "loopback must bypass the fabric"
     );

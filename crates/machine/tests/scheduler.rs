@@ -121,8 +121,7 @@ fn run_policy(policy: SchedPolicy) -> (u64, Vec<u64>) {
     let completed = polled;
     let per_tenant_done: Vec<u64> = (0..nodes)
         .flat_map(|n| {
-            b.cluster()
-                .tenant_stats(NodeId(n as u16))
+            b.tenant_stats(NodeId(n as u16))
                 .into_iter()
                 .map(|(_, s)| s.completions)
         })

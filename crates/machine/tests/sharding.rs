@@ -1,0 +1,187 @@
+//! Partition-equivalence properties of the sharded engine.
+//!
+//! The fabric crate's `flow_properties` suite pins the delivery-order
+//! behavior of the fabric under the serial typed engine; these tests
+//! extend that contract up through the full machine: for *random*
+//! contiguous node→shard partitions of random crossbar/torus/mesh
+//! topologies, the sharded engine must deliver every packet to every
+//! node in exactly the order the serial (single-shard) engine does —
+//! asserted via the per-node delivery-order hash (time, source, tid,
+//! line) plus completions, pipeline counters, fabric totals, and the
+//! clock.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use sonuma_fabric::{FabricConfig, Topology};
+use sonuma_machine::{MachineConfig, PipelineStats, SonumaBackend};
+use sonuma_protocol::{NodeId, RemoteBackend, RemoteCompletion, RemoteRequest};
+use sonuma_sim::SimTime;
+
+/// A machine config over `topology` (paper timing, fabric swapped).
+fn config_for(topology: Topology) -> MachineConfig {
+    let nodes = topology.nodes();
+    let mut config = MachineConfig::simulated_hardware(nodes);
+    config.fabric = match &topology {
+        Topology::Crossbar { .. } => FabricConfig::paper_crossbar(nodes),
+        Topology::Torus2D { width, height } => FabricConfig::torus2d(*width, *height),
+        Topology::Torus3D { x, y, z } => FabricConfig::torus3d(*x, *y, *z),
+        Topology::Mesh2D { width, height } => FabricConfig {
+            topology: topology.clone(),
+            ..FabricConfig::torus2d(*width, *height)
+        },
+    };
+    config
+}
+
+/// Everything observable about one run that must be partition-invariant.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    now: SimTime,
+    events: u64,
+    completions: Vec<Vec<RemoteCompletion>>,
+    delivery_hashes: Vec<u64>,
+    stats: Vec<PipelineStats>,
+    fabric_packets: u64,
+    fabric_bytes: u64,
+    credit_stalls: u64,
+}
+
+/// Drives a deterministic closed-loop read/write stream over `b` and
+/// snapshots every invariant observable.
+fn drive(mut b: SonumaBackend, ops_per_node: u64, stride: usize, op_bytes: u64) -> Outcome {
+    let nodes = b.num_nodes();
+    for n in 0..nodes {
+        b.write_ctx(NodeId(n as u16), 0, &[n as u8 ^ 0x3C; 1024]);
+    }
+    let mut remaining = vec![ops_per_node; nodes];
+    let mut inflight = vec![0usize; nodes];
+    let mut completions: Vec<Vec<RemoteCompletion>> = vec![Vec::new(); nodes];
+    loop {
+        let mut posted = false;
+        for n in 0..nodes {
+            while remaining[n] > 0 && inflight[n] < 2 {
+                let dst = NodeId(((n + stride) % nodes) as u16);
+                if dst.index() == n {
+                    remaining[n] = 0;
+                    break;
+                }
+                let i = remaining[n];
+                let offset = (i * op_bytes) % 512;
+                let req = if i.is_multiple_of(3) {
+                    RemoteRequest::write(
+                        dst,
+                        offset,
+                        vec![(n as u8) ^ (i as u8); op_bytes as usize],
+                    )
+                } else {
+                    RemoteRequest::read(dst, offset, op_bytes)
+                };
+                b.post(NodeId(n as u16), req).expect("post accepted");
+                remaining[n] -= 1;
+                inflight[n] += 1;
+                posted = true;
+            }
+        }
+        let more = b.advance();
+        for (n, sink) in completions.iter_mut().enumerate() {
+            for c in b.poll(NodeId(n as u16)) {
+                inflight[n] -= 1;
+                sink.push(c);
+            }
+        }
+        let pending: usize = inflight.iter().sum();
+        if !more && !posted && pending == 0 && remaining.iter().all(|&r| r == 0) {
+            break;
+        }
+    }
+    Outcome {
+        now: b.now(),
+        events: b.events_processed(),
+        delivery_hashes: (0..nodes)
+            .map(|n| b.delivery_hash(NodeId(n as u16)))
+            .collect(),
+        stats: (0..nodes)
+            .map(|n| b.pipeline_stats(NodeId(n as u16)))
+            .collect(),
+        fabric_packets: b.fabric().packets_sent(),
+        fabric_bytes: b.fabric().bytes_sent(),
+        credit_stalls: b.fabric().credit_stalls(),
+        completions,
+    }
+}
+
+/// Builds strictly increasing partition bounds over `nodes` from raw cut
+/// material (any slice of arbitrary integers yields a valid plan).
+fn bounds_from(cuts: &[usize], nodes: usize) -> Vec<usize> {
+    let mut bounds = vec![0];
+    let mut inner: Vec<usize> = cuts.iter().map(|&c| 1 + c % (nodes - 1)).collect();
+    inner.sort_unstable();
+    inner.dedup();
+    bounds.extend(inner);
+    bounds.push(nodes);
+    bounds
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random partitions of random topologies are delivery-order
+    /// equivalent to the serial engine.
+    #[test]
+    fn random_partitions_match_serial_delivery_order(
+        shape in 0usize..4,
+        w in 2usize..4,
+        h in 2usize..4,
+        cuts in vec(0usize..1024, 1..4),
+        stride_seed in 1usize..7,
+        ops in 2u64..5,
+    ) {
+        let topology = match shape {
+            0 => Topology::crossbar(w * h + 1),
+            1 => Topology::torus2d(w, h),
+            2 => Topology::torus3d(w, h, 2),
+            _ => Topology::mesh2d(w, h),
+        };
+        let nodes = topology.nodes();
+        let stride = 1 + stride_seed % (nodes - 1);
+        let config = config_for(topology);
+        let serial = drive(
+            SonumaBackend::with_partition(config.clone(), 1 << 16, vec![0, nodes]),
+            ops, stride, 128,
+        );
+        let bounds = bounds_from(&cuts, nodes);
+        let sharded = drive(
+            SonumaBackend::with_partition(config, 1 << 16, bounds.clone()),
+            ops, stride, 128,
+        );
+        prop_assert_eq!(
+            &serial.delivery_hashes, &sharded.delivery_hashes,
+            "delivery order diverged under partition {:?}", &bounds
+        );
+        prop_assert_eq!(serial, sharded);
+    }
+}
+
+/// The topology-aware default partition is equivalent too, at every
+/// thread count up to the node count — the non-random complement of the
+/// property above (this is the exact configuration `--threads` uses).
+#[test]
+fn default_partitions_match_serial_at_every_thread_count() {
+    let config = config_for(Topology::torus2d(4, 3));
+    let serial = drive(
+        SonumaBackend::with_threads(config.clone(), 1 << 16, 1),
+        4,
+        5,
+        256,
+    );
+    for threads in [2, 3, 5, 12] {
+        let sharded = drive(
+            SonumaBackend::with_threads(config.clone(), 1 << 16, threads),
+            4,
+            5,
+            256,
+        );
+        assert_eq!(serial, sharded, "diverged at {threads} threads");
+    }
+}

@@ -154,6 +154,16 @@ pub trait RemoteBackend {
     /// Number of nodes.
     fn num_nodes(&self) -> usize;
 
+    /// Hints how many host threads the backend may use to execute the
+    /// simulation. Purely a performance knob: implementations must keep
+    /// every simulated outcome identical for every value (the sharded
+    /// soNUMA machine repartitions its cluster; the modeled baselines,
+    /// which have no internal parallelism, ignore it). Must be called
+    /// before any traffic; implementations may panic otherwise.
+    fn set_threads(&mut self, threads: usize) {
+        let _ = threads;
+    }
+
     /// Bytes in each node's globally accessible segment.
     fn segment_len(&self) -> u64;
 

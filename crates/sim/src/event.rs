@@ -348,6 +348,34 @@ impl<W: World> EventEngine<W> {
         self.schedule_at(self.now + delay, event);
     }
 
+    /// Timestamp of the earliest pending event, without popping it.
+    ///
+    /// Takes `&mut self` because locating the minimum advances the
+    /// calendar queue's day cursor (the queue itself is untouched).
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        let idx = self.queue.locate_min()?;
+        self.queue.buckets[idx]
+            .last()
+            .map(|&(t, _)| SimTime::from_ps(t))
+    }
+
+    /// Moves the clock forward to `to` without executing anything — the
+    /// epoch-boundary alignment of the sharded engine, and the idle-clock
+    /// jump of open-loop drivers. A no-op if the clock is already at or
+    /// past `to`.
+    ///
+    /// Callers must not advance past a pending event: that event would
+    /// later execute "in the past". Debug builds assert this.
+    pub fn advance_now_to(&mut self, to: SimTime) {
+        debug_assert!(
+            self.next_time().is_none_or(|next| next >= to),
+            "advance_now_to({to}) would skip a pending event"
+        );
+        if to > self.now {
+            self.now = to;
+        }
+    }
+
     /// Drops every pending event (terminate a simulation early).
     pub fn clear(&mut self) {
         self.queue.clear();

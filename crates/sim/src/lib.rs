@@ -21,6 +21,10 @@
 //!   implementation and as the comparison baseline for the
 //!   `benches/engine.rs` micro-benchmark; new worlds should implement
 //!   [`World`] instead.
+//! * [`ShardedEngine`] runs many [`EpochWorld`] shards — each its own
+//!   world plus engine — in lookahead-bounded conservative epochs on a
+//!   pool of worker threads, with partition-invariant epoch boundaries
+//!   so sharded runs stay bit-deterministic (see [`sharded`]).
 //! * [`rng::DetRng`] wraps a seeded PRNG so every stochastic decision is
 //!   reproducible, and [`stats`] provides the counters and histograms used
 //!   by the measurement harnesses.
@@ -52,10 +56,12 @@
 pub mod engine;
 pub mod event;
 pub mod rng;
+pub mod sharded;
 pub mod stats;
 pub mod time;
 
 pub use engine::Engine;
 pub use event::{EventEngine, World};
 pub use rng::DetRng;
+pub use sharded::{EpochWorld, ShardedEngine};
 pub use time::SimTime;

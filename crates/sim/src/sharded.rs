@@ -1,0 +1,454 @@
+//! Conservative-parallel execution: shards advancing in lookahead-bounded
+//! epochs.
+//!
+//! [`ShardedEngine`] runs `N` shard worlds — each an independent
+//! discrete-event simulation over its own slice of state — in lockstep
+//! *epochs*. An epoch spans `[start, start + lookahead)`, where `start` is
+//! the globally earliest pending event and `lookahead` is the minimum
+//! latency of any cross-shard interaction (for the soNUMA fabric: one hop
+//! plus the serialization of the smallest packet). Within an epoch every
+//! shard executes its local events concurrently; cross-shard effects are
+//! staged by the worlds and exchanged by the *caller* between epochs, and
+//! by construction they can only land at or after the next epoch — the
+//! classic conservative (no-rollback) synchronization argument.
+//!
+//! Determinism is the point: the epoch boundaries are a pure function of
+//! event timestamps and the lookahead, never of host thread scheduling,
+//! so a run's event interleaving — and therefore its results — is
+//! bit-identical for any shard count, provided the caller's exchange step
+//! merges staged traffic in a partition-independent order (see
+//! `sonuma-machine`'s `ShardedCluster` for the fabric merge that does
+//! this).
+//!
+//! Shards execute on a pool of persistent worker threads that spin-wait
+//! between epochs (epochs are short — tens of nanoseconds of simulated
+//! time — so futex sleep/wake latency would dominate; the spin degrades
+//! to `yield_now` so an oversubscribed host still makes progress). Shard
+//! 0 always runs on the coordinating thread, so a `threads = N` run uses
+//! exactly `N` OS threads.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::time::SimTime;
+
+/// One shard of a sharded simulation: everything [`ShardedEngine`] needs
+/// to drive it through epochs.
+///
+/// Implementations bundle a world and its event engine. `Send` is
+/// required because shards execute on pool threads.
+pub trait EpochWorld: Send + 'static {
+    /// Executes every pending local event with `time <= horizon`; returns
+    /// the number executed.
+    fn run_epoch(&mut self, horizon: SimTime) -> u64;
+
+    /// Timestamp of the earliest pending local event, if any.
+    fn next_event_time(&mut self) -> Option<SimTime>;
+
+    /// Aligns the shard's clock to the epoch boundary `to` (which is at
+    /// or after every event executed so far, and before every pending
+    /// one). After the barrier all shards agree on "now", so work
+    /// injected from outside the simulation — posts, polls — charges
+    /// from a partition-invariant time.
+    fn align_clock(&mut self, to: SimTime);
+}
+
+/// Spins briefly, then yields: epochs are microseconds of host time, so
+/// waiting threads usually find work before ever yielding.
+#[inline]
+fn relax(spins: &mut u32) {
+    *spins += 1;
+    if *spins < 1 << 14 {
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Shared coordination state between the coordinator and the workers.
+struct Control<S> {
+    /// Slot `i` holds shard `i`; workers own slots `1..`, the coordinator
+    /// slot `0`. Locks are uncontended by construction: a worker holds
+    /// its lock only while `epoch` says the shard is running, and the
+    /// coordinator only touches worker slots between epochs.
+    slots: Vec<Mutex<S>>,
+    /// Monotone epoch sequence number; bumping it releases the workers.
+    epoch: AtomicU64,
+    /// Horizon of the epoch currently being executed, in ps.
+    horizon_ps: AtomicU64,
+    /// Per-worker completion acknowledgements (last finished epoch).
+    done: Vec<AtomicU64>,
+    /// Events executed by each worker in its last epoch.
+    ran: Vec<AtomicU64>,
+    shutdown: AtomicBool,
+}
+
+/// A deterministic conservative-parallel driver over [`EpochWorld`]
+/// shards. See the module docs for the synchronization argument.
+pub struct ShardedEngine<S: EpochWorld> {
+    ctl: Arc<Control<S>>,
+    workers: Vec<JoinHandle<()>>,
+    lookahead: SimTime,
+    epochs: u64,
+    /// Boundary of the last completed epoch — the global clock every
+    /// shard is aligned to.
+    horizon: SimTime,
+}
+
+impl<S: EpochWorld> ShardedEngine<S> {
+    /// Builds an engine over `shards`, spawning `shards.len() - 1`
+    /// worker threads (shard 0 runs on the calling thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty or `lookahead` is zero — a zero
+    /// lookahead admits no epoch in which concurrency is safe.
+    pub fn new(shards: Vec<S>, lookahead: SimTime) -> Self {
+        assert!(!shards.is_empty(), "need at least one shard");
+        assert!(
+            lookahead > SimTime::ZERO,
+            "conservative execution requires a positive lookahead"
+        );
+        let n = shards.len();
+        let ctl = Arc::new(Control {
+            slots: shards.into_iter().map(Mutex::new).collect(),
+            epoch: AtomicU64::new(0),
+            horizon_ps: AtomicU64::new(0),
+            done: (0..n.saturating_sub(1))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            ran: (0..n.saturating_sub(1))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (1..n)
+            .map(|i| {
+                let ctl = Arc::clone(&ctl);
+                std::thread::Builder::new()
+                    .name(format!("sonuma-shard-{i}"))
+                    .spawn(move || worker_loop(&ctl, i))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        ShardedEngine {
+            ctl,
+            workers,
+            lookahead,
+            epochs: 0,
+            horizon: SimTime::ZERO,
+        }
+    }
+
+    /// Number of shards (== executing threads).
+    pub fn num_shards(&self) -> usize {
+        self.ctl.slots.len()
+    }
+
+    /// The configured lookahead (epoch width).
+    pub fn lookahead(&self) -> SimTime {
+        self.lookahead
+    }
+
+    /// Epochs executed so far. A pure function of the event structure —
+    /// identical across shard counts for equivalent runs.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// The boundary of the last completed epoch: the global clock.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Runs `f` with exclusive access to shard `i`. Must only be called
+    /// between epochs (never concurrently with [`ShardedEngine::run_epoch`]),
+    /// which the `&mut self` receiver enforces.
+    pub fn with_shard<R>(&mut self, i: usize, f: impl FnOnce(&mut S) -> R) -> R {
+        let mut guard = self.ctl.slots[i].lock().expect("shard poisoned");
+        f(&mut guard)
+    }
+
+    /// Runs `f` with read access to shard `i`. Workers only hold a
+    /// shard's lock while an epoch is executing, and epochs only execute
+    /// inside [`ShardedEngine::run_epoch`], so between epochs this is an
+    /// uncontended lock — it exists so `&self` statistics queries don't
+    /// need exclusive access to the whole engine.
+    pub fn peek_shard<R>(&self, i: usize, f: impl FnOnce(&S) -> R) -> R {
+        let guard = self.ctl.slots[i].lock().expect("shard poisoned");
+        f(&guard)
+    }
+
+    /// Runs `f` over every shard in index order.
+    pub fn for_each_shard(&mut self, mut f: impl FnMut(usize, &mut S)) {
+        for i in 0..self.ctl.slots.len() {
+            let mut guard = self.ctl.slots[i].lock().expect("shard poisoned");
+            f(i, &mut guard);
+        }
+    }
+
+    /// Executes one epoch: finds the globally earliest pending event,
+    /// runs every shard through `[start, start + lookahead)` in parallel,
+    /// aligns all clocks to the epoch boundary, and returns the number of
+    /// events executed (0 when every shard is drained).
+    ///
+    /// The caller exchanges staged cross-shard traffic after each epoch;
+    /// anything it schedules must land strictly after the returned-to
+    /// horizon, which the lookahead guarantees for conforming worlds.
+    pub fn run_epoch(&mut self) -> u64 {
+        let n = self.ctl.slots.len();
+        // Globally earliest pending event; all locks are free here.
+        let mut start: Option<SimTime> = None;
+        for i in 0..n {
+            let next = self.ctl.slots[i]
+                .lock()
+                .expect("shard poisoned")
+                .next_event_time();
+            start = match (start, next) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        let Some(start) = start else {
+            return 0;
+        };
+        // The epoch window is [start, start + lookahead); run_epoch's
+        // horizon is inclusive, hence the - 1 ps.
+        let horizon = SimTime::from_ps(
+            start
+                .as_ps()
+                .saturating_add(self.lookahead.as_ps())
+                .saturating_sub(1),
+        );
+
+        let mut total = 0u64;
+        if n == 1 {
+            let mut shard = self.ctl.slots[0].lock().expect("shard poisoned");
+            total += shard.run_epoch(horizon);
+            shard.align_clock(horizon);
+        } else {
+            let seq = self.ctl.epoch.load(Ordering::Relaxed) + 1;
+            self.ctl
+                .horizon_ps
+                .store(horizon.as_ps(), Ordering::Relaxed);
+            // Release the workers (the store publishes the horizon).
+            self.ctl.epoch.store(seq, Ordering::Release);
+            // Shard 0 runs on this thread while the workers run theirs.
+            {
+                let mut shard = self.ctl.slots[0].lock().expect("shard poisoned");
+                total += shard.run_epoch(horizon);
+                shard.align_clock(horizon);
+            }
+            for (i, done) in self.ctl.done.iter().enumerate() {
+                let mut spins = 0;
+                while done.load(Ordering::Acquire) != seq {
+                    relax(&mut spins);
+                }
+                total += self.ctl.ran[i].load(Ordering::Relaxed);
+            }
+        }
+        self.epochs += 1;
+        self.horizon = horizon;
+        total
+    }
+}
+
+fn worker_loop<S: EpochWorld>(ctl: &Control<S>, index: usize) {
+    let worker = index - 1;
+    let mut last = 0u64;
+    let mut spins = 0u32;
+    loop {
+        let seq = ctl.epoch.load(Ordering::Acquire);
+        if seq == last {
+            if ctl.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            relax(&mut spins);
+            continue;
+        }
+        spins = 0;
+        last = seq;
+        let horizon = SimTime::from_ps(ctl.horizon_ps.load(Ordering::Relaxed));
+        let ran = {
+            let mut shard = ctl.slots[index].lock().expect("shard poisoned");
+            let ran = shard.run_epoch(horizon);
+            shard.align_clock(horizon);
+            ran
+        };
+        ctl.ran[worker].store(ran, Ordering::Relaxed);
+        ctl.done[worker].store(seq, Ordering::Release);
+    }
+}
+
+impl<S: EpochWorld> Drop for ShardedEngine<S> {
+    fn drop(&mut self) {
+        self.ctl.shutdown.store(true, Ordering::Release);
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<S: EpochWorld> std::fmt::Debug for ShardedEngine<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("shards", &self.ctl.slots.len())
+            .field("lookahead", &self.lookahead)
+            .field("epochs", &self.epochs)
+            .field("horizon", &self.horizon)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventEngine, World};
+
+    /// A minimal world: marks fire at their scheduled time and may chain.
+    struct Trace {
+        id: usize,
+        fired: Vec<u64>,
+    }
+
+    enum Ev {
+        Mark(u64),
+        Chain { left: u32, step_ns: u64 },
+    }
+
+    impl World for Trace {
+        type Event = Ev;
+        fn handle(&mut self, engine: &mut EventEngine<Self>, event: Ev) {
+            match event {
+                Ev::Mark(tag) => self.fired.push(tag),
+                Ev::Chain { left, step_ns } => {
+                    self.fired.push(engine.now().as_ps());
+                    if left > 0 {
+                        engine.schedule_in(
+                            SimTime::from_ns(step_ns),
+                            Ev::Chain {
+                                left: left - 1,
+                                step_ns,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    struct Slot {
+        world: Trace,
+        engine: EventEngine<Trace>,
+    }
+
+    impl EpochWorld for Slot {
+        fn run_epoch(&mut self, horizon: SimTime) -> u64 {
+            self.engine.run_until(&mut self.world, horizon)
+        }
+        fn next_event_time(&mut self) -> Option<SimTime> {
+            self.engine.next_time()
+        }
+        fn align_clock(&mut self, to: SimTime) {
+            self.engine.advance_now_to(to);
+        }
+    }
+
+    fn slot(id: usize) -> Slot {
+        Slot {
+            world: Trace {
+                id,
+                fired: Vec::new(),
+            },
+            engine: EventEngine::new(),
+        }
+    }
+
+    #[test]
+    fn epochs_advance_and_drain() {
+        let mut shards: Vec<Slot> = (0..3).map(slot).collect();
+        for (i, s) in shards.iter_mut().enumerate() {
+            s.engine.schedule_at(
+                SimTime::from_ns(10 * (i as u64 + 1)),
+                Ev::Chain {
+                    left: 4,
+                    step_ns: 7,
+                },
+            );
+        }
+        let mut engine = ShardedEngine::new(shards, SimTime::from_ns(5));
+        let mut total = 0;
+        loop {
+            let ran = engine.run_epoch();
+            if ran == 0 {
+                break;
+            }
+            total += ran;
+        }
+        assert_eq!(total, 15, "5 chained events per shard");
+        engine.for_each_shard(|i, s| {
+            assert_eq!(
+                s.world.fired.len(),
+                5,
+                "shard {} fired all events",
+                s.world.id
+            );
+            assert!(s.world.fired.windows(2).all(|w| w[0] < w[1]));
+            assert_eq!(i, s.world.id);
+        });
+    }
+
+    #[test]
+    fn epoch_count_is_shard_count_invariant() {
+        // The same global event set must produce the same number of
+        // epochs whether it lives in 1 shard or 4.
+        let run = |nshards: usize| -> (u64, u64) {
+            let mut shards: Vec<Slot> = (0..nshards).map(slot).collect();
+            for k in 0..16u64 {
+                shards[k as usize % nshards]
+                    .engine
+                    .schedule_at(SimTime::from_ns(3 * k), Ev::Mark(k));
+            }
+            let mut engine = ShardedEngine::new(shards, SimTime::from_ns(4));
+            let mut events = 0;
+            loop {
+                let ran = engine.run_epoch();
+                if ran == 0 {
+                    break;
+                }
+                events += ran;
+            }
+            (events, engine.epochs())
+        };
+        let (e1, epochs1) = run(1);
+        let (e4, epochs4) = run(4);
+        assert_eq!(e1, 16);
+        assert_eq!(e1, e4);
+        assert_eq!(
+            epochs1, epochs4,
+            "epoch structure must not depend on sharding"
+        );
+    }
+
+    #[test]
+    fn clocks_align_to_the_horizon() {
+        let mut shards: Vec<Slot> = (0..2).map(slot).collect();
+        shards[0]
+            .engine
+            .schedule_at(SimTime::from_ns(100), Ev::Mark(0));
+        let mut engine = ShardedEngine::new(shards, SimTime::from_ns(10));
+        assert_eq!(engine.run_epoch(), 1);
+        let horizon = engine.horizon();
+        assert_eq!(horizon, SimTime::from_ps(100_000 + 10_000 - 1));
+        // Both shards — including the one that ran nothing — sit exactly
+        // on the boundary.
+        engine.for_each_shard(|_, s| assert_eq!(s.engine.now(), horizon));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive lookahead")]
+    fn zero_lookahead_panics() {
+        let _ = ShardedEngine::new(vec![slot(0)], SimTime::ZERO);
+    }
+}

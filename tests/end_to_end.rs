@@ -94,7 +94,7 @@ fn all_to_all_reads_over_a_torus() {
     }
     system.run();
     assert_eq!(*verified.borrow(), (nodes * (nodes - 1)) as u32);
-    assert!(system.cluster.fabric.packets_sent() > 0);
+    assert!(system.cluster.fabric().packets_sent() > 0);
 }
 
 /// Concurrent remote fetch-and-adds from every node against one counter
@@ -271,8 +271,8 @@ fn full_system_determinism() {
         (
             system.now(),
             system.engine.events_executed(),
-            system.cluster.fabric.packets_sent(),
-            system.cluster.fabric.bytes_sent(),
+            system.cluster.fabric().packets_sent(),
+            system.cluster.fabric().bytes_sent(),
             ok,
         )
     };
