@@ -15,29 +15,135 @@
 //! * `--baseline <path>` — compare events/sec against a checked-in report
 //!   and exit nonzero on regression;
 //! * `--max-regress <frac>` — allowed events/sec drop (default `0.20`);
+//! * `--compare-threads` — run each spec serially *and* sharded, record
+//!   the wall ratio and both epoch counts in the report's `sharding`
+//!   section, and fail on any simulated divergence;
+//! * `--max-peak-bytes <n>` — exit nonzero if the process's peak heap
+//!   (tracked by the bench's own allocator) exceeds `n` bytes;
 //! * `--list` — print the canned spec names and exit.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use sonuma_bench::json::Json;
 use sonuma_bench::scenario::{
-    self, calibrate, canned_specs, check_baseline, equivalence_diff, report_calibrated, run_specs,
-    smoke_specs, validate_report, ScenarioSpec, REPORT_SCHEMA,
+    self, calibrate, canned_specs, check_baseline, equivalence_diff, report_calibrated, run_spec,
+    run_spec_compare_threads, run_specs, smoke_specs, validate_report, ScenarioSpec, REPORT_SCHEMA,
 };
+
+/// System allocator wrapped with a live-bytes high-water mark, so every
+/// report carries `wall_peak_alloc_bytes` — the allocator's view of peak
+/// RSS, immune to the page-cache noise `/usr/bin/time -v` picks up. The
+/// two relaxed counters cost nothing measurable against the simulator's
+/// allocation rate, and the bench binary is the only place that pays it.
+struct PeakAlloc;
+
+static LIVE_BYTES: AtomicUsize = AtomicUsize::new(0);
+static PEAK_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            let live = LIVE_BYTES.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE_BYTES.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    // Forwarded, NOT defaulted: the trait's default `alloc_zeroed` is
+    // alloc + memset, which would physically touch every page of the
+    // simulator's deliberately lazy `vec![0; n]` cache arrays. The
+    // system allocator hands out already-zero mmap pages instead.
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            let live = LIVE_BYTES.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            let live = if new_size >= layout.size() {
+                LIVE_BYTES.fetch_add(new_size - layout.size(), Ordering::Relaxed)
+                    + (new_size - layout.size())
+            } else {
+                LIVE_BYTES.fetch_sub(layout.size() - new_size, Ordering::Relaxed)
+                    - (layout.size() - new_size)
+            };
+            PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static PEAK_ALLOC: PeakAlloc = PeakAlloc;
+
+/// Peak resident set (`VmHWM`) in bytes, from `/proc/self/status`.
+/// Returns 0 where that interface is missing (non-Linux); callers fall
+/// back to the allocator high-water mark, which is an upper bound
+/// because untouched zero pages count toward it but never become
+/// resident.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().strip_suffix("kB"))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map_or(0, |kb| kb * 1024)
+}
 
 fn usage() -> ! {
     eprintln!(
         "usage: sonuma-bench scenario [--smoke] [--canned NAME]... [--spec FILE]...\n\
-         \x20                          [--threads N] [--out FILE] [--baseline FILE]\n\
-         \x20                          [--max-regress FRAC] [--list]\n\
+         \x20                          [--threads N] [--compare-threads]\n\
+         \x20                          [--max-peak-bytes N] [--out FILE]\n\
+         \x20                          [--baseline FILE] [--max-regress FRAC] [--list]\n\
          \x20      sonuma-bench baseline [--regen] [--file PATH]\n\
          \x20      sonuma-bench diff-runs A.json B.json"
     );
     std::process::exit(2);
 }
 
+/// Pins glibc's mmap threshold so rack-scale `vec![0; n]` state stays
+/// zero-page lazy. By default the threshold adapts upward every time a
+/// large mmap'd chunk is freed; after the first machine build it rises
+/// past the 512 KB cache-tag arrays, the re-timed builds get dirty sbrk
+/// memory instead, and calloc memsets gigabytes that are never read.
+/// Freezing the threshold (and lifting the mmap count cap) keeps every
+/// large zeroed allocation resident only where it is touched.
+#[cfg(target_os = "linux")]
+fn pin_mmap_threshold() {
+    unsafe extern "C" {
+        fn mallopt(param: core::ffi::c_int, value: core::ffi::c_int) -> core::ffi::c_int;
+    }
+    const M_MMAP_THRESHOLD: core::ffi::c_int = -3;
+    const M_MMAP_MAX: core::ffi::c_int = -4;
+    unsafe {
+        mallopt(M_MMAP_THRESHOLD, 32 << 10);
+        mallopt(M_MMAP_MAX, 1 << 22);
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn pin_mmap_threshold() {}
+
 fn main() -> ExitCode {
+    pin_mmap_threshold();
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("scenario") => scenario_cmd(args.collect()),
@@ -158,6 +264,7 @@ fn baseline_specs() -> Vec<ScenarioSpec> {
         "rack512-neighbor",
         "rack512-torus-scan",
         "rack1024-shard",
+        "rack4096",
     ];
     let mut specs = smoke_specs();
     specs.extend(
@@ -174,6 +281,8 @@ fn scenario_cmd(args: Vec<String>) -> ExitCode {
     let mut baseline: Option<PathBuf> = None;
     let mut max_regress = 0.20f64;
     let mut threads: Option<usize> = None;
+    let mut compare_threads = false;
+    let mut max_peak_bytes: Option<u64> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -218,6 +327,13 @@ fn scenario_cmd(args: Vec<String>) -> ExitCode {
                     std::process::exit(2);
                 }));
             }
+            "--compare-threads" => compare_threads = true,
+            "--max-peak-bytes" => {
+                max_peak_bytes = Some(value("--max-peak-bytes").parse().unwrap_or_else(|_| {
+                    eprintln!("--max-peak-bytes needs a byte count");
+                    std::process::exit(2);
+                }));
+            }
             "--out" => out = PathBuf::from(value("--out")),
             "--baseline" => baseline = Some(PathBuf::from(value("--baseline"))),
             "--max-regress" => {
@@ -256,18 +372,57 @@ fn scenario_cmd(args: Vec<String>) -> ExitCode {
         }
     }
 
-    let results = run_specs(&specs);
+    let results: Vec<scenario::ScenarioResult> = if compare_threads {
+        specs.iter().map(run_spec_compare_threads).collect()
+    } else {
+        specs.iter().map(run_spec).collect()
+    };
     print_summary(&results);
+    if compare_threads {
+        for result in &results {
+            for run in &result.runs {
+                if let Some(cmp) = &run.compare_serial {
+                    println!(
+                        "compare-threads {}/{}: wall {:.3}s vs {:.3}s serial (x{:.2}), \
+                         epochs {} vs {} serial",
+                        result.spec.name,
+                        run.backend,
+                        run.wall_secs,
+                        cmp.wall_secs,
+                        cmp.wall_ratio,
+                        run.epochs,
+                        cmp.epochs,
+                    );
+                }
+            }
+        }
+    }
 
     // Host calibration lets the baseline gate compare machines by ratio
     // instead of raw wall-clock rates.
     let calibration = calibrate();
     println!("\nhost calibration: {calibration:.0} boxed events/sec");
-    let doc = report_calibrated(&results, calibration);
+    let mut doc = report_calibrated(&results, calibration);
     if let Err(e) = validate_report(&doc) {
         eprintln!("internal error: generated report fails schema check: {e}");
         return ExitCode::FAILURE;
     }
+    // `wall_` prefix => stripped by the equivalence diff like every other
+    // host-side number. The alloc mark counts untouched zero pages, the
+    // RSS mark only what the kernel materialized; the gap is the lazy
+    // state the memory diet never paid for.
+    let peak_alloc = PEAK_BYTES.load(Ordering::Relaxed) as u64;
+    let peak_rss = peak_rss_bytes();
+    let peak = if peak_rss > 0 { peak_rss } else { peak_alloc };
+    if let Json::Obj(members) = &mut doc {
+        members.push(("wall_peak_alloc_bytes".into(), Json::Num(peak_alloc as f64)));
+        members.push(("wall_peak_rss_bytes".into(), Json::Num(peak_rss as f64)));
+    }
+    println!(
+        "peak heap: {:.1} MiB allocated, {:.1} MiB resident",
+        peak_alloc as f64 / (1024.0 * 1024.0),
+        peak_rss as f64 / (1024.0 * 1024.0)
+    );
     let text = doc.render();
     if let Err(e) = std::fs::write(&out, &text) {
         eprintln!("cannot write {}: {e}", out.display());
@@ -305,6 +460,15 @@ fn scenario_cmd(args: Vec<String>) -> ExitCode {
             }
             return ExitCode::FAILURE;
         }
+    }
+    if let Some(budget) = max_peak_bytes {
+        if peak > budget {
+            eprintln!(
+                "REGRESSION: peak resident heap {peak} bytes exceeds --max-peak-bytes {budget}"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("peak heap within budget ({peak} <= {budget} bytes)");
     }
     ExitCode::SUCCESS
 }

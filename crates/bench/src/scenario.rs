@@ -46,7 +46,15 @@ use crate::trafficgen::{jain_index, ArrivalGen, ArrivalKind, ZipfSampler};
 /// fields and the `sharding` section is independent of the thread count —
 /// the parallel-equivalence CI gate diffs two reports with those
 /// stripped (see [`equivalence_diff`]).
-pub const REPORT_SCHEMA: &str = "sonuma-bench.scenario/v4";
+/// v5 added the `qp_entries` spec field (`[execution]` section, WQ/CQ
+/// ring depth) and grew the `sharding` section with the distance-aware
+/// engine's metadata: `cut_links`, `lookahead_min_ns`/`lookahead_max_ns`
+/// (the per-shard-pair matrix bounds), `pair_bound_violations` (always 0
+/// when the conservative bound holds), `resident_bytes` (the modeled
+/// machine's resident-heap estimate), and the optional `compare_serial`
+/// object written by `--compare-threads` (serial wall time, wall ratio,
+/// serial epoch count).
+pub const REPORT_SCHEMA: &str = "sonuma-bench.scenario/v5";
 
 /// A transport a scenario runs over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -268,6 +276,13 @@ pub struct ScenarioSpec {
     /// (`[execution]` section / `--threads`). Purely a wall-clock knob:
     /// every simulated metric is identical for every value.
     pub threads: usize,
+    /// WQ/CQ ring entries per queue pair (`[execution]` section). Part of
+    /// the simulated machine: a ring shorter than the in-flight window
+    /// changes WqFull backpressure, so rack-scale specs that shrink it
+    /// must keep `qp_entries > window`. At 4096 nodes the default
+    /// 64-entry rings cost two guest-heap pages per node; 16-entry rings
+    /// fit WQ and CQ in one.
+    pub qp_entries: u16,
     /// Multi-tenant QP virtualization (`[tenants]` section). Present iff
     /// `traffic` is present; together they switch the run from the
     /// closed-loop stream to the open-loop tenant generator.
@@ -292,6 +307,7 @@ impl Default for ScenarioSpec {
             segment_bytes: 1 << 20,
             seed: 42,
             threads: 1,
+            qp_entries: 64,
             tenancy: None,
             traffic: None,
         }
@@ -407,6 +423,18 @@ impl ScenarioSpec {
         if self.threads == 0 || self.threads > 64 {
             return err(format!("threads = {} (must be 1..=64)", self.threads));
         }
+        if self.qp_entries < 4 || self.qp_entries > 4096 {
+            return err(format!(
+                "qp_entries = {} (must be 4..=4096)",
+                self.qp_entries
+            ));
+        }
+        if (self.qp_entries as usize) <= self.window {
+            return err(format!(
+                "qp_entries = {} must exceed window = {} (a full ring would deadlock the closed loop)",
+                self.qp_entries, self.window
+            ));
+        }
         match (&self.tenancy, &self.traffic) {
             (None, None) => {}
             (Some(_), None) => {
@@ -470,9 +498,14 @@ impl ScenarioSpec {
         out.push_str(&format!("window = {}\n", self.window));
         out.push_str(&format!("segment_bytes = {}\n", self.segment_bytes));
         out.push_str(&format!("seed = {}\n", self.seed));
-        if self.threads != 1 {
+        if self.threads != 1 || self.qp_entries != 64 {
             out.push_str("\n[execution]\n");
-            out.push_str(&format!("threads = {}\n", self.threads));
+            if self.threads != 1 {
+                out.push_str(&format!("threads = {}\n", self.threads));
+            }
+            if self.qp_entries != 64 {
+                out.push_str(&format!("qp_entries = {}\n", self.qp_entries));
+            }
         }
         if let (Some(tn), Some(tr)) = (&self.tenancy, &self.traffic) {
             out.push_str("\n[tenants]\n");
@@ -569,6 +602,9 @@ impl ScenarioSpec {
             if section == Section::Execution {
                 match key {
                     "threads" => spec.threads = value.into_u64(lineno, "threads")? as usize,
+                    "qp_entries" => {
+                        spec.qp_entries = value.into_u64(lineno, "qp_entries")? as u16;
+                    }
                     other => {
                         return Err(SpecError::Parse(
                             lineno,
@@ -717,6 +753,7 @@ impl ScenarioSpec {
             ("segment_bytes".into(), Json::Num(self.segment_bytes as f64)),
             ("seed".into(), Json::Num(self.seed as f64)),
             ("threads".into(), Json::Num(self.threads as f64)),
+            ("qp_entries".into(), Json::Num(self.qp_entries as f64)),
         ];
         if let (Some(tn), Some(tr)) = (&self.tenancy, &self.traffic) {
             members.push((
@@ -938,12 +975,30 @@ pub struct BackendRun {
     /// baselines, which have no internal parallelism).
     pub shards: usize,
     /// Conservative epochs the sharded engine ran (soNUMA; 0 otherwise).
-    /// Partition-invariant: a pure function of the event structure.
+    /// Shard *metadata*: with the distance-aware lookahead matrix the
+    /// epoch structure depends on the partition, so this is excluded
+    /// from the parallel-equivalence diff.
     pub epochs: u64,
     /// Logical events executed per shard (soNUMA runs only). Shard
     /// *metadata*: depends on the partition, excluded from the
     /// parallel-equivalence diff.
     pub shard_events: Vec<u64>,
+    /// Fabric links the shard partition cuts (0 on one shard). Shard
+    /// metadata, like `shard_events`.
+    pub cut_links: usize,
+    /// `(min, max)` over the per-shard-pair lookahead matrix (soNUMA
+    /// runs only; both zero otherwise). Shard metadata.
+    pub lookahead_bounds: Option<(SimTime, SimTime)>,
+    /// Cross-shard deliveries that beat the lookahead matrix's promise.
+    /// Must be 0 — recorded so a report can prove the conservative
+    /// bound held, not just assume it.
+    pub pair_bound_violations: u64,
+    /// Estimated resident heap bytes of the simulated machine at the end
+    /// of the run (soNUMA runs only) — the rack4096 memory-diet metric.
+    pub resident_bytes: u64,
+    /// Wall ratio (threads=1 time over this run's time) and serial epoch
+    /// count from a `--compare-threads` companion run, if one was made.
+    pub compare_serial: Option<CompareSerial>,
     /// Cluster-wide pipeline counters (soNUMA runs only).
     pub pipeline_total: Option<PipelineStats>,
     /// Per-node pipeline counters, indexed by node id (soNUMA runs only).
@@ -952,6 +1007,23 @@ pub struct BackendRun {
     pub tenants: Vec<TenantOutcome>,
     /// Fabric congestion counters (soNUMA runs only).
     pub fabric: Option<FabricSummary>,
+}
+
+/// Wall-clock comparison against a `--threads 1` companion run of the
+/// same spec (the `--compare-threads` mode). Simulated metrics are
+/// byte-identical by the determinism contract — only host time and the
+/// epoch structure differ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompareSerial {
+    /// Best-of-reps wall seconds of the single-thread run.
+    pub wall_secs: f64,
+    /// Serial wall time over this run's wall time (> 1 means the shards
+    /// paid off).
+    pub wall_ratio: f64,
+    /// Epochs the single-shard engine ran. With the lookahead matrix the
+    /// epoch structure is partition-dependent (each shard pair earns its
+    /// own horizon), so this differs from the sharded `epochs`.
+    pub epochs: u64,
 }
 
 impl BackendRun {
@@ -1009,6 +1081,7 @@ impl BackendInstance {
                     PlatformSpec::Dev => MachineConfig::dev_platform(spec.nodes),
                 };
                 config.fabric = spec.topology.to_config(spec.nodes);
+                config.qp_entries = spec.qp_entries;
                 if let Some(tn) = &spec.tenancy {
                     config.sched_policy = tn.scheduler;
                 }
@@ -1191,6 +1264,11 @@ fn drive(spec: &ScenarioSpec, backend: &mut dyn RemoteBackend) -> BackendRun {
         shards: 1,
         epochs: 0,
         shard_events: Vec::new(),
+        cut_links: 0,
+        lookahead_bounds: None,
+        pair_bound_violations: 0,
+        resident_bytes: 0,
+        compare_serial: None,
         // Pipeline counters are attached by `run_spec` for soNUMA runs.
         pipeline_total: None,
         per_node: Vec::new(),
@@ -1385,6 +1463,11 @@ fn drive_open_loop(spec: &ScenarioSpec, backend: &mut dyn RemoteBackend) -> Back
         shards: 1,
         epochs: 0,
         shard_events: Vec::new(),
+        cut_links: 0,
+        lookahead_bounds: None,
+        pair_bound_violations: 0,
+        resident_bytes: 0,
+        compare_serial: None,
         pipeline_total: None,
         per_node: Vec::new(),
         tenants: outcomes,
@@ -1424,6 +1507,10 @@ pub fn run_spec(spec: &ScenarioSpec) -> ScenarioResult {
             run.shards = b.num_shards();
             run.epochs = b.epochs();
             run.shard_events = b.shard_events();
+            run.cut_links = b.cut_links();
+            run.lookahead_bounds = Some(b.lookahead_bounds());
+            run.pair_bound_violations = b.pair_bound_violations();
+            run.resident_bytes = b.resident_bytes();
             run.per_node = (0..spec.nodes)
                 .map(|n| b.pipeline_stats(NodeId(n as u16)))
                 .collect();
@@ -1448,6 +1535,9 @@ pub fn run_spec(spec: &ScenarioSpec) -> ScenarioResult {
                 hot_links: hot,
             });
         }
+        // The measured instance is fully snapshotted; release it before
+        // the re-timed builds so only one machine is ever resident.
+        drop(instance);
         for _ in 1..TIMING_REPS {
             let mut retimed = BackendInstance::build(spec, kind);
             let rep = drive_one(&mut retimed);
@@ -1473,6 +1563,44 @@ pub fn run_spec(spec: &ScenarioSpec) -> ScenarioResult {
 /// Executes a list of specs in order.
 pub fn run_specs(specs: &[ScenarioSpec]) -> Vec<ScenarioResult> {
     specs.iter().map(run_spec).collect()
+}
+
+/// Executes `spec` twice — at `threads = 1` and at the spec's own thread
+/// count (forced to 4 when the spec says 1) — and attaches the serial
+/// run's wall time, the wall ratio, and the serial epoch count to each
+/// backend run (the `--compare-threads` mode).
+///
+/// # Panics
+///
+/// Panics if the two runs disagree on any simulated metric: that would
+/// be a determinism break, which the bench must never paper over.
+pub fn run_spec_compare_threads(spec: &ScenarioSpec) -> ScenarioResult {
+    let mut serial_spec = spec.clone();
+    serial_spec.threads = 1;
+    let mut sharded_spec = spec.clone();
+    if sharded_spec.threads == 1 {
+        sharded_spec.threads = 4;
+    }
+    let serial = run_spec(&serial_spec);
+    let mut result = run_spec(&sharded_spec);
+    for (run, srun) in result.runs.iter_mut().zip(&serial.runs) {
+        assert_eq!(
+            (run.events, run.ops, run.sim_time),
+            (srun.events, srun.ops, srun.sim_time),
+            "{}: serial and sharded runs diverged",
+            spec.name
+        );
+        run.compare_serial = Some(CompareSerial {
+            wall_secs: srun.wall_secs,
+            wall_ratio: if run.wall_secs > 0.0 {
+                srun.wall_secs / run.wall_secs
+            } else {
+                0.0
+            },
+            epochs: srun.epochs,
+        });
+    }
+    result
 }
 
 // ---------------------------------------------------------------------
@@ -1649,7 +1777,30 @@ fn run_json(run: &BackendRun) -> Json {
         ("threads".to_string(), Json::Num(run.threads as f64)),
         ("shards".to_string(), Json::Num(run.shards as f64)),
         ("epochs".to_string(), Json::Num(run.epochs as f64)),
+        ("cut_links".to_string(), Json::Num(run.cut_links as f64)),
+        (
+            "pair_bound_violations".to_string(),
+            Json::Num(run.pair_bound_violations as f64),
+        ),
+        (
+            "resident_bytes".to_string(),
+            Json::Num(run.resident_bytes as f64),
+        ),
     ];
+    if let Some((lo, hi)) = run.lookahead_bounds {
+        sharding.push(("lookahead_min_ns".to_string(), Json::Num(lo.as_ns_f64())));
+        sharding.push(("lookahead_max_ns".to_string(), Json::Num(hi.as_ns_f64())));
+    }
+    if let Some(cmp) = &run.compare_serial {
+        sharding.push((
+            "compare_serial".to_string(),
+            Json::Obj(vec![
+                ("wall_secs".to_string(), Json::Num(cmp.wall_secs)),
+                ("wall_ratio".to_string(), Json::Num(cmp.wall_ratio)),
+                ("epochs".to_string(), Json::Num(cmp.epochs as f64)),
+            ]),
+        ));
+    }
     if !run.shard_events.is_empty() {
         sharding.push((
             "shard_events".to_string(),
@@ -1826,7 +1977,14 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
             let sharding = run
                 .get("sharding")
                 .ok_or(format!("scenario {name}/{backend}: missing sharding"))?;
-            for key in ["threads", "shards", "epochs"] {
+            for key in [
+                "threads",
+                "shards",
+                "epochs",
+                "cut_links",
+                "pair_bound_violations",
+                "resident_bytes",
+            ] {
                 sharding
                     .u64_of(key)
                     .ok_or(format!("scenario {name}/{backend}: sharding has no {key}"))?;
@@ -2313,6 +2471,33 @@ pub fn rack1024_shard_spec() -> ScenarioSpec {
     }
 }
 
+/// The memory-diet showcase: 4096 soNUMA nodes as a 16×16×16 3D torus —
+/// the largest rack the paper's addressing model reaches — on 4 shard
+/// threads. Light per-node work (4 ops to the ring successor) keeps the
+/// wall clock in CI budget; what the scenario actually exercises is
+/// state: lazily grown ITT/CT tables, sparse physical memory, and
+/// 16-entry QP rings (WQ and CQ share one guest page instead of two)
+/// hold the whole machine's resident heap to tens of megabytes where
+/// eager tables would cost gigabytes. The report's
+/// `sharding.resident_bytes` is the number the CI budget asserts on.
+pub fn rack4096_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "rack4096".into(),
+        nodes: 4096,
+        topology: TopologySpec::Torus3d(16, 16, 16),
+        backend: BackendSel::One(BackendKind::Sonuma),
+        workload: WorkloadKind::NeighborRead,
+        op_bytes: 256,
+        ops_per_node: 4,
+        window: 4,
+        segment_bytes: 1 << 16,
+        seed: 4096,
+        threads: 4,
+        qp_entries: 16,
+        ..ScenarioSpec::default()
+    }
+}
+
 /// Every canned spec, addressable by name from the CLI.
 pub fn canned_specs() -> Vec<ScenarioSpec> {
     let mut specs = smoke_specs();
@@ -2321,5 +2506,6 @@ pub fn canned_specs() -> Vec<ScenarioSpec> {
     specs.push(rack64_tenants_spec());
     specs.push(rack64_tenants_strict_spec());
     specs.push(rack1024_shard_spec());
+    specs.push(rack4096_spec());
     specs
 }

@@ -47,6 +47,7 @@ fn toml_roundtrip_preserves_every_field() {
         segment_bytes: 1 << 16,
         seed: 1234567,
         threads: 3,
+        qp_entries: 32,
         tenancy: None,
         traffic: None,
     };

@@ -38,8 +38,14 @@ impl ShardPlan {
 
     /// A topology-aware contiguous split: grid boundaries snap to whole
     /// rows/planes so torus/mesh shards cut the minimum number of links;
-    /// crossbars (where every split is equivalent) fall back to the even
-    /// split.
+    /// crossbars (where every even split is equivalent) fall back to the
+    /// even split.
+    ///
+    /// When the even bounds do not land on plane boundaries there are
+    /// several plane-aligned candidates (snap each bound to the nearest,
+    /// previous, or next plane); the candidate with the smallest
+    /// [`ShardPlan::cut_links`] wins, ties broken toward nearest-snap so
+    /// the historical choice is stable.
     ///
     /// # Panics
     ///
@@ -55,21 +61,32 @@ impl ShardPlan {
         if plane <= 1 {
             return even;
         }
-        // Snap each interior bound to the nearest plane boundary; keep the
-        // result only if it stays strictly increasing (enough planes to go
-        // around), otherwise the unaligned even split is the best we can do.
-        let mut bounds: Vec<usize> = even
-            .bounds
-            .iter()
-            .map(|&b| ((b + plane / 2) / plane) * plane)
+        // Snap each interior bound to a plane boundary three ways (nearest,
+        // floor, ceiling), pin the ends, and keep the candidates that stay
+        // strictly increasing (enough planes to go around). If none
+        // survive, the unaligned even split is the best we can do.
+        let snapped = |round_up: usize| -> Option<ShardPlan> {
+            let mut bounds: Vec<usize> = even
+                .bounds
+                .iter()
+                .map(|&b| ((b + round_up) / plane) * plane)
+                .collect();
+            *bounds.first_mut().expect("nonempty bounds") = 0;
+            *bounds.last_mut().expect("nonempty bounds") = nodes;
+            bounds
+                .windows(2)
+                .all(|w| w[0] < w[1])
+                .then_some(ShardPlan { bounds })
+        };
+        let mut candidates: Vec<ShardPlan> = [plane / 2, 0, plane - 1]
+            .into_iter()
+            .filter_map(snapped)
             .collect();
-        *bounds.first_mut().expect("nonempty bounds") = 0;
-        *bounds.last_mut().expect("nonempty bounds") = nodes;
-        if bounds.windows(2).all(|w| w[0] < w[1]) {
-            ShardPlan { bounds }
-        } else {
-            even
-        }
+        candidates.dedup();
+        candidates
+            .into_iter()
+            .min_by_key(|plan| plan.cut_links(topology))
+            .unwrap_or(even)
     }
 
     /// A plan from explicit bounds (`bounds[0] == 0`, strictly
@@ -122,25 +139,72 @@ impl ShardPlan {
 
     /// Number of directed links (as used by the topology's routing) whose
     /// endpoints live in different shards under this plan — the cut
-    /// surface cross-shard traffic must cross. O(n²); a planning/test
-    /// metric, not a hot path.
+    /// surface cross-shard traffic must cross.
+    ///
+    /// Dimension-order routing only ever steps between distance-1
+    /// neighbors, and for any adjacent pair the direct route uses the
+    /// `(src, dst)` link itself, so the link set routing can use is exactly
+    /// the set of ordered distance-1 pairs. Counting those per node makes
+    /// this O(n · dimensions) — cheap enough to run over several candidate
+    /// plans at rack4096 scale (the old next-hop-table walk was O(n²)).
     pub fn cut_links(&self, topology: &Topology) -> usize {
-        use sonuma_protocol::NodeId;
-        let table = topology.next_hop_table();
-        let n = topology.nodes();
-        let mut links = std::collections::BTreeSet::new();
-        for a in 0..n {
-            for d in 0..n {
-                if a != d {
-                    let hop = table.next_hop(NodeId(a as u16), NodeId(d as u16));
-                    links.insert((a, hop.index()));
+        match *topology {
+            Topology::Crossbar { nodes } => {
+                // Every ordered pair is a one-hop link; count the ordered
+                // pairs whose endpoints live in different shards.
+                (0..self.shards())
+                    .map(|s| self.range(s).len() * (nodes - self.range(s).len()))
+                    .sum()
+            }
+            _ => {
+                let n = topology.nodes();
+                let mut cut = 0;
+                for a in 0..n {
+                    let sa = self.shard_of(a);
+                    for_each_grid_neighbor(topology, a, |b| {
+                        if self.shard_of(b) != sa {
+                            cut += 1;
+                        }
+                    });
+                }
+                cut
+            }
+        }
+    }
+}
+
+/// Calls `f` once per distinct node at hop distance 1 from `id` on a grid
+/// topology (±1 per dimension; torus dimensions wrap, mesh dimensions
+/// clamp at the edges).
+fn for_each_grid_neighbor(topology: &Topology, id: usize, mut f: impl FnMut(usize)) {
+    let (dims, wraps) = match *topology {
+        Topology::Crossbar { .. } => unreachable!("crossbar handled arithmetically"),
+        Topology::Torus2D { width, height } => ([width, height, 1], true),
+        Topology::Torus3D { x, y, z } => ([x, y, z], true),
+        Topology::Mesh2D { width, height } => ([width, height, 1], false),
+    };
+    let mut stride = 1usize;
+    for k in dims {
+        if k >= 2 {
+            let c = (id / stride) % k;
+            let base = id - c * stride;
+            if wraps {
+                let up = (c + 1) % k;
+                let down = (c + k - 1) % k;
+                f(base + up * stride);
+                if down != up {
+                    f(base + down * stride);
+                }
+            } else {
+                if c + 1 < k {
+                    f(base + (c + 1) * stride);
+                }
+                if c > 0 {
+                    f(base + (c - 1) * stride);
                 }
             }
         }
-        links
-            .iter()
-            .filter(|&&(a, b)| self.shard_of(a) != self.shard_of(b))
-            .count()
+        stride *= k;
     }
 }
 
@@ -185,6 +249,68 @@ mod tests {
             aligned_cut <= skewed.cut_links(&topo),
             "plane alignment must not increase the cut"
         );
+    }
+
+    /// The reference cut metric: materialize every route's links via the
+    /// next-hop table (the pre-optimization O(n²) implementation) and count
+    /// the cross-shard ones.
+    fn cut_links_via_routes(plan: &ShardPlan, topology: &Topology) -> usize {
+        use sonuma_protocol::NodeId;
+        let table = topology.next_hop_table();
+        let n = topology.nodes();
+        let mut links = std::collections::BTreeSet::new();
+        for a in 0..n {
+            for d in 0..n {
+                if a != d {
+                    let hop = table.next_hop(NodeId(a as u16), NodeId(d as u16));
+                    links.insert((a, hop.index()));
+                }
+            }
+        }
+        links
+            .iter()
+            .filter(|&&(a, b)| plan.shard_of(a) != plan.shard_of(b))
+            .count()
+    }
+
+    #[test]
+    fn cut_links_matches_the_route_table_reference() {
+        for topo in [
+            Topology::crossbar(10),
+            Topology::torus2d(4, 4),
+            Topology::torus2d(2, 6),
+            Topology::torus3d(3, 4, 2),
+            Topology::mesh2d(5, 3),
+        ] {
+            let n = topo.nodes();
+            for plan in [
+                ShardPlan::contiguous(n, 3),
+                ShardPlan::for_topology(&topo, 4),
+                ShardPlan::from_bounds(vec![0, 1, n]).expect("valid bounds"),
+            ] {
+                assert_eq!(
+                    plan.cut_links(&topo),
+                    cut_links_via_routes(&plan, &topo),
+                    "{topo:?} {plan:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn for_topology_picks_the_smallest_cut_among_aligned_candidates() {
+        // 5 planes of 16 over 2 shards: even bound 40 snaps to plane 2 or
+        // 3; both are valid plane-aligned candidates and for_topology must
+        // do no worse than either.
+        let topo = Topology::torus3d(4, 4, 5);
+        let plan = ShardPlan::for_topology(&topo, 2);
+        let chosen = plan.cut_links(&topo);
+        for bounds in [vec![0, 32, 80], vec![0, 48, 80]] {
+            let candidate = ShardPlan::from_bounds(bounds).expect("valid bounds");
+            assert!(chosen <= candidate.cut_links(&topo));
+        }
+        assert_eq!(plan.range(0).start, 0);
+        assert_eq!(plan.range(0).end % 16, 0, "boundary stays plane-aligned");
     }
 
     #[test]

@@ -210,6 +210,30 @@ impl SonumaBackend {
         self.sharded.shard_events()
     }
 
+    /// Fabric links cut by the shard partition (0 on a single shard).
+    pub fn cut_links(&self) -> usize {
+        self.sharded.cut_links()
+    }
+
+    /// `(min, max)` over the per-shard-pair lookahead matrix. On a single
+    /// shard or a crossbar both equal the scalar fabric lookahead.
+    pub fn lookahead_bounds(&self) -> (SimTime, SimTime) {
+        self.sharded.lookahead_bounds()
+    }
+
+    /// Cross-shard deliveries that arrived earlier than the lookahead
+    /// matrix promised. Always 0 when the conservative bound is sound;
+    /// the sharding tests assert on it.
+    pub fn pair_bound_violations(&self) -> u64 {
+        self.sharded.pair_bound_violations()
+    }
+
+    /// Estimated resident heap bytes of the simulated machine state (see
+    /// `Node::resident_bytes`) — the rack4096 memory-diet metric.
+    pub fn resident_bytes(&self) -> u64 {
+        self.sharded.resident_bytes()
+    }
+
     /// Delivery-order hash of `node` — equal across runs iff packets
     /// arrived in the same order at the same times (the determinism
     /// checksum the equivalence tests gate on).

@@ -375,4 +375,11 @@ impl Cluster {
     pub fn total_bytes_written(&self) -> u64 {
         self.nodes.iter().map(|n| n.bytes_written).sum()
     }
+
+    /// Estimated resident heap bytes across every node's model state (see
+    /// [`Node::resident_bytes`]). The number the rack4096 memory budget
+    /// is asserted against.
+    pub fn resident_bytes(&self) -> u64 {
+        self.nodes.iter().map(Node::resident_bytes).sum()
+    }
 }

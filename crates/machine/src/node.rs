@@ -257,6 +257,31 @@ impl Node {
         AgentId(self.cores.len())
     }
 
+    /// Estimated heap bytes this node's model state actually occupies.
+    ///
+    /// Counts what is *resident*, not what is addressable: touched
+    /// physical frames, materialized cache/coherence lines, grown ITT/CT
+    /// slots, page-table entries, and per-QP cursor state. Fixed-capacity
+    /// zero-page-backed arrays (cache tags) and untouched table slots
+    /// contribute nothing, which is exactly the property the rack4096
+    /// memory diet relies on.
+    pub fn resident_bytes(&self) -> u64 {
+        const LINE_STATE_BYTES: u64 = 17; // tag + lru + flags per way
+        const PTE_BYTES: u64 = 16; // vpn -> pfn BTreeMap payload
+        let frames = self.phys.resident_frames() as u64 * PAGE_BYTES;
+        let lines = self.hierarchy.resident_lines() as u64 * LINE_STATE_BYTES;
+        let ptes = self.space.mapped_pages() as u64 * PTE_BYTES;
+        let rmc = self.rmc.itt.resident_bytes() as u64
+            + self.rmc.ct.resident_bytes() as u64
+            + (self.rmc.qps.len() * std::mem::size_of::<QueuePairState>()) as u64;
+        let qp_cursors = self
+            .app_qps
+            .iter()
+            .map(|q| std::mem::size_of::<AppQpCursors>() as u64 + q.slot_busy.capacity() as u64)
+            .sum::<u64>();
+        frames + lines + ptes + rmc + qp_cursors
+    }
+
     /// Translates a virtual address through the node's page table.
     ///
     /// # Errors

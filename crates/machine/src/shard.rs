@@ -4,10 +4,13 @@
 //! shards (one per thread, planned by `sonuma_fabric::ShardPlan` so grid
 //! shards are whole torus slabs), gives each shard *ownership* of its
 //! slice of world state — a [`Cluster`] in mailbox mode plus its own
-//! `ClusterEngine` — and advances all shards in epochs bounded by the
-//! fabric's minimum delivery latency (`FabricConfig::min_delivery_delay`
-//! of the smallest packet). The single global [`Fabric`] lives here, not
-//! in any shard.
+//! `ClusterEngine` — and advances all shards in epochs bounded by a
+//! *distance-aware lookahead matrix*: `lookahead[s][d]` is the fabric
+//! delivery delay over the minimum hop distance between shard `s`'s and
+//! shard `d`'s node slabs (`Topology::min_hops` ×
+//! `FabricConfig::delivery_delay_for_hops`), so distant slabs of a torus
+//! stop throttling each other to the single worst-case minimum delay.
+//! The single global [`Fabric`] lives here, not in any shard.
 //!
 //! # Why `--threads N` is bit-identical to `--threads 1`
 //!
@@ -19,27 +22,55 @@
 //!    which are serial). So each node's event history is a function of
 //!    the packet stream it receives.
 //! 2. **Every non-loopback packet takes the mailbox path — even when
-//!    source and destination share a shard.** At each epoch barrier the
-//!    staged sends of *all* shards are merged into the global fabric in
+//!    source and destination share a shard.** Shard outboxes drain into
+//!    per-source staging buffers; once the commit frontier passes a
+//!    staged departure it is applied to the global fabric in
 //!    `(inject time, source node, per-source sequence)` order, and the
 //!    resulting `Deliver` events are scheduled into destination shards in
-//!    `(arrival, source, sequence)` order. Both keys are pure functions
-//!    of simulated history, so link-state evolution and delivery order
-//!    never depend on the partition.
-//! 3. **Epoch boundaries are partition-invariant.** An epoch starts at
-//!    the globally earliest pending event and spans one lookahead; the
-//!    lookahead is a topology constant. Shard clocks align to the epoch
-//!    boundary at each barrier, so harness-level posts charge from the
-//!    same simulated time at any thread count.
+//!    the same order. Both keys are pure functions of simulated history,
+//!    so link-state evolution and delivery order never depend on the
+//!    partition.
+//! 3. **Round boundaries are partition-invariant.** Execution proceeds in
+//!    *quanta* of [`QUANTUM_EPOCHS`] scalar lookaheads anchored at the
+//!    globally earliest pending work — both partition-invariant
+//!    quantities. Within a quantum, per-shard horizons (and with them the
+//!    epoch structure) depend on the partition, but every quantum runs to
+//!    completion — all events and staged traffic up to the quantum
+//!    boundary are final — and every shard clock re-aligns to the
+//!    boundary. Rounds hand control back to the driver only at quantum
+//!    boundaries, so harness-level posts charge from the same simulated
+//!    time at any thread count.
 //!
-//! The conservative-safety argument is the usual one: a packet injected
-//! during epoch `[T, T + L)` arrives no earlier than `T + L` (one hop of
-//! latency plus minimum serialization per hop, credits only delay), so
-//! merging at the barrier never schedules into any shard's past.
+//! # Conservative safety with per-pair lookahead
+//!
+//! Within an epoch, shard `d` runs to
+//! `min over s of (floor[s] + lookahead[s][d]) - 1`, where `floor[s]` is
+//! the earliest pending event or staged departure of shard `s`. Any
+//! influence of shard `s` on shard `d` is a chain of packets over real
+//! nodes, and node-level hop distance is a metric (the triangle
+//! inequality holds hop-wise), so the chain crosses at least
+//! `min_hops(s, d)` hops and pays at least one serialization — i.e. at
+//! least `lookahead[s][d]` of simulated time after the chain's origin,
+//! which cannot predate `floor[s]`. Hence nothing can land at or before
+//! shard `d`'s horizon, and committing staged traffic at the frontier
+//! `min over d of horizon[d]` never schedules into any shard's past.
+//! Between epochs the cluster additionally *pre-commits* staged
+//! departures below `min(frontier bound, earliest pending event - 1)`:
+//! no shard can inject a departure earlier than its own next event, so
+//! every staged entry below that line is final in the global
+//! `(t, src, seq)` order and can be applied without running an epoch.
+//! Pre-committing before anchoring a quantum also settles the anchor on
+//! true event floors, keeping epoch windows tiled to the lookahead grid
+//! instead of split across staged-head offsets. A
+//! shard's horizon may *regress* when an empty peer gains a floor;
+//! running and aligning are then no-ops and the bound above still holds
+//! for everything already executed. The per-delivery
+//! [`ShardedCluster::pair_bound_violations`] counter (asserted zero by
+//! the partition property tests) checks the promise at runtime.
 
 use sonuma_fabric::{Fabric, ShardPlan};
 use sonuma_protocol::{CtxId, NodeId, Packet, QpId, TenantId, HEADER_BYTES};
-use sonuma_sim::{EpochWorld, ShardedEngine, SimTime};
+use sonuma_sim::{EpochWorld, LookaheadMatrix, ShardedEngine, SimTime};
 
 use crate::cluster::{Cluster, Departure, RoutePath};
 use crate::config::MachineConfig;
@@ -50,12 +81,21 @@ use crate::ClusterEngine;
 
 /// Events one `advance()` round executes before handing control back to
 /// the driver (posts/polls happen between rounds). Rounds are measured in
-/// events — a partition-invariant quantity — so the driver's interleaving
-/// with the simulation is identical at every thread count. 64 matches the
-/// pre-sharding `run_steps(64)` burst, keeping the driver's observation
-/// granularity (and with it measured completion latencies) close to the
-/// classic engine's.
+/// events — a partition-invariant quantity — and the threshold is only
+/// checked at quantum boundaries (also partition-invariant), so the
+/// driver's interleaving with the simulation is identical at every
+/// thread count. 64 matches the pre-sharding `run_steps(64)` burst.
 pub const ADVANCE_ROUND_EVENTS: u64 = 64;
+
+/// Width of one execution quantum, in scalar lookaheads
+/// (`FabricConfig::min_delivery_delay` of the smallest packet). A quantum
+/// spans `[S, S + QUANTUM_EPOCHS * L)` where `S` is the globally earliest
+/// pending work — a topology constant times a partition-invariant anchor,
+/// so quantum boundaries are partition-invariant. Larger quanta let the
+/// lookahead matrix merge more distant activity clusters into one epoch
+/// (fewer barriers) but coarsen the driver's observation granularity;
+/// 4 balances the two on the canned rack workloads.
+pub const QUANTUM_EPOCHS: u64 = 4;
 
 /// One shard: its slice of the world plus the engine that drives it.
 pub(crate) struct ShardSlot {
@@ -87,22 +127,81 @@ impl EpochWorld for ShardSlot {
     }
 }
 
+/// Staged departures of one source shard, kept in `(t, src, seq)` order
+/// with an incremental head cursor so committing pops nothing and moves
+/// no memory. The buffer is reused across epochs and quanta; the consumed
+/// prefix is compacted away once it dominates.
+#[derive(Default)]
+struct SourceQueue {
+    buf: Vec<Departure>,
+    head: usize,
+}
+
+impl SourceQueue {
+    /// Inject time of the earliest staged-but-uncommitted departure.
+    fn head_time(&self) -> Option<SimTime> {
+        self.buf.get(self.head).map(|d| d.t)
+    }
+
+    /// Appends one epoch's outbox drain, keeping the uncommitted suffix
+    /// `(t, src, seq)`-sorted. Chunks from successive epochs are usually
+    /// time-separated (an epoch only executes events past the previous
+    /// one's horizon), so sorting just the new tail suffices; inject
+    /// times carry per-packet offsets (`stage_local` vs none), so when a
+    /// chunk overlaps the staged suffix the whole uncommitted range is
+    /// re-sorted. Everything staged is past the commit frontier, so the
+    /// merge order is unaffected.
+    fn append_chunk(&mut self, outbox: &mut Vec<Departure>) -> usize {
+        if outbox.is_empty() {
+            return 0;
+        }
+        let tail = self.buf.len();
+        self.buf.append(outbox);
+        let key = |d: &Departure| (d.t, d.src, d.seq);
+        self.buf[tail..].sort_unstable_by_key(key);
+        if tail > self.head && key(&self.buf[tail - 1]) > key(&self.buf[tail]) {
+            self.buf[self.head..].sort_unstable_by_key(key);
+        }
+        self.buf.len() - tail
+    }
+
+    /// Drops the committed prefix once it outweighs the live tail.
+    fn compact(&mut self) {
+        if self.head > 64 && self.head * 2 >= self.buf.len() {
+            self.buf.drain(..self.head);
+            self.head = 0;
+        }
+    }
+}
+
 /// The cluster sharded across threads, with the global fabric and the
-/// epoch-barrier merge. Mirrors the [`Cluster`] driver surface (contexts,
-/// queue pairs, tenants, functional segment access, statistics) with
-/// global node ids routed to the owning shard.
+/// staged commit-frontier merge. Mirrors the [`Cluster`] driver surface
+/// (contexts, queue pairs, tenants, functional segment access,
+/// statistics) with global node ids routed to the owning shard.
 pub struct ShardedCluster {
     engine: ShardedEngine<ShardSlot>,
     fabric: Fabric,
     plan: ShardPlan,
     config: MachineConfig,
-    /// Global clock: the last epoch boundary (or an idle-jump target).
+    /// Global clock: the last quantum boundary (or an idle-jump target).
     clock: SimTime,
     /// Cached engine events + batched logical events, refreshed at round
     /// boundaries (`events_processed` is a `&self` query).
     events: u64,
-    /// Scratch for the epoch merge, reused across exchanges.
-    merge_buf: Vec<Departure>,
+    /// Width of one quantum: `QUANTUM_EPOCHS` scalar lookaheads.
+    quantum: SimTime,
+    /// Per-source-shard staging of drained mailbox departures.
+    staging: Vec<SourceQueue>,
+    /// Scratch for one commit's deliveries, reused across commits.
+    deliveries: Vec<(usize, SimTime, Packet)>,
+    /// Scratch for one iteration's per-shard floors, reused across epochs.
+    floors: Vec<Option<SimTime>>,
+    /// Cross-shard cut of the plan in force (directed links).
+    cut_links: usize,
+    /// Deliveries that landed at or before a promise the lookahead matrix
+    /// made — always zero when the conservative bounds are sound; counted
+    /// in release builds too so the property tests can assert on it.
+    pair_bound_violations: u64,
 }
 
 impl std::fmt::Debug for ShardedCluster {
@@ -149,6 +248,21 @@ impl ShardedCluster {
             "shard plan must cover every node"
         );
         let lookahead = config.fabric.min_delivery_delay(HEADER_BYTES as u64);
+        // The distance-aware lookahead matrix: entry [s][d] is the fabric
+        // delivery delay over the minimum hop distance between the two
+        // shards' slabs. On a crossbar (or between adjacent slabs) this
+        // reduces to the scalar `lookahead`; distant slabs get
+        // proportionally more run-ahead.
+        let matrix = LookaheadMatrix::from_fn(plan.shards(), |s, d| {
+            config.fabric.delivery_delay_for_hops(
+                config
+                    .fabric
+                    .topology
+                    .min_hops(plan.range(s), plan.range(d)),
+                HEADER_BYTES as u64,
+            )
+        });
+        let cut_links = plan.cut_links(&config.fabric.topology);
         let shards: Vec<ShardSlot> = (0..plan.shards())
             .map(|s| {
                 let world = Cluster::shard_slice(config.clone(), plan.range(s));
@@ -163,14 +277,20 @@ impl ShardedCluster {
                 }
             })
             .collect();
+        let num_shards = shards.len();
         ShardedCluster {
-            engine: ShardedEngine::new(shards, lookahead),
+            engine: ShardedEngine::with_matrix(shards, matrix),
             fabric: Fabric::new(config.fabric.clone()),
             plan,
             config,
             clock: SimTime::ZERO,
             events: 0,
-            merge_buf: Vec::new(),
+            quantum: lookahead * QUANTUM_EPOCHS,
+            staging: (0..num_shards).map(|_| SourceQueue::default()).collect(),
+            deliveries: Vec::new(),
+            floors: vec![None; num_shards],
+            cut_links,
+            pair_bound_violations: 0,
         }
     }
 
@@ -194,9 +314,34 @@ impl ShardedCluster {
         &self.plan
     }
 
-    /// Epochs executed so far (partition-invariant).
+    /// Epoch barriers executed so far. With the distance-aware matrix the
+    /// per-shard horizon structure (and so this count) depends on the
+    /// partition; results stay bit-identical regardless.
     pub fn epochs(&self) -> u64 {
         self.engine.epochs()
+    }
+
+    /// The per-shard-pair lookahead matrix in force.
+    pub fn lookahead_matrix(&self) -> &LookaheadMatrix {
+        self.engine.matrix()
+    }
+
+    /// Tightest and loosest entries of the lookahead matrix.
+    pub fn lookahead_bounds(&self) -> (SimTime, SimTime) {
+        (self.engine.matrix().min(), self.engine.matrix().max())
+    }
+
+    /// Directed links cut by the plan in force.
+    pub fn cut_links(&self) -> usize {
+        self.cut_links
+    }
+
+    /// Deliveries that beat a lookahead-matrix promise — zero when the
+    /// conservative bounds are sound (the partition property tests assert
+    /// this stays zero in release builds; debug builds also assert at the
+    /// point of violation).
+    pub fn pair_bound_violations(&self) -> u64 {
+        self.pair_bound_violations
     }
 
     /// The shard owning `node`.
@@ -378,6 +523,12 @@ impl ShardedCluster {
         self.fold_shards(|c| c.total_bytes_written())
     }
 
+    /// Estimated resident heap bytes across every node's model state
+    /// (see `Node::resident_bytes`), summed over all shards.
+    pub fn resident_bytes(&self) -> u64 {
+        self.fold_shards(|c| c.resident_bytes())
+    }
+
     /// The delivery-order hash of `node` (see `Node::deliver_hash`):
     /// equal across two runs iff packets arrived at `node` in the same
     /// order at the same times.
@@ -402,7 +553,16 @@ impl ShardedCluster {
     /// externally visible clock moves; engine clocks catch up through
     /// epochs.
     pub fn advance_clock_to(&mut self, t: SimTime) {
+        // Staged departures that outran the last quantum count as pending
+        // work at their inject time (their arrivals lie even later), so
+        // an idle jump never carries an engine clock past them.
         let mut min_next: Option<SimTime> = None;
+        for queue in &self.staging {
+            min_next = match (min_next, queue.head_time()) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
         self.engine.for_each_shard(|_, slot| {
             min_next = match (min_next, slot.next_event_time()) {
                 (Some(a), Some(b)) => Some(a.min(b)),
@@ -415,30 +575,32 @@ impl ShardedCluster {
         self.clock = self.clock.max(t);
     }
 
-    /// Runs one driver round: epochs (with the fabric merge at each
-    /// barrier) until [`ADVANCE_ROUND_EVENTS`] events have executed or
-    /// the simulation drains. Returns whether work remains.
+    /// Runs one driver round: whole quanta until [`ADVANCE_ROUND_EVENTS`]
+    /// events have executed or the simulation drains. Both the event
+    /// threshold and the quantum boundaries it is checked at are
+    /// partition-invariant, so the driver regains control at the same
+    /// simulated instants for every thread count. Returns whether work
+    /// remains.
     pub fn advance_round(&mut self) -> bool {
         let mut ran_total = 0u64;
         let more = loop {
-            let ran = self.engine.run_epoch();
-            let exchanged = self.exchange();
-            if ran == 0 && exchanged == 0 {
-                break false;
-            }
-            ran_total += ran;
-            if ran_total >= ADVANCE_ROUND_EVENTS {
-                break true;
+            match self.run_quantum() {
+                None => break false,
+                Some(ran) => {
+                    ran_total += ran;
+                    if ran_total >= ADVANCE_ROUND_EVENTS {
+                        break true;
+                    }
+                }
             }
         };
         self.sync_caches();
         more
     }
 
-    /// Refreshes the `&self`-queryable caches (clock, event counts) from
-    /// shard state. Called at round boundaries.
+    /// Refreshes the `&self`-queryable event count from shard state (the
+    /// clock is maintained by `run_quantum`). Called at round boundaries.
     fn sync_caches(&mut self) {
-        self.clock = self.clock.max(self.engine.horizon());
         let mut events = 0u64;
         self.engine.for_each_shard(|_, slot| {
             events += slot.engine.events_executed() + slot.world.batched_logical_events;
@@ -446,54 +608,232 @@ impl ShardedCluster {
         self.events = events;
     }
 
-    /// The epoch-barrier merge: drains every shard's mailbox, applies the
-    /// staged sends to the global fabric in `(time, src, seq)` order, and
-    /// schedules the `Deliver` events into destination shards in
-    /// `(arrival, src, seq)` order. Returns the number of packets merged.
-    fn exchange(&mut self) -> usize {
-        let merge = &mut self.merge_buf;
-        merge.clear();
-        self.engine.for_each_shard(|_, slot| {
+    /// Executes one quantum `[S, S + QUANTUM_EPOCHS * L)` anchored at the
+    /// globally earliest pending event, running matrix-bounded epochs —
+    /// with an outbox drain and a commit-frontier merge after each —
+    /// until everything inside the quantum is final, then aligns every
+    /// shard clock to the (partition-invariant) quantum boundary.
+    ///
+    /// Returns `None` when the simulation is drained, otherwise the
+    /// number of events executed.
+    fn run_quantum(&mut self) -> Option<u64> {
+        // Settle the anchor: commit every staged departure that is
+        // already final — below both the floor-implied frontier and every
+        // pending event — so heads left over from the previous quantum
+        // become delivery events *before* the boundary is chosen. The
+        // quantum then anchors on the earliest remaining work, which
+        // keeps its `L`-grid aligned with the floors the epochs actually
+        // step through; anchoring on a staged head would offset `t_end`
+        // from that grid and split one lookahead band across two quanta
+        // (one extra epoch per quantum). Every quantity involved —
+        // staged entries, the global minimum floor and event time — is
+        // partition-invariant, so the boundary still is too.
+        let (mut min_floor, mut min_event) = self.gather_floors();
+        min_floor?;
+        // The commit frontier only ever moves forward: staged sends must
+        // hit the (order-dependent) fabric in globally nondecreasing
+        // `(t, src, seq)` order.
+        let mut frontier = SimTime::ZERO;
+        if let Some(bound) = self.precommit_bound(frontier, min_event) {
+            frontier = bound;
+            if self.commit(frontier) > 0 {
+                (min_floor, min_event) = self.gather_floors();
+            }
+        }
+        let anchor = min_floor?;
+        let t_end = SimTime::from_ps(
+            anchor
+                .as_ps()
+                .saturating_add(self.quantum.as_ps())
+                .saturating_sub(1),
+        );
+        self.engine.set_cap(Some(t_end));
+        let mut ran_quantum = 0u64;
+        loop {
+            // Stop without an empty barrier once everything left lies
+            // beyond the quantum.
+            if min_floor.is_none_or(|f| f > t_end) {
+                break;
+            }
+            // Pre-commit: the frontier an epoch would establish is pure
+            // floor arithmetic, so advance it *now* and turn final staged
+            // departures into delivery events before the epoch runs —
+            // otherwise an iteration whose earliest pending work is a
+            // staged head burns a whole (empty) epoch just to publish the
+            // frontier that lets `commit` deliver it. The bound stays
+            // below every pending event, so no departure injected later
+            // can slot under anything committed here.
+            let mut pre = 0;
+            if let Some(bound) = self.precommit_bound(frontier, min_event) {
+                frontier = bound;
+                pre = self.commit(frontier);
+                if pre > 0 {
+                    // Committing moved the staged heads (and added
+                    // delivery events); refresh the floors so the epoch —
+                    // and the quantum-exhausted check — see them.
+                    // (`min_event` is re-gathered at the loop tail before
+                    // its next read.)
+                    (min_floor, _) = self.gather_floors();
+                    if min_floor.is_none_or(|f| f > t_end) {
+                        break;
+                    }
+                }
+            }
+            let ran = self.engine.run_epoch();
+            let drained = self.drain_outboxes();
+            frontier = frontier.max(self.engine.min_horizon());
+            let committed = pre + self.commit(frontier);
+            ran_quantum += ran;
+            debug_assert!(
+                ran + drained as u64 + committed as u64 > 0,
+                "a quantum iteration with pending work must make progress"
+            );
+            if ran == 0 && drained == 0 && committed == 0 {
+                break;
+            }
+            (min_floor, min_event) = self.gather_floors();
+        }
+        self.engine.set_cap(None);
+        // Everything at or before the boundary is final; park every clock
+        // on it so driver-visible time is partition-invariant.
+        self.engine.align_all(t_end);
+        self.clock = self.clock.max(t_end);
+        Some(ran_quantum)
+    }
+
+    /// Refreshes `self.floors` — shard `s`'s earliest pending work, the
+    /// min of its next event and its staged head — publishes the staged
+    /// heads to the engine as source floors, and returns the global
+    /// minimum floor plus the global minimum *event* time (the earliest
+    /// instant any shard could inject a not-yet-staged departure).
+    fn gather_floors(&mut self) -> (Option<SimTime>, Option<SimTime>) {
+        let mut min_floor: Option<SimTime> = None;
+        let mut min_event: Option<SimTime> = None;
+        for s in 0..self.plan.shards() {
+            let head = self.staging[s].head_time();
+            let next = self.engine.with_shard(s, |slot| slot.next_event_time());
+            let floor = match (head, next) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            self.engine.set_source_floor(s, head);
+            self.floors[s] = floor;
+            min_floor = match (min_floor, floor) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            min_event = match (min_event, next) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        (min_floor, min_event)
+    }
+
+    /// The largest frontier advance the current floors admit without an
+    /// epoch: staged departures below both the would-be epoch frontier
+    /// (`LookaheadMatrix::min_horizon`) and every pending event are
+    /// final — no shard can inject a departure below its next event, so
+    /// committing them cannot reorder the global `(t, src, seq)` send
+    /// sequence. `None` when nothing is pending or the bound does not
+    /// move past `frontier`.
+    fn precommit_bound(&self, frontier: SimTime, min_event: Option<SimTime>) -> Option<SimTime> {
+        let h = self.engine.matrix().min_horizon(&self.floors)?;
+        let bound = match min_event {
+            Some(e) => h.min(SimTime::from_ps(e.as_ps().saturating_sub(1))),
+            None => h,
+        };
+        (bound > frontier).then_some(bound)
+    }
+
+    /// Drains every shard's mailbox outbox into its per-source staging
+    /// queue, keeping each queue `(t, src, seq)`-sorted. Returns the
+    /// number of departures staged.
+    fn drain_outboxes(&mut self) -> usize {
+        let mut drained = 0;
+        let staging = &mut self.staging;
+        self.engine.for_each_shard(|s, slot| {
             if let RoutePath::Mailbox(outbox) = &mut slot.world.route {
-                merge.append(outbox);
+                drained += staging[s].append_chunk(outbox);
             }
         });
-        if merge.is_empty() {
-            return 0;
-        }
-        merge.sort_unstable_by_key(|d| (d.t, d.src, d.seq));
-        let horizon = self.engine.horizon();
-        let mut deliveries: Vec<(usize, SimTime, Packet)> = Vec::with_capacity(merge.len());
-        for d in merge.iter() {
+        drained
+    }
+
+    /// Applies every staged departure with `t <= frontier` to the global
+    /// fabric — a k-way merge over the per-source queues in
+    /// `(t, src, seq)` order, identical to the serial send order — and
+    /// schedules the `Deliver` events into destination shards in the same
+    /// order. Returns the number of departures committed.
+    fn commit(&mut self, frontier: SimTime) -> usize {
+        self.deliveries.clear();
+        loop {
+            // K-way walk: the queues are few (one per shard) and already
+            // sorted, so the global minimum is a linear scan of heads.
+            let mut best: Option<(usize, (SimTime, NodeId, u64))> = None;
+            for (q, queue) in self.staging.iter().enumerate() {
+                if let Some(d) = queue.buf.get(queue.head) {
+                    if d.t <= frontier {
+                        let key = (d.t, d.src, d.seq);
+                        if best.is_none_or(|(_, bk)| key < bk) {
+                            best = Some((q, key));
+                        }
+                    }
+                }
+            }
+            let Some((q, _)) = best else {
+                break;
+            };
+            let (t, pkt) = {
+                let queue = &mut self.staging[q];
+                let d = &queue.buf[queue.head];
+                queue.head += 1;
+                (d.t, d.pkt)
+            };
             let arrival = self
                 .fabric
-                .send(
-                    d.t,
-                    d.src,
-                    d.pkt.dst,
-                    d.pkt.virtual_lane(),
-                    d.pkt.wire_bytes(),
-                )
+                .send(t, pkt.src, pkt.dst, pkt.virtual_lane(), pkt.wire_bytes())
                 .time;
-            debug_assert!(
-                arrival > horizon,
-                "conservative bound violated: arrival {arrival} within epoch (horizon {horizon})"
-            );
-            deliveries.push((self.plan.shard_of(d.pkt.dst.index()), arrival, d.pkt));
+            let dst_shard = self.plan.shard_of(pkt.dst.index());
+            // The per-pair promise: the matrix said nothing from shard q
+            // lands in dst_shard sooner than lookahead[q][dst] after its
+            // inject time.
+            let promise = t + self.engine.matrix().get(q, dst_shard);
+            if arrival < promise {
+                self.pair_bound_violations += 1;
+                debug_assert!(
+                    false,
+                    "delivery beats the lookahead promise: arrival {arrival} < {promise}"
+                );
+            }
+            self.deliveries.push((dst_shard, arrival, pkt));
         }
-        let n = deliveries.len();
+        let n = self.deliveries.len();
         // One lock per destination shard, preserving merged order within
         // each shard (stable partition).
         for s in 0..self.plan.shards() {
-            if deliveries.iter().any(|&(shard, _, _)| shard == s) {
+            if self.deliveries.iter().any(|&(shard, _, _)| shard == s) {
+                let deliveries = &self.deliveries;
+                let violations = &mut self.pair_bound_violations;
                 self.engine.with_shard(s, |slot| {
-                    for &(shard, at, pkt) in &deliveries {
+                    for &(shard, at, pkt) in deliveries {
                         if shard == s {
+                            if at <= slot.engine.now() {
+                                *violations += 1;
+                                debug_assert!(
+                                    false,
+                                    "delivery at {at} lands in shard {s}'s past ({})",
+                                    slot.engine.now()
+                                );
+                            }
                             slot.engine.schedule_at(at, ClusterEvent::Deliver { pkt });
                         }
                     }
                 });
             }
+        }
+        for queue in &mut self.staging {
+            queue.compact();
         }
         n
     }

@@ -13,8 +13,8 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use sonuma_fabric::{FabricConfig, Topology};
-use sonuma_machine::{MachineConfig, PipelineStats, SonumaBackend};
+use sonuma_fabric::{FabricConfig, ShardPlan, Topology};
+use sonuma_machine::{MachineConfig, PipelineStats, ShardedCluster, SonumaBackend};
 use sonuma_protocol::{NodeId, RemoteBackend, RemoteCompletion, RemoteRequest};
 use sonuma_sim::SimTime;
 
@@ -95,6 +95,11 @@ fn drive(mut b: SonumaBackend, ops_per_node: u64, stride: usize, op_bytes: u64) 
             break;
         }
     }
+    assert_eq!(
+        b.pair_bound_violations(),
+        0,
+        "a cross-shard delivery beat its lookahead-matrix promise"
+    );
     Outcome {
         now: b.now(),
         events: b.events_processed(),
@@ -161,6 +166,52 @@ proptest! {
         );
         prop_assert_eq!(serial, sharded);
     }
+}
+
+/// The machine-level lookahead matrix mirrors hop distance: symmetric
+/// pairs get identical entries, every entry matches the fabric's
+/// hop-count delivery bound for that pair, and distant pairs earn
+/// strictly wider lookahead than adjacent ones.
+#[test]
+fn lookahead_matrix_symmetric_and_hop_scaled() {
+    use sonuma_protocol::HEADER_BYTES;
+    let config = config_for(Topology::torus3d(4, 4, 4));
+    let plan = ShardPlan::for_topology(&config.fabric.topology, 4);
+    let cluster = ShardedCluster::with_plan(config.clone(), plan.clone());
+    let m = cluster.lookahead_matrix();
+    for a in 0..plan.shards() {
+        for b in 0..plan.shards() {
+            assert_eq!(m.get(a, b), m.get(b, a), "asymmetric at ({a},{b})");
+            let hops = config
+                .fabric
+                .topology
+                .min_hops(plan.range(a), plan.range(b));
+            assert_eq!(
+                m.get(a, b),
+                config
+                    .fabric
+                    .delivery_delay_for_hops(hops, HEADER_BYTES as u64),
+                "entry ({a},{b}) disagrees with the {hops}-hop fabric bound"
+            );
+        }
+    }
+    let (min, max) = cluster.lookahead_bounds();
+    assert!(
+        max > min,
+        "a 4-shard 4x4x4 torus must have non-adjacent shard pairs"
+    );
+}
+
+/// On a crossbar every pair is one hop, so the matrix collapses to the
+/// scalar lookahead the pre-matrix engine used.
+#[test]
+fn crossbar_matrix_reduces_to_scalar_lookahead() {
+    use sonuma_protocol::HEADER_BYTES;
+    let config = config_for(Topology::crossbar(16));
+    let cluster = ShardedCluster::new(config.clone(), 4);
+    let (min, max) = cluster.lookahead_bounds();
+    assert_eq!(min, max, "crossbar pairs are all equidistant");
+    assert_eq!(min, config.fabric.min_delivery_delay(HEADER_BYTES as u64));
 }
 
 /// The topology-aware default partition is equivalent too, at every

@@ -177,6 +177,19 @@ impl MemoryHierarchy {
         &self.dram
     }
 
+    /// Cache lines with materialized state across all levels, plus the
+    /// coherence lines tracked so far. The tag arrays are virtually sized
+    /// by geometry but zero-page-backed until touched, so this — not
+    /// `size_bytes()` — tracks what the hierarchy actually costs.
+    pub fn resident_lines(&self) -> usize {
+        self.l1s
+            .iter()
+            .map(CacheArray::resident_lines)
+            .sum::<usize>()
+            + self.l2.resident_lines()
+            + self.lines.len()
+    }
+
     fn note(&mut self, level: HitLevel) {
         let i = match level {
             HitLevel::L1 => 0,

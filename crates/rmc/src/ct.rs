@@ -73,6 +73,18 @@ impl ContextTable {
         Self::default()
     }
 
+    /// Heap bytes currently resident for this table (the lazily grown
+    /// entry slots plus each entry's QP list).
+    pub fn resident_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<Option<ContextEntry>>()
+            + self
+                .entries
+                .iter()
+                .flatten()
+                .map(|e| e.qps.capacity() * std::mem::size_of::<QpId>())
+                .sum::<usize>()
+    }
+
     /// Registers (or replaces) a context.
     pub fn register(&mut self, ctx: CtxId, entry: ContextEntry) {
         let idx = ctx.index();

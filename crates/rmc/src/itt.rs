@@ -37,6 +37,14 @@ struct InflightEntry {
 
 /// The source RMC's table of in-flight WQ requests, indexed by tid.
 ///
+/// Slot storage grows lazily: a node that never has more than a handful
+/// of requests in flight holds a handful of slots, not `capacity` — at
+/// rack scale (4096 nodes × 4096-entry tables) the difference is the
+/// bulk of the simulator's resident set. Tid assignment is identical to
+/// an eagerly allocated table: fresh tids issue in increasing order and
+/// freed tids are reused LIFO, so lazy growth is invisible to the
+/// deterministic history.
+///
 /// # Example
 ///
 /// ```
@@ -52,6 +60,8 @@ struct InflightEntry {
 pub struct InflightTable {
     slots: Vec<Option<InflightEntry>>,
     free: Vec<u16>,
+    next_fresh: usize,
+    capacity: usize,
     allocated: u64,
     completed: u64,
 }
@@ -68,8 +78,10 @@ impl InflightTable {
             "bad ITT capacity"
         );
         InflightTable {
-            slots: vec![None; capacity],
-            free: (0..capacity as u16).rev().collect(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            next_fresh: 0,
+            capacity,
             allocated: 0,
             completed: 0,
         }
@@ -77,12 +89,19 @@ impl InflightTable {
 
     /// Tids currently in flight.
     pub fn in_flight(&self) -> usize {
-        self.slots.len() - self.free.len()
+        self.next_fresh - self.free.len()
     }
 
     /// Whether every tid is in use (the RGP must stall).
     pub fn is_full(&self) -> bool {
-        self.free.is_empty()
+        self.free.is_empty() && self.next_fresh == self.capacity
+    }
+
+    /// Heap bytes currently resident for this table (grown slots plus the
+    /// free list), as opposed to the `capacity` it could grow to.
+    pub fn resident_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Option<InflightEntry>>()
+            + self.free.capacity() * std::mem::size_of::<u16>()
     }
 
     /// Lifetime allocations.
@@ -106,7 +125,18 @@ impl InflightTable {
         buf_vaddr: u64,
     ) -> Option<Tid> {
         debug_assert!(lines_total > 0, "zero-line transaction");
-        let tid = self.free.pop()?;
+        // Recycled tids first (LIFO, as an eager free list would), then a
+        // fresh slot; the tid sequence matches a fully preallocated table.
+        let tid = match self.free.pop() {
+            Some(t) => t,
+            None if self.next_fresh < self.capacity => {
+                let t = self.next_fresh as u16;
+                self.next_fresh += 1;
+                self.slots.push(None);
+                t
+            }
+            None => return None,
+        };
         self.slots[tid as usize] = Some(InflightEntry {
             qp,
             wq_index,
@@ -256,5 +286,23 @@ mod tests {
     #[should_panic(expected = "bad ITT capacity")]
     fn zero_capacity_panics() {
         InflightTable::new(0);
+    }
+
+    #[test]
+    fn lazy_growth_matches_eager_tid_order() {
+        // Fresh tids issue in increasing order; a freed tid is reused
+        // before any fresh one — exactly the eager `(0..cap).rev()` free
+        // list — so history never depends on the growth strategy.
+        let mut itt = InflightTable::new(1 << 12);
+        let a = itt.alloc(QpId(0), 0, 1, 0).unwrap();
+        let b = itt.alloc(QpId(0), 1, 1, 0).unwrap();
+        let c = itt.alloc(QpId(0), 2, 1, 0).unwrap();
+        assert_eq!((a, b, c), (Tid(0), Tid(1), Tid(2)));
+        itt.on_reply(b, Status::Ok);
+        assert_eq!(itt.alloc(QpId(0), 3, 1, 0), Some(Tid(1)));
+        assert_eq!(itt.alloc(QpId(0), 4, 1, 0), Some(Tid(3)));
+        assert_eq!(itt.in_flight(), 4);
+        // Only 4 of the 4096 slots are resident.
+        assert!(itt.resident_bytes() < 64 * std::mem::size_of::<Option<InflightEntry>>());
     }
 }

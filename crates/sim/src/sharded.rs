@@ -2,34 +2,50 @@
 //! epochs.
 //!
 //! [`ShardedEngine`] runs `N` shard worlds — each an independent
-//! discrete-event simulation over its own slice of state — in lockstep
-//! *epochs*. An epoch spans `[start, start + lookahead)`, where `start` is
-//! the globally earliest pending event and `lookahead` is the minimum
-//! latency of any cross-shard interaction (for the soNUMA fabric: one hop
-//! plus the serialization of the smallest packet). Within an epoch every
-//! shard executes its local events concurrently; cross-shard effects are
-//! staged by the worlds and exchanged by the *caller* between epochs, and
-//! by construction they can only land at or after the next epoch — the
-//! classic conservative (no-rollback) synchronization argument.
+//! discrete-event simulation over its own slice of state — in *epochs*
+//! bounded by a [`LookaheadMatrix`]: `lookahead[s][d]` is the minimum
+//! simulated time any action of shard `s` needs before it can affect
+//! shard `d` (for the soNUMA fabric: the minimum hop distance between the
+//! shards' node ranges times the per-hop latency, plus one serialization).
+//! Each epoch, every shard `d` advances to
+//!
+//! ```text
+//! horizon[d] = min over shards s of (floor[s] + lookahead[s][d]) - 1
+//! ```
+//!
+//! where `floor[s]` is the earliest thing shard `s` could still do: its
+//! earliest pending local event, or the earliest staged-but-undelivered
+//! cross-shard message bound *into* it (the caller publishes the latter
+//! via [`ShardedEngine::set_source_floor`]). Within an epoch every shard
+//! executes its local events concurrently; cross-shard effects are staged
+//! by the worlds and exchanged by the *caller* between epochs, and by
+//! construction they can only land after the receiver's horizon — the
+//! classic conservative (no-rollback) synchronization argument, sharpened
+//! per shard pair. A [uniform matrix](LookaheadMatrix::uniform) reduces
+//! exactly to the old scalar behavior: every horizon collapses to
+//! `global min + lookahead - 1`.
 //!
 //! Determinism is the point: the epoch boundaries are a pure function of
-//! event timestamps and the lookahead, never of host thread scheduling,
-//! so a run's event interleaving — and therefore its results — is
-//! bit-identical for any shard count, provided the caller's exchange step
-//! merges staged traffic in a partition-independent order (see
-//! `sonuma-machine`'s `ShardedCluster` for the fabric merge that does
-//! this).
+//! event timestamps and the matrix, never of host thread scheduling, so a
+//! run's event interleaving — and therefore its results — is bit-identical
+//! for any shard count, provided the caller's exchange step merges staged
+//! traffic in a partition-independent order (see `sonuma-machine`'s
+//! `ShardedCluster` for the fabric merge that does this, and for how it
+//! re-aligns shard clocks to partition-invariant quantum boundaries so
+//! externally injected work charges invariant times).
 //!
-//! Shards execute on a pool of persistent worker threads that spin-wait
-//! between epochs (epochs are short — tens of nanoseconds of simulated
-//! time — so futex sleep/wake latency would dominate; the spin degrades
-//! to `yield_now` so an oversubscribed host still makes progress). Shard
-//! 0 always runs on the coordinating thread, so a `threads = N` run uses
+//! Shards execute on a pool of persistent worker threads. Between epochs a
+//! worker spins briefly (epochs are microseconds of host time apart, so
+//! futex latency would dominate a sleep), degrades to `yield_now`, and
+//! finally parks with a timeout — so an idle, oversubscribed, or 1-core
+//! host does not burn CPU while the coordinator is busy elsewhere. Shard 0
+//! always runs on the coordinating thread, so a `threads = N` run uses
 //! exactly `N` OS threads.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+use std::thread::{JoinHandle, Thread};
+use std::time::Duration;
 
 use crate::time::SimTime;
 
@@ -48,14 +64,125 @@ pub trait EpochWorld: Send + 'static {
 
     /// Aligns the shard's clock to the epoch boundary `to` (which is at
     /// or after every event executed so far, and before every pending
-    /// one). After the barrier all shards agree on "now", so work
-    /// injected from outside the simulation — posts, polls — charges
-    /// from a partition-invariant time.
+    /// one). A target at or before the current clock is a no-op — the
+    /// engine passes stale targets when a shard's horizon regresses after
+    /// an empty peer gains a floor.
     fn align_clock(&mut self, to: SimTime);
 }
 
-/// Spins briefly, then yields: epochs are microseconds of host time, so
-/// waiting threads usually find work before ever yielding.
+/// Per-shard-pair conservative lookahead, in simulated time.
+///
+/// `get(s, d)` bounds from below how long any action of shard `s` takes to
+/// affect shard `d` — including `s == d`, because in the sharded machine
+/// even intra-shard packets take the staged mailbox path. Every entry must
+/// be positive: a zero lookahead admits no epoch in which concurrency is
+/// safe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookaheadMatrix {
+    n: usize,
+    ps: Vec<u64>,
+}
+
+impl LookaheadMatrix {
+    /// A matrix with every entry equal to `lookahead` — the scalar
+    /// conservative bound. [`ShardedEngine`] behaves exactly like the
+    /// historical global-barrier engine under a uniform matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or `lookahead` is zero.
+    pub fn uniform(shards: usize, lookahead: SimTime) -> Self {
+        LookaheadMatrix::from_fn(shards, |_, _| lookahead)
+    }
+
+    /// Builds an `shards x shards` matrix from `f(src, dst)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or any entry is zero.
+    pub fn from_fn(shards: usize, mut f: impl FnMut(usize, usize) -> SimTime) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let mut ps = Vec::with_capacity(shards * shards);
+        for s in 0..shards {
+            for d in 0..shards {
+                let l = f(s, d);
+                assert!(
+                    l > SimTime::ZERO,
+                    "conservative execution requires a positive lookahead \
+                     (entry [{s}][{d}] is zero)"
+                );
+                ps.push(l.as_ps());
+            }
+        }
+        LookaheadMatrix { n: shards, ps }
+    }
+
+    /// Number of shards the matrix covers.
+    pub fn shards(&self) -> usize {
+        self.n
+    }
+
+    /// The `src -> dst` lookahead.
+    pub fn get(&self, src: usize, dst: usize) -> SimTime {
+        SimTime::from_ps(self.ps[src * self.n + dst])
+    }
+
+    #[inline]
+    fn entry_ps(&self, src: usize, dst: usize) -> u64 {
+        self.ps[src * self.n + dst]
+    }
+
+    /// Inclusive horizon shard `dst` may run to under `floors_ps`
+    /// (`u64::MAX` = no floor): `min over s (floor[s] + la[s][dst]) - 1`,
+    /// or `u64::MAX` when no shard has a floor. Shared by
+    /// [`ShardedEngine::run_epoch`] and [`LookaheadMatrix::min_horizon`]
+    /// so the two can never drift.
+    fn horizon_ps(&self, dst: usize, floors_ps: &[u64]) -> u64 {
+        let mut h = u64::MAX;
+        for (s, &f) in floors_ps.iter().enumerate() {
+            if f != u64::MAX {
+                h = h.min(f.saturating_add(self.entry_ps(s, dst)).saturating_sub(1));
+            }
+        }
+        h
+    }
+
+    /// The tightest horizon any shard would get in an epoch whose
+    /// per-shard floors are `floors` — i.e. the commit frontier that
+    /// epoch would establish (`ShardedEngine::min_horizon` after
+    /// `run_epoch`). `None` when no shard has a floor.
+    ///
+    /// Horizons are pure floor arithmetic, so a caller that already knows
+    /// every floor can advance its commit frontier — and turn staged
+    /// traffic into delivery events — *before* running the epoch, instead
+    /// of spending a whole (possibly empty) epoch just to publish the
+    /// frontier.
+    pub fn min_horizon(&self, floors: &[Option<SimTime>]) -> Option<SimTime> {
+        assert_eq!(floors.len(), self.n, "one floor per shard");
+        let ps: Vec<u64> = floors
+            .iter()
+            .map(|f| f.map_or(u64::MAX, SimTime::as_ps))
+            .collect();
+        let h = (0..self.n)
+            .map(|d| self.horizon_ps(d, &ps))
+            .min()
+            .expect("nonempty matrix");
+        (h != u64::MAX).then(|| SimTime::from_ps(h))
+    }
+
+    /// The tightest entry — the scalar lookahead the matrix sharpens.
+    pub fn min(&self) -> SimTime {
+        SimTime::from_ps(*self.ps.iter().min().expect("nonempty matrix"))
+    }
+
+    /// The loosest entry — how much run-ahead the most distant pair gets.
+    pub fn max(&self) -> SimTime {
+        SimTime::from_ps(*self.ps.iter().max().expect("nonempty matrix"))
+    }
+}
+
+/// Spins briefly, then yields — the coordinator's wait for workers that
+/// are actively executing an epoch (they finish in microseconds).
 #[inline]
 fn relax(spins: &mut u32) {
     *spins += 1;
@@ -66,6 +193,15 @@ fn relax(spins: &mut u32) {
     }
 }
 
+/// Spins before an idle worker starts yielding.
+const IDLE_SPIN_LIMIT: u32 = 1 << 12;
+/// Yields before an idle worker parks.
+const IDLE_YIELD_LIMIT: u32 = 64;
+/// Park timeout: bounds the wake latency if an unpark is lost to the
+/// publish race (the flag handshake below makes that rare), and bounds
+/// idle wakeups to ~1 kHz while waiting for shutdown.
+const IDLE_PARK_TIMEOUT: Duration = Duration::from_millis(1);
+
 /// Shared coordination state between the coordinator and the workers.
 struct Control<S> {
     /// Slot `i` holds shard `i`; workers own slots `1..`, the coordinator
@@ -75,12 +211,14 @@ struct Control<S> {
     slots: Vec<Mutex<S>>,
     /// Monotone epoch sequence number; bumping it releases the workers.
     epoch: AtomicU64,
-    /// Horizon of the epoch currently being executed, in ps.
-    horizon_ps: AtomicU64,
+    /// Per-shard horizons of the epoch currently being executed, in ps.
+    horizons_ps: Vec<AtomicU64>,
     /// Per-worker completion acknowledgements (last finished epoch).
     done: Vec<AtomicU64>,
     /// Events executed by each worker in its last epoch.
     ran: Vec<AtomicU64>,
+    /// Whether each worker is (about to be) parked and needs an unpark.
+    parked: Vec<AtomicBool>,
     shutdown: AtomicBool,
 }
 
@@ -89,41 +227,71 @@ struct Control<S> {
 pub struct ShardedEngine<S: EpochWorld> {
     ctl: Arc<Control<S>>,
     workers: Vec<JoinHandle<()>>,
-    lookahead: SimTime,
+    /// Worker thread handles for unparking, indexed like `ctl.done`.
+    worker_threads: Vec<Thread>,
+    matrix: LookaheadMatrix,
+    /// Earliest staged-but-undelivered external input per shard, set by
+    /// the caller between epochs; participates in that shard's floor.
+    source_floors: Vec<Option<SimTime>>,
+    /// Optional inclusive upper bound on every horizon (the caller's
+    /// partition-invariant quantum boundary).
+    cap: Option<SimTime>,
+    /// Scratch: per-shard floors of the epoch being planned (ps;
+    /// `u64::MAX` = no floor).
+    floors_ps: Vec<u64>,
+    /// Per-shard horizons of the last executed epoch.
+    horizons: Vec<SimTime>,
     epochs: u64,
-    /// Boundary of the last completed epoch — the global clock every
-    /// shard is aligned to.
+    /// Highest horizon of the last executed epoch.
     horizon: SimTime,
 }
 
 impl<S: EpochWorld> ShardedEngine<S> {
-    /// Builds an engine over `shards`, spawning `shards.len() - 1`
-    /// worker threads (shard 0 runs on the calling thread).
+    /// Builds an engine with the scalar lookahead — every pair bounded by
+    /// the same `lookahead`, the maximally pessimistic (but always safe)
+    /// matrix.
     ///
     /// # Panics
     ///
-    /// Panics if `shards` is empty or `lookahead` is zero — a zero
-    /// lookahead admits no epoch in which concurrency is safe.
+    /// Panics if `shards` is empty or `lookahead` is zero.
     pub fn new(shards: Vec<S>, lookahead: SimTime) -> Self {
         assert!(!shards.is_empty(), "need at least one shard");
-        assert!(
-            lookahead > SimTime::ZERO,
-            "conservative execution requires a positive lookahead"
+        let matrix = LookaheadMatrix::uniform(shards.len(), lookahead);
+        ShardedEngine::with_matrix(shards, matrix)
+    }
+
+    /// Builds an engine over `shards` with a per-pair lookahead matrix,
+    /// spawning `shards.len() - 1` worker threads (shard 0 runs on the
+    /// calling thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty or the matrix's shard count does not
+    /// match.
+    pub fn with_matrix(shards: Vec<S>, matrix: LookaheadMatrix) -> Self {
+        assert!(!shards.is_empty(), "need at least one shard");
+        assert_eq!(
+            matrix.shards(),
+            shards.len(),
+            "lookahead matrix must cover every shard"
         );
         let n = shards.len();
         let ctl = Arc::new(Control {
             slots: shards.into_iter().map(Mutex::new).collect(),
             epoch: AtomicU64::new(0),
-            horizon_ps: AtomicU64::new(0),
+            horizons_ps: (0..n).map(|_| AtomicU64::new(0)).collect(),
             done: (0..n.saturating_sub(1))
                 .map(|_| AtomicU64::new(0))
                 .collect(),
             ran: (0..n.saturating_sub(1))
                 .map(|_| AtomicU64::new(0))
                 .collect(),
+            parked: (0..n.saturating_sub(1))
+                .map(|_| AtomicBool::new(false))
+                .collect(),
             shutdown: AtomicBool::new(false),
         });
-        let workers = (1..n)
+        let workers: Vec<JoinHandle<()>> = (1..n)
             .map(|i| {
                 let ctl = Arc::clone(&ctl);
                 std::thread::Builder::new()
@@ -132,10 +300,16 @@ impl<S: EpochWorld> ShardedEngine<S> {
                     .expect("spawn shard worker")
             })
             .collect();
+        let worker_threads = workers.iter().map(|h| h.thread().clone()).collect();
         ShardedEngine {
             ctl,
             workers,
-            lookahead,
+            worker_threads,
+            matrix,
+            source_floors: vec![None; n],
+            cap: None,
+            floors_ps: vec![u64::MAX; n],
+            horizons: vec![SimTime::ZERO; n],
             epochs: 0,
             horizon: SimTime::ZERO,
         }
@@ -146,20 +320,63 @@ impl<S: EpochWorld> ShardedEngine<S> {
         self.ctl.slots.len()
     }
 
-    /// The configured lookahead (epoch width).
+    /// The tightest pairwise lookahead — the scalar epoch width the
+    /// matrix sharpens (and equals, under a uniform matrix).
     pub fn lookahead(&self) -> SimTime {
-        self.lookahead
+        self.matrix.min()
     }
 
-    /// Epochs executed so far. A pure function of the event structure —
-    /// identical across shard counts for equivalent runs.
+    /// The per-pair lookahead matrix.
+    pub fn matrix(&self) -> &LookaheadMatrix {
+        &self.matrix
+    }
+
+    /// Epochs executed so far. Partition-*dependent*: per-destination
+    /// horizons are shaped by the lookahead matrix, so equivalent runs at
+    /// different shard counts may batch the same events into different
+    /// epoch structures (only quantum boundaries are invariant).
     pub fn epochs(&self) -> u64 {
         self.epochs
     }
 
-    /// The boundary of the last completed epoch: the global clock.
+    /// The highest per-shard boundary of the last completed epoch.
     pub fn horizon(&self) -> SimTime {
         self.horizon
+    }
+
+    /// The lowest per-shard boundary of the last completed epoch — the
+    /// caller's commit frontier: every shard has fully executed
+    /// `[.., min_horizon]`, so staged traffic injected at or before it is
+    /// final.
+    pub fn min_horizon(&self) -> SimTime {
+        *self.horizons.iter().min().expect("nonempty horizons")
+    }
+
+    /// The boundary shard `i` was advanced to by the last epoch.
+    pub fn shard_horizon(&self, i: usize) -> SimTime {
+        self.horizons[i]
+    }
+
+    /// Publishes the earliest staged-but-undelivered external input bound
+    /// for shard `shard` (or `None` when its staging is empty). The value
+    /// joins the shard's next-event floor when computing every shard's
+    /// next horizon: staged traffic is work the shard will do, just not
+    /// scheduled yet.
+    pub fn set_source_floor(&mut self, shard: usize, floor: Option<SimTime>) {
+        self.source_floors[shard] = floor;
+    }
+
+    /// Caps every horizon at `cap` (inclusive). Callers use this to stop
+    /// epochs at a partition-invariant boundary they align all clocks to;
+    /// `None` removes the cap.
+    pub fn set_cap(&mut self, cap: Option<SimTime>) {
+        self.cap = cap;
+    }
+
+    /// Aligns every shard's clock forward to `to` (per-shard no-op when
+    /// already past it).
+    pub fn align_all(&mut self, to: SimTime) {
+        self.for_each_shard(|_, s| s.align_clock(to));
     }
 
     /// Runs `f` with exclusive access to shard `i`. Must only be called
@@ -188,57 +405,71 @@ impl<S: EpochWorld> ShardedEngine<S> {
         }
     }
 
-    /// Executes one epoch: finds the globally earliest pending event,
-    /// runs every shard through `[start, start + lookahead)` in parallel,
-    /// aligns all clocks to the epoch boundary, and returns the number of
-    /// events executed (0 when every shard is drained).
+    /// Executes one epoch: gathers per-shard floors (earliest pending
+    /// event, merged with the caller-published source floor), computes
+    /// every shard's horizon from the lookahead matrix, runs all shards
+    /// to their horizons in parallel, aligns each clock to its horizon,
+    /// and returns the number of events executed.
     ///
-    /// The caller exchanges staged cross-shard traffic after each epoch;
-    /// anything it schedules must land strictly after the returned-to
-    /// horizon, which the lookahead guarantees for conforming worlds.
+    /// Returns 0 without running when no shard has a floor. Note that
+    /// with source floors set, a return of 0 does *not* mean the system
+    /// is drained — staged traffic may still need committing; the machine
+    /// layer's quantum loop terminates on "nothing ran, nothing staged,
+    /// nothing committed".
+    ///
+    /// A shard's horizon may be below its clock when a previously empty
+    /// peer gained a floor since the last epoch; running and aligning are
+    /// both no-ops then, and conservative safety is unaffected (delivery
+    /// bounds derive from node-level hop distances, which satisfy the
+    /// triangle inequality).
     pub fn run_epoch(&mut self) -> u64 {
         let n = self.ctl.slots.len();
-        // Globally earliest pending event; all locks are free here.
-        let mut start: Option<SimTime> = None;
+        // Per-shard floors; all locks are free here.
+        let mut any = false;
         for i in 0..n {
             let next = self.ctl.slots[i]
                 .lock()
                 .expect("shard poisoned")
                 .next_event_time();
-            start = match (start, next) {
+            let floor = match (next, self.source_floors[i]) {
                 (Some(a), Some(b)) => Some(a.min(b)),
                 (a, b) => a.or(b),
             };
+            self.floors_ps[i] = floor.map_or(u64::MAX, SimTime::as_ps);
+            any |= floor.is_some();
         }
-        let Some(start) = start else {
+        if !any {
             return 0;
-        };
-        // The epoch window is [start, start + lookahead); run_epoch's
-        // horizon is inclusive, hence the - 1 ps.
-        let horizon = SimTime::from_ps(
-            start
-                .as_ps()
-                .saturating_add(self.lookahead.as_ps())
-                .saturating_sub(1),
-        );
+        }
+        // Every epoch window is half-open; horizons are inclusive, hence
+        // the - 1 ps.
+        let cap_ps = self.cap.map_or(u64::MAX, SimTime::as_ps);
+        for d in 0..n {
+            let h = self.matrix.horizon_ps(d, &self.floors_ps).min(cap_ps);
+            self.horizons[d] = SimTime::from_ps(h);
+            self.ctl.horizons_ps[d].store(h, Ordering::Relaxed);
+        }
 
         let mut total = 0u64;
         if n == 1 {
             let mut shard = self.ctl.slots[0].lock().expect("shard poisoned");
-            total += shard.run_epoch(horizon);
-            shard.align_clock(horizon);
+            total += shard.run_epoch(self.horizons[0]);
+            shard.align_clock(self.horizons[0]);
         } else {
             let seq = self.ctl.epoch.load(Ordering::Relaxed) + 1;
-            self.ctl
-                .horizon_ps
-                .store(horizon.as_ps(), Ordering::Relaxed);
-            // Release the workers (the store publishes the horizon).
-            self.ctl.epoch.store(seq, Ordering::Release);
+            // Release the workers (the store publishes the horizons);
+            // SeqCst pairs with the park handshake in `worker_loop`.
+            self.ctl.epoch.store(seq, Ordering::SeqCst);
+            for (w, parked) in self.ctl.parked.iter().enumerate() {
+                if parked.load(Ordering::SeqCst) {
+                    self.worker_threads[w].unpark();
+                }
+            }
             // Shard 0 runs on this thread while the workers run theirs.
             {
                 let mut shard = self.ctl.slots[0].lock().expect("shard poisoned");
-                total += shard.run_epoch(horizon);
-                shard.align_clock(horizon);
+                total += shard.run_epoch(self.horizons[0]);
+                shard.align_clock(self.horizons[0]);
             }
             for (i, done) in self.ctl.done.iter().enumerate() {
                 let mut spins = 0;
@@ -249,7 +480,7 @@ impl<S: EpochWorld> ShardedEngine<S> {
             }
         }
         self.epochs += 1;
-        self.horizon = horizon;
+        self.horizon = *self.horizons.iter().max().expect("nonempty horizons");
         total
     }
 }
@@ -264,12 +495,32 @@ fn worker_loop<S: EpochWorld>(ctl: &Control<S>, index: usize) {
             if ctl.shutdown.load(Ordering::Acquire) {
                 return;
             }
-            relax(&mut spins);
+            // Idle: spin briefly (the next epoch usually arrives within
+            // microseconds), degrade to yielding, then park. The parked
+            // flag is raised *before* re-checking `epoch`, and the
+            // coordinator stores `epoch` *before* reading the flags (both
+            // SeqCst), so either the worker sees the new epoch or the
+            // coordinator sees the flag and unparks — a lost wakeup needs
+            // both to miss, which the ordering forbids; the timeout is
+            // belt-and-braces and bounds shutdown latency.
+            spins += 1;
+            if spins < IDLE_SPIN_LIMIT {
+                std::hint::spin_loop();
+            } else if spins < IDLE_SPIN_LIMIT + IDLE_YIELD_LIMIT {
+                std::thread::yield_now();
+            } else {
+                ctl.parked[worker].store(true, Ordering::SeqCst);
+                if ctl.epoch.load(Ordering::SeqCst) == last && !ctl.shutdown.load(Ordering::SeqCst)
+                {
+                    std::thread::park_timeout(IDLE_PARK_TIMEOUT);
+                }
+                ctl.parked[worker].store(false, Ordering::SeqCst);
+            }
             continue;
         }
         spins = 0;
         last = seq;
-        let horizon = SimTime::from_ps(ctl.horizon_ps.load(Ordering::Relaxed));
+        let horizon = SimTime::from_ps(ctl.horizons_ps[index].load(Ordering::Relaxed));
         let ran = {
             let mut shard = ctl.slots[index].lock().expect("shard poisoned");
             let ran = shard.run_epoch(horizon);
@@ -283,7 +534,10 @@ fn worker_loop<S: EpochWorld>(ctl: &Control<S>, index: usize) {
 
 impl<S: EpochWorld> Drop for ShardedEngine<S> {
     fn drop(&mut self) {
-        self.ctl.shutdown.store(true, Ordering::Release);
+        self.ctl.shutdown.store(true, Ordering::SeqCst);
+        for thread in &self.worker_threads {
+            thread.unpark();
+        }
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -294,7 +548,7 @@ impl<S: EpochWorld> std::fmt::Debug for ShardedEngine<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedEngine")
             .field("shards", &self.ctl.slots.len())
-            .field("lookahead", &self.lookahead)
+            .field("lookahead", &self.matrix.min())
             .field("epochs", &self.epochs)
             .field("horizon", &self.horizon)
             .finish()
@@ -441,14 +695,134 @@ mod tests {
         assert_eq!(engine.run_epoch(), 1);
         let horizon = engine.horizon();
         assert_eq!(horizon, SimTime::from_ps(100_000 + 10_000 - 1));
+        assert_eq!(engine.min_horizon(), horizon, "uniform matrix: one bound");
         // Both shards — including the one that ran nothing — sit exactly
         // on the boundary.
         engine.for_each_shard(|_, s| assert_eq!(s.engine.now(), horizon));
     }
 
     #[test]
+    fn distant_shards_run_ahead_of_the_scalar_bound() {
+        // Shard 1 is "far" from shard 0 (100 ns each way) but close to
+        // itself (its own staged traffic round-trips in 100 ns too); with
+        // only shard 1 holding events, its horizon is bounded by its own
+        // pair entry, far past the scalar minimum.
+        let mut shards: Vec<Slot> = (0..2).map(slot).collect();
+        shards[1].engine.schedule_at(SimTime::ZERO, Ev::Mark(1));
+        let la = |s: usize, d: usize| {
+            if s == d {
+                SimTime::from_ns(100)
+            } else {
+                SimTime::from_ns(10)
+            }
+        };
+        let mut engine = ShardedEngine::with_matrix(shards, LookaheadMatrix::from_fn(2, la));
+        assert_eq!(engine.matrix().min(), SimTime::from_ns(10));
+        assert_eq!(engine.matrix().max(), SimTime::from_ns(100));
+        assert_eq!(engine.run_epoch(), 1);
+        // Shard 1's horizon: min(floor1 + la[1][1]) - 1 = 100 ns - 1 ps.
+        assert_eq!(engine.shard_horizon(1), SimTime::from_ps(100_000 - 1));
+        // Shard 0's horizon: min(floor1 + la[1][0]) - 1 = 10 ns - 1 ps —
+        // it cannot outrun traffic shard 1 might send it.
+        assert_eq!(engine.shard_horizon(0), SimTime::from_ps(10_000 - 1));
+        assert_eq!(engine.min_horizon(), SimTime::from_ps(10_000 - 1));
+        engine.peek_shard(0, |s| {
+            assert_eq!(s.engine.now(), SimTime::from_ps(10_000 - 1))
+        });
+        engine.peek_shard(1, |s| {
+            assert_eq!(s.engine.now(), SimTime::from_ps(100_000 - 1))
+        });
+    }
+
+    #[test]
+    fn source_floors_constrain_horizons() {
+        // Shard 0 has no local events but 50 ns of staged input; shard 1's
+        // event sits at 200 ns. Horizons must respect the staged floor.
+        let mut shards: Vec<Slot> = (0..2).map(slot).collect();
+        shards[1]
+            .engine
+            .schedule_at(SimTime::from_ns(200), Ev::Mark(0));
+        let mut engine = ShardedEngine::new(shards, SimTime::from_ns(10));
+        engine.set_source_floor(0, Some(SimTime::from_ns(50)));
+        let ran = engine.run_epoch();
+        assert_eq!(ran, 0, "nothing executable below the horizon");
+        assert_eq!(engine.epochs(), 1);
+        // Both horizons: min(50 + 10, 200 + 10) - 1.
+        assert_eq!(engine.min_horizon(), SimTime::from_ps(60_000 - 1));
+        engine.for_each_shard(|_, s| assert_eq!(s.engine.now(), SimTime::from_ps(60_000 - 1)));
+        // Clearing the floor lets the 200 ns event bound the next epoch.
+        engine.set_source_floor(0, None);
+        assert_eq!(engine.run_epoch(), 1);
+        assert_eq!(engine.min_horizon(), SimTime::from_ps(210_000 - 1));
+    }
+
+    #[test]
+    fn cap_bounds_every_horizon() {
+        let mut shards: Vec<Slot> = (0..2).map(slot).collect();
+        shards[0].engine.schedule_at(SimTime::ZERO, Ev::Mark(0));
+        let mut engine = ShardedEngine::new(shards, SimTime::from_ns(100));
+        engine.set_cap(Some(SimTime::from_ns(30)));
+        assert_eq!(engine.run_epoch(), 1);
+        assert_eq!(engine.horizon(), SimTime::from_ns(30));
+        engine.for_each_shard(|_, s| assert_eq!(s.engine.now(), SimTime::from_ns(30)));
+        engine.set_cap(None);
+        engine.align_all(SimTime::from_ns(40));
+        engine.for_each_shard(|_, s| assert_eq!(s.engine.now(), SimTime::from_ns(40)));
+    }
+
+    #[test]
+    fn uniform_matrix_matches_scalar_engine_epochs() {
+        // A from_fn matrix with constant entries must behave exactly like
+        // the scalar constructor: same epoch count, same horizons.
+        let build = |uniform: bool| -> (u64, SimTime) {
+            let mut shards: Vec<Slot> = (0..3).map(slot).collect();
+            for k in 0..9u64 {
+                shards[k as usize % 3]
+                    .engine
+                    .schedule_at(SimTime::from_ns(5 * k), Ev::Mark(k));
+            }
+            let mut engine = if uniform {
+                ShardedEngine::new(shards, SimTime::from_ns(7))
+            } else {
+                ShardedEngine::with_matrix(
+                    shards,
+                    LookaheadMatrix::from_fn(3, |_, _| SimTime::from_ns(7)),
+                )
+            };
+            while engine.run_epoch() > 0 {}
+            (engine.epochs(), engine.horizon())
+        };
+        assert_eq!(build(true), build(false));
+    }
+
+    #[test]
+    fn parked_workers_wake_for_the_next_epoch() {
+        // Long enough between epochs that workers walk the whole idle
+        // ladder (spin, yield, park); the next epoch must still run.
+        let mut shards: Vec<Slot> = (0..3).map(slot).collect();
+        for s in shards.iter_mut() {
+            s.engine.schedule_at(SimTime::from_ns(1), Ev::Mark(0));
+            s.engine.schedule_at(SimTime::from_ns(500), Ev::Mark(1));
+        }
+        let mut engine = ShardedEngine::new(shards, SimTime::from_ns(4));
+        assert_eq!(engine.run_epoch(), 3);
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(engine.run_epoch(), 3, "parked workers must wake and run");
+        engine.for_each_shard(|_, s| assert_eq!(s.world.fired.len(), 2));
+    }
+
+    #[test]
     #[should_panic(expected = "positive lookahead")]
     fn zero_lookahead_panics() {
         let _ = ShardedEngine::new(vec![slot(0)], SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover every shard")]
+    fn mismatched_matrix_panics() {
+        let _ = ShardedEngine::with_matrix(
+            vec![slot(0)],
+            LookaheadMatrix::uniform(2, SimTime::from_ns(1)),
+        );
     }
 }
