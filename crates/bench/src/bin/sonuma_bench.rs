@@ -29,8 +29,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use sonuma_bench::json::Json;
 use sonuma_bench::scenario::{
-    self, calibrate, canned_specs, check_baseline, equivalence_diff, report_calibrated, run_spec,
-    run_spec_compare_threads, run_specs, smoke_specs, validate_report, ScenarioSpec, REPORT_SCHEMA,
+    self, calibrate, canned_specs, check_baseline, check_fault_baseline, equivalence_diff,
+    report_calibrated, run_spec, run_spec_compare_threads, run_specs, slim_report, smoke_specs,
+    validate_report, ScenarioSpec, REPORT_SCHEMA,
 };
 
 /// System allocator wrapped with a live-bytes high-water mark, so every
@@ -243,6 +244,10 @@ fn baseline_cmd(args: Vec<String>) -> ExitCode {
         eprintln!("internal error: generated report fails schema check: {e}");
         return ExitCode::FAILURE;
     }
+    // The checked-in baseline keeps only what the gates read: aggregates
+    // and the hottest-N detail rows, never per-node dumps. The full
+    // report stays available from any `scenario --out` run.
+    let doc = slim_report(&doc);
     if let Err(e) = std::fs::write(&path, doc.render()) {
         eprintln!("cannot write {}: {e}", path.display());
         return ExitCode::FAILURE;
@@ -265,6 +270,8 @@ fn baseline_specs() -> Vec<ScenarioSpec> {
         "rack512-torus-scan",
         "rack1024-shard",
         "rack4096",
+        "rack512-linkflap",
+        "rack1024-nodekill",
     ];
     let mut specs = smoke_specs();
     specs.extend(
@@ -445,7 +452,10 @@ fn scenario_cmd(args: Vec<String>) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let check = check_baseline(&doc, &base, max_regress);
+        let mut check = check_baseline(&doc, &base, max_regress);
+        let fault_check = check_fault_baseline(&doc, &base);
+        check.notes.extend(fault_check.notes);
+        check.failures.extend(fault_check.failures);
         for note in &check.notes {
             println!("note: {note}");
         }

@@ -25,7 +25,7 @@ use sonuma_core::{
     MachineConfig, NodeId, PipelineStats, RemoteBackend, RemoteRequest, SchedPolicy, SloClass,
     SonumaBackend, TenantId,
 };
-use sonuma_fabric::{FabricConfig, LinkStats};
+use sonuma_fabric::{FabricConfig, FaultPlan, LinkFault, LinkStats, NodeFault, Topology};
 use sonuma_sim::stats::LatencyHistogram;
 use sonuma_sim::{DetRng, SimTime};
 
@@ -54,7 +54,14 @@ use crate::trafficgen::{jain_index, ArrivalGen, ArrivalKind, ZipfSampler};
 /// machine's resident-heap estimate), and the optional `compare_serial`
 /// object written by `--compare-threads` (serial wall time, wall ratio,
 /// serial epoch count).
-pub const REPORT_SCHEMA: &str = "sonuma-bench.scenario/v5";
+/// v6 added the `[faults]` spec section ([`FaultSpec`]) and the per-run
+/// `faults` section ([`FaultOutcome`]): injected link/node fault counts,
+/// fabric drop/corrupt/reroute counters, source-side recovery counters
+/// (timeouts, retransmits, aborts), goodput under failure, and the
+/// 1 µs-binned recovery time back to ≥ 90 % of the pre-fault completion
+/// rate. Latency histograms now record only successful completions
+/// (identical on fault-free runs, which complete everything with Ok).
+pub const REPORT_SCHEMA: &str = "sonuma-bench.scenario/v6";
 
 /// A transport a scenario runs over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -225,6 +232,160 @@ pub struct TrafficSpec {
     pub burst: u32,
 }
 
+/// The `[faults]` section: a count-based description of what goes wrong
+/// in a run. The concrete links and nodes are sampled from a dedicated
+/// [`DetRng`] stream seeded by `seed` alone, so the same section produces
+/// the same [`FaultPlan`] under any workload seed, thread count, or shard
+/// partition — the plan is a pure function of `(spec, topology)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Seed of the fault stream (link/node sampling and every per-packet
+    /// drop/corrupt draw). Independent of the workload seed.
+    pub seed: u64,
+    /// Directed links degraded for the whole run.
+    pub degraded_links: usize,
+    /// Per-packet drop probability on each degraded link.
+    pub drop_prob: f64,
+    /// Per-packet corruption probability on each degraded link.
+    pub corrupt_prob: f64,
+    /// Serialization multiplier on degraded links (`>= 1`).
+    pub derate: f64,
+    /// Flow-control credits lost per lane on degraded links.
+    pub credit_loss: usize,
+    /// Directed links killed outright at `kill_at_us`.
+    pub killed_links: usize,
+    /// Simulated microsecond the killed links die.
+    pub kill_at_us: f64,
+    /// Simulated microsecond the killed links come back (0 = never).
+    pub revive_at_us: f64,
+    /// Nodes that crash at `crash_at_us`, losing all RMC state.
+    pub crashed_nodes: usize,
+    /// Simulated microsecond the crashing nodes go down.
+    pub crash_at_us: f64,
+    /// Simulated microsecond the crashed nodes restart (cold caches).
+    pub restart_at_us: f64,
+    /// Base retransmission deadline in microseconds (doubles per retry).
+    pub timeout_us: f64,
+    /// Retransmission attempts before an operation aborts.
+    pub max_retries: u32,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            seed: 1,
+            degraded_links: 0,
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
+            derate: 1.0,
+            credit_loss: 0,
+            killed_links: 0,
+            kill_at_us: 20.0,
+            revive_at_us: 0.0,
+            crashed_nodes: 0,
+            crash_at_us: 30.0,
+            restart_at_us: 50.0,
+            timeout_us: 10.0,
+            max_retries: 3,
+        }
+    }
+}
+
+fn us_to_sim(us: f64) -> SimTime {
+    SimTime::from_ps((us * 1e6) as u64)
+}
+
+impl FaultSpec {
+    /// Whether the section injects nothing (a zero-count `[faults]` table
+    /// must behave byte-identically to no section at all).
+    pub fn is_empty(&self) -> bool {
+        self.degraded_links == 0 && self.killed_links == 0 && self.crashed_nodes == 0
+    }
+
+    /// The simulated microsecond the first scheduled fault fires, `None`
+    /// for degradation-only plans (which have no onset — the whole run is
+    /// degraded).
+    pub fn onset_us(&self) -> Option<f64> {
+        let mut onset: Option<f64> = None;
+        if self.killed_links > 0 {
+            onset = Some(self.kill_at_us);
+        }
+        if self.crashed_nodes > 0 {
+            onset = Some(onset.map_or(self.crash_at_us, |o| o.min(self.crash_at_us)));
+        }
+        onset
+    }
+
+    /// Samples the concrete [`FaultPlan`] for `topology`: distinct killed
+    /// links first, then distinct degraded links disjoint from them, then
+    /// distinct crashing nodes — all from one seeded stream. Counts are
+    /// clamped to what the topology has. Returns `None` when the section
+    /// is empty, preserving the fault-free fast path.
+    pub fn instantiate(&self, topology: &Topology) -> Option<FaultPlan> {
+        if self.is_empty() {
+            return None;
+        }
+        let nodes = topology.nodes();
+        let mut directed: Vec<(NodeId, NodeId)> = Vec::new();
+        for n in 0..nodes {
+            let src = NodeId(n as u16);
+            for dst in topology.neighbors(src) {
+                directed.push((src, dst));
+            }
+        }
+        let mut rng = DetRng::seed(self.seed);
+        let mut taken = vec![false; directed.len()];
+        let draw_links = |rng: &mut DetRng, taken: &mut Vec<bool>, count: usize| {
+            let free = taken.iter().filter(|&&t| !t).count();
+            let mut picked = Vec::new();
+            for _ in 0..count.min(free) {
+                loop {
+                    let i = rng.below(directed.len() as u64) as usize;
+                    if !taken[i] {
+                        taken[i] = true;
+                        picked.push(directed[i]);
+                        break;
+                    }
+                }
+            }
+            picked
+        };
+        let mut plan = FaultPlan::new(self.seed);
+        plan.timeout = us_to_sim(self.timeout_us);
+        plan.max_retries = self.max_retries;
+        for (src, dst) in draw_links(&mut rng, &mut taken, self.killed_links) {
+            let mut f = LinkFault::on(src, dst);
+            f.kill_at = Some(us_to_sim(self.kill_at_us));
+            f.revive_at = (self.revive_at_us > 0.0).then(|| us_to_sim(self.revive_at_us));
+            plan.links.push(f);
+        }
+        for (src, dst) in draw_links(&mut rng, &mut taken, self.degraded_links) {
+            let mut f = LinkFault::on(src, dst);
+            f.drop_prob = self.drop_prob;
+            f.corrupt_prob = self.corrupt_prob;
+            f.derate = self.derate;
+            f.credit_loss = self.credit_loss;
+            plan.links.push(f);
+        }
+        let mut crashed = vec![false; nodes];
+        for _ in 0..self.crashed_nodes.min(nodes) {
+            loop {
+                let n = rng.below(nodes as u64) as usize;
+                if !crashed[n] {
+                    crashed[n] = true;
+                    plan.nodes.push(NodeFault {
+                        node: NodeId(n as u16),
+                        crash_at: us_to_sim(self.crash_at_us),
+                        restart_at: us_to_sim(self.restart_at_us),
+                    });
+                    break;
+                }
+            }
+        }
+        Some(plan)
+    }
+}
+
 /// The SLO class of tenant `id` out of `total`: contiguous thirds.
 pub fn tenant_class(id: usize, total: usize) -> SloClass {
     match id * 3 / total.max(1) {
@@ -289,6 +450,9 @@ pub struct ScenarioSpec {
     pub tenancy: Option<TenancySpec>,
     /// Open-loop arrival processes (`[traffic]` section).
     pub traffic: Option<TrafficSpec>,
+    /// Seeded fault injection (`[faults]` section). `None` — or a section
+    /// whose counts are all zero — runs the exact fault-free code paths.
+    pub faults: Option<FaultSpec>,
 }
 
 impl Default for ScenarioSpec {
@@ -310,6 +474,7 @@ impl Default for ScenarioSpec {
             qp_entries: 64,
             tenancy: None,
             traffic: None,
+            faults: None,
         }
     }
 }
@@ -472,6 +637,53 @@ impl ScenarioSpec {
                 }
             }
         }
+        if let Some(f) = &self.faults {
+            for (key, p) in [("drop_prob", f.drop_prob), ("corrupt_prob", f.corrupt_prob)] {
+                if !(0.0..=1.0).contains(&p) {
+                    return err(format!("{key} = {p} out of [0, 1]"));
+                }
+            }
+            if !(1.0..=64.0).contains(&f.derate) {
+                return err(format!("derate = {} (need [1, 64])", f.derate));
+            }
+            if f.credit_loss > 64 {
+                return err(format!("credit_loss = {} (max 64)", f.credit_loss));
+            }
+            if !(f.timeout_us > 0.0 && f.timeout_us <= 1e6) {
+                return err(format!("timeout_us = {} (need (0, 1e6])", f.timeout_us));
+            }
+            if f.max_retries > 64 {
+                return err(format!("max_retries = {} (max 64)", f.max_retries));
+            }
+            if f.killed_links > 0 {
+                if !(f.kill_at_us > 0.0 && f.kill_at_us <= 1e6) {
+                    return err(format!("kill_at_us = {} (need (0, 1e6])", f.kill_at_us));
+                }
+                if f.revive_at_us != 0.0 && f.revive_at_us <= f.kill_at_us {
+                    return err(format!(
+                        "revive_at_us = {} must exceed kill_at_us = {} (or be 0 for never)",
+                        f.revive_at_us, f.kill_at_us
+                    ));
+                }
+            }
+            if f.crashed_nodes > 0 {
+                if f.crashed_nodes >= self.nodes {
+                    return err(format!(
+                        "crashed_nodes = {} (must leave survivors among {} nodes)",
+                        f.crashed_nodes, self.nodes
+                    ));
+                }
+                if !(f.crash_at_us > 0.0 && f.crash_at_us <= 1e6) {
+                    return err(format!("crash_at_us = {} (need (0, 1e6])", f.crash_at_us));
+                }
+                if f.restart_at_us <= f.crash_at_us {
+                    return err(format!(
+                        "restart_at_us = {} must exceed crash_at_us = {}",
+                        f.restart_at_us, f.crash_at_us
+                    ));
+                }
+            }
+        }
         Ok(())
     }
 
@@ -520,6 +732,26 @@ impl ScenarioSpec {
             out.push_str(&format!("zipf_dst = {}\n", tr.zipf_dst));
             out.push_str(&format!("burst = {}\n", tr.burst));
         }
+        // A zero-count section renders as no section: the two are
+        // behaviorally identical, and rendering them identically keeps
+        // reports byte-identical too.
+        if let Some(f) = self.faults.as_ref().filter(|f| !f.is_empty()) {
+            out.push_str("\n[faults]\n");
+            out.push_str(&format!("seed = {}\n", f.seed));
+            out.push_str(&format!("degraded_links = {}\n", f.degraded_links));
+            out.push_str(&format!("drop_prob = {}\n", f.drop_prob));
+            out.push_str(&format!("corrupt_prob = {}\n", f.corrupt_prob));
+            out.push_str(&format!("derate = {}\n", f.derate));
+            out.push_str(&format!("credit_loss = {}\n", f.credit_loss));
+            out.push_str(&format!("killed_links = {}\n", f.killed_links));
+            out.push_str(&format!("kill_at_us = {}\n", f.kill_at_us));
+            out.push_str(&format!("revive_at_us = {}\n", f.revive_at_us));
+            out.push_str(&format!("crashed_nodes = {}\n", f.crashed_nodes));
+            out.push_str(&format!("crash_at_us = {}\n", f.crash_at_us));
+            out.push_str(&format!("restart_at_us = {}\n", f.restart_at_us));
+            out.push_str(&format!("timeout_us = {}\n", f.timeout_us));
+            out.push_str(&format!("max_retries = {}\n", f.max_retries));
+        }
         out
     }
 
@@ -541,6 +773,7 @@ impl ScenarioSpec {
             Tenants,
             Traffic,
             Execution,
+            Faults,
         }
         let mut section = Section::Top;
         for (idx, raw) in text.lines().enumerate() {
@@ -565,9 +798,13 @@ impl ScenarioSpec {
                         Section::Traffic
                     }
                     "execution" => Section::Execution,
+                    "faults" => {
+                        spec.faults.get_or_insert_with(FaultSpec::default);
+                        Section::Faults
+                    }
                     other => {
                         return Err(parse_err(&format!(
-                            "unknown section [{other}] (tenants|traffic|execution)"
+                            "unknown section [{other}] (tenants|traffic|execution|faults)"
                         )))
                     }
                 };
@@ -609,6 +846,44 @@ impl ScenarioSpec {
                         return Err(SpecError::Parse(
                             lineno,
                             format!("unknown key {other:?} in [execution]"),
+                        ));
+                    }
+                }
+                continue;
+            }
+            if section == Section::Faults {
+                let f = spec.faults.as_mut().expect("section initialized");
+                match key {
+                    "seed" => f.seed = value.into_u64(lineno, "seed")?,
+                    "degraded_links" => {
+                        f.degraded_links = value.into_u64(lineno, "degraded_links")? as usize;
+                    }
+                    "drop_prob" => f.drop_prob = value.into_f64(lineno, "drop_prob")?,
+                    "corrupt_prob" => f.corrupt_prob = value.into_f64(lineno, "corrupt_prob")?,
+                    "derate" => f.derate = value.into_f64(lineno, "derate")?,
+                    "credit_loss" => {
+                        f.credit_loss = value.into_u64(lineno, "credit_loss")? as usize;
+                    }
+                    "killed_links" => {
+                        f.killed_links = value.into_u64(lineno, "killed_links")? as usize;
+                    }
+                    "kill_at_us" => f.kill_at_us = value.into_f64(lineno, "kill_at_us")?,
+                    "revive_at_us" => f.revive_at_us = value.into_f64(lineno, "revive_at_us")?,
+                    "crashed_nodes" => {
+                        f.crashed_nodes = value.into_u64(lineno, "crashed_nodes")? as usize;
+                    }
+                    "crash_at_us" => f.crash_at_us = value.into_f64(lineno, "crash_at_us")?,
+                    "restart_at_us" => {
+                        f.restart_at_us = value.into_f64(lineno, "restart_at_us")?;
+                    }
+                    "timeout_us" => f.timeout_us = value.into_f64(lineno, "timeout_us")?,
+                    "max_retries" => {
+                        f.max_retries = value.into_u64(lineno, "max_retries")? as u32;
+                    }
+                    other => {
+                        return Err(SpecError::Parse(
+                            lineno,
+                            format!("unknown key {other:?} in [faults]"),
                         ));
                     }
                 }
@@ -776,6 +1051,28 @@ impl ScenarioSpec {
                 ]),
             ));
         }
+        // Zero-count sections are omitted, mirroring `to_toml`.
+        if let Some(f) = self.faults.as_ref().filter(|f| !f.is_empty()) {
+            members.push((
+                "faults".into(),
+                Json::Obj(vec![
+                    ("seed".into(), Json::Num(f.seed as f64)),
+                    ("degraded_links".into(), Json::Num(f.degraded_links as f64)),
+                    ("drop_prob".into(), Json::Num(f.drop_prob)),
+                    ("corrupt_prob".into(), Json::Num(f.corrupt_prob)),
+                    ("derate".into(), Json::Num(f.derate)),
+                    ("credit_loss".into(), Json::Num(f.credit_loss as f64)),
+                    ("killed_links".into(), Json::Num(f.killed_links as f64)),
+                    ("kill_at_us".into(), Json::Num(f.kill_at_us)),
+                    ("revive_at_us".into(), Json::Num(f.revive_at_us)),
+                    ("crashed_nodes".into(), Json::Num(f.crashed_nodes as f64)),
+                    ("crash_at_us".into(), Json::Num(f.crash_at_us)),
+                    ("restart_at_us".into(), Json::Num(f.restart_at_us)),
+                    ("timeout_us".into(), Json::Num(f.timeout_us)),
+                    ("max_retries".into(), Json::Num(f.max_retries as f64)),
+                ]),
+            ));
+        }
         Json::Obj(members)
     }
 }
@@ -926,6 +1223,60 @@ pub const MAX_REPORTED_LINKS: usize = 16;
 /// reviewable.
 pub const MAX_REPORTED_TENANTS: usize = 64;
 
+/// Fault-injection outcome of one soNUMA run under a non-empty
+/// `[faults]` section: what was injected, what the fabric did, what the
+/// source-side recovery machinery did about it, and how fast goodput
+/// returned after the scheduled onset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultOutcome {
+    /// Directed links the plan degraded.
+    pub links_degraded: usize,
+    /// Directed links the plan killed.
+    pub links_killed: usize,
+    /// Nodes the plan crashed.
+    pub nodes_crashed: usize,
+    /// Packets the fabric dropped on faulty links.
+    pub dropped: u64,
+    /// Packets delivered corrupted (discarded by the receiving RMC).
+    pub corrupted: u64,
+    /// Packets routed around dead links.
+    pub rerouted: u64,
+    /// Packets with no live route at all.
+    pub unreachable: u64,
+    /// Node-crash events executed.
+    pub crashes: u64,
+    /// Packets discarded because the destination was down.
+    pub crash_drops: u64,
+    /// Retransmission deadlines that fired with lines missing.
+    pub rgp_timeouts: u64,
+    /// Line requests re-injected by the retransmission path.
+    pub rgp_retransmits: u64,
+    /// Corrupt packets the receiving RMCs discarded.
+    pub rrpp_corrupt_drops: u64,
+    /// Operations that completed with an error status (retry exhaustion
+    /// and crash aborts included).
+    pub aborted: u64,
+    /// Successful operations over offered (open-loop) or total
+    /// (closed-loop) operations: goodput under failure.
+    pub goodput_fraction: f64,
+    /// Simulated microsecond the first scheduled fault fired (`None` for
+    /// degradation-only plans, which have no onset).
+    pub onset_us: Option<f64>,
+    /// Mean successful completions per simulated microsecond before the
+    /// onset (0 when there is no onset or no pre-onset window).
+    pub prefault_ops_per_us: f64,
+    /// Microseconds after the onset until a 1 µs bin first reached 90 %
+    /// of the pre-fault completion rate (`None` if it never did).
+    pub recovery_us: Option<f64>,
+    /// Whether goodput recovered to ≥ 90 % of the pre-fault rate (always
+    /// true for plans with no onset).
+    pub recovered: bool,
+    /// Gold-class p99 latency in ns (tenancy runs with gold tenants).
+    pub gold_p99_ns: Option<f64>,
+    /// Bronze-class p99 latency in ns (tenancy runs with bronze tenants).
+    pub bronze_p99_ns: Option<f64>,
+}
+
 /// Metrics of one spec running over one backend.
 #[derive(Debug, Clone)]
 pub struct BackendRun {
@@ -1007,6 +1358,13 @@ pub struct BackendRun {
     pub tenants: Vec<TenantOutcome>,
     /// Fabric congestion counters (soNUMA runs only).
     pub fabric: Option<FabricSummary>,
+    /// Successful completions per 1 µs of simulated time, indexed by
+    /// microsecond — the recovery-time raw data. Populated only when the
+    /// spec injects faults; empty otherwise.
+    pub ok_bins_1us: Vec<u64>,
+    /// Fault-injection outcome (soNUMA runs under a non-empty `[faults]`
+    /// section only).
+    pub faults: Option<FaultOutcome>,
 }
 
 /// Wall-clock comparison against a `--threads 1` companion run of the
@@ -1082,6 +1440,11 @@ impl BackendInstance {
                 };
                 config.fabric = spec.topology.to_config(spec.nodes);
                 config.qp_entries = spec.qp_entries;
+                if let Some(f) = &spec.faults {
+                    // `instantiate` returns None for zero-count sections,
+                    // leaving the fault-free fast path untouched.
+                    config.fabric.faults = f.instantiate(&config.fabric.topology);
+                }
                 if let Some(tn) = &spec.tenancy {
                     config.sched_policy = tn.scheduler;
                 }
@@ -1195,6 +1558,8 @@ fn drive(spec: &ScenarioSpec, backend: &mut dyn RemoteBackend) -> BackendRun {
     let mut ops = 0u64;
     let mut payload_bytes = 0u64;
     let mut errors = 0u64;
+    let track_bins = spec.faults.as_ref().is_some_and(|f| !f.is_empty());
+    let mut ok_bins: Vec<u64> = Vec::new();
 
     loop {
         let mut posted_any = false;
@@ -1214,15 +1579,22 @@ fn drive(spec: &ScenarioSpec, backend: &mut dyn RemoteBackend) -> BackendRun {
             }
         }
         let more = backend.advance();
+        let now = backend.now();
         for (n, node_pending) in pending.iter_mut().enumerate() {
             for c in backend.poll(NodeId(n as u16)) {
                 let (posted_ps, bytes) = node_pending
                     .remove(&c.token)
                     .expect("completion for unknown token");
-                hist.record(backend.now().saturating_sub(SimTime::from_ps(posted_ps)));
                 ops += 1;
                 if c.status.is_ok() {
+                    // Only successful operations shape the latency
+                    // distribution — an abort is accounted as an error,
+                    // not as a (meaningless) fast completion.
+                    hist.record(now.saturating_sub(SimTime::from_ps(posted_ps)));
                     payload_bytes += bytes;
+                    if track_bins {
+                        record_ok_bin(&mut ok_bins, now);
+                    }
                 } else {
                     errors += 1;
                 }
@@ -1274,7 +1646,51 @@ fn drive(spec: &ScenarioSpec, backend: &mut dyn RemoteBackend) -> BackendRun {
         per_node: Vec::new(),
         tenants: Vec::new(),
         fabric: None,
+        ok_bins_1us: ok_bins,
+        // The fault outcome is attached by `run_spec` for soNUMA runs.
+        faults: None,
     }
+}
+
+/// Recovery analysis over the 1 µs goodput bins:
+/// `(prefault_ops_per_us, recovery_us, recovered)`.
+///
+/// The pre-fault rate is the mean successful-completion rate over every
+/// whole microsecond before the onset; recovery is the first bin at or
+/// after the onset that reaches 90 % of it. Plans without a scheduled
+/// onset (pure degradation) trivially count as recovered — there is no
+/// event to recover *from*.
+fn recovery_metrics(bins: &[u64], onset_us: Option<f64>) -> (f64, Option<f64>, bool) {
+    let Some(onset) = onset_us else {
+        return (0.0, None, true);
+    };
+    let onset_bin = onset as usize;
+    if onset_bin == 0 {
+        return (0.0, None, false);
+    }
+    let pre_window = onset_bin.min(bins.len());
+    let pre: u64 = bins[..pre_window].iter().sum();
+    let pre_rate = pre as f64 / onset_bin as f64;
+    if pre_rate <= 0.0 {
+        return (0.0, None, false);
+    }
+    let target = pre_rate * 0.9;
+    for (i, &b) in bins.iter().enumerate().skip(onset_bin) {
+        if b as f64 >= target {
+            return (pre_rate, Some((i + 1 - onset_bin) as f64), true);
+        }
+    }
+    (pre_rate, None, false)
+}
+
+/// Accounts one successful completion at simulated time `now` into the
+/// 1 µs recovery bins.
+fn record_ok_bin(bins: &mut Vec<u64>, now: SimTime) {
+    let us = (now.as_ps() / 1_000_000) as usize;
+    if bins.len() <= us {
+        bins.resize(us + 1, 0);
+    }
+    bins[us] += 1;
 }
 
 /// One tenant's live state inside the open-loop driver.
@@ -1341,6 +1757,8 @@ fn drive_open_loop(spec: &ScenarioSpec, backend: &mut dyn RemoteBackend) -> Back
     let mut ops = 0u64;
     let mut payload_bytes = 0u64;
     let mut errors = 0u64;
+    let track_bins = spec.faults.as_ref().is_some_and(|f| !f.is_empty());
+    let mut ok_bins: Vec<u64> = Vec::new();
 
     loop {
         let now_ps = backend.now().as_ps();
@@ -1393,11 +1811,16 @@ fn drive_open_loop(spec: &ScenarioSpec, backend: &mut dyn RemoteBackend) -> Back
                 let lat = now.saturating_sub(SimTime::from_ps(at));
                 let t = &mut tenants[idx];
                 t.completed += 1;
-                t.hist.record(lat);
-                hist.record(lat);
                 ops += 1;
                 if c.status.is_ok() {
+                    // Aborted operations are errors, not latency samples:
+                    // a fast failure must not flatter the tail.
+                    t.hist.record(lat);
+                    hist.record(lat);
                     payload_bytes += bytes;
+                    if track_bins {
+                        record_ok_bin(&mut ok_bins, now);
+                    }
                 } else {
                     errors += 1;
                     t.errors += 1;
@@ -1472,6 +1895,8 @@ fn drive_open_loop(spec: &ScenarioSpec, backend: &mut dyn RemoteBackend) -> Back
         per_node: Vec::new(),
         tenants: outcomes,
         fabric: None,
+        ok_bins_1us: ok_bins,
+        faults: None,
     }
 }
 
@@ -1534,6 +1959,40 @@ pub fn run_spec(spec: &ScenarioSpec) -> ScenarioResult {
                 links_observed: links.len(),
                 hot_links: hot,
             });
+            if let Some(plan) = &b.config().fabric.faults {
+                let fstats = fabric.fault_stats();
+                let onset_us = spec.faults.as_ref().and_then(FaultSpec::onset_us);
+                let (prefault, recovery_us, recovered) =
+                    recovery_metrics(&run.ok_bins_1us, onset_us);
+                let ok_ops = run.ops - run.errors;
+                let denom = run.offered_ops.max(run.ops).max(1);
+                run.faults = Some(FaultOutcome {
+                    links_degraded: plan.links.iter().filter(|l| l.kill_at.is_none()).count(),
+                    links_killed: plan.links.iter().filter(|l| l.kill_at.is_some()).count(),
+                    nodes_crashed: plan.nodes.len(),
+                    dropped: fstats.dropped,
+                    corrupted: fstats.corrupted,
+                    rerouted: fstats.rerouted,
+                    unreachable: fstats.unreachable,
+                    crashes: b.total_crashes(),
+                    crash_drops: b.total_crash_drops(),
+                    rgp_timeouts: total.rgp_timeouts,
+                    rgp_retransmits: total.rgp_retransmits,
+                    rrpp_corrupt_drops: total.rrpp_corrupt_drops,
+                    aborted: run.errors,
+                    goodput_fraction: ok_ops as f64 / denom as f64,
+                    onset_us,
+                    prefault_ops_per_us: prefault,
+                    recovery_us,
+                    recovered,
+                    gold_p99_ns: run
+                        .class_histogram(SloClass::Gold)
+                        .map(|h| h.percentile(0.99).as_ns_f64()),
+                    bronze_p99_ns: run
+                        .class_histogram(SloClass::Bronze)
+                        .map(|h| h.percentile(0.99).as_ns_f64()),
+                });
+            }
         }
         // The measured instance is fully snapshotted; release it before
         // the re-timed builds so only one machine is ever resident.
@@ -1742,6 +2201,71 @@ fn fabric_json(fabric: &FabricSummary) -> Json {
     ])
 }
 
+/// How many 1 µs goodput bins a report includes (fault runs only). The
+/// recovery metrics always cover every bin; only the raw dump is capped.
+pub const MAX_REPORTED_BINS: usize = 256;
+
+fn fault_json(f: &FaultOutcome, bins: &[u64]) -> Json {
+    let mut members = vec![
+        (
+            "links_degraded".to_string(),
+            Json::Num(f.links_degraded as f64),
+        ),
+        ("links_killed".to_string(), Json::Num(f.links_killed as f64)),
+        (
+            "nodes_crashed".to_string(),
+            Json::Num(f.nodes_crashed as f64),
+        ),
+        ("dropped".to_string(), Json::Num(f.dropped as f64)),
+        ("corrupted".to_string(), Json::Num(f.corrupted as f64)),
+        ("rerouted".to_string(), Json::Num(f.rerouted as f64)),
+        ("unreachable".to_string(), Json::Num(f.unreachable as f64)),
+        ("crashes".to_string(), Json::Num(f.crashes as f64)),
+        ("crash_drops".to_string(), Json::Num(f.crash_drops as f64)),
+        ("rgp_timeouts".to_string(), Json::Num(f.rgp_timeouts as f64)),
+        (
+            "rgp_retransmits".to_string(),
+            Json::Num(f.rgp_retransmits as f64),
+        ),
+        (
+            "rrpp_corrupt_drops".to_string(),
+            Json::Num(f.rrpp_corrupt_drops as f64),
+        ),
+        ("aborted".to_string(), Json::Num(f.aborted as f64)),
+        (
+            "goodput_fraction".to_string(),
+            Json::Num(f.goodput_fraction),
+        ),
+        (
+            "prefault_ops_per_us".to_string(),
+            Json::Num(f.prefault_ops_per_us),
+        ),
+        ("recovered".to_string(), Json::Bool(f.recovered)),
+    ];
+    if let Some(onset) = f.onset_us {
+        members.push(("onset_us".to_string(), Json::Num(onset)));
+    }
+    if let Some(rec) = f.recovery_us {
+        members.push(("recovery_us".to_string(), Json::Num(rec)));
+    }
+    if let Some(p99) = f.gold_p99_ns {
+        members.push(("gold_p99_ns".to_string(), Json::Num(p99)));
+    }
+    if let Some(p99) = f.bronze_p99_ns {
+        members.push(("bronze_p99_ns".to_string(), Json::Num(p99)));
+    }
+    members.push((
+        "ok_bins_1us".to_string(),
+        Json::Arr(
+            bins.iter()
+                .take(MAX_REPORTED_BINS)
+                .map(|&b| Json::Num(b as f64))
+                .collect(),
+        ),
+    ));
+    Json::Obj(members)
+}
+
 fn run_json(run: &BackendRun) -> Json {
     let mut members = vec![
         ("backend".to_string(), Json::Str(run.backend.clone())),
@@ -1829,6 +2353,9 @@ fn run_json(run: &BackendRun) -> Json {
     }
     if let Some(fabric) = &run.fabric {
         members.push(("fabric".to_string(), fabric_json(fabric)));
+    }
+    if let Some(f) = &run.faults {
+        members.push(("faults".to_string(), fault_json(f, &run.ok_bins_1us)));
     }
     if let Some(total) = &run.pipeline_total {
         members.push(("pipeline_total".to_string(), stats_json(total)));
@@ -1988,6 +2515,21 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
                 sharding
                     .u64_of(key)
                     .ok_or(format!("scenario {name}/{backend}: sharding has no {key}"))?;
+            }
+            if let Some(fa) = run.get("faults") {
+                let goodput = fa.f64_of("goodput_fraction").ok_or(format!(
+                    "scenario {name}/{backend}: faults has no goodput_fraction"
+                ))?;
+                if !(0.0..=1.0).contains(&goodput) {
+                    return Err(format!(
+                        "scenario {name}/{backend}: goodput_fraction {goodput} out of [0, 1]"
+                    ));
+                }
+                if !matches!(fa.get("recovered"), Some(Json::Bool(_))) {
+                    return Err(format!(
+                        "scenario {name}/{backend}: faults has no recovered flag"
+                    ));
+                }
             }
             if let Some(pt) = run.get("per_tenant") {
                 let jain = pt
@@ -2213,6 +2755,132 @@ pub fn check_baseline(current: &Json, baseline: &Json, max_regress: f64) -> Base
         }
     }
     check
+}
+
+/// `(scenario, backend, faults-object)` triples of a report.
+fn fault_rows(doc: &Json) -> Vec<(String, String, Json)> {
+    let mut out = Vec::new();
+    if let Some(scenarios) = doc.get("scenarios").and_then(Json::as_arr) {
+        for sc in scenarios {
+            let name = sc
+                .get("spec")
+                .and_then(|s| s.str_of("name"))
+                .unwrap_or("?")
+                .to_string();
+            if let Some(runs) = sc.get("runs").and_then(Json::as_arr) {
+                for run in runs {
+                    if let Some(fa) = run.get("faults") {
+                        let backend = run.str_of("backend").unwrap_or("?").to_string();
+                        out.push((name.clone(), backend, fa.clone()));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Gates a fresh report's fault outcomes against a baseline's — the CI
+/// `fault-matrix` lane's check. For every `(scenario, backend)` pair whose
+/// baseline run carries a `faults` section:
+///
+/// * the current run must carry one too and report `recovered = true`
+///   whenever the baseline recovered;
+/// * recovery time may regress by at most 25 % (+1 µs of slack for bin
+///   quantization);
+/// * goodput under failure may drop by at most 0.02 absolute;
+/// * where the baseline run kept gold p99 below bronze p99, the current
+///   run must too — the isolation promise must hold *under* failure.
+///
+/// Pairs absent from the current report are [`check_baseline`]'s problem;
+/// this check only compares fault physics where both sides ran.
+pub fn check_fault_baseline(current: &Json, baseline: &Json) -> BaselineCheck {
+    let mut check = BaselineCheck::default();
+    let cur = fault_rows(current);
+    for (name, backend, base) in fault_rows(baseline) {
+        let Some((_, _, fa)) = cur.iter().find(|(n, b, _)| *n == name && *b == backend) else {
+            // A current run that exists but lost its faults section means
+            // injection was silently disabled — fail. A missing run is
+            // already `check_baseline`'s failure; don't double-report.
+            if run_rows(current)
+                .iter()
+                .any(|r| r.name == name && r.backend == backend)
+            {
+                check.failures.push(format!(
+                    "{name}/{backend}: baseline has a faults section, current run does not"
+                ));
+            }
+            continue;
+        };
+        let base_recovered = matches!(base.get("recovered"), Some(Json::Bool(true)));
+        let cur_recovered = matches!(fa.get("recovered"), Some(Json::Bool(true)));
+        if base_recovered && !cur_recovered {
+            check.failures.push(format!(
+                "{name}/{backend}: goodput no longer recovers to 90% of the pre-fault rate"
+            ));
+        }
+        if let (Some(base_rec), Some(cur_rec)) =
+            (base.f64_of("recovery_us"), fa.f64_of("recovery_us"))
+        {
+            let ceil = base_rec * 1.25 + 1.0;
+            if cur_rec > ceil {
+                check.failures.push(format!(
+                    "{name}/{backend}: recovery {cur_rec:.1} us > {ceil:.1} us \
+                     (baseline {base_rec:.1} us + 25% + 1 us slack)"
+                ));
+            }
+        }
+        if let (Some(base_gp), Some(cur_gp)) = (
+            base.f64_of("goodput_fraction"),
+            fa.f64_of("goodput_fraction"),
+        ) {
+            let floor = base_gp - 0.02;
+            if cur_gp < floor {
+                check.failures.push(format!(
+                    "{name}/{backend}: goodput {cur_gp:.4} < {floor:.4} \
+                     (baseline {base_gp:.4} - 0.02)"
+                ));
+            }
+        }
+        // Only gate class isolation where the baseline exhibits it: a
+        // uniform-weight scenario legitimately reports gold == bronze.
+        let base_isolates = matches!(
+            (base.f64_of("gold_p99_ns"), base.f64_of("bronze_p99_ns")),
+            (Some(g), Some(b)) if g < b
+        );
+        if base_isolates {
+            if let (Some(gold), Some(bronze)) =
+                (fa.f64_of("gold_p99_ns"), fa.f64_of("bronze_p99_ns"))
+            {
+                if gold >= bronze {
+                    check.failures.push(format!(
+                        "{name}/{backend}: gold p99 {gold:.0} ns >= bronze p99 {bronze:.0} ns \
+                         under failure — SLO isolation broke"
+                    ));
+                }
+            }
+        }
+    }
+    check
+}
+
+/// Strips the bulky `per_node` pipeline dumps from a report, recursively,
+/// leaving every aggregate (pipeline_total, fabric, per_tenant, sharding,
+/// faults) intact. `baseline --regen` checks in the slimmed form, which
+/// keeps `bench/baseline.json` a reviewable size at rack scale — the
+/// per-node rows carry no information the gates read.
+pub fn slim_report(doc: &Json) -> Json {
+    match doc {
+        Json::Obj(members) => Json::Obj(
+            members
+                .iter()
+                .filter(|(k, _)| k != "per_node")
+                .map(|(k, v)| (k.clone(), slim_report(v)))
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.iter().map(slim_report).collect()),
+        other => other.clone(),
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -2498,6 +3166,100 @@ pub fn rack4096_spec() -> ScenarioSpec {
     }
 }
 
+/// The link-failure rack: 512 nodes as an 8×8×8 3D torus, one open-loop
+/// tenant per node, with 4 directed links killed at 20 µs (reviving at
+/// 60 µs) and 8 more degraded (1 % drop, 0.5 % corruption) for the whole
+/// run. What the scenario demonstrates: adaptive routing steers packets
+/// around the dead links, the source-side retransmission path recovers
+/// dropped and corrupted lines, and cluster goodput returns to ≥ 90 % of
+/// its pre-kill rate — the `faults.recovered` flag the fault-matrix CI
+/// lane gates on.
+pub fn rack512_linkflap_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "rack512-linkflap".into(),
+        nodes: 512,
+        topology: TopologySpec::Torus3d(8, 8, 8),
+        backend: BackendSel::All,
+        workload: WorkloadKind::Mixed,
+        read_fraction: 0.8,
+        op_bytes: 64,
+        segment_bytes: 1 << 18,
+        seed: 512_512,
+        tenancy: Some(TenancySpec {
+            tenants: 512,
+            scheduler: SchedPolicy::Wdrr,
+            weights: WeightMode::Uniform,
+        }),
+        traffic: Some(TrafficSpec {
+            arrival: ArrivalKind::Poisson,
+            rate_per_tenant: 200_000.0,
+            duration_us: 100.0,
+            zipf_addr: 0.5,
+            zipf_dst: 0.0,
+            burst: 8,
+        }),
+        faults: Some(FaultSpec {
+            seed: 7_001,
+            degraded_links: 8,
+            drop_prob: 0.01,
+            corrupt_prob: 0.005,
+            killed_links: 4,
+            kill_at_us: 20.0,
+            revive_at_us: 60.0,
+            ..FaultSpec::default()
+        }),
+        ..ScenarioSpec::default()
+    }
+}
+
+/// The node-failure rack: 1024 nodes as a 16×8×8 3D torus, 1024 tenants
+/// under strict-priority scheduling with tiered weights, on 4 shard
+/// threads — and 16 nodes (1/64 of the rack) crash mid-burst at 30 µs,
+/// restarting cold at 50 µs. In-flight operations against the dead nodes
+/// time out, retransmit with backoff, and abort with error completions;
+/// everyone else's traffic reroutes and keeps flowing. The acceptance
+/// bar: byte-identical at any thread count, goodput back to ≥ 90 % of
+/// the pre-crash rate, and gold p99 still below bronze p99 in the same
+/// failing run.
+pub fn rack1024_nodekill_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "rack1024-nodekill".into(),
+        nodes: 1024,
+        topology: TopologySpec::Torus3d(16, 8, 8),
+        backend: BackendSel::One(BackendKind::Sonuma),
+        workload: WorkloadKind::Mixed,
+        read_fraction: 0.8,
+        op_bytes: 64,
+        segment_bytes: 1 << 18,
+        seed: 1_024_042,
+        threads: 4,
+        tenancy: Some(TenancySpec {
+            tenants: 2048,
+            scheduler: SchedPolicy::StrictPriority,
+            weights: WeightMode::Tiered,
+        }),
+        // Burst 4 at 400 kops/s/tenant => one phase-aligned burst every
+        // 10 µs, so the 30 µs crash lands exactly on a burst epoch and
+        // the [30, 50) µs outage window sees two full burst rounds.
+        traffic: Some(TrafficSpec {
+            arrival: ArrivalKind::Bursty,
+            rate_per_tenant: 400_000.0,
+            duration_us: 100.0,
+            zipf_addr: 0.5,
+            zipf_dst: 0.2,
+            burst: 4,
+        }),
+        faults: Some(FaultSpec {
+            seed: 7_002,
+            crashed_nodes: 16,
+            crash_at_us: 30.0,
+            restart_at_us: 50.0,
+            ..FaultSpec::default()
+        }),
+        ..ScenarioSpec::default()
+    }
+}
+
 /// Every canned spec, addressable by name from the CLI.
 pub fn canned_specs() -> Vec<ScenarioSpec> {
     let mut specs = smoke_specs();
@@ -2507,5 +3269,7 @@ pub fn canned_specs() -> Vec<ScenarioSpec> {
     specs.push(rack64_tenants_strict_spec());
     specs.push(rack1024_shard_spec());
     specs.push(rack4096_spec());
+    specs.push(rack512_linkflap_spec());
+    specs.push(rack1024_nodekill_spec());
     specs
 }

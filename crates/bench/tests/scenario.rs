@@ -50,6 +50,22 @@ fn toml_roundtrip_preserves_every_field() {
         qp_entries: 32,
         tenancy: None,
         traffic: None,
+        faults: Some(sonuma_bench::scenario::FaultSpec {
+            seed: 99,
+            degraded_links: 2,
+            drop_prob: 0.125,
+            corrupt_prob: 0.0625,
+            derate: 2.5,
+            credit_loss: 3,
+            killed_links: 1,
+            kill_at_us: 7.5,
+            revive_at_us: 11.25,
+            crashed_nodes: 2,
+            crash_at_us: 4.5,
+            restart_at_us: 9.0,
+            timeout_us: 6.0,
+            max_retries: 5,
+        }),
     };
     assert_eq!(ScenarioSpec::from_toml(&spec.to_toml()).unwrap(), spec);
 }
@@ -333,9 +349,23 @@ fn shipped_spec_files_parse() {
                 "bench/specs/rack1024-shard.toml drifted"
             );
         }
+        if spec.name == "rack512-linkflap" {
+            assert_eq!(
+                spec,
+                sonuma_bench::scenario::rack512_linkflap_spec(),
+                "bench/specs/rack512-linkflap.toml drifted"
+            );
+        }
+        if spec.name == "rack1024-nodekill" {
+            assert_eq!(
+                spec,
+                sonuma_bench::scenario::rack1024_nodekill_spec(),
+                "bench/specs/rack1024-nodekill.toml drifted"
+            );
+        }
         parsed += 1;
     }
-    assert!(parsed >= 6, "expected shipped spec files, found {parsed}");
+    assert!(parsed >= 8, "expected shipped spec files, found {parsed}");
 }
 
 #[test]

@@ -2,6 +2,7 @@
 
 use sonuma_sim::SimTime;
 
+use crate::fault::FaultPlan;
 use crate::topology::Topology;
 
 /// Timing and flow-control parameters of the memory fabric.
@@ -21,6 +22,10 @@ pub struct FabricConfig {
     /// Extra latency for a credit to travel back to the sender after the
     /// receiver drains a packet.
     pub credit_return: SimTime,
+    /// Seeded fault schedule, if this run injects failures. `None` keeps
+    /// the fabric on the fault-free fast path (bit-identical to a build
+    /// without fault support).
+    pub faults: Option<FaultPlan>,
 }
 
 impl FabricConfig {
@@ -35,6 +40,7 @@ impl FabricConfig {
             link_bytes_per_sec: 32_000_000_000,
             credits_per_lane: 16,
             credit_return: SimTime::from_ns(50),
+            faults: None,
         }
     }
 
@@ -47,6 +53,7 @@ impl FabricConfig {
             link_bytes_per_sec: 32_000_000_000,
             credits_per_lane: 16,
             credit_return: SimTime::from_ns(15),
+            faults: None,
         }
     }
 
@@ -69,6 +76,7 @@ impl FabricConfig {
             link_bytes_per_sec: 6_000_000_000,
             credits_per_lane: 16,
             credit_return: SimTime::from_ns(220),
+            faults: None,
         }
     }
 

@@ -4,6 +4,7 @@ use sonuma_protocol::NodeId;
 use sonuma_sim::SimTime;
 
 use crate::config::FabricConfig;
+use crate::fault::{fault_unit, FaultPlan, LinkFault, PacketFate};
 use crate::link::{LinkSerializer, VirtualChannel};
 use crate::topology::{NextHopTable, Topology};
 use crate::VIRTUAL_LANES;
@@ -100,6 +101,135 @@ impl AdjIndex {
     }
 }
 
+/// Per-slot link degradation, precomputed from the [`FaultPlan`] so the
+/// send path reads a `Copy` struct instead of scanning the plan.
+#[derive(Debug, Clone, Copy)]
+struct LinkParams {
+    derate: f64,
+    credit_loss: usize,
+    drop_prob: f64,
+    corrupt_prob: f64,
+}
+
+const CLEAN_LINK: LinkParams = LinkParams {
+    derate: 1.0,
+    credit_loss: 0,
+    drop_prob: 0.0,
+    corrupt_prob: 0.0,
+};
+
+/// Fault-injection state of a fabric whose plan degrades or kills links.
+///
+/// All probabilistic decisions are pure hashes (`fault_unit`) and the
+/// kill/revive state is a pure function of the packet's injection time, so
+/// this struct holds no RNG position — only the plan compiled to slot
+/// indices, a routing-table cache, and counters.
+#[derive(Debug)]
+struct FaultRuntime {
+    seed: u64,
+    /// Degraded slots, sorted by slot index for binary search.
+    params: Vec<(u32, LinkParams)>,
+    /// Links with a kill window; bit `i` of a dead mask tracks entry `i`.
+    killable: Vec<(u32, LinkFault)>,
+    /// Avoidance table for the most recent dead-mask value. Rebuilt only
+    /// when the mask changes (kills and revivals, a handful per run).
+    cache: Option<(u64, NextHopTable)>,
+    dropped: u64,
+    corrupted: u64,
+    rerouted: u64,
+    unreachable: u64,
+}
+
+impl FaultRuntime {
+    fn build(plan: &FaultPlan, topology: &Topology, adj: AdjIndex) -> FaultRuntime {
+        let mut params: Vec<(u32, LinkParams)> = Vec::new();
+        let mut killable = Vec::new();
+        for f in &plan.links {
+            assert!(
+                topology.neighbors(f.src).contains(&f.dst),
+                "link fault {:?}->{:?} does not name a fabric link",
+                f.src,
+                f.dst,
+            );
+            let slot = adj.index(f.src, f.dst) as u32;
+            if f.derate > 1.0 || f.credit_loss > 0 || f.drop_prob > 0.0 || f.corrupt_prob > 0.0 {
+                params.push((
+                    slot,
+                    LinkParams {
+                        derate: f.derate.max(1.0),
+                        credit_loss: f.credit_loss,
+                        drop_prob: f.drop_prob,
+                        corrupt_prob: f.corrupt_prob,
+                    },
+                ));
+            }
+            if f.kill_at.is_some() {
+                assert!(killable.len() < 64, "at most 64 killable links per plan");
+                killable.push((slot, *f));
+            }
+        }
+        params.sort_unstable_by_key(|&(slot, _)| slot);
+        assert!(
+            params.windows(2).all(|w| w[0].0 != w[1].0),
+            "duplicate link fault on one directed link"
+        );
+        FaultRuntime {
+            seed: plan.seed,
+            params,
+            killable,
+            cache: None,
+            dropped: 0,
+            corrupted: 0,
+            rerouted: 0,
+            unreachable: 0,
+        }
+    }
+
+    fn params_at(&self, slot: u32) -> LinkParams {
+        match self.params.binary_search_by_key(&slot, |&(s, _)| s) {
+            Ok(i) => self.params[i].1,
+            Err(_) => CLEAN_LINK,
+        }
+    }
+
+    /// Which killable links are dead for a packet injected at `now` — a
+    /// pure function of time, never a stateful toggle, because the fabric
+    /// sees send times out of order within an epoch.
+    fn dead_mask(&self, now: SimTime) -> u64 {
+        let mut mask = 0u64;
+        for (i, (_, f)) in self.killable.iter().enumerate() {
+            if f.dead_at(now) {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    }
+
+    fn dead_pairs(&self, mask: u64) -> Vec<(NodeId, NodeId)> {
+        self.killable
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &(_, f))| (f.src, f.dst))
+            .collect()
+    }
+}
+
+/// Fault-injection counters of one fabric (see [`Fabric::fault_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Packets lost on a faulty link after occupying the wire up to it.
+    pub dropped: u64,
+    /// Packets delivered with flipped bits (the receiving RMC discards
+    /// them on its integrity check).
+    pub corrupted: u64,
+    /// Packets routed via the dead-link-avoidance table (at least one
+    /// link was dead when they were injected).
+    pub rerouted: u64,
+    /// Packets dropped because no live route to the destination existed.
+    pub unreachable: u64,
+}
+
 /// The rack-scale memory fabric connecting all nodes' network interfaces.
 ///
 /// Analytic DES component: [`Fabric::send`] advances internal link state
@@ -135,6 +265,10 @@ pub struct Fabric {
     links: Vec<Option<Box<DirectedLink>>>,
     /// Lazily-built forwarding table (see [`Fabric::next_hops`]).
     next_hops: Option<NextHopTable>,
+    /// Compiled link-fault state; `None` whenever the plan (if any) has no
+    /// link faults, which keeps [`Fabric::send_faulty`] on the plain
+    /// [`Fabric::send`] path.
+    fault_rt: Option<FaultRuntime>,
     packets_sent: u64,
     bytes_sent: u64,
     lane_packets: [u64; VIRTUAL_LANES],
@@ -157,11 +291,17 @@ impl Fabric {
         let adj = AdjIndex::of(&config.topology);
         let mut links = Vec::new();
         links.resize_with(adj.slots(config.topology.nodes()), || None);
+        let fault_rt = config
+            .faults
+            .as_ref()
+            .filter(|plan| !plan.links.is_empty())
+            .map(|plan| FaultRuntime::build(plan, &config.topology, adj));
         Fabric {
             config,
             adj,
             links,
             next_hops: None,
+            fault_rt,
             packets_sent: 0,
             bytes_sent: 0,
             lane_packets: [0; VIRTUAL_LANES],
@@ -189,9 +329,15 @@ impl Fabric {
 
     fn link(&mut self, from: NodeId, to: NodeId) -> &mut DirectedLink {
         let idx = self.adj.index(from, to);
+        // Flow-control degradation: a faulty link is built with a shrunken
+        // credit pool (never below one, or it could carry nothing).
+        let lost = self
+            .fault_rt
+            .as_ref()
+            .map_or(0, |rt| rt.params_at(idx as u32).credit_loss);
         let slot = &mut self.links[idx];
         if slot.is_none() {
-            let credits = self.config.credits_per_lane;
+            let credits = (self.config.credits_per_lane.saturating_sub(lost)).max(1);
             let credit_return = self.config.credit_return;
             *slot = Some(Box::new(DirectedLink {
                 src: from.0,
@@ -240,6 +386,176 @@ impl Fabric {
         self.bytes_sent += bytes;
         self.lane_packets[lane] += 1;
         Arrival { time: at, hops }
+    }
+
+    /// One hop of the faulty send path: occupy credit + wire (with the
+    /// slot's derate applied to serialization), then draw the hop's drop
+    /// and corruption fates from the pure fault stream. Returns the time
+    /// the packet clears the hop and the two fate bits.
+    #[allow(clippy::too_many_arguments)]
+    fn faulty_hop(
+        &mut self,
+        at: SimTime,
+        prev: NodeId,
+        hop: NodeId,
+        lane: usize,
+        ser: SimTime,
+        bytes: u64,
+        salt: u64,
+    ) -> (SimTime, bool, bool) {
+        let hop_latency = self.config.hop_latency;
+        let slot = self.adj.index(prev, hop) as u32;
+        let rt = self.fault_rt.as_ref().expect("faulty path needs a runtime");
+        let seed = rt.seed;
+        let p = rt.params_at(slot);
+        let ser = if p.derate > 1.0 {
+            SimTime::from_ps((ser.as_ps() as f64 * p.derate).round() as u64)
+        } else {
+            ser
+        };
+        let link = self.link(prev, hop);
+        let after_credit = link.lanes[lane].acquire(at, at + ser + hop_latency);
+        let start = link.serializer.occupy(after_credit, ser, bytes);
+        let cleared = start + ser + hop_latency;
+        // Streams 4·slot and 4·slot+1 keep every link's drop and corrupt
+        // draws decorrelated for the same packet.
+        let dropped =
+            p.drop_prob > 0.0 && fault_unit(seed, salt, u64::from(slot) << 2) < p.drop_prob;
+        let corrupted = !dropped
+            && p.corrupt_prob > 0.0
+            && fault_unit(seed, salt, (u64::from(slot) << 2) | 1) < p.corrupt_prob;
+        (cleared, dropped, corrupted)
+    }
+
+    /// Injects a packet through the fault plan: like [`Fabric::send`], but
+    /// each hop may be derated, may drop the packet (it occupies the wire
+    /// up to and including the faulting hop, then vanishes), or may corrupt
+    /// it (it still arrives and pays full wire time; the receiver discards
+    /// it). Packets injected while a link is dead route around it via a
+    /// recomputed shortest-path table; if no live route exists the packet
+    /// is dropped at the source.
+    ///
+    /// `salt` must identify the packet *instance* — the caller hashes the
+    /// packet's wire identity and send time — so the same packet drawn on
+    /// any shard of any partition gets the same fate, and a retransmission
+    /// (new send time) gets a fresh draw.
+    ///
+    /// With no link faults compiled this is exactly `send` (and the
+    /// returned fate is `Delivered`), so zero-fault runs stay byte-
+    /// identical to the fault-free build.
+    pub fn send_faulty(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        lane: usize,
+        bytes: u64,
+        salt: u64,
+    ) -> (Arrival, PacketFate) {
+        if self.fault_rt.is_none() {
+            return (self.send(now, src, dst, lane, bytes), PacketFate::Delivered);
+        }
+        assert!(lane < VIRTUAL_LANES, "virtual lane out of range");
+        assert_ne!(src, dst, "loopback traffic must not enter the fabric");
+        let ser = self.config.serialization(bytes);
+        let mask = self.fault_rt.as_ref().expect("checked").dead_mask(now);
+
+        // Dead links force table routing: reuse the cached avoidance table
+        // when the dead set is unchanged, rebuild it otherwise (a handful
+        // of times per run — only at kill/revive boundaries).
+        let table = if mask == 0 {
+            None
+        } else {
+            let cached = self.fault_rt.as_mut().expect("checked").cache.take();
+            match cached {
+                Some((m, t)) if m == mask => Some(t),
+                _ => {
+                    let dead = self.fault_rt.as_ref().expect("checked").dead_pairs(mask);
+                    Some(NextHopTable::build_avoiding(&self.config.topology, &dead))
+                }
+            }
+        };
+
+        let mut at = now;
+        let mut hops = 0u32;
+        let mut fate = PacketFate::Delivered;
+        let mut unreachable = false;
+        match &table {
+            None => {
+                let mut prev = src;
+                for hop in self.config.topology.route_iter(src, dst) {
+                    let (cleared, dropped, corrupted) =
+                        self.faulty_hop(at, prev, hop, lane, ser, bytes, salt);
+                    at = cleared;
+                    prev = hop;
+                    hops += 1;
+                    if dropped {
+                        fate = PacketFate::Dropped;
+                        break;
+                    }
+                    if corrupted {
+                        fate = PacketFate::Corrupted;
+                    }
+                }
+            }
+            Some(t) => {
+                let mut cur = src;
+                while cur != dst {
+                    let hop = t.next_hop(cur, dst);
+                    if hop == cur {
+                        fate = PacketFate::Dropped;
+                        unreachable = true;
+                        break;
+                    }
+                    let (cleared, dropped, corrupted) =
+                        self.faulty_hop(at, cur, hop, lane, ser, bytes, salt);
+                    at = cleared;
+                    cur = hop;
+                    hops += 1;
+                    if dropped {
+                        fate = PacketFate::Dropped;
+                        break;
+                    }
+                    if corrupted {
+                        fate = PacketFate::Corrupted;
+                    }
+                }
+            }
+        }
+
+        self.packets_sent += 1;
+        self.bytes_sent += bytes;
+        self.lane_packets[lane] += 1;
+        let rt = self.fault_rt.as_mut().expect("checked");
+        if let Some(t) = table {
+            rt.rerouted += 1;
+            rt.cache = Some((mask, t));
+        }
+        match fate {
+            PacketFate::Dropped if unreachable => rt.unreachable += 1,
+            PacketFate::Dropped => rt.dropped += 1,
+            PacketFate::Corrupted => rt.corrupted += 1,
+            PacketFate::Delivered => {}
+        }
+        (Arrival { time: at, hops }, fate)
+    }
+
+    /// Whether this fabric carries a fault plan (even one with only node
+    /// crashes — the cluster layer reads the plan for those).
+    pub fn has_faults(&self) -> bool {
+        self.config.faults.is_some()
+    }
+
+    /// Fault-injection counters; all zero when no link faults exist.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_rt
+            .as_ref()
+            .map_or(FaultStats::default(), |rt| FaultStats {
+                dropped: rt.dropped,
+                corrupted: rt.corrupted,
+                rerouted: rt.rerouted,
+                unreachable: rt.unreachable,
+            })
     }
 
     /// Total packets injected.
@@ -463,6 +779,177 @@ mod tests {
             NodeId(1),
             "X-first dimension-order routing"
         );
+    }
+
+    fn plan_with(links: Vec<LinkFault>) -> FaultPlan {
+        let mut plan = FaultPlan::new(42);
+        plan.links = links;
+        plan
+    }
+
+    #[test]
+    fn send_faulty_without_link_faults_matches_send() {
+        let mut clean = Fabric::new(FabricConfig::torus2d(4, 4));
+        let mut faulty = Fabric::new(FabricConfig {
+            faults: Some(FaultPlan::new(42)),
+            ..FabricConfig::torus2d(4, 4)
+        });
+        for i in 0..50u64 {
+            let (src, dst) = (NodeId((i % 16) as u16), NodeId(((i * 7 + 3) % 16) as u16));
+            if src == dst {
+                continue;
+            }
+            let t = SimTime::from_ns(i * 3);
+            let a = clean.send(t, src, dst, (i % 2) as usize, 88);
+            let (b, fate) = faulty.send_faulty(t, src, dst, (i % 2) as usize, 88, i);
+            assert_eq!(a, b);
+            assert_eq!(fate, PacketFate::Delivered);
+        }
+        assert_eq!(faulty.fault_stats(), FaultStats::default());
+        assert!(faulty.has_faults());
+        assert!(!clean.has_faults());
+    }
+
+    #[test]
+    fn certain_drop_loses_the_packet_but_occupies_the_wire() {
+        let mut f = LinkFault::on(NodeId(0), NodeId(1));
+        f.drop_prob = 1.0;
+        let mut fabric = Fabric::new(FabricConfig {
+            faults: Some(plan_with(vec![f])),
+            ..FabricConfig::paper_crossbar(4)
+        });
+        let (_, fate) = fabric.send_faulty(SimTime::ZERO, NodeId(0), NodeId(1), 0, 88, 1);
+        assert_eq!(fate, PacketFate::Dropped);
+        assert_eq!(fabric.fault_stats().dropped, 1);
+        // The dropped packet serialized onto the faulty link: a follow-up
+        // on a *clean* link out of node 0 is undisturbed, but the faulty
+        // link's serializer was busy.
+        let (a, fate) = fabric.send_faulty(SimTime::ZERO, NodeId(0), NodeId(1), 0, 88, 2);
+        assert_eq!(fate, PacketFate::Dropped);
+        assert!(a.time > SimTime::from_ns(50) + fabric.config().serialization(88));
+    }
+
+    #[test]
+    fn certain_corruption_still_pays_full_wire_time() {
+        let mut f = LinkFault::on(NodeId(0), NodeId(1));
+        f.corrupt_prob = 1.0;
+        let mut clean = Fabric::new(FabricConfig::paper_crossbar(4));
+        let mut faulty = Fabric::new(FabricConfig {
+            faults: Some(plan_with(vec![f])),
+            ..FabricConfig::paper_crossbar(4)
+        });
+        let a = clean.send(SimTime::ZERO, NodeId(0), NodeId(1), 0, 88);
+        let (b, fate) = faulty.send_faulty(SimTime::ZERO, NodeId(0), NodeId(1), 0, 88, 1);
+        assert_eq!(fate, PacketFate::Corrupted);
+        assert_eq!(a, b, "corruption must not change timing");
+        assert_eq!(faulty.fault_stats().corrupted, 1);
+    }
+
+    #[test]
+    fn derate_slows_only_the_faulty_link() {
+        let mut f = LinkFault::on(NodeId(0), NodeId(1));
+        f.derate = 4.0;
+        let mut fabric = Fabric::new(FabricConfig {
+            faults: Some(plan_with(vec![f])),
+            ..FabricConfig::paper_crossbar(4)
+        });
+        let ser = fabric.config().serialization(88);
+        let (slow, _) = fabric.send_faulty(SimTime::ZERO, NodeId(0), NodeId(1), 0, 88, 1);
+        let (fast, _) = fabric.send_faulty(SimTime::ZERO, NodeId(0), NodeId(2), 0, 88, 2);
+        assert_eq!(slow.time, SimTime::from_ns(50) + ser * 4);
+        assert_eq!(fast.time, SimTime::from_ns(50) + ser);
+    }
+
+    #[test]
+    fn credit_loss_shrinks_the_pool() {
+        let mut f = LinkFault::on(NodeId(0), NodeId(1));
+        f.credit_loss = 15; // 16-credit pool -> 1 credit
+        let mut fabric = Fabric::new(FabricConfig {
+            faults: Some(plan_with(vec![f])),
+            ..FabricConfig::paper_crossbar(4)
+        });
+        let (a0, _) = fabric.send_faulty(SimTime::ZERO, NodeId(0), NodeId(1), 0, 88, 1);
+        let (a1, _) = fabric.send_faulty(SimTime::ZERO, NodeId(0), NodeId(1), 0, 88, 2);
+        assert!(a1.time >= a0.time + fabric.config().credit_return);
+        assert!(fabric.credit_stalls() >= 1);
+    }
+
+    #[test]
+    fn dead_link_reroutes_and_revival_restores() {
+        let mut f = LinkFault::on(NodeId(0), NodeId(1));
+        f.kill_at = Some(SimTime::from_ns(100));
+        f.revive_at = Some(SimTime::from_ns(200));
+        let mut fabric = Fabric::new(FabricConfig {
+            faults: Some(plan_with(vec![f])),
+            ..FabricConfig::torus2d(4, 4)
+        });
+        // Before the kill: the direct one-hop route.
+        let (before, fate) = fabric.send_faulty(SimTime::ZERO, NodeId(0), NodeId(1), 0, 88, 1);
+        assert_eq!((before.hops, fate), (1, PacketFate::Delivered));
+        // During the outage: detour, still delivered.
+        let (during, fate) =
+            fabric.send_faulty(SimTime::from_ns(100), NodeId(0), NodeId(1), 0, 88, 2);
+        assert_eq!(fate, PacketFate::Delivered);
+        assert!(during.hops > 1, "must avoid the dead link");
+        assert_eq!(fabric.fault_stats().rerouted, 1);
+        // After revival: direct again.
+        let (after, _) = fabric.send_faulty(SimTime::from_ns(200), NodeId(0), NodeId(1), 0, 88, 3);
+        assert_eq!(after.hops, 1);
+    }
+
+    #[test]
+    fn unreachable_destination_drops_at_source() {
+        let mut plan = FaultPlan::new(7);
+        for f in [
+            LinkFault::on(NodeId(0), NodeId(1)),
+            LinkFault::on(NodeId(1), NodeId(0)),
+        ] {
+            let mut f = f;
+            f.kill_at = Some(SimTime::ZERO);
+            plan.links.push(f);
+        }
+        let mut fabric = Fabric::new(FabricConfig {
+            faults: Some(plan),
+            ..FabricConfig::paper_crossbar(2)
+        });
+        let (a, fate) = fabric.send_faulty(SimTime::ZERO, NodeId(0), NodeId(1), 0, 88, 1);
+        assert_eq!(fate, PacketFate::Dropped);
+        assert_eq!(a.hops, 0);
+        assert_eq!(fabric.fault_stats().unreachable, 1);
+    }
+
+    #[test]
+    fn crossbar_reroute_takes_a_two_hop_detour() {
+        let mut f = LinkFault::on(NodeId(0), NodeId(1));
+        f.kill_at = Some(SimTime::ZERO);
+        let mut fabric = Fabric::new(FabricConfig {
+            faults: Some(plan_with(vec![f])),
+            ..FabricConfig::paper_crossbar(4)
+        });
+        let (a, fate) = fabric.send_faulty(SimTime::ZERO, NodeId(0), NodeId(1), 0, 88, 1);
+        assert_eq!(fate, PacketFate::Delivered);
+        assert_eq!(a.hops, 2, "crossbar detour goes through one peer");
+    }
+
+    #[test]
+    fn fault_fates_are_time_salted() {
+        // The same packet identity retransmitted at a new time gets an
+        // independent draw: with p = 0.5 some salt must flip the fate.
+        let mut f = LinkFault::on(NodeId(0), NodeId(1));
+        f.drop_prob = 0.5;
+        let mut fabric = Fabric::new(FabricConfig {
+            faults: Some(plan_with(vec![f])),
+            ..FabricConfig::paper_crossbar(2)
+        });
+        let fates: Vec<PacketFate> = (0..32)
+            .map(|i| {
+                fabric
+                    .send_faulty(SimTime::from_ns(i), NodeId(0), NodeId(1), 0, 88, 900 + i)
+                    .1
+            })
+            .collect();
+        assert!(fates.contains(&PacketFate::Dropped));
+        assert!(fates.contains(&PacketFate::Delivered));
     }
 
     #[test]

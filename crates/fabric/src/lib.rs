@@ -29,12 +29,14 @@
 
 pub mod config;
 pub mod fabric;
+pub mod fault;
 pub mod link;
 pub mod partition;
 pub mod topology;
 
 pub use config::FabricConfig;
-pub use fabric::{Arrival, Fabric, LinkStats};
+pub use fabric::{Arrival, Fabric, FaultStats, LinkStats};
+pub use fault::{fault_unit, FaultPlan, LinkFault, NodeFault, PacketFate};
 pub use link::{LinkTiming, VirtualChannel};
 pub use partition::ShardPlan;
 pub use topology::{NextHopTable, RouteIter, Topology};

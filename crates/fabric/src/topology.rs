@@ -201,6 +201,35 @@ impl Topology {
         NextHopTable::build(self)
     }
 
+    /// The physical neighbors of `v` — every node one link away, in
+    /// ascending id order. For the crossbar that is every other node; for
+    /// grids, the ±1 step in each dimension (deduplicated on rings of 2,
+    /// where both directions land on the same node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: NodeId) -> Vec<NodeId> {
+        let n = self.nodes();
+        assert!(v.index() < n, "node id out of range");
+        let mut out: Vec<NodeId> = match *self {
+            Topology::Crossbar { nodes } => (0..nodes as u16)
+                .filter(|&p| p != v.0)
+                .map(NodeId)
+                .collect(),
+            Topology::Torus2D { width, height } => {
+                grid_neighbors(&[width, height], true, v.index())
+            }
+            Topology::Torus3D { x, y, z } => grid_neighbors(&[x, y, z], true, v.index()),
+            Topology::Mesh2D { width, height } => {
+                grid_neighbors(&[width, height], false, v.index())
+            }
+        };
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
     /// A lower bound on the hop distance between any node in range `a` and
     /// any node in range `b`, clamped to at least 1.
     ///
@@ -294,6 +323,30 @@ fn coord_set_distance(k: usize, wraps: bool, a: &[bool], b: &[bool]) -> u32 {
         }
     }
     best
+}
+
+/// The grid neighbors of node id `v`: ±1 in every dimension, wrapping on
+/// torii (`wraps`), clipped at the edges on meshes. May contain duplicates
+/// on rings of 2 (the caller dedups).
+fn grid_neighbors(dims: &[usize], wraps: bool, v: usize) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(2 * dims.len());
+    let mut stride = 1usize;
+    for &k in dims {
+        let c = (v / stride) % k;
+        if wraps {
+            out.push(v - c * stride + ((c + 1) % k) * stride);
+            out.push(v - c * stride + ((c + k - 1) % k) * stride);
+        } else {
+            if c + 1 < k {
+                out.push(v + stride);
+            }
+            if c > 0 {
+                out.push(v - stride);
+            }
+        }
+        stride *= k;
+    }
+    out.into_iter().map(|id| NodeId(id as u16)).collect()
 }
 
 /// Shortest directed hop count between positions `s` and `d` on a ring of
@@ -449,6 +502,48 @@ impl NextHopTable {
                         .expect("nonempty route")
                         .0
                 };
+            }
+        }
+        NextHopTable { n, next }
+    }
+
+    /// Precomputes shortest-path next hops that avoid every directed link
+    /// in `dead` — the adaptive re-routing structure a fabric switches to
+    /// while links are down. One BFS per destination over the reversed
+    /// live graph; ties break toward the lowest-id neighbor discovered
+    /// first, so the table is a pure function of `(topology, dead set)`
+    /// and identical on every shard of a partitioned run.
+    ///
+    /// Pairs the dead set disconnects keep `next_hop(cur, dst) == cur`
+    /// (the same marker as "already there"); callers detect that before
+    /// walking and treat the packet as lost.
+    pub fn build_avoiding(topo: &Topology, dead: &[(NodeId, NodeId)]) -> Self {
+        let n = topo.nodes();
+        // Self-pointing default doubles as the unreachable marker.
+        let mut next: Vec<u16> = (0..n)
+            .flat_map(|cur| std::iter::repeat_n(cur as u16, n))
+            .collect();
+        let adj: Vec<Vec<NodeId>> = (0..n).map(|v| topo.neighbors(NodeId(v as u16))).collect();
+        let alive = |from: NodeId, to: NodeId| !dead.contains(&(from, to));
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        for dst in 0..n {
+            dist.fill(u32::MAX);
+            dist[dst] = 0;
+            queue.clear();
+            queue.push_back(dst);
+            // BFS from the destination over reversed edges: discovering
+            // `u` through `v` means the live link u->v starts a shortest
+            // path, so `u` forwards to `v`.
+            while let Some(v) = queue.pop_front() {
+                for &u in &adj[v] {
+                    let u = u.index();
+                    if dist[u] == u32::MAX && alive(NodeId(u as u16), NodeId(v as u16)) {
+                        dist[u] = dist[v] + 1;
+                        next[u * n + dst] = v as u16;
+                        queue.push_back(u);
+                    }
+                }
             }
         }
         NextHopTable { n, next }
@@ -632,6 +727,102 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn neighbors_are_symmetric_and_match_one_hop_routes() {
+        for topo in [
+            Topology::crossbar(5),
+            Topology::torus2d(4, 3),
+            Topology::torus3d(2, 3, 4),
+            Topology::mesh2d(3, 4),
+            Topology::torus2d(2, 2), // rings of two: both directions coincide
+        ] {
+            let n = topo.nodes() as u16;
+            for v in 0..n {
+                let nbrs = topo.neighbors(NodeId(v));
+                assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "{topo:?} sorted");
+                for &u in &nbrs {
+                    assert_eq!(topo.distance(NodeId(v), u), 1, "{topo:?} {v}->{u:?}");
+                    assert!(
+                        topo.neighbors(u).contains(&NodeId(v)),
+                        "{topo:?} symmetry {v}<->{u:?}"
+                    );
+                }
+                // Completeness: every node at distance 1 is listed.
+                for u in 0..n {
+                    if u != v && topo.distance(NodeId(v), NodeId(u)) == 1 {
+                        assert!(nbrs.contains(&NodeId(u)), "{topo:?} missing {v}->{u}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn build_avoiding_nothing_preserves_all_distances() {
+        for topo in [
+            Topology::crossbar(6),
+            Topology::torus2d(4, 4),
+            Topology::torus3d(2, 3, 2),
+            Topology::mesh2d(3, 3),
+        ] {
+            let table = NextHopTable::build_avoiding(&topo, &[]);
+            let n = topo.nodes() as u16;
+            for s in 0..n {
+                for d in 0..n {
+                    if s == d {
+                        continue;
+                    }
+                    assert_eq!(
+                        table.route(NodeId(s), NodeId(d)).len(),
+                        topo.distance(NodeId(s), NodeId(d)) as usize,
+                        "{topo:?} {s}->{d} must stay a shortest path"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn build_avoiding_detours_around_the_dead_link() {
+        let topo = Topology::torus2d(4, 4);
+        let dead = [(NodeId(0), NodeId(1))];
+        let table = NextHopTable::build_avoiding(&topo, &dead);
+        let n = topo.nodes() as u16;
+        for s in 0..n {
+            for d in 0..n {
+                if s == d {
+                    continue;
+                }
+                let route = table.route(NodeId(s), NodeId(d));
+                let mut prev = NodeId(s);
+                for &hop in &route {
+                    assert!(
+                        !dead.contains(&(prev, hop)),
+                        "{s}->{d} crosses the dead link"
+                    );
+                    prev = hop;
+                }
+                assert_eq!(prev, NodeId(d), "{s}->{d} must still arrive");
+                // Losing one link of a torus costs at most one extra hop
+                // on routes that used it, and nothing on the rest.
+                let min = topo.distance(NodeId(s), NodeId(d)) as usize;
+                assert!(route.len() >= min);
+                assert!(route.len() <= min + 2, "{s}->{d} detour too long");
+            }
+        }
+        // The reverse direction is untouched (faults are directed).
+        assert_eq!(table.next_hop(NodeId(1), NodeId(0)), NodeId(0));
+    }
+
+    #[test]
+    fn build_avoiding_marks_disconnected_pairs_unreachable() {
+        let topo = Topology::crossbar(2);
+        let table = NextHopTable::build_avoiding(&topo, &[(NodeId(0), NodeId(1))]);
+        // Self-pointing next hop is the unreachable marker.
+        assert_eq!(table.next_hop(NodeId(0), NodeId(1)), NodeId(0));
+        assert_eq!(table.next_hop(NodeId(1), NodeId(0)), NodeId(0));
     }
 
     #[test]

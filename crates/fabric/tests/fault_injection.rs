@@ -1,0 +1,156 @@
+//! Fault-injection properties of the fabric: dead-link avoidance against
+//! an independent BFS oracle, purity of the per-packet fate stream, and
+//! the zero-fault fast path's equivalence to the plain send path.
+
+use sonuma_fabric::{Fabric, FabricConfig, FaultPlan, LinkFault, PacketFate, Topology};
+use sonuma_protocol::NodeId;
+use sonuma_sim::SimTime;
+
+/// Shortest hop distance from `src` to `dst` avoiding `dead` directed
+/// links — a from-scratch BFS, independent of `NextHopTable`.
+fn bfs_hops(topo: &Topology, src: NodeId, dst: NodeId, dead: &[(NodeId, NodeId)]) -> Option<u32> {
+    let n = topo.nodes();
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[src.index()] = 0;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        if v == dst {
+            return Some(dist[v.index()]);
+        }
+        for w in topo.neighbors(v) {
+            if dead.contains(&(v, w)) || dist[w.index()] != u32::MAX {
+                continue;
+            }
+            dist[w.index()] = dist[v.index()] + 1;
+            queue.push_back(w);
+        }
+    }
+    None
+}
+
+/// A torus fabric whose first link out of node 0 dies at `kill_ns`, with
+/// `drop_prob = 1.0` on that link: any packet that still traversed it
+/// after the kill would be dropped, so a `Delivered` fate *proves* the
+/// avoidance table steered around it.
+fn flappy_fabric(kill_ns: u64) -> (Fabric, (NodeId, NodeId)) {
+    let mut config = FabricConfig::torus3d(4, 4, 4);
+    let dead_dst = config.topology.neighbors(NodeId(0))[0];
+    let mut plan = FaultPlan::new(11);
+    let mut fault = LinkFault::on(NodeId(0), dead_dst);
+    fault.kill_at = Some(SimTime::from_ns(kill_ns));
+    fault.drop_prob = 1.0;
+    plan.links.push(fault);
+    config.faults = Some(plan);
+    (Fabric::new(config), (NodeId(0), dead_dst))
+}
+
+#[test]
+fn dead_link_is_avoided_and_hops_match_bfs_oracle() {
+    let (mut f, dead) = flappy_fabric(20);
+    let topo = f.config().topology.clone();
+    let n = topo.nodes();
+    let after = SimTime::from_ns(1000);
+    for d in 1..n {
+        let dst = NodeId(d as u16);
+        let (arrival, fate) = f.send_faulty(after, NodeId(0), dst, 0, 80, d as u64);
+        // drop_prob = 1.0 on the dead link: Delivered proves avoidance.
+        assert_eq!(
+            fate,
+            PacketFate::Delivered,
+            "0 -> {d} crossed the dead link"
+        );
+        let oracle = bfs_hops(&topo, NodeId(0), dst, &[dead]).expect("torus stays connected");
+        assert_eq!(
+            arrival.hops, oracle,
+            "0 -> {d} took {} hops, BFS-avoiding oracle says {oracle}",
+            arrival.hops
+        );
+    }
+    let stats = f.fault_stats();
+    assert_eq!(stats.rerouted, (n - 1) as u64, "every send saw a dead mask");
+    assert_eq!(stats.dropped + stats.unreachable, 0);
+}
+
+#[test]
+fn live_link_routes_normally_before_the_kill() {
+    let (mut f, dead) = flappy_fabric(1_000_000);
+    let topo = f.config().topology.clone();
+    // Before the kill the default (non-avoiding) route applies. The
+    // listed link's drop_prob holds whether it is dead or not, so pick a
+    // destination whose default path cannot cross it: any *other*
+    // neighbor of node 0 is a one-hop route on a disjoint link.
+    let other = topo
+        .neighbors(NodeId(0))
+        .into_iter()
+        .find(|&v| v != dead.1)
+        .expect("torus degree > 1");
+    let (arrival, fate) = f.send_faulty(SimTime::from_ns(0), NodeId(0), other, 0, 80, 1);
+    assert_eq!(fate, PacketFate::Delivered);
+    assert_eq!(arrival.hops, 1);
+    assert_eq!(f.fault_stats().rerouted, 0, "no dead mask before the kill");
+}
+
+#[test]
+fn fates_are_pure_functions_of_packet_identity() {
+    // Two fabrics with the same plan, fed the same salts in opposite
+    // orders, must agree on every per-packet fate.
+    let build = || {
+        let mut config = FabricConfig::torus2d(4, 4);
+        let mut plan = FaultPlan::new(77);
+        let mut fault = LinkFault::on(NodeId(0), config.topology.neighbors(NodeId(0))[0]);
+        fault.drop_prob = 0.4;
+        fault.corrupt_prob = 0.4;
+        plan.links.push(fault);
+        config.faults = Some(plan);
+        Fabric::new(config)
+    };
+    let dst = build().config().topology.neighbors(NodeId(0))[0];
+    let salts: Vec<u64> = (0..64).collect();
+    let now = SimTime::from_ns(5);
+    let mut forward = Vec::new();
+    let mut f = build();
+    for &s in &salts {
+        forward.push(f.send_faulty(now, NodeId(0), dst, 0, 80, s).1);
+    }
+    let mut backward = vec![PacketFate::Delivered; salts.len()];
+    let mut g = build();
+    for &s in salts.iter().rev() {
+        backward[s as usize] = g.send_faulty(now, NodeId(0), dst, 0, 80, s).1;
+    }
+    assert_eq!(forward, backward, "fate depended on draw order");
+    assert!(
+        forward.contains(&PacketFate::Dropped)
+            && forward.contains(&PacketFate::Corrupted)
+            && forward.contains(&PacketFate::Delivered),
+        "0.4/0.4 probabilities over 64 draws should show all three fates: {forward:?}"
+    );
+    assert_eq!(f.fault_stats(), g.fault_stats());
+}
+
+#[test]
+fn node_crash_only_plan_keeps_the_link_path_exact() {
+    // A plan with node faults but no link faults must leave link-level
+    // sends byte-identical to a fabric with no plan at all: same arrival
+    // times, all fates Delivered, zeroed fault counters.
+    let mut plain = Fabric::new(FabricConfig::torus2d(4, 4));
+    let mut config = FabricConfig::torus2d(4, 4);
+    let mut plan = FaultPlan::new(3);
+    plan.nodes.push(sonuma_fabric::NodeFault {
+        node: NodeId(5),
+        crash_at: SimTime::from_ns(10),
+        restart_at: SimTime::from_ns(20),
+    });
+    config.faults = Some(plan);
+    let mut faulty = Fabric::new(config);
+    for i in 0..32u64 {
+        let src = NodeId((i % 16) as u16);
+        let dst = NodeId(((i + 3) % 16) as u16);
+        let now = SimTime::from_ns(i * 7);
+        let a = plain.send(now, src, dst, (i % 2) as usize, 64 + i);
+        let (b, fate) = faulty.send_faulty(now, src, dst, (i % 2) as usize, 64 + i, i);
+        assert_eq!(fate, PacketFate::Delivered);
+        assert_eq!(a, b, "send {i} diverged from the fault-free path");
+    }
+    assert_eq!(faulty.fault_stats(), sonuma_fabric::FaultStats::default());
+}

@@ -59,40 +59,49 @@ fn send_allocates_nothing_after_link_warmup() {
     for config in configs {
         let topo = config.topology.clone();
         let nodes = topo.nodes() as u16;
-        let mut fabric = Fabric::new(config);
-        // Warm-up: the first packet on each (src, dst) flow creates every
-        // link state on its route.
-        for src in 0..nodes {
-            for dst in 0..nodes {
-                if src != dst {
-                    fabric.send(SimTime::ZERO, NodeId(src), NodeId(dst), 0, 88);
-                }
-            }
-        }
-        // Steady state: heavy mixed traffic, both lanes, varying sizes and
-        // timestamps — zero heap traffic allowed.
-        let before = allocs();
-        let mut t = SimTime::ZERO;
-        for round in 0..50u64 {
+        // The counting allocator sees every thread in the process, and the
+        // libtest harness's own threads lazily allocate a handful of times
+        // (channel wakers, stdio plumbing) at unpredictable moments, so a
+        // single measurement window can flake. A real hot-path allocation
+        // reproduces on every fresh fabric; harness noise is once per
+        // process. Require one clean window out of three.
+        let mut leaked = u64::MAX;
+        for _attempt in 0..3 {
+            let mut fabric = Fabric::new(config.clone());
+            // Warm-up: the first packet on each (src, dst) flow creates
+            // every link state on its route.
             for src in 0..nodes {
                 for dst in 0..nodes {
                     if src != dst {
-                        let lane = ((src + dst + round as u16) % 2) as usize;
-                        let bytes = if (src ^ dst) & 1 == 0 { 88 } else { 24 };
-                        fabric.send(t, NodeId(src), NodeId(dst), lane, bytes);
+                        fabric.send(SimTime::ZERO, NodeId(src), NodeId(dst), 0, 88);
                     }
                 }
             }
-            t += SimTime::from_ns(100);
+            // Steady state: heavy mixed traffic, both lanes, varying sizes
+            // and timestamps — zero heap traffic allowed.
+            let before = allocs();
+            let mut t = SimTime::ZERO;
+            for round in 0..50u64 {
+                for src in 0..nodes {
+                    for dst in 0..nodes {
+                        if src != dst {
+                            let lane = ((src + dst + round as u16) % 2) as usize;
+                            let bytes = if (src ^ dst) & 1 == 0 { 88 } else { 24 };
+                            fabric.send(t, NodeId(src), NodeId(dst), lane, bytes);
+                        }
+                    }
+                }
+                t += SimTime::from_ns(100);
+            }
+            leaked = allocs() - before;
+            // The cold statistics paths may allocate their result vectors,
+            // but must still be callable (sanity check, not counted).
+            assert!(fabric.credit_stalls() < u64::MAX);
+            assert!(!fabric.link_stats().is_empty());
+            if leaked == 0 {
+                break;
+            }
         }
-        assert_eq!(
-            allocs() - before,
-            0,
-            "{topo:?}: Fabric::send allocated on a warm link"
-        );
-        // The cold statistics paths may allocate their result vectors, but
-        // must still be callable (sanity check, not counted).
-        assert!(fabric.credit_stalls() < u64::MAX);
-        assert!(!fabric.link_stats().is_empty());
+        assert_eq!(leaked, 0, "{topo:?}: Fabric::send allocated on a warm link");
     }
 }

@@ -234,6 +234,18 @@ impl SonumaBackend {
         self.sharded.resident_bytes()
     }
 
+    /// Node-crash events executed under the active fault plan (0 without
+    /// one).
+    pub fn total_crashes(&self) -> u64 {
+        self.sharded.total_crashes()
+    }
+
+    /// Packets discarded at delivery because their destination was inside
+    /// a crash window (0 without a fault plan).
+    pub fn total_crash_drops(&self) -> u64 {
+        self.sharded.total_crash_drops()
+    }
+
     /// Delivery-order hash of `node` — equal across runs iff packets
     /// arrived in the same order at the same times (the determinism
     /// checksum the equivalence tests gate on).

@@ -382,4 +382,16 @@ impl Cluster {
     pub fn resident_bytes(&self) -> u64 {
         self.nodes.iter().map(Node::resident_bytes).sum()
     }
+
+    /// Node-crash events executed across the cluster (0 without a fault
+    /// plan).
+    pub fn total_crashes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.crashes).sum()
+    }
+
+    /// Packets discarded at delivery because their destination node was
+    /// inside a crash window (0 without a fault plan).
+    pub fn total_crash_drops(&self) -> u64 {
+        self.nodes.iter().map(|n| n.crash_drops).sum()
+    }
 }

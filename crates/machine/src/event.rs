@@ -9,7 +9,7 @@
 //! pipeline logic instead of `Box<dyn FnOnce>` churn.
 
 use sonuma_memory::VAddr;
-use sonuma_protocol::{NodeId, Packet, PacketKind, QpId};
+use sonuma_protocol::{NodeId, Packet, PacketKind, QpId, Tid};
 use sonuma_sim::World;
 
 use crate::cluster::Cluster;
@@ -62,6 +62,31 @@ pub enum ClusterEvent {
         core: u16,
         /// Why the core wakes.
         reason: WakeReason,
+    },
+    /// The retransmission deadline for `tid` at `node` expired. A no-op
+    /// when the request already completed (the ITT slot was recycled and
+    /// `gen` no longer matches); otherwise the RGP re-injects the missing
+    /// lines or aborts the operation once its retry budget is spent.
+    RgpTimeout {
+        /// Source node that owns the in-flight request.
+        node: u16,
+        /// Transfer id of the request being watched.
+        tid: Tid,
+        /// Incarnation the deadline was armed for (ABA guard).
+        gen: u8,
+    },
+    /// `node` crashes: its RMC loses ITT, CT cache, TLB, and retry state,
+    /// and in-flight operations abort. Scheduled once at construction per
+    /// entry in the fault plan.
+    NodeCrash {
+        /// Node that fails.
+        node: u16,
+    },
+    /// `node` comes back after a crash: the RGP restarts polling if work
+    /// survived in the (host-memory) work queues.
+    NodeRestart {
+        /// Node that recovers.
+        node: u16,
     },
     /// Anchors the event clock at the scheduled time so the simulated
     /// duration includes work performed in a final wake-up; no state
@@ -127,6 +152,14 @@ impl World for Cluster {
             }
             ClusterEvent::Deliver { pkt } => {
                 let dst = pkt.dst.index();
+                // A crashed node's NI is dark: packets that arrive inside
+                // the crash window vanish before they touch the delivery
+                // hash or any pipeline. The window is a pure function of
+                // arrival time, so every shard count agrees on the drop.
+                if self.node_crashed(dst, engine.now()) {
+                    self.node_mut(dst).crash_drops += 1;
+                    return;
+                }
                 // Fold the delivery into the receiver's order hash: equal
                 // hashes mean packet-for-packet identical delivery order,
                 // which is what the serial-equivalence tests assert across
@@ -138,7 +171,13 @@ impl World for Cluster {
                 h = fnv_mix(h, pkt.tid.0 as u64);
                 h = fnv_mix(h, pkt.line_seq as u64);
                 node.deliver_hash = h;
-                if pkt.kind == PacketKind::Request {
+                // The receiving RMC's integrity check: corrupted packets
+                // (requests and replies alike) are discarded after the
+                // order-hash fold, leaving recovery to the source's
+                // retransmission timer.
+                if pkt.corrupt {
+                    node.rmc.rrpp.corrupt_drops += 1;
+                } else if pkt.kind == PacketKind::Request {
                     self.rrpp_handle(engine, dst, pkt);
                 } else {
                     self.rcp_handle(engine, dst, pkt);
@@ -148,6 +187,11 @@ impl World for Cluster {
             ClusterEvent::CoreWake { node, core, reason } => {
                 self.wake_core(engine, node as usize, core as usize, reason.into());
             }
+            ClusterEvent::RgpTimeout { node, tid, gen } => {
+                self.rgp_timeout(engine, node as usize, tid, gen);
+            }
+            ClusterEvent::NodeCrash { node } => self.node_crash(engine, node as usize),
+            ClusterEvent::NodeRestart { node } => self.node_restart(engine, node as usize),
             ClusterEvent::Anchor => {}
         }
     }

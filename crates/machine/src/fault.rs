@@ -1,0 +1,394 @@
+//! Source-side fault recovery: retransmission timers and node
+//! crash/restart.
+//!
+//! The fabric decides what breaks (see `sonuma_fabric::fault`); this
+//! module decides how the machine recovers. Recovery is entirely
+//! source-side, preserving the paper's stateless-destination design: the
+//! RRPP never tracks requests, so the only party that can notice a lost
+//! line is the RMC that issued it. Each WQ request issued under a fault
+//! plan arms a [`ClusterEvent::RgpTimeout`] deadline; when it fires with
+//! replies still missing, the missing lines are re-injected (bounded
+//! retries, exponential backoff) and, once the budget is exhausted, the
+//! operation completes with [`Status::Aborted`].
+//!
+//! A crashing node loses its RMC state — ITT, CT$, TLB — and drops every
+//! packet that arrives during its outage. In-flight operations abort with
+//! error completions at crash time (silent loss would hang any driver
+//! waiting on them); the work queues themselves live in host memory and
+//! survive, so unserved entries are picked up when the restarted RGP is
+//! re-kicked.
+//!
+//! Duplicate suppression rides on two keys carried in every packet: the
+//! per-line `received` bitmask (a retransmitted line may race its
+//! original reply) and the tid *generation* (`Packet::gen`), bumped every
+//! time a tid incarnation ends, so a straggler addressed to a recycled
+//! tid can never be mistaken for the new operation's reply.
+
+use sonuma_memory::{VAddr, CACHE_LINE_BYTES};
+use sonuma_protocol::{CtxId, NodeId, RemoteOp, Status, Tid, WqEntry};
+use sonuma_rmc::CtCache;
+use sonuma_sim::SimTime;
+
+use crate::cluster::Cluster;
+use crate::event::ClusterEvent;
+use crate::pipeline::rgp::LineBurst;
+use crate::pipeline::RgpPhase;
+use crate::ClusterEngine;
+
+/// Everything the source needs to re-issue the missing lines of one
+/// in-flight WQ request. Exists only while a fault plan is active (the
+/// fault-free path never touches the retry table).
+#[derive(Debug)]
+pub(crate) struct RetryState {
+    /// Destination node.
+    pub dst: NodeId,
+    /// Target context.
+    pub ctx: CtxId,
+    /// Operation kind.
+    pub op: RemoteOp,
+    /// Segment offset of line 0.
+    pub offset: u64,
+    /// Total unrolled lines.
+    pub lines: u32,
+    /// Local buffer base (payload source for writes).
+    pub buf_vaddr: u64,
+    /// Operand words (atomics).
+    pub operands: (u64, u64),
+    /// Generation of this tid incarnation (echoed by replies).
+    pub gen: u8,
+    /// Retransmission rounds already spent.
+    pub retries: u32,
+    /// One bit per line already answered (duplicate suppression).
+    received: Vec<u64>,
+}
+
+impl RetryState {
+    /// Fresh state for a WQ entry unrolling into `lines` transactions
+    /// (`gen` is assigned by [`RetryTable::insert`]).
+    pub fn new(entry: &WqEntry, lines: u32) -> RetryState {
+        RetryState {
+            dst: entry.dst,
+            ctx: entry.ctx,
+            op: entry.op,
+            offset: entry.offset,
+            lines,
+            buf_vaddr: entry.buf_vaddr,
+            operands: (entry.operand1, entry.operand2),
+            gen: 0,
+            retries: 0,
+            received: vec![0u64; lines.div_ceil(64) as usize],
+        }
+    }
+
+    /// Marks line `seq` answered; `false` if it already was (a duplicate).
+    pub fn mark_received(&mut self, seq: u32) -> bool {
+        debug_assert!(seq < self.lines, "line_seq outside the request");
+        let (word, bit) = (seq as usize / 64, seq % 64);
+        let fresh = self.received[word] & (1 << bit) == 0;
+        self.received[word] |= 1 << bit;
+        fresh
+    }
+
+    /// Line sequences still unanswered, ascending.
+    pub fn missing(&self) -> Vec<u32> {
+        (0..self.lines)
+            .filter(|&s| self.received[s as usize / 64] & (1 << (s % 64)) == 0)
+            .collect()
+    }
+}
+
+/// Per-node retry table, indexed by tid like the ITT, plus the per-tid
+/// generation counters that outlive individual incarnations. Empty (and
+/// allocation-free) for the entire run when no fault plan is installed.
+#[derive(Debug, Default)]
+pub(crate) struct RetryTable {
+    slots: Vec<Option<Box<RetryState>>>,
+    /// Wrapping incarnation counter per tid: bumped whenever a state is
+    /// removed (completion, abort, crash), so late replies to a recycled
+    /// tid always mismatch. An ABA collision needs 256 recycles within
+    /// one packet's flight time — impossible at simulated RTTs.
+    gens: Vec<u8>,
+}
+
+impl RetryTable {
+    fn ensure(&mut self, tid: Tid) {
+        if self.slots.len() <= tid.index() {
+            self.slots.resize_with(tid.index() + 1, || None);
+            self.gens.resize(tid.index() + 1, 0);
+        }
+    }
+
+    /// Installs `state` for a fresh incarnation of `tid`, stamping and
+    /// returning its generation.
+    pub fn insert(&mut self, tid: Tid, mut state: RetryState) -> u8 {
+        self.ensure(tid);
+        debug_assert!(self.slots[tid.index()].is_none(), "tid already tracked");
+        let gen = self.gens[tid.index()];
+        state.gen = gen;
+        self.slots[tid.index()] = Some(Box::new(state));
+        gen
+    }
+
+    /// The live state of `tid`, if any.
+    pub fn get_mut(&mut self, tid: Tid) -> Option<&mut RetryState> {
+        self.slots.get_mut(tid.index())?.as_deref_mut()
+    }
+
+    /// Whether `tid` is live at generation `gen`.
+    pub fn matches(&self, tid: Tid, gen: u8) -> bool {
+        self.slots
+            .get(tid.index())
+            .and_then(|s| s.as_ref())
+            .is_some_and(|s| s.gen == gen)
+    }
+
+    /// Ends `tid`'s incarnation (bumping its generation); no-op when the
+    /// tid was never tracked — the fault-free path lands here.
+    pub fn remove(&mut self, tid: Tid) -> Option<Box<RetryState>> {
+        let state = self.slots.get_mut(tid.index())?.take()?;
+        self.gens[tid.index()] = self.gens[tid.index()].wrapping_add(1);
+        Some(state)
+    }
+
+    /// Ends every live incarnation (node crash).
+    pub fn clear(&mut self) {
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if slot.take().is_some() {
+                self.gens[i] = self.gens[i].wrapping_add(1);
+            }
+        }
+    }
+
+    /// Live entries (tests).
+    #[cfg(test)]
+    pub fn live(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+impl Cluster {
+    /// Whether node `n` is inside its crash window at `now` — a pure
+    /// function of the fault plan and time, so every shard (and the
+    /// serial run) answers identically without any cross-shard state.
+    pub(crate) fn node_crashed(&self, n: usize, now: SimTime) -> bool {
+        match &self.config().fabric.faults {
+            Some(plan) => plan
+                .crash_window(NodeId(n as u16))
+                .is_some_and(|(crash, restart)| now >= crash && now < restart),
+            None => false,
+        }
+    }
+
+    /// Schedules the plan's one-time crash/restart transitions for the
+    /// nodes this cluster owns. Called once per shard at construction
+    /// (before any traffic, so the events carry the earliest sequence
+    /// numbers and order identically under every partition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node fault restarts at or before its crash.
+    pub fn schedule_fault_events(&mut self, engine: &mut ClusterEngine) {
+        let Some(plan) = &self.config().fabric.faults else {
+            return;
+        };
+        let owned = self.owned_nodes();
+        let transitions: Vec<(usize, SimTime, SimTime)> = plan
+            .nodes
+            .iter()
+            .filter(|f| owned.contains(&f.node.index()))
+            .map(|f| {
+                assert!(
+                    f.restart_at > f.crash_at,
+                    "node {} must restart after it crashes",
+                    f.node
+                );
+                (f.node.index(), f.crash_at, f.restart_at)
+            })
+            .collect();
+        for (n, crash_at, restart_at) in transitions {
+            engine.schedule_at(crash_at, ClusterEvent::NodeCrash { node: n as u16 });
+            engine.schedule_at(restart_at, ClusterEvent::NodeRestart { node: n as u16 });
+        }
+    }
+
+    /// Handles a fired retransmission deadline for `(tid, gen)` at node
+    /// `n`: re-injects the missing lines and re-arms the timer with
+    /// exponential backoff, or aborts the operation once the retry budget
+    /// is spent. Stale timers (completed, aborted, or re-incarnated tids)
+    /// are ignored.
+    pub(crate) fn rgp_timeout(&mut self, engine: &mut ClusterEngine, n: usize, tid: Tid, gen: u8) {
+        let now = engine.now();
+        let Some(plan) = &self.config().fabric.faults else {
+            return;
+        };
+        let (timeout, max_retries) = (plan.timeout, plan.max_retries);
+        if self.node_crashed(n, now) {
+            // The crash already aborted everything in flight.
+            return;
+        }
+        let node = self.node_mut(n);
+        let timing = node.rmc.timing;
+        let Some(state) = node.retry.get_mut(tid) else {
+            return;
+        };
+        if state.gen != gen {
+            return;
+        }
+        let missing = state.missing();
+        debug_assert!(!missing.is_empty(), "live retry state has missing lines");
+        let exhausted = state.retries >= max_retries;
+        if !exhausted {
+            state.retries += 1;
+        }
+        let retries = state.retries;
+        let (dst, ctx, op, offset, buf_vaddr, operands) = (
+            state.dst,
+            state.ctx,
+            state.op,
+            state.offset,
+            state.buf_vaddr,
+            state.operands,
+        );
+        node.rmc.rgp.timeouts += 1;
+
+        if exhausted {
+            // Budget spent: the operation fails with an error completion
+            // (silent loss would hang the driver forever).
+            node.retry.remove(tid);
+            let (qp, wq_index) = node
+                .rmc
+                .itt
+                .abort(tid)
+                .expect("retry state implies an in-flight tid");
+            let t = now + timing.stage_local;
+            self.complete_to_cq(engine, n, qp, wq_index, Status::Aborted, t);
+            return;
+        }
+        node.rmc.rgp.retransmits += missing.len() as u64;
+        // Each missing line re-injects as its own single-line burst at the
+        // pipeline's initiation interval; the fresh send time gives the
+        // fabric's pure-hash fault stream a fresh draw, so a retransmit is
+        // not doomed to the fate of the original.
+        let t0 = now + timing.rgp_per_request;
+        for (i, &seq) in missing.iter().enumerate() {
+            let line_bytes = seq as u64 * CACHE_LINE_BYTES;
+            engine.schedule_at(
+                t0 + timing.unroll_interval * i as u64,
+                ClusterEvent::InjectBurst {
+                    node: n as u16,
+                    burst: LineBurst {
+                        dst,
+                        ctx,
+                        tid,
+                        op,
+                        offset: offset + line_bytes,
+                        first_seq: seq,
+                        count: 1,
+                        payload_src: (op == RemoteOp::Write)
+                            .then(|| VAddr::new(buf_vaddr + line_bytes)),
+                        operands,
+                        gen,
+                    },
+                },
+            );
+        }
+        // Exponential backoff: the k-th retry waits 2^k base timeouts.
+        let backoff = timeout * (1u64 << retries.min(16));
+        engine.schedule_at(
+            t0 + timing.unroll_interval * (missing.len() - 1) as u64 + backoff,
+            ClusterEvent::RgpTimeout {
+                node: n as u16,
+                tid,
+                gen,
+            },
+        );
+    }
+
+    /// Crashes node `n`: its RMC loses the ITT, CT$ and TLB, and every
+    /// in-flight operation it issued aborts with an error completion. The
+    /// crash *window* itself (dropping arrivals, idling the RGP) is
+    /// enforced by pure time checks elsewhere; this event performs only
+    /// the one-time state transitions.
+    pub(crate) fn node_crash(&mut self, engine: &mut ClusterEngine, n: usize) {
+        let now = engine.now();
+        let ct_cache_entries = self.config().rmc.ct_cache_entries;
+        let node = self.node_mut(n);
+        node.crashes += 1;
+        node.rmc.ct_cache = CtCache::new(ct_cache_entries);
+        node.rmc.tlb.flush_all();
+        node.retry.clear();
+        let aborted = node.rmc.itt.abort_all();
+        let t = now + node.rmc.timing.stage_local;
+        for (_, qp, wq_index) in aborted {
+            self.complete_to_cq(engine, n, qp, wq_index, Status::Aborted, t);
+        }
+    }
+
+    /// Restarts node `n`: cold state was already installed at crash time;
+    /// all that remains is re-kicking the RGP for the WQ entries that
+    /// accumulated (or survived) across the outage.
+    pub(crate) fn node_restart(&mut self, engine: &mut ClusterEngine, n: usize) {
+        let now = engine.now();
+        let node = self.node_mut(n);
+        if node.rmc.rgp.scheduler.has_work() && !node.rmc.rgp.busy() {
+            node.rmc.rgp.phase = RgpPhase::Polling;
+            let detect = node.rmc.timing.poll_interval / 2;
+            engine.schedule_at(now + detect, ClusterEvent::RgpService { node: n as u16 });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> WqEntry {
+        WqEntry {
+            op: RemoteOp::Read,
+            dst: NodeId(3),
+            ctx: CtxId(0),
+            offset: 4096,
+            length: 256,
+            buf_vaddr: 0x10_0000,
+            operand1: 0,
+            operand2: 0,
+        }
+    }
+
+    #[test]
+    fn retry_state_tracks_missing_lines() {
+        let mut s = RetryState::new(&entry(), 4);
+        assert_eq!(s.missing(), vec![0, 1, 2, 3]);
+        assert!(s.mark_received(2));
+        assert!(!s.mark_received(2), "duplicate line is flagged");
+        assert_eq!(s.missing(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn retry_table_generations_advance_per_incarnation() {
+        let mut t = RetryTable::default();
+        let tid = Tid(5);
+        let g0 = t.insert(tid, RetryState::new(&entry(), 1));
+        assert!(t.matches(tid, g0));
+        assert!(!t.matches(tid, g0.wrapping_add(1)));
+        t.remove(tid);
+        assert!(!t.matches(tid, g0), "removed incarnation no longer matches");
+        let g1 = t.insert(tid, RetryState::new(&entry(), 1));
+        assert_eq!(g1, g0.wrapping_add(1));
+        t.clear();
+        assert_eq!(t.live(), 0);
+        let g2 = t.insert(tid, RetryState::new(&entry(), 1));
+        assert_eq!(g2, g1.wrapping_add(1), "clear() also bumps");
+    }
+
+    #[test]
+    fn wide_requests_span_mask_words() {
+        let mut s = RetryState::new(&entry(), 130);
+        for seq in 0..130 {
+            if seq != 64 && seq != 129 {
+                assert!(s.mark_received(seq));
+            }
+        }
+        assert_eq!(s.missing(), vec![64, 129]);
+    }
+}

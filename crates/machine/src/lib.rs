@@ -41,6 +41,7 @@ pub mod backend;
 pub mod cluster;
 pub mod config;
 pub mod event;
+pub mod fault;
 pub mod node;
 pub mod pipeline;
 pub mod process;

@@ -11,6 +11,7 @@ use sonuma_rmc::{ContextTable, CtCache, InflightTable, Maq, QueuePairState, RmcT
 use sonuma_sim::SimTime;
 
 use crate::config::MachineConfig;
+use crate::fault::RetryTable;
 use crate::pipeline::{RcpState, RgpState, RrppState};
 use crate::process::AppProcess;
 use crate::tenancy::TenantTable;
@@ -181,6 +182,14 @@ pub struct Node {
     pub interrupts_dropped: u64,
     /// Recent remote writes (pruned ring, newest last).
     pub recent_remote_writes: VecDeque<RemoteWrite>,
+    /// Retransmission state of in-flight requests, indexed by tid.
+    /// Empty (and untouched) unless a fault plan is installed.
+    pub(crate) retry: RetryTable,
+    /// Times this node's RMC crashed (per the fault plan).
+    pub crashes: u64,
+    /// Packets dropped on arrival because this node was inside its crash
+    /// window.
+    pub crash_drops: u64,
     /// Completed remote operations issued by this node.
     pub ops_completed: u64,
     /// Payload bytes this node read from remote memory.
@@ -238,6 +247,9 @@ impl Node {
             pending_interrupts: VecDeque::new(),
             interrupts_dropped: 0,
             recent_remote_writes: VecDeque::new(),
+            retry: RetryTable::default(),
+            crashes: 0,
+            crash_drops: 0,
             ops_completed: 0,
             bytes_read: 0,
             bytes_written: 0,

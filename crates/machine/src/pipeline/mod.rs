@@ -69,6 +69,14 @@ pub struct PipelineStats {
     pub rcp_completions: u64,
     /// Transactions in flight in the ITT at snapshot time.
     pub itt_in_flight: u64,
+    /// Retransmission deadlines that fired with lines still missing
+    /// (fault recovery; zero without a fault plan).
+    pub rgp_timeouts: u64,
+    /// Line requests re-injected by the retransmission path.
+    pub rgp_retransmits: u64,
+    /// Packets the receiving RMC discarded as corrupted (requests and
+    /// replies alike; the source's timeout recovers them).
+    pub rrpp_corrupt_drops: u64,
 }
 
 impl PipelineStats {
@@ -91,6 +99,9 @@ impl PipelineStats {
         self.rcp_replies += other.rcp_replies;
         self.rcp_completions += other.rcp_completions;
         self.itt_in_flight += other.itt_in_flight;
+        self.rgp_timeouts += other.rgp_timeouts;
+        self.rgp_retransmits += other.rgp_retransmits;
+        self.rrpp_corrupt_drops += other.rrpp_corrupt_drops;
     }
 
     /// Element-wise sum of two snapshots (by-value convenience form of
@@ -103,7 +114,7 @@ impl PipelineStats {
 
     /// `(name, value)` rows in presentation order, so reporting layers can
     /// render snapshots without hand-listing fields.
-    pub fn rows(&self) -> [(&'static str, u64); 14] {
+    pub fn rows(&self) -> [(&'static str, u64); 17] {
         [
             ("rgp_requests", self.rgp_requests),
             ("rgp_lines", self.rgp_lines),
@@ -119,6 +130,9 @@ impl PipelineStats {
             ("rcp_replies", self.rcp_replies),
             ("rcp_completions", self.rcp_completions),
             ("itt_in_flight", self.itt_in_flight),
+            ("rgp_timeouts", self.rgp_timeouts),
+            ("rgp_retransmits", self.rgp_retransmits),
+            ("rrpp_corrupt_drops", self.rrpp_corrupt_drops),
         ]
     }
 }
@@ -167,7 +181,7 @@ impl Cluster {
     /// to the one global fabric at the epoch barrier, in an order that is
     /// a pure function of simulated history — which is what keeps
     /// `--threads N` bit-identical to `--threads 1`.
-    pub(crate) fn route_packet(&mut self, engine: &mut ClusterEngine, t: SimTime, pkt: Packet) {
+    pub(crate) fn route_packet(&mut self, engine: &mut ClusterEngine, t: SimTime, mut pkt: Packet) {
         if pkt.dst == pkt.src {
             // Local loopback through the NI: no fabric traversal, stays
             // within the owning shard.
@@ -178,10 +192,25 @@ impl Cluster {
         let src = pkt.src;
         match &mut self.route {
             crate::cluster::RoutePath::Direct(fabric) => {
-                let deliver_at = fabric
-                    .send(t, pkt.src, pkt.dst, pkt.virtual_lane(), pkt.wire_bytes())
-                    .time;
-                engine.schedule_at(deliver_at, ClusterEvent::Deliver { pkt });
+                let salt = pkt.fault_salt(t.as_ps());
+                let (arrival, fate) = fabric.send_faulty(
+                    t,
+                    pkt.src,
+                    pkt.dst,
+                    pkt.virtual_lane(),
+                    pkt.wire_bytes(),
+                    salt,
+                );
+                match fate {
+                    sonuma_fabric::PacketFate::Dropped => {}
+                    sonuma_fabric::PacketFate::Corrupted => {
+                        pkt.corrupt = true;
+                        engine.schedule_at(arrival.time, ClusterEvent::Deliver { pkt });
+                    }
+                    sonuma_fabric::PacketFate::Delivered => {
+                        engine.schedule_at(arrival.time, ClusterEvent::Deliver { pkt });
+                    }
+                }
             }
             crate::cluster::RoutePath::Mailbox(_) => {
                 let seq = {

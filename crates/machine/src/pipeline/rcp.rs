@@ -7,10 +7,18 @@
 //! posts a CQ entry and hands wake-up scheduling to the core scheduler.
 //! Replies arrive out of order across requests; ordering within a request
 //! is irrelevant because each line carries its own `line_seq`.
+//!
+//! When a fault plan is active the RCP also deduplicates: retransmission
+//! means a line can be answered twice (the original reply raced the
+//! timeout), and a recycled tid can receive replies from a previous
+//! incarnation. Both are filtered against the retry table's per-line
+//! bitmap and generation stamp *before* the ITT sees them, keeping the
+//! ITT's exact line accounting intact.
 
 use sonuma_memory::{AccessKind, VAddr, CACHE_LINE_BYTES};
-use sonuma_protocol::{CqEntry, Packet, RemoteOp};
+use sonuma_protocol::{CqEntry, Packet, QpId, RemoteOp, Status};
 use sonuma_rmc::ReplyAction;
+use sonuma_sim::SimTime;
 
 use super::PipelineStats;
 use crate::cluster::Cluster;
@@ -23,6 +31,10 @@ pub struct RcpState {
     pub replies: u64,
     /// CQ entries posted (WQ requests fully completed).
     pub completions: u64,
+    /// Replies discarded by the fault-recovery dedup filter: stale tid,
+    /// stale generation, or a line already accounted. Zero unless a fault
+    /// plan is active.
+    pub stale_drops: u64,
 }
 
 impl RcpState {
@@ -40,9 +52,25 @@ impl Cluster {
     /// Processes one reply at the originating node `n`.
     pub(crate) fn rcp_handle(&mut self, engine: &mut ClusterEngine, n: usize, pkt: Packet) {
         let now = engine.now();
+        let faults_on = self.config().fabric.faults.is_some();
         let node = self.node_mut(n);
         let timing = node.rmc.timing;
         node.rmc.rcp.replies += 1;
+
+        // Fault-recovery dedup: only replies that match the live
+        // incarnation of the tid and carry a not-yet-seen line may reach
+        // the ITT. Anything else is a ghost of a retransmitted or aborted
+        // request.
+        if faults_on {
+            let fresh = match node.retry.get_mut(pkt.tid) {
+                Some(state) => state.gen == pkt.gen && state.mark_received(pkt.line_seq),
+                None => false,
+            };
+            if !fresh {
+                node.rmc.rcp.stale_drops += 1;
+                return;
+            }
+        }
 
         let mut t = now + timing.rcp_per_packet;
 
@@ -73,20 +101,39 @@ impl Cluster {
                 wq_index,
                 status,
             } => {
-                // Post the CQ entry through the coherent hierarchy.
-                let (cq_index, cq_phase) = node.rmc.qps[qp.index()].cq_cursor();
-                let cq_va = node.rmc.qps[qp.index()].cq_entry_addr(cq_index);
-                let (pa, t_xl) = node.rmc_translate(t, cq_va);
-                let pa = pa.expect("CQ rings are pinned");
-                t = node.rmc_line_access(t_xl, pa, AccessKind::Write);
-                let bytes = CqEntry { wq_index, status }.encode(cq_phase);
-                node.write_virt(cq_va, &bytes).expect("CQ mapped");
-                node.rmc.qps[qp.index()].advance_cq();
-                node.rmc.rcp.completions += 1;
-                node.ops_completed += 1;
-                node.tenants.note_completion(qp);
-                self.maybe_cq_wake(engine, n, qp, t);
+                // Retire the retry state with the tid; `remove` is a
+                // no-op on fault-free runs (the table never grew).
+                node.retry.remove(pkt.tid);
+                self.complete_to_cq(engine, n, qp, wq_index, status, t);
             }
         }
+    }
+
+    /// Posts a CQ entry for `(qp, wq_index)` at node `n` through the
+    /// coherent hierarchy and schedules the owner core's wake-up. Shared
+    /// by the normal completion path above and the fault paths (retry
+    /// exhaustion, node crash) that post [`Status::Aborted`] entries.
+    pub(crate) fn complete_to_cq(
+        &mut self,
+        engine: &mut ClusterEngine,
+        n: usize,
+        qp: QpId,
+        wq_index: u16,
+        status: Status,
+        mut t: SimTime,
+    ) {
+        let node = self.node_mut(n);
+        let (cq_index, cq_phase) = node.rmc.qps[qp.index()].cq_cursor();
+        let cq_va = node.rmc.qps[qp.index()].cq_entry_addr(cq_index);
+        let (pa, t_xl) = node.rmc_translate(t, cq_va);
+        let pa = pa.expect("CQ rings are pinned");
+        t = node.rmc_line_access(t_xl, pa, AccessKind::Write);
+        let bytes = CqEntry { wq_index, status }.encode(cq_phase);
+        node.write_virt(cq_va, &bytes).expect("CQ mapped");
+        node.rmc.qps[qp.index()].advance_cq();
+        node.rmc.rcp.completions += 1;
+        node.ops_completed += 1;
+        node.tenants.note_completion(qp);
+        self.maybe_cq_wake(engine, n, qp, t);
     }
 }

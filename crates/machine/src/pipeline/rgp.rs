@@ -375,6 +375,11 @@ pub struct RgpState {
     pub empty_polls: u64,
     /// Service retries forced by a full ITT (backpressure).
     pub itt_full_stalls: u64,
+    /// Retransmission deadlines that fired with replies still missing
+    /// (fault runs only).
+    pub timeouts: u64,
+    /// Line packets re-injected by the retransmission path.
+    pub retransmits: u64,
 }
 
 impl Default for RgpState {
@@ -394,6 +399,8 @@ impl RgpState {
             wq_polls: 0,
             empty_polls: 0,
             itt_full_stalls: 0,
+            timeouts: 0,
+            retransmits: 0,
         }
     }
 
@@ -411,6 +418,8 @@ impl RgpState {
             rgp_empty_polls: self.empty_polls,
             rgp_itt_stalls: self.itt_full_stalls,
             rgp_sched_skips: self.scheduler.skips(),
+            rgp_timeouts: self.timeouts,
+            rgp_retransmits: self.retransmits,
             ..PipelineStats::default()
         }
     }
@@ -424,21 +433,26 @@ impl RgpState {
 /// to one event per line, at a fraction of the engine churn.
 #[derive(Debug, Clone, Copy)]
 pub struct LineBurst {
-    dst: NodeId,
-    ctx: CtxId,
-    tid: Tid,
-    op: RemoteOp,
+    pub(crate) dst: NodeId,
+    pub(crate) ctx: CtxId,
+    pub(crate) tid: Tid,
+    pub(crate) op: RemoteOp,
     /// Segment offset of the burst's first line.
-    offset: u64,
+    pub(crate) offset: u64,
     /// `line_seq` of the burst's first line.
-    first_seq: u32,
+    pub(crate) first_seq: u32,
     /// Lines in this burst (≥ 1).
-    count: u32,
+    pub(crate) count: u32,
     /// Local VA the first line's payload is read from (writes only;
     /// subsequent lines stride by one cache line).
-    payload_src: Option<VAddr>,
+    pub(crate) payload_src: Option<VAddr>,
     /// Operand words (atomics/interrupts).
-    operands: (u64, u64),
+    pub(crate) operands: (u64, u64),
+    /// Retransmission generation of the tid incarnation this burst
+    /// belongs to (0 on the initial unroll; see `crate::fault`). A burst
+    /// whose generation no longer matches the tid's is stale — the
+    /// operation was aborted — and injects nothing.
+    pub(crate) gen: u8,
 }
 
 impl Cluster {
@@ -476,6 +490,13 @@ impl Cluster {
     pub(crate) fn rgp_service(&mut self, engine: &mut ClusterEngine, n: usize) {
         let now = engine.now();
         let burst = self.config().rgp_burst_lines.max(1);
+        let fault_timeout = self.config().fabric.faults.as_ref().map(|p| p.timeout);
+        if self.node_crashed(n, now) {
+            // A crashed RMC serves nothing; the restart event re-kicks the
+            // service loop (the scheduler keeps its pending QPs).
+            self.node_mut(n).rmc.rgp.phase = RgpPhase::Idle;
+            return;
+        }
         let node = self.node_mut(n);
         let timing = node.rmc.timing;
 
@@ -537,6 +558,25 @@ impl Cluster {
         // a large transfer costs O(lines / burst) engine events while
         // every line keeps its own injection timestamp.
         let t0 = t_read + timing.rgp_per_request;
+        // Under a fault plan the source arms a retransmission deadline per
+        // request: the retry table records everything needed to re-inject
+        // missing lines, and the timer fires once every line has had time
+        // to complete a round trip.
+        let mut gen = 0u8;
+        if let Some(timeout) = fault_timeout {
+            gen = node
+                .retry
+                .insert(tid, crate::fault::RetryState::new(&entry, lines));
+            let deadline = t0 + timing.unroll_interval * (lines - 1) as u64 + timeout;
+            engine.schedule_at(
+                deadline,
+                ClusterEvent::RgpTimeout {
+                    node: n as u16,
+                    tid,
+                    gen,
+                },
+            );
+        }
         let mut k = 0u32;
         while k < lines {
             let count = burst.min(lines - k);
@@ -555,6 +595,7 @@ impl Cluster {
                         payload_src: (entry.op == RemoteOp::Write)
                             .then(|| VAddr::new(entry.buf_vaddr + k as u64 * CACHE_LINE_BYTES)),
                         operands: (entry.operand1, entry.operand2),
+                        gen,
                     },
                 },
             );
@@ -574,6 +615,14 @@ impl Cluster {
     /// timestamps the lines would get as individual events.
     pub(crate) fn inject_burst(&mut self, engine: &mut ClusterEngine, n: usize, spec: LineBurst) {
         let now = engine.now();
+        if self.config().fabric.faults.is_some() {
+            // A burst outlives its operation when the node crashes or the
+            // retry budget runs out mid-unroll: the tid was aborted (and
+            // its generation bumped), so the burst injects nothing.
+            if self.node_crashed(n, now) || !self.node(n).retry.matches(spec.tid, spec.gen) {
+                return;
+            }
+        }
         let unroll = self.node(n).rmc.timing.unroll_interval;
         // One engine event stands in for `count` logical injections; keep
         // the logical-event count batching-invariant for throughput
@@ -634,6 +683,8 @@ impl Cluster {
             offset: spec.offset + line_bytes,
             line_seq: spec.first_seq + k,
             payload,
+            gen: spec.gen,
+            corrupt: false,
         };
         node.rmc.rgp.lines += 1;
         self.route_packet(engine, t, pkt);

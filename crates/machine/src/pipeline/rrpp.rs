@@ -27,6 +27,11 @@ pub struct RrppState {
     pub errors: u64,
     /// Remote-interrupt requests handled (§8 extension).
     pub interrupts: u64,
+    /// Packets this node's NI discarded as corrupted. Incremented by the
+    /// central delivery integrity check for requests *and* replies (the
+    /// check models the receiving RMC's CRC, which runs before the
+    /// packet is steered to a pipeline); zero without a fault plan.
+    pub corrupt_drops: u64,
 }
 
 impl RrppState {
@@ -37,6 +42,7 @@ impl RrppState {
             rrpp_ct_misses: self.ct_misses,
             rrpp_errors: self.errors,
             rrpp_interrupts: self.interrupts,
+            rrpp_corrupt_drops: self.corrupt_drops,
             ..PipelineStats::default()
         }
     }

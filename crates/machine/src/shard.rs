@@ -271,10 +271,15 @@ impl ShardedCluster {
                     .nodes
                     .iter()
                     .all(|n| n.cores.iter().all(|c| c.process.is_none())));
-                ShardSlot {
+                let mut slot = ShardSlot {
                     world,
                     engine: ClusterEngine::new(),
-                }
+                };
+                // Each shard schedules the crash/restart events for the
+                // fault-plan nodes it owns; the schedule is a pure
+                // function of the plan, so it is partition-invariant.
+                slot.world.schedule_fault_events(&mut slot.engine);
+                slot
             })
             .collect();
         let num_shards = shards.len();
@@ -529,6 +534,18 @@ impl ShardedCluster {
         self.fold_shards(|c| c.resident_bytes())
     }
 
+    /// Node-crash events executed (0 without a fault plan). Only owning
+    /// shards count a node's crashes, so the sum is partition-invariant.
+    pub fn total_crashes(&self) -> u64 {
+        self.fold_shards(|c| c.total_crashes())
+    }
+
+    /// Packets discarded at delivery because the destination was inside a
+    /// crash window (0 without a fault plan).
+    pub fn total_crash_drops(&self) -> u64 {
+        self.fold_shards(|c| c.total_crash_drops())
+    }
+
     /// The delivery-order hash of `node` (see `Node::deliver_hash`):
     /// equal across two runs iff packets arrived at `node` in the same
     /// order at the same times.
@@ -767,6 +784,11 @@ impl ShardedCluster {
     /// order. Returns the number of departures committed.
     fn commit(&mut self, frontier: SimTime) -> usize {
         self.deliveries.clear();
+        // Progress is measured in departures *consumed*, not deliveries
+        // scheduled: a fault-dropped packet leaves the staging queue
+        // without producing a delivery, and reporting it as zero progress
+        // would trip the quantum loop's liveness check.
+        let mut consumed = 0usize;
         loop {
             // K-way walk: the queues are few (one per shard) and already
             // sorted, so the global minimum is a linear scan of heads.
@@ -784,16 +806,31 @@ impl ShardedCluster {
             let Some((q, _)) = best else {
                 break;
             };
-            let (t, pkt) = {
+            let (t, mut pkt) = {
                 let queue = &mut self.staging[q];
                 let d = &queue.buf[queue.head];
                 queue.head += 1;
                 (d.t, d.pkt)
             };
-            let arrival = self
-                .fabric
-                .send(t, pkt.src, pkt.dst, pkt.virtual_lane(), pkt.wire_bytes())
-                .time;
+            consumed += 1;
+            let salt = pkt.fault_salt(t.as_ps());
+            let (arrival, fate) = self.fabric.send_faulty(
+                t,
+                pkt.src,
+                pkt.dst,
+                pkt.virtual_lane(),
+                pkt.wire_bytes(),
+                salt,
+            );
+            let arrival = arrival.time;
+            match fate {
+                // A dropped packet still advanced the link clocks (it
+                // occupied the wire before vanishing) but never becomes a
+                // delivery event.
+                sonuma_fabric::PacketFate::Dropped => continue,
+                sonuma_fabric::PacketFate::Corrupted => pkt.corrupt = true,
+                sonuma_fabric::PacketFate::Delivered => {}
+            }
             let dst_shard = self.plan.shard_of(pkt.dst.index());
             // The per-pair promise: the matrix said nothing from shard q
             // lands in dst_shard sooner than lookahead[q][dst] after its
@@ -808,7 +845,6 @@ impl ShardedCluster {
             }
             self.deliveries.push((dst_shard, arrival, pkt));
         }
-        let n = self.deliveries.len();
         // One lock per destination shard, preserving merged order within
         // each shard (stable partition).
         for s in 0..self.plan.shards() {
@@ -835,6 +871,6 @@ impl ShardedCluster {
         for queue in &mut self.staging {
             queue.compact();
         }
-        n
+        consumed
     }
 }

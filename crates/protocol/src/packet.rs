@@ -68,6 +68,15 @@ pub struct Packet {
     pub offset: u64,
     /// Index of this cache line within the unrolled transfer.
     pub line_seq: u32,
+    /// Retransmission generation of the owning transfer. Zero on every
+    /// first attempt; a source RMC that aborts a transfer and recycles its
+    /// tid bumps the generation so straggler replies from the old
+    /// incarnation are recognizably stale. Replies echo it.
+    pub gen: u8,
+    /// Set by a faulty link that flipped bits in transit: the packet still
+    /// pays full wire time, and the receiving RMC discards it on its
+    /// integrity check.
+    pub corrupt: bool,
     /// Optional single-line payload.
     pub payload: Option<[u8; CACHE_LINE_BYTES]>,
 }
@@ -93,6 +102,8 @@ impl Packet {
             status: Status::Ok,
             offset,
             line_seq,
+            gen: 0,
+            corrupt: false,
             payload: None,
         }
     }
@@ -129,8 +140,29 @@ impl Packet {
             status,
             offset: req.offset,
             line_seq: req.line_seq,
+            gen: req.gen,
+            corrupt: false,
             payload,
         }
+    }
+
+    /// The fault-stream salt identifying this packet instance at `now_ps`
+    /// (picoseconds of its injection time): a hash of the packet's wire
+    /// identity and send time. Pure, so every shard of any partition
+    /// computes the same salt for the same committed send — and a
+    /// retransmission (same identity, later time) draws a fresh fate.
+    pub fn fault_salt(&self, now_ps: u64) -> u64 {
+        // FNV-1a over the identifying fields; cheap and stateless.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut fold = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        fold(now_ps);
+        fold(u64::from(self.src.0) << 32 | u64::from(self.dst.0));
+        fold(u64::from(self.tid.0) << 40 | u64::from(self.line_seq) << 8 | u64::from(self.gen));
+        fold(self.offset ^ (u64::from(self.kind == PacketKind::Reply) << 63));
+        h
     }
 
     /// Size of this packet on the wire, in bytes.
@@ -167,7 +199,11 @@ impl Packet {
         out[6..8].copy_from_slice(&self.ctx.0.to_le_bytes());
         out[8..10].copy_from_slice(&self.tid.0.to_le_bytes());
         out[10..14].copy_from_slice(&self.line_seq.to_le_bytes());
-        out[14..16].copy_from_slice(&[0u8; 2]); // reserved, pads header to 24
+        // Formerly-reserved pad bytes: retransmission generation and the
+        // corruption mark (zero on every fault-free packet, so fault-free
+        // wire images are unchanged).
+        out[14] = self.gen;
+        out[15] = u8::from(self.corrupt);
         out[16..24].copy_from_slice(&self.offset.to_le_bytes());
         match &self.payload {
             Some(p) => {
@@ -206,6 +242,12 @@ impl Packet {
         let ctx = CtxId(u16::from_le_bytes([bytes[6], bytes[7]]));
         let tid = Tid(u16::from_le_bytes([bytes[8], bytes[9]]));
         let line_seq = u32::from_le_bytes([bytes[10], bytes[11], bytes[12], bytes[13]]);
+        let gen = bytes[14];
+        let corrupt = match bytes[15] {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
         let offset = u64::from_le_bytes(bytes[16..24].try_into().ok()?);
         let payload = if has_payload {
             if bytes.len() != MAX_PACKET_BYTES {
@@ -230,6 +272,8 @@ impl Packet {
             status,
             offset,
             line_seq,
+            gen,
+            corrupt,
             payload,
         })
     }
@@ -361,6 +405,37 @@ mod tests {
         let mut bytes = sample_request().encode();
         bytes[1] = 0x0F; // op nibble = 15: invalid
         assert_eq!(Packet::decode(&bytes), None);
+    }
+
+    #[test]
+    fn gen_and_corrupt_roundtrip_and_reply_echoes_gen() {
+        let mut req = sample_request();
+        req.gen = 3;
+        let bytes = req.encode();
+        assert_eq!(bytes[14], 3);
+        assert_eq!(Packet::decode(&bytes), Some(req));
+        let rep = Packet::reply_to(&req, Status::Ok, None);
+        assert_eq!(rep.gen, 3, "replies echo the request generation");
+        assert!(!rep.corrupt);
+        let mut marked = rep;
+        marked.corrupt = true;
+        assert_eq!(Packet::decode(&marked.encode()), Some(marked));
+        // Byte 15 is a strict boolean on the wire.
+        let mut bad = rep.encode();
+        bad[15] = 7;
+        assert_eq!(Packet::decode(&bad), None);
+    }
+
+    #[test]
+    fn fault_salt_distinguishes_instances() {
+        let req = sample_request();
+        assert_eq!(req.fault_salt(1000), req.fault_salt(1000), "pure");
+        assert_ne!(req.fault_salt(1000), req.fault_salt(2000), "time-salted");
+        let mut retx = req;
+        retx.gen = 1;
+        assert_ne!(req.fault_salt(1000), retx.fault_salt(1000));
+        let rep = Packet::reply_to(&req, Status::Ok, None);
+        assert_ne!(req.fault_salt(1000), rep.fault_salt(1000));
     }
 
     #[test]

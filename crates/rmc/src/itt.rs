@@ -190,6 +190,33 @@ impl InflightTable {
             ReplyAction::InProgress
         }
     }
+
+    /// Forcibly frees `tid` (the source gave up on the operation) and
+    /// returns the `(qp, wq_index)` an error completion should target, or
+    /// `None` if the tid is not in flight. Counts toward `completed` so
+    /// allocation/completion balance still holds at end of run.
+    pub fn abort(&mut self, tid: Tid) -> Option<(QpId, u16)> {
+        let done = self.slots.get_mut(tid.index())?.take()?;
+        self.free.push(tid.0);
+        self.completed += 1;
+        Some((done.qp, done.wq_index))
+    }
+
+    /// Frees every in-flight tid (the node crashed), returning the
+    /// `(tid, qp, wq_index)` triples in tid order so the caller can post
+    /// deterministic error completions.
+    pub fn abort_all(&mut self) -> Vec<(Tid, QpId, u16)> {
+        let mut aborted = Vec::new();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if let Some(done) = slot.take() {
+                let tid = Tid(i as u16);
+                self.free.push(tid.0);
+                self.completed += 1;
+                aborted.push((tid, done.qp, done.wq_index));
+            }
+        }
+        aborted
+    }
 }
 
 #[cfg(test)]
@@ -286,6 +313,31 @@ mod tests {
     #[should_panic(expected = "bad ITT capacity")]
     fn zero_capacity_panics() {
         InflightTable::new(0);
+    }
+
+    #[test]
+    fn abort_frees_tid_and_reports_target() {
+        let mut itt = InflightTable::new(4);
+        let t = itt.alloc(QpId(2), 7, 4, 0x200).unwrap();
+        assert_eq!(itt.abort(t), Some((QpId(2), 7)));
+        assert_eq!(itt.in_flight(), 0);
+        assert_eq!(itt.completed(), 1);
+        // Double abort and unknown tids are inert.
+        assert_eq!(itt.abort(t), None);
+        assert_eq!(itt.abort(Tid(3)), None);
+    }
+
+    #[test]
+    fn abort_all_drains_in_tid_order() {
+        let mut itt = InflightTable::new(8);
+        let a = itt.alloc(QpId(0), 0, 2, 0).unwrap();
+        let b = itt.alloc(QpId(1), 1, 1, 0).unwrap();
+        let c = itt.alloc(QpId(2), 2, 3, 0).unwrap();
+        itt.on_reply(b, Status::Ok); // b completes normally first
+        let aborted = itt.abort_all();
+        assert_eq!(aborted, vec![(a, QpId(0), 0), (c, QpId(2), 2)]);
+        assert_eq!(itt.in_flight(), 0);
+        assert_eq!(itt.completed(), 3);
     }
 
     #[test]
