@@ -7,12 +7,18 @@
 //! Pass subset names (`table1 fig1 fig7 fig8 fig9 table2 ablations
 //! pipelines`) to
 //! print only some; add `--csv <dir>` to also save plottable CSV files.
+//!
+//! The `trace` subset (never part of the default run) renders the
+//! flight-recorder figures — the link-utilization heatmap and the
+//! stall/recovery timeline. It reads a saved trace via `--trace-file
+//! <path>`, or, with no file, runs the canned `rack1024-nodekill`
+//! scenario with tracing on and renders its recovery dip.
 
 use std::path::PathBuf;
 
 use sonuma_bench::fig07::Platform;
 use sonuma_bench::report::{cell, CsvTable};
-use sonuma_bench::{ablations, fig01, fig07, fig08, fig09, table1, table2};
+use sonuma_bench::{ablations, fig01, fig07, fig08, fig09, table1, table2, tracefig};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,6 +26,11 @@ fn main() {
         let dir = args.get(i + 1).expect("--csv needs a directory").clone();
         args.drain(i..=i + 1);
         PathBuf::from(dir)
+    });
+    let trace_file: Option<PathBuf> = args.iter().position(|a| a == "--trace-file").map(|i| {
+        let path = args.get(i + 1).expect("--trace-file needs a path").clone();
+        args.drain(i..=i + 1);
+        PathBuf::from(path)
     });
     let save = |name: &str, table: &CsvTable| {
         if let Some(dir) = &csv_dir {
@@ -164,6 +175,21 @@ fn main() {
         ablations::print("fabric topology", &ablations::topology());
         ablations::print("WQ poll cadence", &ablations::poll_interval());
     }
+    // Simulating a traced rack is far heavier than every other figure,
+    // so `trace` runs only when named explicitly.
+    if args.iter().any(|a| a == "trace") {
+        let text = match &trace_file {
+            Some(path) => std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display())),
+            None => showcase_trace(),
+        };
+        let doc = tracefig::parse_trace(&text).expect("trace parses");
+        print!("{}", tracefig::render_heatmap(&doc));
+        println!();
+        print!("{}", tracefig::render_timeline(&doc));
+        save("trace_link_heatmap", &tracefig::heatmap_csv(&doc));
+        save("trace_timeline", &tracefig::timeline_csv(&doc));
+    }
     if want("pipelines") {
         let rows = pipeline_counters();
         sonuma_bench::report::print_pipeline_stats(
@@ -175,6 +201,31 @@ fn main() {
             &sonuma_bench::report::pipeline_stats_table(&rows),
         );
     }
+}
+
+/// Runs the canned `rack1024-nodekill` scenario with tracing armed and
+/// returns its trace: 16 nodes die at 30 us and restart at 50 us, so
+/// the timeline shows the completion-rate dip and the climb back — the
+/// flight recorder's showcase.
+fn showcase_trace() -> String {
+    use sonuma_bench::scenario::{self, TraceSpec};
+
+    let mut spec = scenario::rack1024_nodekill_spec();
+    spec.trace = Some(TraceSpec {
+        interval_us: 5.0,
+        ..TraceSpec::default()
+    });
+    eprintln!(
+        "tracing {} (pass --trace-file to skip the run)...",
+        spec.name
+    );
+    let result = scenario::run_spec_once(&spec);
+    result
+        .runs
+        .into_iter()
+        .find_map(|r| r.trace)
+        .expect("soNUMA run produced a trace")
+        .text
 }
 
 /// Drives a short all-nodes read stream over the full machine and

@@ -20,7 +20,15 @@
 //!   section, and fail on any simulated divergence;
 //! * `--max-peak-bytes <n>` — exit nonzero if the process's peak heap
 //!   (tracked by the bench's own allocator) exceeds `n` bytes;
+//! * `--trace-out <path>` — write each soNUMA run's flight-recorder
+//!   trace (JSON lines; arms tracing at the default cadence when the
+//!   spec has no `[trace]` section). With several scenarios selected,
+//!   each writes `<stem>-<scenario><ext>`;
+//! * `--trace-interval-us <f>` — override the sampling cadence;
 //! * `--list` — print the canned spec names and exit.
+//!
+//! Subcommand `chrome-trace` converts a saved trace to Chrome
+//! trace-event JSON for `chrome://tracing` / Perfetto.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::PathBuf;
@@ -31,7 +39,7 @@ use sonuma_bench::json::Json;
 use sonuma_bench::scenario::{
     self, calibrate, canned_specs, check_baseline, check_fault_baseline, equivalence_diff,
     report_calibrated, run_spec, run_spec_compare_threads, run_specs, slim_report, smoke_specs,
-    validate_report, ScenarioSpec, REPORT_SCHEMA,
+    validate_report, ScenarioSpec, TraceSpec, REPORT_SCHEMA,
 };
 
 /// System allocator wrapped with a live-bytes high-water mark, so every
@@ -113,9 +121,11 @@ fn usage() -> ! {
         "usage: sonuma-bench scenario [--smoke] [--canned NAME]... [--spec FILE]...\n\
          \x20                          [--threads N] [--compare-threads]\n\
          \x20                          [--max-peak-bytes N] [--out FILE]\n\
+         \x20                          [--trace-out FILE] [--trace-interval-us F]\n\
          \x20                          [--baseline FILE] [--max-regress FRAC] [--list]\n\
          \x20      sonuma-bench baseline [--regen] [--file PATH]\n\
-         \x20      sonuma-bench diff-runs A.json B.json"
+         \x20      sonuma-bench diff-runs A.json B.json\n\
+         \x20      sonuma-bench chrome-trace TRACE.jsonl [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -150,6 +160,7 @@ fn main() -> ExitCode {
         Some("scenario") => scenario_cmd(args.collect()),
         Some("baseline") => baseline_cmd(args.collect()),
         Some("diff-runs") => diff_runs_cmd(args.collect()),
+        Some("chrome-trace") => chrome_trace_cmd(args.collect()),
         _ => usage(),
     }
 }
@@ -189,6 +200,64 @@ fn diff_runs_cmd(args: Vec<String>) -> ExitCode {
         }
         ExitCode::FAILURE
     }
+}
+
+/// `chrome-trace TRACE.jsonl [--out FILE]`: converts a saved
+/// flight-recorder trace to Chrome trace-event JSON (default output:
+/// the input path with `.chrome.json` appended to the stem).
+fn chrome_trace_cmd(args: Vec<String>) -> ExitCode {
+    let mut input: Option<String> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = Some(PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a value");
+                    std::process::exit(2);
+                })))
+            }
+            other if input.is_none() && !other.starts_with('-') => input = Some(arg),
+            _ => usage(),
+        }
+    }
+    let Some(input) = input else { usage() };
+    let text = match std::fs::read_to_string(&input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {input}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let doc = match sonuma_bench::tracefig::parse_trace(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("{input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = out.unwrap_or_else(|| {
+        let mut p = PathBuf::from(&input);
+        let stem = p
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "trace".into());
+        p.set_file_name(format!("{stem}.chrome.json"));
+        p
+    });
+    if let Err(e) = std::fs::write(&out, sonuma_bench::tracefig::chrome_trace(&doc)) {
+        eprintln!("cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {} ({} link, {} node, {} tenant, {} fault records)",
+        out.display(),
+        doc.links.len(),
+        doc.node_recs.len(),
+        doc.tenants.len(),
+        doc.faults.len()
+    );
+    ExitCode::SUCCESS
 }
 
 /// `baseline [--regen] [--file PATH]`: without `--regen`, asserts the
@@ -290,6 +359,8 @@ fn scenario_cmd(args: Vec<String>) -> ExitCode {
     let mut threads: Option<usize> = None;
     let mut compare_threads = false;
     let mut max_peak_bytes: Option<u64> = None;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut trace_interval_us: Option<f64> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -342,6 +413,14 @@ fn scenario_cmd(args: Vec<String>) -> ExitCode {
                 }));
             }
             "--out" => out = PathBuf::from(value("--out")),
+            "--trace-out" => trace_out = Some(PathBuf::from(value("--trace-out"))),
+            "--trace-interval-us" => {
+                trace_interval_us =
+                    Some(value("--trace-interval-us").parse().unwrap_or_else(|_| {
+                        eprintln!("--trace-interval-us needs a number of microseconds");
+                        std::process::exit(2);
+                    }));
+            }
             "--baseline" => baseline = Some(PathBuf::from(value("--baseline"))),
             "--max-regress" => {
                 max_regress = value("--max-regress").parse().unwrap_or_else(|_| {
@@ -374,6 +453,20 @@ fn scenario_cmd(args: Vec<String>) -> ExitCode {
             spec.threads = threads;
             if let Err(e) = spec.validate() {
                 eprintln!("--threads {threads}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if trace_out.is_some() || trace_interval_us.is_some() {
+        for spec in &mut specs {
+            // `--trace-out` arms the recorder even on specs without a
+            // [trace] section; an explicit cadence overrides both.
+            let t = spec.trace.get_or_insert_with(TraceSpec::default);
+            if let Some(us) = trace_interval_us {
+                t.interval_us = us;
+            }
+            if let Err(e) = spec.validate() {
+                eprintln!("--trace-interval-us: {e}");
                 return ExitCode::from(2);
             }
         }
@@ -436,6 +529,48 @@ fn scenario_cmd(args: Vec<String>) -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("\nwrote {}", out.display());
+
+    if let Some(base) = &trace_out {
+        let traced: Vec<(&str, &String)> = results
+            .iter()
+            .flat_map(|r| {
+                r.runs
+                    .iter()
+                    .filter_map(|run| run.trace.as_ref().map(|t| (r.spec.name.as_str(), &t.text)))
+            })
+            .collect();
+        if traced.is_empty() {
+            eprintln!(
+                "--trace-out: no run produced a trace (the soNUMA backend is the only traced one)"
+            );
+            return ExitCode::FAILURE;
+        }
+        let many = traced.len() > 1;
+        for (name, text) in traced {
+            let path = if many {
+                let stem = base
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| "trace".into());
+                let ext = base
+                    .extension()
+                    .map(|e| format!(".{}", e.to_string_lossy()))
+                    .unwrap_or_default();
+                base.with_file_name(format!("{stem}-{name}{ext}"))
+            } else {
+                base.clone()
+            };
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "wrote {} ({} records)",
+                path.display(),
+                text.lines().count().saturating_sub(1)
+            );
+        }
+    }
 
     if let Some(path) = baseline {
         let base_text = match std::fs::read_to_string(&path) {
@@ -533,6 +668,21 @@ fn print_summary(results: &[scenario::ScenarioResult]) {
                     run.tenants.len(),
                     run.jain_fairness(),
                     per_class.join(", "),
+                );
+            }
+            if let Some(t) = &run.trace {
+                let s = t.summary;
+                println!(
+                    "{:<20}   trace: {} ticks, {} link + {} node + {} fault + {} tenant samples, \
+                     {} dropped, overhead {:.3}s",
+                    "",
+                    s.ticks,
+                    s.link_samples,
+                    s.node_samples,
+                    s.fault_events,
+                    t.tenant_samples,
+                    s.link_dropped + s.node_dropped + s.fault_dropped,
+                    t.wall_overhead_secs,
                 );
             }
         }

@@ -33,6 +33,7 @@ pub mod report;
 pub mod scenario;
 pub mod table1;
 pub mod table2;
+pub mod tracefig;
 pub mod trafficgen;
 pub mod workloads;
 

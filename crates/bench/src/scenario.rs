@@ -61,7 +61,12 @@ use crate::trafficgen::{jain_index, ArrivalGen, ArrivalKind, ZipfSampler};
 /// 1 µs-binned recovery time back to ≥ 90 % of the pre-fault completion
 /// rate. Latency histograms now record only successful completions
 /// (identical on fault-free runs, which complete everything with Ok).
-pub const REPORT_SCHEMA: &str = "sonuma-bench.scenario/v6";
+/// v7 added the `[trace]` spec section ([`TraceSpec`]) and the per-run
+/// `trace` section: flight-recorder sample counts, ring drop tallies,
+/// and the recorder's wall-clock overhead versus the untraced timing
+/// repetitions. With tracing off the section is absent and every other
+/// byte matches a v6 report body.
+pub const REPORT_SCHEMA: &str = "sonuma-bench.scenario/v7";
 
 /// A transport a scenario runs over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -386,6 +391,55 @@ impl FaultSpec {
     }
 }
 
+/// The `[trace]` section: flight-recorder sampling for soNUMA runs. A
+/// `None` spec — or a section with `interval_us = 0` — arms nothing and
+/// runs the exact untraced code paths, so every baseline report stays
+/// byte-identical. With tracing on, the recorder samples link counters in
+/// the commit merge, node counters at quantum boundaries, and tenant
+/// completions in the open-loop driver, all keyed by simulated time — the
+/// emitted trace is byte-identical across `--threads`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSpec {
+    /// Sampling cadence in simulated microseconds (0 disables tracing).
+    pub interval_us: f64,
+    /// Link-sample ring capacity.
+    pub link_capacity: usize,
+    /// Node-sample ring capacity.
+    pub node_capacity: usize,
+    /// Fault-event ring capacity.
+    pub event_capacity: usize,
+}
+
+impl Default for TraceSpec {
+    fn default() -> Self {
+        let defaults = sonuma_trace::TraceConfig::every(SimTime::from_us(5));
+        TraceSpec {
+            interval_us: 5.0,
+            link_capacity: defaults.link_capacity,
+            node_capacity: defaults.node_capacity,
+            event_capacity: defaults.event_capacity,
+        }
+    }
+}
+
+impl TraceSpec {
+    /// Whether the section arms nothing (an `interval_us = 0` `[trace]`
+    /// table must behave byte-identically to no section at all).
+    pub fn is_empty(&self) -> bool {
+        self.interval_us == 0.0
+    }
+
+    /// The recorder configuration this section describes.
+    pub fn config(&self) -> sonuma_trace::TraceConfig {
+        sonuma_trace::TraceConfig {
+            interval: us_to_sim(self.interval_us),
+            link_capacity: self.link_capacity,
+            node_capacity: self.node_capacity,
+            event_capacity: self.event_capacity,
+        }
+    }
+}
+
 /// The SLO class of tenant `id` out of `total`: contiguous thirds.
 pub fn tenant_class(id: usize, total: usize) -> SloClass {
     match id * 3 / total.max(1) {
@@ -453,6 +507,9 @@ pub struct ScenarioSpec {
     /// Seeded fault injection (`[faults]` section). `None` — or a section
     /// whose counts are all zero — runs the exact fault-free code paths.
     pub faults: Option<FaultSpec>,
+    /// Flight-recorder sampling (`[trace]` section). `None` — or a section
+    /// with a zero interval — runs the exact untraced code paths.
+    pub trace: Option<TraceSpec>,
 }
 
 impl Default for ScenarioSpec {
@@ -475,6 +532,7 @@ impl Default for ScenarioSpec {
             tenancy: None,
             traffic: None,
             faults: None,
+            trace: None,
         }
     }
 }
@@ -684,6 +742,25 @@ impl ScenarioSpec {
                 }
             }
         }
+        if let Some(t) = &self.trace {
+            if !(0.0..=1e6).contains(&t.interval_us) {
+                return err(format!(
+                    "trace interval_us = {} (need [0, 1e6])",
+                    t.interval_us
+                ));
+            }
+            if !t.is_empty() {
+                for (key, cap) in [
+                    ("link_capacity", t.link_capacity),
+                    ("node_capacity", t.node_capacity),
+                    ("event_capacity", t.event_capacity),
+                ] {
+                    if cap == 0 || cap > 1 << 24 {
+                        return err(format!("trace {key} = {cap} (need [1, 2^24])"));
+                    }
+                }
+            }
+        }
         Ok(())
     }
 
@@ -752,6 +829,14 @@ impl ScenarioSpec {
             out.push_str(&format!("timeout_us = {}\n", f.timeout_us));
             out.push_str(&format!("max_retries = {}\n", f.max_retries));
         }
+        // Likewise, a zero-interval [trace] table renders as no section.
+        if let Some(t) = self.trace.as_ref().filter(|t| !t.is_empty()) {
+            out.push_str("\n[trace]\n");
+            out.push_str(&format!("interval_us = {}\n", t.interval_us));
+            out.push_str(&format!("link_capacity = {}\n", t.link_capacity));
+            out.push_str(&format!("node_capacity = {}\n", t.node_capacity));
+            out.push_str(&format!("event_capacity = {}\n", t.event_capacity));
+        }
         out
     }
 
@@ -774,6 +859,7 @@ impl ScenarioSpec {
             Traffic,
             Execution,
             Faults,
+            Trace,
         }
         let mut section = Section::Top;
         for (idx, raw) in text.lines().enumerate() {
@@ -802,9 +888,13 @@ impl ScenarioSpec {
                         spec.faults.get_or_insert_with(FaultSpec::default);
                         Section::Faults
                     }
+                    "trace" => {
+                        spec.trace.get_or_insert_with(TraceSpec::default);
+                        Section::Trace
+                    }
                     other => {
                         return Err(parse_err(&format!(
-                            "unknown section [{other}] (tenants|traffic|execution|faults)"
+                            "unknown section [{other}] (tenants|traffic|execution|faults|trace)"
                         )))
                     }
                 };
@@ -884,6 +974,28 @@ impl ScenarioSpec {
                         return Err(SpecError::Parse(
                             lineno,
                             format!("unknown key {other:?} in [faults]"),
+                        ));
+                    }
+                }
+                continue;
+            }
+            if section == Section::Trace {
+                let t = spec.trace.as_mut().expect("section initialized");
+                match key {
+                    "interval_us" => t.interval_us = value.into_f64(lineno, "interval_us")?,
+                    "link_capacity" => {
+                        t.link_capacity = value.into_u64(lineno, "link_capacity")? as usize;
+                    }
+                    "node_capacity" => {
+                        t.node_capacity = value.into_u64(lineno, "node_capacity")? as usize;
+                    }
+                    "event_capacity" => {
+                        t.event_capacity = value.into_u64(lineno, "event_capacity")? as usize;
+                    }
+                    other => {
+                        return Err(SpecError::Parse(
+                            lineno,
+                            format!("unknown key {other:?} in [trace]"),
                         ));
                     }
                 }
@@ -1070,6 +1182,17 @@ impl ScenarioSpec {
                     ("restart_at_us".into(), Json::Num(f.restart_at_us)),
                     ("timeout_us".into(), Json::Num(f.timeout_us)),
                     ("max_retries".into(), Json::Num(f.max_retries as f64)),
+                ]),
+            ));
+        }
+        if let Some(t) = self.trace.as_ref().filter(|t| !t.is_empty()) {
+            members.push((
+                "trace".into(),
+                Json::Obj(vec![
+                    ("interval_us".into(), Json::Num(t.interval_us)),
+                    ("link_capacity".into(), Json::Num(t.link_capacity as f64)),
+                    ("node_capacity".into(), Json::Num(t.node_capacity as f64)),
+                    ("event_capacity".into(), Json::Num(t.event_capacity as f64)),
                 ]),
             ));
         }
@@ -1365,6 +1488,29 @@ pub struct BackendRun {
     /// Fault-injection outcome (soNUMA runs under a non-empty `[faults]`
     /// section only).
     pub faults: Option<FaultOutcome>,
+    /// Flight-recorder outcome (soNUMA runs under a non-empty `[trace]`
+    /// section only).
+    pub trace: Option<TraceOutcome>,
+}
+
+/// What the flight recorder captured during the first (traced) drive of
+/// a run. The timing repetitions run untraced, so `wall_overhead_secs`
+/// is the traced drive's wall time minus the best untraced wall time —
+/// a direct measurement of what arming the recorder costs.
+#[derive(Debug, Clone)]
+pub struct TraceOutcome {
+    /// Sampling cadence in simulated microseconds.
+    pub interval_us: f64,
+    /// Recorder ring tallies (samples captured and overwritten).
+    pub summary: sonuma_trace::TraceSummary,
+    /// `(window, tenant)` samples from the open-loop driver (0 for
+    /// closed-loop runs).
+    pub tenant_samples: u64,
+    /// The rendered JSON-lines trace (what `--trace-out` writes).
+    pub text: String,
+    /// Traced wall seconds minus the best untraced repetition's wall
+    /// seconds (clamped at 0; 0 when timing repetitions were skipped).
+    pub wall_overhead_secs: f64,
 }
 
 /// Wall-clock comparison against a `--threads 1` companion run of the
@@ -1649,6 +1795,8 @@ fn drive(spec: &ScenarioSpec, backend: &mut dyn RemoteBackend) -> BackendRun {
         ok_bins_1us: ok_bins,
         // The fault outcome is attached by `run_spec` for soNUMA runs.
         faults: None,
+        // The trace outcome is attached by `run_spec` for soNUMA runs.
+        trace: None,
     }
 }
 
@@ -1718,7 +1866,11 @@ struct TenantDriver {
 /// operation stuck behind a noisy neighbor's backlog accrues queueing
 /// delay even before its WQ post succeeds, which is exactly the tail a
 /// tenant observes.
-fn drive_open_loop(spec: &ScenarioSpec, backend: &mut dyn RemoteBackend) -> BackendRun {
+fn drive_open_loop(
+    spec: &ScenarioSpec,
+    backend: &mut dyn RemoteBackend,
+    mut flow: Option<&mut sonuma_trace::TenantFlow>,
+) -> BackendRun {
     let tn = spec.tenancy.as_ref().expect("open-loop spec");
     let tr = spec.traffic.as_ref().expect("open-loop spec");
     let nodes = spec.nodes;
@@ -1821,6 +1973,12 @@ fn drive_open_loop(spec: &ScenarioSpec, backend: &mut dyn RemoteBackend) -> Back
                     if track_bins {
                         record_ok_bin(&mut ok_bins, now);
                     }
+                    // The tenant sampler bins by simulated completion
+                    // time, so the partition-dependent poll order of the
+                    // sharded backend cannot leak into the trace.
+                    if let Some(flow) = flow.as_deref_mut() {
+                        flow.record(now, idx as u32, lat);
+                    }
                 } else {
                     errors += 1;
                     t.errors += 1;
@@ -1897,6 +2055,7 @@ fn drive_open_loop(spec: &ScenarioSpec, backend: &mut dyn RemoteBackend) -> Back
         fabric: None,
         ok_bins_1us: ok_bins,
         faults: None,
+        trace: None,
     }
 }
 
@@ -1915,10 +2074,26 @@ pub const TIMING_REPS: u32 = 3;
 /// rejected for a non-backpressure reason (both indicate harness bugs —
 /// specs are validated at load time).
 pub fn run_spec(spec: &ScenarioSpec) -> ScenarioResult {
+    run_spec_with_reps(spec, TIMING_REPS)
+}
+
+/// Executes one spec with a single drive per backend — no timing
+/// repetitions, so wall figures are first-drive values and a traced
+/// run's `wall_overhead_secs` stays 0. This is what trace consumers
+/// (the determinism test, figure generation) want: the simulated
+/// metrics and trace bytes are identical to [`run_spec`]'s, without
+/// paying for re-timed drives.
+pub fn run_spec_once(spec: &ScenarioSpec) -> ScenarioResult {
+    run_spec_with_reps(spec, 1)
+}
+
+fn run_spec_with_reps(spec: &ScenarioSpec, reps: u32) -> ScenarioResult {
     spec.validate().expect("spec validated at load time");
-    let drive_one = |instance: &mut BackendInstance| {
+    let trace_spec = spec.trace.as_ref().filter(|t| !t.is_empty());
+    let drive_one = |instance: &mut BackendInstance,
+                     flow: Option<&mut sonuma_trace::TenantFlow>| {
         if spec.tenancy.is_some() {
-            drive_open_loop(spec, instance.as_dyn())
+            drive_open_loop(spec, instance.as_dyn(), flow)
         } else {
             drive(spec, instance.as_dyn())
         }
@@ -1926,8 +2101,33 @@ pub fn run_spec(spec: &ScenarioSpec) -> ScenarioResult {
     let mut runs = Vec::new();
     for kind in spec.backend.kinds() {
         let mut instance = BackendInstance::build(spec, kind);
-        let mut run = drive_one(&mut instance);
+        // Only the soNUMA machine carries a flight recorder; the modeled
+        // baselines have no fabric or pipelines to sample.
+        let traced = trace_spec.filter(|_| kind == BackendKind::Sonuma);
+        if let (Some(t), BackendInstance::Sonuma(b)) = (traced, &mut instance) {
+            b.arm_trace(&t.config());
+        }
+        let mut flow = traced
+            .filter(|_| spec.tenancy.is_some())
+            .map(|t| sonuma_trace::TenantFlow::new(us_to_sim(t.interval_us)));
+        let mut run = drive_one(&mut instance, flow.as_mut());
         run.threads = spec.threads;
+        if let (Some(t), BackendInstance::Sonuma(b)) = (traced, &instance) {
+            let meta = sonuma_trace::TraceMeta {
+                scenario: spec.name.clone(),
+                backend: run.backend.clone(),
+                nodes: spec.nodes as u64,
+                interval_ps: us_to_sim(t.interval_us).as_ps(),
+            };
+            let recorder = b.trace();
+            run.trace = Some(TraceOutcome {
+                interval_us: t.interval_us,
+                summary: recorder.map(|r| r.summary()).unwrap_or_default(),
+                tenant_samples: flow.as_ref().map_or(0, |f| f.sample_count()),
+                text: sonuma_trace::render_jsonl(&meta, recorder, flow.as_ref()),
+                wall_overhead_secs: 0.0,
+            });
+        }
         if let BackendInstance::Sonuma(b) = &instance {
             run.shards = b.num_shards();
             run.epochs = b.epochs();
@@ -1997,13 +2197,28 @@ pub fn run_spec(spec: &ScenarioSpec) -> ScenarioResult {
         // The measured instance is fully snapshotted; release it before
         // the re-timed builds so only one machine is ever resident.
         drop(instance);
-        for _ in 1..TIMING_REPS {
+        // The repetitions run untraced (never armed, no tenant sampler):
+        // the reported wall figures must describe the untraced hot path,
+        // and the first drive's wall time minus the best untraced one is
+        // the recorder's measured overhead. With tracing on and reps to
+        // come, the traced first-drive wall figures are discarded.
+        let traced_wall = run.trace.as_ref().map(|_| run.wall_secs);
+        if traced_wall.is_some() && reps > 1 {
+            run.wall_secs = 0.0;
+            run.wall_events_per_sec = 0.0;
+        }
+        for _ in 1..reps {
             let mut retimed = BackendInstance::build(spec, kind);
-            let rep = drive_one(&mut retimed);
+            let rep = drive_one(&mut retimed, None);
             debug_assert_eq!(rep.events, run.events, "repetitions must be identical");
             if rep.wall_events_per_sec > run.wall_events_per_sec {
                 run.wall_events_per_sec = rep.wall_events_per_sec;
                 run.wall_secs = rep.wall_secs;
+            }
+        }
+        if let (Some(tw), Some(trace)) = (traced_wall, run.trace.as_mut()) {
+            if reps > 1 {
+                trace.wall_overhead_secs = (tw - run.wall_secs).max(0.0);
             }
         }
         if let Some(fabric) = &run.fabric {
@@ -2357,6 +2572,33 @@ fn run_json(run: &BackendRun) -> Json {
     if let Some(f) = &run.faults {
         members.push(("faults".to_string(), fault_json(f, &run.ok_bins_1us)));
     }
+    if let Some(t) = &run.trace {
+        let s = t.summary;
+        members.push((
+            "trace".to_string(),
+            Json::Obj(vec![
+                ("interval_us".to_string(), Json::Num(t.interval_us)),
+                ("ticks".to_string(), Json::Num(s.ticks as f64)),
+                ("link_samples".to_string(), Json::Num(s.link_samples as f64)),
+                ("link_dropped".to_string(), Json::Num(s.link_dropped as f64)),
+                ("node_samples".to_string(), Json::Num(s.node_samples as f64)),
+                ("node_dropped".to_string(), Json::Num(s.node_dropped as f64)),
+                ("fault_events".to_string(), Json::Num(s.fault_events as f64)),
+                (
+                    "fault_dropped".to_string(),
+                    Json::Num(s.fault_dropped as f64),
+                ),
+                (
+                    "tenant_samples".to_string(),
+                    Json::Num(t.tenant_samples as f64),
+                ),
+                (
+                    "wall_overhead_secs".to_string(),
+                    Json::Num(t.wall_overhead_secs),
+                ),
+            ]),
+        ));
+    }
     if let Some(total) = &run.pipeline_total {
         members.push(("pipeline_total".to_string(), stats_json(total)));
         members.push((
@@ -2528,6 +2770,29 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
                 if !matches!(fa.get("recovered"), Some(Json::Bool(_))) {
                     return Err(format!(
                         "scenario {name}/{backend}: faults has no recovered flag"
+                    ));
+                }
+            }
+            if let Some(tr) = run.get("trace") {
+                for key in [
+                    "ticks",
+                    "link_samples",
+                    "link_dropped",
+                    "node_samples",
+                    "node_dropped",
+                    "fault_events",
+                    "fault_dropped",
+                    "tenant_samples",
+                ] {
+                    tr.u64_of(key)
+                        .ok_or(format!("scenario {name}/{backend}: trace has no {key}"))?;
+                }
+                let overhead = tr.f64_of("wall_overhead_secs").ok_or(format!(
+                    "scenario {name}/{backend}: trace has no wall_overhead_secs"
+                ))?;
+                if overhead < 0.0 {
+                    return Err(format!(
+                        "scenario {name}/{backend}: negative trace overhead {overhead}"
                     ));
                 }
             }
@@ -2889,10 +3154,13 @@ pub fn slim_report(doc: &Json) -> Json {
 
 /// Whether `key` is excluded from the parallel-equivalence comparison:
 /// host-dependent wall-clock fields (`wall_*`, `calibration`), the
-/// requested thread count itself, and the partition-dependent `sharding`
-/// run section.
+/// requested thread count itself, the partition-dependent `sharding` run
+/// section, and the `trace` sections (both the spec's and the run's —
+/// the trace *file* is gated byte-for-byte separately, and stripping the
+/// report sections lets `diff-runs` also compare a traced run against an
+/// untraced baseline).
 fn equivalence_ignored(key: &str) -> bool {
-    key.starts_with("wall_") || matches!(key, "calibration" | "sharding" | "threads")
+    key.starts_with("wall_") || matches!(key, "calibration" | "sharding" | "threads" | "trace")
 }
 
 /// Strips every [`equivalence_ignored`] member, recursively.

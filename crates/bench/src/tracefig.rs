@@ -1,0 +1,590 @@
+//! Flight-recorder trace consumers: the JSON-lines parser, the
+//! Chrome-trace converter, and the two trace figures (link-utilization
+//! heatmap, stall/recovery timeline).
+//!
+//! The trace *writer* lives in `sonuma-trace` and knows nothing about
+//! JSON parsing; this module is the other direction — it reads a trace
+//! file back through the bench's own [`Json`] layer, so the converter
+//! and figures work on any saved `--trace-out` artifact, not just an
+//! in-process recorder.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::json::Json;
+use crate::report::CsvTable;
+
+/// One parsed `"rec":"link"` line.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkRec {
+    /// Window end, ps.
+    pub t_ps: u64,
+    /// Sending node.
+    pub src: u16,
+    /// Receiving node.
+    pub dst: u16,
+    /// Bytes serialized during the window.
+    pub bytes: u64,
+    /// Packets serialized during the window.
+    pub packets: u64,
+    /// Credit stalls during the window.
+    pub credit_stalls: u64,
+}
+
+/// One parsed `"rec":"node"` line (window deltas plus the ITT gauge).
+#[derive(Debug, Clone, Copy)]
+pub struct NodeRec {
+    /// Window end, ps.
+    pub t_ps: u64,
+    /// The node.
+    pub node: u16,
+    /// RGP requests unrolled during the window.
+    pub rgp_requests: u64,
+    /// RRPP packets served during the window.
+    pub rrpp_served: u64,
+    /// Operations completed during the window.
+    pub rcp_completions: u64,
+    /// RGP stalls on a full ITT during the window.
+    pub rgp_itt_stalls: u64,
+    /// Posts rejected on a full WQ during the window.
+    pub api_wq_full: u64,
+    /// ITT entries in flight at the window end.
+    pub itt_in_flight: u64,
+    /// Timeouts fired during the window.
+    pub rgp_timeouts: u64,
+    /// Lines retransmitted during the window.
+    pub rgp_retransmits: u64,
+}
+
+/// One parsed `"rec":"tenant"` line.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantRec {
+    /// Window end, ps.
+    pub t_ps: u64,
+    /// The tenant.
+    pub tenant: u32,
+    /// Completions during the window.
+    pub completions: u64,
+    /// p99 latency upper bound, ps.
+    pub p99_ps: u64,
+}
+
+/// One parsed `"rec":"fault"` line.
+#[derive(Debug, Clone)]
+pub struct FaultRec {
+    /// Scheduled instant (transitions) or window end (counter deltas), ps.
+    pub t_ps: u64,
+    /// Event name (`link_kill`, `timeouts`, ...).
+    pub kind: String,
+    /// First endpoint, 0 when unused.
+    pub a: u16,
+    /// Second endpoint, 0 when unused.
+    pub b: u16,
+    /// Delta count (1 for transitions).
+    pub count: u64,
+}
+
+/// A fully parsed trace file.
+#[derive(Debug, Default)]
+pub struct TraceDoc {
+    /// Scenario name from the header.
+    pub scenario: String,
+    /// Backend label from the header.
+    pub backend: String,
+    /// Machine size from the header.
+    pub nodes: u64,
+    /// Sampling cadence from the header, ps.
+    pub interval_ps: u64,
+    /// Link windows, in file order (sorted by time).
+    pub links: Vec<LinkRec>,
+    /// Node windows, in file order.
+    pub node_recs: Vec<NodeRec>,
+    /// Tenant windows, in file order.
+    pub tenants: Vec<TenantRec>,
+    /// Fault events, in file order.
+    pub faults: Vec<FaultRec>,
+}
+
+/// Parses a JSON-lines trace produced by `--trace-out`.
+///
+/// # Errors
+///
+/// Returns a one-line description naming the offending line on malformed
+/// input or a schema the parser does not understand.
+pub fn parse_trace(text: &str) -> Result<TraceDoc, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or("empty trace file")?;
+    let header = Json::parse(header).map_err(|e| format!("line 1: {e}"))?;
+    match header.str_of("schema") {
+        Some(sonuma_trace::TRACE_SCHEMA) => {}
+        other => {
+            return Err(format!(
+                "trace schema {:?} (this binary reads {:?})",
+                other.unwrap_or("<missing>"),
+                sonuma_trace::TRACE_SCHEMA
+            ))
+        }
+    }
+    let mut doc = TraceDoc {
+        scenario: header.str_of("scenario").unwrap_or_default().to_string(),
+        backend: header.str_of("backend").unwrap_or_default().to_string(),
+        nodes: header.u64_of("nodes").ok_or("header has no nodes")?,
+        interval_ps: header
+            .u64_of("interval_ps")
+            .filter(|&i| i > 0)
+            .ok_or("header has no interval_ps")?,
+        ..TraceDoc::default()
+    };
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        let rec = Json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let t_ps = rec
+            .u64_of("t_ps")
+            .ok_or(format!("line {lineno}: no t_ps"))?;
+        let field = |key: &str| rec.u64_of(key).ok_or(format!("line {lineno}: no {key}"));
+        match rec.str_of("rec") {
+            Some("link") => doc.links.push(LinkRec {
+                t_ps,
+                src: field("src")? as u16,
+                dst: field("dst")? as u16,
+                bytes: field("bytes")?,
+                packets: field("packets")?,
+                credit_stalls: field("credit_stalls")?,
+            }),
+            Some("node") => doc.node_recs.push(NodeRec {
+                t_ps,
+                node: field("node")? as u16,
+                rgp_requests: field("rgp_requests")?,
+                rrpp_served: field("rrpp_served")?,
+                rcp_completions: field("rcp_completions")?,
+                rgp_itt_stalls: field("rgp_itt_stalls")?,
+                api_wq_full: field("api_wq_full")?,
+                itt_in_flight: field("itt_in_flight")?,
+                rgp_timeouts: field("rgp_timeouts")?,
+                rgp_retransmits: field("rgp_retransmits")?,
+            }),
+            Some("tenant") => doc.tenants.push(TenantRec {
+                t_ps,
+                tenant: field("tenant")? as u32,
+                completions: field("completions")?,
+                p99_ps: field("p99_ps")?,
+            }),
+            Some("fault") => doc.faults.push(FaultRec {
+                t_ps,
+                kind: rec
+                    .str_of("kind")
+                    .ok_or(format!("line {lineno}: fault has no kind"))?
+                    .to_string(),
+                a: field("a")? as u16,
+                b: field("b")? as u16,
+                count: field("count")?,
+            }),
+            other => {
+                return Err(format!(
+                    "line {lineno}: unknown record kind {:?}",
+                    other.unwrap_or("<missing>")
+                ))
+            }
+        }
+    }
+    Ok(doc)
+}
+
+/// Whether a fault event is a scheduled transition (rendered as an
+/// instant marker) rather than a per-window counter delta.
+fn is_transition(kind: &str) -> bool {
+    matches!(
+        kind,
+        "link_kill" | "link_revive" | "node_crash" | "node_restart"
+    )
+}
+
+/// Converts a parsed trace into Chrome trace-event JSON (load it at
+/// `chrome://tracing` or in Perfetto). Per-window activity becomes
+/// counter tracks — `fabric`, `pipelines`, `tenants`, and `faults` —
+/// and scheduled fault transitions become global instant markers, so
+/// the kill/recovery story reads directly off the counter dips.
+pub fn chrome_trace(doc: &TraceDoc) -> String {
+    let ts = |t_ps: u64| t_ps as f64 / 1e6; // Chrome wants microseconds.
+    let mut events: Vec<String> = Vec::new();
+    let mut fabric: BTreeMap<u64, (u64, u64, u64)> = BTreeMap::new();
+    for l in &doc.links {
+        let e = fabric.entry(l.t_ps).or_default();
+        e.0 += l.bytes;
+        e.1 += l.packets;
+        e.2 += l.credit_stalls;
+    }
+    for (t, (bytes, packets, stalls)) in fabric {
+        events.push(format!(
+            "{{\"name\":\"fabric\",\"ph\":\"C\",\"ts\":{},\"pid\":0,\"args\":{{\"bytes\":{bytes},\"packets\":{packets},\"credit_stalls\":{stalls}}}}}",
+            ts(t)
+        ));
+    }
+    let mut pipes: BTreeMap<u64, [u64; 6]> = BTreeMap::new();
+    for n in &doc.node_recs {
+        let e = pipes.entry(n.t_ps).or_default();
+        e[0] += n.rgp_requests;
+        e[1] += n.rrpp_served;
+        e[2] += n.rcp_completions;
+        e[3] += n.rgp_itt_stalls;
+        e[4] += n.itt_in_flight;
+        e[5] += n.rgp_timeouts + n.rgp_retransmits;
+    }
+    for (t, [req, served, done, stalls, itt, recov]) in pipes {
+        events.push(format!(
+            "{{\"name\":\"pipelines\",\"ph\":\"C\",\"ts\":{},\"pid\":0,\"args\":{{\"rgp_requests\":{req},\"rrpp_served\":{served},\"rcp_completions\":{done},\"itt_stalls\":{stalls},\"itt_in_flight\":{itt},\"recovery\":{recov}}}}}",
+            ts(t)
+        ));
+    }
+    let mut flows: BTreeMap<u64, u64> = BTreeMap::new();
+    for t in &doc.tenants {
+        *flows.entry(t.t_ps).or_default() += t.completions;
+    }
+    for (t, completions) in flows {
+        events.push(format!(
+            "{{\"name\":\"tenants\",\"ph\":\"C\",\"ts\":{},\"pid\":0,\"args\":{{\"completions\":{completions}}}}}",
+            ts(t)
+        ));
+    }
+    let mut fault_counters: BTreeMap<u64, BTreeMap<&str, u64>> = BTreeMap::new();
+    for f in &doc.faults {
+        if is_transition(&f.kind) {
+            let name = if f.kind.starts_with("link_") {
+                format!("{} {}->{}", f.kind, f.a, f.b)
+            } else {
+                format!("{} n{}", f.kind, f.a)
+            };
+            events.push(format!(
+                "{{\"name\":\"{name}\",\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":0,\"s\":\"g\"}}",
+                ts(f.t_ps)
+            ));
+        } else {
+            *fault_counters
+                .entry(f.t_ps)
+                .or_default()
+                .entry(self_kind(&f.kind))
+                .or_default() += f.count;
+        }
+    }
+    for (t, counters) in fault_counters {
+        let args: Vec<String> = counters
+            .into_iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect();
+        events.push(format!(
+            "{{\"name\":\"faults\",\"ph\":\"C\",\"ts\":{},\"pid\":0,\"args\":{{{}}}}}",
+            ts(t),
+            args.join(",")
+        ));
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"otherData\":{{\"scenario\":\"{}\",\"backend\":\"{}\",\"nodes\":{},\"interval_ps\":{}}},\"traceEvents\":[\n{}\n]}}\n",
+        doc.scenario,
+        doc.backend,
+        doc.nodes,
+        doc.interval_ps,
+        events.join(",\n")
+    )
+}
+
+/// Interns the small, known set of counter-kind names so the Chrome
+/// counter args stay `&'static str` keyed.
+fn self_kind(kind: &str) -> &'static str {
+    match kind {
+        "packets_dropped" => "packets_dropped",
+        "packets_corrupted" => "packets_corrupted",
+        "packets_rerouted" => "packets_rerouted",
+        "packets_unreachable" => "packets_unreachable",
+        "crash_drops" => "crash_drops",
+        "timeouts" => "timeouts",
+        "retransmits" => "retransmits",
+        _ => "other",
+    }
+}
+
+/// Shade ramp for the ASCII heatmap, blank = idle.
+const SHADES: &[u8] = b" .:-=+*#%@";
+
+/// Links shown individually in the heatmap; the rest aggregate into a
+/// final `other` row so total utilization is never silently dropped.
+const HEATMAP_LINKS: usize = 16;
+
+/// The link-utilization heatmap: hottest links as rows, sampling windows
+/// as columns, cell shade proportional to bytes moved in that window
+/// (scaled against the busiest cell). Returns the printable text; the
+/// CSV twin is [`heatmap_csv`].
+pub fn render_heatmap(doc: &TraceDoc) -> String {
+    let mut windows: Vec<u64> = doc.links.iter().map(|l| l.t_ps).collect();
+    windows.sort_unstable();
+    windows.dedup();
+    let mut totals: BTreeMap<(u16, u16), u64> = BTreeMap::new();
+    for l in &doc.links {
+        *totals.entry((l.src, l.dst)).or_default() += l.bytes;
+    }
+    let mut hot: Vec<((u16, u16), u64)> = totals.into_iter().collect();
+    hot.sort_by_key(|&((src, dst), bytes)| (std::cmp::Reverse(bytes), src, dst));
+    let shown: Vec<(u16, u16)> = hot.iter().take(HEATMAP_LINKS).map(|&(k, _)| k).collect();
+    let folded = hot.len().saturating_sub(shown.len());
+
+    // (row, window) -> bytes; row = shown.len() is the fold-in row.
+    let col = |t: u64| windows.binary_search(&t).expect("window known");
+    let mut grid = vec![vec![0u64; windows.len()]; shown.len() + usize::from(folded > 0)];
+    for l in &doc.links {
+        let row = shown
+            .iter()
+            .position(|&k| k == (l.src, l.dst))
+            .unwrap_or(shown.len());
+        if row < grid.len() {
+            grid[row][col(l.t_ps)] += l.bytes;
+        }
+    }
+    // The fold row sums up to `folded` links, so shading it raw would
+    // flatten every individual row to blank; show its per-link average
+    // instead and scale everything against the same peak.
+    if folded > 0 {
+        if let Some(fold_row) = grid.last_mut() {
+            for cell in fold_row {
+                *cell /= folded as u64;
+            }
+        }
+    }
+    let peak = grid.iter().flatten().copied().max().unwrap_or(0).max(1);
+
+    let mut out = format!(
+        "link utilization heatmap: {} ({} nodes, {} windows of {:.1} us, {} links)\n",
+        doc.scenario,
+        doc.nodes,
+        windows.len(),
+        doc.interval_ps as f64 / 1e6,
+        hot.len()
+    );
+    for (row, cells) in grid.iter().enumerate() {
+        let label = if row < shown.len() {
+            let (src, dst) = shown[row];
+            format!("{src:>4}->{dst:<4}")
+        } else {
+            // Cells on this row are the *average* bytes per folded link.
+            format!("+{folded} avg")
+        };
+        let _ = write!(out, "{label:>10} |");
+        for &bytes in cells {
+            let shade = (bytes as u128 * (SHADES.len() - 1) as u128 / peak as u128) as usize;
+            out.push(SHADES[shade.min(SHADES.len() - 1)] as char);
+        }
+        out.push_str("|\n");
+    }
+    if let (Some(&first), Some(&last)) = (windows.first(), windows.last()) {
+        let _ = writeln!(
+            out,
+            "{:>10}  {:.1} us .. {:.1} us, peak cell {} bytes",
+            "",
+            first as f64 / 1e6,
+            last as f64 / 1e6,
+            peak
+        );
+    }
+    out
+}
+
+/// The heatmap's plottable form: one row per `(window, link)` cell.
+pub fn heatmap_csv(doc: &TraceDoc) -> CsvTable {
+    let mut t = CsvTable::new(&["t_us", "src", "dst", "bytes", "packets", "credit_stalls"]);
+    for l in &doc.links {
+        t.row(&[
+            format!("{}", l.t_ps as f64 / 1e6),
+            l.src.to_string(),
+            l.dst.to_string(),
+            l.bytes.to_string(),
+            l.packets.to_string(),
+            l.credit_stalls.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Per-window machine-wide activity folded from a trace, the timeline's
+/// raw rows.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TimelineRow {
+    /// Window end, ps.
+    pub t_ps: u64,
+    /// Operations completed: the tenant stream when the trace has one,
+    /// otherwise the nodes' RCP completion deltas.
+    pub completions: u64,
+    /// Fabric credit stalls.
+    pub credit_stalls: u64,
+    /// RGP stalls on a full ITT.
+    pub itt_stalls: u64,
+    /// Timeouts fired.
+    pub timeouts: u64,
+    /// Lines retransmitted.
+    pub retransmits: u64,
+}
+
+/// Folds a trace into per-window totals plus the transition markers.
+///
+/// Node samples land on quantum boundaries, not exact cadence
+/// multiples, so every record is bucketed into the cadence window it
+/// terminates (`ceil(t / interval) * interval`) — one timeline row per
+/// window, not one per distinct sample time.
+pub fn timeline_rows(doc: &TraceDoc) -> (Vec<TimelineRow>, Vec<FaultRec>) {
+    let mut rows: BTreeMap<u64, TimelineRow> = BTreeMap::new();
+    let interval = doc.interval_ps.max(1);
+    let window = |t: u64| t.div_ceil(interval) * interval;
+    fn at(rows: &mut BTreeMap<u64, TimelineRow>, t: u64) -> &mut TimelineRow {
+        let row = rows.entry(t).or_default();
+        row.t_ps = t;
+        row
+    }
+    for l in &doc.links {
+        at(&mut rows, window(l.t_ps)).credit_stalls += l.credit_stalls;
+    }
+    let closed_loop = doc.tenants.is_empty();
+    for n in &doc.node_recs {
+        let row = at(&mut rows, window(n.t_ps));
+        if closed_loop {
+            row.completions += n.rcp_completions;
+        }
+        row.itt_stalls += n.rgp_itt_stalls;
+        row.timeouts += n.rgp_timeouts;
+        row.retransmits += n.rgp_retransmits;
+    }
+    for t in &doc.tenants {
+        at(&mut rows, window(t.t_ps)).completions += t.completions;
+    }
+    let transitions = doc
+        .faults
+        .iter()
+        .filter(|f| is_transition(&f.kind))
+        .cloned()
+        .collect();
+    (rows.into_values().collect(), transitions)
+}
+
+/// The stall/recovery timeline: one line per sampling window with a
+/// completion-rate bar, the stall counters, and fault transitions
+/// splicing in at their scheduled instants — the `rack1024-nodekill`
+/// dip-and-climb rendered as text.
+pub fn render_timeline(doc: &TraceDoc) -> String {
+    let (rows, mut transitions) = timeline_rows(doc);
+    transitions.sort_by_key(|f| f.t_ps);
+    let mut transitions = transitions.into_iter().peekable();
+    let peak = rows.iter().map(|r| r.completions).max().unwrap_or(0).max(1);
+    const BAR: usize = 40;
+    let mut out = format!(
+        "stall/recovery timeline: {} ({} windows of {:.1} us)\n{:>9} {:<BAR$} {:>9} {:>9} {:>9} {:>8} {:>8}\n",
+        doc.scenario,
+        rows.len(),
+        doc.interval_ps as f64 / 1e6,
+        "t_us",
+        "completions",
+        "ops",
+        "cr_stall",
+        "itt_stall",
+        "timeout",
+        "rexmit",
+    );
+    for row in &rows {
+        while transitions.peek().is_some_and(|f| f.t_ps <= row.t_ps) {
+            let f = transitions.next().expect("peeked");
+            let what = if f.kind.starts_with("link_") {
+                format!("{} {}->{}", f.kind, f.a, f.b)
+            } else {
+                format!("{} n{}", f.kind, f.a)
+            };
+            let _ = writeln!(out, "{:>9.1} ! {what}", f.t_ps as f64 / 1e6);
+        }
+        let fill = (row.completions as u128 * BAR as u128 / peak as u128) as usize;
+        let _ = writeln!(
+            out,
+            "{:>9.1} {:<BAR$} {:>9} {:>9} {:>9} {:>8} {:>8}",
+            row.t_ps as f64 / 1e6,
+            "#".repeat(fill.min(BAR)),
+            row.completions,
+            row.credit_stalls,
+            row.itt_stalls,
+            row.timeouts,
+            row.retransmits,
+        );
+    }
+    for f in transitions {
+        let _ = writeln!(out, "{:>9.1} ! {}", f.t_ps as f64 / 1e6, f.kind);
+    }
+    out
+}
+
+/// The timeline's plottable form.
+pub fn timeline_csv(doc: &TraceDoc) -> CsvTable {
+    let (rows, _) = timeline_rows(doc);
+    let mut t = CsvTable::new(&[
+        "t_us",
+        "completions",
+        "credit_stalls",
+        "itt_stalls",
+        "timeouts",
+        "retransmits",
+    ]);
+    for r in &rows {
+        t.row(&[
+            format!("{}", r.t_ps as f64 / 1e6),
+            r.completions.to_string(),
+            r.credit_stalls.to_string(),
+            r.itt_stalls.to_string(),
+            r.timeouts.to_string(),
+            r.retransmits.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        "{\"schema\":\"sonuma-trace/v1\",\"scenario\":\"unit\",\"backend\":\"sonuma\",\"nodes\":4,\"interval_ps\":1000000}\n",
+        "{\"t_ps\":1000000,\"rec\":\"fault\",\"kind\":\"link_kill\",\"a\":0,\"b\":1,\"count\":1}\n",
+        "{\"t_ps\":1000000,\"rec\":\"link\",\"src\":0,\"dst\":1,\"bytes\":640,\"packets\":10,\"credit_stalls\":2}\n",
+        "{\"t_ps\":1000000,\"rec\":\"node\",\"node\":0,\"rgp_requests\":5,\"rrpp_served\":4,\"rcp_completions\":3,\"rgp_itt_stalls\":1,\"api_wq_full\":0,\"itt_in_flight\":2,\"rgp_timeouts\":1,\"rgp_retransmits\":1}\n",
+        "{\"t_ps\":2000000,\"rec\":\"fault\",\"kind\":\"timeouts\",\"a\":0,\"b\":0,\"count\":3}\n",
+        "{\"t_ps\":2000000,\"rec\":\"tenant\",\"tenant\":7,\"completions\":12,\"p99_ps\":4095}\n",
+    );
+
+    #[test]
+    fn parses_every_record_kind_and_renders() {
+        let doc = parse_trace(SAMPLE).expect("sample parses");
+        assert_eq!(doc.nodes, 4);
+        assert_eq!(doc.links.len(), 1);
+        assert_eq!(doc.node_recs.len(), 1);
+        assert_eq!(doc.tenants.len(), 1);
+        assert_eq!(doc.faults.len(), 2);
+
+        let chrome = chrome_trace(&doc);
+        let parsed = Json::parse(&chrome).expect("chrome trace is valid JSON");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        // fabric + pipelines + tenants + faults counters + 1 instant.
+        assert_eq!(events.len(), 5);
+        assert!(chrome.contains("\"name\":\"link_kill 0->1\""));
+
+        let heat = render_heatmap(&doc);
+        assert!(heat.contains("0->1"), "{heat}");
+        let tl = render_timeline(&doc);
+        assert!(tl.contains("! link_kill 0->1"), "{tl}");
+        assert_eq!(timeline_rows(&doc).0.len(), 2);
+    }
+
+    #[test]
+    fn rejects_foreign_schemas_and_malformed_lines() {
+        assert!(parse_trace("{\"schema\":\"other/v9\"}\n")
+            .expect_err("foreign schema")
+            .contains("other/v9"));
+        let mut broken = String::from(SAMPLE);
+        broken.push_str("{\"t_ps\":3,\"rec\":\"mystery\"}\n");
+        assert!(parse_trace(&broken)
+            .expect_err("unknown record kind")
+            .contains("mystery"));
+    }
+}

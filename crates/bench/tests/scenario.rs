@@ -66,6 +66,12 @@ fn toml_roundtrip_preserves_every_field() {
             timeout_us: 6.0,
             max_retries: 5,
         }),
+        trace: Some(sonuma_bench::scenario::TraceSpec {
+            interval_us: 2.5,
+            link_capacity: 4096,
+            node_capacity: 2048,
+            event_capacity: 512,
+        }),
     };
     assert_eq!(ScenarioSpec::from_toml(&spec.to_toml()).unwrap(), spec);
 }

@@ -603,6 +603,33 @@ impl Fabric {
         out.sort_unstable_by_key(|l| (l.src, l.dst));
         out
     }
+
+    /// Number of dense link slots (the fixed upper bound on distinct
+    /// directed links this fabric can ever instantiate). Flight recorders
+    /// size their per-link tables from this once, up front.
+    pub fn link_slots(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Visits every instantiated link in slot order with
+    /// `(slot, src, dst, bytes, packets, credit_stalls)` — the cumulative
+    /// counters [`Fabric::link_stats`] reports, but without allocating,
+    /// so a flight recorder can sample mid-run on the hot path. Slot
+    /// order is a pure function of the topology, never of traffic.
+    pub fn visit_links(&self, mut f: impl FnMut(usize, u16, u16, u64, u64, u64)) {
+        for (slot, link) in self.links.iter().enumerate() {
+            if let Some(link) = link {
+                f(
+                    slot,
+                    link.src,
+                    link.dst,
+                    link.serializer.bytes(),
+                    link.serializer.packets(),
+                    link.lanes.iter().map(VirtualChannel::stalls).sum(),
+                );
+            }
+        }
+    }
 }
 
 /// Traffic counters of one directed link (see [`Fabric::link_stats`]).

@@ -190,6 +190,23 @@ impl SonumaBackend {
         self.sharded.fabric()
     }
 
+    /// Arms a flight recorder on the underlying cluster (see
+    /// [`ShardedCluster::arm_trace`]). Must run after any
+    /// [`SonumaBackend::set_threads`] call — re-sharding rebuilds the
+    /// cluster and would discard the recorder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if traffic has already run or the interval is zero.
+    pub fn arm_trace(&mut self, config: &sonuma_trace::TraceConfig) {
+        self.sharded.arm_trace(config);
+    }
+
+    /// The armed flight recorder, if any.
+    pub fn trace(&self) -> Option<&sonuma_trace::FlightRecorder> {
+        self.sharded.trace()
+    }
+
     /// Pipeline counters of `node`.
     pub fn pipeline_stats(&self, node: NodeId) -> PipelineStats {
         self.sharded.pipeline_stats(node)

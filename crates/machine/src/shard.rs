@@ -71,6 +71,7 @@
 use sonuma_fabric::{Fabric, ShardPlan};
 use sonuma_protocol::{CtxId, NodeId, Packet, QpId, TenantId, HEADER_BYTES};
 use sonuma_sim::{EpochWorld, LookaheadMatrix, ShardedEngine, SimTime};
+use sonuma_trace::{FaultKind, FlightRecorder, NodeCounters, TraceConfig};
 
 use crate::cluster::{Cluster, Departure, RoutePath};
 use crate::config::MachineConfig;
@@ -202,6 +203,10 @@ pub struct ShardedCluster {
     /// made — always zero when the conservative bounds are sound; counted
     /// in release builds too so the property tests can assert on it.
     pair_bound_violations: u64,
+    /// The armed flight recorder, if any. Boxed so the (large, cold)
+    /// recorder state stays off the cluster's cache footprint; `None`
+    /// (the default) leaves every hot path on exactly the untraced code.
+    trace: Option<Box<FlightRecorder>>,
 }
 
 impl std::fmt::Debug for ShardedCluster {
@@ -296,7 +301,35 @@ impl ShardedCluster {
             floors: vec![None; num_shards],
             cut_links,
             pair_bound_violations: 0,
+            trace: None,
         }
+    }
+
+    /// Arms a flight recorder: from now on, link counters are sampled
+    /// inside the commit merge (the global `(t, src, seq)` send order)
+    /// and node counters at quantum boundaries — both partition-invariant
+    /// points, so the recorded series are byte-identical across thread
+    /// counts. All recorder capacity is allocated here, once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster has already run (samples would start
+    /// mid-stream) or the configured interval is zero.
+    pub fn arm_trace(&mut self, config: &TraceConfig) {
+        assert!(
+            self.clock == SimTime::ZERO && self.events == 0,
+            "arm the flight recorder before any traffic"
+        );
+        self.trace = Some(Box::new(FlightRecorder::new(
+            config,
+            self.fabric.link_slots(),
+            self.config.nodes,
+        )));
+    }
+
+    /// The armed flight recorder, if any.
+    pub fn trace(&self) -> Option<&FlightRecorder> {
+        self.trace.as_deref()
     }
 
     /// The cluster configuration.
@@ -715,7 +748,93 @@ impl ShardedCluster {
         // on it so driver-visible time is partition-invariant.
         self.engine.align_all(t_end);
         self.clock = self.clock.max(t_end);
+        self.sample_nodes_if_due();
         Some(ran_quantum)
+    }
+
+    /// Takes a node sample at the current quantum boundary if the
+    /// recorder's cadence deadline has passed. The boundary sequence is
+    /// partition-invariant and the quantum loop only exits once every
+    /// event at or before the boundary is final, so the counters read
+    /// here — pipeline totals per node, fault-recovery totals — are the
+    /// same for every thread count.
+    fn sample_nodes_if_due(&mut self) {
+        let now = self.clock;
+        // Taking the recorder out releases `self` for the read-only
+        // counter folds below; `Option::take` on a box moves a pointer,
+        // no allocation.
+        let Some(mut rec) = self.trace.take() else {
+            return;
+        };
+        if rec.node_due(now) {
+            let (w_start, w_end) = rec.begin_node_round(now);
+            // Scheduled fault transitions that fell inside this round's
+            // window, at their true instants. The schedule is pure config
+            // data, so the scan order (plan order) is deterministic.
+            let in_window = |at: SimTime| {
+                (at > w_start || (w_start == SimTime::ZERO && at == SimTime::ZERO)) && at <= w_end
+            };
+            if let Some(faults) = &self.config.fabric.faults {
+                for lf in &faults.links {
+                    if let Some(at) = lf.kill_at.filter(|&at| in_window(at)) {
+                        rec.record_transition(at, FaultKind::LinkKill, lf.src.0, lf.dst.0);
+                    }
+                    if let Some(at) = lf.revive_at.filter(|&at| in_window(at)) {
+                        rec.record_transition(at, FaultKind::LinkRevive, lf.src.0, lf.dst.0);
+                    }
+                }
+                for nf in &faults.nodes {
+                    if in_window(nf.crash_at) {
+                        rec.record_transition(nf.crash_at, FaultKind::NodeCrash, nf.node.0, 0);
+                    }
+                    if in_window(nf.restart_at) {
+                        rec.record_transition(nf.restart_at, FaultKind::NodeRestart, nf.node.0, 0);
+                    }
+                }
+            }
+            // Per-node pipeline counters, in global node order (shards
+            // are contiguous slabs, so shard order == node order).
+            for s in 0..self.plan.shards() {
+                let range = self.plan.range(s);
+                let rec = &mut rec;
+                self.engine.peek_shard(s, |slot| {
+                    for node in range {
+                        let st = slot.world.pipeline_stats(NodeId(node as u16));
+                        rec.record_node(
+                            now,
+                            node as u16,
+                            NodeCounters {
+                                rgp_requests: st.rgp_requests,
+                                rrpp_served: st.rrpp_served,
+                                rcp_completions: st.rcp_completions,
+                                rgp_itt_stalls: st.rgp_itt_stalls,
+                                api_wq_full: st.api_wq_full,
+                                itt_in_flight: st.itt_in_flight,
+                                rgp_timeouts: st.rgp_timeouts,
+                                rgp_retransmits: st.rgp_retransmits,
+                            },
+                        );
+                    }
+                });
+            }
+            // Fault-recovery counter deltas (see FAULT_COUNTER_KINDS for
+            // the array order).
+            let fs = self.fabric.fault_stats();
+            let pt = self.total_pipeline_stats();
+            rec.record_fault_counters(
+                now,
+                [
+                    fs.dropped,
+                    fs.corrupted,
+                    fs.rerouted,
+                    fs.unreachable,
+                    self.fold_shards(|c| c.total_crash_drops()),
+                    pt.rgp_timeouts,
+                    pt.rgp_retransmits,
+                ],
+            );
+        }
+        self.trace = Some(rec);
     }
 
     /// Refreshes `self.floors` — shard `s`'s earliest pending work, the
@@ -813,6 +932,24 @@ impl ShardedCluster {
                 (d.t, d.pkt)
             };
             consumed += 1;
+            // Link sampling rides the merge: this loop applies sends in
+            // the global `(t, src, seq)` order — identical to the serial
+            // schedule — so closing the cadence window *before* the first
+            // send at or past it captures the fabric state after exactly
+            // the sends that precede the window end, no matter how
+            // commits batch across partitions. (Quantum boundaries are
+            // not usable here: a commit frontier may legally outrun the
+            // boundary, making boundary-time fabric state
+            // partition-dependent.)
+            if let Some(rec) = self.trace.as_deref_mut() {
+                if rec.fabric_due(t) {
+                    let end = rec.close_fabric_window(t);
+                    self.fabric
+                        .visit_links(|slot, src, dst, bytes, packets, stalls| {
+                            rec.record_link(end, slot, src, dst, bytes, packets, stalls);
+                        });
+                }
+            }
             let salt = pkt.fault_salt(t.as_ps());
             let (arrival, fate) = self.fabric.send_faulty(
                 t,

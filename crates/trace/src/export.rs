@@ -1,0 +1,170 @@
+//! The versioned JSON-lines trace writer.
+//!
+//! One header line (schema tag plus run identity) followed by one JSON
+//! object per sample, merged across the four record streams in
+//! `(t_ps, stream rank, ring order)` order. Every value is an integer —
+//! no float ever hits the file — so the bytes are a stable function of
+//! the samples alone and two runs can be compared with `cmp`.
+
+use std::fmt::Write as _;
+
+use crate::recorder::FlightRecorder;
+use crate::tenant::TenantFlow;
+use crate::TRACE_SCHEMA;
+
+/// Run identity stamped into the trace header. Deliberately excludes
+/// anything partition- or wall-clock-dependent (no thread count, no
+/// timestamps): the whole file must be byte-identical across `--threads`.
+#[derive(Debug, Clone)]
+pub struct TraceMeta {
+    /// Scenario name.
+    pub scenario: String,
+    /// Backend name (`sonuma`, …).
+    pub backend: String,
+    /// Number of nodes in the machine.
+    pub nodes: u64,
+    /// Sampling cadence in picoseconds.
+    pub interval_ps: u64,
+}
+
+/// Stream ranks: ties at one `t_ps` order faults before links before
+/// nodes before tenants, each in ring order.
+const RANK_FAULT: u8 = 0;
+const RANK_LINK: u8 = 1;
+const RANK_NODE: u8 = 2;
+const RANK_TENANT: u8 = 3;
+
+/// Renders the full trace as JSON lines (trailing newline included).
+pub fn render_jsonl(
+    meta: &TraceMeta,
+    recorder: Option<&FlightRecorder>,
+    tenants: Option<&TenantFlow>,
+) -> String {
+    let mut records: Vec<(u64, u8, String)> = Vec::new();
+    if let Some(rec) = recorder {
+        for e in rec.fault_events() {
+            let mut line = format!(
+                "{{\"t_ps\":{},\"rec\":\"fault\",\"kind\":\"{}\"",
+                e.t_ps,
+                e.kind.as_str()
+            );
+            let _ = write!(line, ",\"a\":{},\"b\":{},\"count\":{}}}", e.a, e.b, e.count);
+            records.push((e.t_ps, RANK_FAULT, line));
+        }
+        for s in rec.link_samples() {
+            records.push((
+                s.t_ps,
+                RANK_LINK,
+                format!(
+                    "{{\"t_ps\":{},\"rec\":\"link\",\"src\":{},\"dst\":{},\"bytes\":{},\"packets\":{},\"credit_stalls\":{}}}",
+                    s.t_ps, s.src, s.dst, s.bytes, s.packets, s.credit_stalls
+                ),
+            ));
+        }
+        for s in rec.node_samples() {
+            let c = s.counters;
+            records.push((
+                s.t_ps,
+                RANK_NODE,
+                format!(
+                    "{{\"t_ps\":{},\"rec\":\"node\",\"node\":{},\"rgp_requests\":{},\"rrpp_served\":{},\"rcp_completions\":{},\"rgp_itt_stalls\":{},\"api_wq_full\":{},\"itt_in_flight\":{},\"rgp_timeouts\":{},\"rgp_retransmits\":{}}}",
+                    s.t_ps,
+                    s.node,
+                    c.rgp_requests,
+                    c.rrpp_served,
+                    c.rcp_completions,
+                    c.rgp_itt_stalls,
+                    c.api_wq_full,
+                    c.itt_in_flight,
+                    c.rgp_timeouts,
+                    c.rgp_retransmits
+                ),
+            ));
+        }
+    }
+    if let Some(flow) = tenants {
+        for s in flow.samples() {
+            records.push((
+                s.t_ps,
+                RANK_TENANT,
+                format!(
+                    "{{\"t_ps\":{},\"rec\":\"tenant\",\"tenant\":{},\"completions\":{},\"p99_ps\":{}}}",
+                    s.t_ps, s.tenant, s.completions, s.p99_ps
+                ),
+            ));
+        }
+    }
+    // Stable: within one (t, rank) key, ring order (itself deterministic)
+    // is preserved.
+    records.sort_by_key(|&(t, rank, _)| (t, rank));
+
+    let mut out = format!(
+        "{{\"schema\":\"{}\",\"scenario\":\"{}\",\"backend\":\"{}\",\"nodes\":{},\"interval_ps\":{}}}\n",
+        TRACE_SCHEMA,
+        escape(&meta.scenario),
+        escape(&meta.backend),
+        meta.nodes,
+        meta.interval_ps
+    );
+    for (_, _, line) in records {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Minimal JSON string escaping (names here are plain identifiers, but a
+/// malformed file must be impossible).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use sonuma_sim::SimTime;
+
+    use super::*;
+    use crate::recorder::{FaultKind, TraceConfig};
+
+    #[test]
+    fn renders_sorted_integer_only_lines() {
+        let cfg = TraceConfig::every(SimTime::from_ns(100));
+        let mut rec = FlightRecorder::new(&cfg, 2, 2);
+        rec.record_link(SimTime::from_ns(200), 0, 0, 1, 64, 1, 0);
+        rec.record_transition(SimTime::from_ns(150), FaultKind::LinkKill, 0, 1);
+        let mut flow = TenantFlow::new(SimTime::from_ns(100));
+        flow.record(SimTime::from_ns(120), 3, SimTime::from_ns(2));
+        let meta = TraceMeta {
+            scenario: "unit".to_string(),
+            backend: "sonuma".to_string(),
+            nodes: 2,
+            interval_ps: SimTime::from_ns(100).as_ps(),
+        };
+        let text = render_jsonl(&meta, Some(&rec), Some(&flow));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("{\"schema\":\"sonuma-trace/v1\""));
+        // 150 ns fault, then the two 200 ns records with fault < link <
+        // tenant rank ordering... here link (rank 1) before tenant (rank 3).
+        assert!(lines[1].contains("\"kind\":\"link_kill\""));
+        assert!(lines[2].contains("\"rec\":\"link\""));
+        assert!(lines[3].contains("\"rec\":\"tenant\""));
+        assert!(!text.contains('.'), "integer-only output: {text}");
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_controls() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+}

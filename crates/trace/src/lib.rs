@@ -1,0 +1,42 @@
+//! The flight recorder: allocation-free time-series tracing of the
+//! interconnect, the RMC pipelines, and tenants.
+//!
+//! End-of-run aggregates hide exactly the phenomena the paper cares
+//! about — credit-stall storms, RGP backpressure, the goodput dip after a
+//! link dies and the climb back once routing adapts. This crate records
+//! those transients as fixed-cadence samples in fixed-capacity rings:
+//!
+//! * [`FlightRecorder`] — armed once at construction with every capacity
+//!   it will ever need, then fed cumulative counters on the hot path; it
+//!   stores *deltas per sampling window* and never allocates after
+//!   construction (the fabric zero-alloc test runs with one armed);
+//! * [`TenantFlow`] — the driver-side tenant sampler: completions binned
+//!   by simulated completion time into per-tenant rate and p99 samples;
+//! * [`export`] — the versioned JSON-lines trace writer plus the
+//!   Chrome-trace conversion helpers.
+//!
+//! # Determinism
+//!
+//! Nothing here samples wall-clock anything. Every sample is keyed by
+//! simulated time, and the recorder is only ever fed from
+//! partition-invariant points (quantum boundaries for node counters, the
+//! global `(t, src, seq)` commit merge for link counters), so a trace
+//! taken at `--threads 4` is byte-identical to `--threads 1` — the trace
+//! file itself is a determinism artifact CI can `cmp`.
+
+mod recorder;
+mod ring;
+mod tenant;
+
+pub mod export;
+
+pub use export::{render_jsonl, TraceMeta};
+pub use recorder::{
+    FaultEvent, FaultKind, FlightRecorder, LinkSample, NodeCounters, NodeSample, TraceConfig,
+    TraceSummary, FAULT_COUNTER_KINDS,
+};
+pub use ring::Ring;
+pub use tenant::{TenantFlow, TenantSample};
+
+/// Version tag of the JSON-lines trace format (first line of every trace).
+pub const TRACE_SCHEMA: &str = "sonuma-trace/v1";

@@ -1,0 +1,97 @@
+//! The fixed-capacity sample ring.
+
+/// A ring buffer with capacity fixed at construction: pushes past
+/// capacity overwrite the oldest entry (flight-recorder semantics — the
+/// most recent window survives) and are tallied, never silently lost.
+/// `push` is allocation-free by construction: the backing store is built
+/// full-size up front.
+#[derive(Debug, Clone)]
+pub struct Ring<T> {
+    buf: Vec<T>,
+    /// Index of the oldest retained entry.
+    head: usize,
+    len: usize,
+    overwritten: u64,
+}
+
+impl<T: Copy + Default> Ring<T> {
+    /// A ring holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "zero-capacity ring");
+        Ring {
+            buf: vec![T::default(); capacity],
+            head: 0,
+            len: 0,
+            overwritten: 0,
+        }
+    }
+
+    /// Appends `item`, evicting (and tallying) the oldest entry if full.
+    pub fn push(&mut self, item: T) {
+        let cap = self.buf.len();
+        if self.len == cap {
+            self.buf[self.head] = item;
+            self.head = (self.head + 1) % cap;
+            self.overwritten += 1;
+        } else {
+            self.buf[(self.head + self.len) % cap] = item;
+            self.len += 1;
+        }
+    }
+
+    /// Retained entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
+        let cap = self.buf.len();
+        (0..self.len).map(move |i| &self.buf[(self.head + i) % cap])
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Entries evicted to make room — the sample-loss tally reports
+    /// surface so a too-small ring is visible, not silent.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Total entries ever pushed.
+    pub fn pushed(&self) -> u64 {
+        self.len as u64 + self.overwritten
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_newest_and_tallies_evictions() {
+        let mut r: Ring<u32> = Ring::new(3);
+        assert!(r.is_empty());
+        for v in 0..5 {
+            r.push(v);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.overwritten(), 2);
+        assert_eq!(r.pushed(), 5);
+        let kept: Vec<u32> = r.iter().copied().collect();
+        assert_eq!(kept, vec![2, 3, 4], "oldest evicted, order preserved");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_panics() {
+        let _ = Ring::<u32>::new(0);
+    }
+}
