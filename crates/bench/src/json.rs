@@ -281,13 +281,29 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 }
                 *pos += 1;
             }
-            Some(_) => {
-                // Consume one UTF-8 scalar (input is a &str, so boundaries
-                // are valid).
-                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|_| "invalid UTF-8")?;
-                let c = rest.chars().next().ok_or("unterminated string")?;
+            Some(&b) if b < 0x80 => {
+                out.push(b as char);
+                *pos += 1;
+            }
+            Some(&b) => {
+                // Consume one multi-byte UTF-8 scalar. The sequence length
+                // comes from the lead byte; validating just that slice
+                // keeps string parsing linear (re-validating the whole
+                // remaining input here made parsing a rack8192-sized
+                // report quadratic).
+                let len = match b {
+                    0xC0..=0xDF => 2,
+                    0xE0..=0xEF => 3,
+                    _ => 4,
+                };
+                let scalar = bytes.get(*pos..*pos + len).ok_or("unterminated string")?;
+                let c = std::str::from_utf8(scalar)
+                    .map_err(|_| "invalid UTF-8")?
+                    .chars()
+                    .next()
+                    .ok_or("unterminated string")?;
                 out.push(c);
-                *pos += c.len_utf8();
+                *pos += len;
             }
         }
     }

@@ -66,7 +66,16 @@ use crate::trafficgen::{jain_index, ArrivalGen, ArrivalKind, ZipfSampler};
 /// and the recorder's wall-clock overhead versus the untraced timing
 /// repetitions. With tracing off the section is absent and every other
 /// byte matches a v6 report body.
-pub const REPORT_SCHEMA: &str = "sonuma-bench.scenario/v7";
+/// v8 added the `speculate_epochs` spec field (`[execution]` section,
+/// speculative run-ahead depth `K`), the per-run `wall_construct_secs`
+/// field (world-construction wall time, reported separately from drive
+/// time so the parallel-construction win is gated on its own), and the
+/// `sharding.speculation` object (`committed`/`rolled_back` clock-bet
+/// counts and `rollback_ratio`). Speculation counters depend on host
+/// scheduling, so they live in the equivalence-stripped `sharding`
+/// section; everything outside it is byte-identical between `K = 0` and
+/// any `K > 0`.
+pub const REPORT_SCHEMA: &str = "sonuma-bench.scenario/v8";
 
 /// A transport a scenario runs over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -498,6 +507,12 @@ pub struct ScenarioSpec {
     /// 64-entry rings cost two guest-heap pages per node; 16-entry rings
     /// fit WQ and CQ in one.
     pub qp_entries: u16,
+    /// Speculative epoch run-ahead depth `K` (`[execution]` section /
+    /// `--speculate`). Like `threads`, purely a wall-clock knob: the
+    /// engine validates every clock bet at the epoch barrier and rolls
+    /// back refuted ones, so every simulated metric is identical for
+    /// every value (only the `sharding.speculation` counters differ).
+    pub speculate_epochs: usize,
     /// Multi-tenant QP virtualization (`[tenants]` section). Present iff
     /// `traffic` is present; together they switch the run from the
     /// closed-loop stream to the open-loop tenant generator.
@@ -529,6 +544,7 @@ impl Default for ScenarioSpec {
             seed: 42,
             threads: 1,
             qp_entries: 64,
+            speculate_epochs: 0,
             tenancy: None,
             traffic: None,
             faults: None,
@@ -656,6 +672,12 @@ impl ScenarioSpec {
             return err(format!(
                 "qp_entries = {} must exceed window = {} (a full ring would deadlock the closed loop)",
                 self.qp_entries, self.window
+            ));
+        }
+        if self.speculate_epochs > 8 {
+            return err(format!(
+                "speculate_epochs = {} (must be 0..=8)",
+                self.speculate_epochs
             ));
         }
         match (&self.tenancy, &self.traffic) {
@@ -787,13 +809,16 @@ impl ScenarioSpec {
         out.push_str(&format!("window = {}\n", self.window));
         out.push_str(&format!("segment_bytes = {}\n", self.segment_bytes));
         out.push_str(&format!("seed = {}\n", self.seed));
-        if self.threads != 1 || self.qp_entries != 64 {
+        if self.threads != 1 || self.qp_entries != 64 || self.speculate_epochs != 0 {
             out.push_str("\n[execution]\n");
             if self.threads != 1 {
                 out.push_str(&format!("threads = {}\n", self.threads));
             }
             if self.qp_entries != 64 {
                 out.push_str(&format!("qp_entries = {}\n", self.qp_entries));
+            }
+            if self.speculate_epochs != 0 {
+                out.push_str(&format!("speculate_epochs = {}\n", self.speculate_epochs));
             }
         }
         if let (Some(tn), Some(tr)) = (&self.tenancy, &self.traffic) {
@@ -931,6 +956,10 @@ impl ScenarioSpec {
                     "threads" => spec.threads = value.into_u64(lineno, "threads")? as usize,
                     "qp_entries" => {
                         spec.qp_entries = value.into_u64(lineno, "qp_entries")? as u16;
+                    }
+                    "speculate_epochs" => {
+                        spec.speculate_epochs =
+                            value.into_u64(lineno, "speculate_epochs")? as usize;
                     }
                     other => {
                         return Err(SpecError::Parse(
@@ -1141,6 +1170,10 @@ impl ScenarioSpec {
             ("seed".into(), Json::Num(self.seed as f64)),
             ("threads".into(), Json::Num(self.threads as f64)),
             ("qp_entries".into(), Json::Num(self.qp_entries as f64)),
+            (
+                "speculate_epochs".into(),
+                Json::Num(self.speculate_epochs as f64),
+            ),
         ];
         if let (Some(tn), Some(tr)) = (&self.tenancy, &self.traffic) {
             members.push((
@@ -1443,6 +1476,10 @@ pub struct BackendRun {
     /// figure of merit for the fabric hot path; the bench-smoke lane
     /// gates it alongside events/sec.
     pub wall_packets_per_sec: f64,
+    /// Host wall-clock seconds world construction took (best across
+    /// repetitions) — reported separately from `wall_secs` (drive time)
+    /// so the parallel-construction win is gated on its own.
+    pub wall_construct_secs: f64,
     /// Host threads the spec requested for this run.
     pub threads: usize,
     /// Shards the backend actually executed with (1 for the modeled
@@ -1470,6 +1507,11 @@ pub struct BackendRun {
     /// Estimated resident heap bytes of the simulated machine at the end
     /// of the run (soNUMA runs only) — the rack4096 memory-diet metric.
     pub resident_bytes: u64,
+    /// `(committed, rolled_back)` speculative clock bets the sharded
+    /// engine settled (soNUMA runs with `speculate_epochs > 0`). Shard
+    /// metadata: depends on host scheduling, excluded from the
+    /// parallel-equivalence diff.
+    pub speculation: Option<(u64, u64)>,
     /// Wall ratio (threads=1 time over this run's time) and serial epoch
     /// count from a `--compare-threads` companion run, if one was made.
     pub compare_serial: Option<CompareSerial>,
@@ -1596,6 +1638,7 @@ impl BackendInstance {
                 }
                 let mut backend =
                     SonumaBackend::with_threads(config, spec.segment_bytes, spec.threads);
+                backend.set_speculation(spec.speculate_epochs as u32);
                 if let Some(tn) = &spec.tenancy {
                     // Every tenant gets a dedicated QP on its home node,
                     // registered under its weight and SLO class so the
@@ -1777,6 +1820,8 @@ fn drive(spec: &ScenarioSpec, backend: &mut dyn RemoteBackend) -> BackendRun {
         },
         // Fabric packet rate is attached by `run_spec` for soNUMA runs.
         wall_packets_per_sec: 0.0,
+        // Construction wall time is attached by `run_spec`.
+        wall_construct_secs: 0.0,
         // Sharding metadata is attached by `run_spec`.
         threads: 1,
         shards: 1,
@@ -1786,6 +1831,7 @@ fn drive(spec: &ScenarioSpec, backend: &mut dyn RemoteBackend) -> BackendRun {
         lookahead_bounds: None,
         pair_bound_violations: 0,
         resident_bytes: 0,
+        speculation: None,
         compare_serial: None,
         // Pipeline counters are attached by `run_spec` for soNUMA runs.
         pipeline_total: None,
@@ -2040,6 +2086,7 @@ fn drive_open_loop(
             0.0
         },
         wall_packets_per_sec: 0.0,
+        wall_construct_secs: 0.0,
         threads: 1,
         shards: 1,
         epochs: 0,
@@ -2048,6 +2095,7 @@ fn drive_open_loop(
         lookahead_bounds: None,
         pair_bound_violations: 0,
         resident_bytes: 0,
+        speculation: None,
         compare_serial: None,
         pipeline_total: None,
         per_node: Vec::new(),
@@ -2100,7 +2148,9 @@ fn run_spec_with_reps(spec: &ScenarioSpec, reps: u32) -> ScenarioResult {
     };
     let mut runs = Vec::new();
     for kind in spec.backend.kinds() {
+        let built_at = std::time::Instant::now();
         let mut instance = BackendInstance::build(spec, kind);
+        let mut construct_secs = built_at.elapsed().as_secs_f64();
         // Only the soNUMA machine carries a flight recorder; the modeled
         // baselines have no fabric or pipelines to sample.
         let traced = trace_spec.filter(|_| kind == BackendKind::Sonuma);
@@ -2136,6 +2186,9 @@ fn run_spec_with_reps(spec: &ScenarioSpec, reps: u32) -> ScenarioResult {
             run.lookahead_bounds = Some(b.lookahead_bounds());
             run.pair_bound_violations = b.pair_bound_violations();
             run.resident_bytes = b.resident_bytes();
+            if b.speculation_depth() > 0 {
+                run.speculation = Some(b.speculation());
+            }
             run.per_node = (0..spec.nodes)
                 .map(|n| b.pipeline_stats(NodeId(n as u16)))
                 .collect();
@@ -2208,7 +2261,9 @@ fn run_spec_with_reps(spec: &ScenarioSpec, reps: u32) -> ScenarioResult {
             run.wall_events_per_sec = 0.0;
         }
         for _ in 1..reps {
+            let built_at = std::time::Instant::now();
             let mut retimed = BackendInstance::build(spec, kind);
+            construct_secs = construct_secs.min(built_at.elapsed().as_secs_f64());
             let rep = drive_one(&mut retimed, None);
             debug_assert_eq!(rep.events, run.events, "repetitions must be identical");
             if rep.wall_events_per_sec > run.wall_events_per_sec {
@@ -2216,6 +2271,7 @@ fn run_spec_with_reps(spec: &ScenarioSpec, reps: u32) -> ScenarioResult {
                 run.wall_secs = rep.wall_secs;
             }
         }
+        run.wall_construct_secs = construct_secs;
         if let (Some(tw), Some(trace)) = (traced_wall, run.trace.as_mut()) {
             if reps > 1 {
                 trace.wall_overhead_secs = (tw - run.wall_secs).max(0.0);
@@ -2239,10 +2295,11 @@ pub fn run_specs(specs: &[ScenarioSpec]) -> Vec<ScenarioResult> {
     specs.iter().map(run_spec).collect()
 }
 
-/// Executes `spec` twice — at `threads = 1` and at the spec's own thread
-/// count (forced to 4 when the spec says 1) — and attaches the serial
-/// run's wall time, the wall ratio, and the serial epoch count to each
-/// backend run (the `--compare-threads` mode).
+/// Executes `spec` twice — at `threads = 1` with speculation off and at
+/// the spec's own thread count and `speculate_epochs` (threads forced to
+/// 4 when the spec says 1) — and attaches the serial run's wall time,
+/// the wall ratio, and the serial epoch count to each backend run (the
+/// `--compare-threads` mode).
 ///
 /// # Panics
 ///
@@ -2251,6 +2308,7 @@ pub fn run_specs(specs: &[ScenarioSpec]) -> Vec<ScenarioResult> {
 pub fn run_spec_compare_threads(spec: &ScenarioSpec) -> ScenarioResult {
     let mut serial_spec = spec.clone();
     serial_spec.threads = 1;
+    serial_spec.speculate_epochs = 0;
     let mut sharded_spec = spec.clone();
     if sharded_spec.threads == 1 {
         sharded_spec.threads = 4;
@@ -2508,6 +2566,10 @@ fn run_json(run: &BackendRun) -> Json {
             "wall_packets_per_sec".to_string(),
             Json::Num(run.wall_packets_per_sec),
         ),
+        (
+            "wall_construct_secs".to_string(),
+            Json::Num(run.wall_construct_secs),
+        ),
     ];
     // Shard metadata: everything here either depends on the partition
     // (shard_events) or on the host (wall rates), so the whole section is
@@ -2529,6 +2591,24 @@ fn run_json(run: &BackendRun) -> Json {
     if let Some((lo, hi)) = run.lookahead_bounds {
         sharding.push(("lookahead_min_ns".to_string(), Json::Num(lo.as_ns_f64())));
         sharding.push(("lookahead_max_ns".to_string(), Json::Num(hi.as_ns_f64())));
+    }
+    if let Some((committed, rolled_back)) = run.speculation {
+        let settled = committed + rolled_back;
+        sharding.push((
+            "speculation".to_string(),
+            Json::Obj(vec![
+                ("committed".to_string(), Json::Num(committed as f64)),
+                ("rolled_back".to_string(), Json::Num(rolled_back as f64)),
+                (
+                    "rollback_ratio".to_string(),
+                    Json::Num(if settled > 0 {
+                        rolled_back as f64 / settled as f64
+                    } else {
+                        0.0
+                    }),
+                ),
+            ]),
+        ));
     }
     if let Some(cmp) = &run.compare_serial {
         sharding.push((
@@ -2739,6 +2819,7 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
                 "wall_secs",
                 "wall_events_per_sec",
                 "wall_packets_per_sec",
+                "wall_construct_secs",
             ] {
                 run.f64_of(key)
                     .ok_or(format!("scenario {name}/{backend}: missing {key}"))?;
@@ -2757,6 +2838,21 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
                 sharding
                     .u64_of(key)
                     .ok_or(format!("scenario {name}/{backend}: sharding has no {key}"))?;
+            }
+            if let Some(sp) = sharding.get("speculation") {
+                for key in ["committed", "rolled_back"] {
+                    sp.u64_of(key).ok_or(format!(
+                        "scenario {name}/{backend}: speculation has no {key}"
+                    ))?;
+                }
+                let ratio = sp.f64_of("rollback_ratio").ok_or(format!(
+                    "scenario {name}/{backend}: speculation has no rollback_ratio"
+                ))?;
+                if !(0.0..=1.0).contains(&ratio) {
+                    return Err(format!(
+                        "scenario {name}/{backend}: rollback_ratio {ratio} out of [0, 1]"
+                    ));
+                }
             }
             if let Some(fa) = run.get("faults") {
                 let goodput = fa.f64_of("goodput_fraction").ok_or(format!(
@@ -2840,6 +2936,7 @@ struct RunRow {
     sim_us: f64,
     events: f64,
     wall_secs: f64,
+    construct_secs: f64,
 }
 
 fn run_rows(doc: &Json) -> Vec<RunRow> {
@@ -2861,6 +2958,7 @@ fn run_rows(doc: &Json) -> Vec<RunRow> {
                         sim_us: run.f64_of("sim_us").unwrap_or(0.0),
                         events: run.f64_of("events").unwrap_or(0.0),
                         wall_secs: run.f64_of("wall_secs").unwrap_or(0.0),
+                        construct_secs: run.f64_of("wall_construct_secs").unwrap_or(0.0),
                     });
                 }
             }
@@ -2883,12 +2981,15 @@ fn calibration_of(doc: &Json) -> Option<f64> {
 /// recorded on one machine meaningfully gates a run on another; without
 /// calibration the comparison falls back to absolute rates (noted).
 ///
-/// Three gates, all with budget `max_regress` (e.g. `0.20`):
+/// Four gates, all with budget `max_regress` (e.g. `0.20`):
 ///
 /// * per `(scenario, backend)` pair on events/sec, for pairs whose
 ///   baseline executed at least [`MIN_GATED_EVENTS`] events;
 /// * per pair on `wall_packets_per_sec`, for fabric-backed pairs meeting
 ///   the same floor — the batching-invariant fabric hot-path gate;
+/// * per pair on `wall_construct_secs` (lower is better), for pairs
+///   whose baseline build took at least 50 ms — the parallel-world-
+///   construction gate;
 /// * the aggregate `Σ events / Σ wall_secs` across every matched pair,
 ///   which is the overall typed-engine throughput the tentpole protects.
 ///
@@ -2984,6 +3085,27 @@ pub fn check_baseline(current: &Json, baseline: &Json, max_regress: f64) -> Base
                         max_regress * 100.0
                     ));
                 }
+            }
+        }
+        // Construction wall time gates independently of drive time (lower
+        // is better; multiplying by the host's calibration makes the
+        // figure cross-machine comparable, mirroring the rate gates).
+        // Sub-50 ms baseline builds are scheduler noise and skip the gate.
+        if base.construct_secs >= 0.05 {
+            let base_cnorm = base.construct_secs * base_calib;
+            let cur_cnorm = row.construct_secs * cur_calib;
+            let ceiling = base_cnorm * (1.0 + max_regress);
+            if cur_cnorm > ceiling {
+                check.failures.push(format!(
+                    "{}/{}: {:.3e} x-calibration construct time > {:.3e} \
+                     (baseline {:.3e}, max regression {:.0}%)",
+                    base.name,
+                    base.backend,
+                    cur_cnorm,
+                    ceiling,
+                    base_cnorm,
+                    max_regress * 100.0
+                ));
             }
         }
         if (row.sim_us - base.sim_us).abs() > base.sim_us * 1e-9 {
@@ -3154,13 +3276,20 @@ pub fn slim_report(doc: &Json) -> Json {
 
 /// Whether `key` is excluded from the parallel-equivalence comparison:
 /// host-dependent wall-clock fields (`wall_*`, `calibration`), the
-/// requested thread count itself, the partition-dependent `sharding` run
-/// section, and the `trace` sections (both the spec's and the run's —
-/// the trace *file* is gated byte-for-byte separately, and stripping the
-/// report sections lets `diff-runs` also compare a traced run against an
+/// requested thread count itself, the speculation depth (another pure
+/// wall-clock knob — a speculative run must be byte-identical to a
+/// conservative one, which is exactly what `diff-runs` proves when only
+/// these knobs differ), the partition-dependent `sharding` run section,
+/// and the `trace` sections (both the spec's and the run's — the trace
+/// *file* is gated byte-for-byte separately, and stripping the report
+/// sections lets `diff-runs` also compare a traced run against an
 /// untraced baseline).
 fn equivalence_ignored(key: &str) -> bool {
-    key.starts_with("wall_") || matches!(key, "calibration" | "sharding" | "threads" | "trace")
+    key.starts_with("wall_")
+        || matches!(
+            key,
+            "calibration" | "sharding" | "threads" | "speculate_epochs" | "trace"
+        )
 }
 
 /// Strips every [`equivalence_ignored`] member, recursively.
@@ -3434,6 +3563,35 @@ pub fn rack4096_spec() -> ScenarioSpec {
     }
 }
 
+/// The speculation rack: 8192 nodes as a 16×16×32 3D torus on 8 shard
+/// threads with speculative run-ahead (`K = 2`) enabled. This is the
+/// scale ROADMAP item 2 names past `rack4096`: a fully-synchronized
+/// symmetric rack where the lookahead matrix's diagonal binds, so the
+/// conservative engine pays one barrier per scalar lookahead and the
+/// speculative engine's extra in-release levels and clock bets are what
+/// keep the barrier count (and wall time) in budget. Memory rides the
+/// rack4096 diet (16-entry QP rings, lazy tables, sparse memory); the
+/// CI lane budgets the whole run under 4 GiB peak RSS. The report's
+/// `sharding.speculation` counters record how the bets settled.
+pub fn rack8192_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "rack8192".into(),
+        nodes: 8192,
+        topology: TopologySpec::Torus3d(16, 16, 32),
+        backend: BackendSel::One(BackendKind::Sonuma),
+        workload: WorkloadKind::NeighborRead,
+        op_bytes: 256,
+        ops_per_node: 2,
+        window: 4,
+        segment_bytes: 1 << 16,
+        seed: 8192,
+        threads: 8,
+        qp_entries: 16,
+        speculate_epochs: 2,
+        ..ScenarioSpec::default()
+    }
+}
+
 /// The link-failure rack: 512 nodes as an 8×8×8 3D torus, one open-loop
 /// tenant per node, with 4 directed links killed at 20 µs (reviving at
 /// 60 µs) and 8 more degraded (1 % drop, 0.5 % corruption) for the whole
@@ -3537,6 +3695,7 @@ pub fn canned_specs() -> Vec<ScenarioSpec> {
     specs.push(rack64_tenants_strict_spec());
     specs.push(rack1024_shard_spec());
     specs.push(rack4096_spec());
+    specs.push(rack8192_spec());
     specs.push(rack512_linkflap_spec());
     specs.push(rack1024_nodekill_spec());
     specs

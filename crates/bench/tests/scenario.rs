@@ -48,6 +48,7 @@ fn toml_roundtrip_preserves_every_field() {
         seed: 1234567,
         threads: 3,
         qp_entries: 32,
+        speculate_epochs: 3,
         tenancy: None,
         traffic: None,
         faults: Some(sonuma_bench::scenario::FaultSpec {
@@ -355,6 +356,13 @@ fn shipped_spec_files_parse() {
                 "bench/specs/rack1024-shard.toml drifted"
             );
         }
+        if spec.name == "rack8192" {
+            assert_eq!(
+                spec,
+                sonuma_bench::scenario::rack8192_spec(),
+                "bench/specs/rack8192.toml drifted"
+            );
+        }
         if spec.name == "rack512-linkflap" {
             assert_eq!(
                 spec,
@@ -405,6 +413,23 @@ fn threaded_report_is_equivalent_to_serial() {
     }
     bump_ops(&mut tweaked);
     assert!(!equivalence_diff(&a, &tweaked).is_empty());
+}
+
+#[test]
+fn speculative_report_is_equivalent_to_conservative() {
+    // Speculation is a pure wall-clock knob, like the thread count: a
+    // sharded run with clock bets enabled must produce a BENCH.json
+    // matching the conservative run's outside wall/shard fields — the
+    // report-level form of the observational-invisibility contract the
+    // fault-matrix CI lane asserts with `diff-runs`.
+    let mut conservative = tiny_spec();
+    conservative.backend = BackendSel::One(BackendKind::Sonuma);
+    conservative.threads = 3;
+    let mut speculative = conservative.clone();
+    speculative.speculate_epochs = 3;
+    let a = report(&run_specs(&[conservative]));
+    let b = report(&run_specs(&[speculative]));
+    assert_eq!(equivalence_diff(&a, &b), Vec::<String>::new());
 }
 
 #[test]

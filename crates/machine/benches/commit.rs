@@ -1,0 +1,66 @@
+//! Commit-path cost of the sharded cluster: a fixed closed-loop
+//! neighbor-read workload over a 4×4 torus driven at 1 / 4 / 8 shards,
+//! so the measured body is dominated by the quantum loop's k-way
+//! staged-delivery merge and per-shard scheduling — the path the merge
+//! cursor cache and high-water-mark presizing feed. Runs offline through
+//! the in-repo criterion shim:
+//!
+//! ```text
+//! cargo bench -p sonuma-machine --bench commit
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sonuma_fabric::FabricConfig;
+use sonuma_machine::{MachineConfig, SonumaBackend};
+use sonuma_protocol::{NodeId, RemoteBackend, RemoteRequest};
+
+/// Builds the 4×4 torus machine and drains `ops_per_node` two-deep
+/// pipelined neighbor reads through the full quantum/commit loop.
+fn commit_run(threads: usize, ops_per_node: u64) -> u64 {
+    let mut config = MachineConfig::simulated_hardware(16);
+    config.fabric = FabricConfig::torus2d(4, 4);
+    let mut b = SonumaBackend::with_threads(config, 1 << 16, threads);
+    let nodes = b.num_nodes();
+    for n in 0..nodes {
+        b.write_ctx(NodeId(n as u16), 0, &[0xA5; 1024]);
+    }
+    let mut remaining = vec![ops_per_node; nodes];
+    let mut inflight = vec![0usize; nodes];
+    loop {
+        let mut posted = false;
+        for n in 0..nodes {
+            while remaining[n] > 0 && inflight[n] < 2 {
+                let dst = NodeId(((n + 1) % nodes) as u16);
+                let offset = (remaining[n] * 64) % 512;
+                b.post(NodeId(n as u16), RemoteRequest::read(dst, offset, 64))
+                    .expect("post accepted");
+                remaining[n] -= 1;
+                inflight[n] += 1;
+                posted = true;
+            }
+        }
+        let more = b.advance();
+        for (n, inflight) in inflight.iter_mut().enumerate() {
+            *inflight -= b.poll(NodeId(n as u16)).len();
+        }
+        let pending: usize = inflight.iter().sum();
+        if !more && !posted && pending == 0 && remaining.iter().all(|&r| r == 0) {
+            break;
+        }
+    }
+    b.events_processed()
+}
+
+fn bench_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("commit");
+    group.sample_size(5);
+    for threads in [1usize, 4, 8] {
+        group.bench_function(&format!("merge/{threads}"), |b| {
+            b.iter(|| commit_run(threads, 8))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_commit);
+criterion_main!(benches);

@@ -41,6 +41,13 @@
 //!    boundaries, so harness-level posts charge from the same simulated
 //!    time at any thread count.
 //!
+//! Speculative run-ahead ([`ShardedCluster::set_speculation`]) preserves
+//! all three: it only changes how epochs *batch* between barriers (safe
+//! levels against published monotone floors) and where idle clocks park
+//! (validated clock-only bets, rolled back via the
+//! `EpochWorld::snapshot`/`restore` checkpoint when refuted), never which
+//! events execute or in what per-shard order.
+//!
 //! # Conservative safety with per-pair lookahead
 //!
 //! Within an epoch, shard `d` runs to
@@ -102,6 +109,18 @@ pub const QUANTUM_EPOCHS: u64 = 4;
 pub(crate) struct ShardSlot {
     pub world: Cluster,
     pub engine: ClusterEngine,
+    /// Frontier checkpoint of the last [`EpochWorld::snapshot`].
+    saved: Option<Checkpoint>,
+}
+
+/// The speculation-mutable frontier of a shard. Clock-only speculation
+/// executes no events and drains no outboxes past a snapshot, so the
+/// clock is the whole restorable state; the counts exist to assert that.
+#[derive(Clone, Copy)]
+struct Checkpoint {
+    now: SimTime,
+    executed: u64,
+    outbox_len: usize,
 }
 
 // SAFETY: the only non-`Send` constituent of `Cluster` is the attached
@@ -113,6 +132,16 @@ pub(crate) struct ShardSlot {
 // slot's entire lifetime. All remaining state is owned plain data.
 // `ShardedCluster::with_plan` asserts the invariant at construction.
 unsafe impl Send for ShardSlot {}
+
+impl ShardSlot {
+    /// Departures executed events have staged but no drain has collected.
+    fn outbox_len(&self) -> usize {
+        match &self.world.route {
+            RoutePath::Mailbox(outbox) => outbox.len(),
+            RoutePath::Direct(_) => 0,
+        }
+    }
+}
 
 impl EpochWorld for ShardSlot {
     fn run_epoch(&mut self, horizon: SimTime) -> u64 {
@@ -126,6 +155,47 @@ impl EpochWorld for ShardSlot {
     fn align_clock(&mut self, to: SimTime) {
         self.engine.advance_now_to(to);
     }
+
+    fn pending_floor(&mut self) -> Option<SimTime> {
+        // During a speculative region outboxes are not drained between
+        // levels, so staged-but-undrained departures are pending work the
+        // engine must fence peers from — they join the floor at their
+        // inject times. Outboxes are tiny (at most one level's sends), so
+        // the scan is cheap; between regions they are empty and this is
+        // exactly `next_event_time`.
+        let next = self.engine.next_time();
+        let staged = match &self.world.route {
+            RoutePath::Mailbox(outbox) => outbox.iter().map(|d| d.t).min(),
+            RoutePath::Direct(_) => None,
+        };
+        match (next, staged) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn snapshot(&mut self) {
+        self.saved = Some(Checkpoint {
+            now: self.engine.now(),
+            executed: self.engine.events_executed(),
+            outbox_len: self.outbox_len(),
+        });
+    }
+
+    fn restore(&mut self) {
+        let saved = self.saved.take().expect("restore without snapshot");
+        debug_assert_eq!(
+            saved.executed,
+            self.engine.events_executed(),
+            "clock-only speculation must not have executed events"
+        );
+        debug_assert_eq!(
+            saved.outbox_len,
+            self.outbox_len(),
+            "clock-only speculation must not have staged departures"
+        );
+        self.engine.rewind_now_to(saved.now);
+    }
 }
 
 /// Staged departures of one source shard, kept in `(t, src, seq)` order
@@ -136,12 +206,34 @@ impl EpochWorld for ShardSlot {
 struct SourceQueue {
     buf: Vec<Departure>,
     head: usize,
+    /// Cached merge cursor: the head departure's `(t, src, seq)` key.
+    /// The commit merge's k-way scan reads only this, so a queue whose
+    /// head did not move between quanta costs one field load instead of
+    /// a re-deref of the departure memory every pop.
+    head_key: Option<(SimTime, NodeId, u64)>,
+    /// Most entries the buffer ever held — next quantum's presize hint.
+    hwm: usize,
 }
 
 impl SourceQueue {
     /// Inject time of the earliest staged-but-uncommitted departure.
     fn head_time(&self) -> Option<SimTime> {
-        self.buf.get(self.head).map(|d| d.t)
+        self.head_key.map(|(t, _, _)| t)
+    }
+
+    /// Refreshes the cached head key after the head moved.
+    fn refresh_key(&mut self) {
+        self.head_key = self.buf.get(self.head).map(|d| (d.t, d.src, d.seq));
+    }
+
+    /// Pops the head departure. The caller has checked the queue is
+    /// nonempty via its cached key.
+    fn pop(&mut self) -> (SimTime, Packet) {
+        let d = &self.buf[self.head];
+        let out = (d.t, d.pkt);
+        self.head += 1;
+        self.refresh_key();
+        out
     }
 
     /// Appends one epoch's outbox drain, keeping the uncommitted suffix
@@ -156,6 +248,11 @@ impl SourceQueue {
         if outbox.is_empty() {
             return 0;
         }
+        // Presize from the previous high-water mark: one reservation per
+        // steady-state quantum instead of a doubling ladder per burst.
+        if self.buf.capacity() < self.hwm {
+            self.buf.reserve(self.hwm - self.buf.len());
+        }
         let tail = self.buf.len();
         self.buf.append(outbox);
         let key = |d: &Departure| (d.t, d.src, d.seq);
@@ -163,6 +260,8 @@ impl SourceQueue {
         if tail > self.head && key(&self.buf[tail - 1]) > key(&self.buf[tail]) {
             self.buf[self.head..].sort_unstable_by_key(key);
         }
+        self.refresh_key();
+        self.hwm = self.hwm.max(self.buf.len());
         self.buf.len() - tail
     }
 
@@ -171,8 +270,31 @@ impl SourceQueue {
         if self.head > 64 && self.head * 2 >= self.buf.len() {
             self.buf.drain(..self.head);
             self.head = 0;
+            self.refresh_key();
         }
     }
+}
+
+/// Builds shard `s`'s slice of the world. Pure function of the (shared,
+/// read-only) config and plan, so [`ShardedCluster::with_plan`] can fan
+/// construction across scoped threads.
+fn build_shard(config: &MachineConfig, plan: &ShardPlan, s: usize) -> ShardSlot {
+    let world = Cluster::shard_slice(config.clone(), plan.range(s));
+    // The Send invariant of ShardSlot: no process ever attaches.
+    debug_assert!(world
+        .nodes
+        .iter()
+        .all(|n| n.cores.iter().all(|c| c.process.is_none())));
+    let mut slot = ShardSlot {
+        world,
+        engine: ClusterEngine::new(),
+        saved: None,
+    };
+    // Each shard schedules the crash/restart events for the fault-plan
+    // nodes it owns; the schedule is a pure function of the plan, so it
+    // is partition-invariant.
+    slot.world.schedule_fault_events(&mut slot.engine);
+    slot
 }
 
 /// The cluster sharded across threads, with the global fabric and the
@@ -195,6 +317,11 @@ pub struct ShardedCluster {
     staging: Vec<SourceQueue>,
     /// Scratch for one commit's deliveries, reused across commits.
     deliveries: Vec<(usize, SimTime, Packet)>,
+    /// Most deliveries one commit ever produced — the presize hint.
+    delivery_hwm: usize,
+    /// Scratch: deliveries bound for each destination shard in the
+    /// current commit, so the scheduling pass skips untouched shards.
+    delivery_counts: Vec<usize>,
     /// Scratch for one iteration's per-shard floors, reused across epochs.
     floors: Vec<Option<SimTime>>,
     /// Cross-shard cut of the plan in force (directed links).
@@ -268,25 +395,31 @@ impl ShardedCluster {
             )
         });
         let cut_links = plan.cut_links(&config.fabric.topology);
-        let shards: Vec<ShardSlot> = (0..plan.shards())
-            .map(|s| {
-                let world = Cluster::shard_slice(config.clone(), plan.range(s));
-                // The Send invariant of ShardSlot: no process ever attaches.
-                debug_assert!(world
-                    .nodes
-                    .iter()
-                    .all(|n| n.cores.iter().all(|c| c.process.is_none())));
-                let mut slot = ShardSlot {
-                    world,
-                    engine: ClusterEngine::new(),
-                };
-                // Each shard schedules the crash/restart events for the
-                // fault-plan nodes it owns; the schedule is a pure
-                // function of the plan, so it is partition-invariant.
-                slot.world.schedule_fault_events(&mut slot.engine);
-                slot
+        // Shard worlds are independent slices built from shared read-only
+        // inputs, so a multi-shard build runs one construction thread per
+        // shard (the worker pool does not exist yet — scoped threads
+        // borrow `config`/`plan` directly). Joining in shard order keeps
+        // the result deterministic; at rack4096/rack8192 construction is
+        // hundreds of MB of node-table writes, so this parallelizes the
+        // startup wall the same way epochs parallelize the drive.
+        let shards: Vec<ShardSlot> = if plan.shards() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..plan.shards())
+                    .map(|s| {
+                        let (config, plan) = (&config, &plan);
+                        scope.spawn(move || build_shard(config, plan, s))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard construction panicked"))
+                    .collect()
             })
-            .collect();
+        } else {
+            (0..plan.shards())
+                .map(|s| build_shard(&config, &plan, s))
+                .collect()
+        };
         let num_shards = shards.len();
         ShardedCluster {
             engine: ShardedEngine::with_matrix(shards, matrix),
@@ -298,6 +431,8 @@ impl ShardedCluster {
             quantum: lookahead * QUANTUM_EPOCHS,
             staging: (0..num_shards).map(|_| SourceQueue::default()).collect(),
             deliveries: Vec::new(),
+            delivery_hwm: 0,
+            delivery_counts: vec![0; num_shards],
             floors: vec![None; num_shards],
             cut_links,
             pair_bound_violations: 0,
@@ -357,6 +492,26 @@ impl ShardedCluster {
     /// partition; results stay bit-identical regardless.
     pub fn epochs(&self) -> u64 {
         self.engine.epochs()
+    }
+
+    /// Sets the speculative run-ahead depth `K`: each epoch barrier may
+    /// cover up to `K` extra lookahead levels per shard, plus one
+    /// validated clock-only speculation (see `sonuma_sim::ShardedEngine`).
+    /// Observationally invisible — reports, traces, and fault fates stay
+    /// byte-identical to `K = 0` — so it may be set at any point.
+    pub fn set_speculation(&mut self, k: u32) {
+        self.engine.set_speculation(k);
+    }
+
+    /// The configured speculative run-ahead depth.
+    pub fn speculation_depth(&self) -> u32 {
+        self.engine.speculation_depth()
+    }
+
+    /// `(committed, rolled_back)` clock speculations so far — scheduling-
+    /// dependent reporting metadata, never part of the simulated result.
+    pub fn speculation(&self) -> (u64, u64) {
+        self.engine.speculation()
     }
 
     /// The per-shard-pair lookahead matrix in force.
@@ -903,6 +1058,13 @@ impl ShardedCluster {
     /// order. Returns the number of departures committed.
     fn commit(&mut self, frontier: SimTime) -> usize {
         self.deliveries.clear();
+        // `clear` keeps capacity, so the high-water reserve only does
+        // work on the first commit after a burst grew past every prior
+        // quantum — steady state never reallocates mid-merge.
+        if self.deliveries.capacity() < self.delivery_hwm {
+            self.deliveries.reserve(self.delivery_hwm);
+        }
+        self.delivery_counts.fill(0);
         // Progress is measured in departures *consumed*, not deliveries
         // scheduled: a fault-dropped packet leaves the staging queue
         // without producing a delivery, and reporting it as zero progress
@@ -910,27 +1072,21 @@ impl ShardedCluster {
         let mut consumed = 0usize;
         loop {
             // K-way walk: the queues are few (one per shard) and already
-            // sorted, so the global minimum is a linear scan of heads.
+            // sorted, so the global minimum is a linear scan of the
+            // cached head keys (the merge cursors persist across quanta —
+            // a queue untouched since the last commit costs one load).
             let mut best: Option<(usize, (SimTime, NodeId, u64))> = None;
             for (q, queue) in self.staging.iter().enumerate() {
-                if let Some(d) = queue.buf.get(queue.head) {
-                    if d.t <= frontier {
-                        let key = (d.t, d.src, d.seq);
-                        if best.is_none_or(|(_, bk)| key < bk) {
-                            best = Some((q, key));
-                        }
+                if let Some(key) = queue.head_key {
+                    if key.0 <= frontier && best.is_none_or(|(_, bk)| key < bk) {
+                        best = Some((q, key));
                     }
                 }
             }
             let Some((q, _)) = best else {
                 break;
             };
-            let (t, mut pkt) = {
-                let queue = &mut self.staging[q];
-                let d = &queue.buf[queue.head];
-                queue.head += 1;
-                (d.t, d.pkt)
-            };
+            let (t, mut pkt) = self.staging[q].pop();
             consumed += 1;
             // Link sampling rides the merge: this loop applies sends in
             // the global `(t, src, seq)` order — identical to the serial
@@ -981,11 +1137,15 @@ impl ShardedCluster {
                 );
             }
             self.deliveries.push((dst_shard, arrival, pkt));
+            self.delivery_counts[dst_shard] += 1;
         }
-        // One lock per destination shard, preserving merged order within
-        // each shard (stable partition).
+        self.delivery_hwm = self.delivery_hwm.max(self.deliveries.len());
+        // One lock per destination shard that actually received traffic
+        // (the per-shard counts ran with the merge, so untouched shards
+        // cost nothing), preserving merged order within each shard
+        // (stable partition).
         for s in 0..self.plan.shards() {
-            if self.deliveries.iter().any(|&(shard, _, _)| shard == s) {
+            if self.delivery_counts[s] > 0 {
                 let deliveries = &self.deliveries;
                 let violations = &mut self.pair_bound_violations;
                 self.engine.with_shard(s, |slot| {

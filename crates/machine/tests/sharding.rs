@@ -13,10 +13,11 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use sonuma_fabric::{FabricConfig, ShardPlan, Topology};
+use sonuma_fabric::{FabricConfig, FaultPlan, LinkFault, NodeFault, ShardPlan, Topology};
 use sonuma_machine::{MachineConfig, PipelineStats, ShardedCluster, SonumaBackend};
 use sonuma_protocol::{NodeId, RemoteBackend, RemoteCompletion, RemoteRequest};
 use sonuma_sim::SimTime;
+use sonuma_trace::{render_jsonl, TraceConfig, TraceMeta};
 
 /// A machine config over `topology` (paper timing, fabric swapped).
 fn config_for(topology: Topology) -> MachineConfig {
@@ -45,11 +46,32 @@ struct Outcome {
     fabric_packets: u64,
     fabric_bytes: u64,
     credit_stalls: u64,
+    trace: Option<String>,
 }
 
 /// Drives a deterministic closed-loop read/write stream over `b` and
-/// snapshots every invariant observable.
-fn drive(mut b: SonumaBackend, ops_per_node: u64, stride: usize, op_bytes: u64) -> Outcome {
+/// snapshots every invariant observable. With `traced`, a flight
+/// recorder is armed and its rendered JSONL rides along in the outcome
+/// so trace bytes are pinned partition- and speculation-invariant too.
+fn drive(b: SonumaBackend, ops_per_node: u64, stride: usize, op_bytes: u64) -> Outcome {
+    drive_opts(b, ops_per_node, stride, op_bytes, false)
+}
+
+fn drive_opts(
+    mut b: SonumaBackend,
+    ops_per_node: u64,
+    stride: usize,
+    op_bytes: u64,
+    traced: bool,
+) -> Outcome {
+    if traced {
+        b.arm_trace(&TraceConfig {
+            interval: SimTime::from_ns(1_000),
+            link_capacity: 256,
+            node_capacity: 256,
+            event_capacity: 64,
+        });
+    }
     let nodes = b.num_nodes();
     for n in 0..nodes {
         b.write_ctx(NodeId(n as u16), 0, &[n as u8 ^ 0x3C; 1024]);
@@ -112,6 +134,15 @@ fn drive(mut b: SonumaBackend, ops_per_node: u64, stride: usize, op_bytes: u64) 
         fabric_packets: b.fabric().packets_sent(),
         fabric_bytes: b.fabric().bytes_sent(),
         credit_stalls: b.fabric().credit_stalls(),
+        trace: b.trace().map(|rec| {
+            let meta = TraceMeta {
+                scenario: "sharding-proptest".to_string(),
+                backend: "sonuma".to_string(),
+                nodes: nodes as u64,
+                interval_ps: SimTime::from_ns(1_000).as_ps(),
+            };
+            render_jsonl(&meta, Some(rec), None)
+        }),
         completions,
     }
 }
@@ -165,6 +196,55 @@ proptest! {
             "delivery order diverged under partition {:?}", &bounds
         );
         prop_assert_eq!(serial, sharded);
+    }
+
+    /// Speculative run-ahead is observationally invisible: for random
+    /// depths `K` ∈ {1..4} over random partitions of crossbar and
+    /// torus3d topologies — optionally with a link-kill + node-crash
+    /// fault plan installed — delivery orders, completions, pipeline
+    /// stats, fabric totals, and rendered trace bytes are identical to
+    /// the conservative engine (`K = 0`) on the same partition.
+    #[test]
+    fn random_speculation_depths_match_conservative(
+        shape in 0usize..2,
+        w in 2usize..4,
+        h in 2usize..4,
+        cuts in vec(0usize..1024, 1..4),
+        k in 1u32..=4,
+        faulty in any::<bool>(),
+    ) {
+        let topology = match shape {
+            0 => Topology::crossbar(w * h + 1),
+            _ => Topology::torus3d(w, h, 2),
+        };
+        let nodes = topology.nodes();
+        let mut config = config_for(topology);
+        if faulty {
+            let mut plan = FaultPlan::new(0xFA17);
+            let mut flap = LinkFault::on(NodeId(0), NodeId(1));
+            flap.kill_at = Some(SimTime::from_ns(2_000));
+            flap.revive_at = Some(SimTime::from_ns(20_000));
+            plan.links.push(flap);
+            plan.nodes.push(NodeFault {
+                node: NodeId((nodes - 1) as u16),
+                crash_at: SimTime::from_ns(3_000),
+                restart_at: SimTime::from_ns(30_000),
+            });
+            config.fabric.faults = Some(plan);
+        }
+        let bounds = bounds_from(&cuts, nodes);
+        let conservative = drive_opts(
+            SonumaBackend::with_partition(config.clone(), 1 << 16, bounds.clone()),
+            3, 2, 128, true,
+        );
+        let mut spec = SonumaBackend::with_partition(config, 1 << 16, bounds.clone());
+        spec.set_speculation(k);
+        let speculative = drive_opts(spec, 3, 2, 128, true);
+        prop_assert_eq!(
+            conservative, speculative,
+            "speculation K={} diverged under partition {:?} (faulty={})",
+            k, &bounds, faulty
+        );
     }
 }
 
