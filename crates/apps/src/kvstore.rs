@@ -75,7 +75,10 @@ pub struct KvClientReport {
     pub corrupt: u64,
 }
 
-fn hash_key(key: u64) -> u64 {
+/// SplitMix64-finalized key hash: deterministic, well-spread. Shared
+/// with the rack-scale directory plane ([`crate::kvdir`]), which derives
+/// key homes and value classes from the same stream.
+pub fn hash_key(key: u64) -> u64 {
     // SplitMix64 finalizer: deterministic, well-spread.
     let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

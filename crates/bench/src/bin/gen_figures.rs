@@ -13,12 +13,18 @@
 //! stall/recovery timeline. It reads a saved trace via `--trace-file
 //! <path>`, or, with no file, runs the canned `rack1024-nodekill`
 //! scenario with tracing on and renders its recovery dip.
+//!
+//! The `kv` subset (also only when named) renders the KV-service
+//! figures — the GET-p99-vs-value-size crossover table per backend and
+//! the per-tenant-class achieved-vs-offered bars. It reads a saved
+//! scenario report via `--kv-report <path>`, or, with no file, runs the
+//! canned `rack512-kv` scenario across all three backends.
 
 use std::path::PathBuf;
 
 use sonuma_bench::fig07::Platform;
 use sonuma_bench::report::{cell, CsvTable};
-use sonuma_bench::{ablations, fig01, fig07, fig08, fig09, table1, table2, tracefig};
+use sonuma_bench::{ablations, fig01, fig07, fig08, fig09, kvfig, table1, table2, tracefig};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +35,11 @@ fn main() {
     });
     let trace_file: Option<PathBuf> = args.iter().position(|a| a == "--trace-file").map(|i| {
         let path = args.get(i + 1).expect("--trace-file needs a path").clone();
+        args.drain(i..=i + 1);
+        PathBuf::from(path)
+    });
+    let kv_report: Option<PathBuf> = args.iter().position(|a| a == "--kv-report").map(|i| {
+        let path = args.get(i + 1).expect("--kv-report needs a path").clone();
         args.drain(i..=i + 1);
         PathBuf::from(path)
     });
@@ -190,6 +201,25 @@ fn main() {
         save("trace_link_heatmap", &tracefig::heatmap_csv(&doc));
         save("trace_timeline", &tracefig::timeline_csv(&doc));
     }
+    // Driving the KV rack over three backends is likewise too heavy for
+    // the default run, so `kv` also runs only when named.
+    if args.iter().any(|a| a == "kv") {
+        let doc = match &kv_report {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+                sonuma_bench::json::Json::parse(&text).expect("report parses")
+            }
+            None => showcase_kv_report(),
+        };
+        let runs = kvfig::kv_runs(&doc);
+        assert!(!runs.is_empty(), "report carries no kv sections");
+        print!("{}", kvfig::render_crossover(&runs));
+        println!();
+        print!("{}", kvfig::render_slo(&runs));
+        save("kv_crossover", &kvfig::crossover_csv(&runs));
+        save("kv_slo", &kvfig::slo_csv(&runs));
+    }
     if want("pipelines") {
         let rows = pipeline_counters();
         sonuma_bench::report::print_pipeline_stats(
@@ -226,6 +256,20 @@ fn showcase_trace() -> String {
         .find_map(|r| r.trace)
         .expect("soNUMA run produced a trace")
         .text
+}
+
+/// Runs the canned `rack512-kv` scenario — all three backends — and
+/// returns its report: the per-backend GET p99 columns of the crossover
+/// table come straight from the three runs' `kv` sections.
+fn showcase_kv_report() -> sonuma_bench::json::Json {
+    use sonuma_bench::scenario;
+
+    let spec = scenario::rack512_kv_spec();
+    eprintln!(
+        "running {} on all backends (pass --kv-report to skip the run)...",
+        spec.name
+    );
+    scenario::report(&scenario::run_specs(&[spec]))
 }
 
 /// Drives a short all-nodes read stream over the full machine and

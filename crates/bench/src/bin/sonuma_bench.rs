@@ -41,9 +41,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use sonuma_bench::json::Json;
 use sonuma_bench::scenario::{
-    self, calibrate, canned_specs, check_baseline, check_fault_baseline, equivalence_diff,
-    report_calibrated, run_spec, run_spec_compare_threads, run_specs, slim_report, smoke_specs,
-    validate_report, ScenarioSpec, TraceSpec, REPORT_SCHEMA,
+    self, calibrate, canned_specs, check_baseline, check_fault_baseline, check_kv_baseline,
+    equivalence_diff, report_calibrated, run_spec, run_spec_compare_threads, run_specs,
+    slim_report, smoke_specs, validate_report, ScenarioSpec, TraceSpec, REPORT_SCHEMA,
 };
 
 /// System allocator wrapped with a live-bytes high-water mark, so every
@@ -346,6 +346,8 @@ fn baseline_specs() -> Vec<ScenarioSpec> {
         "rack8192",
         "rack512-linkflap",
         "rack1024-nodekill",
+        "rack512-kv",
+        "rack1024-kv-zipf",
     ];
     let mut specs = smoke_specs();
     specs.extend(
@@ -612,6 +614,9 @@ fn scenario_cmd(args: Vec<String>) -> ExitCode {
         let fault_check = check_fault_baseline(&doc, &base);
         check.notes.extend(fault_check.notes);
         check.failures.extend(fault_check.failures);
+        let kv_check = check_kv_baseline(&doc, &base);
+        check.notes.extend(kv_check.notes);
+        check.failures.extend(kv_check.failures);
         for note in &check.notes {
             println!("note: {note}");
         }

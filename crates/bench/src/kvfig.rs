@@ -1,0 +1,319 @@
+//! KV-service report consumers: the crossover table (GET p99 against
+//! value size, one column per backend) and the per-tenant-class
+//! achieved-vs-offered bars.
+//!
+//! Both figures read a saved `scenario --out` report back through the
+//! bench's own [`Json`] layer, so `gen-figures kv` works on any CI
+//! artifact, not just an in-process run. The crossover table is the
+//! one-sided-vs-messaging story in one screen: the soNUMA column holds
+//! flat while the connection-oriented backends grow with value size,
+//! and the row where the columns cross is the size past which one-sided
+//! line bursts stop paying for themselves.
+
+use std::fmt::Write as _;
+
+use crate::json::Json;
+use crate::report::{cell, CsvTable};
+
+/// One `(scenario, backend)` run's `kv` report section.
+#[derive(Debug, Clone)]
+pub struct KvRun {
+    /// Scenario name from the report's `spec.name`.
+    pub scenario: String,
+    /// Backend label (`sonuma` / `tcp` / `rdma`).
+    pub backend: String,
+    /// The run's `kv` JSON object, verbatim.
+    pub kv: Json,
+}
+
+/// Pulls every run that carries a `kv` section out of a scenario report.
+pub fn kv_runs(doc: &Json) -> Vec<KvRun> {
+    let mut out = Vec::new();
+    if let Some(scenarios) = doc.get("scenarios").and_then(Json::as_arr) {
+        for sc in scenarios {
+            let name = sc
+                .get("spec")
+                .and_then(|s| s.str_of("name"))
+                .unwrap_or("?")
+                .to_string();
+            if let Some(runs) = sc.get("runs").and_then(Json::as_arr) {
+                for run in runs {
+                    if let Some(kv) = run.get("kv") {
+                        out.push(KvRun {
+                            scenario: name.clone(),
+                            backend: run.str_of("backend").unwrap_or("?").to_string(),
+                            kv: kv.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Distinct scenarios across the runs, in first-seen order.
+fn scenarios(runs: &[KvRun]) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for r in runs {
+        if !out.contains(&r.scenario) {
+            out.push(r.scenario.clone());
+        }
+    }
+    out
+}
+
+/// Distinct backends across the runs, in first-seen order.
+fn backends(runs: &[KvRun]) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for r in runs {
+        if !out.contains(&r.backend) {
+            out.push(r.backend.clone());
+        }
+    }
+    out
+}
+
+/// Distinct value-size classes (bytes) across the runs, ascending.
+fn size_classes(runs: &[KvRun]) -> Vec<u64> {
+    let mut out: Vec<u64> = Vec::new();
+    for r in runs {
+        if let Some(classes) = r.kv.get("classes").and_then(Json::as_arr) {
+            for c in classes {
+                if let Some(b) = c.u64_of("bytes") {
+                    if !out.contains(&b) {
+                        out.push(b);
+                    }
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// GET p99 for one backend and one value-size class, in microseconds.
+fn get_p99_us(runs: &[KvRun], backend: &str, bytes: u64) -> Option<f64> {
+    let run = runs.iter().find(|r| r.backend == backend)?;
+    let classes = run.kv.get("classes").and_then(Json::as_arr)?;
+    let class = classes.iter().find(|c| c.u64_of("bytes") == Some(bytes))?;
+    Some(class.f64_of("get_p99_ns")? / 1e3)
+}
+
+/// The crossover tables: per scenario, one row per value-size class
+/// with GET p99 (us) per backend side by side.
+pub fn render_crossover(runs: &[KvRun]) -> String {
+    let mut out = String::new();
+    for (i, scenario) in scenarios(runs).iter().enumerate() {
+        let group: Vec<KvRun> = runs
+            .iter()
+            .filter(|r| r.scenario == *scenario)
+            .cloned()
+            .collect();
+        if i > 0 {
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out, "KV crossover: GET p99 (us) by value size ({scenario})");
+        let cols = backends(&group);
+        let _ = write!(out, "{:>12}", "value_bytes");
+        for b in &cols {
+            let _ = write!(out, " {b:>10}");
+        }
+        let _ = writeln!(out);
+        for bytes in size_classes(&group) {
+            let _ = write!(out, "{bytes:>12}");
+            for b in &cols {
+                match get_p99_us(&group, b, bytes) {
+                    Some(us) => {
+                        let _ = write!(out, " {us:>10.2}");
+                    }
+                    None => {
+                        let _ = write!(out, " {:>10}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+    }
+    out
+}
+
+/// The crossover table as a plottable CSV: long form, one row per
+/// `(backend, value-size class)`.
+pub fn crossover_csv(runs: &[KvRun]) -> CsvTable {
+    let mut t = CsvTable::new(&[
+        "scenario",
+        "backend",
+        "value_bytes",
+        "lines",
+        "gets",
+        "get_p50_us",
+        "get_p99_us",
+        "put_p99_us",
+    ]);
+    for r in runs {
+        if let Some(classes) = r.kv.get("classes").and_then(Json::as_arr) {
+            for c in classes {
+                t.row(&[
+                    r.scenario.clone(),
+                    r.backend.clone(),
+                    c.u64_of("bytes").unwrap_or(0).to_string(),
+                    c.u64_of("lines").unwrap_or(0).to_string(),
+                    c.u64_of("gets").unwrap_or(0).to_string(),
+                    cell(c.f64_of("get_p50_ns").unwrap_or(f64::NAN) / 1e3),
+                    cell(c.f64_of("get_p99_ns").unwrap_or(f64::NAN) / 1e3),
+                    cell(c.f64_of("put_p99_ns").unwrap_or(f64::NAN) / 1e3),
+                ]);
+            }
+        }
+    }
+    t
+}
+
+/// The SLO bars: per backend and tenant class, achieved against offered
+/// operations with the class GET p99 alongside.
+pub fn render_slo(runs: &[KvRun]) -> String {
+    let mut out = String::new();
+    for (i, scenario) in scenarios(runs).iter().enumerate() {
+        if i > 0 {
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(
+            out,
+            "KV SLO: achieved vs offered by tenant class ({scenario})"
+        );
+        let _ = writeln!(
+            out,
+            "{:>8} {:>8} {:>10} {:>10} {:>9} {:>10}",
+            "backend", "class", "offered", "achieved", "fraction", "p99_us"
+        );
+        for r in runs.iter().filter(|r| r.scenario == *scenario) {
+            if let Some(slo) = r.kv.get("slo").and_then(Json::as_arr) {
+                for row in slo {
+                    let _ = writeln!(
+                        out,
+                        "{:>8} {:>8} {:>10} {:>10} {:>9.4} {:>10.2}",
+                        r.backend,
+                        row.str_of("class").unwrap_or("?"),
+                        row.u64_of("offered_ops").unwrap_or(0),
+                        row.u64_of("ops").unwrap_or(0),
+                        row.f64_of("achieved_fraction").unwrap_or(f64::NAN),
+                        row.f64_of("lat_p99_ns").unwrap_or(f64::NAN) / 1e3,
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The SLO bars as a plottable CSV: one row per `(backend, class)`.
+pub fn slo_csv(runs: &[KvRun]) -> CsvTable {
+    let mut t = CsvTable::new(&[
+        "scenario",
+        "backend",
+        "class",
+        "tenants",
+        "offered_ops",
+        "ops",
+        "achieved_fraction",
+        "lat_p50_us",
+        "lat_p99_us",
+    ]);
+    for r in runs {
+        if let Some(slo) = r.kv.get("slo").and_then(Json::as_arr) {
+            for row in slo {
+                t.row(&[
+                    r.scenario.clone(),
+                    r.backend.clone(),
+                    row.str_of("class").unwrap_or("?").to_string(),
+                    row.u64_of("tenants").unwrap_or(0).to_string(),
+                    row.u64_of("offered_ops").unwrap_or(0).to_string(),
+                    row.u64_of("ops").unwrap_or(0).to_string(),
+                    cell(row.f64_of("achieved_fraction").unwrap_or(f64::NAN)),
+                    cell(row.f64_of("lat_p50_ns").unwrap_or(f64::NAN) / 1e3),
+                    cell(row.f64_of("lat_p99_ns").unwrap_or(f64::NAN) / 1e3),
+                ]);
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> Json {
+        Json::parse(
+            r#"{"scenarios":[{"spec":{"name":"kv"},"runs":[
+                {"backend":"sonuma","kv":{
+                    "classes":[
+                        {"bytes":4096,"lines":64,"gets":10,"get_p50_ns":1000,
+                         "get_p99_ns":2000,"put_p99_ns":3000},
+                        {"bytes":8192,"lines":128,"gets":10,"get_p50_ns":1500,
+                         "get_p99_ns":2500,"put_p99_ns":3500}],
+                    "slo":[{"class":"gold","tenants":4,"offered_ops":100,
+                            "ops":90,"achieved_fraction":0.9,
+                            "lat_p50_ns":1000,"lat_p99_ns":2000}]}},
+                {"backend":"tcp","kv":{
+                    "classes":[
+                        {"bytes":4096,"lines":64,"gets":10,"get_p50_ns":4000,
+                         "get_p99_ns":9000,"put_p99_ns":9500}],
+                    "slo":[{"class":"gold","tenants":4,"offered_ops":100,
+                            "ops":80,"achieved_fraction":0.8,
+                            "lat_p50_ns":4000,"lat_p99_ns":9000}]}}
+            ]}]}"#,
+        )
+        .expect("literal report parses")
+    }
+
+    #[test]
+    fn crossover_pivots_backends_into_columns() {
+        let runs = kv_runs(&report());
+        assert_eq!(runs.len(), 2);
+        let text = render_crossover(&runs);
+        assert!(text.contains("sonuma"), "missing backend column:\n{text}");
+        assert!(text.contains("tcp"), "missing backend column:\n{text}");
+        assert!(text.contains("4096"), "missing size row:\n{text}");
+        // tcp has no 8192 class: the cell renders as a dash, not a panic.
+        assert!(text.contains('-'), "missing hole marker:\n{text}");
+        let csv = crossover_csv(&runs).to_csv();
+        assert_eq!(csv.lines().count(), 4, "header + 3 class rows:\n{csv}");
+        assert!(
+            csv.contains("kv,sonuma,8192,128,10,1.5000,2.5000,3.5000"),
+            "{csv}"
+        );
+    }
+
+    #[test]
+    fn multi_scenario_reports_render_one_table_each() {
+        let mut runs = kv_runs(&report());
+        let mut second = runs.clone();
+        for r in &mut second {
+            r.scenario = "kv2".into();
+        }
+        runs.extend(second);
+        let text = render_crossover(&runs);
+        assert_eq!(
+            text.matches("KV crossover:").count(),
+            2,
+            "one table per scenario:\n{text}"
+        );
+        let slo = render_slo(&runs);
+        assert_eq!(slo.matches("KV SLO:").count(), 2, "{slo}");
+    }
+
+    #[test]
+    fn slo_rows_surface_every_class() {
+        let runs = kv_runs(&report());
+        let text = render_slo(&runs);
+        assert!(text.contains("gold"), "{text}");
+        let csv = slo_csv(&runs).to_csv();
+        assert_eq!(csv.lines().count(), 3, "header + 2 slo rows:\n{csv}");
+        assert!(
+            csv.contains("kv,tcp,gold,4,100,80,0.8000,4.0000,9.0000"),
+            "{csv}"
+        );
+    }
+}

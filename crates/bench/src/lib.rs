@@ -29,6 +29,7 @@ pub mod fig07;
 pub mod fig08;
 pub mod fig09;
 pub mod json;
+pub mod kvfig;
 pub mod report;
 pub mod scenario;
 pub mod table1;

@@ -1,0 +1,379 @@
+//! KV-cache service coverage at the scenario-harness level: the `[kv]`
+//! spec section round-trips through TOML, a zero-key section is
+//! indistinguishable from no section, the directory plane places every
+//! key inside the context segment, KV runs are deterministic across
+//! repeats and thread counts with verified GET payloads, the Zipf
+//! scenario separates its SLO classes, and the kv baseline gate catches
+//! each class of regression it exists for.
+
+use proptest::prelude::*;
+
+use sonuma_bench::json::Json;
+use sonuma_bench::scenario::{
+    check_kv_baseline, equivalence_diff, rack1024_kv_zipf_spec, rack512_kv_spec, report, run_specs,
+    validate_report, BackendKind, BackendSel, KvSpec, ScenarioSpec, TenancySpec, TopologySpec,
+    TrafficSpec, WeightMode, WorkloadKind,
+};
+use sonuma_bench::trafficgen::ArrivalKind;
+use sonuma_core::SchedPolicy;
+
+/// A fast KV spec on the soNUMA backend: 8 nodes, 128 small values
+/// (4–16 lines each), 16 open-loop tenants at a feasible rate.
+fn tiny_kv_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "tiny-kv".into(),
+        nodes: 8,
+        topology: TopologySpec::Torus2d(4, 2),
+        backend: BackendSel::One(BackendKind::Sonuma),
+        workload: WorkloadKind::Mixed,
+        read_fraction: 0.9,
+        op_bytes: 256,
+        segment_bytes: 1 << 16,
+        seed: 41,
+        tenancy: Some(TenancySpec {
+            tenants: 16,
+            ..TenancySpec::default()
+        }),
+        traffic: Some(TrafficSpec {
+            arrival: ArrivalKind::Poisson,
+            rate_per_tenant: 500_000.0,
+            duration_us: 20.0,
+            ..TrafficSpec::default()
+        }),
+        kv: Some(KvSpec {
+            keys: 128,
+            value_min: 256,
+            value_max: 1024,
+            zipf_key: 0.99,
+            get_fraction: 0.85,
+            repeat_prob: 0.25,
+            seed: 4100,
+        }),
+        ..ScenarioSpec::default()
+    }
+}
+
+/// The Zipf scenario's shape at test scale: strict-priority tiered
+/// tenants driving phase-aligned bursts of multi-line GETs over hot
+/// keys — the configuration whose SLO rows must separate.
+fn zipf_kv_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "tiny-kv-zipf".into(),
+        nodes: 64,
+        topology: TopologySpec::Torus3d(4, 4, 4),
+        backend: BackendSel::One(BackendKind::Sonuma),
+        workload: WorkloadKind::Mixed,
+        read_fraction: 0.95,
+        op_bytes: 4096,
+        segment_bytes: 1 << 19,
+        seed: 42,
+        tenancy: Some(TenancySpec {
+            tenants: 512,
+            scheduler: SchedPolicy::StrictPriority,
+            weights: WeightMode::Tiered,
+        }),
+        traffic: Some(TrafficSpec {
+            arrival: ArrivalKind::Bursty,
+            rate_per_tenant: 40_000.0,
+            duration_us: 40.0,
+            burst: 16,
+            ..TrafficSpec::default()
+        }),
+        kv: Some(KvSpec {
+            keys: 512,
+            value_min: 1024,
+            value_max: 4096,
+            zipf_key: 1.2,
+            get_fraction: 0.95,
+            repeat_prob: 0.4,
+            seed: 4200,
+        }),
+        ..ScenarioSpec::default()
+    }
+}
+
+#[test]
+fn zero_key_kv_section_is_invisible() {
+    // A [kv] section with zero keys must leave no trace: no section in
+    // the rendered TOML and a report byte-identical (modulo wall clock)
+    // to a spec with no section at all — the v8-report compatibility
+    // contract of schema v9.
+    let mut with_zeros = tiny_kv_spec();
+    with_zeros.kv = Some(KvSpec {
+        keys: 0,
+        ..KvSpec::default()
+    });
+    assert!(
+        !with_zeros.to_toml().contains("[kv]"),
+        "zero-key section must not render"
+    );
+    let mut without = tiny_kv_spec();
+    without.kv = None;
+    assert_eq!(with_zeros.to_toml(), without.to_toml());
+    let a = report(&run_specs(&[with_zeros]));
+    let b = report(&run_specs(&[without]));
+    assert_eq!(
+        equivalence_diff(&a, &b),
+        Vec::<String>::new(),
+        "a zero-key [kv] section must not perturb the simulation"
+    );
+    assert!(!a.render().contains("\"kv\""));
+}
+
+#[test]
+fn kv_spec_validation_rejects_bad_shapes() {
+    // [kv] without the open-loop sections it is driven by.
+    let mut lonely = tiny_kv_spec();
+    lonely.tenancy = None;
+    lonely.traffic = None;
+    assert!(lonely.validate().unwrap_err().to_string().contains("[kv]"));
+    // Non-power-of-two and sub-line value sizes.
+    for (min, max) in [(100, 1024), (256, 768), (32, 1024), (1024, 256)] {
+        let mut bad = tiny_kv_spec();
+        let kv = bad.kv.as_mut().unwrap();
+        kv.value_min = min;
+        kv.value_max = max;
+        assert!(bad.validate().is_err(), "value range {min}..{max} accepted");
+    }
+    // A store that cannot fit the context segment is an error up front,
+    // not a mid-run panic.
+    let mut oversized = tiny_kv_spec();
+    oversized.kv.as_mut().unwrap().keys = 4096;
+    assert!(oversized
+        .validate()
+        .unwrap_err()
+        .to_string()
+        .contains("overflow the context segment"));
+}
+
+#[test]
+fn directory_places_every_key_inside_the_segment() {
+    for spec in [rack512_kv_spec(), rack1024_kv_zipf_spec(), tiny_kv_spec()] {
+        let kv = spec.kv.as_ref().expect("kv section present");
+        let dir = kv
+            .directory(spec.nodes, spec.segment_bytes)
+            .expect("canned KV specs fit their segments");
+        assert_eq!(dir.keys(), kv.keys);
+        for key in 0..dir.keys() {
+            let p = dir.lookup(key);
+            assert!(p.node < spec.nodes, "key {key} maps to node {}", p.node);
+            assert!(p.len.is_power_of_two());
+            assert!(p.len >= kv.value_min && p.len <= kv.value_max);
+            assert!(
+                p.offset + p.len <= spec.segment_bytes,
+                "key {key} extends past the segment: {p:?}"
+            );
+        }
+        assert!(
+            dir.max_node_bytes() <= spec.segment_bytes,
+            "{}: worst node overflows",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn kv_runs_are_deterministic_and_verified() {
+    let results = run_specs(&[tiny_kv_spec()]);
+    let doc = report(&results);
+    validate_report(&doc).expect("kv report satisfies the schema");
+    let run = &results[0].runs[0];
+    let kv = run.kv.as_ref().expect("kv section attached");
+    assert!(kv.gets > 0 && kv.puts > 0, "mixed GET/PUT traffic: {kv:?}");
+    assert_eq!(kv.corrupt, 0, "every GET payload verifies");
+    assert!(
+        kv.get_lines >= kv.gets * (tiny_kv_spec().kv.unwrap().value_min / 64),
+        "multi-line GETs must unroll into line bursts"
+    );
+    // Same spec, fresh run: byte-identical report.
+    let again = report(&run_specs(&[tiny_kv_spec()]));
+    assert_eq!(equivalence_diff(&doc, &again), Vec::<String>::new());
+    // Same spec across thread counts: the determinism contract the CI
+    // diff-runs step asserts at rack scale.
+    let mut threaded = tiny_kv_spec();
+    threaded.threads = 4;
+    let b = report(&run_specs(&[threaded]));
+    assert_eq!(equivalence_diff(&doc, &b), Vec::<String>::new());
+    // And under speculative run-ahead.
+    let mut spec = tiny_kv_spec();
+    spec.speculate_epochs = 2;
+    let c = report(&run_specs(&[spec]));
+    assert_eq!(equivalence_diff(&doc, &c), Vec::<String>::new());
+}
+
+#[test]
+fn zipf_scenario_separates_slo_classes() {
+    let results = run_specs(&[zipf_kv_spec()]);
+    let doc = report(&results);
+    let kv = doc
+        .get("scenarios")
+        .and_then(Json::as_arr)
+        .and_then(|s| s[0].get("runs"))
+        .and_then(Json::as_arr)
+        .and_then(|r| r[0].get("kv"))
+        .cloned()
+        .expect("kv section in report");
+    let p99 = |class: &str| {
+        kv.get("slo")
+            .and_then(Json::as_arr)
+            .and_then(|rows| {
+                rows.iter()
+                    .find(|r| r.str_of("class") == Some(class))
+                    .and_then(|r| r.f64_of("lat_p99_ns"))
+            })
+            .unwrap_or_else(|| panic!("slo row for {class}"))
+    };
+    let (gold, bronze) = (p99("gold"), p99("bronze"));
+    assert!(
+        gold < bronze,
+        "strict priority with tiered weights must keep gold p99 ({gold} ns) \
+         below bronze p99 ({bronze} ns)"
+    );
+    assert_eq!(kv.f64_of("corrupt"), Some(0.0), "hot-key GETs still verify");
+}
+
+#[test]
+fn kv_gate_catches_each_regression_class() {
+    let doc = report(&run_specs(&[zipf_kv_spec()]));
+    // Self-comparison passes.
+    let check = check_kv_baseline(&doc, &doc);
+    assert!(check.failures.is_empty(), "{:?}", check.failures);
+
+    fn patch(doc: &Json, key: &str, value: Json) -> Json {
+        match doc {
+            Json::Obj(members) => Json::Obj(
+                members
+                    .iter()
+                    .map(|(k, v)| {
+                        if k == key {
+                            (k.clone(), value.clone())
+                        } else {
+                            (k.clone(), patch(v, key, value.clone()))
+                        }
+                    })
+                    .collect(),
+            ),
+            Json::Arr(items) => {
+                Json::Arr(items.iter().map(|v| patch(v, key, value.clone())).collect())
+            }
+            other => other.clone(),
+        }
+    }
+    // Corrupted GET payloads.
+    let torn = patch(&doc, "corrupt", Json::Num(3.0));
+    assert!(
+        check_kv_baseline(&torn, &doc)
+            .failures
+            .iter()
+            .any(|f| f.contains("corrupt")),
+        "corruption must gate"
+    );
+    // Achieved-throughput collapse.
+    let starved = patch(&doc, "achieved_fraction", Json::Num(0.5));
+    assert!(
+        check_kv_baseline(&starved, &doc)
+            .failures
+            .iter()
+            .any(|f| f.contains("achieved")),
+        "throughput collapse must gate"
+    );
+    // Per-class GET tail blowup (far past the 25% + 1 us slack).
+    let slow = patch(&doc, "get_p99_ns", Json::Num(1e9));
+    assert!(
+        check_kv_baseline(&slow, &doc)
+            .failures
+            .iter()
+            .any(|f| f.contains("GET p99")),
+        "class tail regression must gate"
+    );
+    // Broken SLO isolation: every class reporting the same p99 where the
+    // baseline separates gold from bronze.
+    let flat = patch(&doc, "lat_p99_ns", Json::Num(5e5));
+    assert!(
+        check_kv_baseline(&flat, &doc)
+            .failures
+            .iter()
+            .any(|f| f.contains("isolation")),
+        "flattened SLO rows must gate"
+    );
+    // Silently dropped kv section.
+    fn strip_kv(doc: &Json) -> Json {
+        match doc {
+            Json::Obj(members) => Json::Obj(
+                members
+                    .iter()
+                    .filter(|(k, _)| k != "kv")
+                    .map(|(k, v)| (k.clone(), strip_kv(v)))
+                    .collect(),
+            ),
+            Json::Arr(items) => Json::Arr(items.iter().map(strip_kv).collect()),
+            other => other.clone(),
+        }
+    }
+    let silent = strip_kv(&doc);
+    assert!(
+        check_kv_baseline(&silent, &doc)
+            .failures
+            .iter()
+            .any(|f| f.contains("kv section")),
+        "silently disabled KV plane must gate"
+    );
+}
+
+#[test]
+fn kv_runs_cover_all_three_backends() {
+    let mut spec = tiny_kv_spec();
+    spec.backend = BackendSel::All;
+    let results = run_specs(&[spec]);
+    assert_eq!(results[0].runs.len(), 3);
+    for run in &results[0].runs {
+        let kv = run
+            .kv
+            .as_ref()
+            .unwrap_or_else(|| panic!("backend {} lost its kv section", run.backend));
+        assert_eq!(kv.corrupt, 0, "{}: GETs must verify", run.backend);
+        assert!(kv.gets > 0, "{}: no GETs completed", run.backend);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any in-range `[kv]` section survives the TOML round trip exactly.
+    #[test]
+    fn kv_spec_roundtrips_through_toml(
+        keys in 1u64..512,
+        min_pow in 6u32..12,
+        max_extra in 0u32..3,
+        zipf_centi in 0u32..200,
+        get_centi in 1u32..=100,
+        repeat_centi in 0u32..100,
+        seed in 0u64..u64::MAX,
+    ) {
+        let kv = KvSpec {
+            keys,
+            value_min: 1 << min_pow,
+            value_max: 1 << (min_pow + max_extra),
+            zipf_key: zipf_centi as f64 / 100.0,
+            get_fraction: get_centi as f64 / 100.0,
+            repeat_prob: repeat_centi as f64 / 100.0,
+            seed,
+        };
+        let spec = ScenarioSpec {
+            name: "prop-kv".into(),
+            nodes: 8,
+            topology: TopologySpec::Torus2d(4, 2),
+            segment_bytes: 1 << 22,
+            tenancy: Some(TenancySpec {
+                tenants: 8,
+                ..TenancySpec::default()
+            }),
+            traffic: Some(TrafficSpec::default()),
+            kv: Some(kv),
+            ..ScenarioSpec::default()
+        };
+        spec.validate().expect("generated spec in range");
+        let back = ScenarioSpec::from_toml(&spec.to_toml()).expect("round trip parses");
+        prop_assert_eq!(back, spec);
+    }
+}

@@ -49,8 +49,19 @@ fn toml_roundtrip_preserves_every_field() {
         threads: 3,
         qp_entries: 32,
         speculate_epochs: 3,
-        tenancy: None,
-        traffic: None,
+        tenancy: Some(sonuma_bench::scenario::TenancySpec {
+            tenants: 54,
+            scheduler: sonuma_core::SchedPolicy::StrictPriority,
+            weights: sonuma_bench::scenario::WeightMode::Tiered,
+        }),
+        traffic: Some(sonuma_bench::scenario::TrafficSpec {
+            arrival: sonuma_bench::trafficgen::ArrivalKind::Bursty,
+            rate_per_tenant: 12_500.0,
+            duration_us: 18.0,
+            zipf_addr: 0.75,
+            zipf_dst: 0.5,
+            burst: 3,
+        }),
         faults: Some(sonuma_bench::scenario::FaultSpec {
             seed: 99,
             degraded_links: 2,
@@ -72,6 +83,15 @@ fn toml_roundtrip_preserves_every_field() {
             link_capacity: 4096,
             node_capacity: 2048,
             event_capacity: 512,
+        }),
+        kv: Some(sonuma_bench::scenario::KvSpec {
+            keys: 64,
+            value_min: 128,
+            value_max: 512,
+            zipf_key: 1.1,
+            get_fraction: 0.75,
+            repeat_prob: 0.5,
+            seed: 77,
         }),
     };
     assert_eq!(ScenarioSpec::from_toml(&spec.to_toml()).unwrap(), spec);
@@ -315,6 +335,7 @@ fn smoke_and_rack_specs_validate() {
 fn shipped_spec_files_parse() {
     let specs_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../bench/specs");
     let mut parsed = 0;
+    let mut in_sync = 0;
     for entry in std::fs::read_dir(specs_dir).expect("bench/specs exists") {
         let path = entry.unwrap().path();
         if path.extension().and_then(|e| e.to_str()) != Some("toml") {
@@ -323,63 +344,31 @@ fn shipped_spec_files_parse() {
         let text = std::fs::read_to_string(&path).unwrap();
         let spec =
             ScenarioSpec::from_toml(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
-        // Shipped files must stay in sync with the canned specs the
-        // acceptance runs use.
-        if spec.name == "rack512-neighbor" {
-            assert_eq!(spec, rack512_spec(), "bench/specs/rack512.toml drifted");
-        }
-        if spec.name == "rack64-tenants" {
+        spec.validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        // Shipped files must stay in sync with the canned spec of the
+        // same name the acceptance runs use — matched by name against
+        // the full canned list, so a new canned spec plus a new file
+        // under bench/specs is covered with no test edit.
+        if let Some(canned) = sonuma_bench::scenario::canned_specs()
+            .into_iter()
+            .find(|c| c.name == spec.name)
+        {
             assert_eq!(
                 spec,
-                sonuma_bench::scenario::rack64_tenants_spec(),
-                "bench/specs/rack64-tenants.toml drifted"
+                canned,
+                "{} drifted from its canned spec",
+                path.display()
             );
-        }
-        if spec.name == "rack64-tenants-strict" {
-            assert_eq!(
-                spec,
-                sonuma_bench::scenario::rack64_tenants_strict_spec(),
-                "bench/specs/rack64-tenants-strict.toml drifted"
-            );
-        }
-        if spec.name == "rack512-torus-scan" {
-            assert_eq!(
-                spec,
-                sonuma_bench::scenario::rack512_torus_scan_spec(),
-                "bench/specs/rack512-torus-scan.toml drifted"
-            );
-        }
-        if spec.name == "rack1024-shard" {
-            assert_eq!(
-                spec,
-                sonuma_bench::scenario::rack1024_shard_spec(),
-                "bench/specs/rack1024-shard.toml drifted"
-            );
-        }
-        if spec.name == "rack8192" {
-            assert_eq!(
-                spec,
-                sonuma_bench::scenario::rack8192_spec(),
-                "bench/specs/rack8192.toml drifted"
-            );
-        }
-        if spec.name == "rack512-linkflap" {
-            assert_eq!(
-                spec,
-                sonuma_bench::scenario::rack512_linkflap_spec(),
-                "bench/specs/rack512-linkflap.toml drifted"
-            );
-        }
-        if spec.name == "rack1024-nodekill" {
-            assert_eq!(
-                spec,
-                sonuma_bench::scenario::rack1024_nodekill_spec(),
-                "bench/specs/rack1024-nodekill.toml drifted"
-            );
+            in_sync += 1;
         }
         parsed += 1;
     }
-    assert!(parsed >= 8, "expected shipped spec files, found {parsed}");
+    assert!(parsed >= 10, "expected shipped spec files, found {parsed}");
+    assert!(
+        in_sync >= 10,
+        "expected shipped files matching canned specs, found {in_sync}"
+    );
 }
 
 #[test]

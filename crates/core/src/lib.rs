@@ -53,8 +53,8 @@ pub use sonuma_machine::{
 };
 pub use sonuma_memory::VAddr;
 pub use sonuma_protocol::{
-    BackendError, CtxId, NodeId, QpId, RemoteBackend, RemoteCompletion, RemoteRequest, Status,
-    TenantId,
+    BackendError, CtxId, NodeId, QpId, RemoteBackend, RemoteCompletion, RemoteOp, RemoteRequest,
+    Status, TenantId,
 };
 pub use sonuma_sim::SimTime;
 

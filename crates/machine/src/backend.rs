@@ -667,6 +667,36 @@ mod tests {
     }
 
     #[test]
+    fn multi_line_kv_read_returns_intact_payload() {
+        // A KV-cache GET is one read spanning hundreds of lines; the RGP
+        // unrolls it, the RRPP serves each line, and the payload must
+        // reassemble byte-exact — including for a value homed on the
+        // reading node itself (local delivery never enters the fabric).
+        let mut b = SonumaBackend::simulated_hardware(2, 1 << 16);
+        let value: Vec<u8> = (0..16384u32).map(|i| (i * 31 + 7) as u8).collect();
+        b.write_ctx(NodeId(1), 4096, &value);
+        b.write_ctx(NodeId(0), 0, &value);
+        let remote = b
+            .post(NodeId(0), RemoteRequest::read(NodeId(1), 4096, 16384))
+            .unwrap();
+        let local = b
+            .post(NodeId(0), RemoteRequest::read(NodeId(0), 0, 16384))
+            .unwrap();
+        let done = b.complete_all(NodeId(0));
+        assert_eq!(done.len(), 2);
+        for c in &done {
+            assert!(c.status.is_ok(), "{c:?}");
+            assert!(c.token == remote || c.token == local);
+            assert_eq!(c.data, value, "16 KB payload must reassemble intact");
+        }
+        assert_eq!(
+            b.pipeline_stats(NodeId(0)).rgp_lines,
+            512,
+            "two 16 KB reads unroll into 256 lines each"
+        );
+    }
+
+    #[test]
     fn tenant_channels_are_isolated_queues() {
         let mut b = SonumaBackend::simulated_hardware(2, 1 << 20);
         b.register_tenant_channel(NodeId(0), 0, TenantId(100), 1, SloClass::Gold);

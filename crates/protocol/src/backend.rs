@@ -103,6 +103,19 @@ impl RemoteRequest {
             operands: (expected, new),
         }
     }
+
+    /// Cache lines this transfer spans: the RMC unrolls every request
+    /// into 64-byte line packets (§4.1), so a multi-line KV GET costs
+    /// `lines()` fabric packets, not one. Sub-line and straddling
+    /// transfers round up to whole lines.
+    pub fn lines(&self) -> u64 {
+        let bytes = match self.op {
+            RemoteOp::Write => self.payload.len() as u64,
+            _ => self.len,
+        };
+        let first = self.offset % 64;
+        (first + bytes).div_ceil(64)
+    }
 }
 
 /// A finished operation, as reported by [`RemoteBackend::poll`].
@@ -259,6 +272,20 @@ mod tests {
         assert_eq!((fa.op, fa.operands.0), (RemoteOp::FetchAdd, 5));
         let cs = RemoteRequest::comp_swap(NodeId(0), 8, 1, 2);
         assert_eq!((cs.op, cs.operands), (RemoteOp::CompSwap, (1, 2)));
+    }
+
+    #[test]
+    fn request_line_counts_round_up() {
+        assert_eq!(RemoteRequest::read(NodeId(1), 0, 64).lines(), 1);
+        assert_eq!(RemoteRequest::read(NodeId(1), 0, 4096).lines(), 64);
+        assert_eq!(RemoteRequest::read(NodeId(1), 0, 1 << 26).lines(), 1 << 20);
+        // Straddling a line boundary costs both lines.
+        assert_eq!(RemoteRequest::read(NodeId(1), 32, 64).lines(), 2);
+        assert_eq!(
+            RemoteRequest::write(NodeId(1), 0, vec![0; 4096]).lines(),
+            64
+        );
+        assert_eq!(RemoteRequest::fetch_add(NodeId(1), 8, 1).lines(), 1);
     }
 
     #[test]
